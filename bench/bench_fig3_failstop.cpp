@@ -1,0 +1,90 @@
+// FIG3: the fail-stop distributed blinding protocol, swept over service size
+// and crash-failure scenarios in the asynchronous simulator.
+//
+// Reports virtual-time latency (the protocol sees only message delays),
+// message and byte counts, and verifies the Consistency requirement on every
+// produced blinding pair.
+#include "core/failstop.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace dblind;  // NOLINT
+
+}  // namespace
+
+int main() {
+  std::puts("FIG3 — fail-stop distributed blinding (async simulator, delays U[0.5ms, 20ms])");
+  std::puts("");
+
+  bench::Table table({"n", "f", "scenario", "latency_ms", "messages", "kbytes", "consistent"});
+
+  for (std::size_t f : {1u, 2u, 3u, 4u, 5u}) {
+    std::size_t n = 3 * f + 1;
+    // Honest run.
+    {
+      core::FailstopOptions o;
+      o.n = n;
+      o.f = f;
+      o.seed = 1000 + f;
+      core::FailstopBlindingSystem sys(std::move(o));
+      bool done = sys.run();
+      auto out = sys.outcome(1);
+      table.row({std::to_string(n), std::to_string(f), "honest",
+                 bench::fmt(sys.sim().stats().end_time / 1000.0),
+                 bench::fmt_u(sys.sim().stats().messages_sent),
+                 bench::fmt(sys.sim().stats().bytes_sent / 1024.0),
+                 done && out && sys.consistent(*out) ? "yes" : "NO"});
+    }
+    // f contributors crashed.
+    {
+      core::FailstopOptions o;
+      o.n = n;
+      o.f = f;
+      o.seed = 2000 + f;
+      for (std::size_t i = 0; i < f; ++i) o.crashed.insert(static_cast<std::uint32_t>(n - i));
+      core::FailstopBlindingSystem sys(std::move(o));
+      bool done = sys.run();
+      auto out = sys.outcome(1);
+      table.row({std::to_string(n), std::to_string(f), "f contributors crashed",
+                 bench::fmt(sys.sim().stats().end_time / 1000.0),
+                 bench::fmt_u(sys.sim().stats().messages_sent),
+                 bench::fmt(sys.sim().stats().bytes_sent / 1024.0),
+                 done && out && sys.consistent(*out) ? "yes" : "NO"});
+    }
+    // Designated coordinator crashed: backup takes over after its delay.
+    {
+      core::FailstopOptions o;
+      o.n = n;
+      o.f = f;
+      o.seed = 3000 + f;
+      o.crashed.insert(1);
+      core::FailstopBlindingSystem sys(std::move(o));
+      bool done = sys.run();
+      auto out = sys.outcome(2);
+      table.row({std::to_string(n), std::to_string(f), "coordinator crashed",
+                 bench::fmt(sys.sim().stats().end_time / 1000.0),
+                 bench::fmt_u(sys.sim().stats().messages_sent),
+                 bench::fmt(sys.sim().stats().bytes_sent / 1024.0),
+                 done && out && sys.consistent(*out) ? "yes" : "NO"});
+    }
+  }
+  table.print();
+
+  std::puts("");
+  std::puts("Attack row (§4.2.1): a Byzantine coordinator against Figure 3 CHOOSES the");
+  std::puts("blinding factor — the output decrypts to its rho_hat:");
+  {
+    core::FailstopOptions o;
+    o.adaptive_attack = true;
+    o.seed = 99;
+    core::FailstopBlindingSystem sys(std::move(o));
+    sys.run();
+    auto out = sys.outcome(1);
+    bool chose = out && sys.decrypt_a(out->blinded.ea) == sys.attacker_rho();
+    std::printf("  attacker controlled blinding factor: %s (consistency checks still pass: %s)\n",
+                chose ? "YES — Fig. 3 is NOT Byzantine-safe" : "no",
+                out && sys.consistent(*out) ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+// FIG4: the complete Byzantine re-encryption protocol, end to end in the
+// asynchronous simulator.
+//
+// Rows sweep service size and fault scenario; columns report virtual-time
+// latency, message/byte totals, and whether integrity held (result decrypts
+// to the original plaintext under B's key). The fail-stop blinding rows from
+// bench_fig3 provide the ablation contrast: the commit/reveal round, VDE
+// proofs, threshold signatures and self-verifying evidence are the price of
+// Byzantine tolerance.
+#include "core/failstop.hpp"
+#include "core/system.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace dblind;  // NOLINT
+using Behavior = core::ProtocolServer::Behavior;
+using mpz::Bigint;
+
+struct RunResult {
+  double latency_ms = 0;
+  std::uint64_t messages = 0;
+  double kbytes = 0;
+  bool ok = false;
+  int attack_successes = 0;
+};
+
+RunResult run(core::SystemOptions opts, Behavior b1 = Behavior::kHonest,
+              bool crash_designated = false) {
+  if (b1 != Behavior::kHonest) {
+    opts.b_behaviors.assign(opts.b.n, Behavior::kHonest);
+    opts.b_behaviors[0] = b1;
+  }
+  core::System sys(std::move(opts));
+  core::TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(123456)));
+  if (crash_designated) sys.sim().crash_at(sys.config().b.node_of(1), 0);
+
+  RunResult r;
+  bool done = sys.run_to_completion();
+  r.latency_ms = sys.sim().stats().end_time / 1000.0;
+  r.messages = sys.sim().stats().messages_sent;
+  r.kbytes = sys.sim().stats().bytes_sent / 1024.0;
+  r.attack_successes = sys.b_server(1).attack_successes();
+  r.ok = done;
+  if (done) {
+    for (core::ServerRank rank = 1; rank <= sys.b_cfg().n && r.ok; ++rank) {
+      if (!sys.is_honest_b(rank)) continue;
+      auto res = sys.result(t, rank);
+      r.ok = res && sys.oracle_decrypt_b(*res) == sys.plaintext_of(t);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("FIG4 — complete re-encryption protocol (async simulator, delays U[0.5ms, 20ms])");
+  std::puts("");
+
+  bench::Table table(
+      {"n", "f", "scenario", "latency_ms", "messages", "kbytes", "integrity", "attack_signed"});
+
+  for (std::size_t f : {1u, 2u, 3u}) {
+    std::size_t n = 3 * f + 1;
+    auto opts = [&](std::uint64_t seed) {
+      core::SystemOptions o;
+      o.a = {n, f};
+      o.b = {n, f};
+      o.seed = seed;
+      return o;
+    };
+
+    RunResult honest = run(opts(10 + f));
+    table.row({std::to_string(n), std::to_string(f), "honest", bench::fmt(honest.latency_ms),
+               bench::fmt_u(honest.messages), bench::fmt(honest.kbytes),
+               honest.ok ? "yes" : "NO", "-"});
+
+    RunResult crash = run(opts(20 + f), Behavior::kHonest, /*crash_designated=*/true);
+    table.row({std::to_string(n), std::to_string(f), "coordinator crashed",
+               bench::fmt(crash.latency_ms), bench::fmt_u(crash.messages),
+               bench::fmt(crash.kbytes), crash.ok ? "yes" : "NO", "-"});
+
+    RunResult badvde = run(opts(30 + f), Behavior::kInconsistentContribution);
+    table.row({std::to_string(n), std::to_string(f), "inconsistent contribution (4.2.2)",
+               bench::fmt(badvde.latency_ms), bench::fmt_u(badvde.messages),
+               bench::fmt(badvde.kbytes), badvde.ok ? "yes" : "NO", "-"});
+
+    RunResult withhold = run(opts(40 + f), Behavior::kWithholdContribution);
+    table.row({std::to_string(n), std::to_string(f), "withheld contribution",
+               bench::fmt(withhold.latency_ms), bench::fmt_u(withhold.messages),
+               bench::fmt(withhold.kbytes), withhold.ok ? "yes" : "NO", "-"});
+
+    RunResult bogus = run(opts(50 + f), Behavior::kBogusBlindCoordinator);
+    table.row({std::to_string(n), std::to_string(f), "bogus-blind coordinator (4.2.3)",
+               bench::fmt(bogus.latency_ms), bench::fmt_u(bogus.messages),
+               bench::fmt(bogus.kbytes), bogus.ok ? "yes" : "NO",
+               std::to_string(bogus.attack_successes)});
+
+    RunResult adaptive = run(opts(60 + f), Behavior::kAdaptiveCancelCoordinator);
+    table.row({std::to_string(n), std::to_string(f), "adaptive-cancel coordinator (4.2.1)",
+               bench::fmt(adaptive.latency_ms), bench::fmt_u(adaptive.messages),
+               bench::fmt(adaptive.kbytes), adaptive.ok ? "yes" : "NO",
+               std::to_string(adaptive.attack_successes)});
+  }
+  table.print();
+
+  std::puts("");
+  std::puts("Ablation — the cost of Byzantine tolerance (blinding phase only, n=3f+1, honest):");
+  bench::Table ab({"n", "f", "fig3 failstop msgs", "fig4 full-protocol msgs", "ratio"});
+  for (std::size_t f : {1u, 2u, 3u}) {
+    std::size_t n = 3 * f + 1;
+    core::FailstopOptions fo;
+    fo.n = n;
+    fo.f = f;
+    fo.seed = 70 + f;
+    core::FailstopBlindingSystem fsys(std::move(fo));
+    fsys.run();
+    std::uint64_t fig3_msgs = fsys.sim().stats().messages_sent;
+
+    core::SystemOptions o;
+    o.a = {n, f};
+    o.b = {n, f};
+    o.seed = 80 + f;
+    RunResult full = run(std::move(o));
+    ab.row({std::to_string(n), std::to_string(f), bench::fmt_u(fig3_msgs),
+            bench::fmt_u(full.messages),
+            bench::fmt(static_cast<double>(full.messages) / static_cast<double>(fig3_msgs), 1)});
+  }
+  ab.print();
+
+  std::puts("");
+  std::puts("Message breakdown by protocol phase (honest run, n=7, f=2, received counts):");
+  {
+    core::SystemOptions o;
+    o.a = {7, 2};
+    o.b = {7, 2};
+    o.seed = 90;
+    core::System sys(std::move(o));
+    sys.add_transfer(sys.config().params.encode_message(Bigint(8)));
+    sys.run_to_completion();
+    auto hist = sys.rx_histogram();
+    auto name = [](core::MsgType t) -> const char* {
+      switch (t) {
+        case core::MsgType::kInit: return "init";
+        case core::MsgType::kCommit: return "commit";
+        case core::MsgType::kReveal: return "reveal";
+        case core::MsgType::kContribute: return "contribute";
+        case core::MsgType::kBlind: return "blind";
+        case core::MsgType::kDone: return "done";
+        case core::MsgType::kSignRequest: return "sign-request";
+        case core::MsgType::kSignCommitReply: return "sign-commit-reply";
+        case core::MsgType::kSignQuorum: return "sign-quorum";
+        case core::MsgType::kSignRevealReply: return "sign-reveal-reply";
+        case core::MsgType::kSignRevealSet: return "sign-reveal-set";
+        case core::MsgType::kSignPartialReply: return "sign-partial-reply";
+        case core::MsgType::kDecryptRequest: return "decrypt-request";
+        case core::MsgType::kDecryptShareReply: return "decrypt-share-reply";
+      }
+      return "?";
+    };
+    bench::Table mt({"message type", "received"});
+    for (const auto& [type, count] : hist) mt.row({name(type), bench::fmt_u(count)});
+    mt.print();
+  }
+
+  std::puts("");
+  std::puts("Expected shape: latency grows mildly with f (more round-trip participants),");
+  std::puts("messages grow ~quadratically (n broadcasts of n-sized quorum evidence);");
+  std::puts("every adversarial row completes with integrity=yes and attack_signed=0.");
+  return 0;
+}

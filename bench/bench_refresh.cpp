@@ -1,0 +1,95 @@
+// EXT-REFRESH: the online proactive-refresh protocol (library extension of
+// §5's periodic share refresh), swept over service size and fault scenario.
+//
+// Complements CMP-PSS in bench_baselines: that bench measures the per-epoch
+// CPU cost asymmetry (O(1) vs O(#secrets)); this one measures the
+// distributed round itself — latency, messages, and the echo-quorum
+// consistency machinery under a crashed or equivocating coordinator.
+#include "core/refresh_protocol.hpp"
+#include "table.hpp"
+#include "threshold/shamir.hpp"
+
+namespace {
+
+using namespace dblind;  // NOLINT
+
+struct Row {
+  double latency_ms = 0;
+  std::uint64_t messages = 0;
+  double kbytes = 0;
+  bool key_preserved = false;
+};
+
+Row run(core::RefreshSystemOptions opts) {
+  core::RefreshSystem sys(std::move(opts));
+  bool done = sys.run();
+  Row row;
+  row.latency_ms = sys.sim().stats().end_time / 1000.0;
+  row.messages = sys.sim().stats().messages_sent;
+  row.kbytes = sys.sim().stats().bytes_sent / 1024.0;
+  if (done) {
+    const group::GroupParams& gp = sys.old_material().params();
+    const auto& cfg = sys.old_material().config();
+    std::vector<threshold::Share> quorum;
+    for (std::uint32_t r = 1; quorum.size() < cfg.quorum() && r <= cfg.n; ++r) {
+      auto s = sys.new_share(r);
+      if (s) quorum.push_back(*s);
+    }
+    row.key_preserved = quorum.size() == cfg.quorum() &&
+                        gp.pow_g(threshold::shamir_reconstruct(quorum, gp.q())) ==
+                            sys.old_material().public_key().y();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("EXT-REFRESH — online proactive share refresh (one epoch, async simulator)");
+  std::puts("");
+  bench::Table table({"n", "f", "scenario", "latency_ms", "messages", "kbytes",
+                      "key preserved"});
+  for (std::size_t f : {1u, 2u, 3u}) {
+    std::size_t n = 3 * f + 1;
+
+    core::RefreshSystemOptions honest;
+    honest.cfg = {n, f};
+    honest.seed = 100 + f;
+    Row h = run(std::move(honest));
+    table.row({std::to_string(n), std::to_string(f), "honest", bench::fmt(h.latency_ms),
+               bench::fmt_u(h.messages), bench::fmt(h.kbytes), h.key_preserved ? "yes" : "NO"});
+
+    core::RefreshSystemOptions crashed;
+    crashed.cfg = {n, f};
+    crashed.seed = 200 + f;
+    crashed.crashed = {1};
+    Row c = run(std::move(crashed));
+    table.row({std::to_string(n), std::to_string(f), "coordinator crashed",
+               bench::fmt(c.latency_ms), bench::fmt_u(c.messages), bench::fmt(c.kbytes),
+               c.key_preserved ? "yes" : "NO"});
+
+    core::RefreshSystemOptions bad;
+    bad.cfg = {n, f};
+    bad.seed = 300 + f;
+    for (std::uint32_t d = 0; d < f; ++d) bad.bad_dealers.insert(n - d);
+    Row b = run(std::move(bad));
+    table.row({std::to_string(n), std::to_string(f), "f corrupt dealers",
+               bench::fmt(b.latency_ms), bench::fmt_u(b.messages), bench::fmt(b.kbytes),
+               b.key_preserved ? "yes" : "NO"});
+
+    core::RefreshSystemOptions equiv;
+    equiv.cfg = {n, f};
+    equiv.seed = 400 + f;
+    equiv.equivocating_coordinator = true;
+    Row e = run(std::move(equiv));
+    table.row({std::to_string(n), std::to_string(f), "equivocating coordinator",
+               bench::fmt(e.latency_ms), bench::fmt_u(e.messages), bench::fmt(e.kbytes),
+               e.key_preserved ? "yes" : "NO"});
+  }
+  table.print();
+  std::puts("");
+  std::puts("Expected shape: ~3 message delays per healthy epoch independent of n;");
+  std::puts("messages O(n^2) (echo round); coordinator failure costs the backup delay;");
+  std::puts("every row preserves the service public key exactly.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Minimal fixed-width table printer shared by the protocol-level benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dblind::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], r[i].size());
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::string out;
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        std::string cell = i < cells.size() ? cells[i] : "";
+        out += cell;
+        out.append(width[i] - cell.size() + 2, ' ');
+      }
+      std::puts(out.c_str());
+    };
+    line(headers_);
+    std::string sep;
+    for (std::size_t w : width) sep += std::string(w, '-') + "  ";
+    std::puts(sep.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace dblind::bench

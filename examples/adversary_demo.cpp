@@ -1,0 +1,95 @@
+// Adversary demo: the §4.2.1 adaptive-contribution attack, before and after
+// the paper's defenses.
+//
+//   build/examples/adversary_demo
+//
+// Act 1 — against the fail-stop blinding protocol (Figure 3): a Byzantine
+// coordinator waits for honest contributions, then submits the canceling
+// "contribution" of expression (1). The combined blinding factor is the
+// adversary's own ρ̂ — Randomness-Confidentiality is broken, and nothing in
+// the output reveals it.
+//
+// Act 2 — the same adversary against the hardened protocol (Figure 4): the
+// commit-then-reveal order, the VDE proofs, and the same-reveal evidence rule
+// make every honest signing member reject the spliced request. The adversary
+// gets no service signature, honest backup coordinators finish the transfer,
+// and the result still decrypts to the right plaintext.
+#include <cstdio>
+
+#include "core/failstop.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace dblind;  // NOLINT
+  using Behavior = core::ProtocolServer::Behavior;
+
+  std::puts("=== Act 1: adaptive-cancellation attack vs the FAIL-STOP protocol (Fig. 3) ===");
+  {
+    core::FailstopOptions opts;
+    opts.adaptive_attack = true;
+    opts.seed = 1;
+    core::FailstopBlindingSystem sys(std::move(opts));
+    sys.run();
+    auto out = sys.outcome(1);
+    if (!out) {
+      std::puts("attacker produced no output (unexpected)");
+      return 1;
+    }
+    bool controlled = sys.decrypt_a(out->blinded.ea) == sys.attacker_rho();
+    std::printf("  output is a well-formed pair (E_A(rho), E_B(rho)): %s\n",
+                sys.consistent(*out) ? "yes" : "no");
+    std::printf("  blinding factor equals the attacker's rho_hat:     %s\n",
+                controlled ? "YES  <-- attack succeeded" : "no");
+    std::puts("  the adversary now knows rho: the later threshold decryption of");
+    std::puts("  E_A(m*rho) would hand it the plaintext m. Fig. 3 is fail-stop-only.");
+    if (!controlled) return 1;
+  }
+
+  std::puts("");
+  std::puts("=== Act 2: the same adversary vs the COMPLETE protocol (Fig. 4) ===");
+  {
+    core::SystemOptions opts;
+    opts.seed = 2;
+    opts.b_behaviors = {Behavior::kAdaptiveCancelCoordinator, Behavior::kHonest,
+                        Behavior::kHonest, Behavior::kHonest};
+    core::System sys(std::move(opts));
+    core::TransferId t =
+        sys.add_transfer(sys.config().params.encode_message(mpz::Bigint(31415926)));
+    bool done = sys.run_to_completion();
+    std::printf("  transfer completed despite the Byzantine coordinator: %s\n",
+                done ? "yes" : "NO");
+    std::printf("  service signatures obtained on spliced payloads:      %d\n",
+                sys.b_server(1).attack_successes());
+    bool integrity = true;
+    for (core::ServerRank r = 2; r <= 4; ++r) {
+      auto res = sys.result(t, r);
+      integrity = integrity && res && sys.oracle_decrypt_b(*res) == sys.plaintext_of(t);
+    }
+    std::printf("  every honest B server's result decrypts to m:         %s\n",
+                integrity ? "yes" : "NO");
+    std::puts("  commit-before-reveal + VDE + same-reveal evidence leave the attacker");
+    std::puts("  with no valid signing request; honest backups preserve liveness.");
+    if (!done || sys.b_server(1).attack_successes() != 0 || !integrity) return 1;
+  }
+
+  std::puts("");
+  std::puts("=== Bonus: inconsistent dual encryption (the §4.2.2 attack) ===");
+  {
+    core::SystemOptions opts;
+    opts.seed = 3;
+    opts.b_behaviors = {Behavior::kHonest, Behavior::kInconsistentContribution,
+                        Behavior::kHonest, Behavior::kHonest};
+    core::System sys(std::move(opts));
+    core::TransferId t =
+        sys.add_transfer(sys.config().params.encode_message(mpz::Bigint(27182818)));
+    bool done = sys.run_to_completion();
+    auto res = sys.result(t, 1);
+    bool ok = done && res && sys.oracle_decrypt_b(*res) == sys.plaintext_of(t);
+    std::printf("  contribution with rho != rho' was filtered by VDE; transfer correct: %s\n",
+                ok ? "yes" : "NO");
+    if (!ok) return 1;
+  }
+  std::puts("");
+  std::puts("all three acts behaved exactly as the paper predicts.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The complete pipeline through the client API — no test oracle anywhere.
+//
+//   build/examples/end_to_end_client
+//
+// A publisher client encrypts a secret under service A's public key and
+// publishes it; the two services run the paper's re-encryption protocol; a
+// subscriber-side retrieval verifies the service-signed result with B's
+// public key alone and combines threshold-decryption shares (each carrying a
+// Chaum-Pedersen correctness proof) into the plaintext. At no point does any
+// single machine other than the two clients hold the secret.
+#include <cstdio>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace dblind;  // NOLINT
+
+  core::SystemOptions opts;
+  opts.params = group::GroupParams::named(group::ParamId::kTest256);
+  opts.seed = 20260704;
+  core::System system(std::move(opts));
+
+  const std::string secret = "meet at the old mill";
+  mpz::Bigint m = system.config().params.encode_bytes(
+      {reinterpret_cast<const std::uint8_t*>(secret.data()), secret.size()});
+
+  auto client = std::make_unique<core::ClientNode>(system.config(), /*transfer=*/4242, m);
+  core::ClientNode* handle = client.get();
+  system.sim().add_node(std::move(client));
+
+  std::puts("publisher: encrypting under K_A and publishing to service A...");
+  std::puts("services: blinding at B, threshold decryption at A, unblinding to E_B(m)...");
+  std::puts("subscriber: polling B, verifying the service signature, collecting shares...");
+
+  bool done = system.sim().run_until([&] { return handle->plaintext().has_value(); },
+                                     20'000'000);
+  if (!done) {
+    std::puts("pipeline did not complete");
+    return 1;
+  }
+  auto bytes = system.config().params.decode_bytes(*handle->plaintext());
+  std::string recovered(bytes.begin(), bytes.end());
+  std::printf("subscriber recovered: \"%s\"  [%s]\n", recovered.c_str(),
+              recovered == secret ? "MATCH" : "MISMATCH");
+  std::printf("end-to-end: %.1f ms virtual, %llu messages — zero trust in any single server\n",
+              system.sim().stats().end_time / 1000.0,
+              static_cast<unsigned long long>(system.sim().stats().messages_sent));
+  return recovered == secret ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Quickstart: re-encrypt one secret from distributed service A to
+// distributed service B without the plaintext ever existing outside the
+// endpoints.
+//
+//   build/examples/quickstart
+//
+// Walks the whole pipeline: group setup, two (n=4, f=1) services with
+// threshold keys, a byte-string secret encrypted under K_A, the asynchronous
+// re-encryption protocol of the paper's Figure 4, and decryption of the
+// resulting E_B(m) with B's (test-oracle) key.
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+
+int main() {
+  using namespace dblind;  // NOLINT
+
+  // 1. Two distributed services over a shared safe-prime group. Each has
+  //    n = 4 servers and tolerates f = 1 Byzantine compromise (3f + 1 = n).
+  core::SystemOptions opts;
+  opts.params = group::GroupParams::named(group::ParamId::kTest256);
+  opts.a = {4, 1};
+  opts.b = {4, 1};
+  opts.seed = 2005;
+  core::System system(std::move(opts));
+  std::printf("services ready: |A| = %zu servers, |B| = %zu servers, group = %zu bits\n",
+              system.a_cfg().n, system.b_cfg().n, system.config().params.bits());
+
+  // 2. The secret: an arbitrary short byte string, encoded into the group
+  //    and encrypted under A's service public key. Only E_A(m) is stored on
+  //    A's servers — no server ever holds m.
+  const std::string secret = "launch code: 0000";
+  mpz::Bigint m = system.config().params.encode_bytes(
+      {reinterpret_cast<const std::uint8_t*>(secret.data()), secret.size()});
+  core::TransferId transfer = system.add_transfer(m);
+  std::printf("secret stored at A as E_A(m): \"%s\"\n", secret.c_str());
+
+  // 3. Run the asynchronous re-encryption protocol: B's servers jointly
+  //    produce a blinding pair (E_A(rho), E_B(rho)); A threshold-decrypts
+  //    the blinded ciphertext and un-blinds into E_B(m). The plaintext never
+  //    materializes at any single server.
+  if (!system.run_to_completion()) {
+    std::puts("protocol did not complete");
+    return 1;
+  }
+  const net::NetStats& stats = system.sim().stats();
+  std::printf("re-encryption complete: %.1f ms virtual latency, %llu messages, %.1f KiB\n",
+              stats.end_time / 1000.0, static_cast<unsigned long long>(stats.messages_sent),
+              stats.bytes_sent / 1024.0);
+
+  // 4. Every B server now holds a validated E_B(m). Decrypt one (with the
+  //    test oracle standing in for B's threshold decryption) and check it.
+  auto eb_m = system.result(transfer);
+  if (!eb_m) {
+    std::puts("no result at B");
+    return 1;
+  }
+  mpz::Bigint decoded = system.oracle_decrypt_b(*eb_m);
+  auto bytes = system.config().params.decode_bytes(decoded);
+  std::string recovered(bytes.begin(), bytes.end());
+  std::printf("B decrypts E_B(m) -> \"%s\"  [%s]\n", recovered.c_str(),
+              recovered == secret ? "MATCH" : "MISMATCH");
+  return recovered == secret ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Canonical binary encoding for protocol messages.
+//
+// Self-verifying messages (§4.2.3) are signed over, hashed over, and nested
+// inside each other, so every message needs one canonical byte form. The
+// format is deliberately simple: fixed-width little-endian integers and
+// length-prefixed byte strings; Bigints carry a sign byte plus big-endian
+// magnitude. Reader performs strict bounds checking and decode functions
+// reject trailing garbage, so a byte string has at most one valid parse.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpz/bigint.hpp"
+
+namespace dblind::common {
+
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void str(std::string_view s) {
+    bytes(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  }
+  void digest(const std::array<std::uint8_t, 32>& d) { out_.insert(out_.end(), d.begin(), d.end()); }
+  void bigint(const mpz::Bigint& v) {
+    u8(v.is_negative() ? 1 : 0);
+    bytes(v.to_bytes_be());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& view() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::vector<std::uint8_t> bytes() {
+    std::uint32_t len = u32();
+    need(len);
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  std::string str() {
+    auto b = bytes();
+    return {b.begin(), b.end()};
+  }
+  std::array<std::uint8_t, 32> digest() {
+    need(32);
+    std::array<std::uint8_t, 32> d{};
+    for (auto& byte : d) byte = data_[pos_++];
+    return d;
+  }
+  mpz::Bigint bigint() {
+    std::uint8_t neg = u8();
+    if (neg > 1) throw CodecError("bigint: bad sign byte");
+    auto mag = bytes();
+    mpz::Bigint v = mpz::Bigint::from_bytes_be(mag);
+    return neg ? v.negated() : v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Reads an element count and validates it against the bytes actually left
+  // (each element needs at least `min_elem_bytes`). Prevents adversarial
+  // counts from driving huge allocations before any data is parsed.
+  std::uint32_t count(std::size_t min_elem_bytes = 1) {
+    std::uint32_t n = u32();
+    if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes)
+      throw CodecError("count exceeds available data");
+    return n;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  // Decoders call this after parsing a top-level object.
+  void expect_done() const {
+    if (!done()) throw CodecError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CodecError("unexpected end of input");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dblind::common

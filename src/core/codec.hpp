@@ -1,0 +1,14 @@
+// Canonical binary codec — re-exported from common/ (the implementation
+// moved down so that lower-level modules can serialize without depending on
+// core/).
+#pragma once
+
+#include "common/codec.hpp"
+
+namespace dblind::core {
+
+using common::CodecError;
+using common::Reader;
+using common::Writer;
+
+}  // namespace dblind::core

@@ -1,0 +1,80 @@
+// Public system configuration shared by every node.
+//
+// Everything in here is public information: group parameters, service public
+// keys, Feldman commitments (which determine per-server verification keys),
+// and the per-server message-signing verification keys. Private key shares
+// are held only by the individual server nodes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+#include "elgamal/elgamal.hpp"
+#include "net/sim.hpp"
+#include "threshold/feldman.hpp"
+#include "threshold/keygen.hpp"
+#include "zkp/schnorr.hpp"
+
+namespace dblind::core {
+
+// Public view of one distributed service.
+struct ServicePublic {
+  threshold::ServiceConfig cfg;
+  elgamal::PublicKey encryption_key;                   // K_S
+  threshold::FeldmanCommitments enc_commitments;       // verification of decryption shares
+  zkp::SchnorrVerifyKey signing_key;                   // service signature verification
+  threshold::FeldmanCommitments sign_commitments;      // verification of partial signatures
+  std::vector<zkp::SchnorrVerifyKey> server_sign_keys;  // per-server message keys, [rank-1]
+  net::NodeId first_node = 0;                          // simulator id of rank 1
+
+  [[nodiscard]] net::NodeId node_of(ServerRank rank) const {
+    if (rank == 0 || rank > cfg.n) throw std::out_of_range("ServicePublic::node_of");
+    return first_node + rank - 1;
+  }
+  [[nodiscard]] const zkp::SchnorrVerifyKey& server_key(ServerRank rank) const {
+    if (rank == 0 || rank > server_sign_keys.size())
+      throw std::out_of_range("ServicePublic::server_key");
+    return server_sign_keys[rank - 1];
+  }
+};
+
+struct SystemConfig {
+  group::GroupParams params;
+  ServicePublic a;  // source service (holds E_A(m))
+  ServicePublic b;  // destination service (runs distributed blinding)
+
+  [[nodiscard]] const ServicePublic& service(ServiceRole role) const {
+    return role == ServiceRole::kServiceA ? a : b;
+  }
+};
+
+// Private per-server key material (held by exactly one node).
+struct ServerSecrets {
+  ServiceRole role;
+  ServerRank rank = 0;
+  threshold::Share enc_share;           // share of the service ElGamal key
+  threshold::Share sign_share;          // share of the service signing key
+  mpz::Bigint server_sign_secret;       // this server's message-signing key
+};
+
+// Tunable protocol behavior (liveness knobs only; safety never depends on
+// these).
+struct ProtocolOptions {
+  // Virtual-time delay before backup coordinator r starts (rank-1 scaled):
+  // §4.1's optimization. 0 = all f+1 coordinators start immediately.
+  net::Time coordinator_backup_delay = 400'000;
+  // Same idea on the A side for step 6.
+  net::Time responder_backup_delay = 400'000;
+  // Retry timeout for threshold-signing sessions that stall (a quorum member
+  // crashed or withheld its partial).
+  net::Time signing_retry_delay = 600'000;
+  // Number of coordinators that may ever start (paper: f+1 suffices).
+  std::size_t max_coordinators = 0;  // 0 = f+1
+  // If true, servers pre-generate their blinding contribution before the
+  // init message arrives (step-flexibility / pre-computation claim §1).
+  bool precompute_contributions = false;
+};
+
+}  // namespace dblind::core

@@ -1,0 +1,89 @@
+// Online proactive share refresh: §5's periodic refresh as a distributed
+// protocol over the asynchronous network (not just the offline
+// threshold::refresh_service function).
+//
+// One epoch refreshes an (n, f) service's key shares in place:
+//
+//   1. A refresh coordinator (rank 1; delayed backups as in §4.1) broadcasts
+//      ⟨epoch, init⟩.
+//   2. Every server deals a Feldman-committed sharing of ZERO and sends the
+//      full deal (commitments + all sub-shares) to the coordinator, signed.
+//      (Zero-deals reveal nothing about the key; within-service links are
+//      assumed secure, §2.)
+//   3. The coordinator picks the first f+1 VALID deals (zero-commitment +
+//      per-sub-share Feldman checks) and broadcasts the chosen set as the
+//      epoch's ⟨apply⟩ message.
+//   4. Echo round (Bracha-style): each server verifies the set itself, then
+//      broadcasts a signed echo of the set's digest. A server APPLIES the
+//      set only after collecting 2f+1 matching echoes. Quorum intersection
+//      makes divergence impossible: two conflicting sets would both need
+//      2f+1 echoes out of 3f+1 servers, so some correct server — which only
+//      echoes once per epoch — would have echoed both.
+//
+// Safety: shares after the epoch still interpolate to the same key (the
+// public key is untouched); a Byzantine coordinator can stall its epoch
+// (backups take over) but cannot split correct servers across different
+// share states; a Byzantine dealer's bad deal is excluded by verification.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "net/sim.hpp"
+#include "threshold/keygen.hpp"
+#include "threshold/refresh.hpp"
+#include "zkp/schnorr.hpp"
+
+namespace dblind::core {
+
+struct RefreshSystemOptions {
+  group::GroupParams params = group::GroupParams::named(group::ParamId::kToy64);
+  threshold::ServiceConfig cfg{4, 1};
+  std::uint64_t seed = 1;
+  net::Time delay_min = 500;
+  net::Time delay_max = 20'000;
+  net::Time backup_delay = 400'000;
+  // Ranks crashed from the start.
+  std::set<std::uint32_t> crashed;
+  // Ranks that deal corrupted zero-sharings (must be excluded).
+  std::set<std::uint32_t> bad_dealers;
+  // Rank-1 coordinator equivocates: sends different (individually valid)
+  // apply-sets to different halves of the service. The echo round must
+  // prevent any divergence in applied state.
+  bool equivocating_coordinator = false;
+};
+
+class RefreshSystem {
+ public:
+  explicit RefreshSystem(RefreshSystemOptions opts);
+  ~RefreshSystem();
+
+  // Runs one refresh epoch until every live server applied a deal set (or
+  // the event budget runs out). Returns success.
+  bool run(std::uint64_t max_events = 5'000'000);
+
+  // Post-epoch state of server `rank`.
+  [[nodiscard]] std::optional<threshold::Share> new_share(std::uint32_t rank) const;
+  [[nodiscard]] std::optional<threshold::FeldmanCommitments> new_commitments(
+      std::uint32_t rank) const;
+  // The pre-epoch key material (for comparisons in tests).
+  [[nodiscard]] const threshold::ServiceKeyMaterial& old_material() const { return *material_; }
+
+  [[nodiscard]] net::Simulator& sim() { return *sim_; }
+
+ private:
+  class ServerNode;
+
+  RefreshSystemOptions opts_;
+  std::unique_ptr<threshold::ServiceKeyMaterial> material_;
+  std::vector<zkp::SchnorrSigningKey> server_keys_;  // message-signing keys
+  std::vector<zkp::SchnorrVerifyKey> server_vkeys_;
+  std::unique_ptr<net::Simulator> sim_;
+  std::vector<ServerNode*> nodes_;
+};
+
+}  // namespace dblind::core

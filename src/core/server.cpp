@@ -1,0 +1,1004 @@
+#include "core/server.hpp"
+
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::core {
+
+namespace {
+
+// Wire framing: WireKind byte + content.
+std::vector<std::uint8_t> frame_signed(const SignedMessage& env) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kServerSigned));
+  env.encode(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> frame_service(const ServiceSignedMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kServiceSigned));
+  msg.encode(w);
+  return w.take();
+}
+
+}  // namespace
+
+ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, ProtocolOptions opts,
+                               Behavior behavior)
+    : cfg_(std::move(cfg)), secrets_(std::move(secrets)), opts_(std::move(opts)),
+      behavior_(behavior) {
+  if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
+}
+
+void ProtocolServer::store_secret(TransferId transfer, elgamal::Ciphertext ea_m) {
+  stored_[transfer] = std::move(ea_m);
+}
+
+void ProtocolServer::store_secret_at(TransferId transfer, elgamal::Ciphertext ea_m,
+                                     net::Time when) {
+  pending_store_[transfer] = {std::move(ea_m), when};
+}
+
+void ProtocolServer::register_transfer(TransferId transfer) { transfers_.insert(transfer); }
+
+std::optional<elgamal::Ciphertext> ProtocolServer::result(TransferId transfer) const {
+  auto it = results_.find(transfer);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- plumbing -----------------------------------------------------------------
+
+void ProtocolServer::send_signed(net::Context& ctx, net::NodeId to, MsgType type,
+                                 const std::vector<std::uint8_t>& body) {
+  (void)type;  // body already carries the tag; kept for call-site clarity
+  SignedMessage env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  ctx.send(to, frame_signed(env));
+}
+
+void ProtocolServer::broadcast_signed(net::Context& ctx, ServiceRole svc, MsgType type,
+                                      const std::vector<std::uint8_t>& body) {
+  (void)type;
+  SignedMessage env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  std::vector<std::uint8_t> framed = frame_signed(env);
+  const ServicePublic& s = cfg_.service(svc);
+  for (ServerRank r = 1; r <= s.cfg.n; ++r) ctx.send(s.node_of(r), framed);
+}
+
+void ProtocolServer::send_service_signed(net::Context& ctx, net::NodeId to,
+                                         const ServiceSignedMsg& msg) {
+  ctx.send(to, frame_service(msg));
+}
+
+void ProtocolServer::on_start(net::Context& ctx) {
+  // Service A: schedule deferred secret arrivals.
+  for (const auto& [transfer, pair] : pending_store_) {
+    ctx.set_timer(pair.second, kTimerStoreSecret | transfer);
+  }
+  if (is_b()) {
+    // Coordinator scheduling (§4.1): rank 1 is the designated coordinator;
+    // ranks 2..f+1 are delayed backups.
+    if (secrets_.rank <= opts_.max_coordinators) {
+      for (TransferId t : transfers_) {
+        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
+        if (delay == 0) {
+          start_coordinator(ctx, t, 0);
+        } else {
+          ctx.set_timer(delay, kTimerCoordinator | t);
+        }
+      }
+    }
+    // Step flexibility: pre-compute the contribution (and its VDE proof) for
+    // the designated coordinator's expected instance before any init arrives.
+    if (opts_.precompute_contributions) {
+      for (TransferId t : transfers_) {
+        (void)contributor_state(ctx, InstanceId{t, 1, 0});
+      }
+    }
+  }
+}
+
+void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t kind = token & (0xffull << 56);
+  std::uint64_t arg = token & ~(0xffull << 56);
+  if (kind == kTimerCoordinator) {
+    TransferId t = arg;
+    if (!results_.contains(t)) start_coordinator(ctx, t, 0);
+  } else if (kind == kTimerResponder) {
+    auto it = responder_timer_ids_.find(arg);
+    if (it != responder_timer_ids_.end()) {
+      InstanceId id = it->second;
+      if (!seen_blind_.contains(id)) start_responder(ctx, id);
+    }
+  } else if (kind == kTimerSignRetry) {
+    sign_session_retry(ctx, arg);
+  } else if (kind == kTimerStoreSecret) {
+    TransferId t = arg;
+    auto it = pending_store_.find(t);
+    if (it != pending_store_.end()) {
+      stored_[t] = it->second.first;
+      pending_store_.erase(it);
+      // Replay blind messages that arrived before the secret existed.
+      std::vector<ServiceSignedMsg> parked = std::move(parked_blinds_);
+      parked_blinds_.clear();
+      for (ServiceSignedMsg& m : parked) handle_blind(ctx, m);
+    }
+  }
+  cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
+                                std::span<const std::uint8_t> bytes) {
+  if (behavior_ == Behavior::kSilent) return;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    Reader r(bytes);
+    auto kind = static_cast<WireKind>(r.u8());
+    if (kind == WireKind::kServerSigned) {
+      SignedMessage env = SignedMessage::decode(r);
+      r.expect_done();
+      ++rx_counts_[peek_type(env.body)];
+      switch (peek_type(env.body)) {
+        case MsgType::kInit: handle_init(ctx, env); break;
+        case MsgType::kCommit: handle_commit(ctx, env); break;
+        case MsgType::kReveal: handle_reveal(ctx, env); break;
+        case MsgType::kContribute: handle_contribute(ctx, env); break;
+        case MsgType::kSignRequest: handle_sign_request(ctx, env); break;
+        case MsgType::kSignCommitReply: handle_sign_commit_reply(ctx, env); break;
+        case MsgType::kSignQuorum: handle_sign_quorum(ctx, env); break;
+        case MsgType::kSignRevealReply: handle_sign_reveal_reply(ctx, env); break;
+        case MsgType::kSignRevealSet: handle_sign_reveal_set(ctx, env); break;
+        case MsgType::kSignPartialReply: handle_sign_partial_reply(ctx, env); break;
+        case MsgType::kDecryptRequest: handle_decrypt_request(ctx, env); break;
+        case MsgType::kDecryptShareReply: handle_decrypt_share_reply(ctx, env); break;
+        default: break;  // not a server-signed kind — ignore
+      }
+    } else if (kind == WireKind::kServiceSigned) {
+      ServiceSignedMsg msg = ServiceSignedMsg::decode(r);
+      r.expect_done();
+      ++rx_counts_[peek_type(msg.body)];
+      switch (peek_type(msg.body)) {
+        case MsgType::kBlind: handle_blind(ctx, msg); break;
+        case MsgType::kDone: handle_done(ctx, msg); break;
+        default: break;
+      }
+    } else if (kind == WireKind::kClient) {
+      std::vector<std::uint8_t> body = r.bytes();
+      r.expect_done();
+      ++rx_counts_[peek_type(body)];
+      switch (peek_type(body)) {
+        case MsgType::kTransferRequest: handle_transfer_request(ctx, from, body); break;
+        case MsgType::kResultRequest: handle_result_request(ctx, from, body); break;
+        case MsgType::kClientDecryptRequest:
+          handle_client_decrypt_request(ctx, from, body);
+          break;
+        default: break;
+      }
+    }
+  } catch (const CodecError&) {
+    // Malformed message: indistinguishable from loss (§4.2.3).
+  }
+  cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- contributor role (B) --------------------------------------------------------
+
+ProtocolServer::ContributorState& ProtocolServer::contributor_state(net::Context& ctx,
+                                                                    const InstanceId& id) {
+  auto it = contributor_.find(id);
+  if (it != contributor_.end()) return it->second;
+
+  ContributorState st;
+  const group::GroupParams& gp = cfg_.params;
+  st.rho = gp.random_element(ctx.rng());
+  st.r1 = gp.random_exponent(ctx.rng());
+  st.r2 = gp.random_exponent(ctx.rng());
+  st.contribution.ea = cfg_.a.encryption_key.encrypt_with_nonce(st.rho, st.r1);
+  if (behavior_ == Behavior::kInconsistentContribution) {
+    // §4.2.2 attack: E_B encrypts a different plaintext (ρ' != ρ). No valid
+    // VDE proof exists for the pair; handle_reveal attaches a proof computed
+    // for the consistent shadow pair, so the mismatch is only detectable
+    // through VDE verification, not through message shape.
+    mpz::Bigint rho_bad = gp.mul(st.rho, gp.g());
+    st.contribution.eb = cfg_.b.encryption_key.encrypt_with_nonce(rho_bad, st.r2);
+  } else {
+    st.contribution.eb = cfg_.b.encryption_key.encrypt_with_nonce(st.rho, st.r2);
+  }
+  contributor_[id] = std::move(st);
+  return contributor_[id];
+}
+
+void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
+  if (!is_b()) return;
+  auto init = check_init(cfg_, env);
+  if (!init) return;
+  ContributorState& st = contributor_state(ctx, init->id);
+  if (st.committed) return;
+  st.committed = true;
+
+  CommitMsg commit;
+  commit.id = init->id;
+  commit.server = secrets_.rank;
+  commit.commitment = st.contribution.commitment_digest();
+  send_signed(ctx, cfg_.b.node_of(init->id.coordinator), MsgType::kCommit,
+              encode_body(MsgType::kCommit, commit));
+}
+
+void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) {
+  if (!is_b()) return;
+  auto reveal = check_reveal(cfg_, env);
+  if (!reveal) return;
+  auto it = contributor_.find(reveal->id);
+  if (it == contributor_.end()) return;  // never committed for this instance
+  ContributorState& st = it->second;
+  // Respond to at most one reveal per instance (see validity.hpp header on
+  // why this matters for Randomness-Confidentiality).
+  if (st.contributed) return;
+  if (behavior_ == Behavior::kWithholdContribution) return;
+  // Only respond if this reveal contains our commitment (step 4).
+  bool mine = false;
+  for (const SignedMessage& commit_env : reveal->commits) {
+    try {
+      CommitMsg c = decode_as<CommitMsg>(MsgType::kCommit, commit_env.body);
+      if (c.server == secrets_.rank &&
+          c.commitment == st.contribution.commitment_digest()) {
+        mine = true;
+        break;
+      }
+    } catch (const CodecError&) {
+    }
+  }
+  if (!mine) return;
+  st.contributed = true;
+
+  ContributeMsg msg;
+  msg.id = reveal->id;
+  msg.server = secrets_.rank;
+  msg.reveal = env;
+  msg.contribution = st.contribution;
+  if (behavior_ == Behavior::kInconsistentContribution) {
+    // A VDE proof for an inconsistent pair cannot be honestly generated;
+    // attach a proof for a *consistent* shadow pair so only verification
+    // (not parsing) can reject it.
+    elgamal::Ciphertext eb_good = cfg_.b.encryption_key.encrypt_with_nonce(st.rho, st.r2);
+    msg.vde = zkp::vde_prove(cfg_.a.encryption_key, st.contribution.ea, st.r1,
+                             cfg_.b.encryption_key, eb_good, st.r2,
+                             vde_context(msg.id, msg.server), ctx.rng());
+  } else {
+    msg.vde = zkp::vde_prove(cfg_.a.encryption_key, st.contribution.ea, st.r1,
+                             cfg_.b.encryption_key, st.contribution.eb, st.r2,
+                             vde_context(msg.id, msg.server), ctx.rng());
+  }
+  send_signed(ctx, cfg_.b.node_of(reveal->id.coordinator), MsgType::kContribute,
+              encode_body(MsgType::kContribute, msg));
+}
+
+// --- coordinator role (B) ----------------------------------------------------------
+
+void ProtocolServer::start_coordinator(net::Context& ctx, TransferId transfer,
+                                       std::uint32_t epoch) {
+  InstanceId id{transfer, secrets_.rank, epoch};
+  if (coordinator_.contains(id)) return;
+  CoordinatorState st;
+  st.id = id;
+  coordinator_[id] = std::move(st);
+
+  if (behavior_ == Behavior::kBogusBlindCoordinator) {
+    // §4.2.3 attack: skip the protocol and try to get B to sign a fabricated
+    // blinding pair for an adversary-known ρ̂.
+    mpz::Bigint rho_hat = cfg_.params.random_element(ctx.rng());
+    BlindPayload payload;
+    payload.id = id;
+    payload.blinded.ea = cfg_.a.encryption_key.encrypt(rho_hat, ctx.rng());
+    payload.blinded.eb = cfg_.b.encryption_key.encrypt(rho_hat, ctx.rng());
+    Writer w;
+    BlindEvidence{}.encode(w);  // empty evidence
+    start_sign_session(ctx, SignPurpose::kBlind, encode_body(MsgType::kBlind, payload), w.take());
+    return;
+  }
+
+  InitMsg init{id};
+  broadcast_signed(ctx, ServiceRole::kServiceB, MsgType::kInit,
+                   encode_body(MsgType::kInit, init));
+}
+
+void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) {
+  if (!is_b()) return;
+  auto commit = check_commit(cfg_, env);
+  if (!commit) return;
+  auto it = coordinator_.find(commit->id);
+  if (it == coordinator_.end()) return;
+  CoordinatorState& st = it->second;
+  if (st.revealed) return;
+  st.commits.emplace(commit->server, env);
+
+  const std::size_t need = 2 * cfg_.b.cfg.f + 1;
+  if (st.commits.size() < need) return;
+  st.revealed = true;
+
+  RevealMsg reveal;
+  reveal.id = st.id;
+  for (const auto& [rank, commit_env] : st.commits) {
+    if (reveal.commits.size() == need) break;
+    reveal.commits.push_back(commit_env);
+  }
+  std::vector<std::uint8_t> body = encode_body(MsgType::kReveal, reveal);
+  SignedMessage reveal_env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  st.reveal_env = reveal_env;
+  std::vector<std::uint8_t> framed = frame_signed(reveal_env);
+  for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r) ctx.send(cfg_.b.node_of(r), framed);
+}
+
+void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& env) {
+  if (!is_b()) return;
+  auto contribute = check_contribute(cfg_, env);
+  if (!contribute) return;
+  auto it = coordinator_.find(contribute->id);
+  if (it == coordinator_.end()) return;
+  CoordinatorState& st = it->second;
+  if (st.signing || st.sent_blind) return;
+  // Accept only contributions responding to OUR reveal (the same-reveal
+  // evidence rule is enforced again by every signing member).
+  if (!(contribute->reveal == st.reveal_env)) return;
+  st.contributes.emplace(contribute->server, env);
+  coordinator_try_finish(ctx, st);
+}
+
+void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState& st) {
+  const std::size_t quorum = cfg_.b.cfg.quorum();
+  if (st.contributes.size() < quorum) return;
+
+  if (behavior_ == Behavior::kAdaptiveCancelCoordinator) {
+    attack_coordinator_step(ctx, st);
+    return;
+  }
+
+  BlindEvidence evidence;
+  std::vector<elgamal::Ciphertext> eas, ebs;
+  for (const auto& [rank, env] : st.contributes) {
+    if (evidence.contributes.size() == quorum) break;
+    evidence.contributes.push_back(env);
+    ContributeMsg c = decode_as<ContributeMsg>(MsgType::kContribute, env.body);
+    eas.push_back(c.contribution.ea);
+    ebs.push_back(c.contribution.eb);
+  }
+  auto ea = cfg_.a.encryption_key.product(eas);
+  auto eb = cfg_.b.encryption_key.product(ebs);
+  if (!ea || !eb) {
+    // Degenerate combined nonce (§3 side condition): request new values by
+    // starting a fresh epoch.
+    start_coordinator(ctx, st.id.transfer, st.id.epoch + 1);
+    return;
+  }
+  st.signing = true;
+
+  BlindPayload payload;
+  payload.id = st.id;
+  payload.blinded.ea = *ea;
+  payload.blinded.eb = *eb;
+  Writer w;
+  evidence.encode(w);
+  start_sign_session(ctx, SignPurpose::kBlind, encode_body(MsgType::kBlind, payload), w.take());
+}
+
+// --- Byzantine coordinator attacks ---------------------------------------------------
+
+void ProtocolServer::attack_coordinator_step(net::Context& ctx, CoordinatorState& st) {
+  if (st.signing) return;
+  st.signing = true;
+  // The §4.2.1 adaptive attack, mounted against the hardened protocol: the
+  // compromised coordinator has seen f+1 honest contributions (responding to
+  // its reveal R1). It now crafts a contribution that cancels all but the
+  // adversary-chosen ρ̂ and tries to splice it into the evidence. Its own
+  // commitment was not in R1, so its contribute message must embed a second
+  // reveal R2 — violating the same-reveal rule that honest signing members
+  // enforce. The sign request below is therefore rejected by every honest
+  // member; attack_successes() stays 0 and liveness falls to the honest
+  // backup coordinators.
+  const std::size_t quorum = cfg_.b.cfg.quorum();
+  const group::GroupParams& gp = cfg_.params;
+
+  std::vector<elgamal::Ciphertext> eas, ebs;
+  BlindEvidence evidence;
+  for (const auto& [rank, env] : st.contributes) {
+    if (evidence.contributes.size() == quorum - 1) break;
+    evidence.contributes.push_back(env);
+    ContributeMsg c = decode_as<ContributeMsg>(MsgType::kContribute, env.body);
+    eas.push_back(c.contribution.ea);
+    ebs.push_back(c.contribution.eb);
+  }
+
+  // Craft the canceling contribution: E(ρ̂) × Π E(ρ_i)^{-1}.
+  mpz::Bigint rho_hat = gp.random_element(ctx.rng());
+  elgamal::Ciphertext cancel_ea = cfg_.a.encryption_key.encrypt(rho_hat, ctx.rng());
+  elgamal::Ciphertext cancel_eb = cfg_.b.encryption_key.encrypt(rho_hat, ctx.rng());
+  for (std::size_t i = 0; i < eas.size(); ++i) {
+    auto ma = cfg_.a.encryption_key.multiply(cancel_ea, cfg_.a.encryption_key.inverse(eas[i]));
+    auto mb = cfg_.b.encryption_key.multiply(cancel_eb, cfg_.b.encryption_key.inverse(ebs[i]));
+    if (!ma || !mb) return;  // negligible
+    cancel_ea = *ma;
+    cancel_eb = *mb;
+  }
+
+  // Build the attacker's contribute message. It cannot produce a valid VDE
+  // proof (it does not know the nonces of the malleated ciphertexts), and
+  // its commitment appears only in a freshly-fabricated reveal R2.
+  Contribution cancel{cancel_ea, cancel_eb};
+  CommitMsg my_commit;
+  my_commit.id = st.id;
+  my_commit.server = secrets_.rank;
+  my_commit.commitment = cancel.commitment_digest();
+  SignedMessage my_commit_env =
+      make_envelope(cfg_, secrets_, encode_body(MsgType::kCommit, my_commit), ctx.rng());
+
+  RevealMsg r2;
+  r2.id = st.id;
+  r2.commits.push_back(my_commit_env);
+  for (const auto& [rank, commit_env] : st.commits) {
+    if (r2.commits.size() == 2 * cfg_.b.cfg.f + 1) break;
+    if (rank == secrets_.rank) continue;
+    r2.commits.push_back(commit_env);
+  }
+  SignedMessage r2_env =
+      make_envelope(cfg_, secrets_, encode_body(MsgType::kReveal, r2), ctx.rng());
+
+  ContributeMsg mine;
+  mine.id = st.id;
+  mine.server = secrets_.rank;
+  mine.reveal = r2_env;
+  mine.contribution = cancel;
+  // Bogus VDE: a proof for an unrelated honest pair.
+  mpz::Bigint dummy_r1 = gp.random_exponent(ctx.rng());
+  mpz::Bigint dummy_r2 = gp.random_exponent(ctx.rng());
+  mpz::Bigint dummy_rho = gp.random_element(ctx.rng());
+  elgamal::Ciphertext da = cfg_.a.encryption_key.encrypt_with_nonce(dummy_rho, dummy_r1);
+  elgamal::Ciphertext db = cfg_.b.encryption_key.encrypt_with_nonce(dummy_rho, dummy_r2);
+  mine.vde = zkp::vde_prove(cfg_.a.encryption_key, da, dummy_r1, cfg_.b.encryption_key, db,
+                            dummy_r2, vde_context(st.id, secrets_.rank), ctx.rng());
+  SignedMessage mine_env =
+      make_envelope(cfg_, secrets_, encode_body(MsgType::kContribute, mine), ctx.rng());
+  evidence.contributes.push_back(mine_env);
+
+  // Spliced payload: honest(f) × cancel == E(ρ̂).
+  eas.push_back(cancel.ea);
+  ebs.push_back(cancel.eb);
+  auto ea = cfg_.a.encryption_key.product(eas);
+  auto eb = cfg_.b.encryption_key.product(ebs);
+  if (!ea || !eb) return;
+
+  BlindPayload payload;
+  payload.id = st.id;
+  payload.blinded.ea = *ea;
+  payload.blinded.eb = *eb;
+  Writer w;
+  evidence.encode(w);
+  start_sign_session(ctx, SignPurpose::kBlind, encode_body(MsgType::kBlind, payload), w.take());
+}
+
+// --- threshold-signing coordinator ----------------------------------------------------
+
+std::uint64_t ProtocolServer::start_sign_session(net::Context& ctx, SignPurpose purpose,
+                                                 std::vector<std::uint8_t> payload,
+                                                 std::vector<std::uint8_t> evidence,
+                                                 std::set<ServerRank> excluded, int attempt) {
+  // Abandon after enough failed attempts (each retry excludes provably-bad
+  // members or re-solicits; f+2 attempts suffice against f Byzantine
+  // members under eventual delivery).
+  if (attempt > static_cast<int>(my_service().cfg.f) + 2) return 0;
+
+  std::uint64_t session = next_session_++;
+  SignSession ss;
+  ss.session = session;
+  ss.purpose = purpose;
+  ss.payload = payload;
+  ss.evidence = evidence;
+  ss.excluded = std::move(excluded);
+  ss.attempt = attempt;
+  sign_sessions_[session] = std::move(ss);
+
+  SignRequestMsg req;
+  req.session = session;
+  req.purpose = static_cast<std::uint8_t>(purpose);
+  req.payload = std::move(payload);
+  req.evidence = std::move(evidence);
+  broadcast_signed(ctx, secrets_.role, MsgType::kSignRequest,
+                   encode_body(MsgType::kSignRequest, req));
+  ctx.set_timer(opts_.signing_retry_delay, kTimerSignRetry | session);
+  return session;
+}
+
+void ProtocolServer::sign_session_retry(net::Context& ctx, std::uint64_t session) {
+  auto it = sign_sessions_.find(session);
+  if (it == sign_sessions_.end() || it->second.done) return;
+  SignSession ss = std::move(it->second);
+  sign_sessions_.erase(it);
+  // Exclude quorum members that stalled the session mid-way; they had their
+  // chance. Cap total exclusions at f — beyond that we may be excluding
+  // slow-but-honest members, so start over with a clean slate.
+  std::set<ServerRank> excluded = ss.excluded;
+  if (!ss.quorum.empty()) {
+    for (const threshold::NonceCommitment& c : ss.quorum) {
+      if (!ss.partials.contains(c.index)) excluded.insert(c.index);
+    }
+  }
+  if (excluded.size() > my_service().cfg.f) excluded.clear();
+  start_sign_session(ctx, ss.purpose, std::move(ss.payload), std::move(ss.evidence),
+                     std::move(excluded), ss.attempt + 1);
+}
+
+void ProtocolServer::handle_sign_commit_reply(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignCommitReplyMsg msg;
+  try {
+    msg = decode_as<SignCommitReplyMsg>(MsgType::kSignCommitReply, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto it = sign_sessions_.find(msg.session);
+  if (it == sign_sessions_.end()) return;
+  SignSession& ss = it->second;
+  if (ss.done || !ss.quorum.empty()) return;
+  if (msg.commit.index != env.signer) return;
+  if (ss.excluded.contains(env.signer)) return;
+  ss.commits.emplace(env.signer, msg.commit);
+
+  const std::size_t need = 2 * my_service().cfg.f + 1;
+  if (ss.commits.size() < need) return;
+  // Quorum: first f+1 committers in rank order (deterministic).
+  for (const auto& [rank, commit] : ss.commits) {
+    if (ss.quorum.size() == my_service().cfg.quorum()) break;
+    ss.quorum.push_back(commit);
+  }
+  SignQuorumMsg q;
+  q.session = ss.session;
+  q.quorum = ss.quorum;
+  broadcast_signed(ctx, secrets_.role, MsgType::kSignQuorum,
+                   encode_body(MsgType::kSignQuorum, q));
+}
+
+void ProtocolServer::handle_sign_reveal_reply(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignRevealReplyMsg msg;
+  try {
+    msg = decode_as<SignRevealReplyMsg>(MsgType::kSignRevealReply, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto it = sign_sessions_.find(msg.session);
+  if (it == sign_sessions_.end()) return;
+  SignSession& ss = it->second;
+  if (ss.done || ss.quorum.empty()) return;
+  if (msg.reveal.index != env.signer) return;
+  if (ss.reveals.contains(env.signer)) return;
+  // The reveal must come from a quorum member and match its commitment.
+  auto cit = std::find_if(ss.quorum.begin(), ss.quorum.end(),
+                          [&](const auto& c) { return c.index == env.signer; });
+  if (cit == ss.quorum.end()) return;
+  if (threshold::nonce_commitment_digest(cfg_.params, msg.reveal) != cit->digest) return;
+  ss.reveals.emplace(env.signer, msg.reveal);
+  if (ss.reveals.size() < ss.quorum.size()) return;
+
+  SignRevealSetMsg rs;
+  rs.session = ss.session;
+  for (const auto& [rank, reveal] : ss.reveals) rs.reveals.push_back(reveal);
+  broadcast_signed(ctx, secrets_.role, MsgType::kSignRevealSet,
+                   encode_body(MsgType::kSignRevealSet, rs));
+}
+
+void ProtocolServer::handle_sign_partial_reply(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignPartialReplyMsg msg;
+  try {
+    msg = decode_as<SignPartialReplyMsg>(MsgType::kSignPartialReply, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto it = sign_sessions_.find(msg.session);
+  if (it == sign_sessions_.end()) return;
+  SignSession& ss = it->second;
+  if (ss.done || ss.reveals.size() != ss.quorum.size() || ss.quorum.empty()) return;
+  if (msg.partial.index != env.signer) return;
+  auto rit = ss.reveals.find(env.signer);
+  if (rit == ss.reveals.end()) return;
+
+  std::vector<threshold::NonceReveal> reveals;
+  for (const auto& [rank, reveal] : ss.reveals) reveals.push_back(reveal);
+  mpz::Bigint r_joint = threshold::combine_nonce(cfg_.params, reveals);
+  mpz::Bigint e = zkp::schnorr_challenge(cfg_.params, r_joint, my_service().signing_key.point(),
+                                    ss.payload);
+  const threshold::FeldmanCommitments& commits = my_service().sign_commitments;
+  if (!threshold::verify_partial_signature(cfg_.params, commits, rit->second, msg.partial, e)) {
+    // Identifiable abort: this member provably misbehaved — retry without it.
+    SignSession dead = std::move(it->second);
+    sign_sessions_.erase(it);
+    std::set<ServerRank> excluded = dead.excluded;
+    excluded.insert(env.signer);
+    start_sign_session(ctx, dead.purpose, std::move(dead.payload), std::move(dead.evidence),
+                       std::move(excluded), dead.attempt + 1);
+    return;
+  }
+  ss.partials.emplace(env.signer, msg.partial);
+  if (ss.partials.size() < ss.quorum.size()) return;
+
+  std::vector<threshold::PartialSignature> partials;
+  for (const auto& [rank, partial] : ss.partials) partials.push_back(partial);
+  zkp::SchnorrSignature sig = threshold::combine_signature(cfg_.params, reveals, partials);
+  ss.done = true;
+  sign_session_finished(ctx, ss, std::move(sig));
+}
+
+void ProtocolServer::sign_session_finished(net::Context& ctx, SignSession& ss,
+                                           zkp::SchnorrSignature sig) {
+  ServiceSignedMsg out;
+  out.service = static_cast<std::uint8_t>(secrets_.role);
+  out.body = ss.payload;
+  out.sig = std::move(sig);
+
+  if (ss.purpose == SignPurpose::kBlind) {
+    if (behavior_ == Behavior::kBogusBlindCoordinator ||
+        behavior_ == Behavior::kAdaptiveCancelCoordinator) {
+      ++attack_successes_;  // the service signed an adversarial payload
+    }
+    // Step 5(d): C_j → A.
+    for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r)
+      send_service_signed(ctx, cfg_.a.node_of(r), out);
+  } else {
+    // Step 6(e): l → B.
+    for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r)
+      send_service_signed(ctx, cfg_.b.node_of(r), out);
+    try {
+      DonePayload done = decode_as<DonePayload>(MsgType::kDone, ss.payload);
+      auto rit = responder_.find(done.id);
+      if (rit != responder_.end()) rit->second.sent_done = true;
+    } catch (const CodecError&) {
+    }
+  }
+}
+
+// --- threshold-signing member -----------------------------------------------------------
+
+void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignRequestMsg msg;
+  try {
+    msg = decode_as<SignRequestMsg>(MsgType::kSignRequest, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+
+  // Self-verification of the signing request (§4.2.3): a member signs only
+  // payloads justified by valid evidence.
+  auto purpose = static_cast<SignPurpose>(msg.purpose);
+  if (purpose == SignPurpose::kBlind) {
+    if (!is_b()) return;
+    if (!check_blind_sign_request(cfg_, msg.payload, msg.evidence)) return;
+  } else if (purpose == SignPurpose::kDone) {
+    if (is_b()) return;
+    DonePayload payload;
+    try {
+      payload = decode_as<DonePayload>(MsgType::kDone, msg.payload);
+    } catch (const CodecError&) {
+      return;
+    }
+    auto sit = stored_.find(payload.id.transfer);
+    if (sit == stored_.end()) return;
+    if (!check_done_sign_request(cfg_, msg.payload, msg.evidence, sit->second)) return;
+  } else {
+    return;
+  }
+
+  net::NodeId requester = cfg_.service(secrets_.role).node_of(env.signer);
+  auto key = std::make_pair(requester, msg.session);
+  auto it = member_sessions_.find(key);
+  if (it == member_sessions_.end()) {
+    MemberSession ms;
+    ms.payload = msg.payload;
+    ms.member = std::make_unique<threshold::SigningMember>(cfg_.params, secrets_.sign_share,
+                                                           ctx.rng());
+    it = member_sessions_.emplace(key, std::move(ms)).first;
+  }
+  SignCommitReplyMsg reply;
+  reply.session = msg.session;
+  reply.commit = it->second.member->commitment();
+  send_signed(ctx, requester, MsgType::kSignCommitReply,
+              encode_body(MsgType::kSignCommitReply, reply));
+}
+
+void ProtocolServer::handle_sign_quorum(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignQuorumMsg msg;
+  try {
+    msg = decode_as<SignQuorumMsg>(MsgType::kSignQuorum, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  net::NodeId requester = cfg_.service(secrets_.role).node_of(env.signer);
+  auto it = member_sessions_.find(std::make_pair(requester, msg.session));
+  if (it == member_sessions_.end()) return;
+  MemberSession& ms = it->second;
+  if (!ms.quorum.empty()) return;  // quorum already fixed for this session
+  bool mine = std::any_of(msg.quorum.begin(), msg.quorum.end(),
+                          [&](const auto& c) { return c.index == secrets_.rank; });
+  if (!mine) return;
+  ms.quorum = msg.quorum;
+
+  SignRevealReplyMsg reply;
+  reply.session = msg.session;
+  reply.reveal = ms.member->reveal();
+  send_signed(ctx, requester, MsgType::kSignRevealReply,
+              encode_body(MsgType::kSignRevealReply, reply));
+}
+
+void ProtocolServer::handle_sign_reveal_set(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
+  SignRevealSetMsg msg;
+  try {
+    msg = decode_as<SignRevealSetMsg>(MsgType::kSignRevealSet, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  if (behavior_ == Behavior::kWithholdPartial) return;
+  net::NodeId requester = cfg_.service(secrets_.role).node_of(env.signer);
+  auto it = member_sessions_.find(std::make_pair(requester, msg.session));
+  if (it == member_sessions_.end()) return;
+  MemberSession& ms = it->second;
+  if (ms.responded || ms.quorum.empty()) return;
+
+  auto partial = ms.member->respond(ms.quorum, msg.reveals,
+                                    cfg_.service(secrets_.role).signing_key.point(), ms.payload);
+  if (!partial) return;  // reveal set inconsistent with commitments — refuse
+  ms.responded = true;
+
+  SignPartialReplyMsg reply;
+  reply.session = msg.session;
+  reply.partial = *partial;
+  send_signed(ctx, requester, MsgType::kSignPartialReply,
+              encode_body(MsgType::kSignPartialReply, reply));
+}
+
+// --- service A responder ------------------------------------------------------------------
+
+void ProtocolServer::handle_blind(net::Context& ctx, const ServiceSignedMsg& msg) {
+  if (is_b()) return;
+  auto blind = check_blind(cfg_, msg);
+  if (!blind) return;
+  if (seen_blind_.contains(blind->id)) return;
+
+  if (!stored_.contains(blind->id.transfer)) {
+    // Step flexibility: the blinding pair can arrive before E_A(m) exists
+    // (it depends on neither the ciphertext nor A's key). Park it.
+    if (pending_store_.contains(blind->id.transfer)) parked_blinds_.push_back(msg);
+    return;
+  }
+
+  // Designated-responder policy mirroring §4.1 (the paper has every server
+  // in A perform step 6 eagerly; f+1 responders with delayed backups give
+  // the same liveness with less redundant work): rank 1 acts at once, ranks
+  // 2..f+1 after a backup delay, ranks beyond f+1 only serve decryption
+  // shares.
+  if (secrets_.rank > cfg_.a.cfg.f + 1) return;
+  ResponderState& st = responder_.try_emplace(blind->id).first->second;
+  st.blind_env = msg;
+  st.blind = *blind;
+
+  net::Time delay = (secrets_.rank - 1) * opts_.responder_backup_delay;
+  if (delay == 0) {
+    start_responder(ctx, blind->id);
+  } else {
+    std::uint64_t key = next_responder_timer_++;
+    responder_timer_ids_[key] = blind->id;
+    ctx.set_timer(delay, kTimerResponder | key);
+  }
+}
+
+void ProtocolServer::start_responder(net::Context& ctx, const InstanceId& id) {
+  auto it = responder_.find(id);
+  if (it == responder_.end()) return;
+  ResponderState& st = it->second;
+  if (st.sent_done || seen_blind_.contains(id)) return;
+  seen_blind_.insert(id);
+
+  auto sit = stored_.find(id.transfer);
+  if (sit == stored_.end()) return;
+  auto ea_m_rho = cfg_.a.encryption_key.multiply(sit->second, st.blind.blinded.ea);
+  if (!ea_m_rho) return;  // degenerate: wait for another coordinator's instance
+  st.ea_m_rho = *ea_m_rho;
+
+  DecryptRequestMsg req;
+  req.id = id;
+  req.blind = st.blind_env;
+  broadcast_signed(ctx, ServiceRole::kServiceA, MsgType::kDecryptRequest,
+                   encode_body(MsgType::kDecryptRequest, req));
+}
+
+void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessage& env) {
+  if (is_b()) return;
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceA)) return;
+  DecryptRequestMsg msg;
+  try {
+    msg = decode_as<DecryptRequestMsg>(MsgType::kDecryptRequest, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  // Self-verifying decryption request (step 6(b)): the service-signed blind
+  // message is the evidence that decrypting E_A(mρ) is authorized.
+  auto blind = check_blind(cfg_, msg.blind);
+  if (!blind || !(blind->id == msg.id)) return;
+  auto sit = stored_.find(msg.id.transfer);
+  if (sit == stored_.end()) return;
+  auto ea_m_rho = cfg_.a.encryption_key.multiply(sit->second, blind->blinded.ea);
+  if (!ea_m_rho) return;
+
+  threshold::DecryptionShare share = threshold::make_decryption_share(
+      cfg_.params, *ea_m_rho, secrets_.enc_share, decrypt_context(msg.id), ctx.rng());
+  DecryptShareReplyMsg reply;
+  reply.id = msg.id;
+  reply.share = std::move(share);
+  send_signed(ctx, cfg_.a.node_of(env.signer), MsgType::kDecryptShareReply,
+              encode_body(MsgType::kDecryptShareReply, reply));
+}
+
+void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedMessage& env) {
+  if (is_b()) return;
+  if (!envelope_signature_ok(cfg_, env)) return;
+  if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceA)) return;
+  DecryptShareReplyMsg msg;
+  try {
+    msg = decode_as<DecryptShareReplyMsg>(MsgType::kDecryptShareReply, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto it = responder_.find(msg.id);
+  if (it == responder_.end()) return;
+  ResponderState& st = it->second;
+  if (st.signing || st.sent_done || !seen_blind_.contains(msg.id)) return;
+  if (msg.share.index != env.signer) return;
+  if (!threshold::verify_decryption_share(cfg_.params, cfg_.a.enc_commitments, st.ea_m_rho,
+                                          msg.share, decrypt_context(msg.id)))
+    return;
+  st.shares.emplace(msg.share.index, msg.share);
+  if (st.shares.size() < cfg_.a.cfg.quorum()) return;
+  st.signing = true;
+
+  std::vector<threshold::DecryptionShare> shares;
+  for (const auto& [rank, share] : st.shares) {
+    if (shares.size() == cfg_.a.cfg.quorum()) break;
+    shares.push_back(share);
+  }
+  mpz::Bigint m_rho = threshold::combine_decryption(cfg_.params, st.ea_m_rho, shares);
+
+  // Step 6(c): E_B(m) := (mρ) · E_B(ρ)^{-1}.
+  elgamal::Ciphertext eb_m =
+      cfg_.b.encryption_key.juxtapose(m_rho, cfg_.b.encryption_key.inverse(st.blind.blinded.eb));
+
+  DonePayload payload;
+  payload.id = msg.id;
+  payload.ea_m = stored_.at(msg.id.transfer);
+  payload.eb_m = std::move(eb_m);
+
+  DoneEvidence evidence;
+  evidence.blind = st.blind_env;
+  evidence.m_rho = std::move(m_rho);
+  evidence.shares = std::move(shares);
+  Writer w;
+  evidence.encode(w);
+  start_sign_session(ctx, SignPurpose::kDone, encode_body(MsgType::kDone, payload), w.take());
+}
+
+// --- service B result consumption ------------------------------------------------------------
+
+void ProtocolServer::handle_done(net::Context& ctx, const ServiceSignedMsg& msg) {
+  (void)ctx;
+  if (!is_b()) return;
+  auto done = check_done(cfg_, msg);
+  if (!done) return;
+  // Keep every distinct validated done (several coordinators may finish with
+  // different — equivalent — ciphertexts); clients pick one.
+  auto& payloads = done_payloads_[done->id.transfer];
+  bool known = false;
+  for (const DonePayload& p : payloads) known = known || p.eb_m == done->eb_m;
+  if (!known) {
+    payloads.push_back(*done);
+    done_msgs_[done->id.transfer].push_back(msg);
+  }
+  // First valid result wins; later ones (from other coordinators/responders)
+  // are equivalent ciphertexts of the same plaintext.
+  if (results_.try_emplace(done->id.transfer, done->eb_m).second) {
+    results_count_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+// --- client-facing handlers -------------------------------------------------------
+
+void ProtocolServer::schedule_coordinator(net::Context& ctx, TransferId transfer) {
+  if (!is_b() || secrets_.rank > opts_.max_coordinators) return;
+  net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
+  if (delay == 0) {
+    start_coordinator(ctx, transfer, 0);
+  } else {
+    ctx.set_timer(delay, kTimerCoordinator | transfer);
+  }
+}
+
+void ProtocolServer::handle_transfer_request(net::Context& ctx, net::NodeId from,
+                                             std::span<const std::uint8_t> body) {
+  (void)from;
+  TransferRequestMsg msg;
+  try {
+    msg = decode_as<TransferRequestMsg>(MsgType::kTransferRequest, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  if (is_b()) {
+    if (!transfers_.insert(msg.transfer).second) return;  // already registered
+    schedule_coordinator(ctx, msg.transfer);
+  } else {
+    if (stored_.contains(msg.transfer) || pending_store_.contains(msg.transfer))
+      return;  // first writer wins
+    if (!cfg_.a.encryption_key.well_formed(msg.ea_m)) return;
+    stored_[msg.transfer] = msg.ea_m;
+  }
+}
+
+void ProtocolServer::handle_result_request(net::Context& ctx, net::NodeId from,
+                                           std::span<const std::uint8_t> body) {
+  if (!is_b()) return;
+  ResultRequestMsg msg;
+  try {
+    msg = decode_as<ResultRequestMsg>(MsgType::kResultRequest, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto it = done_msgs_.find(msg.transfer);
+  if (it == done_msgs_.end() || it->second.empty()) return;
+  ResultReplyMsg reply;
+  reply.transfer = msg.transfer;
+  reply.done = it->second.front();
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kClient));
+  w.bytes(encode_body(MsgType::kResultReply, reply));
+  ctx.send(from, w.take());
+}
+
+void ProtocolServer::handle_client_decrypt_request(net::Context& ctx, net::NodeId from,
+                                                   std::span<const std::uint8_t> body) {
+  if (!is_b()) return;
+  ClientDecryptRequestMsg msg;
+  try {
+    msg = decode_as<ClientDecryptRequestMsg>(MsgType::kClientDecryptRequest, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  // Only decrypt ciphertexts that appear in a VALID done message for this
+  // transfer — the client API must not be a general decryption oracle.
+  auto it = done_payloads_.find(msg.transfer);
+  if (it == done_payloads_.end()) return;
+  bool authorized = false;
+  for (const DonePayload& p : it->second) authorized = authorized || p.eb_m == msg.ciphertext;
+  if (!authorized) return;
+
+  threshold::DecryptionShare share = threshold::make_decryption_share(
+      cfg_.params, msg.ciphertext, secrets_.enc_share, client_decrypt_context(msg.transfer),
+      ctx.rng());
+  ClientDecryptReplyMsg reply;
+  reply.transfer = msg.transfer;
+  reply.share = std::move(share);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kClient));
+  w.bytes(encode_body(MsgType::kClientDecryptReply, reply));
+  ctx.send(from, w.take());
+}
+
+}  // namespace dblind::core

@@ -1,0 +1,257 @@
+// ProtocolServer: one server of a distributed service, running the complete
+// re-encryption protocol of paper Figure 4.
+//
+// A single class implements both sides because several roles overlap:
+//
+//   Service B servers act as
+//     - contributors (steps 2 & 4: commit, then contribute with VDE proof),
+//     - coordinators C_j (steps 1, 3, 5; rank j starts after a backup delay
+//       of (j-1)·coordinator_backup_delay — §4.1's delayed-coordinator
+//       optimization; f+1 coordinators in total guarantee progress),
+//     - threshold-signing members for B's service signature, and
+//     - consumers of the final `done` message.
+//
+//   Service A servers act as
+//     - responders (step 6: compute E_A(mρ), drive threshold decryption,
+//       un-blind, drive A's threshold signature, send `done` to B),
+//     - threshold-decryption share providers, and
+//     - threshold-signing members for A's service signature.
+//
+// Every message is validated per Figure 5 before use; invalid messages are
+// ignored (indistinguishable from loss). Byzantine behaviours for fault
+// injection are selected via the Behavior enum.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/validity.hpp"
+#include "net/sim.hpp"
+#include "threshold/thresh_sign.hpp"
+
+namespace dblind::core {
+
+class ProtocolServer final : public net::Node {
+ public:
+  enum class Behavior : std::uint8_t {
+    kHonest = 0,
+    // Receives everything, sends nothing (distinct from a crash only in that
+    // the node still counts as "running").
+    kSilent,
+    // Contributor sends an inconsistent encrypted contribution
+    // (E_A(ρ), E_B(ρ')) with ρ != ρ' and a necessarily-bogus VDE proof
+    // (§4.2.2's attack).
+    kInconsistentContribution,
+    // Contributor commits but never reveals its contribution (why the
+    // coordinator must collect 2f+1 commitments, §4.2.1).
+    kWithholdContribution,
+    // Signing member participates through nonce reveal, then withholds its
+    // partial signature (exercises the signing retry path).
+    kWithholdPartial,
+    // Coordinator fabricates (E_A(ρ̂), E_B(ρ̂)) it knows and asks B to
+    // threshold-sign it without valid evidence (§4.2.3's attack).
+    kBogusBlindCoordinator,
+    // Coordinator colludes with compromised contributors to run the §4.2.1
+    // adaptive-cancellation splice across two reveal rounds. Defeated by the
+    // commit/reveal order plus the same-reveal evidence rule.
+    kAdaptiveCancelCoordinator,
+    // Contributor half of the adaptive attack: contributes a value crafted
+    // to cancel previously-seen honest contributions.
+    kAdaptiveCancelContributor,
+  };
+
+  ProtocolServer(SystemConfig cfg, ServerSecrets secrets, ProtocolOptions opts,
+                 Behavior behavior = Behavior::kHonest);
+
+  // --- pre-simulation setup --------------------------------------------------
+  // Service A: store E_A(m) for a transfer, available from virtual time 0.
+  void store_secret(TransferId transfer, elgamal::Ciphertext ea_m);
+  // Service A: the ciphertext becomes available only at virtual time `when`
+  // (models "E_A(m) not yet generated" for the pre-computation experiment).
+  void store_secret_at(TransferId transfer, elgamal::Ciphertext ea_m, net::Time when);
+  // Service B: announce a transfer to run. Must be called on every B server
+  // before the simulation starts.
+  void register_transfer(TransferId transfer);
+
+  // --- observers --------------------------------------------------------------
+  // Service B: the validated re-encrypted ciphertext, once a valid `done`
+  // message arrived.
+  [[nodiscard]] std::optional<elgamal::Ciphertext> result(TransferId transfer) const;
+  // CPU time spent inside this node's handlers (for the offloading claim).
+  [[nodiscard]] double cpu_seconds() const { return cpu_seconds_; }
+  // Number of transfers with a validated result. Atomic so that controlling
+  // threads (e.g. net::ThreadedBus::run_until) can poll completion without a
+  // data race; inspect `result()` itself only when the transport is paused.
+  [[nodiscard]] std::uint64_t results_count() const {
+    return results_count_.load(std::memory_order_acquire);
+  }
+  // Attack diagnostics: number of service signatures this (Byzantine)
+  // coordinator managed to obtain on fabricated/spliced payloads.
+  [[nodiscard]] int attack_successes() const { return attack_successes_; }
+  // Received-message histogram by type (accounting for the benches).
+  [[nodiscard]] const std::map<MsgType, std::uint64_t>& rx_histogram() const {
+    return rx_counts_;
+  }
+
+  // --- net::Node --------------------------------------------------------------
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, net::NodeId from, std::span<const std::uint8_t> bytes) override;
+  void on_timer(net::Context& ctx, std::uint64_t token) override;
+
+ private:
+  // ---- shared plumbing -------------------------------------------------------
+  [[nodiscard]] const ServicePublic& my_service() const { return cfg_.service(secrets_.role); }
+  [[nodiscard]] bool is_b() const { return secrets_.role == ServiceRole::kServiceB; }
+  void send_signed(net::Context& ctx, net::NodeId to, MsgType type,
+                   const std::vector<std::uint8_t>& body);
+  void broadcast_signed(net::Context& ctx, ServiceRole svc, MsgType type,
+                        const std::vector<std::uint8_t>& body);
+  void send_service_signed(net::Context& ctx, net::NodeId to, const ServiceSignedMsg& msg);
+
+  // ---- contributor role (B) --------------------------------------------------
+  struct ContributorState {
+    Contribution contribution;
+    mpz::Bigint r1, r2;  // encryption nonces (VDE witnesses)
+    mpz::Bigint rho;
+    bool committed = false;
+    bool contributed = false;  // responded to (at most) one reveal
+  };
+  void handle_init(net::Context& ctx, const SignedMessage& env);
+  void handle_reveal(net::Context& ctx, const SignedMessage& env);
+  ContributorState& contributor_state(net::Context& ctx, const InstanceId& id);
+  void make_contribution(net::Context& ctx, const InstanceId& id, ContributorState& st);
+
+  // ---- coordinator role (B) --------------------------------------------------
+  struct CoordinatorState {
+    InstanceId id;
+    std::map<ServerRank, SignedMessage> commits;
+    SignedMessage reveal_env;
+    bool revealed = false;
+    std::map<ServerRank, SignedMessage> contributes;
+    bool signing = false;
+    bool sent_blind = false;
+    // Adaptive-cancel attack bookkeeping:
+    std::vector<SignedMessage> attack_first_round;  // honest contributions seen
+  };
+  void start_coordinator(net::Context& ctx, TransferId transfer, std::uint32_t epoch);
+  void handle_commit(net::Context& ctx, const SignedMessage& env);
+  void handle_contribute(net::Context& ctx, const SignedMessage& env);
+  void coordinator_try_finish(net::Context& ctx, CoordinatorState& st);
+
+  // ---- threshold-signing coordinator (A and B) --------------------------------
+  struct SignSession {
+    std::uint64_t session = 0;
+    SignPurpose purpose{};
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> evidence;
+    std::set<ServerRank> excluded;
+    std::map<ServerRank, threshold::NonceCommitment> commits;
+    std::vector<threshold::NonceCommitment> quorum;
+    std::map<ServerRank, threshold::NonceReveal> reveals;
+    std::map<ServerRank, threshold::PartialSignature> partials;
+    bool done = false;
+    int attempt = 0;
+  };
+  std::uint64_t start_sign_session(net::Context& ctx, SignPurpose purpose,
+                                   std::vector<std::uint8_t> payload,
+                                   std::vector<std::uint8_t> evidence,
+                                   std::set<ServerRank> excluded = {}, int attempt = 0);
+  void handle_sign_commit_reply(net::Context& ctx, const SignedMessage& env);
+  void handle_sign_reveal_reply(net::Context& ctx, const SignedMessage& env);
+  void handle_sign_partial_reply(net::Context& ctx, const SignedMessage& env);
+  void sign_session_retry(net::Context& ctx, std::uint64_t session);
+  void sign_session_finished(net::Context& ctx, SignSession& ss, zkp::SchnorrSignature sig);
+
+  // ---- threshold-signing member (A and B) -------------------------------------
+  struct MemberSession {
+    std::vector<std::uint8_t> payload;
+    std::vector<threshold::NonceCommitment> quorum;
+    std::unique_ptr<threshold::SigningMember> member;
+    bool responded = false;
+  };
+  void handle_sign_request(net::Context& ctx, const SignedMessage& env);
+  void handle_sign_quorum(net::Context& ctx, const SignedMessage& env);
+  void handle_sign_reveal_set(net::Context& ctx, const SignedMessage& env);
+
+  // ---- service A responder role ------------------------------------------------
+  struct ResponderState {
+    ServiceSignedMsg blind_env;
+    BlindPayload blind;
+    elgamal::Ciphertext ea_m_rho;
+    std::map<std::uint32_t, threshold::DecryptionShare> shares;
+    bool signing = false;
+    bool sent_done = false;
+  };
+  void handle_blind(net::Context& ctx, const ServiceSignedMsg& msg);
+  void start_responder(net::Context& ctx, const InstanceId& id);
+  void handle_decrypt_request(net::Context& ctx, const SignedMessage& env);
+  void handle_decrypt_share_reply(net::Context& ctx, const SignedMessage& env);
+
+  // ---- service B result consumption ---------------------------------------------
+  void handle_done(net::Context& ctx, const ServiceSignedMsg& msg);
+
+  // ---- client-facing handlers (library extension; see core/client.hpp) -----------
+  void handle_transfer_request(net::Context& ctx, net::NodeId from,
+                               std::span<const std::uint8_t> body);
+  void handle_result_request(net::Context& ctx, net::NodeId from,
+                             std::span<const std::uint8_t> body);
+  void handle_client_decrypt_request(net::Context& ctx, net::NodeId from,
+                                     std::span<const std::uint8_t> body);
+  void schedule_coordinator(net::Context& ctx, TransferId transfer);
+
+  // ---- Byzantine helpers -----------------------------------------------------------
+  void attack_contribute(net::Context& ctx, const InstanceId& id, const SignedMessage& reveal_env);
+  void attack_coordinator_step(net::Context& ctx, CoordinatorState& st);
+
+  SystemConfig cfg_;
+  ServerSecrets secrets_;
+  ProtocolOptions opts_;
+  Behavior behavior_;
+
+  // Per-transfer application state.
+  std::map<TransferId, elgamal::Ciphertext> stored_;                   // A: E_A(m)
+  std::map<TransferId, std::pair<elgamal::Ciphertext, net::Time>> pending_store_;  // A
+  std::set<TransferId> transfers_;                                     // B: to run
+  std::map<TransferId, elgamal::Ciphertext> results_;                  // B: E_B(m)
+  // All validated done messages per transfer (several coordinators may each
+  // produce one); used to answer clients and to authorize client-requested
+  // decryption shares.
+  std::map<TransferId, std::vector<ServiceSignedMsg>> done_msgs_;
+  std::map<TransferId, std::vector<DonePayload>> done_payloads_;
+
+  // Blind messages for secrets that have not arrived yet (pre-computation
+  // experiment): replayed when the secret is stored.
+  std::vector<ServiceSignedMsg> parked_blinds_;
+
+  // Role state.
+  std::map<InstanceId, ContributorState> contributor_;
+  std::map<InstanceId, CoordinatorState> coordinator_;
+  std::map<std::uint64_t, SignSession> sign_sessions_;  // keyed by session id (ours)
+  std::map<std::pair<net::NodeId, std::uint64_t>, MemberSession> member_sessions_;
+  std::map<InstanceId, ResponderState> responder_;
+  std::set<InstanceId> seen_blind_;  // A: instances already being responded to
+
+  std::uint64_t next_session_ = 1;
+  std::map<MsgType, std::uint64_t> rx_counts_;
+  std::atomic<std::uint64_t> results_count_{0};
+  double cpu_seconds_ = 0;
+  int attack_successes_ = 0;
+
+  // Timer token layout (high byte = kind).
+  static constexpr std::uint64_t kTimerCoordinator = 1ull << 56;   // | transfer
+  static constexpr std::uint64_t kTimerResponder = 2ull << 56;     // | dense instance key
+  static constexpr std::uint64_t kTimerSignRetry = 3ull << 56;     // | session id
+  static constexpr std::uint64_t kTimerStoreSecret = 4ull << 56;   // | transfer
+  std::map<std::uint64_t, InstanceId> responder_timer_ids_;
+  std::uint64_t next_responder_timer_ = 0;
+};
+
+}  // namespace dblind::core

@@ -1,0 +1,161 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "threshold/shamir.hpp"
+
+namespace dblind::core {
+
+namespace {
+
+struct ServiceSetup {
+  ServicePublic pub;
+  std::vector<ServerSecrets> secrets;
+  mpz::Bigint oracle_private;  // reconstructed encryption key (tests only)
+};
+
+ServiceSetup make_service(const group::GroupParams& params, const threshold::ServiceConfig& cfg,
+                          ServiceRole role, bool use_dkg, mpz::Prng& prng) {
+  auto keygen = [&]() {
+    if (use_dkg) return threshold::run_joint_feldman_dkg(params, cfg, prng).material;
+    return threshold::ServiceKeyMaterial::dealer_keygen(params, cfg, prng);
+  };
+  threshold::ServiceKeyMaterial enc = keygen();
+  threshold::ServiceKeyMaterial sig = keygen();
+
+  ServiceSetup out{
+      ServicePublic{
+          cfg,
+          enc.public_key(),
+          enc.commitments(),
+          zkp::SchnorrVerifyKey(params, sig.public_key().y()),
+          sig.commitments(),
+          {},
+          0,
+      },
+      {},
+      {},
+  };
+
+  for (ServerRank r = 1; r <= cfg.n; ++r) {
+    zkp::SchnorrSigningKey server_key = zkp::SchnorrSigningKey::generate(params, prng);
+    out.pub.server_sign_keys.push_back(server_key.verify_key());
+    out.secrets.push_back(ServerSecrets{role, r, enc.share_of(r), sig.share_of(r),
+                                        server_key.secret()});
+  }
+
+  // Test oracle: reconstruct the encryption private key from a quorum.
+  std::vector<threshold::Share> quorum;
+  for (ServerRank r = 1; r <= cfg.quorum(); ++r) quorum.push_back(enc.share_of(r));
+  out.oracle_private = threshold::shamir_reconstruct(quorum, params.q());
+  return out;
+}
+
+}  // namespace
+
+System::System(SystemOptions opts)
+    : opts_(std::move(opts)), setup_rng_(opts_.seed ^ 0x5e70u) {
+  ServiceSetup a = make_service(opts_.params, opts_.a, ServiceRole::kServiceA, opts_.use_dkg,
+                                setup_rng_);
+  ServiceSetup b = make_service(opts_.params, opts_.b, ServiceRole::kServiceB, opts_.use_dkg,
+                                setup_rng_);
+  a_private_key_ = a.oracle_private;
+  b_private_key_ = b.oracle_private;
+
+  std::unique_ptr<net::DelayPolicy> policy = std::move(opts_.delay_policy);
+  if (!policy) policy = std::make_unique<net::UniformDelay>(opts_.delay_min, opts_.delay_max);
+  sim_ = std::make_unique<net::Simulator>(opts_.seed, std::move(policy));
+
+  a.pub.first_node = 0;
+  b.pub.first_node = static_cast<net::NodeId>(opts_.a.n);
+  cfg_.emplace(SystemConfig{opts_.params, std::move(a.pub), std::move(b.pub)});
+
+  auto behavior_of = [](const std::vector<ProtocolServer::Behavior>& v, ServerRank r) {
+    return r <= v.size() ? v[r - 1] : ProtocolServer::Behavior::kHonest;
+  };
+  for (ServerRank r = 1; r <= opts_.a.n; ++r) {
+    auto node = std::make_unique<ProtocolServer>(*cfg_, a.secrets[r - 1], opts_.protocol,
+                                                 behavior_of(opts_.a_behaviors, r));
+    a_servers_.push_back(node.get());
+    sim_->add_node(std::move(node));
+  }
+  for (ServerRank r = 1; r <= opts_.b.n; ++r) {
+    auto node = std::make_unique<ProtocolServer>(*cfg_, b.secrets[r - 1], opts_.protocol,
+                                                 behavior_of(opts_.b_behaviors, r));
+    b_servers_.push_back(node.get());
+    sim_->add_node(std::move(node));
+  }
+}
+
+TransferId System::add_transfer(const mpz::Bigint& m) {
+  return add_transfer_at(m, 0);
+}
+
+TransferId System::add_transfer_at(const mpz::Bigint& m, net::Time when) {
+  if (!cfg_->params.in_group(m))
+    throw std::invalid_argument("add_transfer: plaintext must be a group element");
+  TransferId t = next_transfer_++;
+  elgamal::Ciphertext ea_m = cfg_->a.encryption_key.encrypt(m, setup_rng_);
+  for (ProtocolServer* s : a_servers_) {
+    if (when == 0) {
+      s->store_secret(t, ea_m);
+    } else {
+      s->store_secret_at(t, ea_m, when);
+    }
+  }
+  for (ProtocolServer* s : b_servers_) s->register_transfer(t);
+  transfers_.push_back(t);
+  plaintexts_[t] = m;
+  return t;
+}
+
+bool System::is_honest_b(ServerRank rank) const {
+  if (rank <= opts_.b_behaviors.size() &&
+      opts_.b_behaviors[rank - 1] != ProtocolServer::Behavior::kHonest)
+    return false;
+  return !sim_->crashed(cfg_->b.node_of(rank));
+}
+
+bool System::run_to_completion(std::uint64_t max_events) {
+  auto complete = [&] {
+    for (ServerRank r = 1; r <= cfg_->b.cfg.n; ++r) {
+      if (!is_honest_b(r)) continue;
+      for (TransferId t : transfers_) {
+        if (!b_servers_[r - 1]->result(t)) return false;
+      }
+    }
+    return true;
+  };
+  return sim_->run_until(complete, max_events);
+}
+
+std::optional<elgamal::Ciphertext> System::result(TransferId t, ServerRank rank) {
+  return b_servers_.at(rank - 1)->result(t);
+}
+
+mpz::Bigint System::oracle_decrypt_b(const elgamal::Ciphertext& c) const {
+  return elgamal::KeyPair::from_private(cfg_->params, b_private_key_).decrypt(c);
+}
+
+mpz::Bigint System::oracle_decrypt_a(const elgamal::Ciphertext& c) const {
+  return elgamal::KeyPair::from_private(cfg_->params, a_private_key_).decrypt(c);
+}
+
+std::map<MsgType, std::uint64_t> System::rx_histogram() const {
+  std::map<MsgType, std::uint64_t> out;
+  for (const auto& servers : {a_servers_, b_servers_}) {
+    for (const ProtocolServer* s : servers) {
+      for (const auto& [type, count] : s->rx_histogram()) out[type] += count;
+    }
+  }
+  return out;
+}
+
+double System::service_cpu_seconds(ServiceRole role) const {
+  double total = 0;
+  const auto& servers = role == ServiceRole::kServiceA ? a_servers_ : b_servers_;
+  for (const ProtocolServer* s : servers) total += s->cpu_seconds();
+  return total;
+}
+
+}  // namespace dblind::core

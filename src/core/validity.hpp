@@ -1,0 +1,83 @@
+// Validity of self-verifying messages (paper Figure 5, §4.2.3).
+//
+// "A valid message is, by definition, one that is consistent with the sender
+// following the protocol. Thus, if messages that are not valid are ignored
+// then attacks involving bogus messages become indistinguishable from lost
+// messages."
+//
+// Each check below validates a message purely from its contents plus public
+// configuration — including, recursively, all embedded evidence:
+//   init        — correctly signed (by the coordinator named in id).
+//   commit      — correctly signed (by the server it names).
+//   reveal      — correctly signed and contains 2f+1 *different* valid
+//                 commit messages with matching id.
+//   contribute  — correctly signed, includes a valid verifiable dual
+//                 encryption proof, and the encrypted contribution matches
+//                 the commitment in the included reveal message.
+//   blind/done  — correctly (threshold-)signed by the service.
+//
+// One rule beyond the paper's figure (implied by its §4.2.1 argument): the
+// f+1 contribute messages justifying a blind payload must all embed the SAME
+// reveal message. Otherwise a Byzantine coordinator can run two reveal
+// rounds, let a compromised server commit *after* seeing contributions from
+// the first round, and splice rounds together to choose the blinding factor.
+// Together with the honest-server rule "contribute to at most one reveal per
+// instance", same-reveal evidence restores the commit-before-reveal order.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+
+namespace dblind::core {
+
+// Verifies the envelope signature against the named server's public key.
+// False on unknown service/rank.
+[[nodiscard]] bool envelope_signature_ok(const SystemConfig& cfg, const SignedMessage& env);
+
+// Signs `body` with this server's key, producing the ⟨m⟩_i envelope.
+[[nodiscard]] SignedMessage make_envelope(const SystemConfig& cfg, const ServerSecrets& me,
+                                          std::vector<std::uint8_t> body, mpz::Prng& prng);
+
+// Fig. 5 row "init": returns the decoded message iff valid.
+[[nodiscard]] std::optional<InitMsg> check_init(const SystemConfig& cfg, const SignedMessage& env);
+
+// Fig. 5 row "commit".
+[[nodiscard]] std::optional<CommitMsg> check_commit(const SystemConfig& cfg,
+                                                    const SignedMessage& env);
+
+// Fig. 5 row "reveal": signature + 2f+1 different valid commits, matching id.
+[[nodiscard]] std::optional<RevealMsg> check_reveal(const SystemConfig& cfg,
+                                                    const SignedMessage& env);
+
+// Fig. 5 row "contribute": signature + valid VDE + contribution matches the
+// commitment inside the embedded (valid) reveal message.
+[[nodiscard]] std::optional<ContributeMsg> check_contribute(const SystemConfig& cfg,
+                                                            const SignedMessage& env);
+
+// Fig. 5 row "blind": threshold signature of service B over a BlindPayload.
+[[nodiscard]] std::optional<BlindPayload> check_blind(const SystemConfig& cfg,
+                                                      const ServiceSignedMsg& msg);
+
+// "done": threshold signature of service A over a DonePayload.
+[[nodiscard]] std::optional<DonePayload> check_done(const SystemConfig& cfg,
+                                                    const ServiceSignedMsg& msg);
+
+// Evidence for a kBlind signing request (step 5(c)): f+1 valid contribute
+// messages from distinct servers, same id, all embedding the same reveal,
+// whose combined contribution equals the payload.
+[[nodiscard]] bool check_blind_sign_request(const SystemConfig& cfg,
+                                            std::span<const std::uint8_t> payload,
+                                            std::span<const std::uint8_t> evidence);
+
+// Evidence for a kDone signing request (step 6(d)): valid blind message,
+// f+1 verified decryption shares for E_A(mρ) = E_A(m) × E_A(ρ) (computed
+// against the locally stored E_A(m)) combining to mρ, and a payload equal to
+// (id, E_A(m), (mρ)·E_B(ρ)^{-1}).
+[[nodiscard]] bool check_done_sign_request(const SystemConfig& cfg,
+                                           std::span<const std::uint8_t> payload,
+                                           std::span<const std::uint8_t> evidence,
+                                           const elgamal::Ciphertext& stored_ea_m);
+
+}  // namespace dblind::core

@@ -1,0 +1,21 @@
+// Byte encodings for ElGamal artifacts (see group/serialize.hpp for the
+// rationale). Public keys embed their group parameters so a single blob is
+// self-describing; ciphertexts do not (they are exchanged in volume between
+// parties that already agree on a group).
+#pragma once
+
+#include <vector>
+
+#include "common/codec.hpp"
+#include "elgamal/elgamal.hpp"
+
+namespace dblind::elgamal {
+
+[[nodiscard]] std::vector<std::uint8_t> public_key_to_bytes(const PublicKey& key);
+// Validates structurally (trusted group load + subgroup membership of y).
+[[nodiscard]] PublicKey public_key_from_bytes(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> ciphertext_to_bytes(const Ciphertext& c);
+[[nodiscard]] Ciphertext ciphertext_from_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace dblind::elgamal

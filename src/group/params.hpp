@@ -1,0 +1,125 @@
+// Safe-prime group parameters for ElGamal.
+//
+// The paper (§3) fixes large primes p, q with p = 2q + 1 and works in the
+// cyclic subgroup G_p ⊆ Z_p* of order q, with generator g. All services
+// share one parameter set; only the key pairs differ.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpz/bigint.hpp"
+#include "mpz/montgomery.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::group {
+
+using mpz::Bigint;
+
+// Named, pre-generated parameter sets (safe primes found once offline with
+// 40-round Miller-Rabin; see tests/group/params_test.cpp for re-verification).
+enum class ParamId : std::uint8_t {
+  kToy64 = 0,  // tests only — breakable, never for real secrets
+  kTest128,
+  kTest256,
+  kSec512,
+  kSec1024,  // "realistic" for the paper's 2005 setting
+  kSec2048,
+};
+
+class GroupParams {
+ public:
+  // Fixed named parameters; cheap (values are embedded constants).
+  static GroupParams named(ParamId id);
+  // Fresh safe-prime group of `bits` bits; expensive for large sizes.
+  static GroupParams generate(std::size_t bits, mpz::Prng& prng);
+  // Explicit values; validates p = 2q+1, primality (with `prng`), and that
+  // g generates the order-q subgroup. Throws std::invalid_argument.
+  static GroupParams from_values(Bigint p, Bigint q, Bigint g, mpz::Prng& prng);
+  // Explicit values with structural checks only (p = 2q+1, g^q == 1) — for
+  // material loaded from trusted local storage where primality was already
+  // established. Throws std::invalid_argument on structural violations.
+  static GroupParams from_values_trusted(Bigint p, Bigint q, Bigint g);
+
+  [[nodiscard]] const Bigint& p() const { return p_; }
+  [[nodiscard]] const Bigint& q() const { return q_; }
+  [[nodiscard]] const Bigint& g() const { return g_; }
+  [[nodiscard]] std::size_t bits() const { return p_.bit_length(); }
+
+  // True iff x is in the order-q subgroup G_p (i.e. x is a nonzero quadratic
+  // residue mod p).
+  [[nodiscard]] bool in_group(const Bigint& x) const;
+  // True iff x in [1, p-1].
+  [[nodiscard]] bool in_zp_star(const Bigint& x) const;
+  // True iff x in [0, q).
+  [[nodiscard]] bool is_exponent(const Bigint& x) const;
+
+  // g^e mod p (e reduced mod q first).
+  [[nodiscard]] Bigint pow_g(const Bigint& e) const;
+  // b^e mod p.
+  [[nodiscard]] Bigint pow(const Bigint& b, const Bigint& e) const;
+  // a*b mod p.
+  [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const;
+  // a^ea * b^eb mod p (Shamir's trick; exponents reduced mod q).
+  [[nodiscard]] Bigint pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
+                            const Bigint& eb) const;
+  // Π bases[i]^{exps[i]} mod p (interleaved multi-exponentiation). Bases are
+  // reduced mod p; exponents must already be in [0, q).
+  [[nodiscard]] Bigint multi_pow(std::span<const Bigint> bases,
+                                 std::span<const Bigint> exps) const;
+  // a^{-1} mod p.
+  [[nodiscard]] Bigint inv(const Bigint& a) const;
+
+  // Uniformly random group element (random exponent applied to g).
+  [[nodiscard]] Bigint random_element(mpz::Prng& prng) const;
+  // Uniformly random exponent in [1, q).
+  [[nodiscard]] Bigint random_exponent(mpz::Prng& prng) const;
+
+  // Deterministically derives a group element from a label such that nobody
+  // knows its discrete log w.r.t. g (hash, reduce mod p, square into the QR
+  // subgroup). Used e.g. as the second base `h` of Pedersen commitments.
+  [[nodiscard]] Bigint hash_to_group(std::string_view label) const;
+
+  // -- Message encoding (§3 requires m ∈ G_p) -------------------------------
+  //
+  // For p = 2q+1 every value v in [1, q] maps injectively into the QR
+  // subgroup as: v if v is a QR mod p, else p - v. Decoding inverts the map.
+  // Throws std::invalid_argument when v is outside [1, q].
+  [[nodiscard]] Bigint encode_message(const Bigint& v) const;
+  [[nodiscard]] Bigint decode_message(const Bigint& elem) const;
+  // Convenience: encode/decode short byte strings (must fit below q).
+  [[nodiscard]] Bigint encode_bytes(std::span<const std::uint8_t> bytes) const;
+  [[nodiscard]] std::vector<std::uint8_t> decode_bytes(const Bigint& elem) const;
+
+  // Canonical serialized form of an element (fixed-width big-endian), used in
+  // hashes and message encodings.
+  [[nodiscard]] std::vector<std::uint8_t> element_bytes(const Bigint& x) const;
+  [[nodiscard]] std::size_t element_size() const { return (bits() + 7) / 8; }
+
+  friend bool operator==(const GroupParams& a, const GroupParams& b) {
+    return a.p_ == b.p_ && a.g_ == b.g_;
+  }
+
+ private:
+  GroupParams(Bigint p, Bigint q, Bigint g);
+
+  Bigint p_, q_, g_;
+  // Shared so that copies of GroupParams (passed around freely by services,
+  // servers, and messages) reuse one Montgomery context per modulus.
+  std::shared_ptr<const mpz::MontgomeryCtx> mont_;
+  // Lazily-built fixed-base table for g (pow_g is the hottest operation in
+  // the protocol). Guarded by call_once so copies shared across threads
+  // (e.g. under net::ThreadedBus) build it exactly once. Declared after
+  // mont_ so the table (which references *mont_) is destroyed first.
+  struct FixedBaseCache {
+    std::once_flag once;
+    std::unique_ptr<const mpz::FixedBasePow> g_pow;
+  };
+  std::shared_ptr<FixedBaseCache> g_cache_;
+};
+
+}  // namespace dblind::group

@@ -1,0 +1,62 @@
+#include "group/serialize.hpp"
+
+#include <stdexcept>
+
+#include "hash/sha256.hpp"
+
+namespace dblind::group {
+
+namespace {
+
+constexpr std::uint8_t kGroupParamsTag = 0x11;
+
+}  // namespace
+
+std::vector<std::uint8_t> group_params_to_bytes(const GroupParams& params) {
+  common::Writer w;
+  w.u8(kGroupParamsTag);
+  w.bigint(params.p());
+  w.bigint(params.q());
+  w.bigint(params.g());
+  return w.take();
+}
+
+namespace {
+
+struct RawParams {
+  Bigint p, q, g;
+};
+
+RawParams decode_raw(std::span<const std::uint8_t> bytes) {
+  common::Reader r(bytes);
+  if (r.u8() != kGroupParamsTag)
+    throw common::CodecError("group_params: bad tag");
+  RawParams raw;
+  raw.p = r.bigint();
+  raw.q = r.bigint();
+  raw.g = r.bigint();
+  r.expect_done();
+  return raw;
+}
+
+}  // namespace
+
+GroupParams group_params_from_bytes(std::span<const std::uint8_t> bytes, mpz::Prng& prng) {
+  RawParams raw = decode_raw(bytes);
+  return GroupParams::from_values(std::move(raw.p), std::move(raw.q), std::move(raw.g), prng);
+}
+
+GroupParams group_params_from_bytes_trusted(std::span<const std::uint8_t> bytes) {
+  RawParams raw = decode_raw(bytes);
+  return GroupParams::from_values_trusted(std::move(raw.p), std::move(raw.q), std::move(raw.g));
+}
+
+std::string group_params_to_hex(const GroupParams& params) {
+  return hash::to_hex(group_params_to_bytes(params));
+}
+
+GroupParams group_params_from_hex(std::string_view hex, mpz::Prng& prng) {
+  return group_params_from_bytes(hash::from_hex(hex), prng);
+}
+
+}  // namespace dblind::group

@@ -1,0 +1,32 @@
+// Persistence for group/key/threshold material.
+//
+// A deployment needs to write service configuration to disk and ship public
+// keys to clients. These functions give every public artifact a canonical,
+// versioned byte encoding (and hex convenience wrappers). Decoding validates
+// structure; `group_params_from_bytes` additionally re-validates the group
+// (primality, generator order) because parameters usually cross trust
+// boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "group/params.hpp"
+
+namespace dblind::group {
+
+// GroupParams <-> bytes. Encoding carries a format tag + p, q, g.
+[[nodiscard]] std::vector<std::uint8_t> group_params_to_bytes(const GroupParams& params);
+// Full validation (primality etc.); throws std::invalid_argument /
+// common::CodecError on bad input.
+[[nodiscard]] GroupParams group_params_from_bytes(std::span<const std::uint8_t> bytes,
+                                                  mpz::Prng& prng);
+// Trusting variant for data from local storage: structural checks only
+// (p = 2q+1 and g in range), no primality testing.
+[[nodiscard]] GroupParams group_params_from_bytes_trusted(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::string group_params_to_hex(const GroupParams& params);
+[[nodiscard]] GroupParams group_params_from_hex(std::string_view hex, mpz::Prng& prng);
+
+}  // namespace dblind::group

@@ -1,0 +1,161 @@
+#include "hash/sha256.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace dblind::hash {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInit = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                                0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+}  // namespace
+
+Sha256::Sha256() : h_(kInit) {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w{};
+  for (int i = 0; i < 16; ++i) {
+    w[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+        (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+        (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+        static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    std::uint32_t s0 = std::rotr(w[static_cast<std::size_t>(i - 15)], 7) ^
+                       std::rotr(w[static_cast<std::size_t>(i - 15)], 18) ^
+                       (w[static_cast<std::size_t>(i - 15)] >> 3);
+    std::uint32_t s1 = std::rotr(w[static_cast<std::size_t>(i - 2)], 17) ^
+                       std::rotr(w[static_cast<std::size_t>(i - 2)], 19) ^
+                       (w[static_cast<std::size_t>(i - 2)] >> 10);
+    w[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(i - 16)] + s0 + w[static_cast<std::size_t>(i - 7)] + s1;
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    std::uint32_t ch = (e & f) ^ (~e & g);
+    std::uint32_t t1 = h + s1 + ch + kK[static_cast<std::size_t>(i)] + w[static_cast<std::size_t>(i)];
+    std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint32_t t2 = s0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  h_[0] += a; h_[1] += b; h_[2] += c; h_[3] += d;
+  h_[4] += e; h_[5] += f; h_[6] += g; h_[7] += h;
+}
+
+Sha256& Sha256::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return *this;
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ != 0) {
+    std::size_t take = std::min<std::size_t>(64 - buf_len_, data.size());
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == 64) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+  return *this;
+}
+
+Sha256& Sha256::update(std::string_view s) {
+  return update(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()),
+                                              s.size()));
+}
+
+Digest Sha256::finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::array<std::uint8_t, 8> len{};
+  for (int i = 0; i < 8; ++i) len[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(len);
+  Digest out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(4 * i + 0)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Digest Sha256::digest(std::span<const std::uint8_t> data) { return Sha256().update(data).finish(); }
+
+Digest Sha256::digest(std::string_view s) { return Sha256().update(s).finish(); }
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> msg) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    Digest kd = Sha256::digest(key);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else if (!key.empty()) {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad{}, opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[static_cast<std::size_t>(i)] = k[static_cast<std::size_t>(i)] ^ 0x36;
+    opad[static_cast<std::size_t>(i)] = k[static_cast<std::size_t>(i)] ^ 0x5c;
+  }
+  Digest inner = Sha256().update(ipad).update(msg).finish();
+  return Sha256().update(opad).update(inner).finish();
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("from_hex: bad digit");
+  };
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+  return out;
+}
+
+}  // namespace dblind::hash

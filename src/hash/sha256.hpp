@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: commitments κ(·) in the distributed blinding protocol, the
+// Fiat-Shamir challenges of every NIZK, message digests for Schnorr
+// signatures, and Prng stream derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dblind::hash {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view s);
+  // Finalizes and returns the digest; the object must not be reused after.
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest digest(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest digest(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> msg);
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+// Throws std::invalid_argument on bad input (odd length / non-hex chars).
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace dblind::hash

@@ -1,0 +1,549 @@
+#include "mpz/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace dblind::mpz {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bigint::Bigint(std::int64_t v) {
+  if (v == 0) return;
+  sign_ = v < 0 ? -1 : 1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  u64 mag = v < 0 ? ~static_cast<u64>(v) + 1 : static_cast<u64>(v);
+  limbs_.push_back(mag);
+}
+
+Bigint::Bigint(std::uint64_t v) {
+  if (v == 0) return;
+  sign_ = 1;
+  limbs_.push_back(v);
+}
+
+void Bigint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+Bigint Bigint::from_limbs(std::vector<std::uint64_t> limbs, int sign) {
+  Bigint r;
+  r.limbs_ = std::move(limbs);
+  r.sign_ = sign;
+  r.trim();
+  return r;
+}
+
+Bigint Bigint::from_hex(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) s.remove_prefix(2);
+  if (s.empty()) throw std::invalid_argument("Bigint::from_hex: empty input");
+  Bigint r;
+  std::size_t nlimbs = (s.size() + 15) / 16;
+  r.limbs_.assign(nlimbs, 0);
+  // Fill limbs from the least-significant end of the string.
+  std::size_t pos = s.size();
+  for (std::size_t li = 0; li < nlimbs; ++li) {
+    std::size_t take = std::min<std::size_t>(16, pos);
+    u64 limb = 0;
+    for (std::size_t i = pos - take; i < pos; ++i) {
+      int d = hex_digit(s[i]);
+      if (d < 0) throw std::invalid_argument("Bigint::from_hex: bad digit");
+      limb = (limb << 4) | static_cast<u64>(d);
+    }
+    r.limbs_[li] = limb;
+    pos -= take;
+  }
+  r.sign_ = neg ? -1 : 1;
+  r.trim();
+  return r;
+}
+
+Bigint Bigint::from_dec(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw std::invalid_argument("Bigint::from_dec: empty input");
+  Bigint r;
+  // Process 19 decimal digits (< 2^63) at a time: r = r*10^k + chunk.
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t take = std::min<std::size_t>(19, s.size() - i);
+    u64 chunk = 0;
+    u64 scale = 1;
+    for (std::size_t j = 0; j < take; ++j) {
+      char c = s[i + j];
+      if (c < '0' || c > '9') throw std::invalid_argument("Bigint::from_dec: bad digit");
+      chunk = chunk * 10 + static_cast<u64>(c - '0');
+      scale *= 10;
+    }
+    r = r * Bigint(scale) + Bigint(chunk);
+    i += take;
+  }
+  if (neg && !r.is_zero()) r.sign_ = -1;
+  return r;
+}
+
+Bigint Bigint::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  Bigint r;
+  std::size_t nlimbs = (bytes.size() + 7) / 8;
+  r.limbs_.assign(nlimbs, 0);
+  std::size_t pos = bytes.size();
+  for (std::size_t li = 0; li < nlimbs; ++li) {
+    std::size_t take = std::min<std::size_t>(8, pos);
+    u64 limb = 0;
+    for (std::size_t i = pos - take; i < pos; ++i) limb = (limb << 8) | bytes[i];
+    r.limbs_[li] = limb;
+    pos -= take;
+  }
+  r.sign_ = 1;
+  r.trim();
+  return r;
+}
+
+std::string Bigint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  if (sign_ < 0) out.push_back('-');
+  bool leading = true;
+  for (std::size_t li = limbs_.size(); li-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      unsigned d = static_cast<unsigned>((limbs_[li] >> shift) & 0xF);
+      if (leading && d == 0) continue;
+      leading = false;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+std::string Bigint::to_dec() const {
+  if (is_zero()) return "0";
+  Bigint v = abs();
+  const Bigint chunk_div(static_cast<u64>(10'000'000'000'000'000'000ULL));  // 10^19
+  std::string out;
+  while (!v.is_zero()) {
+    Bigint q, r;
+    divmod(v, chunk_div, q, r);
+    u64 part = r.is_zero() ? 0 : r.limbs_[0];
+    for (int i = 0; i < 19; ++i) {
+      out.push_back(static_cast<char>('0' + part % 10));
+      part /= 10;
+    }
+    v = std::move(q);
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (sign_ < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> Bigint::to_bytes_be(std::size_t min_len) const {
+  std::size_t need = (bit_length() + 7) / 8;
+  if (min_len != 0 && need > min_len)
+    throw std::length_error("Bigint::to_bytes_be: value does not fit min_len");
+  std::size_t len = std::max(need, min_len);
+  if (len == 0) len = 1;
+  std::vector<std::uint8_t> out(len, 0);
+  for (std::size_t i = 0; i < need; ++i) {
+    u64 limb = limbs_[i / 8];
+    out[len - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::size_t Bigint::bit_length() const {
+  if (is_zero()) return 0;
+  return (limbs_.size() - 1) * 64 + (64 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool Bigint::bit(std::size_t i) const {
+  std::size_t li = i / 64;
+  if (li >= limbs_.size()) return false;
+  return (limbs_[li] >> (i % 64)) & 1u;
+}
+
+Bigint Bigint::abs() const {
+  Bigint r = *this;
+  if (r.sign_ < 0) r.sign_ = 1;
+  return r;
+}
+
+Bigint Bigint::negated() const {
+  Bigint r = *this;
+  r.sign_ = -r.sign_;
+  return r;
+}
+
+std::uint64_t Bigint::to_u64() const {
+  if (sign_ < 0 || limbs_.size() > 1) throw std::overflow_error("Bigint::to_u64: out of range");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::strong_ordering Bigint::cmp_mag(const Bigint& a, const Bigint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() <=> b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const Bigint& a, const Bigint& b) {
+  if (a.sign_ != b.sign_) return a.sign_ <=> b.sign_;
+  auto mag = Bigint::cmp_mag(a, b);
+  return a.sign_ >= 0 ? mag : (0 <=> mag);
+}
+
+std::vector<std::uint64_t> Bigint::add_mag(std::span<const std::uint64_t> a,
+                                           std::span<const std::uint64_t> b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<u64> out(a.size() + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + (i < b.size() ? b[i] : 0) + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  out[a.size()] = carry;
+  return out;
+}
+
+std::vector<std::uint64_t> Bigint::sub_mag(std::span<const std::uint64_t> a,
+                                           std::span<const std::uint64_t> b) {
+  assert(a.size() >= b.size());
+  std::vector<u64> out(a.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 bi = i < b.size() ? b[i] : 0;
+    u64 ai = a[i];
+    u64 d = ai - bi - borrow;
+    borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+    out[i] = d;
+  }
+  assert(borrow == 0);
+  return out;
+}
+
+namespace {
+
+// out += a * b, where out has room for a.size()+b.size() limbs at `offset`.
+void mul_schoolbook_acc(std::span<u64> out, std::span<const u64> a, std::span<const u64> b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++k;
+    }
+  }
+}
+
+std::vector<u64> mul_karatsuba(std::span<const u64> a, std::span<const u64> b);
+
+std::vector<u64> mul_any(std::span<const u64> a, std::span<const u64> b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    std::vector<u64> out(a.size() + b.size(), 0);
+    mul_schoolbook_acc(out, a, b);
+    return out;
+  }
+  return mul_karatsuba(a, b);
+}
+
+// Adds `b` into `a` starting at limb offset `off`; `a` must be large enough.
+void add_into(std::vector<u64>& a, std::span<const u64> b, std::size_t off) {
+  u64 carry = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u128 s = static_cast<u128>(a[off + i]) + b[i] + carry;
+    a[off + i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  while (carry != 0) {
+    u128 s = static_cast<u128>(a[off + i]) + carry;
+    a[off + i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+    ++i;
+  }
+}
+
+// Subtracts `b` from `a` starting at limb offset `off`; requires no final borrow.
+void sub_into(std::vector<u64>& a, std::span<const u64> b, std::size_t off) {
+  u64 borrow = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u64 ai = a[off + i];
+    u64 bi = b[i];
+    u64 d = ai - bi - borrow;
+    borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+    a[off + i] = d;
+  }
+  while (borrow != 0) {
+    u64 ai = a[off + i];
+    a[off + i] = ai - 1;
+    borrow = ai == 0 ? 1 : 0;
+    ++i;
+  }
+}
+
+std::vector<u64> add_mag_local(std::span<const u64> a, std::span<const u64> b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<u64> out(a.size() + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + (i < b.size() ? b[i] : 0) + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  out[a.size()] = carry;
+  return out;
+}
+
+std::vector<u64> mul_karatsuba(std::span<const u64> a, std::span<const u64> b) {
+  std::size_t half = (std::max(a.size(), b.size()) + 1) / 2;
+  auto lo = [&](std::span<const u64> x) { return x.subspan(0, std::min(half, x.size())); };
+  auto hi = [&](std::span<const u64> x) {
+    return x.size() > half ? x.subspan(half) : std::span<const u64>{};
+  };
+  // Trim leading zero limbs so recursion terminates and stays balanced.
+  auto trimmed = [](std::span<const u64> x) {
+    while (!x.empty() && x.back() == 0) x = x.subspan(0, x.size() - 1);
+    return x;
+  };
+
+  std::span<const u64> a0 = trimmed(lo(a)), a1 = trimmed(hi(a));
+  std::span<const u64> b0 = trimmed(lo(b)), b1 = trimmed(hi(b));
+
+  std::vector<u64> z0 = mul_any(a0, b0);
+  std::vector<u64> z2 = mul_any(a1, b1);
+
+  std::vector<u64> sa = add_mag_local(a0, a1);
+  std::vector<u64> sb = add_mag_local(b0, b1);
+  while (!sa.empty() && sa.back() == 0) sa.pop_back();
+  while (!sb.empty() && sb.back() == 0) sb.pop_back();
+  std::vector<u64> z1 = mul_any(sa, sb);  // z1 = (a0+a1)(b0+b1)
+  // z1 -= z0 + z2
+  while (z1.size() < std::max(z0.size(), z2.size())) z1.push_back(0);
+  sub_into(z1, z0, 0);
+  sub_into(z1, z2, 0);
+
+  // Trim trailing zero limbs so the shifted adds stay within `out`: the
+  // *values* fit (z1*B^half <= a*b), even when the raw vectors are longer.
+  auto shrink = [](std::vector<u64>& x) {
+    while (!x.empty() && x.back() == 0) x.pop_back();
+  };
+  shrink(z0);
+  shrink(z1);
+  shrink(z2);
+
+  std::vector<u64> out(a.size() + b.size() + 1, 0);
+  add_into(out, z0, 0);
+  add_into(out, z1, half);
+  add_into(out, z2, 2 * half);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Bigint::mul_mag(std::span<const std::uint64_t> a,
+                                           std::span<const std::uint64_t> b) {
+  return mul_any(a, b);
+}
+
+Bigint operator+(const Bigint& a, const Bigint& b) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (a.sign_ == b.sign_)
+    return Bigint::from_limbs(Bigint::add_mag(a.limbs_, b.limbs_), a.sign_);
+  auto c = Bigint::cmp_mag(a, b);
+  if (c == std::strong_ordering::equal) return Bigint{};
+  if (c > 0) return Bigint::from_limbs(Bigint::sub_mag(a.limbs_, b.limbs_), a.sign_);
+  return Bigint::from_limbs(Bigint::sub_mag(b.limbs_, a.limbs_), b.sign_);
+}
+
+Bigint operator-(const Bigint& a, const Bigint& b) { return a + b.negated(); }
+
+Bigint operator*(const Bigint& a, const Bigint& b) {
+  if (a.is_zero() || b.is_zero()) return Bigint{};
+  return Bigint::from_limbs(Bigint::mul_mag(a.limbs_, b.limbs_), a.sign_ * b.sign_);
+}
+
+namespace {
+
+// Divides magnitude `u` by single limb `d`; returns quotient limbs, sets `rem`.
+std::vector<u64> div_by_limb(std::span<const u64> u, u64 d, u64& rem) {
+  std::vector<u64> q(u.size(), 0);
+  u128 r = 0;
+  for (std::size_t i = u.size(); i-- > 0;) {
+    u128 cur = (r << 64) | u[i];
+    q[i] = static_cast<u64>(cur / d);
+    r = cur % d;
+  }
+  rem = static_cast<u64>(r);
+  return q;
+}
+
+}  // namespace
+
+void Bigint::divmod_mag(const Bigint& a, const Bigint& b, Bigint& quot, Bigint& rem) {
+  // |a| / |b| with |b| != 0; results are non-negative magnitudes.
+  auto c = cmp_mag(a, b);
+  if (c < 0) {
+    quot = Bigint{};
+    rem = a.abs();
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    u64 r = 0;
+    auto q = div_by_limb(a.limbs_, b.limbs_[0], r);
+    quot = from_limbs(std::move(q), 1);
+    rem = Bigint(r);
+    return;
+  }
+
+  // Knuth Algorithm D (TAOCP 4.3.1). Normalize so divisor's top bit is set.
+  const int shift = std::countl_zero(b.limbs_.back());
+  Bigint u = a.abs().shl(static_cast<std::size_t>(shift));
+  Bigint v = b.abs().shl(static_cast<std::size_t>(shift));
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+
+  std::vector<u64> un = u.limbs_;
+  un.push_back(0);  // u has m+n+1 limbs
+  const std::vector<u64>& vn = v.limbs_;
+  std::vector<u64> q(m + 1, 0);
+
+  const u64 v1 = vn[n - 1];
+  const u64 v2 = vn[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q̂ = floor((un[j+n]*B + un[j+n-1]) / v1), then refine.
+    u128 num = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 qhat = num / v1;
+    u128 rhat = num % v1;
+    while (qhat >= (static_cast<u128>(1) << 64) ||
+           qhat * v2 > ((rhat << 64) | un[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat >= (static_cast<u128>(1) << 64)) break;
+    }
+    // Multiply-subtract: un[j..j+n] -= qhat * vn.
+    u64 borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 p = static_cast<u128>(static_cast<u64>(qhat)) * vn[i] + carry;
+      carry = static_cast<u64>(p >> 64);
+      u64 plo = static_cast<u64>(p);
+      u64 ui = un[i + j];
+      u64 d = ui - plo - borrow;
+      borrow = (ui < plo || (ui == plo && borrow)) ? 1 : 0;
+      un[i + j] = d;
+    }
+    {
+      u64 ui = un[j + n];
+      u64 d = ui - carry - borrow;
+      borrow = (ui < carry || (ui == carry && borrow)) ? 1 : 0;
+      un[j + n] = d;
+    }
+    u64 qj = static_cast<u64>(qhat);
+    if (borrow != 0) {
+      // q̂ was one too large: add back.
+      --qj;
+      u64 c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(un[i + j]) + vn[i] + c2;
+        un[i + j] = static_cast<u64>(s);
+        c2 = static_cast<u64>(s >> 64);
+      }
+      un[j + n] += c2;
+    }
+    q[j] = qj;
+  }
+
+  quot = from_limbs(std::move(q), 1);
+  un.resize(n);
+  rem = from_limbs(std::move(un), 1).shr(static_cast<std::size_t>(shift));
+}
+
+void Bigint::divmod(const Bigint& a, const Bigint& b, Bigint& quot, Bigint& rem) {
+  if (b.is_zero()) throw std::domain_error("Bigint: division by zero");
+  Bigint q, r;
+  divmod_mag(a, b, q, r);
+  // Truncated semantics: sign(q) = sign(a)*sign(b); sign(r) = sign(a).
+  if (!q.is_zero()) q.sign_ = a.sign_ * b.sign_;
+  if (!r.is_zero()) r.sign_ = a.sign_;
+  quot = std::move(q);
+  rem = std::move(r);
+}
+
+Bigint operator/(const Bigint& a, const Bigint& b) {
+  Bigint q, r;
+  Bigint::divmod(a, b, q, r);
+  return q;
+}
+
+Bigint operator%(const Bigint& a, const Bigint& b) {
+  Bigint q, r;
+  Bigint::divmod(a, b, q, r);
+  return r;
+}
+
+Bigint Bigint::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / 64;
+  std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  return from_limbs(std::move(out), sign_);
+}
+
+Bigint Bigint::shr(std::size_t bits) const {
+  if (is_zero()) return *this;
+  std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return Bigint{};
+  std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  return from_limbs(std::move(out), sign_);
+}
+
+}  // namespace dblind::mpz

@@ -1,0 +1,110 @@
+// Arbitrary-precision signed integers.
+//
+// This is the arithmetic substrate for the whole library: ElGamal, the
+// zero-knowledge proofs and the threshold schemes all compute over Z_p / Z_q
+// with p up to a few thousand bits. Limbs are 64-bit, little-endian;
+// multiplication switches to Karatsuba above a threshold and division is
+// Knuth's Algorithm D. The representation invariant is: no trailing zero
+// limbs, and `sign == 0` iff the limb vector is empty.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dblind::mpz {
+
+class Bigint {
+ public:
+  Bigint() = default;
+  Bigint(std::int64_t v);   // NOLINT(google-explicit-constructor) numeric literal convenience
+  Bigint(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  Bigint(int v) : Bigint(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  // Parses "[-]hex digits". Throws std::invalid_argument on bad input.
+  static Bigint from_hex(std::string_view s);
+  // Parses "[-]decimal digits". Throws std::invalid_argument on bad input.
+  static Bigint from_dec(std::string_view s);
+  // Big-endian unsigned bytes -> non-negative integer.
+  static Bigint from_bytes_be(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::string to_hex() const;  // lowercase, no leading zeros, "-" prefix if negative
+  [[nodiscard]] std::string to_dec() const;
+  // Magnitude as big-endian bytes, zero-padded on the left to `min_len`.
+  // Throws std::length_error if the value needs more than `min_len` bytes and
+  // min_len != 0.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(std::size_t min_len = 0) const;
+
+  [[nodiscard]] bool is_zero() const { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const { return sign_ < 0; }
+  [[nodiscard]] bool is_odd() const { return sign_ != 0 && (limbs_[0] & 1u) != 0; }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+  [[nodiscard]] int sign() const { return sign_; }
+
+  // Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  // Bit `i` of the magnitude (false beyond bit_length()).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  [[nodiscard]] Bigint abs() const;
+  [[nodiscard]] Bigint negated() const;
+
+  // Value as uint64_t; precondition: 0 <= *this < 2^64 (checked, throws
+  // std::overflow_error otherwise).
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  friend Bigint operator+(const Bigint& a, const Bigint& b);
+  friend Bigint operator-(const Bigint& a, const Bigint& b);
+  friend Bigint operator*(const Bigint& a, const Bigint& b);
+  // Truncated division (C++ semantics: quotient rounds toward zero,
+  // remainder has the sign of the dividend). Throws std::domain_error on
+  // division by zero.
+  friend Bigint operator/(const Bigint& a, const Bigint& b);
+  friend Bigint operator%(const Bigint& a, const Bigint& b);
+
+  Bigint& operator+=(const Bigint& b) { return *this = *this + b; }
+  Bigint& operator-=(const Bigint& b) { return *this = *this - b; }
+  Bigint& operator*=(const Bigint& b) { return *this = *this * b; }
+  Bigint& operator/=(const Bigint& b) { return *this = *this / b; }
+  Bigint& operator%=(const Bigint& b) { return *this = *this % b; }
+
+  // Computes quotient and remainder in one pass.
+  static void divmod(const Bigint& a, const Bigint& b, Bigint& quot, Bigint& rem);
+
+  [[nodiscard]] Bigint shl(std::size_t bits) const;
+  [[nodiscard]] Bigint shr(std::size_t bits) const;
+  friend Bigint operator<<(const Bigint& a, std::size_t n) { return a.shl(n); }
+  friend Bigint operator>>(const Bigint& a, std::size_t n) { return a.shr(n); }
+
+  friend bool operator==(const Bigint& a, const Bigint& b) = default;
+  friend std::strong_ordering operator<=>(const Bigint& a, const Bigint& b);
+
+  // Access to limbs for low-level algorithms (Montgomery, hashing).
+  [[nodiscard]] std::span<const std::uint64_t> limbs() const { return limbs_; }
+
+ private:
+  friend class MontgomeryCtx;
+
+  void trim();
+  static Bigint from_limbs(std::vector<std::uint64_t> limbs, int sign);
+
+  // |a| vs |b|
+  static std::strong_ordering cmp_mag(const Bigint& a, const Bigint& b);
+  // |a| + |b|
+  static std::vector<std::uint64_t> add_mag(std::span<const std::uint64_t> a,
+                                            std::span<const std::uint64_t> b);
+  // |a| - |b|, requires |a| >= |b|
+  static std::vector<std::uint64_t> sub_mag(std::span<const std::uint64_t> a,
+                                            std::span<const std::uint64_t> b);
+  static std::vector<std::uint64_t> mul_mag(std::span<const std::uint64_t> a,
+                                            std::span<const std::uint64_t> b);
+  static void divmod_mag(const Bigint& a, const Bigint& b, Bigint& quot, Bigint& rem);
+
+  int sign_ = 0;                      // -1, 0, +1
+  std::vector<std::uint64_t> limbs_;  // little-endian; empty iff sign_ == 0
+};
+
+}  // namespace dblind::mpz

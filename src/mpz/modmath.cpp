@@ -1,0 +1,96 @@
+#include "mpz/modmath.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dblind::mpz {
+
+Bigint mod(const Bigint& a, const Bigint& m) {
+  if (m.is_zero() || m.is_negative()) throw std::domain_error("mod: modulus must be positive");
+  Bigint r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+Bigint addmod(const Bigint& a, const Bigint& b, const Bigint& m) { return mod(a + b, m); }
+
+Bigint submod(const Bigint& a, const Bigint& b, const Bigint& m) { return mod(a - b, m); }
+
+Bigint mulmod(const Bigint& a, const Bigint& b, const Bigint& m) { return mod(a * b, m); }
+
+Bigint powmod(const Bigint& base, const Bigint& exp, const Bigint& m) {
+  if (m.is_zero() || m.is_negative()) throw std::domain_error("powmod: modulus must be positive");
+  if (m == Bigint(1)) return Bigint(0);
+  Bigint b = mod(base, m);
+  if (exp.is_negative()) return powmod(invmod(b, m), exp.negated(), m);
+  if (m.is_odd()) return MontgomeryCtx(m).pow(b, exp);
+  // Generic square-and-multiply for even moduli (rare; test-only).
+  Bigint acc(1);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    acc = mulmod(acc, acc, m);
+    if (exp.bit(i)) acc = mulmod(acc, b, m);
+  }
+  return acc;
+}
+
+Bigint gcd(Bigint a, Bigint b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    Bigint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+EgcdResult egcd(const Bigint& a, const Bigint& b) {
+  // Iterative extended Euclid maintaining r = a*x + b*y.
+  Bigint old_r = a, r = b;
+  Bigint old_x(1), x(0);
+  Bigint old_y(0), y(1);
+  while (!r.is_zero()) {
+    Bigint q, rem;
+    Bigint::divmod(old_r, r, q, rem);
+    old_r = std::exchange(r, std::move(rem));
+    Bigint nx = old_x - q * x;
+    old_x = std::exchange(x, std::move(nx));
+    Bigint ny = old_y - q * y;
+    old_y = std::exchange(y, std::move(ny));
+  }
+  if (old_r.is_negative()) {
+    old_r = old_r.negated();
+    old_x = old_x.negated();
+    old_y = old_y.negated();
+  }
+  return {std::move(old_r), std::move(old_x), std::move(old_y)};
+}
+
+Bigint invmod(const Bigint& a, const Bigint& m) {
+  if (m.is_zero() || m.is_negative()) throw std::domain_error("invmod: modulus must be positive");
+  EgcdResult e = egcd(mod(a, m), m);
+  if (e.g != Bigint(1)) throw std::domain_error("invmod: not invertible");
+  return mod(e.x, m);
+}
+
+int jacobi(Bigint a, Bigint n) {
+  if (n.is_negative() || n.is_even() || n.is_zero())
+    throw std::domain_error("jacobi: n must be positive odd");
+  a = mod(a, n);
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a = a.shr(1);
+      // (2/n) = -1 iff n ≡ 3, 5 (mod 8)
+      std::uint64_t n8 = n.limbs()[0] & 7u;
+      if (n8 == 3 || n8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    // Quadratic reciprocity flip when both ≡ 3 (mod 4).
+    if ((a.limbs()[0] & 3u) == 3 && (n.limbs()[0] & 3u) == 3) result = -result;
+    a = mod(a, n);
+  }
+  return n == Bigint(1) ? result : 0;
+}
+
+}  // namespace dblind::mpz

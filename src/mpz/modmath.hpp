@@ -1,0 +1,39 @@
+// Modular arithmetic and elementary number theory on Bigint.
+//
+// Free functions here take the modulus explicitly and normalise results into
+// [0, m). Hot loops should prefer a MontgomeryCtx; these are the convenience
+// entry points used by setup code, tests, and non-critical paths.
+#pragma once
+
+#include "mpz/bigint.hpp"
+#include "mpz/montgomery.hpp"
+
+namespace dblind::mpz {
+
+// a mod m, normalised into [0, m). Precondition: m > 0.
+[[nodiscard]] Bigint mod(const Bigint& a, const Bigint& m);
+
+[[nodiscard]] Bigint addmod(const Bigint& a, const Bigint& b, const Bigint& m);
+[[nodiscard]] Bigint submod(const Bigint& a, const Bigint& b, const Bigint& m);
+[[nodiscard]] Bigint mulmod(const Bigint& a, const Bigint& b, const Bigint& m);
+
+// (base ^ exp) mod m for exp >= 0, odd m via Montgomery, even m via the
+// generic square-and-multiply fallback.
+[[nodiscard]] Bigint powmod(const Bigint& base, const Bigint& exp, const Bigint& m);
+
+[[nodiscard]] Bigint gcd(Bigint a, Bigint b);
+
+// Returns (g, x, y) with a*x + b*y == g == gcd(a, b).
+struct EgcdResult {
+  Bigint g, x, y;
+};
+[[nodiscard]] EgcdResult egcd(const Bigint& a, const Bigint& b);
+
+// Multiplicative inverse of a modulo m, in [0, m). Throws std::domain_error
+// when gcd(a, m) != 1.
+[[nodiscard]] Bigint invmod(const Bigint& a, const Bigint& m);
+
+// Jacobi symbol (a/n) for odd n > 0; in {-1, 0, 1}.
+[[nodiscard]] int jacobi(Bigint a, Bigint n);
+
+}  // namespace dblind::mpz

@@ -1,0 +1,286 @@
+#include "mpz/montgomery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dblind::mpz {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// Inverse of odd x modulo 2^64 via Newton iteration (5 steps double precision
+// each time: 4 -> 8 -> 16 -> 32 -> 64 bits).
+u64 inv64(u64 x) {
+  assert(x & 1);
+  u64 inv = x;  // correct mod 2^3 for odd x (x*x ≡ 1 mod 8)
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(Bigint modulus) : n_(std::move(modulus)) {
+  if (n_.is_negative() || n_.is_zero() || !n_.is_odd() || n_ == Bigint(1))
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  k_ = n_.limbs().size();
+  n0inv_ = ~inv64(n_.limbs()[0]) + 1;  // -n^{-1} mod 2^64
+  // R = 2^{64k}; rr_ = R^2 mod n computed with plain bigint arithmetic (setup
+  // only, so the slow path is fine).
+  Bigint r = Bigint(1).shl(64 * k_);
+  rr_ = (r * r) % n_;
+  Bigint one_m = r % n_;
+  one_mont_.assign(k_, 0);
+  auto lm = one_m.limbs();
+  for (std::size_t i = 0; i < lm.size(); ++i) one_mont_[i] = lm[i];
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::redc(Limbs t) const {
+  // CIOS-style reduction: t has 2k (+1 carry) limbs; after k rounds of adding
+  // m*n and shifting, the result is < 2n, then a conditional subtract.
+  t.resize(2 * k_ + 1, 0);
+  const auto n = n_.limbs();
+  for (std::size_t i = 0; i < k_; ++i) {
+    u64 m = t[i] * n0inv_;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      u128 cur = static_cast<u128>(m) * n[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t idx = i + k_;
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++idx;
+    }
+  }
+  Limbs out(t.begin() + static_cast<std::ptrdiff_t>(k_),
+            t.begin() + static_cast<std::ptrdiff_t>(2 * k_ + 1));
+  // out may be >= n (it is < 2n); subtract n once if needed.
+  // Compare out (k_+1 limbs) against n (k_ limbs).
+  bool ge = out[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (out[i] != n[i]) {
+        ge = out[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      u64 ai = out[i], bi = n[i];
+      u64 d = ai - bi - borrow;
+      borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+      out[i] = d;
+    }
+    out[k_] -= borrow;
+  }
+  out.resize(k_);
+  return out;
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::mont_mul(const Limbs& a, const Limbs& b) const {
+  Limbs t(2 * k_ + 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t idx = i + b.size();
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++idx;
+    }
+  }
+  return redc(std::move(t));
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::to_mont(const Bigint& a) const {
+  assert(!a.is_negative() && a < n_);
+  Limbs al(k_, 0);
+  auto src = a.limbs();
+  for (std::size_t i = 0; i < src.size(); ++i) al[i] = src[i];
+  Limbs rrl(k_, 0);
+  auto rr = rr_.limbs();
+  for (std::size_t i = 0; i < rr.size(); ++i) rrl[i] = rr[i];
+  return mont_mul(al, rrl);
+}
+
+Bigint MontgomeryCtx::from_mont(const Limbs& a) const {
+  Limbs t(a.begin(), a.end());
+  t.resize(2 * k_ + 1, 0);
+  Limbs r = redc(std::move(t));
+  std::vector<std::uint8_t> be(r.size() * 8);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    for (std::size_t b = 0; b < 8; ++b)
+      be[be.size() - 1 - (i * 8 + b)] = static_cast<std::uint8_t>(r[i] >> (8 * b));
+  }
+  return Bigint::from_bytes_be(be);
+}
+
+Bigint MontgomeryCtx::mul(const Bigint& a, const Bigint& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+Bigint MontgomeryCtx::pow(const Bigint& base, const Bigint& exp) const {
+  if (exp.is_negative()) throw std::invalid_argument("MontgomeryCtx::pow: negative exponent");
+  if (base.is_negative() || base >= n_)
+    throw std::invalid_argument("MontgomeryCtx::pow: base out of range");
+  if (exp.is_zero()) return from_mont(one_mont_);
+
+  // 4-bit fixed window.
+  constexpr std::size_t kWindow = 4;
+  std::vector<Limbs> table(1u << kWindow);
+  table[0] = one_mont_;
+  table[1] = to_mont(base);
+  for (std::size_t i = 2; i < table.size(); ++i) table[i] = mont_mul(table[i - 1], table[1]);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  Limbs acc = one_mont_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+    }
+    unsigned idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      std::size_t bitpos = w * kWindow + (kWindow - 1 - b);
+      idx = (idx << 1) | (exp.bit(bitpos) ? 1u : 0u);
+    }
+    if (idx != 0) {
+      acc = mont_mul(acc, table[idx]);
+      started = true;
+    } else if (!started) {
+      // Leading zero window; nothing accumulated yet.
+    }
+  }
+  if (!started) return from_mont(one_mont_);  // exp == 0 handled above; defensive
+  return from_mont(acc);
+}
+
+Bigint MontgomeryCtx::multi_pow(std::span<const Bigint> bases,
+                                std::span<const Bigint> exps) const {
+  if (bases.size() != exps.size())
+    throw std::invalid_argument("MontgomeryCtx::multi_pow: length mismatch");
+  if (bases.empty()) return from_mont(one_mont_);
+  std::size_t bits = 0;
+  std::vector<Limbs> mont;
+  mont.reserve(bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    if (bases[i].is_negative() || bases[i] >= n_)
+      throw std::invalid_argument("MontgomeryCtx::multi_pow: base out of range");
+    if (exps[i].is_negative())
+      throw std::invalid_argument("MontgomeryCtx::multi_pow: negative exponent");
+    bits = std::max(bits, exps[i].bit_length());
+    mont.push_back(to_mont(bases[i]));
+  }
+  if (bits == 0) return from_mont(one_mont_);
+  Limbs acc = one_mont_;
+  bool started = false;
+  for (std::size_t bit = bits; bit-- > 0;) {
+    if (started) acc = mont_mul(acc, acc);
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (exps[i].bit(bit)) {
+        acc = mont_mul(acc, mont[i]);
+        started = true;
+      }
+    }
+  }
+  if (!started) return from_mont(one_mont_);
+  return from_mont(acc);
+}
+
+Bigint MontgomeryCtx::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
+                           const Bigint& eb) const {
+  if (ea.is_negative() || eb.is_negative())
+    throw std::invalid_argument("MontgomeryCtx::pow2: negative exponent");
+  if (a.is_negative() || a >= n_ || b.is_negative() || b >= n_)
+    throw std::invalid_argument("MontgomeryCtx::pow2: base out of range");
+  // 2-bit joint window: table[i][j] = a^i * b^j for i, j in [0, 4).
+  Limbs am = to_mont(a);
+  Limbs bm = to_mont(b);
+  std::array<std::array<Limbs, 4>, 4> table;
+  table[0][0] = one_mont_;
+  table[1][0] = am;
+  table[2][0] = mont_mul(am, am);
+  table[3][0] = mont_mul(table[2][0], am);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 1; j < 4; ++j) table[i][j] = mont_mul(table[i][j - 1], bm);
+  }
+
+  const std::size_t bits = std::max(ea.bit_length(), eb.bit_length());
+  if (bits == 0) return from_mont(one_mont_);
+  const std::size_t windows = (bits + 1) / 2;
+  Limbs acc = one_mont_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    unsigned ia = (ea.bit(2 * w + 1) ? 2u : 0u) | (ea.bit(2 * w) ? 1u : 0u);
+    unsigned ib = (eb.bit(2 * w + 1) ? 2u : 0u) | (eb.bit(2 * w) ? 1u : 0u);
+    if (ia != 0 || ib != 0) {
+      acc = mont_mul(acc, table[ia][ib]);
+      started = true;
+    }
+  }
+  if (!started) return from_mont(one_mont_);
+  return from_mont(acc);
+}
+
+}  // namespace dblind::mpz
+
+namespace dblind_fixed_base_detail {}  // keep clang-format calm
+
+namespace dblind::mpz {
+
+FixedBasePow::FixedBasePow(const MontgomeryCtx& ctx, const Bigint& base,
+                           std::size_t max_exp_bits)
+    : ctx_(ctx) {
+  if (base.is_negative() || base >= ctx.modulus())
+    throw std::invalid_argument("FixedBasePow: base out of range");
+  if (max_exp_bits == 0) max_exp_bits = 1;
+  windows_ = (max_exp_bits + kWindow - 1) / kWindow;
+  table_.resize(windows_);
+
+  MontgomeryCtx::Limbs cur = ctx_.to_mont(base);  // base^(16^i) as i advances
+  for (std::size_t i = 0; i < windows_; ++i) {
+    table_[i][0] = ctx_.one_mont_;
+    table_[i][1] = cur;
+    for (std::size_t j = 2; j < (1u << kWindow); ++j)
+      table_[i][j] = ctx_.mont_mul(table_[i][j - 1], cur);
+    // Advance cur to base^(16^(i+1)) = (16th power of cur).
+    if (i + 1 < windows_) cur = ctx_.mont_mul(table_[i][(1u << kWindow) - 1], cur);
+  }
+}
+
+Bigint FixedBasePow::pow(const Bigint& exp) const {
+  if (exp.is_negative()) throw std::invalid_argument("FixedBasePow::pow: negative exponent");
+  if (exp.bit_length() > windows_ * kWindow)
+    throw std::invalid_argument("FixedBasePow::pow: exponent too large for table");
+  MontgomeryCtx::Limbs acc = ctx_.one_mont_;
+  for (std::size_t i = 0; i < windows_; ++i) {
+    unsigned idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      if (exp.bit(i * kWindow + b)) idx |= 1u << b;
+    }
+    if (idx != 0) acc = ctx_.mont_mul(acc, table_[i][idx]);
+  }
+  return ctx_.from_mont(acc);
+}
+
+}  // namespace dblind::mpz

@@ -1,0 +1,110 @@
+#include "mpz/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::mpz {
+
+namespace {
+
+// Small primes for trial division; enough to reject the vast majority of
+// random candidates before a Miller-Rabin round is spent.
+const std::vector<std::uint64_t>& small_primes() {
+  static const std::vector<std::uint64_t> primes = [] {
+    constexpr std::size_t kLimit = 8192;
+    std::vector<bool> sieve(kLimit, true);
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (std::size_t j = i * i; j < kLimit; j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+// n mod d for small d without building a Bigint.
+std::uint64_t mod_small(const Bigint& n, std::uint64_t d) {
+  unsigned __int128 r = 0;
+  auto limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) r = ((r << 64) | limbs[i]) % d;
+  return static_cast<std::uint64_t>(r);
+}
+
+bool miller_rabin_round(const Bigint& n, const Bigint& a, const Bigint& d, std::size_t r,
+                        const MontgomeryCtx& ctx) {
+  const Bigint n_minus_1 = n - Bigint(1);
+  Bigint x = ctx.pow(a, d);
+  if (x == Bigint(1) || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = ctx.mul(x, x);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const Bigint& n, Prng& prng, int rounds) {
+  if (n < Bigint(2)) return false;
+  for (std::uint64_t p : small_primes()) {
+    if (n == Bigint(p)) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  Bigint d = n - Bigint(1);
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d.shr(1);
+    ++r;
+  }
+  MontgomeryCtx ctx(n);
+  const Bigint n_minus_2 = n - Bigint(2);
+  for (int i = 0; i < rounds; ++i) {
+    // a uniform in [2, n-2]
+    Bigint a = prng.uniform_below(n_minus_2 - Bigint(1)) + Bigint(2);
+    if (!miller_rabin_round(n, a, d, r, ctx)) return false;
+  }
+  return true;
+}
+
+Bigint generate_prime(std::size_t bits, Prng& prng, int rounds) {
+  if (bits < 2) throw std::invalid_argument("generate_prime: need bits >= 2");
+  for (;;) {
+    Bigint cand = prng.random_bits(bits);
+    if (cand.is_even()) cand += Bigint(1);
+    if (is_probable_prime(cand, prng, rounds)) return cand;
+  }
+}
+
+SafePrime generate_safe_prime(std::size_t bits, Prng& prng, int rounds) {
+  if (bits < 4) throw std::invalid_argument("generate_safe_prime: need bits >= 4");
+  for (;;) {
+    Bigint q = prng.random_bits(bits - 1);
+    if (q.is_even()) q += Bigint(1);
+    // Cheap joint pre-screen on q and p = 2q+1 before any Miller-Rabin.
+    bool screened_out = false;
+    for (std::uint64_t sp : small_primes()) {
+      std::uint64_t qr = mod_small(q, sp);
+      if (qr == 0 && q != Bigint(sp)) {
+        screened_out = true;
+        break;
+      }
+      if ((2 * qr + 1) % sp == 0 && !(q == Bigint((sp - 1) / 2))) {
+        screened_out = true;
+        break;
+      }
+    }
+    if (screened_out) continue;
+    if (!is_probable_prime(q, prng, rounds)) continue;
+    Bigint p = q.shl(1) + Bigint(1);
+    if (p.bit_length() != bits) continue;
+    if (is_probable_prime(p, prng, rounds)) return {std::move(p), std::move(q)};
+  }
+}
+
+}  // namespace dblind::mpz

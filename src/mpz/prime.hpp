@@ -1,0 +1,27 @@
+// Primality testing and (safe-)prime generation.
+//
+// The library ships fixed parameter sets (src/group/params.cpp), but users
+// can generate fresh groups; safe-prime search uses small-prime trial
+// division in front of Miller-Rabin.
+#pragma once
+
+#include "mpz/bigint.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::mpz {
+
+// Miller-Rabin with `rounds` random bases. Error probability <= 4^-rounds for
+// composites. Deterministically correct for n < 3317044064679887385961981
+// when rounds >= 13 is combined with the fixed-base prefilter we run first.
+[[nodiscard]] bool is_probable_prime(const Bigint& n, Prng& prng, int rounds = 40);
+
+// Random prime with exactly `bits` bits.
+[[nodiscard]] Bigint generate_prime(std::size_t bits, Prng& prng, int rounds = 40);
+
+// Safe prime p = 2q + 1 with p of exactly `bits` bits; returns {p, q}.
+struct SafePrime {
+  Bigint p, q;
+};
+[[nodiscard]] SafePrime generate_safe_prime(std::size_t bits, Prng& prng, int rounds = 40);
+
+}  // namespace dblind::mpz

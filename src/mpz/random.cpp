@@ -1,0 +1,153 @@
+#include "mpz/random.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "hash/sha256.hpp"
+
+namespace dblind::mpz {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 4> kSigma = {0x61707865u, 0x3320646eu, 0x79622d32u,
+                                                 0x6b206574u};  // "expand 32-byte k"
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha20_block(const std::array<std::uint32_t, 16>& in, std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + in[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 8; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  *this = Prng(key);
+}
+
+Prng::Prng(const std::array<std::uint8_t, 32>& key) {
+  for (int i = 0; i < 4; ++i) state_[static_cast<std::size_t>(i)] = kSigma[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t w = 0;
+    for (int b = 3; b >= 0; --b) w = (w << 8) | key[static_cast<std::size_t>(4 * i + b)];
+    state_[static_cast<std::size_t>(4 + i)] = w;
+  }
+  // counter (state_[12..13]) and nonce (state_[14..15]) start at zero.
+}
+
+Prng Prng::from_os_entropy() {
+  std::array<std::uint8_t, 32> key{};
+  if (getentropy(key.data(), key.size()) != 0)
+    throw std::runtime_error("Prng::from_os_entropy: getentropy failed");
+  return Prng(key);
+}
+
+void Prng::refill() {
+  chacha20_block(state_, block_);
+  pos_ = 0;
+  // 128-bit counter over words 12..15 (we never use a nonce, so the whole
+  // tail is counter space; wrap-around is unreachable).
+  for (int i = 12; i < 16; ++i) {
+    if (++state_[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+void Prng::fill(std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    if (pos_ == 64) refill();
+    std::size_t take = std::min<std::size_t>(64 - pos_, out.size() - done);
+    std::memcpy(out.data() + done, block_.data() + pos_, take);
+    pos_ += take;
+    done += take;
+  }
+}
+
+std::uint64_t Prng::next_u64() {
+  std::array<std::uint8_t, 8> buf{};
+  fill(buf);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t Prng::uniform_u64(std::uint64_t bound) {
+  if (bound == 0) throw std::domain_error("Prng::uniform_u64: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+Bigint Prng::uniform_below(const Bigint& bound) {
+  if (bound.is_zero() || bound.is_negative())
+    throw std::domain_error("Prng::uniform_below: bound must be > 0");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t bytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf(bytes);
+  for (;;) {
+    fill(buf);
+    // Mask excess top bits so the rejection rate stays < 1/2.
+    if (bits % 8 != 0) buf[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+    Bigint v = Bigint::from_bytes_be(buf);
+    if (v < bound) return v;
+  }
+}
+
+Bigint Prng::uniform_nonzero_below(const Bigint& bound) {
+  if (bound <= Bigint(1))
+    throw std::domain_error("Prng::uniform_nonzero_below: bound must be > 1");
+  for (;;) {
+    Bigint v = uniform_below(bound);
+    if (!v.is_zero()) return v;
+  }
+}
+
+Bigint Prng::random_bits(std::size_t bits) {
+  if (bits == 0) return Bigint{};
+  std::vector<std::uint8_t> buf((bits + 7) / 8);
+  fill(buf);
+  if (bits % 8 != 0) buf[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+  buf[0] |= static_cast<std::uint8_t>(1u << ((bits - 1) % 8));  // force top bit
+  return Bigint::from_bytes_be(buf);
+}
+
+Prng Prng::fork(std::string_view label) {
+  std::array<std::uint8_t, 32> parent_key{};
+  fill(parent_key);
+  hash::Sha256 h;
+  h.update(std::span<const std::uint8_t>(parent_key.data(), parent_key.size()));
+  h.update(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(label.data()),
+                                         label.size()));
+  return Prng(h.finish());
+}
+
+}  // namespace dblind::mpz

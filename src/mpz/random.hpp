@@ -1,0 +1,57 @@
+// Deterministic cryptographically-strong pseudo-randomness.
+//
+// Every randomized piece of the library (contributions ρ_i, encryption
+// nonces, ZK commitments, simulator schedules) draws from a Prng so that
+// whole protocol runs replay bit-for-bit from a seed. The generator is a
+// from-scratch ChaCha20 keystream (RFC 8439 block function) keyed from the
+// seed; `fork` derives independent child streams for per-node randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mpz/bigint.hpp"
+
+namespace dblind::mpz {
+
+class Prng {
+ public:
+  // Deterministic seed; identical seeds produce identical streams.
+  explicit Prng(std::uint64_t seed);
+  // Keyed construction (e.g. from a hash); key is the full 32-byte ChaCha key.
+  explicit Prng(const std::array<std::uint8_t, 32>& key);
+
+  // Seeds from the operating system (getentropy). For production use;
+  // tests and the simulator use the deterministic constructors.
+  static Prng from_os_entropy();
+
+  void fill(std::span<std::uint8_t> out);
+  [[nodiscard]] std::uint64_t next_u64();
+  // Uniform in [0, bound) via rejection sampling. Precondition: bound > 0.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound);
+
+  // Uniformly random integer in [0, bound) via rejection sampling.
+  // Precondition: bound > 0.
+  [[nodiscard]] Bigint uniform_below(const Bigint& bound);
+  // Uniformly random integer in [1, bound) — i.e. Z_q^* style sampling.
+  // Precondition: bound > 1.
+  [[nodiscard]] Bigint uniform_nonzero_below(const Bigint& bound);
+  // Random integer with exactly `bits` bits (top bit set).
+  [[nodiscard]] Bigint random_bits(std::size_t bits);
+
+  // Derives an independent child generator; children with different labels
+  // (or derived from different parents) produce independent streams.
+  [[nodiscard]] Prng fork(std::string_view label);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;  // forces refill on first use
+};
+
+}  // namespace dblind::mpz

@@ -1,0 +1,102 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dblind::net {
+
+void SimContext::send(NodeId to, std::vector<std::uint8_t> bytes) {
+  sim_.send_from(self_, to, std::move(bytes));
+}
+
+void SimContext::set_timer(Time delay, std::uint64_t token) {
+  sim_.timer_from(self_, delay, token);
+}
+
+Time SimContext::now() const { return sim_.now(); }
+
+mpz::Prng& SimContext::rng() { return *sim_.nodes_.at(self_).rng; }
+
+Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayPolicy> delays)
+    : delays_(std::move(delays)), net_rng_(seed) {
+  if (!delays_) throw std::invalid_argument("Simulator: null delay policy");
+}
+
+NodeId Simulator::add_node(std::unique_ptr<Node> node) {
+  if (!node) throw std::invalid_argument("Simulator::add_node: null node");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Slot slot;
+  slot.node = std::move(node);
+  slot.rng = std::make_unique<mpz::Prng>(net_rng_.fork("node/" + std::to_string(id)));
+  nodes_.push_back(std::move(slot));
+  enqueue({now_, seq_++, Event::Kind::kStart, id, 0, {}, 0});
+  return id;
+}
+
+void Simulator::crash_at(NodeId id, Time when) {
+  enqueue({std::max(when, now_), seq_++, Event::Kind::kCrash, id, 0, {}, 0});
+}
+
+void Simulator::enqueue(Event e) { queue_.push(std::move(e)); }
+
+void Simulator::send_from(NodeId from, NodeId to, std::vector<std::uint8_t> bytes) {
+  if (to >= nodes_.size()) throw std::out_of_range("Simulator: send to unknown node");
+  if (crashed_.contains(from)) return;  // a crashed sender emits nothing
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes.size();
+  Time d = delays_->delay(from, to, bytes.size(), net_rng_);
+  if (duplication_percent_ != 0 && net_rng_.uniform_u64(100) < duplication_percent_) {
+    Time d2 = delays_->delay(from, to, bytes.size(), net_rng_);
+    enqueue({now_ + d2, seq_++, Event::Kind::kMessage, to, from, bytes, 0});
+  }
+  enqueue({now_ + d, seq_++, Event::Kind::kMessage, to, from, std::move(bytes), 0});
+}
+
+void Simulator::timer_from(NodeId node, Time delay, std::uint64_t token) {
+  enqueue({now_ + delay, seq_++, Event::Kind::kTimer, node, 0, {}, token});
+}
+
+NetStats Simulator::run(std::uint64_t max_events) {
+  run_until([] { return false; }, max_events);
+  return stats_;
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_events) {
+  if (pred()) return true;
+  std::uint64_t events = 0;
+  while (!queue_.empty() && events < max_events) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    stats_.end_time = now_;
+    ++events;
+
+    if (e.kind == Event::Kind::kCrash) {
+      crashed_.insert(e.target);
+      continue;
+    }
+    if (crashed_.contains(e.target)) continue;
+
+    Slot& slot = nodes_.at(e.target);
+    SimContext ctx(*this, e.target);
+    switch (e.kind) {
+      case Event::Kind::kStart:
+        slot.started = true;
+        slot.node->on_start(ctx);
+        break;
+      case Event::Kind::kMessage:
+        ++stats_.messages_delivered;
+        slot.node->on_message(ctx, e.from, e.bytes);
+        break;
+      case Event::Kind::kTimer:
+        slot.node->on_timer(ctx, e.token);
+        break;
+      case Event::Kind::kCrash:
+        break;  // handled above
+    }
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace dblind::net

@@ -1,0 +1,196 @@
+// Deterministic discrete-event simulator for asynchronous message passing.
+//
+// The paper's protocols assume the Asynchronous System Model (§2): no bound
+// on message delay or execution speed. A discrete-event simulator makes that
+// model concrete AND reproducible: delays come from a seeded adversarial
+// DelayPolicy, so a run is a pure function of (topology, protocol, seed).
+// Nodes never see a clock — only message deliveries and local timer events
+// (timers model local timeouts such as the delayed-backup-coordinator
+// optimization of §4.1, which affect liveness decisions, never safety).
+//
+// The simulator also keeps per-run accounting (messages, bytes, virtual
+// latency) which the bench harness reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "mpz/random.hpp"
+
+namespace dblind::net {
+
+using NodeId = std::uint32_t;
+using Time = std::uint64_t;  // virtual microseconds
+
+class Simulator;
+
+// A node's handle to the network; valid only inside event callbacks.
+// Abstract so the same Node code runs on the deterministic simulator and on
+// real transports (e.g. net::ThreadedBus).
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual void send(NodeId to, std::vector<std::uint8_t> bytes) = 0;
+  // Schedules a local timer; `token` is echoed to on_timer.
+  virtual void set_timer(Time delay, std::uint64_t token) = 0;
+  [[nodiscard]] virtual Time now() const = 0;
+  [[nodiscard]] virtual NodeId self() const = 0;
+  // Per-node deterministic randomness (forked from the transport seed).
+  [[nodiscard]] virtual mpz::Prng& rng() = 0;
+};
+
+// Context implementation bound to the discrete-event Simulator.
+class SimContext final : public Context {
+ public:
+  SimContext(Simulator& sim, NodeId self) : sim_(sim), self_(self) {}
+
+  void send(NodeId to, std::vector<std::uint8_t> bytes) override;
+  void set_timer(Time delay, std::uint64_t token) override;
+  [[nodiscard]] Time now() const override;
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] mpz::Prng& rng() override;
+
+ private:
+  Simulator& sim_;
+  NodeId self_;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  // Called once when the simulation starts.
+  virtual void on_start(Context& ctx) { (void)ctx; }
+  virtual void on_message(Context& ctx, NodeId from, std::span<const std::uint8_t> bytes) = 0;
+  virtual void on_timer(Context& ctx, std::uint64_t token) { (void)token; (void)ctx; }
+};
+
+// Chooses the delivery delay of each message — this IS the adversary's
+// control over asynchrony. Implementations must be deterministic given the
+// Prng they draw from.
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+  virtual Time delay(NodeId from, NodeId to, std::size_t bytes, mpz::Prng& prng) = 0;
+};
+
+// Uniform random delay in [min, max].
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(Time min, Time max) : min_(min), max_(max) {}
+  Time delay(NodeId, NodeId, std::size_t, mpz::Prng& prng) override {
+    return min_ + prng.uniform_u64(max_ - min_ + 1);
+  }
+
+ private:
+  Time min_, max_;
+};
+
+// Uniform base delay, but traffic touching `slow` nodes is stretched by
+// `factor` — models a denial-of-service adversary targeting specific servers
+// (e.g. the designated coordinator).
+class TargetedSlowdown final : public DelayPolicy {
+ public:
+  TargetedSlowdown(Time min, Time max, std::set<NodeId> slow, Time factor)
+      : base_(min, max), slow_(std::move(slow)), factor_(factor) {}
+  Time delay(NodeId from, NodeId to, std::size_t bytes, mpz::Prng& prng) override {
+    Time d = base_.delay(from, to, bytes, prng);
+    if (slow_.contains(from) || slow_.contains(to)) d *= factor_;
+    return d;
+  }
+
+ private:
+  UniformDelay base_;
+  std::set<NodeId> slow_;
+  Time factor_;
+};
+
+// Per-run accounting.
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  Time end_time = 0;
+};
+
+class Simulator {
+ public:
+  // `seed` drives every random choice (delays and node RNGs).
+  explicit Simulator(std::uint64_t seed, std::unique_ptr<DelayPolicy> delays);
+
+  // Adds a node; returns its id (sequential from 0).
+  NodeId add_node(std::unique_ptr<Node> node);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // Crash-stop the node at virtual time `when` (immediately if in the past):
+  // it receives no further events and its sends are dropped.
+  void crash_at(NodeId id, Time when);
+
+  // Adversarial channel: each message is additionally delivered a second
+  // time (with an independent delay) with probability `percent`/100. The
+  // asynchronous model permits duplication, so protocols must be idempotent.
+  void set_duplication_percent(unsigned percent) { duplication_percent_ = percent; }
+  [[nodiscard]] bool crashed(NodeId id) const { return crashed_.contains(id); }
+
+  // Runs until the event queue drains or `max_events` deliveries occurred.
+  // Returns accumulated stats. Calling run again continues the simulation.
+  NetStats run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  // Runs until `pred()` becomes true (checked after every delivery) or the
+  // queue drains. Returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& pred,
+                 std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Direct access for test assertions.
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id).node; }
+
+ private:
+  friend class SimContext;
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-break for determinism
+    enum class Kind : std::uint8_t { kStart, kMessage, kTimer, kCrash } kind;
+    NodeId target;
+    NodeId from = 0;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t token = 0;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  struct Slot {
+    std::unique_ptr<Node> node;
+    std::unique_ptr<mpz::Prng> rng;
+    bool started = false;
+  };
+
+  void enqueue(Event e);
+  void send_from(NodeId from, NodeId to, std::vector<std::uint8_t> bytes);
+  void timer_from(NodeId node, Time delay, std::uint64_t token);
+
+  std::vector<Slot> nodes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::set<NodeId> crashed_;
+  std::unique_ptr<DelayPolicy> delays_;
+  mpz::Prng net_rng_;
+  NetStats stats_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  unsigned duplication_percent_ = 0;
+};
+
+}  // namespace dblind::net

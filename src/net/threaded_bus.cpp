@@ -1,0 +1,136 @@
+#include "net/threaded_bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dblind::net {
+
+// Per-node Context handed to handlers; lives for the thread's lifetime.
+class ThreadedBus::BusContext final : public Context {
+ public:
+  BusContext(ThreadedBus& bus, Slot& slot) : bus_(bus), slot_(slot) {}
+
+  void send(NodeId to, std::vector<std::uint8_t> bytes) override {
+    bus_.post_message(to, slot_.id, std::move(bytes));
+  }
+
+  void set_timer(Time delay, std::uint64_t token) override {
+    // Called from this slot's own thread (inside a handler), where mu is not
+    // held — safe to lock.
+    std::lock_guard<std::mutex> lock(slot_.mu);
+    slot_.timers.push_back(
+        {std::chrono::steady_clock::now() + std::chrono::microseconds(delay), token});
+    slot_.cv.notify_all();
+  }
+
+  [[nodiscard]] Time now() const override {
+    return static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - bus_.epoch_)
+                                 .count());
+  }
+
+  [[nodiscard]] NodeId self() const override { return slot_.id; }
+
+  [[nodiscard]] mpz::Prng& rng() override { return *slot_.rng; }
+
+ private:
+  ThreadedBus& bus_;
+  Slot& slot_;
+};
+
+ThreadedBus::ThreadedBus(std::uint64_t seed)
+    : epoch_(std::chrono::steady_clock::now()), seed_rng_(seed) {}
+
+ThreadedBus::~ThreadedBus() { stop(); }
+
+NodeId ThreadedBus::add_node(std::unique_ptr<Node> node) {
+  if (running_) throw std::logic_error("ThreadedBus: add_node after start");
+  if (!node) throw std::invalid_argument("ThreadedBus: null node");
+  auto slot = std::make_unique<Slot>();
+  slot->id = static_cast<NodeId>(slots_.size());
+  slot->node = std::move(node);
+  slot->rng =
+      std::make_unique<mpz::Prng>(seed_rng_.fork("bus-node/" + std::to_string(slot->id)));
+  slots_.push_back(std::move(slot));
+  return slots_.back()->id;
+}
+
+void ThreadedBus::start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& slot : slots_) {
+    slot->thread = std::thread([this, s = slot.get()] { deliver_loop(*s); });
+  }
+}
+
+void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes) {
+  if (to >= slots_.size()) return;  // unknown destination: drop (async model)
+  Slot& slot = *slots_[to];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.stopping) return;
+  slot.inbox.push_back({from, std::move(bytes)});
+  slot.cv.notify_all();
+}
+
+void ThreadedBus::deliver_loop(Slot& slot) {
+  BusContext ctx(*this, slot);
+  slot.node->on_start(ctx);
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.started = true;
+  }
+  for (;;) {
+    std::vector<Slot::Incoming> batch;
+    std::vector<std::uint64_t> due_tokens;
+    {
+      std::unique_lock<std::mutex> lock(slot.mu);
+      auto next_deadline = [&]() -> std::chrono::steady_clock::time_point {
+        auto earliest = std::chrono::steady_clock::time_point::max();
+        for (const TimerEntry& t : slot.timers) earliest = std::min(earliest, t.due);
+        return earliest;
+      };
+      while (!slot.stopping && slot.inbox.empty()) {
+        auto deadline = next_deadline();
+        if (deadline == std::chrono::steady_clock::time_point::max()) {
+          slot.cv.wait(lock);
+        } else if (slot.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (slot.stopping) return;
+      batch.swap(slot.inbox);
+      auto now = std::chrono::steady_clock::now();
+      auto split = std::partition(slot.timers.begin(), slot.timers.end(),
+                                  [&](const TimerEntry& t) { return t.due > now; });
+      for (auto it = split; it != slot.timers.end(); ++it) due_tokens.push_back(it->token);
+      slot.timers.erase(split, slot.timers.end());
+    }
+    for (std::uint64_t token : due_tokens) slot.node->on_timer(ctx, token);
+    for (Slot::Incoming& msg : batch) slot.node->on_message(ctx, msg.from, msg.bytes);
+  }
+}
+
+bool ThreadedBus::run_until(const std::function<bool()>& pred, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+void ThreadedBus::stop() {
+  if (!running_) return;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->stopping = true;
+    slot->cv.notify_all();
+  }
+  for (auto& slot : slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  running_ = false;
+}
+
+}  // namespace dblind::net

@@ -1,0 +1,48 @@
+// Two-phase distributed key generation with Pedersen commitments.
+//
+// The plain joint-Feldman DKG (keygen.hpp) publishes g^{a_{d,0}} immediately,
+// which lets a rushing adversary bias the distribution of the final public
+// key (Gennaro, Jarecki, Krawczyk, Rabin '99). The fix implemented here:
+//
+//   Phase 1 — every dealer runs Pedersen VSS (perfectly hiding commitments
+//     E_{d,j} = g^{a_{d,j}} h^{b_{d,j}}); participants verify their share
+//     pairs and disqualify bad dealers. The qualified set QUAL is now FIXED
+//     before anything about the key is revealed.
+//   Phase 2 — each dealer in QUAL opens the g-part: it publishes Feldman
+//     commitments A_{d,j} = g^{a_{d,j}}. Every participant cross-checks its
+//     share against them; a dealer whose opening is inconsistent is exposed
+//     by revealing the (verified) share pair, and its secret is
+//     reconstructed from the phase-1 shares rather than dropped — so QUAL
+//     (and hence the key) cannot change after phase 1.
+//
+// The result is a ServiceKeyMaterial indistinguishable from dealer keygen:
+// public key y = Π A_{d,0}, joint Feldman commitments for share
+// verification, and one share per server.
+#pragma once
+
+#include <set>
+
+#include "threshold/keygen.hpp"
+#include "threshold/pedersen_vss.hpp"
+
+namespace dblind::threshold {
+
+struct PedersenDkgResult {
+  ServiceKeyMaterial material;
+  // Dealers disqualified in phase 1 (bad Pedersen shares).
+  std::vector<std::uint32_t> disqualified_phase1;
+  // Dealers in QUAL whose phase-2 opening was inconsistent; their
+  // contribution was reconstructed publicly instead of trusted.
+  std::vector<std::uint32_t> exposed_phase2;
+};
+
+// `cheaters_phase1`: dealers sending bad Pedersen sub-shares (caught and
+// disqualified in phase 1). `cheaters_phase2`: dealers that complete phase 1
+// honestly but publish a wrong Feldman opening (caught, exposed, and
+// reconstructed in phase 2).
+[[nodiscard]] PedersenDkgResult run_pedersen_dkg(const group::GroupParams& params,
+                                                 const ServiceConfig& cfg, mpz::Prng& prng,
+                                                 const std::set<std::uint32_t>& cheaters_phase1 = {},
+                                                 const std::set<std::uint32_t>& cheaters_phase2 = {});
+
+}  // namespace dblind::threshold

@@ -1,0 +1,87 @@
+#include "threshold/refresh.hpp"
+
+#include <stdexcept>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+
+RefreshDeal refresh_deal(const group::GroupParams& params, std::uint32_t dealer, std::size_t n,
+                         std::size_t f, mpz::Prng& prng) {
+  if (dealer == 0 || dealer > n) throw std::invalid_argument("refresh_deal: bad dealer");
+  RefreshDeal deal;
+  deal.dealer = dealer;
+  std::vector<Bigint> poly = sharing_polynomial(Bigint(0), f, params.q(), prng);
+  deal.commitments = feldman_commit(params, poly);
+  deal.subshares.reserve(n);
+  for (std::uint32_t j = 1; j <= n; ++j)
+    deal.subshares.push_back({j, eval_polynomial(poly, j, params.q())});
+  return deal;
+}
+
+bool refresh_verify(const group::GroupParams& params, const RefreshDeal& deal,
+                    std::uint32_t recipient) {
+  if (recipient == 0 || recipient > deal.subshares.size()) return false;
+  if (deal.commitments.coefficients.empty()) return false;
+  // Must be a sharing of ZERO: constant-term commitment is the identity.
+  if (deal.commitments.coefficients[0] != Bigint(1)) return false;
+  return feldman_verify(params, deal.commitments, deal.subshares[recipient - 1]);
+}
+
+Share refresh_apply(const group::GroupParams& params, const Share& old_share,
+                    std::span<const RefreshDeal> deals) {
+  Bigint acc = old_share.value;
+  for (const RefreshDeal& d : deals) {
+    if (old_share.index == 0 || old_share.index > d.subshares.size())
+      throw std::invalid_argument("refresh_apply: deal does not cover this server");
+    acc = mpz::addmod(acc, d.subshares[old_share.index - 1].value, params.q());
+  }
+  return {old_share.index, std::move(acc)};
+}
+
+FeldmanCommitments refresh_commitments(const group::GroupParams& params,
+                                       const FeldmanCommitments& old_commitments,
+                                       std::span<const RefreshDeal> deals) {
+  FeldmanCommitments out = old_commitments;
+  for (const RefreshDeal& d : deals) {
+    if (d.commitments.coefficients.size() != out.coefficients.size())
+      throw std::invalid_argument("refresh_commitments: degree mismatch");
+    for (std::size_t k = 0; k < out.coefficients.size(); ++k) {
+      out.coefficients[k] = params.mul(out.coefficients[k], d.commitments.coefficients[k]);
+    }
+  }
+  return out;
+}
+
+ServiceKeyMaterial refresh_service(const ServiceKeyMaterial& old_material, mpz::Prng& prng,
+                                   const std::set<std::uint32_t>& dealers) {
+  const group::GroupParams& params = old_material.params();
+  const ServiceConfig& cfg = old_material.config();
+
+  std::set<std::uint32_t> who = dealers;
+  if (who.empty()) {
+    for (std::uint32_t d = 1; d <= cfg.n; ++d) who.insert(d);
+  }
+  std::vector<RefreshDeal> deals;
+  deals.reserve(who.size());
+  for (std::uint32_t d : who) deals.push_back(refresh_deal(params, d, cfg.n, cfg.f, prng));
+
+  for (const RefreshDeal& d : deals) {
+    for (std::uint32_t j = 1; j <= cfg.n; ++j) {
+      if (!refresh_verify(params, d, j))
+        throw std::runtime_error("refresh_service: deal verification failed");
+    }
+  }
+
+  std::vector<Share> new_shares;
+  new_shares.reserve(cfg.n);
+  for (std::uint32_t j = 1; j <= cfg.n; ++j)
+    new_shares.push_back(refresh_apply(params, old_material.share_of(j), deals));
+  FeldmanCommitments new_commitments =
+      refresh_commitments(params, old_material.commitments(), deals);
+
+  return ServiceKeyMaterial(params, cfg, old_material.public_key(), std::move(new_commitments),
+                            std::move(new_shares));
+}
+
+}  // namespace dblind::threshold

@@ -1,0 +1,58 @@
+// Proactive refresh of a threshold key's shares (Herzberg et al., Crypto'95
+// style), cited by the paper's §5: against a mobile adversary, share sets
+// must be refreshed periodically, and "refreshing the service's private key
+// shares does not change the service public key" — which is why clients only
+// ever need the (stable) service public key.
+//
+// Mechanism: each participant in a refresh quorum deals a Feldman-committed
+// sharing of ZERO; every server adds the sub-shares it received to its old
+// share. The secret (sum of constant terms = 0 added) is unchanged, but any
+// f-subset of old shares combined with any f-subset of new shares reveals
+// nothing — the polynomials are independent.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "threshold/feldman.hpp"
+#include "threshold/keygen.hpp"
+#include "threshold/shamir.hpp"
+
+namespace dblind::threshold {
+
+// One participant's refresh contribution: a sharing of zero.
+struct RefreshDeal {
+  std::uint32_t dealer = 0;
+  FeldmanCommitments commitments;   // C_0 must equal g^0 = 1
+  std::vector<Share> subshares;     // subshares[j-1] for server j
+};
+
+// Deals a zero-sharing for an (n, f) service from server `dealer`.
+[[nodiscard]] RefreshDeal refresh_deal(const group::GroupParams& params, std::uint32_t dealer,
+                                       std::size_t n, std::size_t f, mpz::Prng& prng);
+
+// Checks the sub-share for `recipient`: Feldman-valid AND constant term 1
+// (i.e. provably a sharing of zero — a non-zero constant term would shift
+// the service key).
+[[nodiscard]] bool refresh_verify(const group::GroupParams& params, const RefreshDeal& deal,
+                                  std::uint32_t recipient);
+
+// New share of server `recipient`: old share plus all qualified deals'
+// sub-shares. Every deal must cover `recipient`.
+[[nodiscard]] Share refresh_apply(const group::GroupParams& params, const Share& old_share,
+                                  std::span<const RefreshDeal> deals);
+
+// Updated joint Feldman commitments after applying `deals`:
+// C'_k = C_k · Π_i C_{i,k}.
+[[nodiscard]] FeldmanCommitments refresh_commitments(const group::GroupParams& params,
+                                                     const FeldmanCommitments& old_commitments,
+                                                     std::span<const RefreshDeal> deals);
+
+// Convenience: full refresh of a ServiceKeyMaterial (all servers refreshed in
+// lock-step, `dealers` contributing; defaults to all n). Public key is
+// untouched. Throws on any verification failure.
+[[nodiscard]] ServiceKeyMaterial refresh_service(const ServiceKeyMaterial& old_material,
+                                                 mpz::Prng& prng,
+                                                 const std::set<std::uint32_t>& dealers = {});
+
+}  // namespace dblind::threshold

@@ -1,0 +1,21 @@
+// Byte encodings for threshold-cryptography artifacts.
+//
+// Share blobs contain PRIVATE key material — store them accordingly.
+// Feldman commitments are public.
+#pragma once
+
+#include <vector>
+
+#include "common/codec.hpp"
+#include "threshold/feldman.hpp"
+#include "threshold/shamir.hpp"
+
+namespace dblind::threshold {
+
+[[nodiscard]] std::vector<std::uint8_t> share_to_bytes(const Share& s);
+[[nodiscard]] Share share_from_bytes(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> commitments_to_bytes(const FeldmanCommitments& c);
+[[nodiscard]] FeldmanCommitments commitments_from_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace dblind::threshold

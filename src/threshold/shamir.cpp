@@ -1,0 +1,77 @@
+#include "threshold/shamir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+
+std::vector<Bigint> sharing_polynomial(const Bigint& secret, std::size_t degree, const Bigint& q,
+                                       mpz::Prng& prng) {
+  if (secret.is_negative() || secret >= q)
+    throw std::invalid_argument("sharing_polynomial: secret out of [0, q)");
+  std::vector<Bigint> coeffs;
+  coeffs.reserve(degree + 1);
+  coeffs.push_back(secret);
+  for (std::size_t i = 0; i < degree; ++i) coeffs.push_back(prng.uniform_below(q));
+  return coeffs;
+}
+
+Bigint eval_polynomial(std::span<const Bigint> coeffs, std::uint32_t x, const Bigint& q) {
+  if (coeffs.empty()) throw std::invalid_argument("eval_polynomial: no coefficients");
+  Bigint acc(0);
+  Bigint xv(static_cast<std::uint64_t>(x));
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = mpz::addmod(mpz::mulmod(acc, xv, q), coeffs[i], q);
+  }
+  return acc;
+}
+
+std::vector<Share> shamir_share(const Bigint& secret, std::size_t n, std::size_t f, const Bigint& q,
+                                mpz::Prng& prng) {
+  if (n == 0 || f + 1 > n) throw std::invalid_argument("shamir_share: need f + 1 <= n");
+  std::vector<Bigint> coeffs = sharing_polynomial(secret, f, q, prng);
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::uint32_t i = 1; i <= n; ++i) shares.push_back({i, eval_polynomial(coeffs, i, q)});
+  return shares;
+}
+
+Bigint lagrange_at_zero(std::span<const std::uint32_t> indices, std::uint32_t i, const Bigint& q) {
+  Bigint num(1), den(1);
+  bool found = false;
+  for (std::uint32_t j : indices) {
+    if (j == 0) throw std::invalid_argument("lagrange_at_zero: zero index");
+    if (j == i) {
+      found = true;
+      continue;
+    }
+    // λ_i = Π_{j != i} j / (j - i)
+    num = mpz::mulmod(num, Bigint(static_cast<std::uint64_t>(j)), q);
+    Bigint diff = mpz::submod(Bigint(static_cast<std::uint64_t>(j)),
+                              Bigint(static_cast<std::uint64_t>(i)), q);
+    den = mpz::mulmod(den, diff, q);
+  }
+  if (!found) throw std::invalid_argument("lagrange_at_zero: i not in index set");
+  return mpz::mulmod(num, mpz::invmod(den, q), q);
+}
+
+Bigint shamir_reconstruct(std::span<const Share> shares, const Bigint& q) {
+  if (shares.empty()) throw std::invalid_argument("shamir_reconstruct: no shares");
+  std::vector<std::uint32_t> indices;
+  std::set<std::uint32_t> seen;
+  for (const Share& s : shares) {
+    if (!seen.insert(s.index).second)
+      throw std::invalid_argument("shamir_reconstruct: duplicate share index");
+    indices.push_back(s.index);
+  }
+  Bigint acc(0);
+  for (const Share& s : shares) {
+    Bigint lambda = lagrange_at_zero(indices, s.index, q);
+    acc = mpz::addmod(acc, mpz::mulmod(lambda, s.value, q), q);
+  }
+  return acc;
+}
+
+}  // namespace dblind::threshold

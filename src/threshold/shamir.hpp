@@ -1,0 +1,49 @@
+// Shamir secret sharing over Z_q.
+//
+// An (n, f) service (paper §2) shares its private key with a degree-f
+// polynomial: any f+1 shares reconstruct, any f shares reveal nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpz/bigint.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::threshold {
+
+using mpz::Bigint;
+
+struct Share {
+  std::uint32_t index;  // evaluation point, >= 1
+  Bigint value;         // f(index) mod q
+
+  friend bool operator==(const Share&, const Share&) = default;
+};
+
+// Random polynomial f of degree `degree` with f(0) = secret; returns
+// coefficients [a_0 = secret, a_1, ..., a_degree].
+[[nodiscard]] std::vector<Bigint> sharing_polynomial(const Bigint& secret, std::size_t degree,
+                                                     const Bigint& q, mpz::Prng& prng);
+
+// Evaluates the polynomial at x (Horner), mod q.
+[[nodiscard]] Bigint eval_polynomial(std::span<const Bigint> coeffs, std::uint32_t x,
+                                     const Bigint& q);
+
+// Shares `secret` among indices 1..n with threshold f+1 (degree f).
+// Precondition: 0 < f + 1 <= n, secret in [0, q).
+[[nodiscard]] std::vector<Share> shamir_share(const Bigint& secret, std::size_t n, std::size_t f,
+                                              const Bigint& q, mpz::Prng& prng);
+
+// Lagrange coefficient λ_i for interpolating at x = 0 from the given index
+// set. Precondition: indices distinct, nonzero, and contain `i`.
+[[nodiscard]] Bigint lagrange_at_zero(std::span<const std::uint32_t> indices, std::uint32_t i,
+                                      const Bigint& q);
+
+// Reconstructs the secret from >= f+1 distinct shares. The caller is
+// responsible for share validity (use Feldman verification for that);
+// reconstruction itself interpolates whatever it is given.
+[[nodiscard]] Bigint shamir_reconstruct(std::span<const Share> shares, const Bigint& q);
+
+}  // namespace dblind::threshold

@@ -1,0 +1,56 @@
+#include "zkp/chaum_pedersen.hpp"
+
+#include <stdexcept>
+
+#include "mpz/modmath.hpp"
+#include "zkp/transcript.hpp"
+
+namespace dblind::zkp {
+
+namespace {
+
+Bigint cp_challenge(const GroupParams& params, const DlogStatement& stmt, const Bigint& t1,
+                    const Bigint& t2, std::string_view context) {
+  Transcript t("dblind/chaum-pedersen/v1");
+  t.absorb_str(context);
+  t.absorb(params.p()).absorb(params.q());
+  t.absorb(stmt.base1).absorb(stmt.x).absorb(stmt.base2).absorb(stmt.z);
+  t.absorb(t1).absorb(t2);
+  return t.challenge(params.q());
+}
+
+}  // namespace
+
+DlogEqProof dlog_prove(const GroupParams& params, const DlogStatement& stmt, const Bigint& a,
+                       std::string_view context, mpz::Prng& prng) {
+  Bigint a_red = mpz::mod(a, params.q());
+  if (params.pow(stmt.base1, a_red) != stmt.x || params.pow(stmt.base2, a_red) != stmt.z)
+    throw std::invalid_argument("dlog_prove: witness does not satisfy statement");
+  Bigint w = params.random_exponent(prng);
+  DlogEqProof proof;
+  proof.t1 = params.pow(stmt.base1, w);
+  proof.t2 = params.pow(stmt.base2, w);
+  Bigint e = cp_challenge(params, stmt, proof.t1, proof.t2, context);
+  proof.s = mpz::addmod(w, mpz::mulmod(e, a_red, params.q()), params.q());
+  return proof;
+}
+
+bool dlog_verify(const GroupParams& params, const DlogStatement& stmt, const DlogEqProof& proof,
+                 std::string_view context) {
+  // All statement and commitment elements must live in the prime-order
+  // subgroup, otherwise the soundness argument does not apply.
+  for (const Bigint* v : {&stmt.base1, &stmt.x, &stmt.base2, &stmt.z, &proof.t1, &proof.t2}) {
+    if (!params.in_group(*v)) return false;
+  }
+  if (proof.s.is_negative() || proof.s >= params.q()) return false;
+  Bigint e = cp_challenge(params, stmt, proof.t1, proof.t2, context);
+  // base1^s == t1 * x^e  and  base2^s == t2 * z^e. Each side is evaluated as
+  // one double exponentiation (Shamir's trick): base^s * x^{-e} == t1 with
+  // x^{-e} folded in as x^{q-e}.
+  Bigint neg_e = mpz::submod(Bigint(0), e, params.q());
+  if (params.pow2(stmt.base1, proof.s, stmt.x, neg_e) != proof.t1) return false;
+  if (params.pow2(stmt.base2, proof.s, stmt.z, neg_e) != proof.t2) return false;
+  return true;
+}
+
+}  // namespace dblind::zkp

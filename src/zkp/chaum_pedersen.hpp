@@ -1,0 +1,43 @@
+// Chaum-Pedersen non-interactive proof of discrete-logarithm equality.
+//
+// DLOG(a, g, X, Y, Z) shows a = log_g X = log_Y Z without disclosing a
+// (paper §4.2.2, citing Chaum-Pedersen '92). Made non-interactive with the
+// Fiat-Shamir transform; the `context` argument binds a proof to its protocol
+// instance so it cannot be replayed elsewhere.
+#pragma once
+
+#include <string_view>
+
+#include "group/params.hpp"
+#include "mpz/bigint.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::zkp {
+
+using group::GroupParams;
+using mpz::Bigint;
+
+struct DlogStatement {
+  Bigint base1;  // g
+  Bigint x;      // g^a
+  Bigint base2;  // Y
+  Bigint z;      // Y^a
+};
+
+struct DlogEqProof {
+  Bigint t1;  // base1^w
+  Bigint t2;  // base2^w
+  Bigint s;   // w + e*a mod q
+
+  friend bool operator==(const DlogEqProof&, const DlogEqProof&) = default;
+};
+
+// Proves knowledge of `a` with stmt.x == base1^a and stmt.z == base2^a.
+// Precondition (checked): the statement is consistent with `a`.
+[[nodiscard]] DlogEqProof dlog_prove(const GroupParams& params, const DlogStatement& stmt,
+                                     const Bigint& a, std::string_view context, mpz::Prng& prng);
+
+[[nodiscard]] bool dlog_verify(const GroupParams& params, const DlogStatement& stmt,
+                               const DlogEqProof& proof, std::string_view context);
+
+}  // namespace dblind::zkp

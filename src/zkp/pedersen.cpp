@@ -1,0 +1,32 @@
+#include "zkp/pedersen.hpp"
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::zkp {
+
+PedersenParams::PedersenParams(group::GroupParams params, std::string_view domain)
+    : params_(std::move(params)), h_(params_.hash_to_group(domain)) {}
+
+mpz::Bigint PedersenParams::commit(const mpz::Bigint& v, const mpz::Bigint& r) const {
+  return params_.mul(params_.pow_g(v), params_.pow(h_, r));
+}
+
+PedersenParams::Opening PedersenParams::commit_random(const mpz::Bigint& v,
+                                                      mpz::Prng& prng) const {
+  Opening o;
+  o.randomness = params_.random_exponent(prng);
+  o.commitment = commit(v, o.randomness);
+  return o;
+}
+
+bool PedersenParams::open(const mpz::Bigint& commitment, const mpz::Bigint& v,
+                          const mpz::Bigint& r) const {
+  if (!params_.in_group(commitment)) return false;
+  return commitment == commit(v, r);
+}
+
+mpz::Bigint PedersenParams::add(const mpz::Bigint& c1, const mpz::Bigint& c2) const {
+  return params_.mul(c1, c2);
+}
+
+}  // namespace dblind::zkp

@@ -1,0 +1,65 @@
+// Fiat-Shamir transcript: domain-separated, length-framed absorption of
+// protocol values into SHA-256, squeezed into a challenge in Z_q.
+//
+// Every NIZK in the library (Schnorr, Chaum-Pedersen, VDE) derives its
+// challenge through one of these, binding the proof to (a) a domain label,
+// (b) an application-chosen context string (protocol instance id, server id)
+// so proofs cannot be replayed across instances, and (c) all public values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/sha256.hpp"
+#include "mpz/bigint.hpp"
+
+namespace dblind::zkp {
+
+using mpz::Bigint;
+
+class Transcript {
+ public:
+  explicit Transcript(std::string_view domain) { absorb_str(domain); }
+
+  Transcript& absorb_str(std::string_view s) {
+    absorb_len(s.size());
+    h_.update(s);
+    return *this;
+  }
+
+  Transcript& absorb_bytes(std::span<const std::uint8_t> bytes) {
+    absorb_len(bytes.size());
+    h_.update(bytes);
+    return *this;
+  }
+
+  Transcript& absorb(const Bigint& v) {
+    // Sign byte + magnitude, length-framed; canonical for each value.
+    std::uint8_t sign = v.is_negative() ? 0xFF : (v.is_zero() ? 0x00 : 0x01);
+    h_.update(std::span<const std::uint8_t>(&sign, 1));
+    auto mag = v.to_bytes_be();
+    absorb_len(mag.size());
+    h_.update(mag);
+    return *this;
+  }
+
+  // Challenge in [0, q). 2^256 mod q bias is negligible for q >= ~200 bits
+  // and irrelevant for the toy test groups.
+  [[nodiscard]] Bigint challenge(const Bigint& q) {
+    hash::Digest d = h_.finish();
+    return Bigint::from_bytes_be(d) % q;
+  }
+
+  [[nodiscard]] hash::Digest digest() { return h_.finish(); }
+
+ private:
+  void absorb_len(std::size_t n) {
+    std::array<std::uint8_t, 8> len{};
+    for (int i = 0; i < 8; ++i) len[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+    h_.update(len);
+  }
+
+  hash::Sha256 h_;
+};
+
+}  // namespace dblind::zkp

@@ -1,0 +1,82 @@
+#include "zkp/vde.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::zkp {
+
+namespace {
+
+// Per-subproof context strings; each also carries the caller's context so
+// subproofs cannot be mixed and matched across VDE instances.
+std::string sub_context(std::string_view context, std::string_view which) {
+  std::string out = "dblind/vde/v1/";
+  out += which;
+  out += '/';
+  out += context;
+  return out;
+}
+
+struct DerivedStatements {
+  DlogStatement pr1;  // G12 = y_A^{r2}
+  DlogStatement pr2;  // G21 = y_B^{r1}
+  DlogStatement pr3;  // (γ1/γ2)(G21/G12) = (y_A y_B)^{r1-r2}
+};
+
+DerivedStatements derive(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                         const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb,
+                         const Bigint& g12, const Bigint& g21) {
+  const group::GroupParams& params = ka.params();
+  DerivedStatements d;
+  // Pr1: DLOG(r2, g, δ2, y_A, G12)
+  d.pr1 = {params.g(), cb.a, ka.y(), g12};
+  // Pr2: DLOG(r1, g, δ1, y_B, G21)
+  d.pr2 = {params.g(), ca.a, kb.y(), g21};
+  // Pr3: DLOG(r1-r2, g, δ1/δ2, y_A*y_B, (γ1/γ2)(G21/G12))
+  Bigint x = params.mul(ca.a, params.inv(cb.a));
+  Bigint base2 = params.mul(ka.y(), kb.y());
+  Bigint z = params.mul(params.mul(ca.b, params.inv(cb.b)), params.mul(g21, params.inv(g12)));
+  d.pr3 = {params.g(), std::move(x), std::move(base2), std::move(z)};
+  return d;
+}
+
+}  // namespace
+
+VdeProof vde_prove(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca, const Bigint& r1,
+                   const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb, const Bigint& r2,
+                   std::string_view context, mpz::Prng& prng) {
+  const group::GroupParams& params = ka.params();
+  if (!(ka.params() == kb.params()))
+    throw std::invalid_argument("vde_prove: keys use different group parameters");
+
+  VdeProof proof;
+  proof.g12 = params.pow(ka.y(), r2);
+  proof.g21 = params.pow(kb.y(), r1);
+  DerivedStatements d = derive(ka, ca, kb, cb, proof.g12, proof.g21);
+  Bigint r_diff = mpz::submod(r1, r2, params.q());
+  proof.pr1 = dlog_prove(params, d.pr1, r2, sub_context(context, "pr1"), prng);
+  proof.pr2 = dlog_prove(params, d.pr2, r1, sub_context(context, "pr2"), prng);
+  proof.pr3 = dlog_prove(params, d.pr3, r_diff, sub_context(context, "pr3"), prng);
+  return proof;
+}
+
+bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb,
+                const VdeProof& proof, std::string_view context) {
+  if (!(ka.params() == kb.params())) return false;
+  const group::GroupParams& params = ka.params();
+  // Every ciphertext component must be in the prime-order subgroup: honest
+  // contributions encrypt ρ ∈ G_p, and the quotient-based conditions (3)-(5)
+  // are only sound inside the subgroup.
+  for (const Bigint* v : {&ca.a, &ca.b, &cb.a, &cb.b, &proof.g12, &proof.g21}) {
+    if (!params.in_group(*v)) return false;
+  }
+  DerivedStatements d = derive(ka, ca, kb, cb, proof.g12, proof.g21);
+  return dlog_verify(params, d.pr1, proof.pr1, sub_context(context, "pr1")) &&
+         dlog_verify(params, d.pr2, proof.pr2, sub_context(context, "pr2")) &&
+         dlog_verify(params, d.pr3, proof.pr3, sub_context(context, "pr3"));
+}
+
+}  // namespace dblind::zkp

@@ -1,0 +1,41 @@
+// Verifiable Dual Encryption (paper §4.2.2).
+//
+// VDE(E_A(ρ), E_B(ρ')) certifies — without revealing the plaintexts — that
+// two ElGamal ciphertexts under different public keys K_A and K_B encrypt the
+// same value (ρ = ρ'). The prover knows the encryption nonces r1, r2 but NOT
+// the private keys; that is what distinguishes VDE from Jakobsson's
+// translation certificates (§5). The construction is exactly the paper's:
+// three Chaum-Pedersen DLOG-equality proofs Pr1..Pr3 for conditions (3)-(5).
+#pragma once
+
+#include <string_view>
+
+#include "elgamal/elgamal.hpp"
+#include "zkp/chaum_pedersen.hpp"
+
+namespace dblind::zkp {
+
+struct VdeProof {
+  Bigint g12;  // y_A^{r2}  = g^{k_A r_2}, condition (3)
+  Bigint g21;  // y_B^{r1}  = g^{k_B r_1}, condition (4)
+  DlogEqProof pr1;
+  DlogEqProof pr2;
+  DlogEqProof pr3;
+
+  friend bool operator==(const VdeProof&, const VdeProof&) = default;
+};
+
+// Creates VDE(ca, cb) for ca = E_A(ρ, r1), cb = E_B(ρ, r2). The caller must
+// supply the nonces used in the two encryptions; throws std::invalid_argument
+// when the witnesses do not match the ciphertexts (e.g. plaintexts differ).
+[[nodiscard]] VdeProof vde_prove(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                                 const Bigint& r1, const elgamal::PublicKey& kb,
+                                 const elgamal::Ciphertext& cb, const Bigint& r2,
+                                 std::string_view context, mpz::Prng& prng);
+
+// Verifies that ca (under ka) and cb (under kb) encrypt the same plaintext.
+[[nodiscard]] bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                              const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb,
+                              const VdeProof& proof, std::string_view context);
+
+}  // namespace dblind::zkp

@@ -1,0 +1,152 @@
+#include "baselines/jakobsson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+#include "threshold/keygen.hpp"
+
+namespace dblind::baselines {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Prng;
+
+struct Fixture {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng;
+  threshold::ServiceKeyMaterial a_km;  // service A (threshold)
+  elgamal::KeyPair kb;                 // service B key (only y_B is used)
+  Bigint m;
+  elgamal::Ciphertext c;
+
+  explicit Fixture(std::uint64_t seed, threshold::ServiceConfig cfg = {4, 1})
+      : prng(seed),
+        a_km(threshold::ServiceKeyMaterial::dealer_keygen(gp, cfg, prng)),
+        kb(elgamal::KeyPair::generate(gp, prng)),
+        m(gp.random_element(prng)),
+        c(a_km.public_key().encrypt(m, prng)) {}
+};
+
+TEST(Jakobsson, QuorumReencryptsCorrectly) {
+  Fixture fx(1);
+  std::vector<JakobssonPartial> partials;
+  for (std::uint32_t i : {1u, 3u}) {
+    partials.push_back(
+        jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i), fx.kb.public_key().y(), "t1", fx.prng));
+  }
+  elgamal::Ciphertext out = jakobsson_combine(fx.gp, fx.c, partials);
+  EXPECT_EQ(fx.kb.decrypt(out), fx.m);
+}
+
+TEST(Jakobsson, AnyQuorumWorks) {
+  Fixture fx(2, {7, 2});
+  for (const auto& q : std::vector<std::vector<std::uint32_t>>{{1, 2, 3}, {5, 6, 7}, {2, 4, 6}}) {
+    std::vector<JakobssonPartial> partials;
+    for (std::uint32_t i : q)
+      partials.push_back(jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i),
+                                           fx.kb.public_key().y(), "t", fx.prng));
+    EXPECT_EQ(fx.kb.decrypt(jakobsson_combine(fx.gp, fx.c, partials)), fx.m);
+  }
+}
+
+TEST(Jakobsson, OutputIsFreshCiphertext) {
+  Fixture fx(3);
+  std::vector<JakobssonPartial> partials;
+  for (std::uint32_t i : {1u, 2u})
+    partials.push_back(jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i),
+                                         fx.kb.public_key().y(), "t", fx.prng));
+  elgamal::Ciphertext out = jakobsson_combine(fx.gp, fx.c, partials);
+  EXPECT_NE(out.a, fx.c.a);
+  EXPECT_NE(out.b, fx.c.b);
+  // Not decryptable as-is under A's key semantics... it IS a valid E_B(m).
+  EXPECT_TRUE(fx.kb.public_key().well_formed(out));
+}
+
+TEST(Jakobsson, PartialsVerify) {
+  Fixture fx(4);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    JakobssonPartial p = jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i),
+                                           fx.kb.public_key().y(), "ctx", fx.prng);
+    EXPECT_TRUE(jakobsson_verify_partial(fx.gp, fx.a_km.commitments(), fx.c,
+                                         fx.kb.public_key().y(), p, "ctx"))
+        << i;
+  }
+}
+
+TEST(Jakobsson, TamperedPartialsRejected) {
+  Fixture fx(5);
+  JakobssonPartial p = jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(2),
+                                         fx.kb.public_key().y(), "ctx", fx.prng);
+
+  JakobssonPartial bad = p;
+  bad.enc_y = fx.gp.mul(bad.enc_y, fx.gp.g());  // would shift the plaintext!
+  EXPECT_FALSE(jakobsson_verify_partial(fx.gp, fx.a_km.commitments(), fx.c,
+                                        fx.kb.public_key().y(), bad, "ctx"));
+
+  bad = p;
+  bad.dec.d = fx.gp.mul(bad.dec.d, fx.gp.g());
+  EXPECT_FALSE(jakobsson_verify_partial(fx.gp, fx.a_km.commitments(), fx.c,
+                                        fx.kb.public_key().y(), bad, "ctx"));
+
+  bad = p;
+  bad.index = 3;
+  EXPECT_FALSE(jakobsson_verify_partial(fx.gp, fx.a_km.commitments(), fx.c,
+                                        fx.kb.public_key().y(), bad, "ctx"));
+
+  // Context binding.
+  EXPECT_FALSE(jakobsson_verify_partial(fx.gp, fx.a_km.commitments(), fx.c,
+                                        fx.kb.public_key().y(), p, "other-ctx"));
+}
+
+TEST(Jakobsson, UndetectedTamperingWouldCorruptPlaintext) {
+  // Shows WHY the proofs matter: combining with a tampered enc_y yields a
+  // ciphertext of a different plaintext.
+  Fixture fx(6);
+  std::vector<JakobssonPartial> partials;
+  for (std::uint32_t i : {1u, 2u})
+    partials.push_back(jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i),
+                                         fx.kb.public_key().y(), "t", fx.prng));
+  partials[0].enc_y = fx.gp.mul(partials[0].enc_y, fx.gp.g());
+  EXPECT_NE(fx.kb.decrypt(jakobsson_combine(fx.gp, fx.c, partials)), fx.m);
+}
+
+TEST(Jakobsson, CombineRejectsBadInput) {
+  Fixture fx(7);
+  EXPECT_THROW((void)jakobsson_combine(fx.gp, fx.c, {}), std::invalid_argument);
+  JakobssonPartial p = jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(1),
+                                         fx.kb.public_key().y(), "t", fx.prng);
+  std::vector<JakobssonPartial> dup = {p, p};
+  EXPECT_THROW((void)jakobsson_combine(fx.gp, fx.c, dup), std::invalid_argument);
+}
+
+TEST(Jakobsson, MatchesBlindingProtocolSemantics) {
+  // Both re-encryption approaches produce ciphertexts of the same m under B.
+  Fixture fx(8);
+  std::vector<JakobssonPartial> partials;
+  for (std::uint32_t i : {1u, 2u})
+    partials.push_back(jakobsson_partial(fx.gp, fx.c, fx.a_km.share_of(i),
+                                         fx.kb.public_key().y(), "t", fx.prng));
+  elgamal::Ciphertext via_jakobsson = jakobsson_combine(fx.gp, fx.c, partials);
+
+  // Blinding path (centralized math, as in Fig. 2).
+  Bigint rho = fx.gp.random_element(fx.prng);
+  elgamal::Ciphertext ea_rho = fx.a_km.public_key().encrypt(rho, fx.prng);
+  elgamal::Ciphertext eb_rho = fx.kb.public_key().encrypt(rho, fx.prng);
+  auto blinded = fx.a_km.public_key().multiply(fx.c, ea_rho);
+  ASSERT_TRUE(blinded.has_value());
+  // Threshold-decrypt E_A(mρ).
+  std::vector<threshold::DecryptionShare> shares;
+  for (std::uint32_t i : {1u, 2u})
+    shares.push_back(
+        threshold::make_decryption_share(fx.gp, *blinded, fx.a_km.share_of(i), "d", fx.prng));
+  Bigint m_rho = threshold::combine_decryption(fx.gp, *blinded, shares);
+  elgamal::Ciphertext via_blinding =
+      fx.kb.public_key().juxtapose(m_rho, fx.kb.public_key().inverse(eb_rho));
+
+  EXPECT_EQ(fx.kb.decrypt(via_jakobsson), fx.kb.decrypt(via_blinding));
+  EXPECT_EQ(fx.kb.decrypt(via_blinding), fx.m);
+}
+
+}  // namespace
+}  // namespace dblind::baselines

@@ -1,0 +1,161 @@
+// Round-trip and rejection tests for the persistence encodings.
+#include <gtest/gtest.h>
+
+#include "elgamal/serialize.hpp"
+#include "group/serialize.hpp"
+#include "threshold/keygen.hpp"
+#include "threshold/serialize.hpp"
+#include "threshold/thresh_decrypt.hpp"
+
+namespace dblind {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+TEST(SerializeGroup, RoundTripAllNamedParams) {
+  Prng prng(1);
+  for (ParamId id : {ParamId::kToy64, ParamId::kTest128, ParamId::kTest256}) {
+    GroupParams gp = GroupParams::named(id);
+    auto bytes = group::group_params_to_bytes(gp);
+    GroupParams back = group::group_params_from_bytes(bytes, prng);
+    EXPECT_TRUE(back == gp);
+    GroupParams trusted = group::group_params_from_bytes_trusted(bytes);
+    EXPECT_TRUE(trusted == gp);
+  }
+}
+
+TEST(SerializeGroup, HexRoundTrip) {
+  Prng prng(2);
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  std::string hex = group::group_params_to_hex(gp);
+  EXPECT_TRUE(group::group_params_from_hex(hex, prng) == gp);
+}
+
+TEST(SerializeGroup, TamperedParamsRejected) {
+  Prng prng(3);
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  auto bytes = group::group_params_to_bytes(gp);
+
+  // Bad tag.
+  auto bad = bytes;
+  bad[0] = 0x7F;
+  EXPECT_THROW((void)group::group_params_from_bytes(bad, prng), common::CodecError);
+
+  // Truncated.
+  auto trunc = bytes;
+  trunc.resize(trunc.size() / 2);
+  EXPECT_THROW((void)group::group_params_from_bytes(trunc, prng), common::CodecError);
+
+  // Trailing garbage.
+  auto extra = bytes;
+  extra.push_back(0);
+  EXPECT_THROW((void)group::group_params_from_bytes(extra, prng), common::CodecError);
+
+  // Structurally broken (p != 2q+1): flip low byte of p.
+  auto broken = bytes;
+  broken[bytes.size() - 1] ^= 0xFF;  // mutates g actually; craft p-break instead below
+  // Craft: encode with q+1.
+  common::Writer w;
+  w.u8(0x11);
+  w.bigint(gp.p());
+  w.bigint(gp.q() + Bigint(1));
+  w.bigint(gp.g());
+  EXPECT_THROW((void)group::group_params_from_bytes_trusted(w.view()), std::invalid_argument);
+}
+
+TEST(SerializeGroup, NonPrimeRejectedByCheckedLoad) {
+  Prng prng(4);
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  // q' = q + 2 keeps structure checkable but breaks primality of p' = 2q'+1
+  // (or of q'); construct p' = 2q'+1 so structure passes.
+  Bigint q2 = gp.q() + Bigint(2);
+  Bigint p2 = q2.shl(1) + Bigint(1);
+  common::Writer w;
+  w.u8(0x11);
+  w.bigint(p2);
+  w.bigint(q2);
+  w.bigint(Bigint(4));
+  EXPECT_THROW((void)group::group_params_from_bytes(w.view(), prng), std::invalid_argument);
+}
+
+TEST(SerializeElGamal, PublicKeyRoundTrip) {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng(5);
+  elgamal::KeyPair kp = elgamal::KeyPair::generate(gp, prng);
+  auto bytes = elgamal::public_key_to_bytes(kp.public_key());
+  elgamal::PublicKey back = elgamal::public_key_from_bytes(bytes);
+  EXPECT_TRUE(back == kp.public_key());
+  // And it still encrypts/decrypts against the original private key.
+  Bigint m = gp.random_element(prng);
+  EXPECT_EQ(kp.decrypt(back.encrypt(m, prng)), m);
+}
+
+TEST(SerializeElGamal, PublicKeyWithBadPointRejected) {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  common::Writer w;
+  w.u8(0x21);
+  w.bytes(group::group_params_to_bytes(gp));
+  w.bigint(gp.p() - Bigint(1));  // non-residue, not in subgroup
+  EXPECT_THROW((void)elgamal::public_key_from_bytes(w.view()), std::invalid_argument);
+}
+
+TEST(SerializeElGamal, CiphertextRoundTrip) {
+  GroupParams gp = GroupParams::named(ParamId::kTest128);
+  Prng prng(6);
+  elgamal::KeyPair kp = elgamal::KeyPair::generate(gp, prng);
+  elgamal::Ciphertext c = kp.public_key().encrypt(gp.random_element(prng), prng);
+  auto bytes = elgamal::ciphertext_to_bytes(c);
+  EXPECT_EQ(elgamal::ciphertext_from_bytes(bytes), c);
+  bytes.push_back(0);
+  EXPECT_THROW((void)elgamal::ciphertext_from_bytes(bytes), common::CodecError);
+}
+
+TEST(SerializeThreshold, ShareRoundTrip) {
+  threshold::Share s{7, Bigint::from_hex("deadbeef12345678")};
+  auto bytes = threshold::share_to_bytes(s);
+  EXPECT_EQ(threshold::share_from_bytes(bytes), s);
+
+  // Zero index rejected.
+  threshold::Share z{0, Bigint(1)};
+  auto zb = threshold::share_to_bytes(z);
+  EXPECT_THROW((void)threshold::share_from_bytes(zb), common::CodecError);
+}
+
+TEST(SerializeThreshold, CommitmentsRoundTrip) {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng(7);
+  auto poly = threshold::sharing_polynomial(Bigint(42), 3, gp.q(), prng);
+  threshold::FeldmanCommitments c = threshold::feldman_commit(gp, poly);
+  auto bytes = threshold::commitments_to_bytes(c);
+  EXPECT_EQ(threshold::commitments_from_bytes(bytes), c);
+
+  // Empty commitments rejected.
+  common::Writer w;
+  w.u8(0x32);
+  w.u32(0);
+  EXPECT_THROW((void)threshold::commitments_from_bytes(w.view()), common::CodecError);
+}
+
+TEST(SerializeThreshold, SharesSurviveStorageAndStillDecrypt) {
+  // Full scenario: persist a server's share + service commitments, reload,
+  // and produce a verifiable decryption share.
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng(8);
+  auto km = threshold::ServiceKeyMaterial::dealer_keygen(gp, {4, 1}, prng);
+  Bigint m = gp.random_element(prng);
+  elgamal::Ciphertext c = km.public_key().encrypt(m, prng);
+
+  auto share_blob = threshold::share_to_bytes(km.share_of(2));
+  auto comm_blob = threshold::commitments_to_bytes(km.commitments());
+
+  threshold::Share share = threshold::share_from_bytes(share_blob);
+  threshold::FeldmanCommitments comm = threshold::commitments_from_bytes(comm_blob);
+  auto ds = threshold::make_decryption_share(gp, c, share, "ctx", prng);
+  EXPECT_TRUE(threshold::verify_decryption_share(gp, comm, c, ds, "ctx"));
+}
+
+}  // namespace
+}  // namespace dblind

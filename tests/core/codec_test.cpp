@@ -1,0 +1,173 @@
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/messages.hpp"
+#include "core/types.hpp"
+
+namespace dblind::core {
+namespace {
+
+using mpz::Bigint;
+
+TEST(Codec, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello");
+  w.bigint(Bigint::from_hex("123456789abcdef0123"));
+  w.bigint(Bigint::from_hex("-ff"));
+  w.bigint(Bigint(0));
+  std::array<std::uint8_t, 32> d{};
+  d[0] = 1;
+  d[31] = 2;
+  w.digest(d);
+  auto bytes = w.take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bigint(), Bigint::from_hex("123456789abcdef0123"));
+  EXPECT_EQ(r.bigint(), Bigint::from_hex("-ff"));
+  EXPECT_EQ(r.bigint(), Bigint(0));
+  EXPECT_EQ(r.digest(), d);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, ReaderBoundsChecked) {
+  std::vector<std::uint8_t> tiny = {1, 2};
+  Reader r(tiny);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW((void)r.u32(), CodecError);
+  Reader r2(tiny);
+  EXPECT_THROW((void)r2.u64(), CodecError);
+  Reader r3(tiny);
+  EXPECT_THROW((void)r3.digest(), CodecError);
+}
+
+TEST(Codec, TruncatedBytesRejected) {
+  Writer w;
+  w.bytes(std::vector<std::uint8_t>(100, 7));
+  auto buf = w.take();
+  buf.resize(50);
+  Reader r(buf);
+  EXPECT_THROW((void)r.bytes(), CodecError);
+}
+
+TEST(Codec, BadBigintSignRejected) {
+  std::vector<std::uint8_t> buf = {2 /*bad sign*/, 1, 0, 0, 0, 42};
+  Reader r(buf);
+  EXPECT_THROW((void)r.bigint(), CodecError);
+}
+
+TEST(Codec, ExpectDoneCatchesTrailing) {
+  std::vector<std::uint8_t> buf = {1, 2, 3};
+  Reader r(buf);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+  (void)r.u8();
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, InstanceIdRoundTrip) {
+  InstanceId id{7, 3, 2};
+  Writer w;
+  id.encode(w);
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(InstanceId::decode(r), id);
+  EXPECT_EQ(id.str(), "t7/c3/e2");
+}
+
+TEST(Codec, MessageBodiesRoundTrip) {
+  InstanceId id{1, 2, 0};
+
+  CommitMsg commit;
+  commit.id = id;
+  commit.server = 5;
+  commit.commitment.fill(0x42);
+  auto body = encode_body(MsgType::kCommit, commit);
+  EXPECT_EQ(peek_type(body), MsgType::kCommit);
+  CommitMsg back = decode_as<CommitMsg>(MsgType::kCommit, body);
+  EXPECT_EQ(back.id, id);
+  EXPECT_EQ(back.server, 5u);
+  EXPECT_EQ(back.commitment, commit.commitment);
+}
+
+TEST(Codec, DecodeAsRejectsWrongTag) {
+  InitMsg init{{1, 1, 0}};
+  auto body = encode_body(MsgType::kInit, init);
+  EXPECT_THROW((void)decode_as<CommitMsg>(MsgType::kCommit, body), CodecError);
+}
+
+TEST(Codec, DecodeAsRejectsTrailingGarbage) {
+  InitMsg init{{1, 1, 0}};
+  auto body = encode_body(MsgType::kInit, init);
+  body.push_back(0x00);
+  EXPECT_THROW((void)decode_as<InitMsg>(MsgType::kInit, body), CodecError);
+}
+
+TEST(Codec, ContributionDigestIsCanonical) {
+  group::GroupParams gp = group::GroupParams::named(group::ParamId::kToy64);
+  mpz::Prng prng(1);
+  elgamal::KeyPair ka = elgamal::KeyPair::generate(gp, prng);
+  Contribution c;
+  c.ea = ka.public_key().encrypt(gp.random_element(prng), prng);
+  c.eb = ka.public_key().encrypt(gp.random_element(prng), prng);
+  EXPECT_EQ(c.commitment_digest(), c.commitment_digest());
+  Contribution c2 = c;
+  c2.eb.b = gp.mul(c2.eb.b, gp.g());
+  EXPECT_NE(c.commitment_digest(), c2.commitment_digest());
+}
+
+TEST(Codec, SignedMessageRoundTrip) {
+  SignedMessage env;
+  env.service = 1;
+  env.signer = 3;
+  env.body = {9, 8, 7};
+  env.sig = {Bigint(123), Bigint(456)};
+  Writer w;
+  env.encode(w);
+  auto bytes = w.take();
+  Reader r(bytes);
+  SignedMessage back = SignedMessage::decode(r);
+  r.expect_done();
+  EXPECT_EQ(back, env);
+}
+
+TEST(Codec, NestedEvidenceRoundTrip) {
+  // Reveal containing commits containing digests: three levels of nesting.
+  InstanceId id{9, 1, 0};
+  RevealMsg reveal;
+  reveal.id = id;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    CommitMsg c;
+    c.id = id;
+    c.server = i;
+    c.commitment.fill(static_cast<std::uint8_t>(i));
+    SignedMessage env;
+    env.service = 1;
+    env.signer = i;
+    env.body = encode_body(MsgType::kCommit, c);
+    env.sig = {Bigint(std::uint64_t{i}), Bigint(std::uint64_t{i} + 1)};
+    reveal.commits.push_back(env);
+  }
+  auto body = encode_body(MsgType::kReveal, reveal);
+  RevealMsg back = decode_as<RevealMsg>(MsgType::kReveal, body);
+  ASSERT_EQ(back.commits.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    CommitMsg c = decode_as<CommitMsg>(MsgType::kCommit, back.commits[i].body);
+    EXPECT_EQ(c.server, i + 1);
+  }
+}
+
+TEST(Codec, EmptyInputPeekThrows) {
+  EXPECT_THROW((void)peek_type({}), CodecError);
+}
+
+}  // namespace
+}  // namespace dblind::core

@@ -1,0 +1,102 @@
+#include "core/failstop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dblind::core {
+namespace {
+
+TEST(Failstop, HonestRunProducesConsistentBlinding) {
+  FailstopBlindingSystem sys({});
+  ASSERT_TRUE(sys.run());
+  auto out = sys.outcome(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->by_attacker);
+  // Consistency: E_A(ρ) and E_B(ρ) decrypt to the same ρ ∈ G_p.
+  EXPECT_TRUE(sys.consistent(*out));
+  mpz::Bigint rho = sys.decrypt_a(out->blinded.ea);
+  EXPECT_TRUE(group::GroupParams::named(group::ParamId::kToy64).in_group(rho));
+}
+
+TEST(Failstop, DifferentCoordinatorsDifferentFactors) {
+  FailstopOptions o;
+  o.backup_delay = 0;  // both coordinators run at once
+  o.seed = 2;
+  FailstopBlindingSystem sys(std::move(o));
+  // Run until both coordinators finish.
+  ASSERT_TRUE(sys.sim().run_until([&] { return sys.outcome(1) && sys.outcome(2); }, 1'000'000));
+  auto o1 = sys.outcome(1);
+  auto o2 = sys.outcome(2);
+  ASSERT_TRUE(o1 && o2);
+  EXPECT_TRUE(sys.consistent(*o1));
+  EXPECT_TRUE(sys.consistent(*o2));
+  // "Multiple blinding factors will be produced, which causes no difficulty."
+  EXPECT_NE(sys.decrypt_a(o1->blinded.ea), sys.decrypt_a(o2->blinded.ea));
+}
+
+TEST(Failstop, SurvivesCrashedCoordinator) {
+  FailstopOptions o;
+  o.seed = 3;
+  o.crashed = {1};  // designated coordinator dead
+  FailstopBlindingSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  auto out = sys.outcome(2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(sys.consistent(*out));
+}
+
+TEST(Failstop, SurvivesCrashedContributors) {
+  FailstopOptions o;
+  o.n = 7;
+  o.f = 2;
+  o.seed = 4;
+  o.crashed = {6, 7};  // f crashed contributors
+  FailstopBlindingSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  EXPECT_TRUE(sys.outcome(1).has_value());
+}
+
+TEST(Failstop, AdaptiveAttackSucceedsAgainstFigure3) {
+  // THE point of §4.2.1: against the fail-stop protocol, a Byzantine
+  // coordinator chooses the "random" blinding factor. Randomness-
+  // Confidentiality is broken: the output decrypts to the attacker's ρ̂.
+  FailstopOptions o;
+  o.seed = 5;
+  o.adaptive_attack = true;
+  FailstopBlindingSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  auto out = sys.outcome(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->by_attacker);
+  EXPECT_TRUE(sys.consistent(*out));
+  EXPECT_EQ(sys.decrypt_a(out->blinded.ea), sys.attacker_rho());
+  EXPECT_EQ(sys.decrypt_b(out->blinded.eb), sys.attacker_rho());
+}
+
+TEST(Failstop, AttackInvisibleToOutputChecks) {
+  // The attacked output passes every syntactic/consistency check a verifier
+  // could run without extra evidence — which is exactly why Figure 4 needs
+  // commitments, VDE proofs, and self-verifying messages.
+  FailstopOptions o;
+  o.seed = 6;
+  o.adaptive_attack = true;
+  FailstopBlindingSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  auto attacked = sys.outcome(1);
+  ASSERT_TRUE(attacked.has_value());
+  EXPECT_TRUE(sys.consistent(*attacked));  // both halves encrypt the same ρ̂!
+}
+
+TEST(Failstop, ScalesToLargerGroups) {
+  for (std::size_t f : {1u, 2u, 3u}) {
+    FailstopOptions o;
+    o.n = 3 * f + 1;
+    o.f = f;
+    o.seed = 100 + f;
+    FailstopBlindingSystem sys(std::move(o));
+    ASSERT_TRUE(sys.run()) << f;
+    EXPECT_TRUE(sys.consistent(*sys.outcome(1))) << f;
+  }
+}
+
+}  // namespace
+}  // namespace dblind::core

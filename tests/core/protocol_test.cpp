@@ -1,0 +1,387 @@
+// End-to-end integration tests of the complete re-encryption protocol
+// (paper Figure 4) in the asynchronous simulator, under honest, crash, and
+// Byzantine conditions.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace dblind::core {
+namespace {
+
+using mpz::Bigint;
+using Behavior = ProtocolServer::Behavior;
+
+SystemOptions base_options(std::uint64_t seed) {
+  SystemOptions o;
+  o.seed = seed;
+  return o;
+}
+
+// Asserts: the protocol completed, every honest B server holds a result, and
+// every result decrypts (under B's key) to the original plaintext — the
+// paper's Progress + Integrity criteria.
+void expect_success(System& sys, TransferId t) {
+  ASSERT_TRUE(sys.run_to_completion());
+  const Bigint& m = sys.plaintext_of(t);
+  for (ServerRank r = 1; r <= sys.b_cfg().n; ++r) {
+    if (!sys.is_honest_b(r)) continue;
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << "B server " << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), m) << "B server " << r;
+    // The result is a *fresh* ciphertext under K_B, not the original one
+    // under K_A re-labelled.
+    EXPECT_TRUE(sys.config().params.in_zp_star(res->a));
+  }
+}
+
+TEST(Protocol, HonestRunCompletes) {
+  System sys(base_options(1));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(424242)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, ResultIsCiphertextNotPlaintext) {
+  System sys(base_options(2));
+  Bigint m = sys.config().params.encode_message(Bigint(77));
+  TransferId t = sys.add_transfer(m);
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t);
+  ASSERT_TRUE(res.has_value());
+  // Neither component equals the plaintext.
+  EXPECT_NE(res->a, m);
+  EXPECT_NE(res->b, m);
+  // And it does not decrypt under A's key to m (it is bound to B).
+  EXPECT_NE(sys.oracle_decrypt_a(*res), m);
+}
+
+TEST(Protocol, MultipleTransfersComplete) {
+  System sys(base_options(3));
+  std::vector<TransferId> ids;
+  for (int i = 1; i <= 3; ++i)
+    ids.push_back(sys.add_transfer(sys.config().params.encode_message(Bigint(100 + i))));
+  ASSERT_TRUE(sys.run_to_completion());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto res = sys.result(ids[i]);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(ids[i]));
+  }
+}
+
+TEST(Protocol, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    System sys(base_options(seed));
+    sys.add_transfer(sys.config().params.encode_message(Bigint(5)));
+    EXPECT_TRUE(sys.run_to_completion());
+    return sys.sim().stats().end_time;
+  };
+  EXPECT_EQ(run(10), run(10));
+}
+
+TEST(Protocol, SurvivesCrashedBServer) {
+  // A non-coordinator B server crashes before start.
+  SystemOptions o = base_options(4);
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(9)));
+  sys.sim().crash_at(sys.config().b.node_of(4), 0);
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t, 1);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+}
+
+TEST(Protocol, SurvivesCrashedDesignatedCoordinator) {
+  // Rank 1 (the designated coordinator) is dead from the start; the rank-2
+  // backup fires after its delay and completes the protocol (§4.1).
+  System sys(base_options(5));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(11)));
+  sys.sim().crash_at(sys.config().b.node_of(1), 0);
+  ASSERT_TRUE(sys.run_to_completion());
+  for (ServerRank r = 2; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+  }
+  // Completion necessarily waited for the backup delay.
+  EXPECT_GT(sys.sim().stats().end_time, 400'000u);
+}
+
+TEST(Protocol, SurvivesCrashedAServer) {
+  // One A server (a decryption-share provider and the designated responder)
+  // crashes; backups at A take over.
+  System sys(base_options(6));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(13)));
+  sys.sim().crash_at(sys.config().a.node_of(1), 0);
+  expect_success(sys, t);
+}
+
+TEST(Protocol, SurvivesMidProtocolCoordinatorCrash) {
+  // The designated coordinator dies mid-run (after ~one round-trip).
+  System sys(base_options(7));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(17)));
+  sys.sim().crash_at(sys.config().b.node_of(1), 30'000);
+  ASSERT_TRUE(sys.run_to_completion());
+  for (ServerRank r = 2; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+  }
+}
+
+TEST(Protocol, ToleratesInconsistentContribution) {
+  // A Byzantine B server sends (E_A(ρ), E_B(ρ')) with ρ != ρ'; VDE
+  // verification discards it (§4.2.2) and the protocol still completes
+  // correctly.
+  SystemOptions o = base_options(8);
+  o.b_behaviors = {Behavior::kHonest, Behavior::kHonest, Behavior::kInconsistentContribution,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(19)));
+  ASSERT_TRUE(sys.run_to_completion());
+  for (ServerRank r : {1u, 2u, 4u}) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t)) << r;
+  }
+}
+
+TEST(Protocol, ToleratesWithheldContribution) {
+  // A Byzantine server commits but never contributes — exactly why the
+  // coordinator solicits 2f+1 commitments (§4.2.1).
+  SystemOptions o = base_options(9);
+  o.b_behaviors = {Behavior::kHonest, Behavior::kWithholdContribution, Behavior::kHonest,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(23)));
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t, 1);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+}
+
+TEST(Protocol, ToleratesWithheldPartialSignature) {
+  // A signing member goes silent at the partial-signature stage; the signing
+  // coordinator's retry excludes it and completes with a different quorum.
+  SystemOptions o = base_options(10);
+  o.b_behaviors = {Behavior::kHonest, Behavior::kWithholdPartial, Behavior::kHonest,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(29)));
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t, 1);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+}
+
+TEST(Protocol, BogusBlindCoordinatorGainsNothing) {
+  // The designated coordinator is compromised and tries to get B to
+  // threshold-sign a fabricated blinding pair (it would then know ρ̂).
+  // Honest members reject the evidence-free signing request; the honest
+  // backup coordinator completes the transfer.
+  SystemOptions o = base_options(11);
+  o.b_behaviors = {Behavior::kBogusBlindCoordinator, Behavior::kHonest, Behavior::kHonest,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(31)));
+  ASSERT_TRUE(sys.run_to_completion());
+  EXPECT_EQ(sys.b_server(1).attack_successes(), 0);
+  for (ServerRank r = 2; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t)) << r;
+  }
+}
+
+TEST(Protocol, AdaptiveCancelAttackDefeated) {
+  // The §4.2.1 adaptive-contribution attack, mounted by a compromised
+  // designated coordinator against the full protocol: collect honest
+  // contributions, craft a canceling one, splice reveal rounds. Every
+  // honest signing member rejects the spliced evidence (same-reveal rule +
+  // VDE), so the adversary never obtains a service signature; honest
+  // backups preserve liveness and integrity.
+  SystemOptions o = base_options(12);
+  o.b_behaviors = {Behavior::kAdaptiveCancelCoordinator, Behavior::kHonest, Behavior::kHonest,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(37)));
+  ASSERT_TRUE(sys.run_to_completion());
+  EXPECT_EQ(sys.b_server(1).attack_successes(), 0);
+  for (ServerRank r = 2; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t)) << r;
+  }
+}
+
+TEST(Protocol, LargerServiceCompletes) {
+  // n = 7, f = 2: two backup coordinators, 5-commit reveals, 3-share
+  // decryption and signing quorums.
+  SystemOptions o = base_options(13);
+  o.a = {7, 2};
+  o.b = {7, 2};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(41)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, AsymmetricServicesComplete) {
+  SystemOptions o = base_options(14);
+  o.a = {4, 1};
+  o.b = {7, 2};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(43)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, DkgSetupWorks) {
+  SystemOptions o = base_options(15);
+  o.use_dkg = true;
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(47)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, PrecomputedContributionsComplete) {
+  SystemOptions o = base_options(16);
+  o.protocol.precompute_contributions = true;
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(53)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, BlindingRunsBeforeSecretExists) {
+  // Step flexibility (§1/§3): the whole distributed blinding protocol and
+  // the blind message precede the existence of E_A(m). A parks the blind
+  // message and resumes when the secret arrives.
+  SystemOptions o = base_options(17);
+  System sys(std::move(o));
+  // Secret only materializes at t = 2s — far after blinding completes.
+  TransferId t = sys.add_transfer_at(sys.config().params.encode_message(Bigint(59)), 2'000'000);
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t, 1);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+  EXPECT_GE(sys.sim().stats().end_time, 2'000'000u);
+}
+
+TEST(Protocol, AllCoordinatorsEagerOptionWorks) {
+  SystemOptions o = base_options(18);
+  o.protocol.coordinator_backup_delay = 0;  // all f+1 start immediately
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(61)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, ResultConsistencyAcrossServers) {
+  // All honest B servers converge on *some* valid ciphertext of m (they may
+  // differ between servers when several coordinators finish).
+  System sys(base_options(19));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(67)));
+  ASSERT_TRUE(sys.run_to_completion());
+  for (ServerRank r = 1; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+  }
+}
+
+TEST(Protocol, IdempotentUnderMessageDuplication) {
+  // The asynchronous model permits duplicated delivery; every handler must
+  // be idempotent. 40% of messages are delivered twice.
+  System sys(base_options(21));
+  sys.sim().set_duplication_percent(40);
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(73)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, DuplicationPlusByzantineCoordinator) {
+  SystemOptions o = base_options(22);
+  o.b_behaviors = {Behavior::kAdaptiveCancelCoordinator, Behavior::kHonest, Behavior::kHonest,
+                   Behavior::kHonest};
+  System sys(std::move(o));
+  sys.sim().set_duplication_percent(30);
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(79)));
+  ASSERT_TRUE(sys.run_to_completion());
+  EXPECT_EQ(sys.b_server(1).attack_successes(), 0);
+  for (ServerRank r = 2; r <= 4; ++r) {
+    auto res = sys.result(t, r);
+    ASSERT_TRUE(res.has_value()) << r;
+    EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t)) << r;
+  }
+}
+
+// Liveness + integrity across many schedules: the protocol is a pure
+// function of the seed, and every seed must succeed.
+class ProtocolSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolSeedSweep, CompletesCorrectly) {
+  System sys(base_options(GetParam()));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(101)));
+  ASSERT_TRUE(sys.run_to_completion());
+  auto res = sys.result(t);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSeedSweep,
+                         ::testing::Values(1001u, 1002u, 1003u, 1004u, 1005u, 1006u, 1007u,
+                                           1008u, 1009u, 1010u));
+
+TEST(Protocol, ExtendedConfigurationNGreaterThan3fPlus1) {
+  // Footnote 3: "The protocols are easily extended to cases where
+  // 3f + 1 < n holds." Quorum sizes depend only on f.
+  SystemOptions o = base_options(23);
+  o.a = {6, 1};
+  o.b = {9, 2};
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(83)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, SurvivesDosSlowedCoordinator) {
+  // A delay-injection adversary stretches all traffic touching B's
+  // designated coordinator 40x; the protocol completes anyway (the central
+  // asynchronous-model claim: timing attacks cost latency, never safety).
+  SystemOptions o = base_options(26);
+  o.delay_policy = std::make_unique<net::TargetedSlowdown>(
+      500, 20'000, std::set<net::NodeId>{static_cast<net::NodeId>(o.a.n)}, 40);
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(89)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, SingleCoordinatorNoBackupsHonestRun) {
+  SystemOptions o = base_options(27);
+  o.protocol.max_coordinators = 1;
+  System sys(std::move(o));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(97)));
+  expect_success(sys, t);
+}
+
+TEST(Protocol, AddTransferValidatesPlaintext) {
+  System sys(base_options(24));
+  // Not a group element: p-1 is a non-residue.
+  EXPECT_THROW((void)sys.add_transfer(sys.config().params.p() - Bigint(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)sys.add_transfer(Bigint(0)), std::invalid_argument);
+}
+
+TEST(Protocol, ResultBeforeRunIsEmpty) {
+  System sys(base_options(25));
+  TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(3)));
+  EXPECT_FALSE(sys.result(t).has_value());
+}
+
+TEST(Protocol, StatsAreAccountedFor) {
+  System sys(base_options(20));
+  sys.add_transfer(sys.config().params.encode_message(Bigint(71)));
+  ASSERT_TRUE(sys.run_to_completion());
+  const net::NetStats& stats = sys.sim().stats();
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.end_time, 0u);
+  EXPECT_GT(sys.service_cpu_seconds(ServiceRole::kServiceA), 0.0);
+  EXPECT_GT(sys.service_cpu_seconds(ServiceRole::kServiceB), 0.0);
+}
+
+}  // namespace
+}  // namespace dblind::core

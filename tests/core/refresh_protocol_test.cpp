@@ -1,0 +1,149 @@
+#include "core/refresh_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "threshold/shamir.hpp"
+#include "threshold/thresh_decrypt.hpp"
+
+namespace dblind::core {
+namespace {
+
+using mpz::Bigint;
+using mpz::Prng;
+
+// Collects post-epoch shares of the given ranks.
+std::vector<threshold::Share> shares_of(RefreshSystem& sys,
+                                        const std::vector<std::uint32_t>& ranks) {
+  std::vector<threshold::Share> out;
+  for (std::uint32_t r : ranks) {
+    auto s = sys.new_share(r);
+    EXPECT_TRUE(s.has_value()) << r;
+    if (s) out.push_back(*s);
+  }
+  return out;
+}
+
+TEST(RefreshProtocol, HonestEpochPreservesKeyAndChangesShares) {
+  RefreshSystemOptions o;
+  o.seed = 1;
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+
+  const group::GroupParams& gp = sys.old_material().params();
+  auto q = shares_of(sys, {1, 3});
+  Bigint key = threshold::shamir_reconstruct(q, gp.q());
+  EXPECT_EQ(gp.pow_g(key), sys.old_material().public_key().y());
+  for (std::uint32_t r = 1; r <= 4; ++r) {
+    EXPECT_NE(sys.new_share(r)->value, sys.old_material().share_of(r).value) << r;
+  }
+}
+
+TEST(RefreshProtocol, NewCommitmentsVerifyNewShares) {
+  RefreshSystemOptions o;
+  o.seed = 2;
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+  for (std::uint32_t r = 1; r <= 4; ++r) {
+    auto share = sys.new_share(r);
+    auto comm = sys.new_commitments(r);
+    ASSERT_TRUE(share && comm);
+    EXPECT_TRUE(threshold::feldman_verify(gp, *comm, *share)) << r;
+    // All servers agree on the new commitments.
+    EXPECT_EQ(*comm, *sys.new_commitments(1)) << r;
+  }
+}
+
+TEST(RefreshProtocol, ThresholdDecryptionWorksAfterOnlineRefresh) {
+  RefreshSystemOptions o;
+  o.seed = 3;
+  RefreshSystem sys(std::move(o));
+  Prng prng(9);
+  const group::GroupParams& gp = sys.old_material().params();
+  Bigint m = gp.random_element(prng);
+  elgamal::Ciphertext c = sys.old_material().public_key().encrypt(m, prng);
+  ASSERT_TRUE(sys.run());
+
+  std::vector<threshold::DecryptionShare> shares;
+  for (std::uint32_t r : {2u, 4u}) {
+    auto ds = threshold::make_decryption_share(gp, c, *sys.new_share(r), "ctx", prng);
+    EXPECT_TRUE(threshold::verify_decryption_share(gp, *sys.new_commitments(r), c, ds, "ctx"));
+    shares.push_back(std::move(ds));
+  }
+  EXPECT_EQ(threshold::combine_decryption(gp, c, shares), m);
+}
+
+TEST(RefreshProtocol, MixedEpochSharesUseless) {
+  RefreshSystemOptions o;
+  o.seed = 4;
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+  std::vector<threshold::Share> mixed = {sys.old_material().share_of(1), *sys.new_share(2)};
+  EXPECT_NE(gp.pow_g(threshold::shamir_reconstruct(mixed, gp.q())),
+            sys.old_material().public_key().y());
+}
+
+TEST(RefreshProtocol, SurvivesCrashedCoordinator) {
+  RefreshSystemOptions o;
+  o.seed = 5;
+  o.crashed = {1};
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+  auto q = shares_of(sys, {2, 4});
+  EXPECT_EQ(gp.pow_g(threshold::shamir_reconstruct(q, gp.q())),
+            sys.old_material().public_key().y());
+  EXPECT_GT(sys.sim().stats().end_time, 400'000u);  // paid the backup delay
+}
+
+TEST(RefreshProtocol, BadDealerExcluded) {
+  RefreshSystemOptions o;
+  o.seed = 6;
+  o.cfg = {7, 2};
+  o.bad_dealers = {3, 5};
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+  auto q = shares_of(sys, {1, 2, 7});
+  EXPECT_EQ(gp.pow_g(threshold::shamir_reconstruct(q, gp.q())),
+            sys.old_material().public_key().y());
+}
+
+TEST(RefreshProtocol, EquivocatingCoordinatorCannotSplitState) {
+  // The central agreement property: a Byzantine coordinator sending
+  // different apply-sets to different servers cannot leave correct servers
+  // with incompatible shares. Either one set reaches the echo quorum (and
+  // the fetch round delivers it everywhere), or none does and a backup
+  // instance completes — in both cases all servers end identical.
+  RefreshSystemOptions o;
+  o.seed = 7;
+  o.equivocating_coordinator = true;
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+
+  // All live servers hold mutually consistent shares: any quorum
+  // reconstructs the original key.
+  for (auto ranks : std::vector<std::vector<std::uint32_t>>{{1, 2}, {2, 3}, {3, 4}, {1, 4}}) {
+    auto q = shares_of(sys, ranks);
+    EXPECT_EQ(gp.pow_g(threshold::shamir_reconstruct(q, gp.q())),
+              sys.old_material().public_key().y())
+        << ranks[0] << "," << ranks[1];
+  }
+}
+
+TEST(RefreshProtocol, LargerServiceWorks) {
+  RefreshSystemOptions o;
+  o.seed = 8;
+  o.cfg = {10, 3};
+  RefreshSystem sys(std::move(o));
+  ASSERT_TRUE(sys.run());
+  const group::GroupParams& gp = sys.old_material().params();
+  auto q = shares_of(sys, {2, 5, 8, 10});
+  EXPECT_EQ(gp.pow_g(threshold::shamir_reconstruct(q, gp.q())),
+            sys.old_material().public_key().y());
+}
+
+}  // namespace
+}  // namespace dblind::core

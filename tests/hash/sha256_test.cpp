@@ -1,0 +1,117 @@
+#include "hash/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace dblind::hash {
+namespace {
+
+std::string hex_digest(std::string_view s) { return to_hex(Sha256::digest(s)); }
+
+// FIPS 180-4 / NIST CAVP known-answer tests.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding spills into a second block.
+  std::string s(64, 'a');
+  EXPECT_EQ(hex_digest(s), "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string s(1000000, 'a');
+  EXPECT_EQ(hex_digest(s), "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(to_hex(h.finish()), hex_digest(msg)) << split;
+  }
+}
+
+TEST(Sha256, ManySmallUpdates) {
+  Sha256 h;
+  std::string msg;
+  for (int i = 0; i < 300; ++i) {
+    std::string piece(1, static_cast<char>('a' + i % 26));
+    h.update(piece);
+    msg += piece;
+  }
+  EXPECT_EQ(to_hex(h.finish()), hex_digest(msg));
+}
+
+TEST(Sha256, LengthSensitivity) {
+  // Messages around the 55/56-byte padding boundary all hash differently.
+  std::string prev;
+  for (std::size_t len = 50; len <= 70; ++len) {
+    std::string cur = to_hex(Sha256::digest(std::string(len, 'x')));
+    EXPECT_NE(cur, prev);
+    prev = cur;
+  }
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  std::string data = "Hi There";
+  auto mac = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(to_hex(mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string data = "what do ya want for nothing?";
+  auto mac = hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                    data.size()));
+  EXPECT_EQ(to_hex(mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  std::vector<std::uint8_t> key(20, 0xaa);
+  std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto mac = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(to_hex(mac), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(bytes), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), bytes);
+  EXPECT_EQ(from_hex("0001ABFF7F"), bytes);
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, Errors) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dblind::hash

@@ -1,0 +1,40 @@
+// The COMPLETE pipeline — publisher client, both services, subscriber
+// retrieval — on real threads (one per node, plus the client).
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "net/threaded_bus.hpp"
+#include "tests/core/test_util.hpp"
+
+namespace dblind::core {
+namespace {
+
+TEST(ThreadedClient, FullPipelineOnRealThreads) {
+  auto ts = testing::TestSystem::make(0xabcd);
+  mpz::Bigint m = ts.params.encode_message(mpz::Bigint(1618033988));
+
+  ProtocolOptions opts;
+  opts.coordinator_backup_delay = 300'000;
+  opts.responder_backup_delay = 300'000;
+  opts.signing_retry_delay = 500'000;
+
+  net::ThreadedBus bus(0x1234);
+  for (ServerRank r = 1; r <= 4; ++r)
+    bus.add_node(std::make_unique<ProtocolServer>(ts.cfg, ts.a_secrets[r - 1], opts));
+  for (ServerRank r = 1; r <= 4; ++r)
+    bus.add_node(std::make_unique<ProtocolServer>(ts.cfg, ts.b_secrets[r - 1], opts));
+  auto client = std::make_unique<ClientNode>(ts.cfg, 9000, m, /*poll_interval=*/20'000);
+  ClientNode* handle = client.get();
+  bus.add_node(std::move(client));
+
+  bus.start();
+  bool done = bus.run_until([&] { return handle->finished(); }, std::chrono::milliseconds(30000));
+  bus.stop();
+  ASSERT_TRUE(done) << "client pipeline did not finish on real threads";
+  ASSERT_TRUE(handle->plaintext().has_value());
+  EXPECT_EQ(*handle->plaintext(), m);
+}
+
+}  // namespace
+}  // namespace dblind::core

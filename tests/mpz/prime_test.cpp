@@ -1,0 +1,80 @@
+#include "mpz/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::mpz {
+namespace {
+
+TEST(Prime, SmallKnownPrimes) {
+  Prng prng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 97ull, 7919ull, 65537ull}) {
+    EXPECT_TRUE(is_probable_prime(Bigint(p), prng)) << p;
+  }
+}
+
+TEST(Prime, SmallKnownComposites) {
+  Prng prng(2);
+  for (std::uint64_t n : {0ull, 1ull, 4ull, 6ull, 9ull, 91ull, 561ull /*Carmichael*/,
+                          6601ull /*Carmichael*/, 65536ull}) {
+    EXPECT_FALSE(is_probable_prime(Bigint(n), prng)) << n;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  // 2^127 - 1 is a Mersenne prime.
+  Prng prng(3);
+  Bigint m127 = Bigint(1).shl(127) - Bigint(1);
+  EXPECT_TRUE(is_probable_prime(m127, prng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(is_probable_prime(Bigint(1).shl(128) - Bigint(1), prng));
+}
+
+TEST(Prime, EmbeddedParameterPrimesVerify) {
+  Prng prng(4);
+  // The named parameter sets used throughout the library (64..512 bits here;
+  // the 1024/2048-bit sets are verified in the slower group params test).
+  const char* ps[] = {"f60100fb3362b19f", "fe223d80ef19da04fef96e1894377f43",
+                      "fc7fb60b74845770ea35c5cacef5191b0634d65fb8cfbb233eb4908e654edd8f"};
+  for (const char* p_hex : ps) {
+    Bigint p = Bigint::from_hex(p_hex);
+    Bigint q = (p - Bigint(1)).shr(1);
+    EXPECT_TRUE(is_probable_prime(p, prng, 20)) << p_hex;
+    EXPECT_TRUE(is_probable_prime(q, prng, 20)) << p_hex;
+  }
+}
+
+TEST(Prime, GeneratePrimeHasRequestedSize) {
+  Prng prng(5);
+  for (std::size_t bits : {16u, 32u, 64u, 128u}) {
+    Bigint p = generate_prime(bits, prng, 20);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, prng, 20));
+  }
+}
+
+TEST(Prime, GenerateSafePrime) {
+  Prng prng(6);
+  SafePrime sp = generate_safe_prime(64, prng, 20);
+  EXPECT_EQ(sp.p.bit_length(), 64u);
+  EXPECT_EQ(sp.p, sp.q.shl(1) + Bigint(1));
+  EXPECT_TRUE(is_probable_prime(sp.p, prng, 20));
+  EXPECT_TRUE(is_probable_prime(sp.q, prng, 20));
+}
+
+TEST(Prime, GeneratedPrimesDiffer) {
+  Prng prng(7);
+  Bigint a = generate_prime(48, prng, 15);
+  Bigint b = generate_prime(48, prng, 15);
+  EXPECT_NE(a, b);
+}
+
+TEST(Prime, RejectsTinyRequests) {
+  Prng prng(8);
+  EXPECT_THROW((void)generate_prime(1, prng), std::invalid_argument);
+  EXPECT_THROW((void)generate_safe_prime(3, prng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dblind::mpz

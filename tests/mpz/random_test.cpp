@@ -1,0 +1,121 @@
+#include "mpz/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace dblind::mpz {
+namespace {
+
+TEST(Prng, DeterministicFromSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, FillCoversRequestedLength) {
+  Prng p(7);
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint8_t> buf(len, 0xAA);
+    p.fill(buf);
+    EXPECT_EQ(buf.size(), len);
+  }
+}
+
+TEST(Prng, FillStreamsConsistently) {
+  // Reading 64 bytes at once equals reading them in odd-sized chunks.
+  Prng a(9), b(9);
+  std::vector<std::uint8_t> whole(64);
+  a.fill(whole);
+  std::vector<std::uint8_t> parts(64);
+  b.fill(std::span(parts).subspan(0, 5));
+  b.fill(std::span(parts).subspan(5, 30));
+  b.fill(std::span(parts).subspan(35, 29));
+  EXPECT_EQ(whole, parts);
+}
+
+TEST(Prng, UniformBelowInRange) {
+  Prng p(11);
+  Bigint bound = Bigint::from_hex("ffffffffffffffffffffffff");
+  for (int i = 0; i < 50; ++i) {
+    Bigint v = p.uniform_below(bound);
+    EXPECT_FALSE(v.is_negative());
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(Prng, UniformBelowSmallBoundsHitAllValues) {
+  Prng p(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(p.uniform_below(Bigint(4)).to_u64());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Prng, UniformNonzeroNeverZero) {
+  Prng p(17);
+  for (int i = 0; i < 300; ++i) {
+    Bigint v = p.uniform_nonzero_below(Bigint(2));
+    EXPECT_EQ(v, Bigint(1));
+  }
+}
+
+TEST(Prng, UniformU64RoughlyUniform) {
+  Prng p(19);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 6000;
+  for (int i = 0; i < kDraws; ++i) ++counts[p.uniform_u64(6)];
+  EXPECT_EQ(counts.size(), 6u);
+  for (auto& [v, c] : counts) {
+    EXPECT_GT(c, kDraws / 6 - 300) << v;
+    EXPECT_LT(c, kDraws / 6 + 300) << v;
+  }
+}
+
+TEST(Prng, RandomBitsHasExactLength) {
+  Prng p(23);
+  for (std::size_t bits : {1u, 2u, 8u, 9u, 64u, 65u, 256u, 1000u}) {
+    Bigint v = p.random_bits(bits);
+    EXPECT_EQ(v.bit_length(), bits) << bits;
+  }
+  EXPECT_TRUE(p.random_bits(0).is_zero());
+}
+
+TEST(Prng, ForkIsDeterministicAndIndependent) {
+  Prng a(31), b(31);
+  Prng fa = a.fork("child");
+  Prng fb = b.fork("child");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+
+  Prng c(31);
+  Prng other = c.fork("other-label");
+  Prng childAgain = Prng(31).fork("child");
+  EXPECT_NE(other.next_u64(), childAgain.next_u64());
+}
+
+TEST(Prng, RejectsBadBounds) {
+  Prng p(1);
+  EXPECT_THROW((void)p.uniform_below(Bigint(0)), std::domain_error);
+  EXPECT_THROW((void)p.uniform_below(Bigint(-5)), std::domain_error);
+  EXPECT_THROW((void)p.uniform_nonzero_below(Bigint(1)), std::domain_error);
+  EXPECT_THROW((void)p.uniform_u64(0), std::domain_error);
+}
+
+TEST(Prng, OsEntropyProducesDistinctStreams) {
+  Prng a = Prng::from_os_entropy();
+  Prng b = Prng::from_os_entropy();
+  // Astronomically unlikely to collide.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace dblind::mpz

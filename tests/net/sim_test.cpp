@@ -1,0 +1,232 @@
+#include "net/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dblind::net {
+namespace {
+
+// Test node: echoes every message back to its sender with a '+' appended,
+// and records everything it receives.
+class Echo final : public Node {
+ public:
+  void on_message(Context& ctx, NodeId from, std::span<const std::uint8_t> bytes) override {
+    received.emplace_back(bytes.begin(), bytes.end());
+    if (bytes.size() < 8) {
+      std::vector<std::uint8_t> reply(bytes.begin(), bytes.end());
+      reply.push_back('+');
+      ctx.send(from, std::move(reply));
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> received;
+};
+
+// Sends one initial message to a peer.
+class Starter final : public Node {
+ public:
+  explicit Starter(NodeId peer) : peer_(peer) {}
+  void on_start(Context& ctx) override { ctx.send(peer_, {'h', 'i'}); }
+  void on_message(Context&, NodeId, std::span<const std::uint8_t> bytes) override {
+    received.emplace_back(bytes.begin(), bytes.end());
+  }
+  std::vector<std::vector<std::uint8_t>> received;
+
+ private:
+  NodeId peer_;
+};
+
+TEST(Simulator, DeliversMessages) {
+  Simulator sim(1, std::make_unique<UniformDelay>(10, 100));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  auto starter = std::make_unique<Starter>(echo_id);
+  Starter* starter_ptr = starter.get();
+  sim.add_node(std::move(starter));
+
+  NetStats stats = sim.run();
+  ASSERT_EQ(echo_ptr->received.size(), 1u);
+  EXPECT_EQ(echo_ptr->received[0], (std::vector<std::uint8_t>{'h', 'i'}));
+  ASSERT_EQ(starter_ptr->received.size(), 1u);
+  EXPECT_EQ(starter_ptr->received[0], (std::vector<std::uint8_t>{'h', 'i', '+'}));
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.messages_delivered, 2u);
+  EXPECT_EQ(stats.bytes_sent, 5u);
+  EXPECT_GT(stats.end_time, 0u);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed, std::make_unique<UniformDelay>(1, 1000));
+    NodeId echo_id = sim.add_node(std::make_unique<Echo>());
+    sim.add_node(std::make_unique<Starter>(echo_id));
+    return sim.run().end_time;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // overwhelmingly likely with 1..1000us delays
+}
+
+TEST(Simulator, CrashedNodeReceivesNothingAndSendsNothing) {
+  Simulator sim(3, std::make_unique<UniformDelay>(10, 10));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  auto starter = std::make_unique<Starter>(echo_id);
+  Starter* starter_ptr = starter.get();
+  sim.add_node(std::move(starter));
+  sim.crash_at(echo_id, 0);
+
+  sim.run();
+  EXPECT_TRUE(echo_ptr->received.empty());
+  EXPECT_TRUE(starter_ptr->received.empty());
+  EXPECT_TRUE(sim.crashed(echo_id));
+}
+
+TEST(Simulator, CrashAtLaterTimeTakesEffectThen) {
+  // Echo responds to the first message (sent at t=0, delivered t=10) but is
+  // crashed before the second (sent at t=1000).
+  class TwoShot final : public Node {
+   public:
+    explicit TwoShot(NodeId peer) : peer_(peer) {}
+    void on_start(Context& ctx) override {
+      ctx.send(peer_, {'1'});
+      ctx.set_timer(1000, 7);
+    }
+    void on_timer(Context& ctx, std::uint64_t) override { ctx.send(peer_, {'2'}); }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t> bytes) override {
+      replies.emplace_back(bytes.begin(), bytes.end());
+    }
+    std::vector<std::vector<std::uint8_t>> replies;
+
+   private:
+    NodeId peer_;
+  };
+
+  Simulator sim(4, std::make_unique<UniformDelay>(10, 10));
+  NodeId echo_id = sim.add_node(std::make_unique<Echo>());
+  auto two = std::make_unique<TwoShot>(echo_id);
+  TwoShot* two_ptr = two.get();
+  sim.add_node(std::move(two));
+  sim.crash_at(echo_id, 500);
+
+  sim.run();
+  ASSERT_EQ(two_ptr->replies.size(), 1u);
+  EXPECT_EQ(two_ptr->replies[0], (std::vector<std::uint8_t>{'1', '+'}));
+}
+
+TEST(Simulator, TimersFireInOrder) {
+  class TimerNode final : public Node {
+   public:
+    void on_start(Context& ctx) override {
+      ctx.set_timer(300, 3);
+      ctx.set_timer(100, 1);
+      ctx.set_timer(200, 2);
+    }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t>) override {}
+    void on_timer(Context& ctx, std::uint64_t token) override {
+      fired.push_back(token);
+      times.push_back(ctx.now());
+    }
+    std::vector<std::uint64_t> fired;
+    std::vector<Time> times;
+  };
+  Simulator sim(5, std::make_unique<UniformDelay>(1, 1));
+  auto node = std::make_unique<TimerNode>();
+  TimerNode* ptr = node.get();
+  sim.add_node(std::move(node));
+  sim.run();
+  EXPECT_EQ(ptr->fired, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(ptr->times, (std::vector<Time>{100, 200, 300}));
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  class Chatter final : public Node {
+   public:
+    void on_start(Context& ctx) override { ctx.set_timer(1, 0); }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t>) override {}
+    void on_timer(Context& ctx, std::uint64_t) override {
+      ++count;
+      ctx.set_timer(1, 0);  // unbounded chatter
+    }
+    int count = 0;
+  };
+  Simulator sim(6, std::make_unique<UniformDelay>(1, 1));
+  auto node = std::make_unique<Chatter>();
+  Chatter* ptr = node.get();
+  sim.add_node(std::move(node));
+  bool hit = sim.run_until([&] { return ptr->count >= 10; }, 100000);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(ptr->count, 10);
+}
+
+TEST(Simulator, TargetedSlowdownDelaysVictim) {
+  // Two starters message the same echo; the victim's traffic is 100x slower.
+  Simulator fast(7, std::make_unique<UniformDelay>(100, 100));
+  Simulator slow(7, std::make_unique<TargetedSlowdown>(100, 100, std::set<NodeId>{0}, 100));
+  for (Simulator* sim : {&fast, &slow}) {
+    NodeId echo_id = sim->add_node(std::make_unique<Echo>());
+    ASSERT_EQ(echo_id, 0u);
+    sim->add_node(std::make_unique<Starter>(echo_id));
+  }
+  EXPECT_EQ(fast.run().end_time, 200u);
+  EXPECT_EQ(slow.run().end_time, 20000u);
+}
+
+TEST(Simulator, PerNodeRngIsDeterministicAndDistinct) {
+  class RngNode final : public Node {
+   public:
+    void on_start(Context& ctx) override { value = ctx.rng().next_u64(); }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t>) override {}
+    std::uint64_t value = 0;
+  };
+  auto sample = [](std::uint64_t seed) {
+    Simulator sim(seed, std::make_unique<UniformDelay>(1, 1));
+    auto n1 = std::make_unique<RngNode>();
+    auto n2 = std::make_unique<RngNode>();
+    RngNode* p1 = n1.get();
+    RngNode* p2 = n2.get();
+    sim.add_node(std::move(n1));
+    sim.add_node(std::move(n2));
+    sim.run();
+    return std::pair{p1->value, p2->value};
+  };
+  auto [a1, a2] = sample(11);
+  auto [b1, b2] = sample(11);
+  EXPECT_EQ(a1, b1);
+  EXPECT_EQ(a2, b2);
+  EXPECT_NE(a1, a2);
+}
+
+TEST(Simulator, DuplicationDeliversExtraCopies) {
+  // At 100% duplication every message arrives exactly twice.
+  Simulator sim(8, std::make_unique<UniformDelay>(10, 100));
+  sim.set_duplication_percent(100);
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  sim.add_node(std::make_unique<Starter>(echo_id));
+  sim.run();
+  // 'hi' delivered twice; each delivery triggers an echo reply, each reply
+  // duplicated again.
+  EXPECT_EQ(echo_ptr->received.size(), 2u);
+  EXPECT_EQ(sim.stats().messages_delivered, 6u);
+}
+
+TEST(Simulator, DuplicationZeroIsExact) {
+  Simulator sim(9, std::make_unique<UniformDelay>(10, 100));
+  sim.set_duplication_percent(0);
+  NodeId echo_id = sim.add_node(std::make_unique<Echo>());
+  sim.add_node(std::make_unique<Starter>(echo_id));
+  sim.run();
+  EXPECT_EQ(sim.stats().messages_delivered, 2u);
+}
+
+TEST(Simulator, RejectsBadUsage) {
+  EXPECT_THROW(Simulator(1, nullptr), std::invalid_argument);
+  Simulator sim(1, std::make_unique<UniformDelay>(1, 1));
+  EXPECT_THROW(sim.add_node(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dblind::net

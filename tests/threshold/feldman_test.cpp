@@ -1,0 +1,91 @@
+#include "threshold/feldman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+GroupParams toy() { return GroupParams::named(ParamId::kToy64); }
+
+TEST(Feldman, AllDealtSharesVerify) {
+  GroupParams gp = toy();
+  Prng prng(1);
+  Bigint secret = prng.uniform_below(gp.q());
+  auto coeffs = sharing_polynomial(secret, 2, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  for (std::uint32_t i = 1; i <= 7; ++i) {
+    Share s{i, eval_polynomial(coeffs, i, gp.q())};
+    EXPECT_TRUE(feldman_verify(gp, c, s)) << i;
+  }
+}
+
+TEST(Feldman, CorruptedShareRejected) {
+  GroupParams gp = toy();
+  Prng prng(2);
+  auto coeffs = sharing_polynomial(prng.uniform_below(gp.q()), 2, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  Share good{3, eval_polynomial(coeffs, 3, gp.q())};
+  Share bad{3, mpz::addmod(good.value, Bigint(1), gp.q())};
+  EXPECT_TRUE(feldman_verify(gp, c, good));
+  EXPECT_FALSE(feldman_verify(gp, c, bad));
+}
+
+TEST(Feldman, WrongIndexRejected) {
+  GroupParams gp = toy();
+  Prng prng(3);
+  auto coeffs = sharing_polynomial(prng.uniform_below(gp.q()), 1, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  Share s{2, eval_polynomial(coeffs, 3, gp.q())};  // value for index 3 claimed as index 2
+  EXPECT_FALSE(feldman_verify(gp, c, s));
+}
+
+TEST(Feldman, EvalAtZeroIsPublicKeyPoint) {
+  GroupParams gp = toy();
+  Prng prng(4);
+  Bigint secret = prng.uniform_below(gp.q());
+  auto coeffs = sharing_polynomial(secret, 3, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  EXPECT_EQ(feldman_eval(gp, c, 0), gp.pow_g(secret));
+}
+
+TEST(Feldman, EvalMatchesShareExponent) {
+  GroupParams gp = toy();
+  Prng prng(5);
+  auto coeffs = sharing_polynomial(prng.uniform_below(gp.q()), 2, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  for (std::uint32_t i : {1u, 5u, 100u}) {
+    EXPECT_EQ(feldman_eval(gp, c, i), gp.pow_g(eval_polynomial(coeffs, i, gp.q())));
+  }
+}
+
+TEST(Feldman, DegenerateInputs) {
+  GroupParams gp = toy();
+  EXPECT_THROW((void)feldman_commit(gp, {}), std::invalid_argument);
+  FeldmanCommitments empty;
+  EXPECT_THROW((void)feldman_eval(gp, empty, 1), std::invalid_argument);
+  Prng prng(6);
+  auto coeffs = sharing_polynomial(Bigint(5), 1, gp.q(), prng);
+  FeldmanCommitments c = feldman_commit(gp, coeffs);
+  EXPECT_FALSE(feldman_verify(gp, c, {0, Bigint(5)}));          // index 0
+  EXPECT_FALSE(feldman_verify(gp, c, {1, gp.q()}));             // value out of range
+  EXPECT_FALSE(feldman_verify(gp, c, {1, Bigint(-1)}));         // negative
+}
+
+TEST(Feldman, CommitmentsHideNothingAboutDegree) {
+  // Commitments length equals degree+1 — callers rely on this to check the
+  // dealer used the right threshold.
+  GroupParams gp = toy();
+  Prng prng(7);
+  auto coeffs = sharing_polynomial(Bigint(1), 4, gp.q(), prng);
+  EXPECT_EQ(feldman_commit(gp, coeffs).coefficients.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dblind::threshold

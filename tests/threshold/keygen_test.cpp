@@ -1,0 +1,137 @@
+#include "threshold/keygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+#include "threshold/shamir.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+GroupParams toy() { return GroupParams::named(ParamId::kToy64); }
+
+TEST(ServiceConfig, QuorumAndSafety) {
+  ServiceConfig c{4, 1};
+  EXPECT_EQ(c.quorum(), 2u);
+  EXPECT_TRUE(c.byzantine_safe());
+  EXPECT_FALSE((ServiceConfig{4, 2}).byzantine_safe());
+  EXPECT_TRUE((ServiceConfig{10, 3}).byzantine_safe());
+}
+
+TEST(DealerKeygen, SharesReconstructServiceKey) {
+  GroupParams gp = toy();
+  Prng prng(1);
+  ServiceConfig cfg{4, 1};
+  ServiceKeyMaterial km = ServiceKeyMaterial::dealer_keygen(gp, cfg, prng);
+
+  std::vector<Share> quorum = {km.share_of(1), km.share_of(3)};
+  Bigint k = shamir_reconstruct(quorum, gp.q());
+  EXPECT_EQ(gp.pow_g(k), km.public_key().y());
+}
+
+TEST(DealerKeygen, AllSharesFeldmanVerify) {
+  GroupParams gp = toy();
+  Prng prng(2);
+  ServiceConfig cfg{7, 2};
+  ServiceKeyMaterial km = ServiceKeyMaterial::dealer_keygen(gp, cfg, prng);
+  for (std::uint32_t i = 1; i <= 7; ++i) {
+    EXPECT_TRUE(feldman_verify(gp, km.commitments(), km.share_of(i))) << i;
+    EXPECT_EQ(km.verification_key_of(i), gp.pow_g(km.share_of(i).value)) << i;
+  }
+}
+
+TEST(DealerKeygen, CommitmentDegreeMatchesThreshold) {
+  GroupParams gp = toy();
+  Prng prng(3);
+  ServiceKeyMaterial km = ServiceKeyMaterial::dealer_keygen(gp, {10, 3}, prng);
+  EXPECT_EQ(km.commitments().coefficients.size(), 4u);  // degree f = 3
+}
+
+TEST(DealerKeygen, BadIndicesThrow) {
+  GroupParams gp = toy();
+  Prng prng(4);
+  ServiceKeyMaterial km = ServiceKeyMaterial::dealer_keygen(gp, {4, 1}, prng);
+  EXPECT_THROW((void)km.share_of(0), std::out_of_range);
+  EXPECT_THROW((void)km.share_of(5), std::out_of_range);
+  EXPECT_THROW((void)km.verification_key_of(99), std::out_of_range);
+}
+
+TEST(DealerKeygen, RejectsBadConfig) {
+  GroupParams gp = toy();
+  Prng prng(5);
+  EXPECT_THROW((void)ServiceKeyMaterial::dealer_keygen(gp, {3, 3}, prng), std::invalid_argument);
+  EXPECT_THROW((void)ServiceKeyMaterial::dealer_keygen(gp, {0, 0}, prng), std::invalid_argument);
+}
+
+TEST(Dkg, HonestRunProducesConsistentKey) {
+  GroupParams gp = toy();
+  Prng prng(6);
+  ServiceConfig cfg{4, 1};
+  DkgResult r = run_joint_feldman_dkg(gp, cfg, prng);
+  EXPECT_TRUE(r.disqualified.empty());
+
+  // Shares reconstruct a key matching the joint public key.
+  std::vector<Share> quorum = {r.material.share_of(2), r.material.share_of(4)};
+  Bigint k = shamir_reconstruct(quorum, gp.q());
+  EXPECT_EQ(gp.pow_g(k), r.material.public_key().y());
+}
+
+TEST(Dkg, CheatingDealerDisqualified) {
+  GroupParams gp = toy();
+  Prng prng(7);
+  ServiceConfig cfg{4, 1};
+  DkgResult r = run_joint_feldman_dkg(gp, cfg, prng, {2});
+  ASSERT_EQ(r.disqualified.size(), 1u);
+  EXPECT_EQ(r.disqualified[0], 2u);
+
+  // Key is still well-formed without the cheater's contribution.
+  std::vector<Share> quorum = {r.material.share_of(1), r.material.share_of(3)};
+  EXPECT_EQ(gp.pow_g(shamir_reconstruct(quorum, gp.q())), r.material.public_key().y());
+}
+
+TEST(Dkg, MultipleCheatersDisqualified) {
+  GroupParams gp = toy();
+  Prng prng(8);
+  ServiceConfig cfg{7, 2};
+  DkgResult r = run_joint_feldman_dkg(gp, cfg, prng, {1, 5});
+  EXPECT_EQ(r.disqualified, (std::vector<std::uint32_t>{1, 5}));
+  std::vector<Share> quorum = {r.material.share_of(2), r.material.share_of(3),
+                               r.material.share_of(4)};
+  EXPECT_EQ(gp.pow_g(shamir_reconstruct(quorum, gp.q())), r.material.public_key().y());
+}
+
+TEST(Dkg, TooManyCheatersThrow) {
+  GroupParams gp = toy();
+  Prng prng(9);
+  ServiceConfig cfg{4, 3};  // quorum 4 needs all dealers
+  EXPECT_THROW((void)run_joint_feldman_dkg(gp, cfg, prng, {1}), std::runtime_error);
+}
+
+TEST(Dkg, DifferentRunsDifferentKeys) {
+  GroupParams gp = toy();
+  Prng prng(10);
+  DkgResult a = run_joint_feldman_dkg(gp, {4, 1}, prng);
+  DkgResult b = run_joint_feldman_dkg(gp, {4, 1}, prng);
+  EXPECT_NE(a.material.public_key().y(), b.material.public_key().y());
+}
+
+TEST(KeyMaterial, ConstructorValidatesShares) {
+  GroupParams gp = toy();
+  Prng prng(11);
+  ServiceKeyMaterial km = ServiceKeyMaterial::dealer_keygen(gp, {4, 1}, prng);
+  // Tampered share fails validation.
+  std::vector<Share> shares;
+  for (std::uint32_t i = 1; i <= 4; ++i) shares.push_back(km.share_of(i));
+  shares[2].value = mpz::addmod(shares[2].value, Bigint(1), gp.q());
+  EXPECT_THROW(ServiceKeyMaterial(gp, ServiceConfig{4, 1}, km.public_key(), km.commitments(),
+                                  shares),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dblind::threshold

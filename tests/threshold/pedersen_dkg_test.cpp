@@ -1,0 +1,96 @@
+#include "threshold/pedersen_dkg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "threshold/thresh_decrypt.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+GroupParams toy() { return GroupParams::named(ParamId::kToy64); }
+
+TEST(PedersenDkg, HonestRunProducesWorkingKey) {
+  GroupParams gp = toy();
+  Prng prng(1);
+  PedersenDkgResult r = run_pedersen_dkg(gp, {4, 1}, prng);
+  EXPECT_TRUE(r.disqualified_phase1.empty());
+  EXPECT_TRUE(r.exposed_phase2.empty());
+
+  std::vector<Share> quorum = {r.material.share_of(1), r.material.share_of(3)};
+  EXPECT_EQ(gp.pow_g(shamir_reconstruct(quorum, gp.q())), r.material.public_key().y());
+}
+
+TEST(PedersenDkg, SharesFeldmanVerify) {
+  GroupParams gp = toy();
+  Prng prng(2);
+  PedersenDkgResult r = run_pedersen_dkg(gp, {7, 2}, prng);
+  for (std::uint32_t i = 1; i <= 7; ++i)
+    EXPECT_TRUE(feldman_verify(gp, r.material.commitments(), r.material.share_of(i))) << i;
+}
+
+TEST(PedersenDkg, Phase1CheaterDisqualified) {
+  GroupParams gp = toy();
+  Prng prng(3);
+  PedersenDkgResult r = run_pedersen_dkg(gp, {4, 1}, prng, {3});
+  EXPECT_EQ(r.disqualified_phase1, (std::vector<std::uint32_t>{3}));
+  std::vector<Share> quorum = {r.material.share_of(2), r.material.share_of(4)};
+  EXPECT_EQ(gp.pow_g(shamir_reconstruct(quorum, gp.q())), r.material.public_key().y());
+}
+
+TEST(PedersenDkg, Phase2CheaterExposedButKeyUnbiased) {
+  // The crucial difference from joint-Feldman: a dealer that misbehaves
+  // AFTER seeing others' openings stays in QUAL (its true contribution is
+  // reconstructed), so it cannot bias the key by strategic self-exclusion.
+  GroupParams gp = toy();
+  Prng prng(4);
+  PedersenDkgResult cheat = run_pedersen_dkg(gp, {4, 1}, prng, {}, {2});
+  EXPECT_TRUE(cheat.disqualified_phase1.empty());
+  EXPECT_EQ(cheat.exposed_phase2, (std::vector<std::uint32_t>{2}));
+
+  // Identical run without the phase-2 cheat produces the SAME key: the cheat
+  // changed nothing about the outcome.
+  Prng prng2(4);
+  PedersenDkgResult honest = run_pedersen_dkg(gp, {4, 1}, prng2);
+  EXPECT_EQ(cheat.material.public_key().y(), honest.material.public_key().y());
+  // And the shares still match the joint commitments.
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    EXPECT_TRUE(feldman_verify(gp, cheat.material.commitments(), cheat.material.share_of(i)));
+}
+
+TEST(PedersenDkg, KeyWorksForThresholdDecryption) {
+  GroupParams gp = toy();
+  Prng prng(5);
+  PedersenDkgResult r = run_pedersen_dkg(gp, {4, 1}, prng, {}, {1});
+  Bigint m = gp.random_element(prng);
+  elgamal::Ciphertext c = r.material.public_key().encrypt(m, prng);
+  std::vector<DecryptionShare> shares;
+  for (std::uint32_t i : {2u, 3u}) {
+    auto ds = make_decryption_share(gp, c, r.material.share_of(i), "ctx", prng);
+    EXPECT_TRUE(verify_decryption_share(gp, r.material.commitments(), c, ds, "ctx"));
+    shares.push_back(std::move(ds));
+  }
+  EXPECT_EQ(combine_decryption(gp, c, shares), m);
+}
+
+TEST(PedersenDkg, TooManyPhase1CheatersThrow) {
+  GroupParams gp = toy();
+  Prng prng(6);
+  EXPECT_THROW((void)run_pedersen_dkg(gp, {4, 3}, prng, {1}), std::runtime_error);
+  EXPECT_THROW((void)run_pedersen_dkg(gp, {2, 2}, prng), std::invalid_argument);
+}
+
+TEST(PedersenDkg, DifferentRunsDifferentKeys) {
+  GroupParams gp = toy();
+  Prng prng(7);
+  PedersenDkgResult a = run_pedersen_dkg(gp, {4, 1}, prng);
+  PedersenDkgResult b = run_pedersen_dkg(gp, {4, 1}, prng);
+  EXPECT_NE(a.material.public_key().y(), b.material.public_key().y());
+}
+
+}  // namespace
+}  // namespace dblind::threshold

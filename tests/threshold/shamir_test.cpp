@@ -1,0 +1,118 @@
+#include "threshold/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using mpz::Bigint;
+using mpz::Prng;
+
+const Bigint kQ = Bigint::from_hex("7b00807d99b158cf");  // 64-bit prime
+
+TEST(Shamir, ReconstructFromExactQuorum) {
+  Prng prng(1);
+  Bigint secret = prng.uniform_below(kQ);
+  auto shares = shamir_share(secret, 7, 2, kQ, prng);
+  ASSERT_EQ(shares.size(), 7u);
+  std::vector<Share> quorum(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_reconstruct(quorum, kQ), secret);
+}
+
+TEST(Shamir, ReconstructFromAnySubset) {
+  Prng prng(2);
+  Bigint secret = prng.uniform_below(kQ);
+  auto shares = shamir_share(secret, 7, 2, kQ, prng);
+  // Every 3-subset of {1..7} reconstructs. Spot-check several.
+  std::vector<std::vector<std::size_t>> subsets = {
+      {0, 1, 2}, {4, 5, 6}, {0, 3, 6}, {1, 2, 5}, {2, 4, 6}};
+  for (const auto& idx : subsets) {
+    std::vector<Share> quorum;
+    for (std::size_t i : idx) quorum.push_back(shares[i]);
+    EXPECT_EQ(shamir_reconstruct(quorum, kQ), secret);
+  }
+}
+
+TEST(Shamir, MoreThanQuorumAlsoWorks) {
+  Prng prng(3);
+  Bigint secret = prng.uniform_below(kQ);
+  auto shares = shamir_share(secret, 5, 1, kQ, prng);
+  EXPECT_EQ(shamir_reconstruct(shares, kQ), secret);
+}
+
+TEST(Shamir, TooFewSharesGiveWrongSecret) {
+  // f shares interpolate to something, but (whp) not the secret — and more
+  // importantly each f-subset is consistent with *any* secret.
+  Prng prng(4);
+  Bigint secret = prng.uniform_below(kQ);
+  auto shares = shamir_share(secret, 7, 2, kQ, prng);
+  std::vector<Share> few(shares.begin(), shares.begin() + 2);
+  EXPECT_NE(shamir_reconstruct(few, kQ), secret);
+}
+
+TEST(Shamir, ZeroDegreeMeansConstant) {
+  Prng prng(5);
+  Bigint secret = prng.uniform_below(kQ);
+  auto shares = shamir_share(secret, 4, 0, kQ, prng);
+  for (const Share& s : shares) EXPECT_EQ(s.value, secret);
+}
+
+TEST(Shamir, SecretZeroWorks) {
+  Prng prng(6);
+  auto shares = shamir_share(Bigint(0), 4, 1, kQ, prng);
+  std::vector<Share> quorum(shares.begin(), shares.begin() + 2);
+  EXPECT_EQ(shamir_reconstruct(quorum, kQ), Bigint(0));
+}
+
+TEST(Shamir, RejectsBadArguments) {
+  Prng prng(7);
+  EXPECT_THROW((void)shamir_share(Bigint(1), 3, 3, kQ, prng), std::invalid_argument);
+  EXPECT_THROW((void)shamir_share(kQ, 3, 1, kQ, prng), std::invalid_argument);
+  EXPECT_THROW((void)shamir_share(Bigint(-1), 3, 1, kQ, prng), std::invalid_argument);
+  EXPECT_THROW((void)shamir_reconstruct({}, kQ), std::invalid_argument);
+}
+
+TEST(Shamir, RejectsDuplicateShares) {
+  Prng prng(8);
+  auto shares = shamir_share(Bigint(42), 4, 1, kQ, prng);
+  std::vector<Share> dup = {shares[0], shares[0]};
+  EXPECT_THROW((void)shamir_reconstruct(dup, kQ), std::invalid_argument);
+}
+
+TEST(Lagrange, CoefficientsSumCorrectly) {
+  // Interpolating the constant polynomial 1: Σ λ_i = 1.
+  std::vector<std::uint32_t> indices = {1, 3, 5, 7};
+  Bigint sum(0);
+  for (std::uint32_t i : indices) sum = mpz::addmod(sum, lagrange_at_zero(indices, i, kQ), kQ);
+  EXPECT_EQ(sum, Bigint(1));
+}
+
+TEST(Lagrange, RejectsBadIndexSets) {
+  std::vector<std::uint32_t> indices = {1, 2, 3};
+  EXPECT_THROW((void)lagrange_at_zero(indices, 9, kQ), std::invalid_argument);
+  std::vector<std::uint32_t> with_zero = {0, 1, 2};
+  EXPECT_THROW((void)lagrange_at_zero(with_zero, 1, kQ), std::invalid_argument);
+}
+
+TEST(Polynomial, EvalMatchesDirectComputation) {
+  // f(x) = 3 + 5x + 7x^2 mod q
+  std::vector<Bigint> coeffs = {Bigint(3), Bigint(5), Bigint(7)};
+  EXPECT_EQ(eval_polynomial(coeffs, 0, kQ), Bigint(3));
+  EXPECT_EQ(eval_polynomial(coeffs, 1, kQ), Bigint(15));
+  EXPECT_EQ(eval_polynomial(coeffs, 2, kQ), Bigint(3 + 10 + 28));
+  EXPECT_EQ(eval_polynomial(coeffs, 10, kQ), Bigint(3 + 50 + 700));
+}
+
+TEST(Polynomial, ShareValuesLieOnPolynomial) {
+  Prng prng(9);
+  Bigint secret = prng.uniform_below(kQ);
+  auto coeffs = sharing_polynomial(secret, 3, kQ, prng);
+  EXPECT_EQ(coeffs.size(), 4u);
+  EXPECT_EQ(coeffs[0], secret);
+  EXPECT_EQ(eval_polynomial(coeffs, 0, kQ), secret);
+}
+
+}  // namespace
+}  // namespace dblind::threshold

@@ -1,0 +1,132 @@
+#include "threshold/thresh_decrypt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using elgamal::Ciphertext;
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+struct Fixture {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng;
+  ServiceKeyMaterial km;
+  Bigint m;
+  Ciphertext c;
+
+  explicit Fixture(std::uint64_t seed, ServiceConfig cfg = {4, 1})
+      : prng(seed),
+        km(ServiceKeyMaterial::dealer_keygen(gp, cfg, prng)),
+        m(gp.random_element(prng)),
+        c(km.public_key().encrypt(m, prng)) {}
+};
+
+TEST(ThreshDecrypt, QuorumRecoversPlaintext) {
+  Fixture fx(1);
+  std::vector<DecryptionShare> shares;
+  for (std::uint32_t i : {1u, 3u}) {
+    shares.push_back(make_decryption_share(fx.gp, fx.c, fx.km.share_of(i), "ctx", fx.prng));
+  }
+  EXPECT_EQ(combine_decryption(fx.gp, fx.c, shares), fx.m);
+}
+
+TEST(ThreshDecrypt, AnyQuorumWorks) {
+  Fixture fx(2, {7, 2});
+  std::vector<std::vector<std::uint32_t>> quorums = {{1, 2, 3}, {5, 6, 7}, {1, 4, 7}, {2, 3, 6}};
+  for (const auto& q : quorums) {
+    std::vector<DecryptionShare> shares;
+    for (std::uint32_t i : q)
+      shares.push_back(make_decryption_share(fx.gp, fx.c, fx.km.share_of(i), "ctx", fx.prng));
+    EXPECT_EQ(combine_decryption(fx.gp, fx.c, shares), fx.m);
+  }
+}
+
+TEST(ThreshDecrypt, MoreThanQuorumWorks) {
+  Fixture fx(3);
+  std::vector<DecryptionShare> shares;
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    shares.push_back(make_decryption_share(fx.gp, fx.c, fx.km.share_of(i), "ctx", fx.prng));
+  EXPECT_EQ(combine_decryption(fx.gp, fx.c, shares), fx.m);
+}
+
+TEST(ThreshDecrypt, SharesVerify) {
+  Fixture fx(4);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    DecryptionShare ds = make_decryption_share(fx.gp, fx.c, fx.km.share_of(i), "ctx", fx.prng);
+    EXPECT_TRUE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, ds, "ctx")) << i;
+  }
+}
+
+TEST(ThreshDecrypt, CorruptShareDetected) {
+  Fixture fx(5);
+  DecryptionShare ds = make_decryption_share(fx.gp, fx.c, fx.km.share_of(2), "ctx", fx.prng);
+
+  DecryptionShare bad = ds;
+  bad.d = fx.gp.mul(bad.d, fx.gp.g());
+  EXPECT_FALSE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, bad, "ctx"));
+
+  bad = ds;
+  bad.index = 3;  // claims another server's identity
+  EXPECT_FALSE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, bad, "ctx"));
+
+  bad = ds;
+  bad.proof.s = mpz::addmod(bad.proof.s, Bigint(1), fx.gp.q());
+  EXPECT_FALSE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, bad, "ctx"));
+}
+
+TEST(ThreshDecrypt, CorruptShareBreaksCombinationButIsCaught) {
+  // Combining with a bad share yields garbage — which is why Fig. 4 step 6(b)
+  // carries per-share correctness evidence. Verification catches it first.
+  Fixture fx(6);
+  std::vector<DecryptionShare> shares;
+  shares.push_back(make_decryption_share(fx.gp, fx.c, fx.km.share_of(1), "ctx", fx.prng));
+  DecryptionShare bad = make_decryption_share(fx.gp, fx.c, fx.km.share_of(2), "ctx", fx.prng);
+  bad.d = fx.gp.mul(bad.d, fx.gp.g());
+  shares.push_back(bad);
+
+  EXPECT_NE(combine_decryption(fx.gp, fx.c, shares), fx.m);
+  EXPECT_FALSE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, shares[1], "ctx"));
+  EXPECT_TRUE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, shares[0], "ctx"));
+}
+
+TEST(ThreshDecrypt, ContextBindsShares) {
+  Fixture fx(7);
+  DecryptionShare ds = make_decryption_share(fx.gp, fx.c, fx.km.share_of(1), "instance-9", fx.prng);
+  EXPECT_TRUE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, ds, "instance-9"));
+  EXPECT_FALSE(verify_decryption_share(fx.gp, fx.km.commitments(), fx.c, ds, "instance-10"));
+}
+
+TEST(ThreshDecrypt, CombineRejectsBadInputs) {
+  Fixture fx(8);
+  EXPECT_THROW((void)combine_decryption(fx.gp, fx.c, {}), std::invalid_argument);
+  DecryptionShare ds = make_decryption_share(fx.gp, fx.c, fx.km.share_of(1), "ctx", fx.prng);
+  std::vector<DecryptionShare> dup = {ds, ds};
+  EXPECT_THROW((void)combine_decryption(fx.gp, fx.c, dup), std::invalid_argument);
+}
+
+TEST(ThreshDecrypt, FewerThanQuorumGivesGarbage) {
+  Fixture fx(9, {7, 2});
+  std::vector<DecryptionShare> shares;
+  for (std::uint32_t i : {1u, 2u})  // need 3
+    shares.push_back(make_decryption_share(fx.gp, fx.c, fx.km.share_of(i), "ctx", fx.prng));
+  EXPECT_NE(combine_decryption(fx.gp, fx.c, shares), fx.m);
+}
+
+TEST(ThreshDecrypt, MatchesCentralizedDecryption) {
+  // Reconstructing the key and decrypting directly agrees with threshold
+  // decryption.
+  Fixture fx(10);
+  std::vector<Share> key_shares = {fx.km.share_of(1), fx.km.share_of(2)};
+  Bigint k = shamir_reconstruct(key_shares, fx.gp.q());
+  elgamal::KeyPair kp = elgamal::KeyPair::from_private(fx.gp, k);
+  EXPECT_EQ(kp.decrypt(fx.c), fx.m);
+}
+
+}  // namespace
+}  // namespace dblind::threshold

@@ -1,0 +1,180 @@
+#include "threshold/thresh_sign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::threshold {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()),
+          reinterpret_cast<const std::uint8_t*>(s.data()) + s.size()};
+}
+
+struct Fixture {
+  GroupParams gp = GroupParams::named(ParamId::kToy64);
+  Prng prng;
+  ServiceKeyMaterial km;
+
+  explicit Fixture(std::uint64_t seed, ServiceConfig cfg = {4, 1})
+      : prng(seed), km(ServiceKeyMaterial::dealer_keygen(gp, cfg, prng)) {}
+
+  // Runs the full commit/reveal/respond/combine flow over `quorum`.
+  zkp::SchnorrSignature sign(const std::vector<std::uint32_t>& quorum,
+                             std::span<const std::uint8_t> msg) {
+    std::vector<SigningMember> members;
+    members.reserve(quorum.size());
+    for (std::uint32_t i : quorum) members.emplace_back(gp, km.share_of(i), prng);
+
+    std::vector<NonceCommitment> commitments;
+    std::vector<NonceReveal> reveals;
+    for (auto& m : members) {
+      commitments.push_back(m.commitment());
+      reveals.push_back(m.reveal());
+    }
+    Bigint r_joint = combine_nonce(gp, reveals);
+    Bigint e = zkp::schnorr_challenge(gp, r_joint, km.public_key().y(), msg);
+
+    std::vector<PartialSignature> partials;
+    for (std::size_t idx = 0; idx < members.size(); ++idx) {
+      auto p = members[idx].respond(commitments, reveals, km.public_key().y(), msg);
+      EXPECT_TRUE(p.has_value());
+      EXPECT_TRUE(verify_partial_signature(gp, km.commitments(), reveals[idx], *p, e));
+      partials.push_back(*p);
+    }
+    return combine_signature(gp, reveals, partials);
+  }
+};
+
+TEST(ThreshSign, QuorumSignatureVerifiesUnderServiceKey) {
+  Fixture fx(1);
+  auto msg = bytes("blind, A, E_A(rho), B, E_B(rho)");
+  zkp::SchnorrSignature sig = fx.sign({1, 2}, msg);
+  zkp::SchnorrVerifyKey vk(fx.gp, fx.km.public_key().y());
+  EXPECT_TRUE(vk.verify(msg, sig));
+}
+
+TEST(ThreshSign, AnyQuorumProducesValidSignature) {
+  Fixture fx(2, {7, 2});
+  auto msg = bytes("message");
+  zkp::SchnorrVerifyKey vk(fx.gp, fx.km.public_key().y());
+  for (const auto& q : std::vector<std::vector<std::uint32_t>>{{1, 2, 3}, {5, 6, 7}, {2, 4, 6}}) {
+    EXPECT_TRUE(vk.verify(msg, fx.sign(q, msg)));
+  }
+}
+
+TEST(ThreshSign, SignatureBoundToMessage) {
+  Fixture fx(3);
+  zkp::SchnorrSignature sig = fx.sign({1, 3}, bytes("msg-a"));
+  zkp::SchnorrVerifyKey vk(fx.gp, fx.km.public_key().y());
+  EXPECT_FALSE(vk.verify(bytes("msg-b"), sig));
+}
+
+TEST(ThreshSign, NonceReuseRefused) {
+  Fixture fx(4);
+  auto msg = bytes("m");
+  std::vector<SigningMember> members;
+  for (std::uint32_t i : {1u, 2u}) members.emplace_back(fx.gp, fx.km.share_of(i), fx.prng);
+  std::vector<NonceCommitment> commitments{members[0].commitment(), members[1].commitment()};
+  std::vector<NonceReveal> reveals{members[0].reveal(), members[1].reveal()};
+  auto first = members[0].respond(commitments, reveals, fx.km.public_key().y(), msg);
+  EXPECT_TRUE(first.has_value());
+  auto second = members[0].respond(commitments, reveals, fx.km.public_key().y(), msg);
+  EXPECT_FALSE(second.has_value());
+}
+
+TEST(ThreshSign, MismatchedRevealRefused) {
+  // A reveal that does not match its commitment (nonce chosen after seeing
+  // others) makes honest members refuse to sign.
+  Fixture fx(5);
+  auto msg = bytes("m");
+  std::vector<SigningMember> members;
+  for (std::uint32_t i : {1u, 2u}) members.emplace_back(fx.gp, fx.km.share_of(i), fx.prng);
+  std::vector<NonceCommitment> commitments{members[0].commitment(), members[1].commitment()};
+  std::vector<NonceReveal> reveals{members[0].reveal(), members[1].reveal()};
+  reveals[1].t = fx.gp.mul(reveals[1].t, fx.gp.g());  // adversarial substitution
+  EXPECT_FALSE(members[0].respond(commitments, reveals, fx.km.public_key().y(), msg).has_value());
+}
+
+TEST(ThreshSign, ForeignOrDuplicateRevealsRefused) {
+  Fixture fx(6);
+  auto msg = bytes("m");
+  std::vector<SigningMember> members;
+  for (std::uint32_t i : {1u, 2u}) members.emplace_back(fx.gp, fx.km.share_of(i), fx.prng);
+  std::vector<NonceCommitment> commitments{members[0].commitment(), members[1].commitment()};
+  std::vector<NonceReveal> reveals{members[0].reveal(), members[1].reveal()};
+
+  // Reveal without commitment.
+  std::vector<NonceReveal> extra = reveals;
+  extra.push_back({3, fx.gp.g()});
+  EXPECT_FALSE(members[0].respond(commitments, extra, fx.km.public_key().y(), msg).has_value());
+
+  // Duplicate index.
+  std::vector<NonceReveal> dup = {reveals[0], reveals[0]};
+  std::vector<NonceCommitment> dupc = {commitments[0], commitments[0]};
+  EXPECT_FALSE(members[0].respond(dupc, dup, fx.km.public_key().y(), msg).has_value());
+
+  // Quorum excluding self.
+  std::vector<NonceReveal> noself = {reveals[1]};
+  std::vector<NonceCommitment> noselfc = {commitments[1]};
+  EXPECT_FALSE(members[0].respond(noselfc, noself, fx.km.public_key().y(), msg).has_value());
+}
+
+TEST(ThreshSign, BadPartialIdentified) {
+  Fixture fx(7);
+  auto msg = bytes("m");
+  std::vector<SigningMember> members;
+  for (std::uint32_t i : {1u, 2u}) members.emplace_back(fx.gp, fx.km.share_of(i), fx.prng);
+  std::vector<NonceCommitment> commitments{members[0].commitment(), members[1].commitment()};
+  std::vector<NonceReveal> reveals{members[0].reveal(), members[1].reveal()};
+  Bigint e = zkp::schnorr_challenge(fx.gp, combine_nonce(fx.gp, reveals), fx.km.public_key().y(),
+                                    msg);
+
+  auto p0 = members[0].respond(commitments, reveals, fx.km.public_key().y(), msg);
+  ASSERT_TRUE(p0.has_value());
+  PartialSignature forged = *p0;
+  forged.s = mpz::addmod(forged.s, Bigint(1), fx.gp.q());
+  EXPECT_TRUE(verify_partial_signature(fx.gp, fx.km.commitments(), reveals[0], *p0, e));
+  EXPECT_FALSE(verify_partial_signature(fx.gp, fx.km.commitments(), reveals[0], forged, e));
+  // Index spoofing is caught too.
+  PartialSignature spoof = *p0;
+  spoof.index = 2;
+  EXPECT_FALSE(verify_partial_signature(fx.gp, fx.km.commitments(), reveals[1], spoof, e));
+}
+
+TEST(ThreshSign, CombineValidatesInputs) {
+  Fixture fx(8);
+  auto msg = bytes("m");
+  std::vector<SigningMember> members;
+  for (std::uint32_t i : {1u, 2u}) members.emplace_back(fx.gp, fx.km.share_of(i), fx.prng);
+  std::vector<NonceCommitment> commitments{members[0].commitment(), members[1].commitment()};
+  std::vector<NonceReveal> reveals{members[0].reveal(), members[1].reveal()};
+  std::vector<PartialSignature> partials;
+  for (auto& m : members)
+    partials.push_back(*m.respond(commitments, reveals, fx.km.public_key().y(), msg));
+
+  EXPECT_THROW((void)combine_signature(fx.gp, reveals, {}), std::invalid_argument);
+  std::vector<PartialSignature> dup = {partials[0], partials[0]};
+  EXPECT_THROW((void)combine_signature(fx.gp, reveals, dup), std::invalid_argument);
+  std::vector<NonceReveal> one_reveal = {reveals[0]};
+  EXPECT_THROW((void)combine_signature(fx.gp, one_reveal, partials), std::invalid_argument);
+}
+
+TEST(ThreshSign, LargerQuorumThanNeededStillValid) {
+  Fixture fx(9, {7, 2});
+  auto msg = bytes("over-provisioned quorum");
+  zkp::SchnorrSignature sig = fx.sign({1, 2, 3, 4, 5}, msg);
+  zkp::SchnorrVerifyKey vk(fx.gp, fx.km.public_key().y());
+  EXPECT_TRUE(vk.verify(msg, sig));
+}
+
+}  // namespace
+}  // namespace dblind::threshold

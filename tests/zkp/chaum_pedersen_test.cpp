@@ -1,0 +1,130 @@
+#include "zkp/chaum_pedersen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::zkp {
+namespace {
+
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+GroupParams toy() { return GroupParams::named(ParamId::kToy64); }
+
+DlogStatement make_statement(const GroupParams& gp, const Bigint& a, const Bigint& base2) {
+  return {gp.g(), gp.pow_g(a), base2, gp.pow(base2, a)};
+}
+
+TEST(ChaumPedersen, ProveVerifyRoundTrip) {
+  GroupParams gp = toy();
+  Prng prng(1);
+  for (int i = 0; i < 10; ++i) {
+    Bigint a = gp.random_exponent(prng);
+    Bigint y = gp.random_element(prng);
+    DlogStatement stmt = make_statement(gp, a, y);
+    DlogEqProof proof = dlog_prove(gp, stmt, a, "test-ctx", prng);
+    EXPECT_TRUE(dlog_verify(gp, stmt, proof, "test-ctx"));
+  }
+}
+
+TEST(ChaumPedersen, WrongContextRejected) {
+  GroupParams gp = toy();
+  Prng prng(2);
+  Bigint a = gp.random_exponent(prng);
+  DlogStatement stmt = make_statement(gp, a, gp.random_element(prng));
+  DlogEqProof proof = dlog_prove(gp, stmt, a, "context-A", prng);
+  EXPECT_FALSE(dlog_verify(gp, stmt, proof, "context-B"));
+}
+
+TEST(ChaumPedersen, UnequalLogsRejected) {
+  // x = g^a but z = Y^b with a != b: no witness exists; a forged proof using
+  // either exponent must fail.
+  GroupParams gp = toy();
+  Prng prng(3);
+  Bigint a = gp.random_exponent(prng);
+  Bigint b = mpz::addmod(a, Bigint(1), gp.q());
+  Bigint y = gp.random_element(prng);
+  DlogStatement lie = {gp.g(), gp.pow_g(a), y, gp.pow(y, b)};
+  // Prover refuses outright:
+  EXPECT_THROW((void)dlog_prove(gp, lie, a, "ctx", prng), std::invalid_argument);
+  EXPECT_THROW((void)dlog_prove(gp, lie, b, "ctx", prng), std::invalid_argument);
+  // A proof for the honest statement does not transfer to the lie:
+  DlogStatement honest = make_statement(gp, a, y);
+  DlogEqProof proof = dlog_prove(gp, honest, a, "ctx", prng);
+  EXPECT_FALSE(dlog_verify(gp, lie, proof, "ctx"));
+}
+
+TEST(ChaumPedersen, TamperedProofRejected) {
+  GroupParams gp = toy();
+  Prng prng(4);
+  Bigint a = gp.random_exponent(prng);
+  DlogStatement stmt = make_statement(gp, a, gp.random_element(prng));
+  DlogEqProof proof = dlog_prove(gp, stmt, a, "ctx", prng);
+
+  DlogEqProof bad = proof;
+  bad.s = mpz::addmod(bad.s, Bigint(1), gp.q());
+  EXPECT_FALSE(dlog_verify(gp, stmt, bad, "ctx"));
+
+  bad = proof;
+  bad.t1 = gp.mul(bad.t1, gp.g());
+  EXPECT_FALSE(dlog_verify(gp, stmt, bad, "ctx"));
+
+  bad = proof;
+  bad.t2 = gp.mul(bad.t2, gp.g());
+  EXPECT_FALSE(dlog_verify(gp, stmt, bad, "ctx"));
+}
+
+TEST(ChaumPedersen, NonGroupElementsRejected) {
+  GroupParams gp = toy();
+  Prng prng(5);
+  Bigint a = gp.random_exponent(prng);
+  DlogStatement stmt = make_statement(gp, a, gp.random_element(prng));
+  DlogEqProof proof = dlog_prove(gp, stmt, a, "ctx", prng);
+
+  DlogStatement bad = stmt;
+  bad.x = gp.p() - Bigint(1);  // non-residue
+  EXPECT_FALSE(dlog_verify(gp, bad, proof, "ctx"));
+  bad = stmt;
+  bad.z = Bigint(0);
+  EXPECT_FALSE(dlog_verify(gp, bad, proof, "ctx"));
+
+  DlogEqProof malformed = proof;
+  malformed.s = gp.q();  // out of range
+  EXPECT_FALSE(dlog_verify(gp, stmt, malformed, "ctx"));
+}
+
+TEST(ChaumPedersen, ZeroExponentWorks) {
+  // a = 0: X = 1, Z = 1. Degenerate but valid statement.
+  GroupParams gp = toy();
+  Prng prng(6);
+  Bigint y = gp.random_element(prng);
+  DlogStatement stmt = {gp.g(), Bigint(1), y, Bigint(1)};
+  DlogEqProof proof = dlog_prove(gp, stmt, Bigint(0), "ctx", prng);
+  EXPECT_TRUE(dlog_verify(gp, stmt, proof, "ctx"));
+}
+
+TEST(ChaumPedersen, NegativeWitnessReducedModQ) {
+  GroupParams gp = toy();
+  Prng prng(7);
+  Bigint a = gp.random_exponent(prng);
+  Bigint neg = a - gp.q();  // same residue class
+  DlogStatement stmt = make_statement(gp, a, gp.random_element(prng));
+  DlogEqProof proof = dlog_prove(gp, stmt, neg, "ctx", prng);
+  EXPECT_TRUE(dlog_verify(gp, stmt, proof, "ctx"));
+}
+
+TEST(ChaumPedersen, ProofsDoNotTransferBetweenStatements) {
+  GroupParams gp = toy();
+  Prng prng(8);
+  Bigint a = gp.random_exponent(prng);
+  DlogStatement s1 = make_statement(gp, a, gp.random_element(prng));
+  DlogStatement s2 = make_statement(gp, a, gp.random_element(prng));
+  DlogEqProof proof = dlog_prove(gp, s1, a, "ctx", prng);
+  EXPECT_FALSE(dlog_verify(gp, s2, proof, "ctx"));
+}
+
+}  // namespace
+}  // namespace dblind::zkp

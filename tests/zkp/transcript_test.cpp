@@ -1,0 +1,73 @@
+#include "zkp/transcript.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dblind::zkp {
+namespace {
+
+using mpz::Bigint;
+
+const Bigint kQ = Bigint::from_hex("7b00807d99b158cf");
+
+TEST(Transcript, DeterministicForSameInputs) {
+  Transcript a("domain");
+  Transcript b("domain");
+  a.absorb(Bigint(42)).absorb_str("x");
+  b.absorb(Bigint(42)).absorb_str("x");
+  EXPECT_EQ(a.challenge(kQ), b.challenge(kQ));
+}
+
+TEST(Transcript, DomainSeparates) {
+  Transcript a("domain-1");
+  Transcript b("domain-2");
+  a.absorb(Bigint(42));
+  b.absorb(Bigint(42));
+  EXPECT_NE(a.challenge(kQ), b.challenge(kQ));
+}
+
+TEST(Transcript, LengthFramingPreventsAmbiguity) {
+  // ("ab", "c") and ("a", "bc") must hash differently — the classic
+  // concatenation ambiguity that length framing exists to prevent.
+  Transcript a("d");
+  a.absorb_str("ab").absorb_str("c");
+  Transcript b("d");
+  b.absorb_str("a").absorb_str("bc");
+  EXPECT_NE(a.challenge(kQ), b.challenge(kQ));
+}
+
+TEST(Transcript, SignMattersForBigints) {
+  Transcript a("d");
+  a.absorb(Bigint(5));
+  Transcript b("d");
+  b.absorb(Bigint(-5));
+  EXPECT_NE(a.challenge(kQ), b.challenge(kQ));
+}
+
+TEST(Transcript, ZeroAndEmptyDistinct) {
+  Transcript a("d");
+  a.absorb(Bigint(0));
+  Transcript b("d");
+  b.absorb_str("");
+  EXPECT_NE(a.challenge(kQ), b.challenge(kQ));
+}
+
+TEST(Transcript, ChallengeInRange) {
+  for (int i = 0; i < 50; ++i) {
+    Transcript t("d");
+    t.absorb(Bigint(static_cast<std::uint64_t>(i)));
+    Bigint c = t.challenge(kQ);
+    EXPECT_FALSE(c.is_negative());
+    EXPECT_LT(c, kQ);
+  }
+}
+
+TEST(Transcript, OrderMatters) {
+  Transcript a("d");
+  a.absorb(Bigint(1)).absorb(Bigint(2));
+  Transcript b("d");
+  b.absorb(Bigint(2)).absorb(Bigint(1));
+  EXPECT_NE(a.challenge(kQ), b.challenge(kQ));
+}
+
+}  // namespace
+}  // namespace dblind::zkp

@@ -1,0 +1,192 @@
+#include "zkp/vde.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpz/modmath.hpp"
+
+namespace dblind::zkp {
+namespace {
+
+using elgamal::Ciphertext;
+using elgamal::KeyPair;
+using elgamal::PublicKey;
+using group::GroupParams;
+using group::ParamId;
+using mpz::Bigint;
+using mpz::Prng;
+
+struct DualKeys {
+  GroupParams gp;
+  KeyPair ka;
+  KeyPair kb;
+
+  static DualKeys make(std::uint64_t seed, ParamId id = ParamId::kToy64) {
+    GroupParams gp = GroupParams::named(id);
+    Prng prng(seed);
+    KeyPair ka = KeyPair::generate(gp, prng);
+    KeyPair kb = KeyPair::generate(gp, prng);
+    return {std::move(gp), std::move(ka), std::move(kb)};
+  }
+};
+
+TEST(Vde, HonestDualEncryptionVerifies) {
+  DualKeys s = DualKeys::make(1);
+  Prng prng(100);
+  for (int i = 0; i < 10; ++i) {
+    Bigint rho = s.gp.random_element(prng);
+    Bigint r1 = s.gp.random_exponent(prng);
+    Bigint r2 = s.gp.random_exponent(prng);
+    Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+    Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+    VdeProof proof = vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng);
+    EXPECT_TRUE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, proof, "ctx"));
+  }
+}
+
+TEST(Vde, DifferentPlaintextsRejectedByProver) {
+  DualKeys s = DualKeys::make(2);
+  Prng prng(101);
+  Bigint rho1 = s.gp.random_element(prng);
+  Bigint rho2 = s.gp.mul(rho1, s.gp.g());  // != rho1
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho1, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho2, r2);
+  // Honest prover cannot construct the proof: Pr3's statement is false.
+  EXPECT_THROW((void)vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng),
+               std::invalid_argument);
+}
+
+TEST(Vde, InconsistentContributionRejectedByVerifier) {
+  // Adversarial server: proves a VDE for a consistent pair, then swaps in an
+  // inconsistent second ciphertext. Verifier must reject.
+  DualKeys s = DualKeys::make(3);
+  Prng prng(102);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint rho_bad = s.gp.mul(rho, s.gp.g());
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng);
+
+  Ciphertext cb_bad = s.kb.public_key().encrypt_with_nonce(rho_bad, r2);
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb_bad, proof, "ctx"));
+}
+
+TEST(Vde, SameKeyBothSidesStillWorks) {
+  // K_A == K_B is a legal (if unusual) configuration.
+  DualKeys s = DualKeys::make(4);
+  Prng prng(103);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext c1 = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext c2 = s.ka.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof = vde_prove(s.ka.public_key(), c1, r1, s.ka.public_key(), c2, r2, "ctx", prng);
+  EXPECT_TRUE(vde_verify(s.ka.public_key(), c1, s.ka.public_key(), c2, proof, "ctx"));
+}
+
+TEST(Vde, EqualNoncesWork) {
+  // r1 == r2 makes Pr3's witness zero — still a valid proof.
+  DualKeys s = DualKeys::make(5);
+  Prng prng(104);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r, s.kb.public_key(), cb, r, "ctx", prng);
+  EXPECT_TRUE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, proof, "ctx"));
+}
+
+TEST(Vde, TamperedProofComponentsRejected) {
+  DualKeys s = DualKeys::make(6);
+  Prng prng(105);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng);
+
+  VdeProof bad = proof;
+  bad.g12 = s.gp.mul(bad.g12, s.gp.g());
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, bad, "ctx"));
+
+  bad = proof;
+  bad.g21 = s.gp.mul(bad.g21, s.gp.g());
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, bad, "ctx"));
+
+  bad = proof;
+  bad.pr1.s = mpz::addmod(bad.pr1.s, Bigint(1), s.gp.q());
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, bad, "ctx"));
+
+  bad = proof;
+  bad.pr2.t1 = s.gp.mul(bad.pr2.t1, s.gp.g());
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, bad, "ctx"));
+
+  bad = proof;
+  bad.pr3.s = mpz::addmod(bad.pr3.s, Bigint(1), s.gp.q());
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, bad, "ctx"));
+}
+
+TEST(Vde, WrongContextRejected) {
+  DualKeys s = DualKeys::make(7);
+  Prng prng(106);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof =
+      vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "instance-1", prng);
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, proof, "instance-2"));
+}
+
+TEST(Vde, NonGroupCiphertextComponentsRejected) {
+  DualKeys s = DualKeys::make(8);
+  Prng prng(107);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng);
+
+  Ciphertext bad = ca;
+  bad.a = s.gp.p() - Bigint(1);  // in Z_p^* but not in the subgroup
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), bad, s.kb.public_key(), cb, proof, "ctx"));
+  bad = cb;
+  bad.b = Bigint(0);
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), bad, proof, "ctx"));
+}
+
+TEST(Vde, SwappedSubproofsRejected) {
+  // Pr1 and Pr2 have symmetric shapes; domain separation must prevent using
+  // one in place of the other.
+  DualKeys s = DualKeys::make(9);
+  Prng prng(108);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r = s.gp.random_exponent(prng);  // same nonce both sides -> same shapes
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r, s.kb.public_key(), cb, r, "ctx", prng);
+  VdeProof swapped = proof;
+  std::swap(swapped.pr1, swapped.pr2);
+  EXPECT_FALSE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, swapped, "ctx"));
+}
+
+TEST(Vde, WorksOn256BitGroup) {
+  DualKeys s = DualKeys::make(10, ParamId::kTest256);
+  Prng prng(109);
+  Bigint rho = s.gp.random_element(prng);
+  Bigint r1 = s.gp.random_exponent(prng);
+  Bigint r2 = s.gp.random_exponent(prng);
+  Ciphertext ca = s.ka.public_key().encrypt_with_nonce(rho, r1);
+  Ciphertext cb = s.kb.public_key().encrypt_with_nonce(rho, r2);
+  VdeProof proof = vde_prove(s.ka.public_key(), ca, r1, s.kb.public_key(), cb, r2, "ctx", prng);
+  EXPECT_TRUE(vde_verify(s.ka.public_key(), ca, s.kb.public_key(), cb, proof, "ctx"));
+}
+
+}  // namespace
+}  // namespace dblind::zkp
