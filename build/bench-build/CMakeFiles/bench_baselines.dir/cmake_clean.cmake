@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baselines"
+  "../bench/bench_baselines.pdb"
+  "CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o"
+  "CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

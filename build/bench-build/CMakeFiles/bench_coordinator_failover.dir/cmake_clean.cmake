@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_coordinator_failover"
+  "../bench/bench_coordinator_failover.pdb"
+  "CMakeFiles/bench_coordinator_failover.dir/bench_coordinator_failover.cpp.o"
+  "CMakeFiles/bench_coordinator_failover.dir/bench_coordinator_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coordinator_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

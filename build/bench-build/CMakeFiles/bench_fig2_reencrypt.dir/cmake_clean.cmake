@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_reencrypt"
+  "../bench/bench_fig2_reencrypt.pdb"
+  "CMakeFiles/bench_fig2_reencrypt.dir/bench_fig2_reencrypt.cpp.o"
+  "CMakeFiles/bench_fig2_reencrypt.dir/bench_fig2_reencrypt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reencrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

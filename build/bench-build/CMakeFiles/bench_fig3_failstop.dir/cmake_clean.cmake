@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_failstop"
+  "../bench/bench_fig3_failstop.pdb"
+  "CMakeFiles/bench_fig3_failstop.dir/bench_fig3_failstop.cpp.o"
+  "CMakeFiles/bench_fig3_failstop.dir/bench_fig3_failstop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_failstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_full"
+  "../bench/bench_fig4_full.pdb"
+  "CMakeFiles/bench_fig4_full.dir/bench_fig4_full.cpp.o"
+  "CMakeFiles/bench_fig4_full.dir/bench_fig4_full.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_validation"
+  "../bench/bench_fig5_validation.pdb"
+  "CMakeFiles/bench_fig5_validation.dir/bench_fig5_validation.cpp.o"
+  "CMakeFiles/bench_fig5_validation.dir/bench_fig5_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_refresh"
+  "../bench/bench_refresh.pdb"
+  "CMakeFiles/bench_refresh.dir/bench_refresh.cpp.o"
+  "CMakeFiles/bench_refresh.dir/bench_refresh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stepflex"
+  "../bench/bench_stepflex.pdb"
+  "CMakeFiles/bench_stepflex.dir/bench_stepflex.cpp.o"
+  "CMakeFiles/bench_stepflex.dir/bench_stepflex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stepflex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

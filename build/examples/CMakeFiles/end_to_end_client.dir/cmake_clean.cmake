@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_client.dir/end_to_end_client.cpp.o"
+  "CMakeFiles/end_to_end_client.dir/end_to_end_client.cpp.o.d"
+  "end_to_end_client"
+  "end_to_end_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_handoff.dir/key_handoff.cpp.o"
+  "CMakeFiles/key_handoff.dir/key_handoff.cpp.o.d"
+  "key_handoff"
+  "key_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_epochs.dir/proactive_epochs.cpp.o"
+  "CMakeFiles/proactive_epochs.dir/proactive_epochs.cpp.o.d"
+  "proactive_epochs"
+  "proactive_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for proactive_epochs.
+# This may be replaced when dependencies are built.

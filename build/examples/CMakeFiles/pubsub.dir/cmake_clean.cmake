@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub.dir/pubsub.cpp.o"
+  "CMakeFiles/pubsub.dir/pubsub.cpp.o.d"
+  "pubsub"
+  "pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

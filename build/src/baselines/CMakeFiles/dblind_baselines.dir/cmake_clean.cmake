@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_baselines.dir/jakobsson.cpp.o"
+  "CMakeFiles/dblind_baselines.dir/jakobsson.cpp.o.d"
+  "CMakeFiles/dblind_baselines.dir/pss_transfer.cpp.o"
+  "CMakeFiles/dblind_baselines.dir/pss_transfer.cpp.o.d"
+  "libdblind_baselines.a"
+  "libdblind_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

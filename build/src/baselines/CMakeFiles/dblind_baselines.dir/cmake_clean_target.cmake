@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdblind_baselines.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/dblind_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/failstop.cpp" "src/core/CMakeFiles/dblind_core.dir/failstop.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/failstop.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/dblind_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/refresh_protocol.cpp" "src/core/CMakeFiles/dblind_core.dir/refresh_protocol.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/refresh_protocol.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/dblind_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/dblind_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/validity.cpp" "src/core/CMakeFiles/dblind_core.dir/validity.cpp.o" "gcc" "src/core/CMakeFiles/dblind_core.dir/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threshold/CMakeFiles/dblind_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dblind_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkp/CMakeFiles/dblind_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/elgamal/CMakeFiles/dblind_elgamal.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/dblind_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/dblind_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dblind_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_core.dir/client.cpp.o"
+  "CMakeFiles/dblind_core.dir/client.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/failstop.cpp.o"
+  "CMakeFiles/dblind_core.dir/failstop.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/messages.cpp.o"
+  "CMakeFiles/dblind_core.dir/messages.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/refresh_protocol.cpp.o"
+  "CMakeFiles/dblind_core.dir/refresh_protocol.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/server.cpp.o"
+  "CMakeFiles/dblind_core.dir/server.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/system.cpp.o"
+  "CMakeFiles/dblind_core.dir/system.cpp.o.d"
+  "CMakeFiles/dblind_core.dir/validity.cpp.o"
+  "CMakeFiles/dblind_core.dir/validity.cpp.o.d"
+  "libdblind_core.a"
+  "libdblind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_elgamal.dir/elgamal.cpp.o"
+  "CMakeFiles/dblind_elgamal.dir/elgamal.cpp.o.d"
+  "CMakeFiles/dblind_elgamal.dir/serialize.cpp.o"
+  "CMakeFiles/dblind_elgamal.dir/serialize.cpp.o.d"
+  "libdblind_elgamal.a"
+  "libdblind_elgamal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_elgamal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

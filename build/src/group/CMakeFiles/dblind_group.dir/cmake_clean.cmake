@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_group.dir/params.cpp.o"
+  "CMakeFiles/dblind_group.dir/params.cpp.o.d"
+  "CMakeFiles/dblind_group.dir/serialize.cpp.o"
+  "CMakeFiles/dblind_group.dir/serialize.cpp.o.d"
+  "libdblind_group.a"
+  "libdblind_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

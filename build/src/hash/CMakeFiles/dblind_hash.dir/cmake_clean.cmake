@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_hash.dir/sha256.cpp.o"
+  "CMakeFiles/dblind_hash.dir/sha256.cpp.o.d"
+  "libdblind_hash.a"
+  "libdblind_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpz/bigint.cpp" "src/mpz/CMakeFiles/dblind_mpz.dir/bigint.cpp.o" "gcc" "src/mpz/CMakeFiles/dblind_mpz.dir/bigint.cpp.o.d"
+  "/root/repo/src/mpz/modmath.cpp" "src/mpz/CMakeFiles/dblind_mpz.dir/modmath.cpp.o" "gcc" "src/mpz/CMakeFiles/dblind_mpz.dir/modmath.cpp.o.d"
+  "/root/repo/src/mpz/montgomery.cpp" "src/mpz/CMakeFiles/dblind_mpz.dir/montgomery.cpp.o" "gcc" "src/mpz/CMakeFiles/dblind_mpz.dir/montgomery.cpp.o.d"
+  "/root/repo/src/mpz/prime.cpp" "src/mpz/CMakeFiles/dblind_mpz.dir/prime.cpp.o" "gcc" "src/mpz/CMakeFiles/dblind_mpz.dir/prime.cpp.o.d"
+  "/root/repo/src/mpz/random.cpp" "src/mpz/CMakeFiles/dblind_mpz.dir/random.cpp.o" "gcc" "src/mpz/CMakeFiles/dblind_mpz.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/dblind_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

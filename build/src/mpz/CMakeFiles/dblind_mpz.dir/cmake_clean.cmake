@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_mpz.dir/bigint.cpp.o"
+  "CMakeFiles/dblind_mpz.dir/bigint.cpp.o.d"
+  "CMakeFiles/dblind_mpz.dir/modmath.cpp.o"
+  "CMakeFiles/dblind_mpz.dir/modmath.cpp.o.d"
+  "CMakeFiles/dblind_mpz.dir/montgomery.cpp.o"
+  "CMakeFiles/dblind_mpz.dir/montgomery.cpp.o.d"
+  "CMakeFiles/dblind_mpz.dir/prime.cpp.o"
+  "CMakeFiles/dblind_mpz.dir/prime.cpp.o.d"
+  "CMakeFiles/dblind_mpz.dir/random.cpp.o"
+  "CMakeFiles/dblind_mpz.dir/random.cpp.o.d"
+  "libdblind_mpz.a"
+  "libdblind_mpz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_mpz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dblind_mpz.
+# This may be replaced when dependencies are built.

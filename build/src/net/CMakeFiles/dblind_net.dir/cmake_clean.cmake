@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_net.dir/sim.cpp.o"
+  "CMakeFiles/dblind_net.dir/sim.cpp.o.d"
+  "CMakeFiles/dblind_net.dir/threaded_bus.cpp.o"
+  "CMakeFiles/dblind_net.dir/threaded_bus.cpp.o.d"
+  "libdblind_net.a"
+  "libdblind_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threshold/feldman.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/feldman.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/feldman.cpp.o.d"
+  "/root/repo/src/threshold/keygen.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/keygen.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/keygen.cpp.o.d"
+  "/root/repo/src/threshold/pedersen_dkg.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/pedersen_dkg.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/pedersen_dkg.cpp.o.d"
+  "/root/repo/src/threshold/pedersen_vss.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/pedersen_vss.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/pedersen_vss.cpp.o.d"
+  "/root/repo/src/threshold/refresh.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/refresh.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/refresh.cpp.o.d"
+  "/root/repo/src/threshold/serialize.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/serialize.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/serialize.cpp.o.d"
+  "/root/repo/src/threshold/shamir.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/shamir.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/shamir.cpp.o.d"
+  "/root/repo/src/threshold/thresh_decrypt.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/thresh_decrypt.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/thresh_decrypt.cpp.o.d"
+  "/root/repo/src/threshold/thresh_sign.cpp" "src/threshold/CMakeFiles/dblind_threshold.dir/thresh_sign.cpp.o" "gcc" "src/threshold/CMakeFiles/dblind_threshold.dir/thresh_sign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zkp/CMakeFiles/dblind_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/elgamal/CMakeFiles/dblind_elgamal.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/dblind_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/dblind_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dblind_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

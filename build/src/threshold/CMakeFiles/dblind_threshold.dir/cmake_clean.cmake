@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_threshold.dir/feldman.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/feldman.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/keygen.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/keygen.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/pedersen_dkg.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/pedersen_dkg.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/pedersen_vss.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/pedersen_vss.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/refresh.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/refresh.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/serialize.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/serialize.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/shamir.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/shamir.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/thresh_decrypt.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/thresh_decrypt.cpp.o.d"
+  "CMakeFiles/dblind_threshold.dir/thresh_sign.cpp.o"
+  "CMakeFiles/dblind_threshold.dir/thresh_sign.cpp.o.d"
+  "libdblind_threshold.a"
+  "libdblind_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zkp/chaum_pedersen.cpp" "src/zkp/CMakeFiles/dblind_zkp.dir/chaum_pedersen.cpp.o" "gcc" "src/zkp/CMakeFiles/dblind_zkp.dir/chaum_pedersen.cpp.o.d"
+  "/root/repo/src/zkp/pedersen.cpp" "src/zkp/CMakeFiles/dblind_zkp.dir/pedersen.cpp.o" "gcc" "src/zkp/CMakeFiles/dblind_zkp.dir/pedersen.cpp.o.d"
+  "/root/repo/src/zkp/schnorr.cpp" "src/zkp/CMakeFiles/dblind_zkp.dir/schnorr.cpp.o" "gcc" "src/zkp/CMakeFiles/dblind_zkp.dir/schnorr.cpp.o.d"
+  "/root/repo/src/zkp/vde.cpp" "src/zkp/CMakeFiles/dblind_zkp.dir/vde.cpp.o" "gcc" "src/zkp/CMakeFiles/dblind_zkp.dir/vde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elgamal/CMakeFiles/dblind_elgamal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dblind_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/dblind_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/dblind_mpz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind_zkp.dir/chaum_pedersen.cpp.o"
+  "CMakeFiles/dblind_zkp.dir/chaum_pedersen.cpp.o.d"
+  "CMakeFiles/dblind_zkp.dir/pedersen.cpp.o"
+  "CMakeFiles/dblind_zkp.dir/pedersen.cpp.o.d"
+  "CMakeFiles/dblind_zkp.dir/schnorr.cpp.o"
+  "CMakeFiles/dblind_zkp.dir/schnorr.cpp.o.d"
+  "CMakeFiles/dblind_zkp.dir/vde.cpp.o"
+  "CMakeFiles/dblind_zkp.dir/vde.cpp.o.d"
+  "libdblind_zkp.a"
+  "libdblind_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaum_pedersen_test.dir/zkp/chaum_pedersen_test.cpp.o"
+  "CMakeFiles/chaum_pedersen_test.dir/zkp/chaum_pedersen_test.cpp.o.d"
+  "chaum_pedersen_test"
+  "chaum_pedersen_test.pdb"
+  "chaum_pedersen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaum_pedersen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

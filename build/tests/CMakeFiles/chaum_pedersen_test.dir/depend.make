@@ -1,0 +1,2 @@
+# Empty dependencies file for chaum_pedersen_test.
+# This may be replaced when dependencies are built.

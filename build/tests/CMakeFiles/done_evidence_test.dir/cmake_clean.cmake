@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/done_evidence_test.dir/core/done_evidence_test.cpp.o"
+  "CMakeFiles/done_evidence_test.dir/core/done_evidence_test.cpp.o.d"
+  "done_evidence_test"
+  "done_evidence_test.pdb"
+  "done_evidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/done_evidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elgamal_test.dir/elgamal/elgamal_test.cpp.o"
+  "CMakeFiles/elgamal_test.dir/elgamal/elgamal_test.cpp.o.d"
+  "elgamal_test"
+  "elgamal_test.pdb"
+  "elgamal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elgamal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failstop_test.dir/core/failstop_test.cpp.o"
+  "CMakeFiles/failstop_test.dir/core/failstop_test.cpp.o.d"
+  "failstop_test"
+  "failstop_test.pdb"
+  "failstop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failstop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feldman_test.dir/threshold/feldman_test.cpp.o"
+  "CMakeFiles/feldman_test.dir/threshold/feldman_test.cpp.o.d"
+  "feldman_test"
+  "feldman_test.pdb"
+  "feldman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feldman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

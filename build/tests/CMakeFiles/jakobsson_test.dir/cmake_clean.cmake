@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jakobsson_test.dir/baselines/jakobsson_test.cpp.o"
+  "CMakeFiles/jakobsson_test.dir/baselines/jakobsson_test.cpp.o.d"
+  "jakobsson_test"
+  "jakobsson_test.pdb"
+  "jakobsson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jakobsson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keygen_test.dir/threshold/keygen_test.cpp.o"
+  "CMakeFiles/keygen_test.dir/threshold/keygen_test.cpp.o.d"
+  "keygen_test"
+  "keygen_test.pdb"
+  "keygen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

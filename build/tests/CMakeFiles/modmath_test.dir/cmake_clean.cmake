@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modmath_test.dir/mpz/modmath_test.cpp.o"
+  "CMakeFiles/modmath_test.dir/mpz/modmath_test.cpp.o.d"
+  "modmath_test"
+  "modmath_test.pdb"
+  "modmath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

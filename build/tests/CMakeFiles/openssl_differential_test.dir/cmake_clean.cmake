@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openssl_differential_test.dir/mpz/openssl_differential_test.cpp.o"
+  "CMakeFiles/openssl_differential_test.dir/mpz/openssl_differential_test.cpp.o.d"
+  "openssl_differential_test"
+  "openssl_differential_test.pdb"
+  "openssl_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openssl_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threshold/pedersen_dkg_test.cpp" "tests/CMakeFiles/pedersen_dkg_test.dir/threshold/pedersen_dkg_test.cpp.o" "gcc" "tests/CMakeFiles/pedersen_dkg_test.dir/threshold/pedersen_dkg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threshold/CMakeFiles/dblind_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkp/CMakeFiles/dblind_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/elgamal/CMakeFiles/dblind_elgamal.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/dblind_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/dblind_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dblind_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedersen_dkg_test.dir/threshold/pedersen_dkg_test.cpp.o"
+  "CMakeFiles/pedersen_dkg_test.dir/threshold/pedersen_dkg_test.cpp.o.d"
+  "pedersen_dkg_test"
+  "pedersen_dkg_test.pdb"
+  "pedersen_dkg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedersen_dkg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

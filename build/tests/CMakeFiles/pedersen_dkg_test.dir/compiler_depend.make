@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pedersen_dkg_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedersen_test.dir/zkp/pedersen_test.cpp.o"
+  "CMakeFiles/pedersen_test.dir/zkp/pedersen_test.cpp.o.d"
+  "pedersen_test"
+  "pedersen_test.pdb"
+  "pedersen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedersen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

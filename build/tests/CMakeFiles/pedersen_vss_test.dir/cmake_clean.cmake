@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedersen_vss_test.dir/threshold/pedersen_vss_test.cpp.o"
+  "CMakeFiles/pedersen_vss_test.dir/threshold/pedersen_vss_test.cpp.o.d"
+  "pedersen_vss_test"
+  "pedersen_vss_test.pdb"
+  "pedersen_vss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedersen_vss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pedersen_vss_test.
+# This may be replaced when dependencies are built.

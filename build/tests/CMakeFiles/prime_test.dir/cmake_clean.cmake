@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_test.dir/mpz/prime_test.cpp.o"
+  "CMakeFiles/prime_test.dir/mpz/prime_test.cpp.o.d"
+  "prime_test"
+  "prime_test.pdb"
+  "prime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pss_transfer_test.dir/baselines/pss_transfer_test.cpp.o"
+  "CMakeFiles/pss_transfer_test.dir/baselines/pss_transfer_test.cpp.o.d"
+  "pss_transfer_test"
+  "pss_transfer_test.pdb"
+  "pss_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pss_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

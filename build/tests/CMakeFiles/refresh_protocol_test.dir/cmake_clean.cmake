@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_protocol_test.dir/core/refresh_protocol_test.cpp.o"
+  "CMakeFiles/refresh_protocol_test.dir/core/refresh_protocol_test.cpp.o.d"
+  "refresh_protocol_test"
+  "refresh_protocol_test.pdb"
+  "refresh_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_test.dir/threshold/refresh_test.cpp.o"
+  "CMakeFiles/refresh_test.dir/threshold/refresh_test.cpp.o.d"
+  "refresh_test"
+  "refresh_test.pdb"
+  "refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shamir_test.dir/threshold/shamir_test.cpp.o"
+  "CMakeFiles/shamir_test.dir/threshold/shamir_test.cpp.o.d"
+  "shamir_test"
+  "shamir_test.pdb"
+  "shamir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shamir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak_test.dir/integration/soak_test.cpp.o"
+  "CMakeFiles/soak_test.dir/integration/soak_test.cpp.o.d"
+  "soak_test"
+  "soak_test.pdb"
+  "soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_bus_test.dir/net/threaded_bus_test.cpp.o"
+  "CMakeFiles/threaded_bus_test.dir/net/threaded_bus_test.cpp.o.d"
+  "threaded_bus_test"
+  "threaded_bus_test.pdb"
+  "threaded_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

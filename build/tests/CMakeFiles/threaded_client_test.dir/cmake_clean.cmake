@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_client_test.dir/integration/threaded_client_test.cpp.o"
+  "CMakeFiles/threaded_client_test.dir/integration/threaded_client_test.cpp.o.d"
+  "threaded_client_test"
+  "threaded_client_test.pdb"
+  "threaded_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

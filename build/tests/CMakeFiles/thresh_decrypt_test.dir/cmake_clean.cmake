@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresh_decrypt_test.dir/threshold/thresh_decrypt_test.cpp.o"
+  "CMakeFiles/thresh_decrypt_test.dir/threshold/thresh_decrypt_test.cpp.o.d"
+  "thresh_decrypt_test"
+  "thresh_decrypt_test.pdb"
+  "thresh_decrypt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresh_decrypt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresh_sign_test.dir/threshold/thresh_sign_test.cpp.o"
+  "CMakeFiles/thresh_sign_test.dir/threshold/thresh_sign_test.cpp.o.d"
+  "thresh_sign_test"
+  "thresh_sign_test.pdb"
+  "thresh_sign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresh_sign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

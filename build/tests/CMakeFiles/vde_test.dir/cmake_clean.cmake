@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vde_test.dir/zkp/vde_test.cpp.o"
+  "CMakeFiles/vde_test.dir/zkp/vde_test.cpp.o.d"
+  "vde_test"
+  "vde_test.pdb"
+  "vde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[ThreadedClient.FullPipelineOnRealThreads]=]  /root/repo/build/tests/threaded_client_test [==[--gtest_filter=ThreadedClient.FullPipelineOnRealThreads]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ThreadedClient.FullPipelineOnRealThreads]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  threaded_client_test_TESTS ThreadedClient.FullPipelineOnRealThreads)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblind.dir/dblind_cli.cpp.o"
+  "CMakeFiles/dblind.dir/dblind_cli.cpp.o.d"
+  "dblind"
+  "dblind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

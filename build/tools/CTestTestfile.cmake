@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_transfer "/root/repo/build/tools/dblind" "transfer" "--bits" "64" "--message" "dawn" "--stats")
+set_tests_properties(cli_transfer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_transfer_byzantine "/root/repo/build/tools/dblind" "transfer" "--bits" "64" "--message" "dawn" "--byzantine" "adaptive" "--stats")
+set_tests_properties(cli_transfer_byzantine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_params "/root/repo/build/tools/dblind" "params" "--bits" "128")
+set_tests_properties(cli_params PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fresh_params "/root/repo/build/tools/dblind" "params" "--fresh" "24" "--seed" "3")
+set_tests_properties(cli_fresh_params PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
