@@ -156,6 +156,11 @@ int main() {
         case core::MsgType::kSignPartialReply: return "sign-partial-reply";
         case core::MsgType::kDecryptRequest: return "decrypt-request";
         case core::MsgType::kDecryptShareReply: return "decrypt-share-reply";
+        case core::MsgType::kTransferRequest: return "transfer-request";
+        case core::MsgType::kResultRequest: return "result-request";
+        case core::MsgType::kResultReply: return "result-reply";
+        case core::MsgType::kClientDecryptRequest: return "client-decrypt-request";
+        case core::MsgType::kClientDecryptReply: return "client-decrypt-reply";
       }
       return "?";
     };

@@ -1,0 +1,44 @@
+# Sanitizer build modes, applied repo-wide.
+#
+# DBLIND_SANITIZE selects the sanitizer set compiled into every target:
+#
+#   off                  (default) no instrumentation; compile flags are
+#                        byte-identical to a plain build.
+#   address;undefined    ASan + UBSan ("asan" preset). Catches heap/stack
+#                        corruption, leaks, and C++ UB (bad shifts, signed
+#                        overflow, misaligned access) in the bignum layer.
+#   thread               TSan ("tsan" preset). Catches data races in
+#                        net::ThreadedBus / core::ProtocolServer paths.
+#
+# ASan and TSan are mutually exclusive at the runtime level, so the two sets
+# need separate build trees — that is what the CMake presets provide.
+# Runtime tuning (suppressions, halt-on-error) lives in tools/sanitize/ and
+# is injected through the matching ctest presets' environment.
+
+set(DBLIND_SANITIZE "off" CACHE STRING
+    "Sanitizer set for all targets: off | address;undefined | thread")
+set_property(CACHE DBLIND_SANITIZE PROPERTY STRINGS off "address;undefined" thread)
+
+if(NOT "${DBLIND_SANITIZE}" STREQUAL "off" AND NOT "${DBLIND_SANITIZE}" STREQUAL "")
+  # The cache value is a CMake list ("address;undefined"); -fsanitize= wants
+  # a comma-separated group.
+  string(REPLACE ";" "," _dblind_san_csv "${DBLIND_SANITIZE}")
+
+  set(_dblind_san_flags -fsanitize=${_dblind_san_csv} -fno-omit-frame-pointer)
+  if("undefined" IN_LIST DBLIND_SANITIZE)
+    # Make every UBSan finding fatal so ctest fails on the first report
+    # instead of scrolling diagnostics past the harness.
+    list(APPEND _dblind_san_flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_dblind_san_flags})
+  add_link_options(-fsanitize=${_dblind_san_csv})
+
+  # GTest's death tests and libstdc++ play fine with both sets; the only
+  # accommodation threads need is unwind tables for readable reports.
+  if("thread" IN_LIST DBLIND_SANITIZE)
+    add_compile_options(-funwind-tables)
+  endif()
+
+  message(STATUS "dblind: sanitizers enabled: ${_dblind_san_csv}")
+endif()

@@ -8,6 +8,7 @@
 // reject trailing garbage, so a byte string has at most one valid parse.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -88,9 +89,9 @@ class Reader {
     return {b.begin(), b.end()};
   }
   std::array<std::uint8_t, 32> digest() {
-    need(32);
     std::array<std::uint8_t, 32> d{};
-    for (auto& byte : d) byte = data_[pos_++];
+    const std::uint8_t* p = consume(d.size());
+    std::copy_n(p, d.size(), d.begin());
     return d;
   }
   mpz::Bigint bigint() {
@@ -122,6 +123,16 @@ class Reader {
  private:
   void need(std::size_t n) const {
     if (pos_ + n > data_.size()) throw CodecError("unexpected end of input");
+  }
+
+  // Bounds-checks and advances in one step; returns the start of the
+  // consumed region. Keeping check and pointer formation together lets the
+  // compiler see reads can't precede a successful check.
+  const std::uint8_t* consume(std::size_t n) {
+    need(n);
+    const std::uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
   }
 
   std::span<const std::uint8_t> data_;

@@ -58,6 +58,7 @@ NodeId ThreadedBus::add_node(std::unique_ptr<Node> node) {
 
 void ThreadedBus::start() {
   if (running_) return;
+  if (stopped_) throw std::logic_error("ThreadedBus: start after stop");
   running_ = true;
   for (auto& slot : slots_) {
     slot->thread = std::thread([this, s = slot.get()] { deliver_loop(*s); });
@@ -122,6 +123,7 @@ bool ThreadedBus::run_until(const std::function<bool()>& pred, std::chrono::mill
 
 void ThreadedBus::stop() {
   if (!running_) return;
+  stopped_ = true;
   for (auto& slot : slots_) {
     std::lock_guard<std::mutex> lock(slot->mu);
     slot->stopping = true;

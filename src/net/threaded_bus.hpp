@@ -32,7 +32,10 @@ class ThreadedBus {
   // Add nodes before start().
   NodeId add_node(std::unique_ptr<Node> node);
 
-  // Starts every node's thread (delivering on_start first).
+  // Starts every node's thread (delivering on_start first). A bus runs at
+  // most once: start() after stop() throws std::logic_error (slots keep
+  // their stopping flag, and re-delivering on_start would violate the
+  // once-only contract nodes rely on).
   void start();
   // Polls `pred` (from the calling thread) until it returns true or
   // `timeout` (real time) expires. Returns the final predicate value.
@@ -81,6 +84,7 @@ class ThreadedBus {
   std::chrono::steady_clock::time_point epoch_;
   mpz::Prng seed_rng_;
   bool running_ = false;
+  bool stopped_ = false;  // stop() is terminal; start() afterwards throws
 };
 
 }  // namespace dblind::net

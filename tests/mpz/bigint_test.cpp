@@ -303,7 +303,9 @@ TEST_P(BigintPropertyTest, RingAxiomsHold) {
       EXPECT_EQ(q * b + r, a);
       EXPECT_LT(r.abs(), b.abs());
       // Remainder sign matches dividend (or zero).
-      if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+      if (!r.is_zero()) {
+        EXPECT_EQ(r.sign(), a.sign());
+      }
     }
   }
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Local CI for the dblind tree — the same three jobs a hosted workflow
+# would run, executable on any dev box:
+#
+#   relwithdebinfo   default-flags build (+ -Werror) and the full ctest
+#                    suite — the tier-1 gate
+#   asan             ASan+UBSan build and the full ctest suite
+#   tsan             TSan build and the full ctest suite
+#   lint             clang-tidy gate (skips if clang-tidy is absent) and
+#                    the crypto-hygiene lint + its self-test
+#
+# Usage: tools/ci.sh [job...]     (no args = all jobs, lint first)
+# Exit: nonzero if any selected job fails.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+JOBS=("$@")
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan)
+NPROC="$(nproc 2> /dev/null || echo 4)"
+FAILED=()
+
+banner() { printf '\n==== ci: %s ====\n' "$1"; }
+
+run_preset_job() {
+  local preset="$1"
+  shift
+  banner "$preset"
+  cmake --preset "$preset" "$@" &&
+    cmake --build --preset "$preset" -j "$NPROC" &&
+    ctest --preset "$preset" -j "$NPROC"
+}
+
+for job in "${JOBS[@]}"; do
+  case "$job" in
+    relwithdebinfo)
+      # -Werror here (not in the preset) so the preset's compile flags stay
+      # byte-identical to a plain `cmake -B build` configure.
+      run_preset_job relwithdebinfo -DDBLIND_WERROR=ON || FAILED+=("$job")
+      ;;
+    asan | tsan)
+      run_preset_job "$job" || FAILED+=("$job")
+      ;;
+    lint)
+      banner lint
+      {
+        # run_tidy.sh needs a compile database; the relwithdebinfo preset
+        # provides one without sanitizer flags in it.
+        cmake --preset relwithdebinfo > /dev/null &&
+          tools/run_tidy.sh -p "$ROOT/build-relwithdebinfo"
+        tidy=$?
+        [[ $tidy -eq 77 ]] && tidy=0  # skipped: no clang-tidy on this host
+        python3 tools/lint_crypto.py --root "$ROOT" &&
+          python3 tools/lint_crypto.py --self-test &&
+          [[ $tidy -eq 0 ]]
+      } || FAILED+=("$job")
+      ;;
+    *)
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint)" >&2
+      FAILED+=("$job")
+      ;;
+  esac
+done
+
+banner summary
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  echo "FAILED jobs: ${FAILED[*]}"
+  exit 1
+fi
+echo "all jobs passed: ${JOBS[*]}"

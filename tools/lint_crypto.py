@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Crypto-hygiene linter for the dblind re-encryption stack.
+
+Project-specific rules that neither the compiler nor clang-tidy knows
+about, run over the token/line surface of ``src/``:
+
+  secret-logging
+      Secret-bearing values (Bigint shares, blinding factors rho_i,
+      decryption shares, signing nonces, VDE witnesses) must never reach a
+      logging/formatting sink: ``std::cout``/``cerr``/``clog`` insertion,
+      ``printf``-family calls, or ``std::format``. Also bans defining an
+      ``operator<<(std::ostream&, ...)`` for a secret-bearing type, which
+      would make accidental logging compile.
+
+  raw-entropy
+      All randomness must route through the seeded, replayable
+      ``mpz::Prng`` (src/mpz/random.hpp). Direct use of ``rand``/
+      ``srand``/``random``, ``std::random_device``, ``std::mt19937``,
+      ``getentropy``, ``/dev/urandom`` etc. anywhere else silently breaks
+      the bit-for-bit replay property the simulator and the Byzantine
+      tests depend on — and classic ``rand()`` is not
+      cryptographically strong to begin with.
+
+  secret-exponent-powmod
+      Modular exponentiation whose *exponent* is a secret (key share,
+      rho, nonce, witness) must use the Montgomery path
+      (``MontgomeryCtx::pow``), not the generic ``powmod`` convenience
+      wrapper: the wrapper is the slow path and falls back to plain
+      square-and-multiply for even moduli, with a memory/timing profile
+      that varies more with operand values. ``powmod`` stays fine for
+      public-exponent checks (e.g. subgroup-membership tests in
+      group/params.cpp).
+
+Waivers: append ``// crypto-lint: allow(<rule>) <reason>`` to the
+flagged line (or the line directly above it). A reason is mandatory.
+
+Exit codes: 0 clean, 1 violations (or waiver without reason), 2 usage
+error. ``--self-test`` runs the embedded corpus of known-bad/known-good
+snippets and fails if any rule stops firing — this is what makes the
+ctest gate trip when someone *would* insert ``std::cout << share`` or a
+raw ``rand()`` call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, NamedTuple
+
+# Identifiers that carry secret material somewhere in the protocol stack.
+# Matched case-insensitively as a word prefix (so `rho_i`, `shares_`,
+# `blinding_factor` all hit). Tuned to src/: ContributorState{rho, r1, r2},
+# DecryptionShare, ServerSecrets, SigningMember nonces, VDE witnesses.
+SECRET_IDENT = re.compile(
+    r"\b(rho|share|shares|secret|secrets|sk|priv|private_key|witness|nonce|"
+    r"blind|blinding|contribution|partial|decrypt_share|key_share|r1|r2)\w*",
+    re.IGNORECASE,
+)
+
+# Logging / formatting sinks. `<<` alone is NOT a sink: Bigint uses
+# operator<< for shifts. A stream object (or printf/format family call)
+# must appear in the same statement.
+LOG_SINK = re.compile(
+    r"std::(cout|cerr|clog)\b|\bf?printf\s*\(|\bputs\s*\(|\bstd::format\s*\(|"
+    r"\bsyslog\s*\(|\bLOG\s*\(|\bDBLIND_LOG\b"
+)
+
+OSTREAM_OVERLOAD = re.compile(r"operator\s*<<\s*\(\s*std::ostream\s*&")
+
+# Entropy sources that bypass mpz::Prng. `random` needs care: `random()`
+# libc call yes, `random.hpp`/`uniform_*` no.
+RAW_ENTROPY = re.compile(
+    r"\b(rand|srand|rand_r|random|srandom|drand48|lrand48|arc4random\w*)\s*\(|"
+    r"std::(random_device|mt19937\w*|minstd_rand\w*|ranlux\w*|knuth_b)\b|"
+    r"\bgetentropy\s*\(|\bgetrandom\s*\(|\bRAND_bytes\s*\("
+)
+
+# Checked against the line with comments stripped but string literals kept
+# (the device path only ever appears inside a string).
+DEV_RANDOM = re.compile(r"/dev/u?random")
+
+# Files allowed to touch the OS entropy source / implement the Prng itself.
+RAW_ENTROPY_ALLOWED = {"src/mpz/random.cpp", "src/mpz/random.hpp"}
+
+# Files allowed to call the generic powmod with arbitrary exponents
+# (the implementation itself and its even-modulus fallback).
+POWMOD_ALLOWED = {"src/mpz/modmath.cpp", "src/mpz/modmath.hpp"}
+
+POWMOD_CALL = re.compile(r"\bpowmod\s*\(")
+
+WAIVER = re.compile(r"//\s*crypto-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments (keeps offsets stable).
+
+    Block comments are handled line-locally, which is adequate for this
+    codebase's style (no multi-line /* */ around code).
+    """
+    out: List[str] = []
+    i, n = 0, len(line)
+    state = None  # None | '"' | "'"
+    while i < n:
+        c = line[i]
+        if state is None:
+            if c == '"' or c == "'":
+                state = c
+                out.append(c)
+            elif c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # rest is comment
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                end = line.find("*/", i + 2)
+                if end == -1:
+                    break
+                i = end + 1  # skip block comment
+            else:
+                out.append(c)
+        else:
+            if c == "\\":
+                out.append("..")
+                i += 1
+            elif c == state:
+                state = None
+                out.append(c)
+            else:
+                out.append(".")
+        i += 1
+    return "".join(out)
+
+
+def strip_comments_only(line: str) -> str:
+    """Drop // and line-local /* */ comments but keep string literals."""
+    # A // inside a string literal would be rare in this tree; accept the
+    # line-local approximation for lint purposes.
+    out = re.sub(r"/\*.*?\*/", "", line)
+    return out.split("//", 1)[0]
+
+
+def split_call_args(code: str, open_paren: int) -> List[str]:
+    """Split the argument list of the call whose '(' is at ``open_paren``.
+
+    Returns top-level comma-separated argument texts; empty list if the
+    call spans past this line (best-effort, line-local)."""
+    depth = 0
+    args: List[str] = []
+    cur: List[str] = []
+    for ch in code[open_paren:]:
+        if ch in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(cur).strip())
+                return [a for a in args if a]
+        if depth >= 1:
+            if ch == "," and depth == 1:
+                args.append("".join(cur).strip())
+                cur = []
+            else:
+                cur.append(ch)
+    return []  # unbalanced on this line
+
+
+def waived(lines: List[str], idx: int, rule: str) -> bool:
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = WAIVER.search(lines[probe])
+            if m and m.group(1) == rule and m.group(2):
+                return True
+    return False
+
+
+def lint_text(rel_path: str, text: str) -> List[Finding]:
+    findings: List[Finding] = []
+    lines = text.splitlines()
+    for idx, raw in enumerate(lines):
+        line_no = idx + 1
+        code = strip_comments_and_strings(raw)
+
+        # --- secret-logging -------------------------------------------------
+        if OSTREAM_OVERLOAD.search(code) and not waived(lines, idx, "secret-logging"):
+            findings.append(
+                Finding(
+                    rel_path,
+                    line_no,
+                    "secret-logging",
+                    "ostream operator<< overload in the crypto stack makes "
+                    "accidental secret logging compile; remove it",
+                )
+            )
+        elif LOG_SINK.search(code):
+            m = SECRET_IDENT.search(code)
+            if m and not waived(lines, idx, "secret-logging"):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "secret-logging",
+                        f"secret-bearing identifier '{m.group(0)}' reaches a "
+                        "logging/formatting sink",
+                    )
+                )
+
+        # --- raw-entropy ----------------------------------------------------
+        if rel_path not in RAW_ENTROPY_ALLOWED:
+            m = RAW_ENTROPY.search(code) or DEV_RANDOM.search(strip_comments_only(raw))
+            if m and not waived(lines, idx, "raw-entropy"):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "raw-entropy",
+                        f"'{m.group(0).strip()}' bypasses mpz::Prng "
+                        "(src/mpz/random.hpp); all randomness must be "
+                        "seed-replayable",
+                    )
+                )
+
+        # --- secret-exponent-powmod ----------------------------------------
+        if rel_path not in POWMOD_ALLOWED:
+            for call in POWMOD_CALL.finditer(code):
+                args = split_call_args(code, call.end() - 1)
+                if len(args) >= 2 and SECRET_IDENT.search(args[1]):
+                    if not waived(lines, idx, "secret-exponent-powmod"):
+                        findings.append(
+                            Finding(
+                                rel_path,
+                                line_no,
+                                "secret-exponent-powmod",
+                                f"powmod with secret exponent '{args[1]}': use "
+                                "MontgomeryCtx::pow for secret exponents",
+                            )
+                        )
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_crypto: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".cpp", ".hpp", ".h", ".cc"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_text(rel, path.read_text(encoding="utf-8")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test corpus: (rule-that-must-fire-or-None, snippet). Keeps the gate
+# honest — if a regex regresses, the selftest ctest entry fails even though
+# the tree itself is clean.
+SELF_TEST_CASES = [
+    # secret-logging must fire:
+    ("secret-logging", 'std::cout << "share: " << share << "\\n";'),
+    ("secret-logging", "std::cerr << st.rho.to_hex();"),
+    ("secret-logging", 'printf("rho=%s", rho.to_hex().c_str());'),
+    ("secret-logging", "std::ostream& operator<<(std::ostream& os, const Bigint& v);"),
+    ("secret-logging", "std::cout << std::format(\"nonce {}\", nonce_hex);"),
+    # ...and must NOT fire on these:
+    (None, "Bigint x = a << 64;  // limb shift, not a stream"),
+    (None, "out.bigint(st.rho);  // canonical codec, not a log sink"),
+    (None, 'std::cout << "protocol done, " << n_messages << " msgs\\n";'),
+    (None, '// comment mentioning std::cout << share is fine'),
+    # raw-entropy must fire:
+    ("raw-entropy", "int r = rand();"),
+    ("raw-entropy", "srand(time(nullptr));"),
+    ("raw-entropy", "std::random_device rd;"),
+    ("raw-entropy", "std::mt19937_64 gen(seed);"),
+    ("raw-entropy", 'std::ifstream urandom("/dev/urandom");'),
+    ("raw-entropy", "getentropy(buf, sizeof buf);"),
+    # ...and must NOT fire:
+    (None, "auto v = prng.uniform_below(q);"),
+    (None, "Prng child = rng.fork(\"label\");"),
+    (None, "std::uniform_int_distribution<int> d(0, 9);  // no engine here"),
+    # secret-exponent-powmod must fire:
+    ("secret-exponent-powmod", "auto y = powmod(g, sk_share, p);"),
+    ("secret-exponent-powmod", "auto c1 = powmod(base, rho, p);"),
+    ("secret-exponent-powmod", "return powmod(h, witness_r1, p);"),
+    # ...and must NOT fire:
+    (None, "if (powmod(g, q, p) != Bigint(1)) throw;  // public subgroup check"),
+    (None, "auto y = ctx.pow(g, sk_share);  // Montgomery path, correct"),
+    (
+        None,
+        "auto y = powmod(g, sk_share, p);  "
+        "// crypto-lint: allow(secret-exponent-powmod) even modulus in test vector",
+    ),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for expected_rule, snippet in SELF_TEST_CASES:
+        findings = lint_text("src/example/example.cpp", snippet + "\n")
+        rules = {f.rule for f in findings}
+        if expected_rule is None and findings:
+            print(f"self-test FAIL (spurious {sorted(rules)}): {snippet}")
+            failures += 1
+        elif expected_rule is not None and expected_rule not in rules:
+            print(f"self-test FAIL (missed {expected_rule}): {snippet}")
+            failures += 1
+    total = len(SELF_TEST_CASES)
+    print(f"lint_crypto self-test: {total - failures}/{total} cases ok")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repo root (contains src/)")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint the embedded known-bad corpus instead of the tree",
+    )
+    opts = ap.parse_args()
+
+    if opts.self_test:
+        return self_test()
+
+    findings = lint_tree(pathlib.Path(opts.root).resolve())
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"lint_crypto: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_crypto: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the dblind tree.
+#
+# Usage: tools/run_tidy.sh [-p <build-dir>] [extra clang-tidy args...]
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every .cpp
+# under src/ using the compile-commands database of <build-dir>. The
+# warning set is promoted to errors by WarningsAsErrors, so any finding
+# fails the run.
+#
+# Exit codes:
+#   0   clean
+#   1   clang-tidy findings (or usage error)
+#   77  skipped: no clang-tidy binary on PATH (ctest marks the gate test
+#       SKIPPED via SKIP_RETURN_CODE; CI images with clang installed run
+#       the real gate)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD=""
+if [[ "${1:-}" == "-p" ]]; then
+  BUILD="${2:?run_tidy.sh: -p needs a build dir}"
+  shift 2
+fi
+if [[ -z "$BUILD" ]]; then
+  for cand in "$ROOT/build" "$ROOT/build-relwithdebinfo" "$ROOT/build-asan"; do
+    [[ -f "$cand/compile_commands.json" ]] && BUILD="$cand" && break
+  done
+fi
+if [[ -z "$BUILD" || ! -f "$BUILD/compile_commands.json" ]]; then
+  echo "run_tidy.sh: no compile_commands.json found; configure first" \
+       "(e.g. cmake --preset relwithdebinfo)" >&2
+  exit 1
+fi
+
+TIDY=""
+for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [[ -z "$TIDY" ]]; then
+  echo "run_tidy.sh: clang-tidy not installed; skipping tidy gate" >&2
+  exit 77
+fi
+
+mapfile -t FILES < <(find "$ROOT/src" -name '*.cpp' | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_tidy.sh: no sources under src/" >&2
+  exit 1
+fi
+
+echo "run_tidy.sh: $TIDY over ${#FILES[@]} files (db: $BUILD)"
+JOBS="$(nproc 2> /dev/null || echo 4)"
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD" --quiet "$@"
+STATUS=$?
+
+if [[ $STATUS -ne 0 ]]; then
+  echo "run_tidy.sh: clang-tidy reported findings (exit $STATUS)" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean"
+exit 0
