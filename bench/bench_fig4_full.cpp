@@ -130,6 +130,44 @@ int main() {
   ab.print();
 
   std::puts("");
+  std::puts("Loss sweep — retransmission overhead under per-link drop (honest, n=4, f=1):");
+  {
+    bench::Table lt({"loss", "latency_ms", "messages", "dropped", "retransmits", "msg_overhead"});
+    std::uint64_t baseline_msgs = 0;
+    for (unsigned loss : {0u, 1u, 5u}) {
+      core::SystemOptions o;
+      o.a = {4, 1};
+      o.b = {4, 1};
+      o.seed = 200;  // same seed across rows: deltas are attributable to loss alone
+      core::System sys(std::move(o));
+      if (loss > 0) {
+        net::FaultPlan plan;
+        plan.drop_percent = loss;
+        sys.sim().set_fault_plan(plan);
+      }
+      core::TransferId t = sys.add_transfer(sys.config().params.encode_message(Bigint(4242)));
+      bool done = sys.run_to_completion();
+      bool ok = done;
+      for (core::ServerRank rank = 1; rank <= 4 && ok; ++rank) {
+        auto res = sys.result(t, rank);
+        ok = res && sys.oracle_decrypt_b(*res) == sys.plaintext_of(t);
+      }
+      std::uint64_t retransmits = 0;
+      for (core::ServerRank rank = 1; rank <= 4; ++rank)
+        retransmits += sys.a_server(rank).retransmits_sent() + sys.b_server(rank).retransmits_sent();
+      const auto& st = sys.sim().stats();
+      if (loss == 0) baseline_msgs = st.messages_sent;
+      double overhead =
+          baseline_msgs ? static_cast<double>(st.messages_sent) / static_cast<double>(baseline_msgs)
+                        : 1.0;
+      lt.row({std::to_string(loss) + "%", bench::fmt(st.end_time / 1000.0),
+              bench::fmt_u(st.messages_sent), bench::fmt_u(st.messages_dropped),
+              bench::fmt_u(retransmits), ok ? bench::fmt(overhead, 2) + "x" : "FAILED"});
+    }
+    lt.print();
+  }
+
+  std::puts("");
   std::puts("Message breakdown by protocol phase (honest run, n=7, f=2, received counts):");
   {
     core::SystemOptions o;

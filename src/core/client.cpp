@@ -35,22 +35,33 @@ void ClientNode::broadcast_b(net::Context& ctx, const std::vector<std::uint8_t>&
 }
 
 void ClientNode::on_start(net::Context& ctx) {
-  // Publish: one request to everyone; A stores, B registers and runs.
+  // Publish: one request to everyone; A stores, B registers and runs. The
+  // encryption happens exactly once — retries re-send these same bytes.
   TransferRequestMsg req;
   req.transfer = transfer_;
   req.ea_m = cfg_.a.encryption_key.encrypt(m_, ctx.rng());
-  auto body = encode_body(MsgType::kTransferRequest, req);
-  for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r) send_client(ctx, cfg_.a.node_of(r), body);
-  broadcast_b(ctx, body);
+  publish_body_ = encode_body(MsgType::kTransferRequest, req);
+  for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r)
+    send_client(ctx, cfg_.a.node_of(r), publish_body_);
+  broadcast_b(ctx, publish_body_);
   ctx.set_timer(poll_interval_, 1);
 }
 
 void ClientNode::on_timer(net::Context& ctx, std::uint64_t) {
   if (plaintext_) return;
   if (!chosen_) {
+    // Re-publish (lossy networks may have starved some servers of the
+    // transfer request entirely — servers dedupe) and poll for the result.
+    for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r)
+      send_client(ctx, cfg_.a.node_of(r), publish_body_);
+    broadcast_b(ctx, publish_body_);
     ResultRequestMsg req;
     req.transfer = transfer_;
     broadcast_b(ctx, encode_body(MsgType::kResultRequest, req));
+  } else {
+    // Result chosen but shares still missing: re-request decryption shares
+    // (same ciphertext — B servers answer duplicates from their reply cache).
+    broadcast_b(ctx, decrypt_request_body_);
   }
   ctx.set_timer(poll_interval_, 1);
 }
@@ -73,7 +84,8 @@ void ClientNode::on_message(net::Context& ctx, net::NodeId from,
         ClientDecryptRequestMsg req;
         req.transfer = transfer_;
         req.ciphertext = *chosen_;
-        broadcast_b(ctx, encode_body(MsgType::kClientDecryptRequest, req));
+        decrypt_request_body_ = encode_body(MsgType::kClientDecryptRequest, req);
+        broadcast_b(ctx, decrypt_request_body_);
         break;
       }
       case MsgType::kClientDecryptReply: {

@@ -60,6 +60,12 @@ class ClientNode final : public net::Node {
   std::map<std::uint32_t, threshold::DecryptionShare> shares_;
   std::optional<mpz::Bigint> plaintext_;
   std::atomic<bool> finished_{false};
+  // Cached request bodies, re-sent verbatim on every poll tick until the
+  // protocol answers. Re-encrypting m on a publish retry would hand A servers
+  // divergent E_A(m) ciphertexts (first writer wins, so some servers would
+  // hold a ciphertext the others refuse to corroborate).
+  std::vector<std::uint8_t> publish_body_;
+  std::vector<std::uint8_t> decrypt_request_body_;
 };
 
 // Context string for client-driven threshold decryption at B.

@@ -75,6 +75,23 @@ struct ProtocolOptions {
   // If true, servers pre-generate their blinding contribution before the
   // init message arrives (step-flexibility / pre-computation claim §1).
   bool precompute_contributions = false;
+
+  // --- chaos-layer retransmission (liveness only) ----------------------------
+  // Re-send liveness-critical messages on a capped exponential backoff until
+  // progress cancels the entry (or attempts run out, so the event queue
+  // always drains). Retransmissions reuse the originally-signed cached
+  // bytes — committed values are never re-randomized. Disabling this
+  // reproduces the fire-once behavior where a single lost protocol message
+  // deadlocks a transfer (exercised by the chaos deadlock regression test).
+  bool retransmit = true;
+  net::Time retransmit_initial_delay = 150'000;
+  net::Time retransmit_max_delay = 1'200'000;
+  // Total send attempts per cached message (the original send counts).
+  int retransmit_max_attempts = 12;
+  // B servers missing a result (recovered from a crash, or blinded by a
+  // partition while the done message went out) periodically pull the
+  // service-signed done message from their peers.
+  net::Time result_pull_delay = 800'000;
 };
 
 }  // namespace dblind::core

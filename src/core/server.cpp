@@ -74,6 +74,112 @@ void ProtocolServer::send_service_signed(net::Context& ctx, net::NodeId to,
   ctx.send(to, frame_service(msg));
 }
 
+std::vector<std::uint8_t> ProtocolServer::signed_frame(net::Context& ctx,
+                                                       const std::vector<std::uint8_t>& body) {
+  return frame_signed(make_envelope(cfg_, secrets_, body, ctx.rng()));
+}
+
+// --- retransmission (chaos layer) ---------------------------------------------
+//
+// Sender side: every liveness-critical broadcast caches its signed frames in a
+// Resend entry and re-sends them on a capped exponential backoff until the
+// protocol step it belongs to completes (which cancels the entry) or the
+// attempt cap runs out (so the event queue always drains). Safety never
+// depends on these timers — they are pure liveness (§2's asynchronous model).
+
+std::uint64_t ProtocolServer::arm_resend(net::Context& ctx, Resend r, net::Time initial_delay,
+                                         int max_attempts) {
+  if (!opts_.retransmit || r.msgs.empty()) return 0;
+  r.delay = initial_delay != 0 ? initial_delay : opts_.retransmit_initial_delay;
+  r.max_attempts = max_attempts != 0 ? max_attempts : opts_.retransmit_max_attempts;
+  std::uint64_t key = next_resend_++;
+  net::Time delay = r.delay;
+  resends_[key] = std::move(r);
+  ctx.set_timer(delay, kTimerResend | key);
+  return key;
+}
+
+void ProtocolServer::cancel_resend(std::uint64_t& key) {
+  if (key == 0) return;
+  resends_.erase(key);  // the pending timer becomes an orphan no-op
+  key = 0;
+}
+
+void ProtocolServer::cancel_resends_for_transfer(TransferId transfer) {
+  for (auto it = resends_.begin(); it != resends_.end();) {
+    if (it->second.cancel_on_result && it->second.transfer == transfer) {
+      it = resends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result_pull_keys_.erase(transfer);
+}
+
+void ProtocolServer::handle_resend_timer(net::Context& ctx, std::uint64_t key) {
+  auto it = resends_.find(key);
+  if (it == resends_.end()) return;  // cancelled earlier: orphan timer
+  Resend& r = it->second;
+  if (r.cancel_on_result && results_.contains(r.transfer)) {
+    resends_.erase(it);
+    return;
+  }
+  for (const auto& [to, frame] : r.msgs) resend_frame(ctx, to, frame);
+  if (++r.attempts >= r.max_attempts) {
+    resends_.erase(it);  // give up; backup coordinators / result pulls take over
+    return;
+  }
+  r.delay = std::min(r.delay * 2, opts_.retransmit_max_delay);
+  ctx.set_timer(r.delay, kTimerResend | key);
+}
+
+void ProtocolServer::resend_frame(net::Context& ctx, net::NodeId to,
+                                  const std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) return;
+  ++retransmits_sent_;
+  ctx.send(to, frame);
+}
+
+void ProtocolServer::arm_result_pull(net::Context& ctx, TransferId transfer) {
+  if (!is_b() || !opts_.retransmit) return;
+  if (results_.contains(transfer) || result_pull_keys_.contains(transfer)) return;
+  ResultRequestMsg req;
+  req.transfer = transfer;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kClient));
+  w.bytes(encode_body(MsgType::kResultRequest, req));
+  std::vector<std::uint8_t> frame = w.take();
+  Resend r;
+  for (ServerRank rank = 1; rank <= cfg_.b.cfg.n; ++rank) {
+    net::NodeId peer = cfg_.b.node_of(rank);
+    if (peer == ctx.self()) continue;
+    r.msgs.emplace_back(peer, frame);
+  }
+  r.transfer = transfer;
+  r.cancel_on_result = true;
+  std::uint64_t key = arm_resend(ctx, std::move(r), opts_.result_pull_delay);
+  if (key != 0) result_pull_keys_[transfer] = key;
+}
+
+void ProtocolServer::handle_result_reply(net::Context& ctx, std::span<const std::uint8_t> body) {
+  (void)ctx;
+  if (!is_b()) return;
+  ResultReplyMsg msg;
+  try {
+    msg = decode_as<ResultReplyMsg>(MsgType::kResultReply, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto done = check_done(cfg_, msg.done);
+  if (!done || done->id.transfer != msg.transfer) return;
+  record_done(*done, msg.done);
+}
+
+std::uint32_t ProtocolServer::next_epoch_of(TransferId transfer) const {
+  auto it = next_epoch_.find(transfer);
+  return it == next_epoch_.end() ? 0 : it->second;
+}
+
 void ProtocolServer::on_start(net::Context& ctx) {
   // Service A: schedule deferred secret arrivals.
   for (const auto& [transfer, pair] : pending_store_) {
@@ -81,17 +187,23 @@ void ProtocolServer::on_start(net::Context& ctx) {
   }
   if (is_b()) {
     // Coordinator scheduling (§4.1): rank 1 is the designated coordinator;
-    // ranks 2..f+1 are delayed backups.
+    // ranks 2..f+1 are delayed backups. After a restart, completed transfers
+    // (restored from the durable done messages) are skipped, and the epoch
+    // continues past anything this server may have announced pre-crash.
     if (secrets_.rank <= opts_.max_coordinators) {
       for (TransferId t : transfers_) {
+        if (results_.contains(t)) continue;
         net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
         if (delay == 0) {
-          start_coordinator(ctx, t, 0);
+          start_coordinator(ctx, t, next_epoch_of(t));
         } else {
           ctx.set_timer(delay, kTimerCoordinator | t);
         }
       }
     }
+    // Recovery: periodically pull missing results from peer B servers (no-op
+    // for completed transfers; cancelled as soon as a result arrives).
+    for (TransferId t : transfers_) arm_result_pull(ctx, t);
     // Step flexibility: pre-compute the contribution (and its VDE proof) for
     // the designated coordinator's expected instance before any init arrives.
     if (opts_.precompute_contributions) {
@@ -108,7 +220,9 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
   std::uint64_t arg = token & ~(0xffull << 56);
   if (kind == kTimerCoordinator) {
     TransferId t = arg;
-    if (!results_.contains(t)) start_coordinator(ctx, t, 0);
+    if (!results_.contains(t)) start_coordinator(ctx, t, next_epoch_of(t));
+  } else if (kind == kTimerResend) {
+    handle_resend_timer(ctx, arg);
   } else if (kind == kTimerResponder) {
     auto it = responder_timer_ids_.find(arg);
     if (it != responder_timer_ids_.end()) {
@@ -174,6 +288,7 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
       switch (peek_type(body)) {
         case MsgType::kTransferRequest: handle_transfer_request(ctx, from, body); break;
         case MsgType::kResultRequest: handle_result_request(ctx, from, body); break;
+        case MsgType::kResultReply: handle_result_reply(ctx, body); break;
         case MsgType::kClientDecryptRequest:
           handle_client_decrypt_request(ctx, from, body);
           break;
@@ -218,15 +333,20 @@ void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
   auto init = check_init(cfg_, env);
   if (!init) return;
   ContributorState& st = contributor_state(ctx, init->id);
-  if (st.committed) return;
+  if (st.committed) {
+    // Duplicate init (retransmission or network duplication): answer with the
+    // exact bytes we committed to the first time.
+    resend_frame(ctx, cfg_.b.node_of(init->id.coordinator), st.commit_frame);
+    return;
+  }
   st.committed = true;
 
   CommitMsg commit;
   commit.id = init->id;
   commit.server = secrets_.rank;
   commit.commitment = st.contribution.commitment_digest();
-  send_signed(ctx, cfg_.b.node_of(init->id.coordinator), MsgType::kCommit,
-              encode_body(MsgType::kCommit, commit));
+  st.commit_frame = signed_frame(ctx, encode_body(MsgType::kCommit, commit));
+  ctx.send(cfg_.b.node_of(init->id.coordinator), st.commit_frame);
 }
 
 void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) {
@@ -237,8 +357,13 @@ void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) 
   if (it == contributor_.end()) return;  // never committed for this instance
   ContributorState& st = it->second;
   // Respond to at most one reveal per instance (see validity.hpp header on
-  // why this matters for Randomness-Confidentiality).
-  if (st.contributed) return;
+  // why this matters for Randomness-Confidentiality). A duplicate of the
+  // SAME reveal gets the cached contribute frame — never a re-randomized one.
+  if (st.contributed) {
+    if (env == st.answered_reveal)
+      resend_frame(ctx, cfg_.b.node_of(reveal->id.coordinator), st.contribute_frame);
+    return;
+  }
   if (behavior_ == Behavior::kWithholdContribution) return;
   // Only respond if this reveal contains our commitment (step 4).
   bool mine = false;
@@ -255,6 +380,7 @@ void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) 
   }
   if (!mine) return;
   st.contributed = true;
+  st.answered_reveal = env;
 
   ContributeMsg msg;
   msg.id = reveal->id;
@@ -274,8 +400,8 @@ void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) 
                              cfg_.b.encryption_key, st.contribution.eb, st.r2,
                              vde_context(msg.id, msg.server), ctx.rng());
   }
-  send_signed(ctx, cfg_.b.node_of(reveal->id.coordinator), MsgType::kContribute,
-              encode_body(MsgType::kContribute, msg));
+  st.contribute_frame = signed_frame(ctx, encode_body(MsgType::kContribute, msg));
+  ctx.send(cfg_.b.node_of(reveal->id.coordinator), st.contribute_frame);
 }
 
 // --- coordinator role (B) ----------------------------------------------------------
@@ -284,6 +410,9 @@ void ProtocolServer::start_coordinator(net::Context& ctx, TransferId transfer,
                                        std::uint32_t epoch) {
   InstanceId id{transfer, secrets_.rank, epoch};
   if (coordinator_.contains(id)) return;
+  // Durable epoch bump: a restarted coordinator must not reuse an epoch it
+  // may already have announced with a different (lost) contribution set.
+  next_epoch_[transfer] = std::max(next_epoch_of(transfer), epoch + 1);
   CoordinatorState st;
   st.id = id;
   coordinator_[id] = std::move(st);
@@ -303,8 +432,15 @@ void ProtocolServer::start_coordinator(net::Context& ctx, TransferId transfer,
   }
 
   InitMsg init{id};
-  broadcast_signed(ctx, ServiceRole::kServiceB, MsgType::kInit,
-                   encode_body(MsgType::kInit, init));
+  std::vector<std::uint8_t> framed = signed_frame(ctx, encode_body(MsgType::kInit, init));
+  Resend r;
+  for (ServerRank rank = 1; rank <= cfg_.b.cfg.n; ++rank) {
+    ctx.send(cfg_.b.node_of(rank), framed);
+    r.msgs.emplace_back(cfg_.b.node_of(rank), framed);
+  }
+  r.transfer = transfer;
+  r.cancel_on_result = true;
+  coordinator_[id].init_resend = arm_resend(ctx, std::move(r));
 }
 
 void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) {
@@ -331,7 +467,15 @@ void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) 
   SignedMessage reveal_env = make_envelope(cfg_, secrets_, body, ctx.rng());
   st.reveal_env = reveal_env;
   std::vector<std::uint8_t> framed = frame_signed(reveal_env);
-  for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r) ctx.send(cfg_.b.node_of(r), framed);
+  cancel_resend(st.init_resend);  // commit round complete
+  Resend rs;
+  for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r) {
+    ctx.send(cfg_.b.node_of(r), framed);
+    rs.msgs.emplace_back(cfg_.b.node_of(r), framed);
+  }
+  rs.transfer = st.id.transfer;
+  rs.cancel_on_result = true;
+  st.reveal_resend = arm_resend(ctx, std::move(rs));
 }
 
 void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& env) {
@@ -352,6 +496,7 @@ void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& e
 void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState& st) {
   const std::size_t quorum = cfg_.b.cfg.quorum();
   if (st.contributes.size() < quorum) return;
+  cancel_resend(st.reveal_resend);  // contribute round complete
 
   if (behavior_ == Behavior::kAdaptiveCancelCoordinator) {
     attack_coordinator_step(ctx, st);
@@ -499,16 +644,42 @@ std::uint64_t ProtocolServer::start_sign_session(net::Context& ctx, SignPurpose 
   ss.evidence = evidence;
   ss.excluded = std::move(excluded);
   ss.attempt = attempt;
+  // Transfer id for result-based retransmission cancellation (B only; A never
+  // records results_, so its done sessions rely on the attempt cap).
+  try {
+    if (purpose == SignPurpose::kBlind) {
+      ss.transfer = decode_as<BlindPayload>(MsgType::kBlind, payload).id.transfer;
+    } else {
+      ss.transfer = decode_as<DonePayload>(MsgType::kDone, payload).id.transfer;
+    }
+  } catch (const CodecError&) {
+  }
+  ss.cancel_on_result = is_b();
   sign_sessions_[session] = std::move(ss);
+  SignSession& stored = sign_sessions_[session];
 
   SignRequestMsg req;
   req.session = session;
   req.purpose = static_cast<std::uint8_t>(purpose);
   req.payload = std::move(payload);
   req.evidence = std::move(evidence);
-  broadcast_signed(ctx, secrets_.role, MsgType::kSignRequest,
-                   encode_body(MsgType::kSignRequest, req));
-  ctx.set_timer(opts_.signing_retry_delay, kTimerSignRetry | session);
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kSignRequest, req));
+  const ServicePublic& svc = my_service();
+  Resend r;
+  for (ServerRank rank = 1; rank <= svc.cfg.n; ++rank) {
+    ctx.send(svc.node_of(rank), framed);
+    r.msgs.emplace_back(svc.node_of(rank), framed);
+  }
+  r.transfer = stored.transfer;
+  r.cancel_on_result = stored.cancel_on_result;
+  stored.round_resend = arm_resend(ctx, std::move(r));
+  // With retransmission on, a stalled round usually means loss, not a bad
+  // member: back off exponentially so resends get a chance before the session
+  // is torn down and restarted.
+  net::Time retry = opts_.signing_retry_delay;
+  if (opts_.retransmit) retry <<= std::min(attempt, 4);
+  ctx.set_timer(retry, kTimerSignRetry | session);
   return session;
 }
 
@@ -517,6 +688,8 @@ void ProtocolServer::sign_session_retry(net::Context& ctx, std::uint64_t session
   if (it == sign_sessions_.end() || it->second.done) return;
   SignSession ss = std::move(it->second);
   sign_sessions_.erase(it);
+  cancel_resend(ss.round_resend);
+  if (ss.cancel_on_result && results_.contains(ss.transfer)) return;  // moot
   // Exclude quorum members that stalled the session mid-way; they had their
   // chance. Cap total exclusions at f — beyond that we may be excluding
   // slow-but-honest members, so start over with a clean slate.
@@ -558,8 +731,18 @@ void ProtocolServer::handle_sign_commit_reply(net::Context& ctx, const SignedMes
   SignQuorumMsg q;
   q.session = ss.session;
   q.quorum = ss.quorum;
-  broadcast_signed(ctx, secrets_.role, MsgType::kSignQuorum,
-                   encode_body(MsgType::kSignQuorum, q));
+  cancel_resend(ss.round_resend);  // commit round complete
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kSignQuorum, q));
+  const ServicePublic& svc = my_service();
+  Resend r;
+  for (ServerRank rank = 1; rank <= svc.cfg.n; ++rank) {
+    ctx.send(svc.node_of(rank), framed);
+    r.msgs.emplace_back(svc.node_of(rank), framed);
+  }
+  r.transfer = ss.transfer;
+  r.cancel_on_result = ss.cancel_on_result;
+  ss.round_resend = arm_resend(ctx, std::move(r));
 }
 
 void ProtocolServer::handle_sign_reveal_reply(net::Context& ctx, const SignedMessage& env) {
@@ -588,8 +771,18 @@ void ProtocolServer::handle_sign_reveal_reply(net::Context& ctx, const SignedMes
   SignRevealSetMsg rs;
   rs.session = ss.session;
   for (const auto& [rank, reveal] : ss.reveals) rs.reveals.push_back(reveal);
-  broadcast_signed(ctx, secrets_.role, MsgType::kSignRevealSet,
-                   encode_body(MsgType::kSignRevealSet, rs));
+  cancel_resend(ss.round_resend);  // reveal round complete
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kSignRevealSet, rs));
+  const ServicePublic& svc = my_service();
+  Resend r;
+  for (ServerRank rank = 1; rank <= svc.cfg.n; ++rank) {
+    ctx.send(svc.node_of(rank), framed);
+    r.msgs.emplace_back(svc.node_of(rank), framed);
+  }
+  r.transfer = ss.transfer;
+  r.cancel_on_result = ss.cancel_on_result;
+  ss.round_resend = arm_resend(ctx, std::move(r));
 }
 
 void ProtocolServer::handle_sign_partial_reply(net::Context& ctx, const SignedMessage& env) {
@@ -619,6 +812,7 @@ void ProtocolServer::handle_sign_partial_reply(net::Context& ctx, const SignedMe
     // Identifiable abort: this member provably misbehaved — retry without it.
     SignSession dead = std::move(it->second);
     sign_sessions_.erase(it);
+    cancel_resend(dead.round_resend);
     std::set<ServerRank> excluded = dead.excluded;
     excluded.insert(env.signer);
     start_sign_session(ctx, dead.purpose, std::move(dead.payload), std::move(dead.evidence),
@@ -632,6 +826,7 @@ void ProtocolServer::handle_sign_partial_reply(net::Context& ctx, const SignedMe
   for (const auto& [rank, partial] : ss.partials) partials.push_back(partial);
   zkp::SchnorrSignature sig = threshold::combine_signature(cfg_.params, reveals, partials);
   ss.done = true;
+  cancel_resend(ss.round_resend);
   sign_session_finished(ctx, ss, std::move(sig));
 }
 
@@ -642,18 +837,31 @@ void ProtocolServer::sign_session_finished(net::Context& ctx, SignSession& ss,
   out.body = ss.payload;
   out.sig = std::move(sig);
 
+  std::vector<std::uint8_t> framed = frame_service(out);
   if (ss.purpose == SignPurpose::kBlind) {
     if (behavior_ == Behavior::kBogusBlindCoordinator ||
         behavior_ == Behavior::kAdaptiveCancelCoordinator) {
       ++attack_successes_;  // the service signed an adversarial payload
     }
-    // Step 5(d): C_j → A.
-    for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r)
-      send_service_signed(ctx, cfg_.a.node_of(r), out);
+    // Step 5(d): C_j → A (retransmitted until this transfer's result lands).
+    Resend r;
+    for (ServerRank rank = 1; rank <= cfg_.a.cfg.n; ++rank) {
+      ctx.send(cfg_.a.node_of(rank), framed);
+      r.msgs.emplace_back(cfg_.a.node_of(rank), framed);
+    }
+    r.transfer = ss.transfer;
+    r.cancel_on_result = ss.cancel_on_result;
+    arm_resend(ctx, std::move(r));
   } else {
-    // Step 6(e): l → B.
-    for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r)
-      send_service_signed(ctx, cfg_.b.node_of(r), out);
+    // Step 6(e): l → B. Nothing on A observes B's results, so this resend is
+    // capped small; a B server that still misses the done message recovers
+    // through its result pull.
+    Resend r;
+    for (ServerRank rank = 1; rank <= cfg_.b.cfg.n; ++rank) {
+      ctx.send(cfg_.b.node_of(rank), framed);
+      r.msgs.emplace_back(cfg_.b.node_of(rank), framed);
+    }
+    arm_resend(ctx, std::move(r), 0, std::min(opts_.retransmit_max_attempts, 5));
     try {
       DonePayload done = decode_as<DonePayload>(MsgType::kDone, ss.payload);
       auto rit = responder_.find(done.id);
@@ -699,18 +907,22 @@ void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage&
   net::NodeId requester = cfg_.service(secrets_.role).node_of(env.signer);
   auto key = std::make_pair(requester, msg.session);
   auto it = member_sessions_.find(key);
-  if (it == member_sessions_.end()) {
-    MemberSession ms;
-    ms.payload = msg.payload;
-    ms.member = std::make_unique<threshold::SigningMember>(cfg_.params, secrets_.sign_share,
-                                                           ctx.rng());
-    it = member_sessions_.emplace(key, std::move(ms)).first;
+  if (it != member_sessions_.end()) {
+    // Duplicate request: the member MUST answer with the same bytes — a fresh
+    // nonce commitment for an existing session would risk nonce reuse.
+    resend_frame(ctx, requester, it->second.commit_frame);
+    return;
   }
+  MemberSession ms;
+  ms.payload = msg.payload;
+  ms.member = std::make_unique<threshold::SigningMember>(cfg_.params, secrets_.sign_share,
+                                                         ctx.rng());
   SignCommitReplyMsg reply;
   reply.session = msg.session;
-  reply.commit = it->second.member->commitment();
-  send_signed(ctx, requester, MsgType::kSignCommitReply,
-              encode_body(MsgType::kSignCommitReply, reply));
+  reply.commit = ms.member->commitment();
+  ms.commit_frame = signed_frame(ctx, encode_body(MsgType::kSignCommitReply, reply));
+  it = member_sessions_.emplace(key, std::move(ms)).first;
+  ctx.send(requester, it->second.commit_frame);
 }
 
 void ProtocolServer::handle_sign_quorum(net::Context& ctx, const SignedMessage& env) {
@@ -726,7 +938,11 @@ void ProtocolServer::handle_sign_quorum(net::Context& ctx, const SignedMessage& 
   auto it = member_sessions_.find(std::make_pair(requester, msg.session));
   if (it == member_sessions_.end()) return;
   MemberSession& ms = it->second;
-  if (!ms.quorum.empty()) return;  // quorum already fixed for this session
+  if (!ms.quorum.empty()) {
+    // Quorum already fixed: re-answer duplicates with the cached reveal.
+    resend_frame(ctx, requester, ms.reveal_frame);
+    return;
+  }
   bool mine = std::any_of(msg.quorum.begin(), msg.quorum.end(),
                           [&](const auto& c) { return c.index == secrets_.rank; });
   if (!mine) return;
@@ -735,8 +951,8 @@ void ProtocolServer::handle_sign_quorum(net::Context& ctx, const SignedMessage& 
   SignRevealReplyMsg reply;
   reply.session = msg.session;
   reply.reveal = ms.member->reveal();
-  send_signed(ctx, requester, MsgType::kSignRevealReply,
-              encode_body(MsgType::kSignRevealReply, reply));
+  ms.reveal_frame = signed_frame(ctx, encode_body(MsgType::kSignRevealReply, reply));
+  ctx.send(requester, ms.reveal_frame);
 }
 
 void ProtocolServer::handle_sign_reveal_set(net::Context& ctx, const SignedMessage& env) {
@@ -753,18 +969,26 @@ void ProtocolServer::handle_sign_reveal_set(net::Context& ctx, const SignedMessa
   auto it = member_sessions_.find(std::make_pair(requester, msg.session));
   if (it == member_sessions_.end()) return;
   MemberSession& ms = it->second;
-  if (ms.responded || ms.quorum.empty()) return;
+  if (ms.responded) {
+    // Sign at most once per session. A duplicate of the SAME reveal set gets
+    // the cached partial; a different set is refused outright.
+    if (hash::Sha256::digest(env.body) == ms.reveals_digest)
+      resend_frame(ctx, requester, ms.partial_frame);
+    return;
+  }
+  if (ms.quorum.empty()) return;
 
   auto partial = ms.member->respond(ms.quorum, msg.reveals,
                                     cfg_.service(secrets_.role).signing_key.point(), ms.payload);
   if (!partial) return;  // reveal set inconsistent with commitments — refuse
   ms.responded = true;
+  ms.reveals_digest = hash::Sha256::digest(env.body);
 
   SignPartialReplyMsg reply;
   reply.session = msg.session;
   reply.partial = *partial;
-  send_signed(ctx, requester, MsgType::kSignPartialReply,
-              encode_body(MsgType::kSignPartialReply, reply));
+  ms.partial_frame = signed_frame(ctx, encode_body(MsgType::kSignPartialReply, reply));
+  ctx.send(requester, ms.partial_frame);
 }
 
 // --- service A responder ------------------------------------------------------------------
@@ -788,6 +1012,7 @@ void ProtocolServer::handle_blind(net::Context& ctx, const ServiceSignedMsg& msg
   // 2..f+1 after a backup delay, ranks beyond f+1 only serve decryption
   // shares.
   if (secrets_.rank > cfg_.a.cfg.f + 1) return;
+  if (responder_.contains(blind->id)) return;  // backup timer already armed
   ResponderState& st = responder_.try_emplace(blind->id).first->second;
   st.blind_env = msg;
   st.blind = *blind;
@@ -818,8 +1043,15 @@ void ProtocolServer::start_responder(net::Context& ctx, const InstanceId& id) {
   DecryptRequestMsg req;
   req.id = id;
   req.blind = st.blind_env;
-  broadcast_signed(ctx, ServiceRole::kServiceA, MsgType::kDecryptRequest,
-                   encode_body(MsgType::kDecryptRequest, req));
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kDecryptRequest, req));
+  Resend r;
+  for (ServerRank rank = 1; rank <= cfg_.a.cfg.n; ++rank) {
+    ctx.send(cfg_.a.node_of(rank), framed);
+    r.msgs.emplace_back(cfg_.a.node_of(rank), framed);
+  }
+  r.transfer = id.transfer;
+  st.decrypt_resend = arm_resend(ctx, std::move(r));
 }
 
 void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessage& env) {
@@ -830,6 +1062,13 @@ void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessa
   try {
     msg = decode_as<DecryptRequestMsg>(MsgType::kDecryptRequest, env.body);
   } catch (const CodecError&) {
+    return;
+  }
+  // Duplicate request: replay the cached share reply (cheap, and avoids
+  // re-proving) before the expensive evidence re-check.
+  auto ckey = std::make_pair(msg.id, env.signer);
+  if (auto cached = decrypt_reply_frames_.find(ckey); cached != decrypt_reply_frames_.end()) {
+    resend_frame(ctx, cfg_.a.node_of(env.signer), cached->second);
     return;
   }
   // Self-verifying decryption request (step 6(b)): the service-signed blind
@@ -846,8 +1085,10 @@ void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessa
   DecryptShareReplyMsg reply;
   reply.id = msg.id;
   reply.share = std::move(share);
-  send_signed(ctx, cfg_.a.node_of(env.signer), MsgType::kDecryptShareReply,
-              encode_body(MsgType::kDecryptShareReply, reply));
+  std::vector<std::uint8_t> frame =
+      signed_frame(ctx, encode_body(MsgType::kDecryptShareReply, reply));
+  decrypt_reply_frames_[ckey] = frame;
+  ctx.send(cfg_.a.node_of(env.signer), frame);
 }
 
 void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedMessage& env) {
@@ -871,6 +1112,7 @@ void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedM
   st.shares.emplace(msg.share.index, msg.share);
   if (st.shares.size() < cfg_.a.cfg.quorum()) return;
   st.signing = true;
+  cancel_resend(st.decrypt_resend);  // decryption round complete
 
   std::vector<threshold::DecryptionShare> shares;
   for (const auto& [rank, share] : st.shares) {
@@ -904,19 +1146,25 @@ void ProtocolServer::handle_done(net::Context& ctx, const ServiceSignedMsg& msg)
   if (!is_b()) return;
   auto done = check_done(cfg_, msg);
   if (!done) return;
+  record_done(*done, msg);
+}
+
+void ProtocolServer::record_done(const DonePayload& done, const ServiceSignedMsg& msg) {
   // Keep every distinct validated done (several coordinators may finish with
   // different — equivalent — ciphertexts); clients pick one.
-  auto& payloads = done_payloads_[done->id.transfer];
+  auto& payloads = done_payloads_[done.id.transfer];
   bool known = false;
-  for (const DonePayload& p : payloads) known = known || p.eb_m == done->eb_m;
+  for (const DonePayload& p : payloads) known = known || p.eb_m == done.eb_m;
   if (!known) {
-    payloads.push_back(*done);
-    done_msgs_[done->id.transfer].push_back(msg);
+    payloads.push_back(done);
+    done_msgs_[done.id.transfer].push_back(msg);
   }
   // First valid result wins; later ones (from other coordinators/responders)
-  // are equivalent ciphertexts of the same plaintext.
-  if (results_.try_emplace(done->id.transfer, done->eb_m).second) {
+  // are equivalent ciphertexts of the same plaintext. A new result moots all
+  // retransmission still running for the transfer.
+  if (results_.try_emplace(done.id.transfer, done.eb_m).second) {
     results_count_.fetch_add(1, std::memory_order_release);
+    cancel_resends_for_transfer(done.id.transfer);
   }
 }
 
@@ -944,6 +1192,7 @@ void ProtocolServer::handle_transfer_request(net::Context& ctx, net::NodeId from
   if (is_b()) {
     if (!transfers_.insert(msg.transfer).second) return;  // already registered
     schedule_coordinator(ctx, msg.transfer);
+    arm_result_pull(ctx, msg.transfer);
   } else {
     if (stored_.contains(msg.transfer) || pending_store_.contains(msg.transfer))
       return;  // first writer wins
@@ -981,6 +1230,16 @@ void ProtocolServer::handle_client_decrypt_request(net::Context& ctx, net::NodeI
   } catch (const CodecError&) {
     return;
   }
+  // Duplicate of the same request from the same client: replay the cached
+  // reply. A request for a DIFFERENT (still authorized) ciphertext gets a
+  // fresh share and replaces the cache entry.
+  auto ckey = std::make_pair(from, msg.transfer);
+  auto cached = client_decrypt_cache_.find(ckey);
+  if (cached != client_decrypt_cache_.end() &&
+      std::ranges::equal(cached->second.first, body)) {
+    resend_frame(ctx, from, cached->second.second);
+    return;
+  }
   // Only decrypt ciphertexts that appear in a VALID done message for this
   // transfer — the client API must not be a general decryption oracle.
   auto it = done_payloads_.find(msg.transfer);
@@ -998,7 +1257,114 @@ void ProtocolServer::handle_client_decrypt_request(net::Context& ctx, net::NodeI
   Writer w;
   w.u8(static_cast<std::uint8_t>(WireKind::kClient));
   w.bytes(encode_body(MsgType::kClientDecryptReply, reply));
-  ctx.send(from, w.take());
+  std::vector<std::uint8_t> frame = w.take();
+  client_decrypt_cache_[ckey] = {std::vector<std::uint8_t>(body.begin(), body.end()), frame};
+  ctx.send(from, frame);
+}
+
+// --- crash recovery -----------------------------------------------------------
+
+namespace {
+constexpr std::uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> ProtocolServer::snapshot() const {
+  Writer w;
+  w.u8(kSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(stored_.size()));
+  for (const auto& [t, c] : stored_) {
+    w.u64(t);
+    put_ciphertext(w, c);
+  }
+  w.u32(static_cast<std::uint32_t>(pending_store_.size()));
+  for (const auto& [t, p] : pending_store_) {
+    w.u64(t);
+    put_ciphertext(w, p.first);
+    w.u64(p.second);
+  }
+  w.u32(static_cast<std::uint32_t>(transfers_.size()));
+  for (TransferId t : transfers_) w.u64(t);
+  w.u32(static_cast<std::uint32_t>(next_epoch_.size()));
+  for (const auto& [t, e] : next_epoch_) {
+    w.u64(t);
+    w.u32(e);
+  }
+  std::uint32_t done_count = 0;
+  for (const auto& [t, v] : done_msgs_) done_count += static_cast<std::uint32_t>(v.size());
+  w.u32(done_count);
+  for (const auto& [t, v] : done_msgs_) {
+    for (const ServiceSignedMsg& m : v) m.encode(w);
+  }
+  return w.take();
+}
+
+void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
+  // A crash loses everything volatile: round state, signing sessions, reply
+  // caches, armed retransmissions, parked messages, and derived results.
+  stored_.clear();
+  pending_store_.clear();
+  transfers_.clear();
+  results_.clear();
+  done_msgs_.clear();
+  done_payloads_.clear();
+  parked_blinds_.clear();
+  contributor_.clear();
+  coordinator_.clear();
+  sign_sessions_.clear();
+  member_sessions_.clear();
+  responder_.clear();
+  seen_blind_.clear();
+  resends_.clear();
+  result_pull_keys_.clear();
+  next_epoch_.clear();
+  decrypt_reply_frames_.clear();
+  client_decrypt_cache_.clear();
+  responder_timer_ids_.clear();
+  results_count_.store(0, std::memory_order_release);
+  if (snap.empty()) return;
+
+  // Parse into locals and commit only on full success: a corrupt snapshot
+  // recovers with EMPTY durable state, never a partial one (and never throws).
+  try {
+    Reader r(snap);
+    if (r.u8() != kSnapshotVersion) return;
+    std::map<TransferId, elgamal::Ciphertext> stored;
+    for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+      TransferId t = r.u64();
+      stored[t] = get_ciphertext(r);
+    }
+    std::map<TransferId, std::pair<elgamal::Ciphertext, net::Time>> pending;
+    for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+      TransferId t = r.u64();
+      elgamal::Ciphertext c = get_ciphertext(r);
+      net::Time when = r.u64();
+      pending[t] = {std::move(c), when};
+    }
+    std::set<TransferId> transfers;
+    for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) transfers.insert(r.u64());
+    std::map<TransferId, std::uint32_t> next_epoch;
+    for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+      TransferId t = r.u64();
+      next_epoch[t] = r.u32();
+    }
+    std::vector<ServiceSignedMsg> dones;
+    for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+      dones.push_back(ServiceSignedMsg::decode(r));
+    }
+    r.expect_done();
+
+    stored_ = std::move(stored);
+    pending_store_ = std::move(pending);
+    transfers_ = std::move(transfers);
+    next_epoch_ = std::move(next_epoch);
+    // Rebuild results from the durable done messages, re-validating each one
+    // (a snapshot is data, not an authority on signature validity).
+    for (const ServiceSignedMsg& m : dones) {
+      auto done = check_done(cfg_, m);
+      if (done) record_done(*done, m);
+    }
+  } catch (const CodecError&) {
+  }
 }
 
 }  // namespace dblind::core

@@ -34,6 +34,7 @@
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/validity.hpp"
+#include "hash/sha256.hpp"
 #include "net/sim.hpp"
 #include "threshold/thresh_sign.hpp"
 
@@ -100,11 +101,21 @@ class ProtocolServer final : public net::Node {
   [[nodiscard]] const std::map<MsgType, std::uint64_t>& rx_histogram() const {
     return rx_counts_;
   }
+  // Number of cached frames re-sent by the retransmission layer (benches
+  // report this as retransmission overhead).
+  [[nodiscard]] std::uint64_t retransmits_sent() const { return retransmits_sent_; }
 
   // --- net::Node --------------------------------------------------------------
   void on_start(net::Context& ctx) override;
   void on_message(net::Context& ctx, net::NodeId from, std::span<const std::uint8_t> bytes) override;
   void on_timer(net::Context& ctx, std::uint64_t token) override;
+  // Crash-recovery (net::Simulator::restart_at): durable state is what a
+  // correct server persists before acting on it — stored secrets, registered
+  // transfers, validated done messages, and the next coordinator epoch per
+  // transfer. Everything else (round state, signing sessions, caches) is
+  // volatile and lost on a crash.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const override;
+  void restore(std::span<const std::uint8_t> snap) override;
 
  private:
   // ---- shared plumbing -------------------------------------------------------
@@ -115,6 +126,35 @@ class ProtocolServer final : public net::Node {
   void broadcast_signed(net::Context& ctx, ServiceRole svc, MsgType type,
                         const std::vector<std::uint8_t>& body);
   void send_service_signed(net::Context& ctx, net::NodeId to, const ServiceSignedMsg& msg);
+  // Signs `body` and returns the framed wire bytes (for caching + resend).
+  [[nodiscard]] std::vector<std::uint8_t> signed_frame(net::Context& ctx,
+                                                       const std::vector<std::uint8_t>& body);
+
+  // ---- retransmission (chaos layer) -----------------------------------------
+  // A set of already-signed frames re-sent with capped exponential backoff
+  // until progress cancels the entry or attempts run out. Only cached bytes
+  // are ever re-sent: retransmission never re-randomizes committed values.
+  struct Resend {
+    std::vector<std::pair<net::NodeId, std::vector<std::uint8_t>>> msgs;
+    net::Time delay = 0;
+    int attempts = 1;  // the original send counts as the first attempt
+    int max_attempts = 0;
+    TransferId transfer = 0;
+    bool cancel_on_result = false;  // B: stop once `transfer` has a result
+  };
+  // Returns a key for cancel_resend, or 0 when retransmission is disabled.
+  std::uint64_t arm_resend(net::Context& ctx, Resend r, net::Time initial_delay = 0,
+                           int max_attempts = 0);
+  void cancel_resend(std::uint64_t& key);
+  void cancel_resends_for_transfer(TransferId transfer);
+  void handle_resend_timer(net::Context& ctx, std::uint64_t key);
+  // Re-sends one cached frame verbatim (empty frames are skipped).
+  void resend_frame(net::Context& ctx, net::NodeId to, const std::vector<std::uint8_t>& frame);
+  // B: periodic pull of a missing result from peer B servers (recovery after
+  // restarts/partitions), using the client ResultRequest/ResultReply path.
+  void arm_result_pull(net::Context& ctx, TransferId transfer);
+  void handle_result_reply(net::Context& ctx, std::span<const std::uint8_t> body);
+  [[nodiscard]] std::uint32_t next_epoch_of(TransferId transfer) const;
 
   // ---- contributor role (B) --------------------------------------------------
   struct ContributorState {
@@ -123,6 +163,10 @@ class ProtocolServer final : public net::Node {
     mpz::Bigint rho;
     bool committed = false;
     bool contributed = false;  // responded to (at most) one reveal
+    // Cached signed frames, re-sent verbatim on duplicate init/reveal.
+    std::vector<std::uint8_t> commit_frame;
+    std::vector<std::uint8_t> contribute_frame;
+    SignedMessage answered_reveal;  // the one reveal we responded to
   };
   void handle_init(net::Context& ctx, const SignedMessage& env);
   void handle_reveal(net::Context& ctx, const SignedMessage& env);
@@ -138,6 +182,8 @@ class ProtocolServer final : public net::Node {
     std::map<ServerRank, SignedMessage> contributes;
     bool signing = false;
     bool sent_blind = false;
+    std::uint64_t init_resend = 0;    // retransmission keys (0 = none)
+    std::uint64_t reveal_resend = 0;
     // Adaptive-cancel attack bookkeeping:
     std::vector<SignedMessage> attack_first_round;  // honest contributions seen
   };
@@ -159,6 +205,9 @@ class ProtocolServer final : public net::Node {
     std::map<ServerRank, threshold::PartialSignature> partials;
     bool done = false;
     int attempt = 0;
+    std::uint64_t round_resend = 0;  // retransmits the current round's broadcast
+    TransferId transfer = 0;
+    bool cancel_on_result = false;
   };
   std::uint64_t start_sign_session(net::Context& ctx, SignPurpose purpose,
                                    std::vector<std::uint8_t> payload,
@@ -176,6 +225,14 @@ class ProtocolServer final : public net::Node {
     std::vector<threshold::NonceCommitment> quorum;
     std::unique_ptr<threshold::SigningMember> member;
     bool responded = false;
+    // Cached signed frames: a signing member must answer a duplicate round
+    // message with the SAME bytes — a fresh nonce commitment/reveal for the
+    // same session would be a catastrophic nonce reuse across equivocating
+    // coordinators.
+    std::vector<std::uint8_t> commit_frame;
+    std::vector<std::uint8_t> reveal_frame;
+    std::vector<std::uint8_t> partial_frame;
+    hash::Digest reveals_digest{};  // body digest of the reveal set we answered
   };
   void handle_sign_request(net::Context& ctx, const SignedMessage& env);
   void handle_sign_quorum(net::Context& ctx, const SignedMessage& env);
@@ -189,6 +246,7 @@ class ProtocolServer final : public net::Node {
     std::map<std::uint32_t, threshold::DecryptionShare> shares;
     bool signing = false;
     bool sent_done = false;
+    std::uint64_t decrypt_resend = 0;  // retransmits the decrypt-request round
   };
   void handle_blind(net::Context& ctx, const ServiceSignedMsg& msg);
   void start_responder(net::Context& ctx, const InstanceId& id);
@@ -197,6 +255,9 @@ class ProtocolServer final : public net::Node {
 
   // ---- service B result consumption ---------------------------------------------
   void handle_done(net::Context& ctx, const ServiceSignedMsg& msg);
+  // Shared by handle_done / handle_result_reply / restore: records a
+  // validated done message (payload already checked against `msg`).
+  void record_done(const DonePayload& done, const ServiceSignedMsg& msg);
 
   // ---- client-facing handlers (library extension; see core/client.hpp) -----------
   void handle_transfer_request(net::Context& ctx, net::NodeId from,
@@ -245,11 +306,28 @@ class ProtocolServer final : public net::Node {
   double cpu_seconds_ = 0;
   int attack_successes_ = 0;
 
+  // Retransmission state (sender side).
+  std::map<std::uint64_t, Resend> resends_;
+  std::uint64_t next_resend_ = 1;  // 0 = invalid key / "no resend armed"
+  std::map<TransferId, std::uint64_t> result_pull_keys_;  // B: active pulls
+  std::uint64_t retransmits_sent_ = 0;
+  // Next coordinator epoch to use per transfer. Durable: a restarted
+  // coordinator must not reuse an epoch it may already have announced with a
+  // different (lost) contribution set.
+  std::map<TransferId, std::uint32_t> next_epoch_;
+  // Receiver-side reply caches: duplicates are answered with the exact bytes
+  // sent the first time.
+  std::map<std::pair<InstanceId, ServerRank>, std::vector<std::uint8_t>> decrypt_reply_frames_;
+  std::map<std::pair<net::NodeId, TransferId>,
+           std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>>
+      client_decrypt_cache_;  // (request body, reply frame)
+
   // Timer token layout (high byte = kind).
   static constexpr std::uint64_t kTimerCoordinator = 1ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResponder = 2ull << 56;     // | dense instance key
   static constexpr std::uint64_t kTimerSignRetry = 3ull << 56;     // | session id
   static constexpr std::uint64_t kTimerStoreSecret = 4ull << 56;   // | transfer
+  static constexpr std::uint64_t kTimerResend = 5ull << 56;        // | resend key
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

@@ -1,0 +1,29 @@
+#include "net/fault.hpp"
+
+namespace dblind::net {
+
+bool FaultInjector::partitioned(NodeId from, NodeId to, Time now) const {
+  for (const FaultPlan::Partition& p : plan_.partitions) {
+    if (now < p.start || now >= p.heal) continue;
+    if (p.island.contains(from) != p.island.contains(to)) return true;
+  }
+  return false;
+}
+
+FaultInjector::Fate FaultInjector::apply(NodeId from, NodeId to, Time now,
+                                         std::vector<std::uint8_t>& bytes, mpz::Prng& prng) {
+  if (partitioned(from, to, now)) return Fate::kDrop;
+  unsigned drop = plan_.drop_percent;
+  auto it = plan_.link_drop_percent.find({from, to});
+  if (it != plan_.link_drop_percent.end()) drop = it->second;
+  if (drop != 0 && prng.uniform_u64(100) < drop) return Fate::kDrop;
+  if (plan_.corrupt_percent != 0 && !bytes.empty() &&
+      prng.uniform_u64(100) < plan_.corrupt_percent) {
+    std::uint64_t bit = prng.uniform_u64(static_cast<std::uint64_t>(bytes.size()) * 8);
+    bytes[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+    return Fate::kCorrupt;
+  }
+  return Fate::kDeliver;
+}
+
+}  // namespace dblind::net

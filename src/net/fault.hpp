@@ -1,0 +1,73 @@
+// Composable fault injection ("chaos" layer) shared by both transports.
+//
+// The paper's Asynchronous System Model (§2) permits arbitrary message loss,
+// duplication and delay; safety must hold under all of them, and liveness
+// only under eventual delivery. A FaultPlan makes those adversities concrete
+// and reproducible: drop probabilities (global or per directed link),
+// scheduled partitions with heal times, and payload bit-flip corruption.
+// The same plan type drives the deterministic net::Simulator and the
+// real-thread net::ThreadedBus, so a chaos schedule exercised by the seed
+// sweep can be replayed against real interleavings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "mpz/random.hpp"
+
+namespace dblind::net {
+
+// Duplicated from sim.hpp (identical aliases) so this header stays
+// standalone; sim.hpp and threaded_bus.hpp both include it.
+using NodeId = std::uint32_t;
+using Time = std::uint64_t;  // microseconds (virtual or since-epoch)
+
+struct FaultPlan {
+  // Probability (percent) that any given message copy is dropped.
+  unsigned drop_percent = 0;
+  // Per-directed-link overrides of drop_percent, keyed (from, to).
+  std::map<std::pair<NodeId, NodeId>, unsigned> link_drop_percent;
+  // Probability (percent) that a delivered copy has one random bit flipped.
+  // Corrupted copies are still delivered — receivers must treat them as
+  // garbage, indistinguishable from an attacker's bogus message.
+  unsigned corrupt_percent = 0;
+  // While now ∈ [start, heal), messages crossing the island boundary (in
+  // either direction) are dropped. Multiple overlapping partitions compose.
+  struct Partition {
+    Time start = 0;
+    Time heal = 0;
+    std::set<NodeId> island;
+  };
+  std::vector<Partition> partitions;
+
+  [[nodiscard]] bool empty() const {
+    return drop_percent == 0 && link_drop_percent.empty() && corrupt_percent == 0 &&
+           partitions.empty();
+  }
+};
+
+// Applies a FaultPlan to individual message copies. Decisions draw from the
+// Prng the transport passes in, so runs stay deterministic per seed.
+class FaultInjector {
+ public:
+  enum class Fate : std::uint8_t { kDeliver, kDrop, kCorrupt };
+
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] bool active() const { return !plan_.empty(); }
+  [[nodiscard]] bool partitioned(NodeId from, NodeId to, Time now) const;
+
+  // Decides the fate of one message copy sent at `now`. kCorrupt flips one
+  // uniformly-chosen bit of `bytes` in place; the copy is still delivered.
+  Fate apply(NodeId from, NodeId to, Time now, std::vector<std::uint8_t>& bytes,
+             mpz::Prng& prng);
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace dblind::net

@@ -18,7 +18,7 @@ Time SimContext::now() const { return sim_.now(); }
 mpz::Prng& SimContext::rng() { return *sim_.nodes_.at(self_).rng; }
 
 Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayPolicy> delays)
-    : delays_(std::move(delays)), net_rng_(seed) {
+    : delays_(std::move(delays)), net_rng_(seed), fault_rng_(seed ^ 0xFA17C0DEull) {
   if (!delays_) throw std::invalid_argument("Simulator: null delay policy");
 }
 
@@ -34,7 +34,14 @@ NodeId Simulator::add_node(std::unique_ptr<Node> node) {
 }
 
 void Simulator::crash_at(NodeId id, Time when) {
-  enqueue({std::max(when, now_), seq_++, Event::Kind::kCrash, id, 0, {}, 0});
+  // prio 0: a crash at time T is processed before any same-time event, so a
+  // crash scheduled "in the past" (or at 0) can never race the node's
+  // on_start or a same-instant delivery.
+  enqueue({std::max(when, now_), seq_++, Event::Kind::kCrash, id, 0, {}, 0, /*prio=*/0});
+}
+
+void Simulator::restart_at(NodeId id, Time when) {
+  enqueue({std::max(when, now_), seq_++, Event::Kind::kRestart, id, 0, {}, 0});
 }
 
 void Simulator::enqueue(Event e) { queue_.push(std::move(e)); }
@@ -47,13 +54,34 @@ void Simulator::send_from(NodeId from, NodeId to, std::vector<std::uint8_t> byte
   Time d = delays_->delay(from, to, bytes.size(), net_rng_);
   if (duplication_percent_ != 0 && net_rng_.uniform_u64(100) < duplication_percent_) {
     Time d2 = delays_->delay(from, to, bytes.size(), net_rng_);
-    enqueue({now_ + d2, seq_++, Event::Kind::kMessage, to, from, bytes, 0});
+    ++stats_.messages_duplicated;
+    deliver_copy(from, to, bytes, d2);
   }
-  enqueue({now_ + d, seq_++, Event::Kind::kMessage, to, from, std::move(bytes), 0});
+  deliver_copy(from, to, std::move(bytes), d);
+}
+
+// Each copy (original or duplicate) meets the fault plan independently — a
+// duplicated message can lose one copy and corrupt the other.
+void Simulator::deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> bytes,
+                             Time delay) {
+  if (faults_.active()) {
+    switch (faults_.apply(from, to, now_, bytes, fault_rng_)) {
+      case FaultInjector::Fate::kDrop:
+        ++stats_.messages_dropped;
+        return;
+      case FaultInjector::Fate::kCorrupt:
+        ++stats_.messages_corrupted;
+        break;
+      case FaultInjector::Fate::kDeliver:
+        break;
+    }
+  }
+  enqueue({now_ + delay, seq_++, Event::Kind::kMessage, to, from, std::move(bytes), 0});
 }
 
 void Simulator::timer_from(NodeId node, Time delay, std::uint64_t token) {
-  enqueue({now_ + delay, seq_++, Event::Kind::kTimer, node, 0, {}, token});
+  enqueue({now_ + delay, seq_++, Event::Kind::kTimer, node, 0, {}, token, /*prio=*/1,
+           nodes_.at(node).incarnation});
 }
 
 NetStats Simulator::run(std::uint64_t max_events) {
@@ -72,7 +100,21 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
     ++events;
 
     if (e.kind == Event::Kind::kCrash) {
-      crashed_.insert(e.target);
+      if (crashed_.insert(e.target).second) {
+        Slot& slot = nodes_.at(e.target);
+        slot.durable = slot.node->snapshot();
+        ++slot.incarnation;  // timers set before the crash never fire
+      }
+      continue;
+    }
+    if (e.kind == Event::Kind::kRestart) {
+      if (crashed_.erase(e.target) != 0) {
+        Slot& slot = nodes_.at(e.target);
+        slot.node->restore(slot.durable);
+        SimContext ctx(*this, e.target);
+        slot.node->on_start(ctx);
+        if (pred()) return true;
+      }
       continue;
     }
     if (crashed_.contains(e.target)) continue;
@@ -89,9 +131,10 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
         slot.node->on_message(ctx, e.from, e.bytes);
         break;
       case Event::Kind::kTimer:
-        slot.node->on_timer(ctx, e.token);
+        if (e.incarnation == slot.incarnation) slot.node->on_timer(ctx, e.token);
         break;
       case Event::Kind::kCrash:
+      case Event::Kind::kRestart:
         break;  // handled above
     }
     if (pred()) return true;

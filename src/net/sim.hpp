@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mpz/random.hpp"
+#include "net/fault.hpp"
 
 namespace dblind::net {
 
@@ -66,10 +67,18 @@ class SimContext final : public Context {
 class Node {
  public:
   virtual ~Node() = default;
-  // Called once when the simulation starts.
+  // Called once when the simulation starts (and again after a restart).
   virtual void on_start(Context& ctx) { (void)ctx; }
   virtual void on_message(Context& ctx, NodeId from, std::span<const std::uint8_t> bytes) = 0;
   virtual void on_timer(Context& ctx, std::uint64_t token) { (void)token; (void)ctx; }
+  // Crash-recovery hooks (Simulator::restart_at). snapshot() returns the
+  // node's DURABLE state — what survives a crash; it is taken at crash time.
+  // restore() replaces the node's entire state with a snapshot, dropping
+  // everything volatile, and must tolerate arbitrary bytes (treat an
+  // undecodable snapshot as empty — never throw). The defaults model a node
+  // with no durable storage.
+  [[nodiscard]] virtual std::vector<std::uint8_t> snapshot() const { return {}; }
+  virtual void restore(std::span<const std::uint8_t> snapshot) { (void)snapshot; }
 };
 
 // Chooses the delivery delay of each message — this IS the adversary's
@@ -116,6 +125,9 @@ class TargetedSlowdown final : public DelayPolicy {
 struct NetStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     // FaultPlan drops (loss + partitions)
+  std::uint64_t messages_duplicated = 0;  // extra copies injected
+  std::uint64_t messages_corrupted = 0;   // bit-flipped copies (still delivered)
   std::uint64_t bytes_sent = 0;
   Time end_time = 0;
 };
@@ -130,13 +142,27 @@ class Simulator {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
   // Crash-stop the node at virtual time `when` (immediately if in the past):
-  // it receives no further events and its sends are dropped.
+  // it receives no further events and its sends are dropped. A crash at time
+  // T wins over any other event scheduled at T — in particular crash_at(id, 0)
+  // prevents the node's on_start from ever running.
   void crash_at(NodeId id, Time when);
+
+  // Restart a node crashed via crash_at: at `when` its durable snapshot
+  // (taken at crash time via Node::snapshot) is restored, on_start runs
+  // again, and the node rejoins the network. Timers set before the crash
+  // never fire; messages already in flight can still be delivered afterwards
+  // (the asynchronous model permits arbitrary delay). A restart with no
+  // preceding crash is a no-op.
+  void restart_at(NodeId id, Time when);
 
   // Adversarial channel: each message is additionally delivered a second
   // time (with an independent delay) with probability `percent`/100. The
   // asynchronous model permits duplication, so protocols must be idempotent.
   void set_duplication_percent(unsigned percent) { duplication_percent_ = percent; }
+  // Fault injection: applies `plan` to every message copy sent from now on.
+  // Fault decisions draw from a dedicated RNG stream, so enabling a plan
+  // does not perturb delay/duplication draws.
+  void set_fault_plan(FaultPlan plan) { faults_ = FaultInjector(std::move(plan)); }
   [[nodiscard]] bool crashed(NodeId id) const { return crashed_.contains(id); }
 
   // Runs until the event queue drains or `max_events` deliveries occurred.
@@ -160,14 +186,21 @@ class Simulator {
   struct Event {
     Time at;
     std::uint64_t seq;  // tie-break for determinism
-    enum class Kind : std::uint8_t { kStart, kMessage, kTimer, kCrash } kind;
+    enum class Kind : std::uint8_t { kStart, kMessage, kTimer, kCrash, kRestart } kind;
     NodeId target;
     NodeId from = 0;
     std::vector<std::uint8_t> bytes;
     std::uint64_t token = 0;
+    // Crashes sort before same-time events (see crash_at); everything else
+    // keeps seq order.
+    std::uint8_t prio = 1;
+    // Timer events fire only if the target's incarnation still matches (a
+    // crash invalidates all timers set before it).
+    std::uint64_t incarnation = 0;
 
     bool operator>(const Event& other) const {
       if (at != other.at) return at > other.at;
+      if (prio != other.prio) return prio > other.prio;
       return seq > other.seq;
     }
   };
@@ -176,10 +209,13 @@ class Simulator {
     std::unique_ptr<Node> node;
     std::unique_ptr<mpz::Prng> rng;
     bool started = false;
+    std::uint64_t incarnation = 0;
+    std::vector<std::uint8_t> durable;  // snapshot taken at crash time
   };
 
   void enqueue(Event e);
   void send_from(NodeId from, NodeId to, std::vector<std::uint8_t> bytes);
+  void deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> bytes, Time delay);
   void timer_from(NodeId node, Time delay, std::uint64_t token);
 
   std::vector<Slot> nodes_;
@@ -187,6 +223,8 @@ class Simulator {
   std::set<NodeId> crashed_;
   std::unique_ptr<DelayPolicy> delays_;
   mpz::Prng net_rng_;
+  mpz::Prng fault_rng_;  // dedicated stream: faults never perturb delays
+  FaultInjector faults_;
   NetStats stats_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;

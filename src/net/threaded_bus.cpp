@@ -40,7 +40,8 @@ class ThreadedBus::BusContext final : public Context {
 };
 
 ThreadedBus::ThreadedBus(std::uint64_t seed)
-    : epoch_(std::chrono::steady_clock::now()), seed_rng_(seed) {}
+    : epoch_(std::chrono::steady_clock::now()), seed_rng_(seed),
+      fault_rng_(seed ^ 0xFA17C0DEull) {}
 
 ThreadedBus::~ThreadedBus() { stop(); }
 
@@ -65,13 +66,47 @@ void ThreadedBus::start() {
   }
 }
 
+void ThreadedBus::set_fault_plan(FaultPlan plan) {
+  if (running_) throw std::logic_error("ThreadedBus: set_fault_plan after start");
+  faults_ = FaultInjector(std::move(plan));
+}
+
+NetStats ThreadedBus::stats() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return stats_;
+}
+
 void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes) {
   if (to >= slots_.size()) return;  // unknown destination: drop (async model)
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes.size();
+    if (faults_.active()) {
+      auto now = static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                       std::chrono::steady_clock::now() - epoch_)
+                                       .count());
+      switch (faults_.apply(from, to, now, bytes, fault_rng_)) {
+        case FaultInjector::Fate::kDrop:
+          ++stats_.messages_dropped;
+          return;
+        case FaultInjector::Fate::kCorrupt:
+          ++stats_.messages_corrupted;
+          break;
+        case FaultInjector::Fate::kDeliver:
+          break;
+      }
+    }
+  }
   Slot& slot = *slots_[to];
-  std::lock_guard<std::mutex> lock(slot.mu);
-  if (slot.stopping) return;
-  slot.inbox.push_back({from, std::move(bytes)});
-  slot.cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.stopping) return;
+    slot.inbox.push_back({from, std::move(bytes)});
+    slot.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  ++stats_.messages_delivered;
 }
 
 void ThreadedBus::deliver_loop(Slot& slot) {

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/sim.hpp"
 
 namespace dblind::net {
@@ -46,6 +47,13 @@ class ThreadedBus {
   // Stops all node threads and joins them. After stop() node state can be
   // inspected safely from the caller.
   void stop();
+
+  // Fault injection (set before start()): applies `plan` to every message on
+  // post_message — the same chaos layer the simulator runs, on real threads.
+  // Partition times are microseconds since the bus epoch (construction).
+  void set_fault_plan(FaultPlan plan);
+  // Transport accounting (thread-safe; end_time stays 0 on this transport).
+  [[nodiscard]] NetStats stats() const;
 
   [[nodiscard]] std::size_t node_count() const { return slots_.size(); }
   [[nodiscard]] Node& node(NodeId id) { return *slots_.at(id)->node; }
@@ -85,6 +93,13 @@ class ThreadedBus {
   mpz::Prng seed_rng_;
   bool running_ = false;
   bool stopped_ = false;  // stop() is terminal; start() afterwards throws
+
+  // Chaos layer: fault decisions and stats share one mutex (taken on every
+  // post_message; never while holding a slot mutex).
+  mutable std::mutex fault_mu_;
+  FaultInjector faults_;
+  mpz::Prng fault_rng_;
+  NetStats stats_;
 };
 
 }  // namespace dblind::net

@@ -1,0 +1,207 @@
+// Chaos harness: seed-sweep invariant testing of the full Figure-4 protocol
+// under lossy/partitioned channels, payload corruption, crash-recovery, and
+// Byzantine servers.
+//
+// Safety invariants are asserted UNCONDITIONALLY — on every seed and every
+// fault mix, whether or not the run completed:
+//   S1 every result any B server holds decrypts to the published plaintext
+//      (correctness + agreement across servers in one check, via the dealer
+//      oracle);
+//   S2 no Byzantine server ever obtained a service signature on an
+//      adversarial payload (attack_successes == 0 everywhere);
+//   S3 no handler crashed or threw on corrupted/duplicated/replayed input
+//      (the run returning at all certifies this — on_message is required to
+//      swallow malformed bytes).
+//
+// Liveness (every honest B server eventually holds a result) is asserted only
+// for mixes that stay within the fault bound the protocol promises to
+// tolerate: f crashed/Byzantine servers per service, finite loss, partitions
+// that heal. The retransmission layer is what turns "finite loss" into
+// progress; ChaosRegression.DeadlocksWithoutRetransmission pins that claim by
+// running the same seed with the layer disabled.
+//
+// The tier-1 sweep (registered with ctest under the `chaos` label) covers a
+// fixed grid of seeds × mixes. The larger CI sweep reuses this binary with
+// DBLIND_CHAOS_SEEDS=<n> (see ChaosSweep.EnvConfiguredSweep and tools/ci.sh).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace dblind::core {
+namespace {
+
+using mpz::Bigint;
+using Behavior = ProtocolServer::Behavior;
+
+struct Mix {
+  const char* name;
+  unsigned drop_percent = 0;
+  unsigned corrupt_percent = 0;
+  unsigned duplication_percent = 0;
+  bool partition_b_backup = false;  // isolate one B backup for a window
+  bool crash_restart_b1 = false;    // crash the designated coordinator, restart later
+  bool crash_a4 = false;            // permanently crash one A server (within f)
+  bool byzantine_b1 = false;        // adaptive-cancel coordinator at B rank 1
+  bool liveness_expected = true;    // mix stays within the f-bound
+};
+
+constexpr Mix kMixes[] = {
+    // Plain loss + duplication: the bread-and-butter retransmission case.
+    {.name = "lossy", .drop_percent = 10, .duplication_percent = 20},
+    // Corruption (signature/codec rejection paths) + a healing partition.
+    {.name = "corrupt-partition",
+     .drop_percent = 5,
+     .corrupt_percent = 5,
+     .partition_b_backup = true},
+    // Everything at once, including crash-recovery of the designated
+    // coordinator (exercises snapshot/restore + result pull).
+    {.name = "heavy",
+     .drop_percent = 20,
+     .corrupt_percent = 3,
+     .duplication_percent = 25,
+     .partition_b_backup = true,
+     .crash_restart_b1 = true,
+     .crash_a4 = true},
+    // A Byzantine coordinator under loss: retransmission must not help the
+    // attacker (it only ever re-sends already-validated bytes).
+    {.name = "byzantine-lossy", .drop_percent = 10, .byzantine_b1 = true},
+};
+
+constexpr int kMixCount = static_cast<int>(std::size(kMixes));
+
+// One full protocol run under `mix` with `seed`; asserts S1–S3 always and
+// liveness when the mix is in-bound. Returns true iff the run completed.
+bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
+  SystemOptions o;
+  o.seed = 9000 + seed;
+  o.a = {4, 1};
+  o.b = {4, 1};
+  o.protocol.retransmit = retransmit;
+  if (mix.byzantine_b1) {
+    o.b_behaviors.assign(4, Behavior::kHonest);
+    o.b_behaviors[0] = Behavior::kAdaptiveCancelCoordinator;
+  }
+  System sys(std::move(o));
+  sys.sim().set_duplication_percent(mix.duplication_percent);
+
+  net::FaultPlan plan;
+  plan.drop_percent = mix.drop_percent;
+  plan.corrupt_percent = mix.corrupt_percent;
+  if (mix.partition_b_backup) {
+    // Isolate B rank 2 (a backup coordinator) for a window mid-protocol.
+    net::FaultPlan::Partition part;
+    part.start = 100'000;
+    part.heal = 500'000;
+    part.island = {sys.config().b.node_of(2)};
+    plan.partitions.push_back(part);
+  }
+  if (!plan.empty()) sys.sim().set_fault_plan(plan);
+
+  if (mix.crash_restart_b1) {
+    sys.sim().crash_at(sys.config().b.node_of(1), 200'000);
+    sys.sim().restart_at(sys.config().b.node_of(1), 700'000);
+  }
+  if (mix.crash_a4) sys.sim().crash_at(sys.config().a.node_of(4), 150'000);
+
+  TransferId t1 = sys.add_transfer(sys.config().params.encode_message(Bigint(1000 + seed)));
+  TransferId t2 = sys.add_transfer(sys.config().params.encode_message(Bigint(2000 + seed)));
+
+  bool completed = sys.run_to_completion();
+
+  // S1: every result held anywhere decrypts to the published plaintext.
+  // (This is correctness AND agreement: all servers' results for a transfer
+  // decrypt to the same value because both compare against the oracle.)
+  for (TransferId t : {t1, t2}) {
+    for (ServerRank r = 1; r <= 4; ++r) {
+      auto res = sys.result(t, r);
+      if (!res) continue;
+      EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t))
+          << mix.name << " seed=" << seed << " t=" << t << " rank=" << r;
+    }
+  }
+  // S2: no service signature on an adversarial payload, ever.
+  for (ServerRank r = 1; r <= 4; ++r) {
+    EXPECT_EQ(sys.a_server(r).attack_successes(), 0) << mix.name << " seed=" << seed;
+    EXPECT_EQ(sys.b_server(r).attack_successes(), 0) << mix.name << " seed=" << seed;
+  }
+  // Faults were genuinely injected (guards against a silently-empty plan).
+  if (mix.drop_percent > 0 && retransmit) {
+    EXPECT_GT(sys.sim().stats().messages_dropped, 0u) << mix.name << " seed=" << seed;
+  }
+
+  if (mix.liveness_expected && retransmit) {
+    EXPECT_TRUE(completed) << mix.name << " seed=" << seed;
+    for (TransferId t : {t1, t2}) {
+      for (ServerRank r = 1; r <= 4; ++r) {
+        if (!sys.is_honest_b(r)) continue;
+        EXPECT_TRUE(sys.result(t, r).has_value())
+            << mix.name << " seed=" << seed << " t=" << t << " rank=" << r;
+      }
+    }
+  }
+  return completed;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChaosSweep, SafetyAlwaysLivenessInBound) {
+  const auto [mix_index, seed] = GetParam();
+  run_chaos(kMixes[mix_index], static_cast<std::uint64_t>(seed));
+}
+
+// Tier-1 grid: 6 seeds × 4 mixes = 24 deterministic runs, each its own ctest
+// entry (parallelizable). tools/ci.sh runs the wider sweep.
+INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
+                         ::testing::Combine(::testing::Range(0, kMixCount),
+                                            ::testing::Range(0, 6)),
+                         [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+                           std::string name = kMixes[std::get<0>(info.param)].name;
+                           for (char& c : name)
+                             if (c == '-') c = '_';  // gtest names are [A-Za-z0-9_]
+                           return name + "_seed" + std::to_string(std::get<1>(info.param));
+                         });
+
+// Wider sweep, sized at runtime: DBLIND_CHAOS_SEEDS=<n> runs n seeds per mix
+// in one process (gtest_discover_tests enumerates at build time, so the env
+// knob cannot add ctest entries — CI invokes the binary directly instead).
+TEST(ChaosSweep, EnvConfiguredSweep) {
+  const char* env = std::getenv("DBLIND_CHAOS_SEEDS");
+  int seeds = env ? std::atoi(env) : 0;
+  if (seeds <= 0) GTEST_SKIP() << "set DBLIND_CHAOS_SEEDS=<n> for the wide sweep";
+  for (int mix = 0; mix < kMixCount; ++mix) {
+    for (int seed = 0; seed < seeds; ++seed) {
+      run_chaos(kMixes[mix], static_cast<std::uint64_t>(100 + seed));
+      if (::testing::Test::HasFailure())
+        FAIL() << "violation at mix=" << kMixes[mix].name << " seed=" << (100 + seed);
+    }
+  }
+}
+
+// The regression the whole retransmission layer exists for: with the layer
+// OFF, a fixed seed at 25% loss starves the protocol of a liveness-critical
+// message and the event queue drains with no result anywhere — the
+// fire-once protocol deadlocks. The SAME seed with retransmission ON
+// completes. (Deterministic: both runs are pure functions of the seed.)
+TEST(ChaosRegression, DeadlocksWithoutRetransmission) {
+  Mix lossy{.name = "deadlock", .drop_percent = 25, .liveness_expected = false};
+  bool without = run_chaos(lossy, 424242, /*retransmit=*/false);
+  EXPECT_FALSE(without) << "expected the fire-once protocol to deadlock under 25% loss";
+  lossy.liveness_expected = true;
+  bool with = run_chaos(lossy, 424242, /*retransmit=*/true);
+  EXPECT_TRUE(with);
+}
+
+// Crash-recovery in isolation: the designated B coordinator dies mid-protocol
+// and comes back; its durable state (registered transfers, done messages)
+// must let it finish — recovered via its own result pull if the done message
+// passed it by while it was down.
+TEST(ChaosRecovery, RestartedCoordinatorCatchesUp) {
+  Mix mix{.name = "restart-only", .crash_restart_b1 = true};
+  EXPECT_TRUE(run_chaos(mix, 7));
+}
+
+}  // namespace
+}  // namespace dblind::core

@@ -36,5 +36,39 @@ TEST(ThreadedClient, FullPipelineOnRealThreads) {
   EXPECT_EQ(*handle->plaintext(), m);
 }
 
+TEST(ThreadedClient, FullPipelineSurvivesLossyBus) {
+  // Same pipeline, but the transport drops 12% of messages: only the
+  // retransmission layer — server resend timers, idempotent cached replies,
+  // client polling — can carry it to completion.
+  // Wall-clock timers here are µs of real time, so retransmits fire fast.
+  auto ts = testing::TestSystem::make(0xbeef);
+  mpz::Bigint m = ts.params.encode_message(mpz::Bigint(2718281828));
+
+  ProtocolOptions opts;
+  opts.coordinator_backup_delay = 300'000;
+  opts.responder_backup_delay = 300'000;
+  opts.signing_retry_delay = 500'000;
+
+  net::ThreadedBus bus(0x5678);
+  net::FaultPlan plan;
+  plan.drop_percent = 12;
+  bus.set_fault_plan(plan);
+  for (ServerRank r = 1; r <= 4; ++r)
+    bus.add_node(std::make_unique<ProtocolServer>(ts.cfg, ts.a_secrets[r - 1], opts));
+  for (ServerRank r = 1; r <= 4; ++r)
+    bus.add_node(std::make_unique<ProtocolServer>(ts.cfg, ts.b_secrets[r - 1], opts));
+  auto client = std::make_unique<ClientNode>(ts.cfg, 9001, m, /*poll_interval=*/20'000);
+  ClientNode* handle = client.get();
+  bus.add_node(std::move(client));
+
+  bus.start();
+  bool done = bus.run_until([&] { return handle->finished(); }, std::chrono::milliseconds(60000));
+  bus.stop();
+  ASSERT_TRUE(done) << "client pipeline did not finish on a lossy threaded bus";
+  ASSERT_TRUE(handle->plaintext().has_value());
+  EXPECT_EQ(*handle->plaintext(), m);
+  EXPECT_GT(bus.stats().messages_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace dblind::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <string>
 
 namespace dblind::net {
@@ -226,6 +227,267 @@ TEST(Simulator, RejectsBadUsage) {
   EXPECT_THROW(Simulator(1, nullptr), std::invalid_argument);
   Simulator sim(1, std::make_unique<UniformDelay>(1, 1));
   EXPECT_THROW(sim.add_node(nullptr), std::invalid_argument);
+}
+
+// --- crash/restart semantics ---------------------------------------------------
+
+TEST(Simulator, CrashAtTimeZeroPreventsOnStart) {
+  // Regression: a crash scheduled at T must win over every other event at T.
+  // In particular crash_at(id, 0) races the node's kStart event — the crash
+  // must sort first, so the node never runs on_start (and never sends).
+  Simulator sim(10, std::make_unique<UniformDelay>(10, 10));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  NodeId starter_id = sim.add_node(std::make_unique<Starter>(echo_id));
+  sim.crash_at(starter_id, 0);
+
+  NetStats stats = sim.run();
+  EXPECT_TRUE(echo_ptr->received.empty());
+  EXPECT_EQ(stats.messages_sent, 0u);
+  EXPECT_TRUE(sim.crashed(starter_id));
+}
+
+TEST(Simulator, DuplicatesAreDeliveredAfterSenderCrashed) {
+  // Asynchronous-model semantics to pin down: copies already in flight
+  // (including duplicated ones) survive the SENDER's crash — a crash stops a
+  // node from acting, it does not recall packets from the network.
+  Simulator sim(11, std::make_unique<UniformDelay>(50, 100));
+  sim.set_duplication_percent(100);
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  NodeId starter_id = sim.add_node(std::make_unique<Starter>(echo_id));
+  sim.crash_at(starter_id, 1);  // after on_start's send, before any delivery
+
+  sim.run();
+  EXPECT_EQ(echo_ptr->received.size(), 2u);  // original + duplicate
+  // 'hi' duplicated once; the echo replies to both copies and each reply is
+  // duplicated too (the reply copies are then dropped at delivery because the
+  // starter is crashed — but duplication is counted at send time).
+  EXPECT_EQ(sim.stats().messages_duplicated, 3u);
+}
+
+// Node with explicitly durable and volatile halves, for restart tests.
+class DurableNode final : public Node {
+ public:
+  void on_start(Context& ctx) override {
+    ++starts;
+    ctx.set_timer(1000, static_cast<std::uint64_t>(starts));
+  }
+  void on_message(Context&, NodeId, std::span<const std::uint8_t> bytes) override {
+    if (!bytes.empty()) durable_value = bytes[0];
+    volatile_value = 77;
+  }
+  void on_timer(Context&, std::uint64_t token) override { fired.push_back(token); }
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const override {
+    return {durable_value};
+  }
+  void restore(std::span<const std::uint8_t> snap) override {
+    durable_value = 0;
+    volatile_value = 0;
+    if (snap.size() == 1) durable_value = snap[0];
+  }
+
+  int starts = 0;
+  std::uint8_t durable_value = 0;
+  int volatile_value = 0;
+  std::vector<std::uint64_t> fired;
+};
+
+TEST(Simulator, RestartRestoresDurableStateAndDropsVolatile) {
+  class Poke final : public Node {
+   public:
+    explicit Poke(NodeId peer) : peer_(peer) {}
+    void on_start(Context& ctx) override { ctx.send(peer_, {42}); }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t>) override {}
+
+   private:
+    NodeId peer_;
+  };
+  Simulator sim(12, std::make_unique<UniformDelay>(10, 10));
+  auto node = std::make_unique<DurableNode>();
+  DurableNode* ptr = node.get();
+  NodeId id = sim.add_node(std::move(node));
+  sim.add_node(std::make_unique<Poke>(id));
+  sim.crash_at(id, 100);    // after the poke (delivered at t=10)
+  sim.restart_at(id, 200);
+
+  sim.run();
+  EXPECT_EQ(ptr->starts, 2);              // on_start ran again after restart
+  EXPECT_EQ(ptr->durable_value, 42);      // snapshot taken at crash, restored
+  EXPECT_EQ(ptr->volatile_value, 0);      // volatile state lost
+  EXPECT_FALSE(sim.crashed(id));
+}
+
+TEST(Simulator, TimersDoNotSurviveRestart) {
+  Simulator sim(13, std::make_unique<UniformDelay>(10, 10));
+  auto node = std::make_unique<DurableNode>();
+  DurableNode* ptr = node.get();
+  NodeId id = sim.add_node(std::move(node));
+  // First on_start sets a timer due at t=1000; the crash at 500 must
+  // invalidate it. The post-restart on_start (t=600) sets one due at 1600.
+  sim.crash_at(id, 500);
+  sim.restart_at(id, 600);
+
+  sim.run();
+  EXPECT_EQ(ptr->fired, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Simulator, RestartWithoutCrashIsNoOp) {
+  Simulator sim(14, std::make_unique<UniformDelay>(10, 10));
+  auto node = std::make_unique<DurableNode>();
+  DurableNode* ptr = node.get();
+  NodeId id = sim.add_node(std::move(node));
+  sim.restart_at(id, 100);
+  sim.run();
+  EXPECT_EQ(ptr->starts, 1);
+}
+
+// --- fault injection ------------------------------------------------------------
+
+TEST(Simulator, FaultPlanDropsEverythingAtFullLoss) {
+  Simulator sim(15, std::make_unique<UniformDelay>(10, 100));
+  FaultPlan plan;
+  plan.drop_percent = 100;
+  sim.set_fault_plan(plan);
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  sim.add_node(std::make_unique<Starter>(echo_id));
+
+  NetStats stats = sim.run();
+  EXPECT_TRUE(echo_ptr->received.empty());
+  EXPECT_EQ(stats.messages_sent, 1u);
+  EXPECT_EQ(stats.messages_dropped, 1u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+}
+
+TEST(Simulator, LinkDropTargetsOneDirectionOnly) {
+  // Drop only starter->echo; the echo's reply direction would be clean (but
+  // is never exercised since the request is lost).
+  Simulator sim(16, std::make_unique<UniformDelay>(10, 100));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+
+  auto starter = std::make_unique<Starter>(echo_id);
+  Starter* starter_ptr = starter.get();
+  NodeId starter_id = sim.add_node(std::move(starter));
+
+  FaultPlan plan;
+  plan.link_drop_percent[{starter_id, echo_id}] = 100;
+  sim.set_fault_plan(plan);
+
+  sim.run();
+  EXPECT_TRUE(echo_ptr->received.empty());
+  EXPECT_TRUE(starter_ptr->received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+
+  // Same topology, reversed link: traffic flows.
+  Simulator sim2(16, std::make_unique<UniformDelay>(10, 100));
+  auto echo2 = std::make_unique<Echo>();
+  Echo* echo2_ptr = echo2.get();
+  NodeId echo2_id = sim2.add_node(std::move(echo2));
+  NodeId starter2_id = sim2.add_node(std::make_unique<Starter>(echo2_id));
+  FaultPlan plan2;
+  plan2.link_drop_percent[{echo2_id, starter2_id}] = 100;
+  sim2.set_fault_plan(plan2);
+  sim2.run();
+  EXPECT_EQ(echo2_ptr->received.size(), 1u);
+  EXPECT_EQ(sim2.stats().messages_dropped, 1u);  // only the reply
+}
+
+TEST(Simulator, PartitionBlocksCrossIslandTrafficUntilHeal) {
+  class RetryStarter final : public Node {
+   public:
+    explicit RetryStarter(NodeId peer) : peer_(peer) {}
+    void on_start(Context& ctx) override {
+      ctx.send(peer_, {'a'});       // inside the partition window: dropped
+      ctx.set_timer(2000, 1);
+    }
+    void on_timer(Context& ctx, std::uint64_t) override {
+      ctx.send(peer_, {'b'});       // after heal: delivered
+    }
+    void on_message(Context&, NodeId, std::span<const std::uint8_t>) override {}
+
+   private:
+    NodeId peer_;
+  };
+
+  Simulator sim(17, std::make_unique<UniformDelay>(10, 10));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  NodeId starter_id = sim.add_node(std::make_unique<RetryStarter>(echo_id));
+
+  FaultPlan plan;
+  FaultPlan::Partition part;
+  part.start = 0;
+  part.heal = 1000;
+  part.island = {starter_id};
+  plan.partitions.push_back(part);
+  sim.set_fault_plan(plan);
+
+  sim.run();
+  ASSERT_EQ(echo_ptr->received.size(), 1u);
+  EXPECT_EQ(echo_ptr->received[0], (std::vector<std::uint8_t>{'b'}));
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+}
+
+TEST(Simulator, PartitionDoesNotBlockIntraIslandTraffic) {
+  Simulator sim(18, std::make_unique<UniformDelay>(10, 10));
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  NodeId starter_id = sim.add_node(std::make_unique<Starter>(echo_id));
+
+  FaultPlan plan;
+  FaultPlan::Partition part;
+  part.start = 0;
+  part.heal = 100000;
+  part.island = {echo_id, starter_id};  // both on the same side
+  plan.partitions.push_back(part);
+  sim.set_fault_plan(plan);
+
+  sim.run();
+  EXPECT_EQ(echo_ptr->received.size(), 1u);
+  EXPECT_EQ(sim.stats().messages_dropped, 0u);
+}
+
+TEST(Simulator, CorruptionFlipsExactlyOneBitAndStillDelivers) {
+  Simulator sim(19, std::make_unique<UniformDelay>(10, 100));
+  FaultPlan plan;
+  plan.corrupt_percent = 100;
+  sim.set_fault_plan(plan);
+  auto echo = std::make_unique<Echo>();
+  Echo* echo_ptr = echo.get();
+  NodeId echo_id = sim.add_node(std::move(echo));
+  sim.add_node(std::make_unique<Starter>(echo_id));
+
+  sim.run_until([&] { return !echo_ptr->received.empty(); });
+  ASSERT_FALSE(echo_ptr->received.empty());
+  const std::vector<std::uint8_t> original{'h', 'i'};
+  const std::vector<std::uint8_t>& got = echo_ptr->received[0];
+  ASSERT_EQ(got.size(), original.size());  // corruption never changes length
+  int bit_diff = 0;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    bit_diff += std::popcount(static_cast<unsigned>(got[i] ^ original[i]));
+  EXPECT_EQ(bit_diff, 1);
+  EXPECT_GE(sim.stats().messages_corrupted, 1u);
+}
+
+TEST(Simulator, EmptyFaultPlanDoesNotPerturbDelays) {
+  // Installing an empty plan must leave the run byte-for-byte identical (the
+  // fault RNG is a separate stream, and empty plans skip it entirely).
+  auto run = [](bool with_plan) {
+    Simulator sim(20, std::make_unique<UniformDelay>(1, 1000));
+    if (with_plan) sim.set_fault_plan(FaultPlan{});
+    NodeId echo_id = sim.add_node(std::make_unique<Echo>());
+    sim.add_node(std::make_unique<Starter>(echo_id));
+    return sim.run().end_time;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 #   tsan             TSan build and the full ctest suite
 #   lint             clang-tidy gate (skips if clang-tidy is absent) and
 #                    the crypto-hygiene lint + its self-test
+#   chaos            wide fault-injection sweep: the chaos_test binary run
+#                    directly with DBLIND_CHAOS_SEEDS (default 50) seeds per
+#                    fault mix — ctest's build-time discovery can't size the
+#                    sweep at runtime, so this invokes the binary itself
 #
 # Usage: tools/ci.sh [job...]     (no args = all jobs, lint first)
 # Exit: nonzero if any selected job fails.
@@ -16,7 +20,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -55,8 +59,18 @@ for job in "${JOBS[@]}"; do
           [[ $tidy -eq 0 ]]
       } || FAILED+=("$job")
       ;;
+    chaos)
+      banner chaos
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" --target chaos_test &&
+          DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-50}" \
+            "$ROOT/build-relwithdebinfo/tests/chaos_test" \
+            --gtest_filter='ChaosSweep.EnvConfiguredSweep'
+      } || FAILED+=("$job")
+      ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos)" >&2
       FAILED+=("$job")
       ;;
   esac

@@ -31,6 +31,15 @@ about, run over the token/line surface of ``src/``:
       public-exponent checks (e.g. subgroup-membership tests in
       group/params.cpp).
 
+  retransmit-rerandomize
+      Retransmission paths (functions whose name contains ``resend`` or
+      ``retransmit``) must re-send the originally-signed bytes verbatim,
+      never rebuild the message: re-running ``make_envelope``/``vde_prove``
+      or drawing fresh randomness inside a resend path re-randomizes a
+      message the receiver may have already acted on — and for Schnorr
+      commit/reveal rounds a fresh nonce commitment after a reveal is
+      catastrophic nonce reuse. Cache the framed bytes; resend those.
+
 Waivers: append ``// crypto-lint: allow(<rule>) <reason>`` to the
 flagged line (or the line directly above it). A reason is mandatory.
 
@@ -89,6 +98,17 @@ RAW_ENTROPY_ALLOWED = {"src/mpz/random.cpp", "src/mpz/random.hpp"}
 POWMOD_ALLOWED = {"src/mpz/modmath.cpp", "src/mpz/modmath.hpp"}
 
 POWMOD_CALL = re.compile(r"\bpowmod\s*\(")
+
+# A *definition* line (column 0, not a `;`-terminated declaration) of a
+# function whose name marks it as a retransmission path.
+RESEND_FN_DEF = re.compile(r"^[\w:<>,&*~\[\]\s]*\b\w*(?:resend|retransmit)\w*\s*\(")
+
+# Anything that mints fresh crypto material — forbidden inside resend paths,
+# which must replay cached, originally-signed bytes.
+RERANDOMIZE = re.compile(
+    r"\bmake_envelope\s*\(|\bvde_prove\s*\(|\.encrypt\w*\s*\(|\brng\s*\(\s*\)|"
+    r"\brandom_element\s*\(|\brandom_exponent\s*\(|\bfork\s*\("
+)
 
 WAIVER = re.compile(r"//\s*crypto-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
 
@@ -187,9 +207,37 @@ def waived(lines: List[str], idx: int, rule: str) -> bool:
 def lint_text(rel_path: str, text: str) -> List[Finding]:
     findings: List[Finding] = []
     lines = text.splitlines()
+    in_resend_fn = False  # inside the body of a resend/retransmit function
     for idx, raw in enumerate(lines):
         line_no = idx + 1
         code = strip_comments_and_strings(raw)
+
+        # --- retransmit-rerandomize ----------------------------------------
+        # Line-local region tracking: a column-0 definition whose name says
+        # "resend"/"retransmit" opens the region; a column-0 `}` closes it.
+        if in_resend_fn and raw.startswith("}"):
+            in_resend_fn = False
+        elif (
+            not in_resend_fn
+            and RESEND_FN_DEF.search(code)
+            and raw
+            and not raw[0].isspace()
+            and not code.rstrip().endswith(";")
+        ):
+            in_resend_fn = True
+        elif in_resend_fn:
+            m = RERANDOMIZE.search(code)
+            if m and not waived(lines, idx, "retransmit-rerandomize"):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "retransmit-rerandomize",
+                        f"'{m.group(0).strip()}' mints fresh crypto material "
+                        "inside a retransmission path; resend the cached, "
+                        "originally-signed bytes instead",
+                    )
+                )
 
         # --- secret-logging -------------------------------------------------
         if OSTREAM_OVERLOAD.search(code) and not waived(lines, idx, "secret-logging"):
@@ -300,6 +348,47 @@ SELF_TEST_CASES = [
         None,
         "auto y = powmod(g, sk_share, p);  "
         "// crypto-lint: allow(secret-exponent-powmod) even modulus in test vector",
+    ),
+    # retransmit-rerandomize must fire (multi-line snippets: definition +
+    # body + closing brace, as lint_text sees them in a real file):
+    (
+        "retransmit-rerandomize",
+        "void ProtocolServer::resend_frame(net::Context& ctx, net::NodeId to) {\n"
+        "  auto env = make_envelope(cfg_, secrets_, body, ctx.rng());\n"
+        "}",
+    ),
+    (
+        "retransmit-rerandomize",
+        "void ProtocolServer::handle_resend_timer(net::Context& ctx, std::uint64_t key) {\n"
+        "  cm.vde = vde_prove(ka, ea, r1, kb, eb, r2, vde_context(id, rank), ctx.rng());\n"
+        "}",
+    ),
+    (
+        "retransmit-rerandomize",
+        "void retransmit_blind(net::Context& ctx) {\n"
+        "  req.ea_m = cfg_.a.encryption_key.encrypt(m_, ctx.rng());\n"
+        "}",
+    ),
+    # ...and must NOT fire:
+    (
+        None,
+        "void ProtocolServer::resend_frame(net::Context& ctx, net::NodeId to) {\n"
+        "  ++retransmits_sent_;\n"
+        "  ctx.send(to, st.commit_frame);  // cached originally-signed bytes\n"
+        "}",
+    ),
+    (
+        None,
+        "void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {\n"
+        "  auto out = make_envelope(cfg_, secrets_, body, ctx.rng());  // first send: fine\n"
+        "}",
+    ),
+    (
+        None,
+        "void helper() {\n"
+        "  arm_resend(ctx, std::move(r));  // call into the resend layer, not a definition\n"
+        "  auto out = make_envelope(cfg_, secrets_, body, ctx.rng());\n"
+        "}",
     ),
 ]
 
