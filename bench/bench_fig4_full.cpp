@@ -7,9 +7,14 @@
 // bench_fig3 provide the ablation contrast: the commit/reveal round, VDE
 // proofs, threshold signatures and self-verifying evidence are the price of
 // Byzantine tolerance.
+#include <chrono>
+#include <cstdio>
+
 #include "core/failstop.hpp"
 #include "core/system.hpp"
 #include "table.hpp"
+#include "zkp/schnorr.hpp"
+#include "zkp/vde.hpp"
 
 namespace {
 
@@ -205,6 +210,143 @@ int main() {
     bench::Table mt({"message type", "received"});
     for (const auto& [type, count] : hist) mt.row({name(type), bench::fmt_u(count)});
     mt.print();
+  }
+
+  std::puts("");
+  std::puts("Verification fast path (PR 3) — blind-evidence validation, serial vs batched:");
+  std::puts("(the Figure-4 verification-dominated column: on receipt of a blind request a");
+  std::puts(" backup checks f+1 contribute signatures, the embedded reveal evidence — which");
+  std::puts(" the serial path re-validates once per contribute — and f+1 VDE proofs;");
+  std::puts(" mont-muls are deterministic, ms are wall-clock over 5 reps)");
+  {
+    using group::GroupParams;
+    using group::ParamId;
+    using mpz::Prng;
+
+    bench::Table vt({"f", "serial_muls", "batch_muls", "mul_ratio", "serial_ms", "batch_ms",
+                     "ms_ratio"});
+    for (std::size_t f : {1u, 2u, 3u}) {
+      GroupParams gp = GroupParams::named(ParamId::kSec512);
+      Prng prng(300 + f);
+      // Signature evidence: f+1 contribute sigs over distinct payloads, plus
+      // the shared reveal evidence (1 coordinator sig + 2f+1 commit sigs).
+      std::vector<zkp::SchnorrSigningKey> keys;
+      std::vector<std::vector<std::uint8_t>> msgs;
+      std::vector<zkp::SchnorrSignature> sigs;
+      std::vector<zkp::SchnorrVerifyKey> vks;
+      const std::size_t contribute_sigs = f + 1;
+      const std::size_t reveal_sigs = 2 * f + 2;  // 1 reveal + 2f+1 commits
+      for (std::size_t i = 0; i < contribute_sigs + reveal_sigs; ++i) {
+        keys.push_back(zkp::SchnorrSigningKey::generate(gp, prng));
+        vks.push_back(keys.back().verify_key());
+        msgs.emplace_back(96, static_cast<std::uint8_t>(i));
+        sigs.push_back(keys.back().sign(msgs.back(), prng));
+      }
+      // f+1 VDE proofs (one per contribution).
+      elgamal::KeyPair ka = elgamal::KeyPair::generate(gp, prng);
+      elgamal::KeyPair kb = elgamal::KeyPair::generate(gp, prng);
+      std::vector<elgamal::Ciphertext> cas, cbs;
+      std::vector<zkp::VdeProof> proofs;
+      for (std::size_t i = 0; i < f + 1; ++i) {
+        Bigint rho = gp.random_element(prng);
+        Bigint r1 = gp.random_exponent(prng);
+        Bigint r2 = gp.random_exponent(prng);
+        cas.push_back(ka.public_key().encrypt_with_nonce(rho, r1));
+        cbs.push_back(kb.public_key().encrypt_with_nonce(rho, r2));
+        proofs.push_back(zkp::vde_prove(ka.public_key(), cas.back(), r1, kb.public_key(),
+                                        cbs.back(), r2, "bench", prng));
+      }
+      std::vector<zkp::VdeBatchItem> vde_items;
+      for (std::size_t i = 0; i < f + 1; ++i) {
+        vde_items.push_back(
+            {&ka.public_key(), &cas[i], &kb.public_key(), &cbs[i], &proofs[i], "bench"});
+      }
+      std::vector<zkp::BatchEntry> sig_batch;
+      for (std::size_t i = 0; i < contribute_sigs + reveal_sigs; ++i) {
+        sig_batch.push_back({&vks[i], msgs[i], &sigs[i]});
+      }
+      (void)gp.pow_g(Bigint(3));  // build the fixed-base table outside the timing
+
+      auto serial_pass = [&] {
+        bool ok = true;
+        for (std::size_t i = 0; i < contribute_sigs; ++i) {
+          ok = ok && vks[i].verify(msgs[i], sigs[i]);
+          // The reveal evidence rides inside every contribute; the serial
+          // verifier re-checks it each time (what the batch path dedups).
+          for (std::size_t j = contribute_sigs; j < contribute_sigs + reveal_sigs; ++j) {
+            ok = ok && vks[j].verify(msgs[j], sigs[j]);
+          }
+          ok = ok && zkp::vde_verify(ka.public_key(), cas[i], kb.public_key(), cbs[i],
+                                     proofs[i], "bench");
+        }
+        return ok;
+      };
+      auto batch_pass = [&](Prng& vr) {
+        return zkp::schnorr_batch_verify(gp, sig_batch) && zkp::vde_batch_verify(vde_items, vr);
+      };
+
+      constexpr int kReps = 5;
+      if (!serial_pass()) std::puts("BUG: serial verification failed");
+      std::uint64_t m0 = gp.mont_mul_count();
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kReps; ++r) (void)serial_pass();
+      auto t1 = std::chrono::steady_clock::now();
+      std::uint64_t serial_muls = (gp.mont_mul_count() - m0) / kReps;
+      double serial_ms = std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
+
+      Prng warm(777);
+      if (!batch_pass(warm)) std::puts("BUG: batch verification failed");
+      Prng vr(888 + f);
+      m0 = gp.mont_mul_count();
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kReps; ++r) (void)batch_pass(vr);
+      t1 = std::chrono::steady_clock::now();
+      std::uint64_t batch_muls = (gp.mont_mul_count() - m0) / kReps;
+      double batch_ms = std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
+
+      double mul_ratio = static_cast<double>(serial_muls) / static_cast<double>(batch_muls);
+      double ms_ratio = serial_ms / batch_ms;
+      vt.row({std::to_string(f), bench::fmt_u(serial_muls), bench::fmt_u(batch_muls),
+              bench::fmt(mul_ratio, 2) + "x", bench::fmt(serial_ms, 2), bench::fmt(batch_ms, 2),
+              bench::fmt(ms_ratio, 2) + "x"});
+      // Machine-readable line for tools/bench_check.py.
+      std::printf(
+          "BENCHJSON {\"section\": \"blind-verify\", \"f\": %zu, \"serial_mont_muls\": %llu, "
+          "\"batch_mont_muls\": %llu, \"serial_ms\": %.4f, \"batch_ms\": %.4f}\n",
+          f, static_cast<unsigned long long>(serial_muls),
+          static_cast<unsigned long long>(batch_muls), serial_ms, batch_ms);
+    }
+    vt.print();
+  }
+
+  std::puts("");
+  std::puts("End-to-end mont-muls, honest run, batch_verify off vs on (same seed):");
+  {
+    bench::Table et({"n", "f", "serial_muls", "batch_muls", "ratio"});
+    for (std::size_t f : {1u, 2u}) {
+      std::size_t n = 3 * f + 1;
+      std::uint64_t muls[2] = {0, 0};
+      for (int batch = 0; batch < 2; ++batch) {
+        core::SystemOptions o;
+        o.a = {n, f};
+        o.b = {n, f};
+        o.seed = 400 + f;
+        o.protocol.batch_verify = batch == 1;
+        core::System sys(std::move(o));
+        sys.add_transfer(sys.config().params.encode_message(Bigint(55)));
+        std::uint64_t before = sys.config().params.mont_mul_count();
+        sys.run_to_completion();
+        muls[batch] = sys.config().params.mont_mul_count() - before;
+      }
+      et.row({std::to_string(n), std::to_string(f), bench::fmt_u(muls[0]), bench::fmt_u(muls[1]),
+              bench::fmt(static_cast<double>(muls[0]) / static_cast<double>(muls[1]), 2) + "x"});
+      std::printf(
+          "BENCHJSON {\"section\": \"e2e\", \"f\": %zu, \"serial_mont_muls\": %llu, "
+          "\"batch_mont_muls\": %llu}\n",
+          f, static_cast<unsigned long long>(muls[0]),
+          static_cast<unsigned long long>(muls[1]));
+    }
+    et.print();
   }
 
   std::puts("");

@@ -10,6 +10,7 @@
 #include "mpz/modmath.hpp"
 #include "threshold/keygen.hpp"
 #include "threshold/thresh_decrypt.hpp"
+#include "zkp/batch.hpp"
 #include "zkp/chaum_pedersen.hpp"
 #include "zkp/schnorr.hpp"
 #include "zkp/vde.hpp"
@@ -69,6 +70,41 @@ void BM_ModExp2Shamir(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModExp2Shamir)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_MultiPow(benchmark::State& state) {
+  // Π b_i^e_i in one interleaved pass (Shamir <= 4 bases, Pippenger beyond) —
+  // the engine under every batch verifier.
+  GroupParams gp = GroupParams::named(ParamId::kSec512);
+  Prng prng(1);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<Bigint> bases, exps;
+  for (std::size_t i = 0; i < k; ++i) {
+    bases.push_back(gp.random_element(prng));
+    exps.push_back(gp.random_exponent(prng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.multi_pow(bases, exps));
+  }
+}
+BENCHMARK(BM_MultiPow)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_MultiPowNaive(benchmark::State& state) {
+  // The serial baseline BM_MultiPow replaces: k independent exponentiations.
+  GroupParams gp = GroupParams::named(ParamId::kSec512);
+  Prng prng(1);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<Bigint> bases, exps;
+  for (std::size_t i = 0; i < k; ++i) {
+    bases.push_back(gp.random_element(prng));
+    exps.push_back(gp.random_exponent(prng));
+  }
+  for (auto _ : state) {
+    Bigint acc(1);
+    for (std::size_t i = 0; i < k; ++i) acc = gp.mul(acc, gp.pow(bases[i], exps[i]));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MultiPowNaive)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
 
 void BM_ModMul(benchmark::State& state) {
   GroupParams gp = GroupParams::named(param_of(state.range(0)));
@@ -249,6 +285,41 @@ void BM_SchnorrVerifyIndividually(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchnorrVerifyIndividually)->Arg(3)->Arg(7)->Arg(15);
+
+std::vector<zkp::CpBatchItem> cp_batch_fixture(const GroupParams& gp, int k, Prng& prng) {
+  std::vector<zkp::CpBatchItem> items;
+  for (int i = 0; i < k; ++i) {
+    Bigint a = gp.random_exponent(prng);
+    Bigint y = gp.random_element(prng);
+    zkp::DlogStatement stmt{gp.g(), gp.pow_g(a), y, gp.pow(y, a)};
+    items.push_back({stmt, zkp::dlog_prove(gp, stmt, a, "bench", prng), "bench"});
+  }
+  return items;
+}
+
+void BM_CpBatchVerify(benchmark::State& state) {
+  // k Chaum-Pedersen proofs in one random-linear-combination multi-exp (the
+  // PR 3 fast path) vs BM_CpVerifyIndividually's k separate checks.
+  GroupParams gp = GroupParams::named(ParamId::kSec512);
+  Prng prng(14);
+  auto items = cp_batch_fixture(gp, static_cast<int>(state.range(0)), prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zkp::cp_batch_verify(gp, items, prng));
+  }
+}
+BENCHMARK(BM_CpBatchVerify)->Arg(3)->Arg(7)->Arg(15);
+
+void BM_CpVerifyIndividually(benchmark::State& state) {
+  GroupParams gp = GroupParams::named(ParamId::kSec512);
+  Prng prng(14);
+  auto items = cp_batch_fixture(gp, static_cast<int>(state.range(0)), prng);
+  for (auto _ : state) {
+    bool ok = true;
+    for (const auto& it : items) ok = ok && zkp::dlog_verify(gp, it.stmt, it.proof, it.context);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CpVerifyIndividually)->Arg(3)->Arg(7)->Arg(15);
 
 void BM_ThresholdDecryptShare(benchmark::State& state) {
   GroupParams gp = GroupParams::named(param_of(state.range(0)));

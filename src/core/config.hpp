@@ -92,6 +92,20 @@ struct ProtocolOptions {
   // partition while the done message went out) periodically pull the
   // service-signed done message from their peers.
   net::Time result_pull_delay = 800'000;
+
+  // --- verification fast path (safety-equivalent, see docs/PROTOCOL.md) -----
+  // Check quorum evidence (contribute VDEs, envelope signatures, decryption
+  // shares) with random-linear-combination batch verification instead of
+  // proof-at-a-time checks. Accept/reject behavior is identical up to the
+  // 2^-128 batch soundness error; on batch failure the serial path re-runs to
+  // identify culprits, so no valid message is ever rejected.
+  bool batch_verify = false;
+  // Off-handler verification worker pool for contribute messages: >0 spawns
+  // that many worker threads which verify queued contributions concurrently;
+  // results are applied in arrival order, so handler-visible state evolves
+  // exactly as in the inline path. Leave 0 under the deterministic Simulator;
+  // intended for net::ThreadedBus deployments.
+  std::size_t verify_workers = 0;
 };
 
 }  // namespace dblind::core

@@ -32,6 +32,7 @@ ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, Protocol
     : cfg_(std::move(cfg)), secrets_(std::move(secrets)), opts_(std::move(opts)),
       behavior_(behavior) {
   if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
+  if (opts_.verify_workers > 0) verify_pool_ = std::make_unique<VerifyPool>(opts_.verify_workers);
 }
 
 void ProtocolServer::store_secret(TransferId transfer, elgamal::Ciphertext ea_m) {
@@ -242,6 +243,8 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
       parked_blinds_.clear();
       for (ServiceSignedMsg& m : parked) handle_blind(ctx, m);
     }
+  } else if (kind == kTimerVerifyDrain) {
+    drain_verifies(ctx);
   }
   cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -480,17 +483,49 @@ void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) 
 
 void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& env) {
   if (!is_b()) return;
-  auto contribute = check_contribute(cfg_, env);
+  if (verify_pool_) {
+    // Off-handler verification: queue the message, let a worker check it, and
+    // apply results in arrival order at the drain timer. The PRNG for batch
+    // randomizers is forked here, on the handler thread, so workers never
+    // share the node's rng.
+    pending_verifies_.push_back({env, std::nullopt, {}});
+    PendingVerify& pv = pending_verifies_.back();
+    auto prng = std::make_shared<mpz::Prng>(ctx.rng().fork("verify-pool"));
+    auto task = std::make_shared<std::packaged_task<void()>>([this, &pv, prng] {
+      pv.result = opts_.batch_verify ? check_contribute_batch(cfg_, pv.env, *prng)
+                                     : check_contribute(cfg_, pv.env);
+    });
+    pv.done = task->get_future();
+    verify_pool_->submit([task] { (*task)(); });
+    ctx.set_timer(0, kTimerVerifyDrain);
+    return;
+  }
+  auto contribute = opts_.batch_verify ? check_contribute_batch(cfg_, env, ctx.rng())
+                                       : check_contribute(cfg_, env);
   if (!contribute) return;
-  auto it = coordinator_.find(contribute->id);
+  apply_contribute(ctx, env, *contribute);
+}
+
+void ProtocolServer::apply_contribute(net::Context& ctx, const SignedMessage& env,
+                                      const ContributeMsg& contribute) {
+  auto it = coordinator_.find(contribute.id);
   if (it == coordinator_.end()) return;
   CoordinatorState& st = it->second;
   if (st.signing || st.sent_blind) return;
   // Accept only contributions responding to OUR reveal (the same-reveal
   // evidence rule is enforced again by every signing member).
-  if (!(contribute->reveal == st.reveal_env)) return;
-  st.contributes.emplace(contribute->server, env);
+  if (!(contribute.reveal == st.reveal_env)) return;
+  st.contributes.emplace(contribute.server, env);
   coordinator_try_finish(ctx, st);
+}
+
+void ProtocolServer::drain_verifies(net::Context& ctx) {
+  while (!pending_verifies_.empty()) {
+    PendingVerify& pv = pending_verifies_.front();
+    pv.done.wait();  // blocks only until THIS message's verdict is in
+    if (pv.result) apply_contribute(ctx, pv.env, *pv.result);
+    pending_verifies_.pop_front();
+  }
 }
 
 void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState& st) {
@@ -888,7 +923,10 @@ void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage&
   auto purpose = static_cast<SignPurpose>(msg.purpose);
   if (purpose == SignPurpose::kBlind) {
     if (!is_b()) return;
-    if (!check_blind_sign_request(cfg_, msg.payload, msg.evidence)) return;
+    bool ok = opts_.batch_verify
+                  ? check_blind_sign_request_batch(cfg_, msg.payload, msg.evidence, ctx.rng())
+                  : check_blind_sign_request(cfg_, msg.payload, msg.evidence);
+    if (!ok) return;
   } else if (purpose == SignPurpose::kDone) {
     if (is_b()) return;
     DonePayload payload;
@@ -899,7 +937,11 @@ void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage&
     }
     auto sit = stored_.find(payload.id.transfer);
     if (sit == stored_.end()) return;
-    if (!check_done_sign_request(cfg_, msg.payload, msg.evidence, sit->second)) return;
+    bool ok = opts_.batch_verify ? check_done_sign_request_batch(cfg_, msg.payload, msg.evidence,
+                                                                 sit->second, ctx.rng())
+                                 : check_done_sign_request(cfg_, msg.payload, msg.evidence,
+                                                           sit->second);
+    if (!ok) return;
   } else {
     return;
   }
@@ -1301,6 +1343,11 @@ std::vector<std::uint8_t> ProtocolServer::snapshot() const {
 void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
   // A crash loses everything volatile: round state, signing sessions, reply
   // caches, armed retransmissions, parked messages, and derived results.
+  // In-flight pool verifications must finish before their slots are dropped.
+  for (PendingVerify& pv : pending_verifies_) {
+    if (pv.done.valid()) pv.done.wait();
+  }
+  pending_verifies_.clear();
   stored_.clear();
   pending_store_.clear();
   transfers_.clear();

@@ -31,9 +31,13 @@
 #include <set>
 #include <vector>
 
+#include <deque>
+#include <future>
+
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/validity.hpp"
+#include "core/verify_pool.hpp"
 #include "hash/sha256.hpp"
 #include "net/sim.hpp"
 #include "threshold/thresh_sign.hpp"
@@ -190,6 +194,13 @@ class ProtocolServer final : public net::Node {
   void start_coordinator(net::Context& ctx, TransferId transfer, std::uint32_t epoch);
   void handle_commit(net::Context& ctx, const SignedMessage& env);
   void handle_contribute(net::Context& ctx, const SignedMessage& env);
+  // State transition for a verified contribute message — shared by the inline
+  // path and the worker-pool drain, so both evolve coordinator state
+  // identically.
+  void apply_contribute(net::Context& ctx, const SignedMessage& env,
+                        const ContributeMsg& contribute);
+  // Applies completed worker-pool verifications in message-arrival order.
+  void drain_verifies(net::Context& ctx);
   void coordinator_try_finish(net::Context& ctx, CoordinatorState& st);
 
   // ---- threshold-signing coordinator (A and B) --------------------------------
@@ -322,12 +333,27 @@ class ProtocolServer final : public net::Node {
            std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>>
       client_decrypt_cache_;  // (request body, reply frame)
 
+  // Verification worker pool (opts_.verify_workers > 0): contribute messages
+  // are checked off-handler; results apply in arrival order at the drain
+  // timer. The deque gives reference-stable slots for in-flight jobs; entries
+  // are volatile (dropped on restore(), like all round state). Declared
+  // before verify_pool_ so the pool (whose destructor joins the workers)
+  // dies first and no job can outlive its slot.
+  struct PendingVerify {
+    SignedMessage env;
+    std::optional<ContributeMsg> result;
+    std::future<void> done;
+  };
+  std::deque<PendingVerify> pending_verifies_;
+  std::unique_ptr<VerifyPool> verify_pool_;
+
   // Timer token layout (high byte = kind).
   static constexpr std::uint64_t kTimerCoordinator = 1ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResponder = 2ull << 56;     // | dense instance key
   static constexpr std::uint64_t kTimerSignRetry = 3ull << 56;     // | session id
   static constexpr std::uint64_t kTimerStoreSecret = 4ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResend = 5ull << 56;        // | resend key
+  static constexpr std::uint64_t kTimerVerifyDrain = 6ull << 56;   // (no payload)
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

@@ -167,6 +167,182 @@ bool check_blind_sign_request(const SystemConfig& cfg, std::span<const std::uint
   return *ea == blind->blinded.ea && *eb == blind->blinded.eb;
 }
 
+namespace {
+
+using SigBatch = std::vector<zkp::BatchEntry>;
+
+// Structural part of check_commit: everything except the envelope signature,
+// which is appended to `sigs` for one combined Schnorr batch check.
+std::optional<CommitMsg> collect_commit(const SystemConfig& cfg, const SignedMessage& env,
+                                        SigBatch& sigs) {
+  if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
+  if (env.signer == 0 || env.signer > cfg.b.cfg.n) return std::nullopt;
+  auto msg = try_decode<CommitMsg>(MsgType::kCommit, env.body);
+  if (!msg) return std::nullopt;
+  if (env.signer != msg->server) return std::nullopt;
+  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+  return msg;
+}
+
+// Structural part of check_reveal; all 2f+2 signatures (the reveal envelope
+// plus its commits) go into `sigs`.
+std::optional<RevealMsg> collect_reveal(const SystemConfig& cfg, const SignedMessage& env,
+                                        SigBatch& sigs) {
+  if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
+  if (env.signer == 0 || env.signer > cfg.b.cfg.n) return std::nullopt;
+  auto msg = try_decode<RevealMsg>(MsgType::kReveal, env.body);
+  if (!msg) return std::nullopt;
+  if (env.signer != msg->id.coordinator) return std::nullopt;
+  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+  const std::size_t need = 2 * cfg.b.cfg.f + 1;
+  if (msg->commits.size() != need) return std::nullopt;
+  std::set<ServerRank> seen;
+  for (const SignedMessage& commit_env : msg->commits) {
+    auto commit = collect_commit(cfg, commit_env, sigs);
+    if (!commit) return std::nullopt;
+    if (commit->id != msg->id) return std::nullopt;
+    if (!seen.insert(commit->server).second) return std::nullopt;
+  }
+  return msg;
+}
+
+// The commitment-match clause of check_contribute: `server` committed, in the
+// (already structurally valid) reveal, to this contribution.
+bool commitment_matches(const RevealMsg& reveal, ServerRank server, const ContributeMsg& msg) {
+  for (const SignedMessage& commit_env : reveal.commits) {
+    auto commit = try_decode<CommitMsg>(MsgType::kCommit, commit_env.body);
+    if (commit && commit->server == server)
+      return commit->commitment == msg.contribution.commitment_digest();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ContributeMsg> check_contribute_batch(const SystemConfig& cfg,
+                                                    const SignedMessage& env, mpz::Prng& prng) {
+  if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
+  if (env.signer == 0 || env.signer > cfg.b.cfg.n) return std::nullopt;
+  auto msg = try_decode<ContributeMsg>(MsgType::kContribute, env.body);
+  if (!msg) return std::nullopt;
+  if (env.signer != msg->server) return std::nullopt;
+
+  SigBatch sigs;
+  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+  auto reveal = collect_reveal(cfg, msg->reveal, sigs);
+  if (!reveal || reveal->id != msg->id) return std::nullopt;
+  if (!commitment_matches(*reveal, msg->server, *msg)) return std::nullopt;
+  if (!zkp::schnorr_batch_verify(cfg.params, sigs)) return std::nullopt;
+
+  zkp::VdeBatchItem vde{&cfg.a.encryption_key,  &msg->contribution.ea,
+                        &cfg.b.encryption_key,  &msg->contribution.eb,
+                        &msg->vde,              vde_context(msg->id, msg->server)};
+  if (!zkp::vde_batch_verify(std::span<const zkp::VdeBatchItem>(&vde, 1), prng))
+    return std::nullopt;
+  return msg;
+}
+
+bool check_blind_sign_request_batch(const SystemConfig& cfg, std::span<const std::uint8_t> payload,
+                                    std::span<const std::uint8_t> evidence, mpz::Prng& prng) {
+  auto blind = try_decode<BlindPayload>(MsgType::kBlind, payload);
+  if (!blind) return false;
+  BlindEvidence ev;
+  try {
+    Reader r(evidence);
+    ev = BlindEvidence::decode(r);
+    r.expect_done();
+  } catch (const CodecError&) {
+    return false;
+  }
+
+  if (ev.contributes.size() != cfg.b.cfg.quorum()) return false;
+  SigBatch sigs;
+  std::vector<ContributeMsg> msgs;
+  msgs.reserve(ev.contributes.size());
+  std::set<ServerRank> servers;
+  for (const SignedMessage& env : ev.contributes) {
+    if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return false;
+    if (env.signer == 0 || env.signer > cfg.b.cfg.n) return false;
+    auto c = try_decode<ContributeMsg>(MsgType::kContribute, env.body);
+    if (!c) return false;
+    if (env.signer != c->server) return false;
+    if (c->id != blind->id) return false;
+    if (!servers.insert(c->server).second) return false;
+    sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+    msgs.push_back(std::move(*c));
+  }
+
+  // Same-reveal rule first: with all embedded reveals byte-identical, the
+  // shared reveal (and its 2f+1 commits) needs validating only once — the
+  // serial path re-checks it per contribute.
+  const ContributeMsg& first = msgs.front();
+  for (const ContributeMsg& c : msgs) {
+    if (!(c.reveal == first.reveal)) return false;
+  }
+  auto reveal = collect_reveal(cfg, first.reveal, sigs);
+  if (!reveal || reveal->id != blind->id) return false;
+  for (const ContributeMsg& c : msgs) {
+    if (!commitment_matches(*reveal, c.server, c)) return false;
+  }
+  if (!zkp::schnorr_batch_verify(cfg.params, sigs)) return false;
+
+  std::vector<zkp::VdeBatchItem> vdes;
+  vdes.reserve(msgs.size());
+  for (const ContributeMsg& c : msgs) {
+    vdes.push_back({&cfg.a.encryption_key, &c.contribution.ea, &cfg.b.encryption_key,
+                    &c.contribution.eb, &c.vde, vde_context(c.id, c.server)});
+  }
+  if (!zkp::vde_batch_verify(vdes, prng)) return false;
+
+  std::vector<elgamal::Ciphertext> eas, ebs;
+  for (const ContributeMsg& c : msgs) {
+    eas.push_back(c.contribution.ea);
+    ebs.push_back(c.contribution.eb);
+  }
+  auto ea = cfg.a.encryption_key.product(eas);
+  auto eb = cfg.b.encryption_key.product(ebs);
+  if (!ea || !eb) return false;
+  return *ea == blind->blinded.ea && *eb == blind->blinded.eb;
+}
+
+bool check_done_sign_request_batch(const SystemConfig& cfg, std::span<const std::uint8_t> payload,
+                                   std::span<const std::uint8_t> evidence,
+                                   const elgamal::Ciphertext& stored_ea_m, mpz::Prng& prng) {
+  auto done = try_decode<DonePayload>(MsgType::kDone, payload);
+  if (!done) return false;
+  DoneEvidence ev;
+  try {
+    Reader r(evidence);
+    ev = DoneEvidence::decode(r);
+    r.expect_done();
+  } catch (const CodecError&) {
+    return false;
+  }
+
+  auto blind = check_blind(cfg, ev.blind);
+  if (!blind || blind->id != done->id) return false;
+
+  auto ea_m_rho = cfg.a.encryption_key.multiply(stored_ea_m, blind->blinded.ea);
+  if (!ea_m_rho) return false;
+
+  if (ev.shares.size() != cfg.a.cfg.quorum()) return false;
+  std::set<std::uint32_t> seen;
+  for (const threshold::DecryptionShare& s : ev.shares) {
+    if (!seen.insert(s.index).second) return false;
+  }
+  if (!threshold::batch_verify_decryption_shares(cfg.params, cfg.a.enc_commitments, *ea_m_rho,
+                                                 ev.shares, decrypt_context(done->id), prng))
+    return false;
+  mpz::Bigint m_rho = threshold::combine_decryption(cfg.params, *ea_m_rho, ev.shares);
+  if (m_rho != ev.m_rho) return false;
+  if (!cfg.params.in_zp_star(m_rho)) return false;
+
+  if (!(done->ea_m == stored_ea_m)) return false;
+  elgamal::Ciphertext expect_eb_m =
+      cfg.b.encryption_key.juxtapose(m_rho, cfg.b.encryption_key.inverse(blind->blinded.eb));
+  return done->eb_m == expect_eb_m;
+}
+
 bool check_done_sign_request(const SystemConfig& cfg, std::span<const std::uint8_t> payload,
                              std::span<const std::uint8_t> evidence,
                              const elgamal::Ciphertext& stored_ea_m) {

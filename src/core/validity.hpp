@@ -80,4 +80,30 @@ namespace dblind::core {
                                            std::span<const std::uint8_t> evidence,
                                            const elgamal::Ciphertext& stored_ea_m);
 
+// --- batch-verification fast path (ProtocolOptions::batch_verify) -----------
+//
+// Each *_batch function checks exactly the predicates of its serial
+// counterpart, but verifies all envelope/commit signatures in one Schnorr
+// batch equation and all Chaum-Pedersen/VDE/decryption-share proofs in one
+// random-linear-combination multi-exponentiation (randomizers from `prng`).
+// check_blind_sign_request_batch additionally exploits the same-reveal rule:
+// the byte-identical reveal embedded in all f+1 contributes is validated
+// once instead of f+1 times. Accept/reject agrees with the serial functions
+// up to the 2^-128 batch soundness error (docs/PROTOCOL.md).
+
+[[nodiscard]] std::optional<ContributeMsg> check_contribute_batch(const SystemConfig& cfg,
+                                                                  const SignedMessage& env,
+                                                                  mpz::Prng& prng);
+
+[[nodiscard]] bool check_blind_sign_request_batch(const SystemConfig& cfg,
+                                                  std::span<const std::uint8_t> payload,
+                                                  std::span<const std::uint8_t> evidence,
+                                                  mpz::Prng& prng);
+
+[[nodiscard]] bool check_done_sign_request_batch(const SystemConfig& cfg,
+                                                 std::span<const std::uint8_t> payload,
+                                                 std::span<const std::uint8_t> evidence,
+                                                 const elgamal::Ciphertext& stored_ea_m,
+                                                 mpz::Prng& prng);
+
 }  // namespace dblind::core

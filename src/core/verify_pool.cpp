@@ -1,0 +1,44 @@
+#include "core/verify_pool.hpp"
+
+#include <stdexcept>
+
+namespace dblind::core {
+
+VerifyPool::VerifyPool(std::size_t workers) {
+  if (workers == 0) throw std::invalid_argument("VerifyPool: need at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void VerifyPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void VerifyPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace dblind::core

@@ -1,0 +1,45 @@
+// Off-handler verification worker pool (ProtocolOptions::verify_workers).
+//
+// Message handlers stay cheap by pushing expensive proof checking onto a
+// small thread pool. The pool itself is a plain FIFO job queue; the
+// determinism contract lives in the caller (ProtocolServer): each queued
+// verification writes its result into a per-message slot, and results are
+// *applied* strictly in message-arrival order at a drain point, so the
+// handler-visible state machine evolves exactly as if verification had run
+// inline. Workers never touch protocol state — they only compute.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dblind::core {
+
+class VerifyPool {
+ public:
+  // Spawns `workers` (>= 1) threads immediately.
+  explicit VerifyPool(std::size_t workers);
+  // Drains the queue: every submitted job runs before the threads join.
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  // Enqueues a job; jobs start in FIFO order (completion order is up to the
+  // scheduler — callers sequence on a per-job future or equivalent).
+  void submit(std::function<void()> job);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dblind::core

@@ -140,6 +140,25 @@ Bigint GroupParams::pow(const Bigint& b, const Bigint& e) const {
   return mont_->pow(mpz::mod(b, p_), mpz::mod(e, q_));
 }
 
+Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
+  Bigint base = mpz::mod(b, p_);
+  std::shared_ptr<const mpz::FixedBasePow> table;
+  {
+    std::lock_guard<std::mutex> lock(g_cache_->mu);
+    auto it = g_cache_->tables.find(base);
+    if (it != g_cache_->tables.end()) {
+      table = it->second;
+    } else if (g_cache_->tables.size() < FixedBaseCache::kMaxEntries) {
+      table = std::make_shared<const mpz::FixedBasePow>(*mont_, base, q_.bit_length());
+      g_cache_->tables.emplace(base, table);
+    }
+  }
+  if (!table) return mont_->pow(base, mpz::mod(e, q_));  // cache full
+  return table->pow(mpz::mod(e, q_));
+}
+
+std::uint64_t GroupParams::mont_mul_count() const { return mont_->mul_count(); }
+
 Bigint GroupParams::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
                          const Bigint& eb) const {
   return mont_->pow2(mpz::mod(a, p_), mpz::mod(ea, q_), mpz::mod(b, p_), mpz::mod(eb, q_));
@@ -147,7 +166,11 @@ Bigint GroupParams::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
 
 Bigint GroupParams::multi_pow(std::span<const Bigint> bases,
                               std::span<const Bigint> exps) const {
-  return mont_->multi_pow(bases, exps);
+  std::vector<Bigint> reduced(bases.begin(), bases.end());
+  for (Bigint& b : reduced) {
+    if (b.is_negative() || b >= p_) b = mpz::mod(b, p_);
+  }
+  return mont_->multi_pow(reduced, exps);
 }
 
 Bigint GroupParams::mul(const Bigint& a, const Bigint& b) const {

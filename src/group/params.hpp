@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -62,6 +63,12 @@ class GroupParams {
   [[nodiscard]] Bigint pow_g(const Bigint& e) const;
   // b^e mod p.
   [[nodiscard]] Bigint pow(const Bigint& b, const Bigint& e) const;
+  // b^e mod p through a per-base FixedBasePow table, built on first use and
+  // shared across all copies of this GroupParams (and threads). Meant for
+  // long-lived bases — service public keys, encryption commitments — that
+  // each see many verification exponentiations. The cache is capped; overflow
+  // falls back to pow(). Semantically identical to pow().
+  [[nodiscard]] Bigint pow_cached(const Bigint& b, const Bigint& e) const;
   // a*b mod p.
   [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const;
   // a^ea * b^eb mod p (Shamir's trick; exponents reduced mod q).
@@ -100,6 +107,11 @@ class GroupParams {
   [[nodiscard]] std::vector<std::uint8_t> element_bytes(const Bigint& x) const;
   [[nodiscard]] std::size_t element_size() const { return (bits() + 7) / 8; }
 
+  // Montgomery multiplications performed through this modulus' shared context
+  // (all GroupParams copies with the same p count into one total). The bench
+  // regression gate diffs this across batched/serial verification runs.
+  [[nodiscard]] std::uint64_t mont_mul_count() const;
+
   friend bool operator==(const GroupParams& a, const GroupParams& b) {
     return a.p_ == b.p_ && a.g_ == b.g_;
   }
@@ -118,6 +130,12 @@ class GroupParams {
   struct FixedBaseCache {
     std::once_flag once;
     std::unique_ptr<const mpz::FixedBasePow> g_pow;
+    // pow_cached() tables for other long-lived bases (public keys, encryption
+    // commitments), built on demand under `mu` and capped at kMaxEntries so a
+    // hostile peer spraying fresh bases cannot balloon memory.
+    static constexpr std::size_t kMaxEntries = 64;
+    std::mutex mu;
+    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> tables;
   };
   std::shared_ptr<FixedBaseCache> g_cache_;
 };

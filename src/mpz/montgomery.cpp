@@ -87,6 +87,7 @@ MontgomeryCtx::Limbs MontgomeryCtx::redc(Limbs t) const {
 }
 
 MontgomeryCtx::Limbs MontgomeryCtx::mont_mul(const Limbs& a, const Limbs& b) const {
+  mul_count_.fetch_add(1, std::memory_order_relaxed);
   Limbs t(2 * k_ + 1, 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] == 0) continue;
@@ -188,19 +189,93 @@ Bigint MontgomeryCtx::multi_pow(std::span<const Bigint> bases,
     mont.push_back(to_mont(bases[i]));
   }
   if (bits == 0) return from_mont(one_mont_);
+  if (bases.size() == 1) return pow(bases[0], exps[0]);
+  Limbs acc = bases.size() <= 4 ? multi_pow_shamir(mont, exps, bits)
+                                : multi_pow_pippenger(mont, exps, bits);
+  return from_mont(acc);
+}
+
+// Interleaved windowed Shamir's trick: each base gets a tiny odd-power table
+// (base^1..base^3) and all bases share one squaring chain, consuming their
+// exponents two bits at a time. For the 2–4 base verification equations this
+// replaces per-base squaring chains with a single one.
+MontgomeryCtx::Limbs MontgomeryCtx::multi_pow_shamir(const std::vector<Limbs>& mont,
+                                                     std::span<const Bigint> exps,
+                                                     std::size_t bits) const {
+  const std::size_t n = mont.size();
+  // tbl[i][d] = mont(base_i^d) for d in [1, 4).
+  std::vector<std::array<Limbs, 4>> tbl(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tbl[i][1] = mont[i];
+    tbl[i][2] = mont_mul(mont[i], mont[i]);
+    tbl[i][3] = mont_mul(tbl[i][2], mont[i]);
+  }
+  const std::size_t windows = (bits + 1) / 2;
   Limbs acc = one_mont_;
   bool started = false;
-  for (std::size_t bit = bits; bit-- > 0;) {
-    if (started) acc = mont_mul(acc, acc);
-    for (std::size_t i = 0; i < bases.size(); ++i) {
-      if (exps[i].bit(bit)) {
-        acc = mont_mul(acc, mont[i]);
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned d = (exps[i].bit(2 * w + 1) ? 2u : 0u) | (exps[i].bit(2 * w) ? 1u : 0u);
+      if (d != 0) {
+        acc = mont_mul(acc, tbl[i][d]);
         started = true;
       }
     }
   }
-  if (!started) return from_mont(one_mont_);
-  return from_mont(acc);
+  return started ? acc : one_mont_;
+}
+
+// Pippenger's bucket method: split exponents into c-bit windows; per window,
+// drop each base into the bucket indexed by its window digit, then fold the
+// buckets with the running-product identity Π_d bucket[d]^d computed in
+// 2·(#nonempty-tail) multiplications. Squarings are amortised across all
+// bases, and per-base work is one multiplication per window regardless of
+// digit value — the asymptotically right shape for large batches.
+MontgomeryCtx::Limbs MontgomeryCtx::multi_pow_pippenger(const std::vector<Limbs>& mont,
+                                                        std::span<const Bigint> exps,
+                                                        std::size_t bits) const {
+  const std::size_t n = mont.size();
+  // Window width ≈ log2(n), capped so the bucket-fold cost (~2^{c+1} muls per
+  // window) stays in balance with the n bucket inserts.
+  std::size_t c = 2;
+  while (c < 8 && (std::size_t{1} << (c + 1)) <= n) ++c;
+  const std::size_t buckets_count = (std::size_t{1} << c) - 1;
+  const std::size_t windows = (bits + c - 1) / c;
+
+  Limbs acc = one_mont_;
+  bool started = false;
+  std::vector<Limbs> bucket(buckets_count + 1);  // bucket[0] unused; empty = unset
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      for (std::size_t s = 0; s < c; ++s) acc = mont_mul(acc, acc);
+    }
+    for (auto& b : bucket) b.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t digit = 0;
+      for (std::size_t b = 0; b < c; ++b) {
+        if (exps[i].bit(w * c + b)) digit |= std::size_t{1} << b;
+      }
+      if (digit == 0) continue;
+      bucket[digit] = bucket[digit].empty() ? mont[i] : mont_mul(bucket[digit], mont[i]);
+    }
+    // Fold: running = Π_{e>=d} bucket[e]; window sum = Π_d running_d.
+    Limbs running;
+    Limbs wsum;
+    for (std::size_t d = buckets_count; d >= 1; --d) {
+      if (!bucket[d].empty())
+        running = running.empty() ? bucket[d] : mont_mul(running, bucket[d]);
+      if (!running.empty()) wsum = wsum.empty() ? running : mont_mul(wsum, running);
+    }
+    if (!wsum.empty()) {
+      acc = started ? mont_mul(acc, wsum) : wsum;
+      started = true;
+    }
+  }
+  return started ? acc : one_mont_;
 }
 
 Bigint MontgomeryCtx::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,

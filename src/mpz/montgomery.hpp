@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -34,11 +35,21 @@ class MontgomeryCtx {
   [[nodiscard]] Bigint pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
                             const Bigint& eb) const;
 
-  // Π bases[i]^{exps[i]} mod n with one shared squaring chain (interleaved
-  // multi-exponentiation) — the building block of batch verification.
+  // Π bases[i]^{exps[i]} mod n with one shared squaring chain — the building
+  // block of batch verification. Dispatches on the base count: 1 base falls
+  // through to pow(), 2–4 bases use interleaved 2-bit-windowed Shamir tables,
+  // larger sets use Pippenger's bucket method.
   // Preconditions: equal-length spans, bases in [0, n), exps >= 0.
   [[nodiscard]] Bigint multi_pow(std::span<const Bigint> bases,
                                  std::span<const Bigint> exps) const;
+
+  // Montgomery multiplications performed through this context since
+  // construction (squarings included). Monotone, thread-safe, and — unlike
+  // wall-clock time — identical across machines for a deterministic run, so
+  // the bench regression gate keys off it.
+  [[nodiscard]] std::uint64_t mul_count() const {
+    return mul_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class FixedBasePow;
@@ -51,11 +62,17 @@ class MontgomeryCtx {
   [[nodiscard]] Limbs to_mont(const Bigint& a) const;
   [[nodiscard]] Bigint from_mont(const Limbs& a) const;
 
+  [[nodiscard]] Limbs multi_pow_shamir(const std::vector<Limbs>& mont,
+                                       std::span<const Bigint> exps, std::size_t bits) const;
+  [[nodiscard]] Limbs multi_pow_pippenger(const std::vector<Limbs>& mont,
+                                          std::span<const Bigint> exps, std::size_t bits) const;
+
   Bigint n_;
   std::size_t k_ = 0;        // limb count of n
   std::uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64
   Bigint rr_;                // R^2 mod n, R = 2^{64k}
   Limbs one_mont_;           // R mod n
+  mutable std::atomic<std::uint64_t> mul_count_{0};
 };
 
 // Fixed-base exponentiation with a precomputed comb table: for a base used

@@ -30,6 +30,35 @@ bool verify_decryption_share(const group::GroupParams& params,
   return zkp::dlog_verify(params, stmt, ds.proof, context);
 }
 
+bool batch_verify_decryption_shares(const group::GroupParams& params,
+                                    const FeldmanCommitments& commitments,
+                                    const elgamal::Ciphertext& c,
+                                    std::span<const DecryptionShare> shares,
+                                    std::string_view context, mpz::Prng& prng) {
+  std::vector<zkp::CpBatchItem> items;
+  items.reserve(shares.size());
+  for (const DecryptionShare& ds : shares) {
+    if (ds.index == 0) return false;
+    Bigint h_i = feldman_eval(params, commitments, ds.index);
+    items.push_back({zkp::DlogStatement{params.g(), std::move(h_i), c.a, ds.d}, ds.proof,
+                     std::string(context)});
+  }
+  return zkp::cp_batch_verify(params, items, prng);
+}
+
+zkp::BatchResult batch_verify_decryption_shares_isolate(
+    const group::GroupParams& params, const FeldmanCommitments& commitments,
+    const elgamal::Ciphertext& c, std::span<const DecryptionShare> shares,
+    std::string_view context, mpz::Prng& prng) {
+  zkp::BatchResult r;
+  if (batch_verify_decryption_shares(params, commitments, c, shares, context, prng)) return r;
+  r.ok = false;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!verify_decryption_share(params, commitments, c, shares[i], context)) r.bad.push_back(i);
+  }
+  return r;
+}
+
 Bigint combine_decryption(const group::GroupParams& params, const elgamal::Ciphertext& c,
                           std::span<const DecryptionShare> shares) {
   if (shares.empty()) throw std::invalid_argument("combine_decryption: no shares");

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "threshold/keygen.hpp"
+#include "zkp/batch.hpp"
 #include "zkp/chaum_pedersen.hpp"
 
 namespace dblind::threshold {
@@ -36,6 +37,23 @@ struct DecryptionShare {
                                            const FeldmanCommitments& commitments,
                                            const elgamal::Ciphertext& c,
                                            const DecryptionShare& ds, std::string_view context);
+
+// Batch-verifies all shares of one decryption round (same ciphertext and
+// context) with a single random-linear-combination multi-exponentiation.
+// Accepts iff every share would pass verify_decryption_share, up to the
+// 2^-zkp::kBatchRandomizerBits soundness error.
+[[nodiscard]] bool batch_verify_decryption_shares(const group::GroupParams& params,
+                                                  const FeldmanCommitments& commitments,
+                                                  const elgamal::Ciphertext& c,
+                                                  std::span<const DecryptionShare> shares,
+                                                  std::string_view context, mpz::Prng& prng);
+
+// Batch check first; on failure names the failing share indices (positions in
+// `shares`, not server indices) via individual verification.
+[[nodiscard]] zkp::BatchResult batch_verify_decryption_shares_isolate(
+    const group::GroupParams& params, const FeldmanCommitments& commitments,
+    const elgamal::Ciphertext& c, std::span<const DecryptionShare> shares,
+    std::string_view context, mpz::Prng& prng);
 
 // Combines >= f+1 distinct shares into the plaintext. The caller must have
 // verified the shares; combination throws std::invalid_argument on duplicate

@@ -7,8 +7,6 @@
 
 namespace dblind::zkp {
 
-namespace {
-
 Bigint cp_challenge(const GroupParams& params, const DlogStatement& stmt, const Bigint& t1,
                     const Bigint& t2, std::string_view context) {
   Transcript t("dblind/chaum-pedersen/v1");
@@ -18,8 +16,6 @@ Bigint cp_challenge(const GroupParams& params, const DlogStatement& stmt, const 
   t.absorb(t1).absorb(t2);
   return t.challenge(params.q());
 }
-
-}  // namespace
 
 DlogEqProof dlog_prove(const GroupParams& params, const DlogStatement& stmt, const Bigint& a,
                        std::string_view context, mpz::Prng& prng) {

@@ -40,4 +40,10 @@ struct DlogEqProof {
 [[nodiscard]] bool dlog_verify(const GroupParams& params, const DlogStatement& stmt,
                                const DlogEqProof& proof, std::string_view context);
 
+// The Fiat-Shamir challenge used by dlog_prove/dlog_verify. Exposed so the
+// batch verifier (zkp/batch.hpp) reproduces the exact per-proof challenges;
+// not otherwise part of the proving API.
+[[nodiscard]] Bigint cp_challenge(const GroupParams& params, const DlogStatement& stmt,
+                                  const Bigint& t1, const Bigint& t2, std::string_view context);
+
 }  // namespace dblind::zkp

@@ -79,4 +79,36 @@ bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
          dlog_verify(params, d.pr3, proof.pr3, sub_context(context, "pr3"));
 }
 
+bool vde_batch_verify(std::span<const VdeBatchItem> items, mpz::Prng& prng) {
+  if (items.empty()) return true;
+  const group::GroupParams& params = items.front().ka->params();
+  std::vector<CpBatchItem> cp;
+  cp.reserve(3 * items.size());
+  for (const VdeBatchItem& it : items) {
+    // Mirror vde_verify's structural gate per item before anything is folded
+    // into the combined equation.
+    if (!(it.ka->params() == params) || !(it.kb->params() == params)) return false;
+    for (const Bigint* v :
+         {&it.ca->a, &it.ca->b, &it.cb->a, &it.cb->b, &it.proof->g12, &it.proof->g21}) {
+      if (!params.in_group(*v)) return false;
+    }
+    DerivedStatements d = derive(*it.ka, *it.ca, *it.kb, *it.cb, it.proof->g12, it.proof->g21);
+    cp.push_back({std::move(d.pr1), it.proof->pr1, sub_context(it.context, "pr1")});
+    cp.push_back({std::move(d.pr2), it.proof->pr2, sub_context(it.context, "pr2")});
+    cp.push_back({std::move(d.pr3), it.proof->pr3, sub_context(it.context, "pr3")});
+  }
+  return cp_batch_verify(params, cp, prng);
+}
+
+BatchResult vde_batch_verify_isolate(std::span<const VdeBatchItem> items, mpz::Prng& prng) {
+  BatchResult r;
+  if (vde_batch_verify(items, prng)) return r;
+  r.ok = false;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const VdeBatchItem& it = items[i];
+    if (!vde_verify(*it.ka, *it.ca, *it.kb, *it.cb, *it.proof, it.context)) r.bad.push_back(i);
+  }
+  return r;
+}
+
 }  // namespace dblind::zkp

@@ -8,9 +8,12 @@
 // three Chaum-Pedersen DLOG-equality proofs Pr1..Pr3 for conditions (3)-(5).
 #pragma once
 
+#include <span>
+#include <string>
 #include <string_view>
 
 #include "elgamal/elgamal.hpp"
+#include "zkp/batch.hpp"
 #include "zkp/chaum_pedersen.hpp"
 
 namespace dblind::zkp {
@@ -37,5 +40,26 @@ struct VdeProof {
 [[nodiscard]] bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
                               const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb,
                               const VdeProof& proof, std::string_view context);
+
+// One entry of a VDE batch. Pointed-to objects must outlive the call.
+struct VdeBatchItem {
+  const elgamal::PublicKey* ka;
+  const elgamal::Ciphertext* ca;
+  const elgamal::PublicKey* kb;
+  const elgamal::Ciphertext* cb;
+  const VdeProof* proof;
+  std::string context;
+};
+
+// Batch-verifies k VDE proofs (3k Chaum-Pedersen equations) in one
+// random-linear-combination multi-exponentiation; accepts iff every item
+// would pass vde_verify, up to the 2^-kBatchRandomizerBits soundness error.
+// All items must share one group parameter set.
+[[nodiscard]] bool vde_batch_verify(std::span<const VdeBatchItem> items, mpz::Prng& prng);
+
+// Batch check first; on failure names the failing VDE item indices via
+// individual vde_verify.
+[[nodiscard]] BatchResult vde_batch_verify_isolate(std::span<const VdeBatchItem> items,
+                                                   mpz::Prng& prng);
 
 }  // namespace dblind::zkp

@@ -45,6 +45,8 @@ struct Mix {
   bool crash_restart_b1 = false;    // crash the designated coordinator, restart later
   bool crash_a4 = false;            // permanently crash one A server (within f)
   bool byzantine_b1 = false;        // adaptive-cancel coordinator at B rank 1
+  bool batch_verify = false;        // RLC batch verification (PR 3 fast path)
+  unsigned verify_workers = 0;      // off-handler verification pool size
   bool liveness_expected = true;    // mix stays within the f-bound
 };
 
@@ -68,6 +70,19 @@ constexpr Mix kMixes[] = {
     // A Byzantine coordinator under loss: retransmission must not help the
     // attacker (it only ever re-sends already-validated bytes).
     {.name = "byzantine-lossy", .drop_percent = 10, .byzantine_b1 = true},
+    // The verification fast path under fire: batch verification plus the
+    // worker pool, with loss, corruption, a healing partition AND a Byzantine
+    // coordinator. Batched verification must reject exactly what serial
+    // verification rejects, and deferred application must not reorder the
+    // state machine — same S1–S3 invariants, same liveness bound.
+    {.name = "batch-workers",
+     .drop_percent = 10,
+     .corrupt_percent = 3,
+     .duplication_percent = 15,
+     .partition_b_backup = true,
+     .byzantine_b1 = true,
+     .batch_verify = true,
+     .verify_workers = 2},
 };
 
 constexpr int kMixCount = static_cast<int>(std::size(kMixes));
@@ -80,6 +95,8 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   o.a = {4, 1};
   o.b = {4, 1};
   o.protocol.retransmit = retransmit;
+  o.protocol.batch_verify = mix.batch_verify;
+  o.protocol.verify_workers = mix.verify_workers;
   if (mix.byzantine_b1) {
     o.b_behaviors.assign(4, Behavior::kHonest);
     o.b_behaviors[0] = Behavior::kAdaptiveCancelCoordinator;
@@ -152,7 +169,7 @@ TEST_P(ChaosSweep, SafetyAlwaysLivenessInBound) {
   run_chaos(kMixes[mix_index], static_cast<std::uint64_t>(seed));
 }
 
-// Tier-1 grid: 6 seeds × 4 mixes = 24 deterministic runs, each its own ctest
+// Tier-1 grid: 6 seeds × 5 mixes = 30 deterministic runs, each its own ctest
 // entry (parallelizable). tools/ci.sh runs the wider sweep.
 INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
                          ::testing::Combine(::testing::Range(0, kMixCount),

@@ -8,9 +8,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mpz/bigint.hpp"
 #include "mpz/modmath.hpp"
+#include "mpz/montgomery.hpp"
 #include "mpz/prime.hpp"
 #include "mpz/random.hpp"
 
@@ -96,6 +98,33 @@ TEST_P(DifferentialTest, ModExpAgrees) {
     BnPtr r(BN_new());
     BN_mod_exp(r.get(), bb.get(), be.get(), bm.get(), ctx_);
     EXPECT_EQ(from_bn(r.get()), powmod(base, exp, m));
+  }
+}
+
+TEST_P(DifferentialTest, MultiPowAgrees) {
+  Prng prng(GetParam() ^ 0xa5a5a5a5a5a5a5a5ull);
+  for (int iter = 0; iter < 4; ++iter) {
+    Bigint m = prng.random_bits(192 + prng.uniform_u64(192));
+    if (m.is_even()) m += Bigint(1);
+    if (m == Bigint(1)) continue;
+    MontgomeryCtx mctx(m);
+    // Cover both the Shamir (<= 4 bases) and Pippenger (> 4) code paths.
+    std::size_t count = 2 + prng.uniform_u64(15);
+    std::vector<Bigint> bases, exps;
+    BnPtr expect(BN_new());
+    BN_one(expect.get());
+    BnPtr bm = to_bn(m);
+    for (std::size_t i = 0; i < count; ++i) {
+      Bigint base = prng.uniform_below(m);
+      Bigint exp = prng.random_bits(1 + prng.uniform_u64(200));
+      bases.push_back(base);
+      exps.push_back(exp);
+      BnPtr bb = to_bn(base), be = to_bn(exp), term(BN_new());
+      BN_mod_exp(term.get(), bb.get(), be.get(), bm.get(), ctx_);
+      BN_mod_mul(expect.get(), expect.get(), term.get(), bm.get(), ctx_);
+    }
+    EXPECT_EQ(from_bn(expect.get()), mctx.multi_pow(bases, exps))
+        << "m=" << m.to_hex() << " count=" << count;
   }
 }
 

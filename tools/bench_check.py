@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the verification fast path (PR 3).
+
+Runs the deterministic verification benchmarks (bench_fig4_full's
+"blind-verify" and "e2e" BENCHJSON rows, plus the multi-exp microbenchmarks
+from bench_primitives), records everything in BENCH_pr3.json at the repo
+root, and FAILS (exit 1) when batched verification stops beating serial
+verification.
+
+The primary gate is Montgomery-multiplication counts, not wall-clock:
+mont-muls are identical across machines for a deterministic run, so the gate
+cannot flake on a loaded CI box. Gates enforced:
+
+  1. every blind-verify row: batch_mont_muls < serial_mont_muls
+     (batch must never be slower on the verification-dominated column);
+  2. at least one blind-verify row reaches >= 2.0x fewer mont-muls
+     (the PR 3 acceptance bar);
+  3. every e2e row: batch_mont_muls <= serial_mont_muls
+     (the fast path must not regress the whole protocol).
+
+Wall-clock numbers from bench_primitives are recorded for context only.
+
+Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
+       (registered as ctest label `bench`; see tools/CMakeLists.txt)
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+MARKER = "BENCHJSON "
+
+
+def run_fig4(build_dir):
+    exe = os.path.join(build_dir, "bench", "bench_fig4_full")
+    if not os.path.exists(exe):
+        print(f"bench_check: missing {exe} (build the bench targets first)")
+        sys.exit(2)
+    out = subprocess.run([exe], capture_output=True, text=True, check=True)
+    rows = []
+    for line in out.stdout.splitlines():
+        if line.startswith(MARKER):
+            rows.append(json.loads(line[len(MARKER):]))
+    if not rows:
+        print("bench_check: bench_fig4_full produced no BENCHJSON rows")
+        sys.exit(2)
+    return rows
+
+
+def run_primitives(build_dir):
+    """Multi-exp microbenchmarks; context only, never gated (wall-clock)."""
+    exe = os.path.join(build_dir, "bench", "bench_primitives")
+    if not os.path.exists(exe):
+        return None
+    try:
+        out = subprocess.run(
+            [exe, "--benchmark_filter=MultiPow|CpBatch|CpVerify",
+             "--benchmark_format=json", "--benchmark_min_time=0.05"],
+            capture_output=True, text=True, check=True, timeout=600)
+        data = json.loads(out.stdout)
+        return [
+            {"name": b["name"], "real_time_ns": b["real_time"]}
+            for b in data.get("benchmarks", [])
+        ]
+    except (subprocess.SubprocessError, json.JSONDecodeError) as err:
+        print(f"bench_check: bench_primitives skipped ({err})")
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--output", default=None,
+                    help="where to write the report (default <repo>/BENCH_pr3.json)")
+    ap.add_argument("--skip-primitives", action="store_true",
+                    help="skip the wall-clock microbenchmarks (faster CI)")
+    args = ap.parse_args()
+
+    rows = run_fig4(args.build_dir)
+    blind = [r for r in rows if r.get("section") == "blind-verify"]
+    e2e = [r for r in rows if r.get("section") == "e2e"]
+
+    failures = []
+    best_ratio = 0.0
+    for r in blind:
+        ratio = r["serial_mont_muls"] / r["batch_mont_muls"]
+        r["mul_ratio"] = round(ratio, 3)
+        best_ratio = max(best_ratio, ratio)
+        if r["batch_mont_muls"] >= r["serial_mont_muls"]:
+            failures.append(
+                f"blind-verify f={r['f']}: batch ({r['batch_mont_muls']}) not cheaper "
+                f"than serial ({r['serial_mont_muls']}) mont-muls")
+    if not blind:
+        failures.append("no blind-verify rows emitted")
+    elif best_ratio < 2.0:
+        failures.append(
+            f"best blind-verify mont-mul ratio {best_ratio:.2f}x < 2.0x acceptance bar")
+    for r in e2e:
+        r["mul_ratio"] = round(r["serial_mont_muls"] / r["batch_mont_muls"], 3)
+        if r["batch_mont_muls"] > r["serial_mont_muls"]:
+            failures.append(
+                f"e2e f={r['f']}: batch mode costs more mont-muls than serial")
+
+    prims = None if args.skip_primitives else run_primitives(args.build_dir)
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out_path = args.output or os.path.join(repo_root, "BENCH_pr3.json")
+    report = {
+        "gate": "verification-fast-path",
+        "pass": not failures,
+        "failures": failures,
+        "blind_verify": blind,
+        "e2e": e2e,
+        "primitives_wall_clock": prims,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for r in blind:
+        print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
+              f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
+    for r in e2e:
+        print(f"e2e          f={r['f']}: {r['serial_mont_muls']} -> "
+              f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
+    print(f"report: {out_path}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"PASS: best verification mont-mul ratio {best_ratio:.2f}x (>= 2.0x required)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@
 #                    directly with DBLIND_CHAOS_SEEDS (default 50) seeds per
 #                    fault mix — ctest's build-time discovery can't size the
 #                    sweep at runtime, so this invokes the binary itself
+#   bench            verification fast-path regression gate: bench_check.py
+#                    compares batched vs serial proof verification by
+#                    deterministic mont-mul counts and writes BENCH_pr3.json;
+#                    fails if the batch path stops being >= 2x cheaper
 #
 # Usage: tools/ci.sh [job...]     (no args = all jobs, lint first)
 # Exit: nonzero if any selected job fails.
@@ -20,7 +24,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos bench)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -69,8 +73,17 @@ for job in "${JOBS[@]}"; do
             --gtest_filter='ChaosSweep.EnvConfiguredSweep'
       } || FAILED+=("$job")
       ;;
+    bench)
+      banner bench
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" \
+            --target bench_fig4_full bench_primitives &&
+          python3 tools/bench_check.py --build-dir "$ROOT/build-relwithdebinfo"
+      } || FAILED+=("$job")
+      ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos|bench)" >&2
       FAILED+=("$job")
       ;;
   esac

@@ -40,6 +40,16 @@ about, run over the token/line surface of ``src/``:
       commit/reveal rounds a fresh nonce commitment after a reveal is
       catastrophic nonce reuse. Cache the framed bytes; resend those.
 
+  batch-randomizer
+      Random-linear-combination batch verification (functions whose name
+      contains ``batch_verify``) is only sound when the per-equation
+      randomizers are fresh and unpredictable to the prover: a constant or
+      reused coefficient lets a cheater craft equation errors that cancel
+      in the combined product. Randomizer assignments inside a batch
+      verifier must draw from ``mpz::Prng`` (src/mpz/random.hpp) or derive
+      from a transcript digest (``from_bytes_be`` over a hash) — never
+      from literals or other randomizers.
+
 Waivers: append ``// crypto-lint: allow(<rule>) <reason>`` to the
 flagged line (or the line directly above it). A reason is mandatory.
 
@@ -109,6 +119,21 @@ RERANDOMIZE = re.compile(
     r"\bmake_envelope\s*\(|\bvde_prove\s*\(|\.encrypt\w*\s*\(|\brng\s*\(\s*\)|"
     r"\brandom_element\s*\(|\brandom_exponent\s*\(|\bfork\s*\("
 )
+
+# A definition line of a batch-verification function (same column-0
+# heuristic as RESEND_FN_DEF).
+BATCH_FN_DEF = re.compile(r"^[\w:<>,&*~\[\]\s]*\b\w*batch_verify\w*\s*\(")
+
+# A randomizer being bound inside a batch verifier: `Bigint c1 = ...;`,
+# `c1 = ...;`, `Bigint c2(...)`. Member access (`coeff.push_back`) does not
+# match — transcript-derived coefficient vectors are built that way and are
+# legitimate.
+RANDOMIZER_ASSIGN = re.compile(
+    r"\b(?:Bigint\s+)?(c1|c2|coeff\w*|randomizer\w*|rand_c\w*)\s*(?:=|\(|\{)(.*)$"
+)
+
+# Acceptable randomizer sources: the seeded Prng, or a transcript digest.
+RANDOMIZER_SOURCE = re.compile(r"\bprng\b|\brng\b|\buniform_\w+|\bfrom_bytes_be\b|\.fork\s*\(")
 
 WAIVER = re.compile(r"//\s*crypto-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
 
@@ -208,6 +233,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     findings: List[Finding] = []
     lines = text.splitlines()
     in_resend_fn = False  # inside the body of a resend/retransmit function
+    in_batch_fn = False  # inside the body of a *batch_verify* function
     for idx, raw in enumerate(lines):
         line_no = idx + 1
         code = strip_comments_and_strings(raw)
@@ -236,6 +262,41 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                         f"'{m.group(0).strip()}' mints fresh crypto material "
                         "inside a retransmission path; resend the cached, "
                         "originally-signed bytes instead",
+                    )
+                )
+
+        # --- batch-randomizer ----------------------------------------------
+        # Same region-tracking shape: a column-0 definition whose name
+        # contains "batch_verify" opens the region; a column-0 `}` closes it.
+        # Inside, every randomizer binding must draw from mpz::Prng or a
+        # transcript digest — a literal or a copy of another randomizer
+        # breaks batch soundness (errors can be crafted to cancel).
+        if in_batch_fn and raw.startswith("}"):
+            in_batch_fn = False
+        elif (
+            not in_batch_fn
+            and BATCH_FN_DEF.search(code)
+            and raw
+            and not raw[0].isspace()
+            and not code.rstrip().endswith(";")
+        ):
+            in_batch_fn = True
+        elif in_batch_fn:
+            m = RANDOMIZER_ASSIGN.search(code)
+            if (
+                m
+                and not RANDOMIZER_SOURCE.search(m.group(2))
+                and not waived(lines, idx, "batch-randomizer")
+            ):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "batch-randomizer",
+                        f"batch randomizer '{m.group(1)}' is not drawn from "
+                        "mpz::Prng (src/mpz/random.hpp) or a transcript "
+                        "digest; constant or reused randomizers break batch "
+                        "verification soundness",
                     )
                 )
 
@@ -388,6 +449,49 @@ SELF_TEST_CASES = [
         "void helper() {\n"
         "  arm_resend(ctx, std::move(r));  // call into the resend layer, not a definition\n"
         "  auto out = make_envelope(cfg_, secrets_, body, ctx.rng());\n"
+        "}",
+    ),
+    # batch-randomizer must fire (constant or reused randomizers inside a
+    # *batch_verify* definition):
+    (
+        "batch-randomizer",
+        "bool cp_batch_verify(const GroupParams& params, std::span<const CpBatchItem> items,\n"
+        "                     mpz::Prng& prng) {\n"
+        "  Bigint c1(7);\n"
+        "}",
+    ),
+    (
+        "batch-randomizer",
+        "bool vde_batch_verify(const GroupParams& gp, std::span<const VdeBatchItem> items) {\n"
+        "  Bigint c1 = Bigint(0x1234);\n"
+        "}",
+    ),
+    (
+        "batch-randomizer",
+        "bool batch_verify_decryption_shares(const GroupParams& gp, mpz::Prng& prng) {\n"
+        "  Bigint c1 = prng.uniform_nonzero_below(bound);\n"
+        "  Bigint c2 = c1;  // reused randomizer\n"
+        "}",
+    ),
+    # ...and must NOT fire:
+    (
+        None,
+        "bool cp_batch_verify(const GroupParams& params, std::span<const CpBatchItem> items,\n"
+        "                     mpz::Prng& prng) {\n"
+        "  const Bigint c1 = prng.uniform_nonzero_below(bound);\n"
+        "  const Bigint c2 = prng.uniform_nonzero_below(bound);\n"
+        "}",
+    ),
+    (
+        None,
+        "bool schnorr_batch_verify(const GroupParams& params, std::span<const Item> batch) {\n"
+        "  coeff.push_back(Bigint::from_bytes_be(h.digest()));  // transcript-derived\n"
+        "}",
+    ),
+    (
+        None,
+        "void helper_outside_batch() {\n"
+        "  Bigint c1(7);  // not a batch verifier; test fixtures may use constants\n"
         "}",
     ),
 ]
