@@ -9,9 +9,14 @@
 // Byzantine tolerance.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
 
 #include "core/failstop.hpp"
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "table.hpp"
 #include "zkp/schnorr.hpp"
 #include "zkp/vde.hpp"
@@ -59,7 +64,11 @@ RunResult run(core::SystemOptions opts, Behavior b1 = Behavior::kHonest,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics: additionally dump the instrumented run's full registry in
+  // Prometheus text format (after the obs-overhead section).
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) dump_metrics = dump_metrics || std::strcmp(argv[i], "--metrics") == 0;
   std::puts("FIG4 — complete re-encryption protocol (async simulator, delays U[0.5ms, 20ms])");
   std::puts("");
 
@@ -347,6 +356,79 @@ int main() {
           static_cast<unsigned long long>(muls[1]));
     }
     et.print();
+  }
+
+  std::puts("");
+  std::puts("Observability overhead (PR 4) — same honest fixed-seed run, plain vs fully");
+  std::puts("instrumented (JSONL trace + metrics registry). The recorder hooks must be");
+  std::puts("pure observers: identical mont-mul counts and message totals, or the");
+  std::puts("instrumentation has perturbed the protocol.");
+  {
+    bench::Table ot({"mode", "mont_muls", "messages", "trace_events", "latency_ms"});
+    std::uint64_t muls[2] = {0, 0};
+    std::uint64_t msgs[2] = {0, 0};
+    double lat[2] = {0, 0};
+    obs::MetricsRegistry registry;
+    std::ostringstream trace_out;
+    for (int inst = 0; inst < 2; ++inst) {
+      core::SystemOptions o;
+      o.a = {4, 1};
+      o.b = {4, 1};
+      o.seed = 500;
+      std::optional<obs::JsonlTraceRecorder> trace;
+      if (inst == 1) {
+        trace.emplace(trace_out);
+        o.protocol.trace = &*trace;
+        o.protocol.metrics = &registry;
+      }
+      core::System sys(std::move(o));
+      sys.add_transfer(sys.config().params.encode_message(Bigint(7)));
+      std::uint64_t before = sys.config().params.mont_mul_count();
+      sys.run_to_completion();
+      muls[inst] = sys.config().params.mont_mul_count() - before;
+      msgs[inst] = sys.sim().stats().messages_sent;
+      lat[inst] = sys.sim().stats().end_time / 1000.0;
+    }
+    std::uint64_t events = 0;
+    for (char c : trace_out.str()) events += c == '\n' ? 1 : 0;
+    ot.row({"plain", bench::fmt_u(muls[0]), bench::fmt_u(msgs[0]), "-", bench::fmt(lat[0])});
+    ot.row({"instrumented", bench::fmt_u(muls[1]), bench::fmt_u(msgs[1]), bench::fmt_u(events),
+            bench::fmt(lat[1])});
+    ot.print();
+    if (muls[0] != muls[1] || msgs[0] != msgs[1]) {
+      std::puts("BUG: instrumentation changed the protocol's deterministic cost");
+    }
+    std::printf(
+        "BENCHJSON {\"section\": \"obs-overhead\", \"plain_mont_muls\": %llu, "
+        "\"instrumented_mont_muls\": %llu, \"plain_messages\": %llu, "
+        "\"instrumented_messages\": %llu, \"trace_events\": %llu}\n",
+        static_cast<unsigned long long>(muls[0]), static_cast<unsigned long long>(muls[1]),
+        static_cast<unsigned long long>(msgs[0]), static_cast<unsigned long long>(msgs[1]),
+        static_cast<unsigned long long>(events));
+
+    // Per-phase latency breakdown, from the instrumented run's registry
+    // (coordinator/responder phase histograms; virtual microseconds).
+    bench::Table pt({"phase", "spans", "mean_ms"});
+    for (const auto& h : registry.histogram_samples()) {
+      constexpr const char* kPrefix = "dblind_phase_";
+      if (h.name.rfind(kPrefix, 0) != 0 || h.count == 0) continue;
+      std::string phase = h.name.substr(std::strlen(kPrefix));
+      if (auto pos = phase.rfind("_us"); pos != std::string::npos) phase.resize(pos);
+      double mean_ms = static_cast<double>(h.total) / static_cast<double>(h.count) / 1000.0;
+      pt.row({phase, bench::fmt_u(h.count), bench::fmt(mean_ms, 2)});
+      std::printf(
+          "BENCHJSON {\"section\": \"phases\", \"phase\": \"%s\", \"spans\": %llu, "
+          "\"total_us\": %llu}\n",
+          phase.c_str(), static_cast<unsigned long long>(h.count),
+          static_cast<unsigned long long>(h.total));
+    }
+    pt.print();
+
+    if (dump_metrics) {
+      std::puts("");
+      std::puts("Metrics registry (instrumented run, Prometheus text format):");
+      std::fputs(registry.prometheus_text().c_str(), stdout);
+    }
   }
 
   std::puts("");

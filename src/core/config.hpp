@@ -17,6 +17,11 @@
 #include "threshold/keygen.hpp"
 #include "zkp/schnorr.hpp"
 
+namespace dblind::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace dblind::obs
+
 namespace dblind::core {
 
 // Public view of one distributed service.
@@ -106,6 +111,18 @@ struct ProtocolOptions {
   // exactly as in the inline path. Leave 0 under the deterministic Simulator;
   // intended for net::ThreadedBus deployments.
   std::size_t verify_workers = 0;
+
+  // --- observability (no protocol effect; see docs/OBSERVABILITY.md) --------
+  // Structured per-phase trace events (epoch starts, commit/reveal/
+  // contribute edges, verify pass/fail with culprits, retransmits, done).
+  // Non-owning; nullptr (the default) emits nothing. core::System also
+  // installs this recorder on its Simulator for network-level events.
+  obs::TraceRecorder* trace = nullptr;
+  // Metrics registry for counters/gauges/histograms (message counts by
+  // type, mont-muls per phase, latency). Non-owning; nullptr disables
+  // registration — handles then point at the process-wide discard cell, so
+  // hot-path updates stay branch-free either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace dblind::core

@@ -3,12 +3,46 @@
 #include "core/client.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "mpz/modmath.hpp"
+#include "zkp/batch.hpp"
 
 namespace dblind::core {
 
 namespace {
+
+// Stable metric-label names for received message types.
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kInit: return "init";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kReveal: return "reveal";
+    case MsgType::kContribute: return "contribute";
+    case MsgType::kBlind: return "blind";
+    case MsgType::kDone: return "done";
+    case MsgType::kSignRequest: return "sign_request";
+    case MsgType::kSignCommitReply: return "sign_commit_reply";
+    case MsgType::kSignQuorum: return "sign_quorum";
+    case MsgType::kSignRevealReply: return "sign_reveal_reply";
+    case MsgType::kSignRevealSet: return "sign_reveal_set";
+    case MsgType::kSignPartialReply: return "sign_partial_reply";
+    case MsgType::kDecryptRequest: return "decrypt_request";
+    case MsgType::kDecryptShareReply: return "decrypt_reply";
+    case MsgType::kTransferRequest: return "transfer_request";
+    case MsgType::kResultRequest: return "result_request";
+    case MsgType::kResultReply: return "result_reply";
+    case MsgType::kClientDecryptRequest: return "client_decrypt_request";
+    case MsgType::kClientDecryptReply: return "client_decrypt_reply";
+  }
+  return "other";
+}
+
+// Clamps a MsgType to a metrics array index (0 = unknown bucket).
+std::size_t type_index(MsgType t) {
+  auto i = static_cast<std::size_t>(t);
+  return i < ProtocolServer::Metrics::kTypes ? i : 0;
+}
 
 // Wire framing: WireKind byte + content.
 std::vector<std::uint8_t> frame_signed(const SignedMessage& env) {
@@ -126,6 +160,10 @@ void ProtocolServer::handle_resend_timer(net::Context& ctx, std::uint64_t key) {
     return;
   }
   for (const auto& [to, frame] : r.msgs) resend_frame(ctx, to, frame);
+  emit_trace(ctx, obs::EventKind::kRetransmit, nullptr,
+             {.transfer = r.transfer, .peer = key, .count = r.msgs.size(),
+              .attempt = static_cast<std::uint32_t>(r.attempts),
+              .cap = static_cast<std::uint32_t>(r.max_attempts)});
   if (++r.attempts >= r.max_attempts) {
     resends_.erase(it);  // give up; backup coordinators / result pulls take over
     return;
@@ -137,7 +175,7 @@ void ProtocolServer::handle_resend_timer(net::Context& ctx, std::uint64_t key) {
 void ProtocolServer::resend_frame(net::Context& ctx, net::NodeId to,
                                   const std::vector<std::uint8_t>& frame) {
   if (frame.empty()) return;
-  ++retransmits_sent_;
+  retransmits_sent_.fetch_add(1, std::memory_order_relaxed);
   ctx.send(to, frame);
 }
 
@@ -163,7 +201,6 @@ void ProtocolServer::arm_result_pull(net::Context& ctx, TransferId transfer) {
 }
 
 void ProtocolServer::handle_result_reply(net::Context& ctx, std::span<const std::uint8_t> body) {
-  (void)ctx;
   if (!is_b()) return;
   ResultReplyMsg msg;
   try {
@@ -173,7 +210,7 @@ void ProtocolServer::handle_result_reply(net::Context& ctx, std::span<const std:
   }
   auto done = check_done(cfg_, msg.done);
   if (!done || done->id.transfer != msg.transfer) return;
-  record_done(*done, msg.done);
+  record_done(&ctx, *done, msg.done);
 }
 
 std::uint32_t ProtocolServer::next_epoch_of(TransferId transfer) const {
@@ -182,6 +219,7 @@ std::uint32_t ProtocolServer::next_epoch_of(TransferId transfer) const {
 }
 
 void ProtocolServer::on_start(net::Context& ctx) {
+  resolve_metrics(ctx);
   // Service A: schedule deferred secret arrivals.
   for (const auto& [transfer, pair] : pending_store_) {
     ctx.set_timer(pair.second, kTimerStoreSecret | transfer);
@@ -253,14 +291,20 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
                                 std::span<const std::uint8_t> bytes) {
   if (behavior_ == Behavior::kSilent) return;
   auto t0 = std::chrono::steady_clock::now();
+  MsgType rx_type{};
   try {
     Reader r(bytes);
     auto kind = static_cast<WireKind>(r.u8());
     if (kind == WireKind::kServerSigned) {
       SignedMessage env = SignedMessage::decode(r);
       r.expect_done();
-      ++rx_counts_[peek_type(env.body)];
-      switch (peek_type(env.body)) {
+      rx_type = peek_type(env.body);
+      ++rx_counts_[rx_type];
+      const std::size_t ti = type_index(rx_type);
+      metrics_.rx_msgs[ti].inc();
+      metrics_.rx_bytes[ti].inc(bytes.size());
+      obs::ScopedCounterDelta mont(cfg_.params.mont_mul_cell(), metrics_.mont_muls[ti]);
+      switch (rx_type) {
         case MsgType::kInit: handle_init(ctx, env); break;
         case MsgType::kCommit: handle_commit(ctx, env); break;
         case MsgType::kReveal: handle_reveal(ctx, env); break;
@@ -278,8 +322,13 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
     } else if (kind == WireKind::kServiceSigned) {
       ServiceSignedMsg msg = ServiceSignedMsg::decode(r);
       r.expect_done();
-      ++rx_counts_[peek_type(msg.body)];
-      switch (peek_type(msg.body)) {
+      rx_type = peek_type(msg.body);
+      ++rx_counts_[rx_type];
+      const std::size_t ti = type_index(rx_type);
+      metrics_.rx_msgs[ti].inc();
+      metrics_.rx_bytes[ti].inc(bytes.size());
+      obs::ScopedCounterDelta mont(cfg_.params.mont_mul_cell(), metrics_.mont_muls[ti]);
+      switch (rx_type) {
         case MsgType::kBlind: handle_blind(ctx, msg); break;
         case MsgType::kDone: handle_done(ctx, msg); break;
         default: break;
@@ -287,8 +336,13 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
     } else if (kind == WireKind::kClient) {
       std::vector<std::uint8_t> body = r.bytes();
       r.expect_done();
-      ++rx_counts_[peek_type(body)];
-      switch (peek_type(body)) {
+      rx_type = peek_type(body);
+      ++rx_counts_[rx_type];
+      const std::size_t ti = type_index(rx_type);
+      metrics_.rx_msgs[ti].inc();
+      metrics_.rx_bytes[ti].inc(bytes.size());
+      obs::ScopedCounterDelta mont(cfg_.params.mont_mul_cell(), metrics_.mont_muls[ti]);
+      switch (rx_type) {
         case MsgType::kTransferRequest: handle_transfer_request(ctx, from, body); break;
         case MsgType::kResultRequest: handle_result_request(ctx, from, body); break;
         case MsgType::kResultReply: handle_result_reply(ctx, body); break;
@@ -301,7 +355,10 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
   } catch (const CodecError&) {
     // Malformed message: indistinguishable from loss (§4.2.3).
   }
-  cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  cpu_seconds_ += std::chrono::duration<double>(wall).count();
+  metrics_.handler_wall_us[type_index(rx_type)].observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(wall).count()));
 }
 
 // --- contributor role (B) --------------------------------------------------------
@@ -350,6 +407,8 @@ void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
   commit.commitment = st.contribution.commitment_digest();
   st.commit_frame = signed_frame(ctx, encode_body(MsgType::kCommit, commit));
   ctx.send(cfg_.b.node_of(init->id.coordinator), st.commit_frame);
+  emit_trace(ctx, obs::EventKind::kCommitSent, &init->id,
+             {.peer = cfg_.b.node_of(init->id.coordinator)});
 }
 
 void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) {
@@ -405,6 +464,8 @@ void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) 
   }
   st.contribute_frame = signed_frame(ctx, encode_body(MsgType::kContribute, msg));
   ctx.send(cfg_.b.node_of(reveal->id.coordinator), st.contribute_frame);
+  emit_trace(ctx, obs::EventKind::kContributeSent, &reveal->id,
+             {.peer = cfg_.b.node_of(reveal->id.coordinator)});
 }
 
 // --- coordinator role (B) ----------------------------------------------------------
@@ -418,7 +479,9 @@ void ProtocolServer::start_coordinator(net::Context& ctx, TransferId transfer,
   next_epoch_[transfer] = std::max(next_epoch_of(transfer), epoch + 1);
   CoordinatorState st;
   st.id = id;
+  st.t_start = ctx.now();
   coordinator_[id] = std::move(st);
+  emit_trace(ctx, obs::EventKind::kEpochStart, &id);
 
   if (behavior_ == Behavior::kBogusBlindCoordinator) {
     // §4.2.3 attack: skip the protocol and try to get B to sign a fabricated
@@ -454,11 +517,17 @@ void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) 
   if (it == coordinator_.end()) return;
   CoordinatorState& st = it->second;
   if (st.revealed) return;
-  st.commits.emplace(commit->server, env);
+  if (st.commits.emplace(commit->server, env).second) {
+    emit_trace(ctx, obs::EventKind::kCommitAccepted, &st.id,
+               {.peer = commit->server, .count = st.commits.size()});
+  }
 
   const std::size_t need = 2 * cfg_.b.cfg.f + 1;
   if (st.commits.size() < need) return;
   st.revealed = true;
+  st.t_reveal = ctx.now();
+  metrics_.phase_commit_us.observe(st.t_reveal - st.t_start);
+  emit_trace(ctx, obs::EventKind::kRevealSent, &st.id, {.count = need});
 
   RevealMsg reveal;
   reveal.id = st.id;
@@ -497,13 +566,37 @@ void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& e
     });
     pv.done = task->get_future();
     verify_pool_->submit([task] { (*task)(); });
+    metrics_.verify_queue_depth.observe(pending_verifies_.size());
     ctx.set_timer(0, kTimerVerifyDrain);
     return;
   }
   auto contribute = opts_.batch_verify ? check_contribute_batch(cfg_, env, ctx.rng())
                                        : check_contribute(cfg_, env);
-  if (!contribute) return;
+  if (!contribute) {
+    record_contribute_verdict(ctx, env, nullptr);
+    return;
+  }
+  record_contribute_verdict(ctx, env, &*contribute);
   apply_contribute(ctx, env, *contribute);
+}
+
+// Verify-outcome bookkeeping for a contribute message (shared by the inline
+// and worker-pool paths). `contribute` is null when verification rejected the
+// message; env.signer then identifies the culprit node.
+void ProtocolServer::record_contribute_verdict(net::Context& ctx, const SignedMessage& env,
+                                               const ContributeMsg* contribute) {
+  if (contribute != nullptr) {
+    metrics_.verify_pass.inc();
+    emit_trace(ctx, obs::EventKind::kVerifyPass, &contribute->id,
+               {.peer = contribute->server,
+                .subject = static_cast<std::uint32_t>(MsgType::kContribute)});
+  } else {
+    metrics_.verify_fail.inc();
+    if (opts_.batch_verify) metrics_.batch_fallbacks.inc();
+    emit_trace(ctx, obs::EventKind::kVerifyFail, nullptr,
+               {.peer = env.signer,
+                .subject = static_cast<std::uint32_t>(MsgType::kContribute)});
+  }
 }
 
 void ProtocolServer::apply_contribute(net::Context& ctx, const SignedMessage& env,
@@ -520,12 +613,16 @@ void ProtocolServer::apply_contribute(net::Context& ctx, const SignedMessage& en
 }
 
 void ProtocolServer::drain_verifies(net::Context& ctx) {
+  std::uint64_t drained = 0;
   while (!pending_verifies_.empty()) {
     PendingVerify& pv = pending_verifies_.front();
     pv.done.wait();  // blocks only until THIS message's verdict is in
+    ++drained;
+    record_contribute_verdict(ctx, pv.env, pv.result ? &*pv.result : nullptr);
     if (pv.result) apply_contribute(ctx, pv.env, *pv.result);
     pending_verifies_.pop_front();
   }
+  if (drained != 0) metrics_.verify_drain_batch.observe(drained);
 }
 
 void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState& st) {
@@ -556,6 +653,9 @@ void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState&
     return;
   }
   st.signing = true;
+  st.t_sign = ctx.now();
+  metrics_.phase_contribute_us.observe(st.t_sign - st.t_reveal);
+  emit_trace(ctx, obs::EventKind::kBlindSignBegin, &st.id, {.count = quorum});
 
   BlindPayload payload;
   payload.id = st.id;
@@ -887,6 +987,16 @@ void ProtocolServer::sign_session_finished(net::Context& ctx, SignSession& ss,
     r.transfer = ss.transfer;
     r.cancel_on_result = ss.cancel_on_result;
     arm_resend(ctx, std::move(r));
+    try {
+      BlindPayload bp = decode_as<BlindPayload>(MsgType::kBlind, ss.payload);
+      emit_trace(ctx, obs::EventKind::kSignDone, &bp.id,
+                 {.subject = static_cast<std::uint32_t>(SignPurpose::kBlind)});
+      auto cit = coordinator_.find(bp.id);
+      if (cit != coordinator_.end() && cit->second.t_sign != 0) {
+        metrics_.phase_blind_sign_us.observe(ctx.now() - cit->second.t_sign);
+      }
+    } catch (const CodecError&) {
+    }
   } else {
     // Step 6(e): l → B. Nothing on A observes B's results, so this resend is
     // capped small; a B server that still misses the done message recovers
@@ -899,8 +1009,15 @@ void ProtocolServer::sign_session_finished(net::Context& ctx, SignSession& ss,
     arm_resend(ctx, std::move(r), 0, std::min(opts_.retransmit_max_attempts, 5));
     try {
       DonePayload done = decode_as<DonePayload>(MsgType::kDone, ss.payload);
+      emit_trace(ctx, obs::EventKind::kSignDone, &done.id,
+                 {.subject = static_cast<std::uint32_t>(SignPurpose::kDone)});
       auto rit = responder_.find(done.id);
-      if (rit != responder_.end()) rit->second.sent_done = true;
+      if (rit != responder_.end()) {
+        rit->second.sent_done = true;
+        if (rit->second.t_done_sign != 0) {
+          metrics_.phase_done_sign_us.observe(ctx.now() - rit->second.t_done_sign);
+        }
+      }
     } catch (const CodecError&) {
     }
   }
@@ -926,7 +1043,16 @@ void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage&
     bool ok = opts_.batch_verify
                   ? check_blind_sign_request_batch(cfg_, msg.payload, msg.evidence, ctx.rng())
                   : check_blind_sign_request(cfg_, msg.payload, msg.evidence);
-    if (!ok) return;
+    if (!ok) {
+      metrics_.verify_fail.inc();
+      if (opts_.batch_verify) metrics_.batch_fallbacks.inc();
+      emit_trace(ctx, obs::EventKind::kVerifyFail, nullptr,
+                 {.peer = env.signer, .subject = static_cast<std::uint32_t>(MsgType::kBlind)});
+      return;
+    }
+    metrics_.verify_pass.inc();
+    emit_trace(ctx, obs::EventKind::kVerifyPass, nullptr,
+               {.peer = env.signer, .subject = static_cast<std::uint32_t>(MsgType::kBlind)});
   } else if (purpose == SignPurpose::kDone) {
     if (is_b()) return;
     DonePayload payload;
@@ -941,7 +1067,16 @@ void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage&
                                                                  sit->second, ctx.rng())
                                  : check_done_sign_request(cfg_, msg.payload, msg.evidence,
                                                            sit->second);
-    if (!ok) return;
+    if (!ok) {
+      metrics_.verify_fail.inc();
+      if (opts_.batch_verify) metrics_.batch_fallbacks.inc();
+      emit_trace(ctx, obs::EventKind::kVerifyFail, &payload.id,
+                 {.peer = env.signer, .subject = static_cast<std::uint32_t>(MsgType::kDone)});
+      return;
+    }
+    metrics_.verify_pass.inc();
+    emit_trace(ctx, obs::EventKind::kVerifyPass, &payload.id,
+               {.peer = env.signer, .subject = static_cast<std::uint32_t>(MsgType::kDone)});
   } else {
     return;
   }
@@ -1094,6 +1229,8 @@ void ProtocolServer::start_responder(net::Context& ctx, const InstanceId& id) {
   }
   r.transfer = id.transfer;
   st.decrypt_resend = arm_resend(ctx, std::move(r));
+  st.t_begin = ctx.now();
+  emit_trace(ctx, obs::EventKind::kDecryptBegin, &id);
 }
 
 void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessage& env) {
@@ -1149,12 +1286,24 @@ void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedM
   if (st.signing || st.sent_done || !seen_blind_.contains(msg.id)) return;
   if (msg.share.index != env.signer) return;
   if (!threshold::verify_decryption_share(cfg_.params, cfg_.a.enc_commitments, st.ea_m_rho,
-                                          msg.share, decrypt_context(msg.id)))
+                                          msg.share, decrypt_context(msg.id))) {
+    metrics_.verify_fail.inc();
+    emit_trace(ctx, obs::EventKind::kVerifyFail, &msg.id,
+               {.peer = env.signer,
+                .subject = static_cast<std::uint32_t>(MsgType::kDecryptShareReply)});
     return;
+  }
+  metrics_.verify_pass.inc();
+  emit_trace(ctx, obs::EventKind::kVerifyPass, &msg.id,
+             {.peer = env.signer,
+              .subject = static_cast<std::uint32_t>(MsgType::kDecryptShareReply)});
   st.shares.emplace(msg.share.index, msg.share);
   if (st.shares.size() < cfg_.a.cfg.quorum()) return;
   st.signing = true;
   cancel_resend(st.decrypt_resend);  // decryption round complete
+  st.t_done_sign = ctx.now();
+  if (st.t_begin != 0) metrics_.phase_decrypt_us.observe(st.t_done_sign - st.t_begin);
+  emit_trace(ctx, obs::EventKind::kDecryptDone, &msg.id, {.count = cfg_.a.cfg.quorum()});
 
   std::vector<threshold::DecryptionShare> shares;
   for (const auto& [rank, share] : st.shares) {
@@ -1178,20 +1327,21 @@ void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedM
   evidence.shares = std::move(shares);
   Writer w;
   evidence.encode(w);
+  emit_trace(ctx, obs::EventKind::kDoneSignBegin, &msg.id);
   start_sign_session(ctx, SignPurpose::kDone, encode_body(MsgType::kDone, payload), w.take());
 }
 
 // --- service B result consumption ------------------------------------------------------------
 
 void ProtocolServer::handle_done(net::Context& ctx, const ServiceSignedMsg& msg) {
-  (void)ctx;
   if (!is_b()) return;
   auto done = check_done(cfg_, msg);
   if (!done) return;
-  record_done(*done, msg);
+  record_done(&ctx, *done, msg);
 }
 
-void ProtocolServer::record_done(const DonePayload& done, const ServiceSignedMsg& msg) {
+void ProtocolServer::record_done(net::Context* ctx, const DonePayload& done,
+                                 const ServiceSignedMsg& msg) {
   // Keep every distinct validated done (several coordinators may finish with
   // different — equivalent — ciphertexts); clients pick one.
   auto& payloads = done_payloads_[done.id.transfer];
@@ -1207,6 +1357,8 @@ void ProtocolServer::record_done(const DonePayload& done, const ServiceSignedMsg
   if (results_.try_emplace(done.id.transfer, done.eb_m).second) {
     results_count_.fetch_add(1, std::memory_order_release);
     cancel_resends_for_transfer(done.id.transfer);
+    // Restore-path replays pass no context (no trace timestamp exists there).
+    if (ctx != nullptr) emit_trace(*ctx, obs::EventKind::kDoneRecorded, &done.id);
   }
 }
 
@@ -1408,9 +1560,81 @@ void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
     // (a snapshot is data, not an authority on signature validity).
     for (const ServiceSignedMsg& m : dones) {
       auto done = check_done(cfg_, m);
-      if (done) record_done(*done, m);
+      if (done) record_done(nullptr, *done, m);
     }
   } catch (const CodecError&) {
+  }
+}
+
+// --- observability -----------------------------------------------------------
+
+void ProtocolServer::emit_trace(net::Context& ctx, obs::EventKind kind, const InstanceId* id) {
+  emit_trace(ctx, kind, id, TraceExtras{});
+}
+
+void ProtocolServer::emit_trace(net::Context& ctx, obs::EventKind kind, const InstanceId* id,
+                                const TraceExtras& extra) {
+  if (opts_.trace == nullptr) return;
+  obs::TraceEvent ev;
+  ev.ts = ctx.now();
+  ev.node = ctx.self();
+  ev.kind = kind;
+  if (id != nullptr) {
+    ev.has_instance = true;
+    ev.transfer = id->transfer;
+    ev.coordinator = id->coordinator;
+    ev.epoch = id->epoch;
+  } else {
+    ev.transfer = extra.transfer;
+  }
+  ev.peer = extra.peer;
+  ev.subject = extra.subject;
+  ev.count = extra.count;
+  ev.attempt = extra.attempt;
+  ev.cap = extra.cap;
+  opts_.trace->record(ev);
+}
+
+void ProtocolServer::resolve_metrics(net::Context& ctx) {
+  if (metrics_.resolved || opts_.metrics == nullptr) return;
+  metrics_.resolved = true;
+  obs::MetricsRegistry& reg = *opts_.metrics;
+  const std::string node = std::to_string(ctx.self());
+  for (std::size_t i = 1; i < Metrics::kTypes; ++i) {
+    obs::LabelSet by_type{{"node", node}, {"type", msg_type_name(static_cast<MsgType>(i))}};
+    metrics_.rx_msgs[i] = reg.counter("dblind_rx_messages_total", by_type);
+    metrics_.rx_bytes[i] = reg.counter("dblind_rx_bytes_total", by_type);
+    metrics_.mont_muls[i] = reg.counter("dblind_handler_mont_muls_total", by_type);
+    metrics_.handler_wall_us[i] = reg.histogram("dblind_handler_wall_us", by_type,
+                                                {10, 100, 1'000, 10'000, 100'000});
+  }
+  const obs::LabelSet by_node{{"node", node}};
+  const std::vector<std::uint64_t> lat{1'000,   10'000,    100'000,
+                                       400'000, 1'600'000, 6'400'000};
+  metrics_.phase_commit_us = reg.histogram("dblind_phase_commit_us", by_node, lat);
+  metrics_.phase_contribute_us = reg.histogram("dblind_phase_contribute_us", by_node, lat);
+  metrics_.phase_blind_sign_us = reg.histogram("dblind_phase_blind_sign_us", by_node, lat);
+  metrics_.phase_decrypt_us = reg.histogram("dblind_phase_decrypt_us", by_node, lat);
+  metrics_.phase_done_sign_us = reg.histogram("dblind_phase_done_sign_us", by_node, lat);
+  metrics_.verify_pass = reg.counter("dblind_verify_total", {{"node", node}, {"result", "pass"}});
+  metrics_.verify_fail = reg.counter("dblind_verify_total", {{"node", node}, {"result", "fail"}});
+  metrics_.batch_fallbacks = reg.counter("dblind_batch_verify_fallbacks_total", by_node);
+  metrics_.verify_queue_depth =
+      reg.histogram("dblind_verify_queue_depth", by_node, {0, 1, 2, 4, 8, 16, 32});
+  metrics_.verify_drain_batch =
+      reg.histogram("dblind_verify_drain_batch", by_node, {1, 2, 4, 8, 16, 32});
+  // Pre-existing counters migrate onto the registry as attached (read-only)
+  // series: the registry samples the live cells, the owners keep updating
+  // them exactly as before.
+  reg.attach_counter("dblind_retransmits_sent_total", by_node, &retransmits_sent_);
+  reg.attach_counter("dblind_mont_muls_total", {}, cfg_.params.mont_mul_cell());
+  reg.attach_counter("dblind_batch_verify_combined_total", {},
+                     &zkp::batch_verify_counts().combined);
+  reg.attach_counter("dblind_batch_verify_rejected_total", {},
+                     &zkp::batch_verify_counts().rejected);
+  if (verify_pool_ != nullptr) {
+    verify_pool_->set_metrics(reg.counter("dblind_verify_pool_jobs_total", by_node),
+                              reg.gauge("dblind_verify_pool_depth", by_node));
   }
 }
 

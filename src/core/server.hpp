@@ -22,6 +22,7 @@
 // injection are selected via the Behavior enum.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -40,6 +41,8 @@
 #include "core/verify_pool.hpp"
 #include "hash/sha256.hpp"
 #include "net/sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "threshold/thresh_sign.hpp"
 
 namespace dblind::core {
@@ -106,8 +109,45 @@ class ProtocolServer final : public net::Node {
     return rx_counts_;
   }
   // Number of cached frames re-sent by the retransmission layer (benches
-  // report this as retransmission overhead).
-  [[nodiscard]] std::uint64_t retransmits_sent() const { return retransmits_sent_; }
+  // report this as retransmission overhead). Backed by an atomic cell so the
+  // metrics registry can attach it as a counter time series.
+  [[nodiscard]] std::uint64_t retransmits_sent() const {
+    return retransmits_sent_.load(std::memory_order_relaxed);
+  }
+
+  // --- observability types ----------------------------------------------------
+  // Optional fields of a trace event; which ones an event uses depends on
+  // its kind (see obs/trace.hpp).
+  struct TraceExtras {
+    std::uint64_t transfer = 0;  // events with a transfer but no instance
+    std::uint64_t peer = 0;
+    std::uint32_t subject = 0;
+    std::uint64_t count = 0;
+    std::uint32_t attempt = 0;
+    std::uint32_t cap = 0;
+  };
+  // Metric handles, resolved once from ProtocolOptions::metrics. Without a
+  // registry every handle points at the process-wide discard cell, so updates
+  // stay branch-free (ISSUE 4 satellite d).
+  struct Metrics {
+    bool resolved = false;
+    static constexpr std::size_t kTypes = 20;  // MsgType values are 1..19
+    std::array<obs::Counter, kTypes> rx_msgs;       // received, by type
+    std::array<obs::Counter, kTypes> rx_bytes;      // payload bytes, by type
+    std::array<obs::Counter, kTypes> mont_muls;     // handler mont-muls, by type
+    std::array<obs::Histogram, kTypes> handler_wall_us;  // handler wall time
+    // Per-phase latency in transport time (virtual µs under the Simulator).
+    obs::Histogram phase_commit_us;      // epoch start -> reveal broadcast
+    obs::Histogram phase_contribute_us;  // reveal broadcast -> blind-sign begin
+    obs::Histogram phase_blind_sign_us;  // blind-sign begin -> service signature
+    obs::Histogram phase_decrypt_us;     // decrypt begin -> f+1 valid replies
+    obs::Histogram phase_done_sign_us;   // done-sign begin -> service signature
+    obs::Counter verify_pass;
+    obs::Counter verify_fail;
+    obs::Counter batch_fallbacks;        // batch-mode checks that came back false
+    obs::Histogram verify_queue_depth;   // pool queue depth at each enqueue
+    obs::Histogram verify_drain_batch;   // verdicts applied per drain timer
+  };
 
   // --- net::Node --------------------------------------------------------------
   void on_start(net::Context& ctx) override;
@@ -188,6 +228,10 @@ class ProtocolServer final : public net::Node {
     bool sent_blind = false;
     std::uint64_t init_resend = 0;    // retransmission keys (0 = none)
     std::uint64_t reveal_resend = 0;
+    // Phase timestamps (observability only; never read by protocol logic).
+    net::Time t_start = 0;   // instance opened
+    net::Time t_reveal = 0;  // 2f+1 commits reached, reveal broadcast
+    net::Time t_sign = 0;    // f+1 valid contributions, blind signing began
     // Adaptive-cancel attack bookkeeping:
     std::vector<SignedMessage> attack_first_round;  // honest contributions seen
   };
@@ -258,6 +302,9 @@ class ProtocolServer final : public net::Node {
     bool signing = false;
     bool sent_done = false;
     std::uint64_t decrypt_resend = 0;  // retransmits the decrypt-request round
+    // Phase timestamps (observability only).
+    net::Time t_begin = 0;      // decrypt round opened
+    net::Time t_done_sign = 0;  // f+1 valid replies, done signing began
   };
   void handle_blind(net::Context& ctx, const ServiceSignedMsg& msg);
   void start_responder(net::Context& ctx, const InstanceId& id);
@@ -267,8 +314,10 @@ class ProtocolServer final : public net::Node {
   // ---- service B result consumption ---------------------------------------------
   void handle_done(net::Context& ctx, const ServiceSignedMsg& msg);
   // Shared by handle_done / handle_result_reply / restore: records a
-  // validated done message (payload already checked against `msg`).
-  void record_done(const DonePayload& done, const ServiceSignedMsg& msg);
+  // validated done message (payload already checked against `msg`). `ctx` is
+  // null when replaying durable state in restore() — no events are emitted
+  // for dones that were already traced in a previous incarnation.
+  void record_done(net::Context* ctx, const DonePayload& done, const ServiceSignedMsg& msg);
 
   // ---- client-facing handlers (library extension; see core/client.hpp) -----------
   void handle_transfer_request(net::Context& ctx, net::NodeId from,
@@ -282,6 +331,21 @@ class ProtocolServer final : public net::Node {
   // ---- Byzantine helpers -----------------------------------------------------------
   void attack_contribute(net::Context& ctx, const InstanceId& id, const SignedMessage& reveal_env);
   void attack_coordinator_step(net::Context& ctx, CoordinatorState& st);
+
+  // ---- observability (no protocol effect; docs/OBSERVABILITY.md) -------------------
+  // Emits one event when opts_.trace is set; a no-op (single pointer test,
+  // extras never built at the call site unless given) otherwise.
+  void emit_trace(net::Context& ctx, obs::EventKind kind, const InstanceId* id = nullptr);
+  void emit_trace(net::Context& ctx, obs::EventKind kind, const InstanceId* id,
+                  const TraceExtras& extra);
+  // Counts + traces a contribute verification outcome (inline and pool paths).
+  void record_contribute_verdict(net::Context& ctx, const SignedMessage& env,
+                                 const ContributeMsg* contribute);
+  // Resolves metric handles from opts_.metrics (idempotent; called from
+  // on_start so a restarted server re-binds to the same time series). With
+  // no registry the handles stay default-constructed: every update lands in
+  // the process-wide discard cell, branch-free.
+  void resolve_metrics(net::Context& ctx);
 
   SystemConfig cfg_;
   ServerSecrets secrets_;
@@ -321,7 +385,8 @@ class ProtocolServer final : public net::Node {
   std::map<std::uint64_t, Resend> resends_;
   std::uint64_t next_resend_ = 1;  // 0 = invalid key / "no resend armed"
   std::map<TransferId, std::uint64_t> result_pull_keys_;  // B: active pulls
-  std::uint64_t retransmits_sent_ = 0;
+  std::atomic<std::uint64_t> retransmits_sent_{0};
+  Metrics metrics_;
   // Next coordinator epoch to use per transfer. Durable: a restarted
   // coordinator must not reuse an epoch it may already have announced with a
   // different (lost) contribution set.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "threshold/shamir.hpp"
 
 namespace dblind::core {
@@ -65,6 +66,15 @@ System::System(SystemOptions opts)
   std::unique_ptr<net::DelayPolicy> policy = std::move(opts_.delay_policy);
   if (!policy) policy = std::make_unique<net::UniformDelay>(opts_.delay_min, opts_.delay_max);
   sim_ = std::make_unique<net::Simulator>(opts_.seed, std::move(policy));
+  if (opts_.protocol.trace != nullptr) {
+    // One recorder covers both layers: protocol events (emitted by servers)
+    // and network events (emitted by the simulator).
+    sim_->set_trace(opts_.protocol.trace);
+    opts_.protocol.trace->run_meta(obs::RunMeta{
+        opts_.seed, static_cast<std::uint32_t>(opts_.a.n), static_cast<std::uint32_t>(opts_.a.f),
+        static_cast<std::uint32_t>(opts_.b.n), static_cast<std::uint32_t>(opts_.b.f),
+        static_cast<std::uint32_t>(opts_.protocol.retransmit_max_attempts)});
+  }
 
   a.pub.first_node = 0;
   b.pub.first_node = static_cast<net::NodeId>(opts_.a.n);

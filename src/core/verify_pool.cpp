@@ -23,8 +23,16 @@ void VerifyPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(std::move(job));
+    jobs_metric_.inc();
+    depth_metric_.set(jobs_.size());
   }
   cv_.notify_one();
+}
+
+void VerifyPool::set_metrics(obs::Counter jobs, obs::Gauge depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_metric_ = jobs;
+  depth_metric_ = depth;
 }
 
 void VerifyPool::worker_loop() {
@@ -36,6 +44,7 @@ void VerifyPool::worker_loop() {
       if (jobs_.empty()) return;  // stop_ set and queue drained
       job = std::move(jobs_.front());
       jobs_.pop_front();
+      depth_metric_.set(jobs_.size());
     }
     job();
   }

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dblind::core {
 
 class VerifyPool {
@@ -32,6 +34,11 @@ class VerifyPool {
   // scheduler — callers sequence on a per-job future or equivalent).
   void submit(std::function<void()> job);
 
+  // Observability: jobs counter (incremented at submit) and queue-depth gauge
+  // (updated under mu_ at every transition). Default handles discard, so an
+  // un-instrumented pool pays one atomic op per update and no branches.
+  void set_metrics(obs::Counter jobs, obs::Gauge depth);
+
  private:
   void worker_loop();
 
@@ -40,6 +47,8 @@ class VerifyPool {
   std::deque<std::function<void()>> jobs_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  obs::Counter jobs_metric_;  // handles are trivially copyable; discard by default
+  obs::Gauge depth_metric_;
 };
 
 }  // namespace dblind::core

@@ -159,6 +159,10 @@ Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
 
 std::uint64_t GroupParams::mont_mul_count() const { return mont_->mul_count(); }
 
+const std::atomic<std::uint64_t>* GroupParams::mont_mul_cell() const {
+  return &mont_->mul_count_cell();
+}
+
 Bigint GroupParams::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
                          const Bigint& eb) const {
   return mont_->pow2(mpz::mod(a, p_), mpz::mod(ea, q_), mpz::mod(b, p_), mpz::mod(eb, q_));

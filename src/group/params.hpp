@@ -111,6 +111,10 @@ class GroupParams {
   // (all GroupParams copies with the same p count into one total). The bench
   // regression gate diffs this across batched/serial verification runs.
   [[nodiscard]] std::uint64_t mont_mul_count() const;
+  // The underlying counter cell (valid while any copy of this GroupParams
+  // is alive) — lets obs::ScopedCounterDelta attribute mont-muls to a
+  // protocol phase without repeated shared-context lookups.
+  [[nodiscard]] const std::atomic<std::uint64_t>* mont_mul_cell() const;
 
   friend bool operator==(const GroupParams& a, const GroupParams& b) {
     return a.p_ == b.p_ && a.g_ == b.g_;

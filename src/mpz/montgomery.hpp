@@ -51,6 +51,13 @@ class MontgomeryCtx {
     return mul_count_.load(std::memory_order_relaxed);
   }
 
+  // The counter cell itself, for obs::ScopedCounterDelta phase attribution
+  // and obs::MetricsRegistry::attach_counter. Read-only; stays valid for
+  // the context's lifetime.
+  [[nodiscard]] const std::atomic<std::uint64_t>& mul_count_cell() const {
+    return mul_count_;
+  }
+
  private:
   friend class FixedBasePow;
   using Limbs = std::vector<std::uint64_t>;

@@ -5,6 +5,22 @@
 
 namespace dblind::net {
 
+namespace {
+
+// Network-level trace event; `count` carries the payload size in bytes.
+obs::TraceEvent net_event(Time at, NodeId node, obs::EventKind kind, NodeId peer,
+                          std::size_t bytes) {
+  obs::TraceEvent ev;
+  ev.ts = at;
+  ev.node = node;
+  ev.kind = kind;
+  ev.peer = peer;
+  ev.count = bytes;
+  return ev;
+}
+
+}  // namespace
+
 void SimContext::send(NodeId to, std::vector<std::uint8_t> bytes) {
   sim_.send_from(self_, to, std::move(bytes));
 }
@@ -51,10 +67,16 @@ void Simulator::send_from(NodeId from, NodeId to, std::vector<std::uint8_t> byte
   if (crashed_.contains(from)) return;  // a crashed sender emits nothing
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes.size();
+  if (trace_ != nullptr) {
+    trace_->record(net_event(now_, from, obs::EventKind::kMsgSend, to, bytes.size()));
+  }
   Time d = delays_->delay(from, to, bytes.size(), net_rng_);
   if (duplication_percent_ != 0 && net_rng_.uniform_u64(100) < duplication_percent_) {
     Time d2 = delays_->delay(from, to, bytes.size(), net_rng_);
     ++stats_.messages_duplicated;
+    if (trace_ != nullptr) {
+      trace_->record(net_event(now_, from, obs::EventKind::kMsgDup, to, bytes.size()));
+    }
     deliver_copy(from, to, bytes, d2);
   }
   deliver_copy(from, to, std::move(bytes), d);
@@ -68,9 +90,15 @@ void Simulator::deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> b
     switch (faults_.apply(from, to, now_, bytes, fault_rng_)) {
       case FaultInjector::Fate::kDrop:
         ++stats_.messages_dropped;
+        if (trace_ != nullptr) {
+          trace_->record(net_event(now_, from, obs::EventKind::kMsgDrop, to, bytes.size()));
+        }
         return;
       case FaultInjector::Fate::kCorrupt:
         ++stats_.messages_corrupted;
+        if (trace_ != nullptr) {
+          trace_->record(net_event(now_, from, obs::EventKind::kMsgCorrupt, to, bytes.size()));
+        }
         break;
       case FaultInjector::Fate::kDeliver:
         break;
@@ -104,12 +132,18 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
         Slot& slot = nodes_.at(e.target);
         slot.durable = slot.node->snapshot();
         ++slot.incarnation;  // timers set before the crash never fire
+        if (trace_ != nullptr) {
+          trace_->record(net_event(now_, e.target, obs::EventKind::kCrash, 0, 0));
+        }
       }
       continue;
     }
     if (e.kind == Event::Kind::kRestart) {
       if (crashed_.erase(e.target) != 0) {
         Slot& slot = nodes_.at(e.target);
+        if (trace_ != nullptr) {
+          trace_->record(net_event(now_, e.target, obs::EventKind::kRestart, 0, 0));
+        }
         slot.node->restore(slot.durable);
         SimContext ctx(*this, e.target);
         slot.node->on_start(ctx);
@@ -128,6 +162,10 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
         break;
       case Event::Kind::kMessage:
         ++stats_.messages_delivered;
+        if (trace_ != nullptr) {
+          trace_->record(
+              net_event(now_, e.target, obs::EventKind::kMsgRecv, e.from, e.bytes.size()));
+        }
         slot.node->on_message(ctx, e.from, e.bytes);
         break;
       case Event::Kind::kTimer:

@@ -24,6 +24,7 @@
 
 #include "mpz/random.hpp"
 #include "net/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace dblind::net {
 
@@ -165,6 +166,12 @@ class Simulator {
   void set_fault_plan(FaultPlan plan) { faults_ = FaultInjector(std::move(plan)); }
   [[nodiscard]] bool crashed(NodeId id) const { return crashed_.contains(id); }
 
+  // Observability: network-level events (send/recv/drop/dup/corrupt,
+  // crash/restart) are reported to `recorder` with virtual timestamps.
+  // Non-owning; nullptr (the default) records nothing and changes nothing —
+  // the simulation schedule is identical either way.
+  void set_trace(obs::TraceRecorder* recorder) { trace_ = recorder; }
+
   // Runs until the event queue drains or `max_events` deliveries occurred.
   // Returns accumulated stats. Calling run again continues the simulation.
   NetStats run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
@@ -226,6 +233,7 @@ class Simulator {
   mpz::Prng fault_rng_;  // dedicated stream: faults never perturb delays
   FaultInjector faults_;
   NetStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   unsigned duplication_percent_ = 0;

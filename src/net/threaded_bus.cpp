@@ -78,32 +78,55 @@ NetStats ThreadedBus::stats() const {
 
 void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes) {
   if (to >= slots_.size()) return;  // unknown destination: drop (async model)
+  auto now = static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+  auto trace_net = [&](obs::EventKind kind, NodeId node, NodeId peer) {
+    if (trace_ == nullptr) return;
+    obs::TraceEvent ev;
+    ev.ts = now;
+    ev.node = node;
+    ev.kind = kind;
+    ev.peer = peer;
+    ev.count = bytes.size();
+    trace_->record(ev);
+  };
   {
     std::lock_guard<std::mutex> lock(fault_mu_);
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes.size();
+    trace_net(obs::EventKind::kMsgSend, from, to);
     if (faults_.active()) {
-      auto now = static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                       std::chrono::steady_clock::now() - epoch_)
-                                       .count());
       switch (faults_.apply(from, to, now, bytes, fault_rng_)) {
         case FaultInjector::Fate::kDrop:
           ++stats_.messages_dropped;
+          trace_net(obs::EventKind::kMsgDrop, from, to);
           return;
         case FaultInjector::Fate::kCorrupt:
           ++stats_.messages_corrupted;
+          trace_net(obs::EventKind::kMsgCorrupt, from, to);
           break;
         case FaultInjector::Fate::kDeliver:
           break;
       }
     }
   }
+  const std::size_t delivered_bytes = bytes.size();
   Slot& slot = *slots_[to];
   {
     std::lock_guard<std::mutex> lock(slot.mu);
     if (slot.stopping) return;
     slot.inbox.push_back({from, std::move(bytes)});
     slot.cv.notify_all();
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.ts = now;
+    ev.node = to;
+    ev.kind = obs::EventKind::kMsgRecv;
+    ev.peer = from;
+    ev.count = delivered_bytes;
+    trace_->record(ev);
   }
   std::lock_guard<std::mutex> lock(fault_mu_);
   ++stats_.messages_delivered;

@@ -52,6 +52,11 @@ class ThreadedBus {
   // post_message — the same chaos layer the simulator runs, on real threads.
   // Partition times are microseconds since the bus epoch (construction).
   void set_fault_plan(FaultPlan plan);
+  // Observability (set before start()): network-level events reported with
+  // wall-clock timestamps (microseconds since the bus epoch). Non-owning;
+  // the recorder must be thread-safe (all obs recorders are) and outlive
+  // the bus. nullptr records nothing.
+  void set_trace(obs::TraceRecorder* recorder) { trace_ = recorder; }
   // Transport accounting (thread-safe; end_time stays 0 on this transport).
   [[nodiscard]] NetStats stats() const;
 
@@ -100,6 +105,7 @@ class ThreadedBus {
   FaultInjector faults_;
   mpz::Prng fault_rng_;
   NetStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace dblind::net

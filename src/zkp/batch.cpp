@@ -48,10 +48,8 @@ class ExpAccumulator {
   std::map<Bigint, Bigint> terms_;
 };
 
-}  // namespace
-
-bool cp_batch_verify(const GroupParams& params, std::span<const CpBatchItem> items,
-                     mpz::Prng& prng) {
+bool cp_batch_verify_impl(const GroupParams& params, std::span<const CpBatchItem> items,
+                          mpz::Prng& prng) {
   if (items.empty()) return true;
   const Bigint& q = params.q();
   // Randomizers below min(2^128, q): drawing below q directly (toy groups)
@@ -83,6 +81,22 @@ bool cp_batch_verify(const GroupParams& params, std::span<const CpBatchItem> ite
     acc.add(proof.t2, mpz::submod(Bigint(0), c2, q));
   }
   return acc.evaluate() == Bigint(1);
+}
+
+}  // namespace
+
+BatchVerifyCounts& batch_verify_counts() {
+  static BatchVerifyCounts counts;
+  return counts;
+}
+
+bool cp_batch_verify(const GroupParams& params, std::span<const CpBatchItem> items,
+                     mpz::Prng& prng) {
+  BatchVerifyCounts& bc = batch_verify_counts();
+  bc.combined.fetch_add(1, std::memory_order_relaxed);
+  const bool ok = cp_batch_verify_impl(params, items, prng);
+  if (!ok) bc.rejected.fetch_add(1, std::memory_order_relaxed);
+  return ok;
 }
 
 BatchResult cp_batch_verify_isolate(const GroupParams& params, std::span<const CpBatchItem> items,

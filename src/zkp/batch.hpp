@@ -19,6 +19,8 @@
 // verification to name the culprit indices.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +44,18 @@ struct BatchResult {
   bool ok = true;
   std::vector<std::size_t> bad;  // item indices that fail individual verification
 };
+
+// Process-wide outcome counters for combined-identity batch checks (every
+// cp_batch_verify call, including the vde and decryption-share wrappers).
+// `rejected` counts combined checks that failed — i.e. runs that take (or
+// would take) the serial isolation fallback. Relaxed atomics; exposed so
+// obs::MetricsRegistry can attach them (attach_counter) without zkp
+// depending on obs.
+struct BatchVerifyCounts {
+  std::atomic<std::uint64_t> combined{0};
+  std::atomic<std::uint64_t> rejected{0};
+};
+BatchVerifyCounts& batch_verify_counts();
 
 // True iff every item would pass dlog_verify (up to the soundness error
 // above). Structural checks (subgroup membership, response range) are done

@@ -26,9 +26,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "core/system.hpp"
+#include "obs/trace.hpp"
 
 namespace dblind::core {
 namespace {
@@ -87,13 +92,76 @@ constexpr Mix kMixes[] = {
 
 constexpr int kMixCount = static_cast<int>(std::size(kMixes));
 
+// Trace-invariant mirror of tools/trace_check.py, asserted on every chaos
+// run: the event stream every mix produces must satisfy the same Fig. 4
+// causality rules the offline checker enforces on JSONL —
+//   T1 done_recorded is preceded by >= f+1 verify_pass(contribute) from
+//      distinct provers for the same (transfer, coordinator, epoch);
+//   T2 reveal_sent is preceded by >= 2f+1 commit_accepted from distinct
+//      servers at the same coordinator for the same instance;
+//   T3 epochs opened per (node, transfer) are strictly increasing;
+//   T4 retransmit attempts stay below their cap, increase per (node, timer
+//      key), and no cap exceeds the configured maximum.
+void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* mix_name,
+                            std::uint64_t seed) {
+  const obs::RunMeta meta = trace.meta();
+  ASSERT_GT(meta.b_f, 0u) << "run_meta not recorded";
+  using Instance = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+  std::map<Instance, std::set<std::uint64_t>> contribute_ok;
+  std::map<std::pair<std::uint64_t, Instance>, std::set<std::uint64_t>> commits;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_epoch;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_attempt;
+  const std::string at = std::string(mix_name) + " seed=" + std::to_string(seed);
+  for (const obs::TraceEvent& e : trace.events()) {
+    const Instance id{e.transfer, e.coordinator, e.epoch};
+    switch (e.kind) {
+      case obs::EventKind::kVerifyPass:
+        if (e.has_instance && e.subject == static_cast<std::uint32_t>(MsgType::kContribute)) {
+          contribute_ok[id].insert(e.peer);
+        }
+        break;
+      case obs::EventKind::kCommitAccepted:
+        commits[{e.node, id}].insert(e.peer);
+        break;
+      case obs::EventKind::kRevealSent:
+        EXPECT_GE((commits[{e.node, id}].size()), 2 * meta.b_f + 1) << "T2 " << at;
+        break;
+      case obs::EventKind::kDoneRecorded:
+        EXPECT_GE(contribute_ok[id].size(), meta.b_f + 1) << "T1 " << at;
+        break;
+      case obs::EventKind::kEpochStart: {
+        auto [it, fresh] = last_epoch.try_emplace({e.node, e.transfer}, e.epoch);
+        if (!fresh) {
+          EXPECT_GT(e.epoch, it->second) << "T3 " << at;
+          it->second = e.epoch;
+        }
+        break;
+      }
+      case obs::EventKind::kRetransmit: {
+        EXPECT_LT(e.attempt, e.cap) << "T4 " << at;
+        EXPECT_LE(e.cap, meta.retransmit_cap) << "T4 " << at;
+        auto [it, fresh] = last_attempt.try_emplace({e.node, e.peer}, e.attempt);
+        if (!fresh) {
+          EXPECT_GT(e.attempt, it->second) << "T4 " << at;
+          it->second = e.attempt;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
 // One full protocol run under `mix` with `seed`; asserts S1–S3 always and
 // liveness when the mix is in-bound. Returns true iff the run completed.
 bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
+  obs::MemoryTraceRecorder trace;
   SystemOptions o;
   o.seed = 9000 + seed;
   o.a = {4, 1};
   o.b = {4, 1};
+  o.protocol.trace = &trace;
   o.protocol.retransmit = retransmit;
   o.protocol.batch_verify = mix.batch_verify;
   o.protocol.verify_workers = mix.verify_workers;
@@ -147,7 +215,13 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   // Faults were genuinely injected (guards against a silently-empty plan).
   if (mix.drop_percent > 0 && retransmit) {
     EXPECT_GT(sys.sim().stats().messages_dropped, 0u) << mix.name << " seed=" << seed;
+    EXPECT_GT(trace.count_of(obs::EventKind::kMsgDrop), 0u) << mix.name << " seed=" << seed;
   }
+
+  // T1–T4: the run's trace satisfies the Fig. 4 causality invariants under
+  // every fault mix (the C++ mirror of tools/trace_check.py).
+  EXPECT_GT(trace.events().size(), 0u) << mix.name << " seed=" << seed;
+  check_trace_invariants(trace, mix.name, seed);
 
   if (mix.liveness_expected && retransmit) {
     EXPECT_TRUE(completed) << mix.name << " seed=" << seed;

@@ -16,7 +16,14 @@ cannot flake on a loaded CI box. Gates enforced:
   2. at least one blind-verify row reaches >= 2.0x fewer mont-muls
      (the PR 3 acceptance bar);
   3. every e2e row: batch_mont_muls <= serial_mont_muls
-     (the fast path must not regress the whole protocol).
+     (the fast path must not regress the whole protocol);
+  4. the obs-overhead row (PR 4): an instrumented run (JSONL trace +
+     metrics registry) must report mont-mul and message counts identical
+     to the plain run — the observability layer is a pure observer.
+
+The PR 4 observability report (obs-overhead plus the per-phase latency
+breakdown from the instrumented run's registry) is additionally written to
+BENCH_pr4.json next to BENCH_pr3.json.
 
 Wall-clock numbers from bench_primitives are recorded for context only.
 
@@ -81,6 +88,8 @@ def main():
     rows = run_fig4(args.build_dir)
     blind = [r for r in rows if r.get("section") == "blind-verify"]
     e2e = [r for r in rows if r.get("section") == "e2e"]
+    obs = [r for r in rows if r.get("section") == "obs-overhead"]
+    phases = [r for r in rows if r.get("section") == "phases"]
 
     failures = []
     best_ratio = 0.0
@@ -103,6 +112,25 @@ def main():
             failures.append(
                 f"e2e f={r['f']}: batch mode costs more mont-muls than serial")
 
+    if not obs:
+        failures.append("no obs-overhead row emitted")
+    for r in obs:
+        if r["instrumented_mont_muls"] != r["plain_mont_muls"]:
+            failures.append(
+                f"obs-overhead: instrumented run cost "
+                f"{r['instrumented_mont_muls']} mont-muls vs "
+                f"{r['plain_mont_muls']} plain — observability is not a "
+                f"pure observer")
+        if r["instrumented_messages"] != r["plain_messages"]:
+            failures.append(
+                f"obs-overhead: instrumented run sent "
+                f"{r['instrumented_messages']} messages vs "
+                f"{r['plain_messages']} plain")
+        if r["trace_events"] == 0:
+            failures.append("obs-overhead: instrumented run emitted no trace events")
+    if not phases:
+        failures.append("no per-phase latency rows emitted")
+
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -119,13 +147,28 @@ def main():
         json.dump(report, fh, indent=2)
         fh.write("\n")
 
+    obs_path = os.path.join(os.path.dirname(out_path), "BENCH_pr4.json")
+    obs_report = {
+        "gate": "observability-overhead",
+        "pass": not any("obs-overhead" in f or "phase" in f for f in failures),
+        "obs_overhead": obs,
+        "phases": phases,
+    }
+    with open(obs_path, "w", encoding="utf-8") as fh:
+        json.dump(obs_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
     for r in e2e:
         print(f"e2e          f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
-    print(f"report: {out_path}")
+    for r in obs:
+        print(f"obs-overhead: {r['plain_mont_muls']} plain vs "
+              f"{r['instrumented_mont_muls']} instrumented mont-muls, "
+              f"{r['trace_events']} trace events")
+    print(f"report: {out_path} + {obs_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -16,6 +16,11 @@
 #                    compares batched vs serial proof verification by
 #                    deterministic mont-mul counts and writes BENCH_pr3.json;
 #                    fails if the batch path stops being >= 2x cheaper
+#   trace_check      observability gate: trace_check.py --self-test, then a
+#                    fixed-seed lossy Byzantine CLI run whose JSONL trace is
+#                    replayed against the Fig. 4 invariants (done needs f+1
+#                    valid contributions, reveal needs the commit quorum,
+#                    epoch monotonicity, retransmit backoff cap)
 #
 # Usage: tools/ci.sh [job...]     (no args = all jobs, lint first)
 # Exit: nonzero if any selected job fails.
@@ -24,7 +29,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos bench)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos bench trace_check)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -82,8 +87,18 @@ for job in "${JOBS[@]}"; do
           python3 tools/bench_check.py --build-dir "$ROOT/build-relwithdebinfo"
       } || FAILED+=("$job")
       ;;
+    trace_check)
+      banner trace_check
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" --target dblind &&
+          python3 tools/trace_check.py --self-test &&
+          python3 tools/trace_check.py \
+            --generate-with "$ROOT/build-relwithdebinfo/tools/dblind"
+      } || FAILED+=("$job")
+      ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos|bench)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos|bench|trace_check)" >&2
       FAILED+=("$job")
       ;;
   esac

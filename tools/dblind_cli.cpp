@@ -6,19 +6,25 @@
 //   dblind decrypt  --params <hex> --key <privkey-hex> --ciphertext <hex>
 //   dblind transfer [--bits N] [--message <text>] [--seed S]
 //                   [--byzantine honest|silent|badvde|bogus|adaptive]
-//                   [--crash-coordinator] [--stats]
+//                   [--crash-coordinator] [--loss PCT] [--stats]
+//                   [--trace out.jsonl] [--metrics]
 //
 // `transfer` runs the complete asynchronous re-encryption protocol in the
 // simulator and prints what happened; the other subcommands operate on
-// hex-encoded artifacts so they compose in shell pipelines.
+// hex-encoded artifacts so they compose in shell pipelines. --trace writes a
+// JSONL event log that tools/trace_check.py can validate; --metrics dumps
+// the metrics registry in Prometheus text format after the run.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "elgamal/serialize.hpp"
 #include "group/serialize.hpp"
 #include "hash/sha256.hpp"
@@ -38,7 +44,8 @@ int usage() {
       "  dblind decrypt  --params <hex> --key <privkey-hex> --ciphertext <hex>\n"
       "  dblind transfer [--bits N] [--message <text>] [--seed S]\n"
       "                  [--byzantine honest|silent|badvde|bogus|adaptive]\n"
-      "                  [--crash-coordinator] [--stats]\n",
+      "                  [--crash-coordinator] [--loss PCT] [--stats]\n"
+      "                  [--trace out.jsonl] [--metrics]\n",
       stderr);
   return 2;
 }
@@ -172,7 +179,28 @@ int cmd_transfer(const Args& args) {
     opts.b_behaviors[0] = b1;
   }
 
+  // Observability: both objects must outlive the System (it holds raw
+  // pointers to them through ProtocolOptions).
+  std::ofstream trace_out;
+  std::optional<obs::JsonlTraceRecorder> trace;
+  if (auto path = args.get("trace")) {
+    trace_out.open(*path, std::ios::trunc);
+    if (!trace_out) {
+      std::fprintf(stderr, "error: cannot open trace file %s\n", path->c_str());
+      return 1;
+    }
+    trace.emplace(trace_out);
+    opts.protocol.trace = &*trace;
+  }
+  obs::MetricsRegistry registry;
+  if (args.has("metrics")) opts.protocol.metrics = &registry;
+
   core::System sys(std::move(opts));
+  if (auto loss = args.get("loss")) {
+    net::FaultPlan plan;
+    plan.drop_percent = static_cast<unsigned>(std::stoul(*loss));
+    sys.sim().set_fault_plan(plan);
+  }
   std::string message = args.get_or("message", "attack at dawn");
   mpz::Bigint m = sys.config().params.encode_bytes(
       {reinterpret_cast<const std::uint8_t*>(message.data()), message.size()});
@@ -206,6 +234,7 @@ int cmd_transfer(const Args& args) {
                 s.end_time / 1000.0, static_cast<unsigned long long>(s.messages_sent),
                 s.bytes_sent / 1024.0);
   }
+  if (args.has("metrics")) std::fputs(registry.prometheus_text().c_str(), stdout);
   return recovered == message ? 0 : 1;
 }
 
@@ -236,7 +265,7 @@ int main(int argc, char** argv) {
       return cmd_decrypt(args);
     }
     if (cmd == "transfer") {
-      Args args(argc, argv, {"crash-coordinator", "stats"});
+      Args args(argc, argv, {"crash-coordinator", "stats", "metrics"});
       if (!args.ok()) return usage();
       return cmd_transfer(args);
     }

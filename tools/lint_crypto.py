@@ -50,6 +50,16 @@ about, run over the token/line surface of ``src/``:
       from a transcript digest (``from_bytes_be`` over a hash) — never
       from literals or other randomizers.
 
+  trace-hygiene
+      The observability layer (src/obs/ and every ``emit_*``/``record_*``
+      call that feeds it) must only ever see public protocol coordinates —
+      timestamps, node ids, ranks, message types, counts. Secret material
+      (rho, key shares, decryption exponents, signing nonces, Prng state)
+      appearing in src/obs/ code or in the arguments of an emit/record
+      call would end up in trace files and metric dumps, which ship to
+      disk and dashboards. Phase names like "contribute"/"blind"/"commit"
+      are public vocabulary and deliberately not matched.
+
 Waivers: append ``// crypto-lint: allow(<rule>) <reason>`` to the
 flagged line (or the line directly above it). A reason is mandatory.
 
@@ -136,6 +146,23 @@ RANDOMIZER_ASSIGN = re.compile(
 RANDOMIZER_SOURCE = re.compile(r"\bprng\b|\brng\b|\buniform_\w+|\bfrom_bytes_be\b|\.fork\s*\(")
 
 WAIVER = re.compile(r"//\s*crypto-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+# Secret material that must never reach the observability layer. Narrower
+# than SECRET_IDENT on purpose: "contribute"/"blind"/"commit"/"sign" are
+# *phase names* — public vocabulary that trace events legitimately carry
+# (kContributeSent, SignPurpose::kBlind) — so they are not matched here.
+# `private` needs a suffix (private_key, ...): bare `private` is the C++
+# access specifier, a keyword that can never name a value.
+TRACE_SECRET = re.compile(
+    r"\b(rho\w*|shares?\w*|secrets?\w*|witness\w*|nonces?\w*|prng\w*|"
+    r"private\w+|sk|key_share\w*|enc_share\w*|sign_share\w*|"
+    r"decrypt_exponent\w*|r1|r2)\b|\brng\s*\(",
+    re.IGNORECASE,
+)
+
+# A call (or definition — both are checked, definitions are harmless) of a
+# function that feeds the observability layer.
+EMIT_CALL = re.compile(r"\b(?:emit|record)\w*\s*\(")
 
 
 class Finding(NamedTuple):
@@ -234,9 +261,43 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     lines = text.splitlines()
     in_resend_fn = False  # inside the body of a resend/retransmit function
     in_batch_fn = False  # inside the body of a *batch_verify* function
+    emit_depth = 0  # paren depth of an emit_*/record_* call spanning lines
+    is_obs = rel_path.startswith("src/obs/")
     for idx, raw in enumerate(lines):
         line_no = idx + 1
         code = strip_comments_and_strings(raw)
+
+        # --- trace-hygiene --------------------------------------------------
+        def trace_flag(ident: str) -> None:
+            findings.append(
+                Finding(
+                    rel_path,
+                    line_no,
+                    "trace-hygiene",
+                    f"secret-bearing identifier '{ident}' reaches the "
+                    "observability layer; traces and metrics must carry only "
+                    "public protocol coordinates",
+                )
+            )
+
+        if is_obs:
+            m = TRACE_SECRET.search(code)
+            if m and not waived(lines, idx, "trace-hygiene"):
+                trace_flag(m.group(0).strip())
+        else:
+            if emit_depth > 0:  # continuation of a multi-line emit/record call
+                m = TRACE_SECRET.search(code)
+                if m and not waived(lines, idx, "trace-hygiene"):
+                    trace_flag(m.group(0).strip())
+                emit_depth = max(0, emit_depth + code.count("(") - code.count(")"))
+            for call in EMIT_CALL.finditer(code):
+                seg = code[call.end() - 1:]
+                m = TRACE_SECRET.search(seg)
+                if m and not waived(lines, idx, "trace-hygiene"):
+                    trace_flag(m.group(0).strip())
+                depth = seg.count("(") - seg.count(")")
+                if depth > 0:
+                    emit_depth = depth
 
         # --- retransmit-rerandomize ----------------------------------------
         # Line-local region tracking: a column-0 definition whose name says
@@ -494,13 +555,53 @@ SELF_TEST_CASES = [
         "  Bigint c1(7);  // not a batch verifier; test fixtures may use constants\n"
         "}",
     ),
+    # trace-hygiene must fire — secrets in emit/record call arguments:
+    (
+        "trace-hygiene",
+        "emit_trace(ctx, obs::EventKind::kVerifyFail, nullptr, "
+        "{.count = st.rho.bit_length()});",
+    ),
+    ("trace-hygiene", "record_event(trace_, secrets_.enc_share);"),
+    ("trace-hygiene", "emit_trace(ctx, kind, nullptr, {.peer = share.index});"),
+    (
+        "trace-hygiene",  # multi-line call: secret on a continuation line
+        "emit_trace(ctx, obs::EventKind::kRetransmit, nullptr,\n"
+        "           {.transfer = r.transfer,\n"
+        "            .count = nonce_commitment.words()});",
+    ),
+    ("trace-hygiene", "recorder->record(make_event(prng.state()));"),
+    # ...secrets in src/obs/ code itself, regardless of function name:
+    ("trace-hygiene", "ev.count = rho.bit_length();", "src/obs/trace.cpp"),
+    ("trace-hygiene", "std::uint64_t x = ctx.rng().next();", "src/obs/metrics.cpp"),
+    # ...and must NOT fire on public protocol coordinates:
+    (None, "emit_trace(ctx, obs::EventKind::kCommitSent, &init->id);"),
+    (
+        None,
+        "emit_trace(ctx, obs::EventKind::kVerifyPass, &contribute->id,\n"
+        "           {.peer = contribute->server,\n"
+        "            .subject = static_cast<std::uint32_t>(MsgType::kContribute)});",
+    ),
+    (None, "record_done(&ctx, *done, msg.done);"),
+    (None, "emit_trace(ctx, obs::EventKind::kDecryptDone, &msg.id, "
+           "{.count = cfg_.a.cfg.quorum()});"),
+    (None, "ev.peer = env.signer;", "src/obs/trace.cpp"),
+    (None, " private:\n  std::vector<Cell> cells_;", "src/obs/metrics.hpp"),
+    ("trace-hygiene", "out = private_key.to_hex();", "src/obs/metrics.hpp"),
+    (None, "out += kind_name(e.kind);", "src/obs/trace.cpp"),
+    # phase names are public vocabulary, not secrets:
+    (None, "emit_trace(ctx, obs::EventKind::kBlindSignBegin, &st.id, "
+           "{.count = quorum});"),
 ]
 
 
 def self_test() -> int:
     failures = 0
-    for expected_rule, snippet in SELF_TEST_CASES:
-        findings = lint_text("src/example/example.cpp", snippet + "\n")
+    for case in SELF_TEST_CASES:
+        # 2-tuples lint as a generic src/ file; 3-tuples carry an explicit
+        # path for path-scoped rules (trace-hygiene in src/obs/).
+        expected_rule, snippet = case[0], case[1]
+        path = case[2] if len(case) == 3 else "src/example/example.cpp"
+        findings = lint_text(path, snippet + "\n")
         rules = {f.rule for f in findings}
         if expected_rule is None and findings:
             print(f"self-test FAIL (spurious {sorted(rules)}): {snippet}")

@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Offline invariant checker for dblind JSONL traces (ISSUE 4).
+
+Replays a trace produced by `dblind transfer --trace out.jsonl` (or any
+obs::JsonlTraceRecorder stream) and checks protocol invariants that must hold
+for every run, Byzantine or not:
+
+  I1  every `done_recorded` is preceded by >= b_f+1 `verify_pass` events for
+      contribute messages (subject 4) of the same instance, from distinct
+      provers — no transfer completes without a verified blinding quorum.
+  I2  every `reveal_sent` is preceded by >= 2*b_f+1 `commit_accepted` events
+      at the same coordinator for the same instance, from distinct servers —
+      no reveal before the commit quorum.
+  I3  `epoch_start` epochs are strictly increasing per (node, transfer) —
+      a restarted coordinator never reuses an epoch.
+  I4  `retransmit` attempts are < cap, strictly increasing per (node, timer
+      key), and cap never exceeds the run's configured retransmit cap.
+
+Malformed lines are rejected with their line number. With --latency the
+checker also prints a per-phase latency table (virtual microseconds under
+the simulator).
+
+Usage:
+  trace_check.py trace.jsonl [--require kind,kind,...] [--latency] [--quiet]
+  trace_check.py --generate-with path/to/dblind   # end-to-end self-exercise
+  trace_check.py --self-test                      # embedded corpus
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SUBJECT_CONTRIBUTE = 4  # MsgType::kContribute
+
+KNOWN_KINDS = {
+    "msg_send", "msg_recv", "msg_drop", "msg_dup", "msg_corrupt",
+    "crash", "restart",
+    "epoch_start", "commit_sent", "commit_accepted", "reveal_sent",
+    "contribute_sent", "verify_pass", "verify_fail", "blind_sign_begin",
+    "sign_done", "decrypt_begin", "decrypt_done", "done_sign_begin",
+    "done_recorded", "retransmit",
+}
+
+
+class TraceError(Exception):
+    pass
+
+
+def parse_line(lineno, line):
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise TraceError(f"line {lineno}: not valid JSON: {e.msg}")
+    if not isinstance(obj, dict):
+        raise TraceError(f"line {lineno}: expected a JSON object")
+    kind = obj.get("kind")
+    if not isinstance(kind, str):
+        raise TraceError(f"line {lineno}: missing string field 'kind'")
+    if kind == "meta":
+        return obj
+    if kind not in KNOWN_KINDS:
+        raise TraceError(f"line {lineno}: unknown event kind '{kind}'")
+    for req in ("ts", "node"):
+        if not isinstance(obj.get(req), int):
+            raise TraceError(f"line {lineno}: missing integer field '{req}'")
+    return obj
+
+
+def instance_of(ev):
+    return (ev.get("transfer"), ev.get("coord"), ev.get("epoch"))
+
+
+class Checker:
+    """Streams events in file order and accumulates invariant state."""
+
+    def __init__(self):
+        self.meta = None
+        self.counts = {}
+        self.errors = []
+        # I1: instance -> set of provers whose contribute passed so far.
+        self.contribute_passes = {}
+        # I2: (node, instance) -> set of servers whose commit was accepted.
+        self.commits = {}
+        # I3: (node, transfer) -> last announced epoch.
+        self.last_epoch = {}
+        # I4: (node, key) -> last attempt.
+        self.last_attempt = {}
+        # Latency bookkeeping: (phase) -> list of durations.
+        self.latency = {}
+        self._marks = {}       # (what, node, instance) -> ts
+        self._first_start = {}  # transfer -> ts of first epoch_start
+        self._done = {}        # transfer -> ts of first done_recorded
+
+    def err(self, lineno, msg):
+        self.errors.append(f"line {lineno}: {msg}")
+
+    def _mark(self, what, ev):
+        self._marks[(what, ev["node"], instance_of(ev))] = ev["ts"]
+
+    def _span(self, phase, begin_what, ev):
+        t0 = self._marks.get((begin_what, ev["node"], instance_of(ev)))
+        if t0 is not None:
+            self.latency.setdefault(phase, []).append(ev["ts"] - t0)
+
+    def feed(self, lineno, ev):
+        kind = ev["kind"]
+        if kind == "meta":
+            if self.meta is not None:
+                self.err(lineno, "duplicate meta line")
+            self.meta = ev
+            return
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        node, inst = ev["node"], instance_of(ev)
+
+        if kind == "verify_pass" and ev.get("subject") == SUBJECT_CONTRIBUTE \
+                and inst[0] is not None:
+            self.contribute_passes.setdefault(inst, set()).add(ev.get("peer"))
+        elif kind == "commit_accepted":
+            self.commits.setdefault((node, inst), set()).add(ev.get("from"))
+        elif kind == "epoch_start":
+            key = (node, inst[0])
+            prev = self.last_epoch.get(key)
+            if prev is not None and ev.get("epoch") <= prev:
+                self.err(lineno, f"I3: node {node} transfer {inst[0]} announced "
+                                 f"epoch {ev.get('epoch')} after epoch {prev}")
+            self.last_epoch[key] = ev.get("epoch")
+            self._mark("epoch_start", ev)
+            self._first_start.setdefault(inst[0], ev["ts"])
+        elif kind == "reveal_sent":
+            if self.meta is not None:
+                need = 2 * self.meta["b_f"] + 1
+                got = len(self.commits.get((node, inst), set()))
+                if got < need:
+                    self.err(lineno, f"I2: reveal for {inst} after only {got} "
+                                     f"accepted commits (need {need})")
+            self._span("commit", "epoch_start", ev)
+            self._mark("reveal_sent", ev)
+        elif kind == "blind_sign_begin":
+            self._span("contribute", "reveal_sent", ev)
+            self._mark("blind_sign_begin", ev)
+        elif kind == "sign_done":
+            if ev.get("purpose") == 1:
+                self._span("blind_sign", "blind_sign_begin", ev)
+            elif ev.get("purpose") == 2:
+                self._span("done_sign", "done_sign_begin", ev)
+        elif kind == "decrypt_begin":
+            self._mark("decrypt_begin", ev)
+        elif kind == "decrypt_done":
+            self._span("decrypt", "decrypt_begin", ev)
+        elif kind == "done_sign_begin":
+            self._mark("done_sign_begin", ev)
+        elif kind == "done_recorded":
+            if self.meta is not None:
+                need = self.meta["b_f"] + 1
+                got = len(self.contribute_passes.get(inst, set()))
+                if got < need:
+                    self.err(lineno, f"I1: done recorded for {inst} after only "
+                                     f"{got} verified contributions (need {need})")
+            if inst[0] is not None and inst[0] not in self._done:
+                self._done[inst[0]] = ev["ts"]
+        elif kind == "retransmit":
+            attempt, cap = ev.get("attempt"), ev.get("cap")
+            if attempt is None or cap is None:
+                self.err(lineno, "I4: retransmit without attempt/cap")
+                return
+            if attempt >= cap:
+                self.err(lineno, f"I4: retransmit attempt {attempt} >= cap {cap}")
+            if self.meta is not None and cap > self.meta["retransmit_cap"]:
+                self.err(lineno, f"I4: cap {cap} exceeds configured "
+                                 f"{self.meta['retransmit_cap']}")
+            key = (node, ev.get("key"))
+            prev = self.last_attempt.get(key)
+            if prev is not None and attempt <= prev:
+                self.err(lineno, f"I4: attempt {attempt} for timer {key} "
+                                 f"not increasing (last {prev})")
+            self.last_attempt[key] = attempt
+
+    def finish(self):
+        for transfer, t_done in self._done.items():
+            t0 = self._first_start.get(transfer)
+            if t0 is not None:
+                self.latency.setdefault("end_to_end", []).append(t_done - t0)
+
+
+def check_file(path, require=(), latency=False, quiet=False, out=sys.stdout):
+    checker = Checker()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                checker.feed(lineno, parse_line(lineno, line))
+            except TraceError as e:
+                checker.errors.append(str(e))
+    checker.finish()
+    if checker.meta is None:
+        checker.errors.append("trace has no meta line (is this a dblind trace?)")
+    for kind in require:
+        if checker.counts.get(kind, 0) == 0:
+            checker.errors.append(f"required event kind '{kind}' never occurred")
+
+    if not quiet:
+        total = sum(checker.counts.values())
+        print(f"{path}: {total} events, {len(checker.errors)} invariant "
+              f"violations", file=out)
+        for kind in sorted(checker.counts):
+            print(f"  {kind:18} {checker.counts[kind]}", file=out)
+        if latency and checker.latency:
+            print("phase latency (virtual us):", file=out)
+            print(f"  {'phase':12} {'n':>4} {'min':>10} {'mean':>10} {'max':>10}",
+                  file=out)
+            order = ["commit", "contribute", "blind_sign", "decrypt",
+                     "done_sign", "end_to_end"]
+            for phase in order + sorted(set(checker.latency) - set(order)):
+                vals = checker.latency.get(phase)
+                if not vals:
+                    continue
+                print(f"  {phase:12} {len(vals):>4} {min(vals):>10} "
+                      f"{sum(vals) // len(vals):>10} {max(vals):>10}", file=out)
+    for e in checker.errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    return len(checker.errors) == 0
+
+
+# --- self-test corpus --------------------------------------------------------
+
+META = ('{"kind":"meta","run_seed":1,"a_n":4,"a_f":1,"b_n":4,"b_f":1,'
+        '"retransmit_cap":12}')
+
+
+def _commits(node, n):
+    return "\n".join(
+        f'{{"ts":{i},"node":{node},"kind":"commit_accepted","transfer":1,'
+        f'"coord":1,"epoch":0,"from":{i + 1},"count":{i + 1}}}'
+        for i in range(n))
+
+
+def _passes(n):
+    return "\n".join(
+        f'{{"ts":{10 + i},"node":4,"kind":"verify_pass","transfer":1,'
+        f'"coord":1,"epoch":0,"subject":4,"peer":{i + 1}}}'
+        for i in range(n))
+
+
+SELF_TESTS = [
+    # (name, trace text, should_pass, expected substring in errors)
+    ("clean-run", "\n".join([
+        META,
+        f'{{"ts":0,"node":4,"kind":"epoch_start","transfer":1,"coord":1,"epoch":0}}',
+        _commits(4, 3),
+        '{"ts":5,"node":4,"kind":"reveal_sent","transfer":1,"coord":1,"epoch":0,"count":3}',
+        _passes(2),
+        '{"ts":20,"node":4,"kind":"blind_sign_begin","transfer":1,"coord":1,"epoch":0,"count":2}',
+        '{"ts":30,"node":4,"kind":"sign_done","transfer":1,"coord":1,"epoch":0,"purpose":1}',
+        '{"ts":40,"node":0,"kind":"decrypt_begin","transfer":1,"coord":1,"epoch":0}',
+        '{"ts":50,"node":0,"kind":"decrypt_done","transfer":1,"coord":1,"epoch":0,"count":2}',
+        '{"ts":51,"node":0,"kind":"done_sign_begin","transfer":1,"coord":1,"epoch":0}',
+        '{"ts":60,"node":0,"kind":"sign_done","transfer":1,"coord":1,"epoch":0,"purpose":2}',
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0}',
+        '{"ts":80,"node":4,"kind":"retransmit","transfer":1,"key":3,"frames":4,"attempt":1,"cap":12}',
+        '{"ts":90,"node":4,"kind":"retransmit","transfer":1,"key":3,"frames":4,"attempt":2,"cap":12}',
+    ]), True, None),
+    ("done-without-quorum", "\n".join([
+        META,
+        _passes(1),
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0}',
+    ]), False, "I1"),
+    ("reveal-without-commits", "\n".join([
+        META,
+        _commits(4, 2),
+        '{"ts":5,"node":4,"kind":"reveal_sent","transfer":1,"coord":1,"epoch":0,"count":2}',
+    ]), False, "I2"),
+    ("epoch-reuse", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_start","transfer":1,"coord":1,"epoch":1}',
+        '{"ts":9,"node":4,"kind":"epoch_start","transfer":1,"coord":1,"epoch":1}',
+    ]), False, "I3"),
+    ("retransmit-over-cap", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"retransmit","transfer":1,"key":3,"frames":4,"attempt":12,"cap":12}',
+    ]), False, "I4"),
+    ("retransmit-cap-exceeds-config", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"retransmit","transfer":1,"key":3,"frames":4,"attempt":1,"cap":99}',
+    ]), False, "I4"),
+    ("malformed-json", META + "\n{not json}\n", False, "line 2"),
+    ("not-an-object", META + "\n[1,2,3]\n", False, "line 2"),
+    ("unknown-kind", META + '\n{"ts":1,"node":0,"kind":"mystery"}\n', False,
+     "line 2"),
+    ("missing-ts", META + '\n{"node":0,"kind":"crash"}\n', False, "line 2"),
+    ("no-meta", '{"ts":1,"node":0,"kind":"crash"}\n', False, "no meta"),
+]
+
+
+def run_self_test():
+    failures = 0
+    for name, text, should_pass, needle in SELF_TESTS:
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as fh:
+            fh.write(text + "\n")
+            path = fh.name
+        import io
+        import contextlib
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            ok = check_file(path, quiet=True)
+        os.unlink(path)
+        problems = []
+        if ok != should_pass:
+            problems.append(f"expected {'pass' if should_pass else 'fail'}, "
+                            f"got {'pass' if ok else 'fail'}")
+        if needle and needle not in err.getvalue():
+            problems.append(f"expected '{needle}' in errors, got: "
+                            f"{err.getvalue().strip()!r}")
+        status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+        print(f"self-test {name:28} {status}")
+        failures += bool(problems)
+    return failures == 0
+
+
+def run_generate_with(cli):
+    """Drives the CLI through a lossy Byzantine run and validates its trace."""
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as fh:
+        path = fh.name
+    try:
+        cmd = [cli, "transfer", "--bits", "128", "--message", "hi",
+               "--seed", "7", "--loss", "10", "--byzantine", "badvde",
+               "--trace", path]
+        res = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+        if res.returncode != 0:
+            print(f"ERROR: {' '.join(cmd)} exited {res.returncode}:\n"
+                  f"{res.stdout}{res.stderr}", file=sys.stderr)
+            return False
+        return check_file(path, require=("retransmit", "verify_fail",
+                                         "done_recorded"), latency=True)
+    finally:
+        os.unlink(path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", help="JSONL trace file")
+    ap.add_argument("--require", default="",
+                    help="comma-separated event kinds that must occur")
+    ap.add_argument("--latency", action="store_true",
+                    help="print the per-phase latency table")
+    ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded corpus")
+    ap.add_argument("--generate-with", metavar="DBLIND",
+                    help="run this dblind binary to produce and check a trace")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(0 if run_self_test() else 1)
+    if args.generate_with:
+        sys.exit(0 if run_generate_with(args.generate_with) else 1)
+    if not args.trace:
+        ap.error("need a trace file, --self-test, or --generate-with")
+    require = tuple(k for k in args.require.split(",") if k)
+    sys.exit(0 if check_file(args.trace, require=require, latency=args.latency,
+                             quiet=args.quiet) else 1)
+
+
+if __name__ == "__main__":
+    main()
