@@ -34,10 +34,41 @@ Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
 import argparse
 import json
 import os
+import platform
 import subprocess
 import sys
 
 MARKER = "BENCHJSON "
+
+
+def read_environment(build_dir):
+    """Provenance for the wall-clock columns: host + compiler + build type.
+
+    Mont-mul counts are machine-independent, but serial_ms/batch_ms are not;
+    without this block a report regenerated on a different box is
+    indistinguishable from a hand-edited one.
+    """
+    env = {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "build_dir": os.path.basename(os.path.abspath(build_dir)),
+    }
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    wanted = {
+        "CMAKE_BUILD_TYPE": "cmake_build_type",
+        "CMAKE_CXX_COMPILER": "cxx_compiler",
+        "CMAKE_CXX_FLAGS": "cxx_flags",
+    }
+    try:
+        with open(cache, encoding="utf-8") as fh:
+            for line in fh:
+                key = line.split(":", 1)[0]
+                if key in wanted and "=" in line:
+                    env[wanted[key]] = line.split("=", 1)[1].strip()
+    except OSError:
+        env["cmake_cache"] = "unavailable"
+    return env
 
 
 def run_fig4(build_dir):
@@ -135,9 +166,11 @@ def main():
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     out_path = args.output or os.path.join(repo_root, "BENCH_pr3.json")
+    environment = read_environment(args.build_dir)
     report = {
         "gate": "verification-fast-path",
         "pass": not failures,
+        "environment": environment,
         "failures": failures,
         "blind_verify": blind,
         "e2e": e2e,
@@ -151,6 +184,7 @@ def main():
     obs_report = {
         "gate": "observability-overhead",
         "pass": not any("obs-overhead" in f or "phase" in f for f in failures),
+        "environment": environment,
         "obs_overhead": obs,
         "phases": phases,
     }
