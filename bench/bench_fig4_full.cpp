@@ -9,9 +9,12 @@
 // Byzantine tolerance.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/failstop.hpp"
 #include "core/system.hpp"
@@ -67,8 +70,21 @@ RunResult run(core::SystemOptions opts, Behavior b1 = Behavior::kHonest,
 int main(int argc, char** argv) {
   // --metrics: additionally dump the instrumented run's full registry in
   // Prometheus text format (after the obs-overhead section).
+  // --pool-size N / --warm: contribution-pool capacity and prefill for the
+  // pipelined-throughput section (the cold-vs-warm comparison section always
+  // runs both arms so the BENCHJSON gate rows are emitted unconditionally).
   bool dump_metrics = false;
-  for (int i = 1; i < argc; ++i) dump_metrics = dump_metrics || std::strcmp(argv[i], "--metrics") == 0;
+  std::size_t pool_size = 8;
+  bool warm = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--warm") == 0) {
+      warm = true;
+    } else if (std::strcmp(argv[i], "--pool-size") == 0 && i + 1 < argc) {
+      pool_size = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
   std::puts("FIG4 — complete re-encryption protocol (async simulator, delays U[0.5ms, 20ms])");
   std::puts("");
 
@@ -429,6 +445,179 @@ int main(int argc, char** argv) {
       std::puts("Metrics registry (instrumented run, Prometheus text format):");
       std::fputs(registry.prometheus_text().c_str(), stdout);
     }
+  }
+
+  std::puts("");
+  std::puts("Offline/online split (PR 5) — contribution pool, cold vs warm (same seed):");
+  std::puts("(online = mont-muls a contributor spends inside the init/reveal handlers,");
+  std::puts(" the latency-critical path; the warm pool moves bundle construction — dual");
+  std::puts(" encryption + VDE announcements — into the offline refill timer. Results");
+  std::puts(" must be bit-identical across modes: the pool changes WHEN the work runs,");
+  std::puts(" never WHAT randomness it consumes.)");
+  {
+    struct PoolRun {
+      std::uint64_t online = 0;
+      std::uint64_t offline = 0;
+      std::uint64_t drains = 0;
+      std::uint64_t fallbacks = 0;
+      std::uint64_t refills = 0;
+      double latency_ms = 0;
+      std::vector<std::optional<elgamal::Ciphertext>> results;
+    };
+    constexpr int kPoolTransfers = 6;
+    auto run_pool = [&](std::size_t cap, bool prefill) {
+      obs::MetricsRegistry reg;
+      core::SystemOptions o;
+      o.a = {4, 1};
+      o.b = {4, 1};
+      o.seed = 600;
+      o.protocol.contribution_pool = cap;
+      o.protocol.pool_prefill = prefill;
+      o.protocol.metrics = &reg;
+      core::System sys(std::move(o));
+      std::vector<core::TransferId> ts;
+      for (int i = 0; i < kPoolTransfers; ++i) {
+        ts.push_back(sys.add_transfer(sys.config().params.encode_message(Bigint(9000 + i))));
+      }
+      PoolRun r;
+      if (!sys.run_to_completion()) std::puts("BUG: pool bench run did not complete");
+      r.latency_ms = sys.sim().stats().end_time / 1000.0;
+      for (core::TransferId t : ts) {
+        for (core::ServerRank rank = 1; rank <= 4; ++rank) r.results.push_back(sys.result(t, rank));
+      }
+      for (core::ServerRank rank = 1; rank <= 4; ++rank) {
+        const std::string node = std::to_string(sys.config().b.node_of(rank));
+        r.online += reg.counter("dblind_contrib_mont_muls_total",
+                                {{"node", node}, {"path", "online"}})
+                        .value();
+        r.offline += reg.counter("dblind_contrib_mont_muls_total",
+                                 {{"node", node}, {"path", "offline"}})
+                         .value();
+        r.drains +=
+            reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "drain"}}).value();
+        r.fallbacks +=
+            reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "fallback"}})
+                .value();
+        r.refills +=
+            reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "refill"}}).value();
+      }
+      return r;
+    };
+    PoolRun cold = run_pool(0, false);
+    PoolRun warmed = run_pool(pool_size, true);
+    const bool identical = cold.results == warmed.results;
+
+    bench::Table pt({"mode", "online_muls", "offline_muls", "online/transfer", "drains",
+                     "fallbacks", "identical"});
+    auto per_transfer = [](std::uint64_t v) {
+      return bench::fmt(static_cast<double>(v) / kPoolTransfers, 1);
+    };
+    pt.row({"cold (no pool)", bench::fmt_u(cold.online), bench::fmt_u(cold.offline),
+            per_transfer(cold.online), "-", "-", "-"});
+    pt.row({"warm (pool=" + std::to_string(pool_size) + ")", bench::fmt_u(warmed.online),
+            bench::fmt_u(warmed.offline), per_transfer(warmed.online),
+            bench::fmt_u(warmed.drains), bench::fmt_u(warmed.fallbacks),
+            identical ? "yes" : "NO"});
+    pt.print();
+    if (!identical) std::puts("BUG: warm-pool run diverged from the cold run");
+    std::printf(
+        "BENCHJSON {\"section\": \"pool\", \"transfers\": %d, \"cold_online_mont_muls\": %llu, "
+        "\"warm_online_mont_muls\": %llu, \"warm_offline_mont_muls\": %llu, "
+        "\"warm_drains\": %llu, \"warm_fallbacks\": %llu, \"warm_refills\": %llu, "
+        "\"identical_results\": %d}\n",
+        kPoolTransfers, static_cast<unsigned long long>(cold.online),
+        static_cast<unsigned long long>(warmed.online),
+        static_cast<unsigned long long>(warmed.offline),
+        static_cast<unsigned long long>(warmed.drains),
+        static_cast<unsigned long long>(warmed.fallbacks),
+        static_cast<unsigned long long>(warmed.refills), identical ? 1 : 0);
+  }
+
+  std::puts("");
+  std::puts("Fixed-base comb tables (PR 5) — pinned protocol base vs generic pow:");
+  std::puts("(one epoch-long table build per pinned base; each exponentiation then");
+  std::puts(" costs <= ceil(|q|/w) mont-muls with zero squarings)");
+  {
+    using group::GroupParams;
+    using group::ParamId;
+    using mpz::Prng;
+    GroupParams gp = GroupParams::named(ParamId::kSec512);
+    Prng prng(911);
+    const Bigint y = gp.pow_g(gp.random_exponent(prng));
+    gp.pin_base(y);  // builds the comb table (outside the measured window)
+    constexpr int kExps = 8;
+    std::vector<Bigint> exps;
+    for (int i = 0; i < kExps; ++i) exps.push_back(gp.random_exponent(prng));
+
+    std::uint64_t m0 = gp.mont_mul_count();
+    auto t0 = std::chrono::steady_clock::now();
+    for (const Bigint& e : exps) (void)gp.pow_fixed(y, e);
+    auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t comb_muls = (gp.mont_mul_count() - m0) / kExps;
+    const double comb_ms = std::chrono::duration<double, std::milli>(t1 - t0).count() / kExps;
+
+    m0 = gp.mont_mul_count();
+    t0 = std::chrono::steady_clock::now();
+    for (const Bigint& e : exps) (void)gp.pow(y, e);
+    t1 = std::chrono::steady_clock::now();
+    const std::uint64_t generic_muls = (gp.mont_mul_count() - m0) / kExps;
+    const double generic_ms = std::chrono::duration<double, std::milli>(t1 - t0).count() / kExps;
+
+    for (const Bigint& e : exps) {
+      if (gp.pow_fixed(y, e) != gp.pow(y, e)) std::puts("BUG: comb result mismatch");
+    }
+    bench::Table ft({"path", "mont_muls/pow", "ms/pow", "ratio"});
+    ft.row({"generic", bench::fmt_u(generic_muls), bench::fmt(generic_ms, 3), "1.00x"});
+    ft.row({"comb (pinned)", bench::fmt_u(comb_muls), bench::fmt(comb_ms, 3),
+            bench::fmt(static_cast<double>(generic_muls) / static_cast<double>(comb_muls), 2) +
+                "x"});
+    ft.print();
+    std::printf(
+        "BENCHJSON {\"section\": \"fixed-base\", \"comb_mont_muls\": %llu, "
+        "\"generic_mont_muls\": %llu, \"comb_ms\": %.4f, \"generic_ms\": %.4f}\n",
+        static_cast<unsigned long long>(comb_muls), static_cast<unsigned long long>(generic_muls),
+        comb_ms, generic_ms);
+  }
+
+  std::puts("");
+  std::printf("Pipelined throughput — 12 transfers in flight (pool=%zu, %s; override with"
+              " --pool-size N --warm):\n",
+              pool_size, warm ? "warm" : "cold");
+  {
+    core::SystemOptions o;
+    o.a = {4, 1};
+    o.b = {4, 1};
+    o.seed = 700;
+    o.protocol.contribution_pool = pool_size;
+    o.protocol.pool_prefill = warm;
+    core::System sys(std::move(o));
+    constexpr int kN = 12;
+    std::vector<core::TransferId> ts;
+    for (int i = 0; i < kN; ++i) {
+      ts.push_back(sys.add_transfer(sys.config().params.encode_message(Bigint(7000 + i))));
+    }
+    auto w0 = std::chrono::steady_clock::now();
+    bool done = sys.run_to_completion();
+    auto w1 = std::chrono::steady_clock::now();
+    bool ok = done;
+    for (core::TransferId t : ts) {
+      for (core::ServerRank rank = 1; rank <= 4 && ok; ++rank) {
+        auto res = sys.result(t, rank);
+        ok = res && sys.oracle_decrypt_b(*res) == sys.plaintext_of(t);
+      }
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(w1 - w0).count();
+    const double virt_ms = sys.sim().stats().end_time / 1000.0;
+    const double tps = wall_ms > 0 ? kN / (wall_ms / 1000.0) : 0;
+    bench::Table tt({"transfers", "virtual_ms", "wall_ms", "transfers/sec", "integrity"});
+    tt.row({std::to_string(kN), bench::fmt(virt_ms), bench::fmt(wall_ms, 1), bench::fmt(tps, 1),
+            ok ? "yes" : "NO"});
+    tt.print();
+    std::printf(
+        "BENCHJSON {\"section\": \"throughput\", \"transfers\": %d, \"pool_size\": %zu, "
+        "\"warm\": %d, \"wall_ms\": %.2f, \"virtual_ms\": %.2f, \"transfers_per_sec\": %.2f, "
+        "\"integrity\": %d}\n",
+        kN, pool_size, warm ? 1 : 0, wall_ms, virt_ms, tps, ok ? 1 : 0);
   }
 
   std::puts("");

@@ -112,6 +112,23 @@ struct ProtocolOptions {
   // intended for net::ThreadedBus deployments.
   std::size_t verify_workers = 0;
 
+  // --- offline/online contribution pool (perf only; wire-identical) ---------
+  // Bounded pool of precomputed blinding-contribution bundles on each B
+  // server (core/contribution_pool.hpp): ρ, both encryptions and the VDE
+  // announcements are computed off the critical path, so serving an
+  // init/reveal costs zero group exponentiations while a bundle is
+  // available. 0 (the default) disables pooling; either way contribution
+  // randomness comes from the server's dedicated offline prng fork, so
+  // pool-on and pool-off runs with the same seed emit byte-identical wire
+  // messages (asserted by tests/integration/pool_protocol_test.cpp).
+  std::size_t contribution_pool = 0;
+  // Fill the pool to capacity during on_start (the "warm" bench mode).
+  bool pool_prefill = false;
+  // Idle-time refill cadence: one bundle per timer tick while below
+  // capacity; the timer disarms at capacity so the simulator's event queue
+  // always drains.
+  net::Time pool_refill_delay = 50'000;
+
   // --- observability (no protocol effect; see docs/OBSERVABILITY.md) --------
   // Structured per-phase trace events (epoch starts, commit/reveal/
   // contribute edges, verify pass/fail with culprits, retransmits, done).

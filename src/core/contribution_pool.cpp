@@ -1,0 +1,32 @@
+#include "core/contribution_pool.hpp"
+
+namespace dblind::core {
+
+ContributionBundle make_contribution_bundle(const SystemConfig& cfg, std::uint64_t id,
+                                            mpz::Prng& prng) {
+  const group::GroupParams& gp = cfg.params;
+  ContributionBundle b;
+  b.id = id;
+  b.rho = gp.random_element(prng);
+  b.r1 = gp.random_exponent(prng);
+  b.r2 = gp.random_exponent(prng);
+  b.ea = cfg.a.encryption_key.encrypt_with_nonce(b.rho, b.r1);
+  b.eb = cfg.b.encryption_key.encrypt_with_nonce(b.rho, b.r2);
+  b.vde = zkp::vde_prove_offline(cfg.a.encryption_key, b.ea, b.r1, cfg.b.encryption_key, b.eb,
+                                 b.r2, prng);
+  return b;
+}
+
+void ContributionPool::push(ContributionBundle b) {
+  if (full()) return;
+  entries_.push_back(std::move(b));
+}
+
+std::optional<ContributionBundle> ContributionPool::take() {
+  if (entries_.empty()) return std::nullopt;
+  ContributionBundle b = std::move(entries_.front());
+  entries_.pop_front();
+  return b;
+}
+
+}  // namespace dblind::core

@@ -1,0 +1,82 @@
+// Precomputed blinding-contribution pool (offline/online split, ISSUE 5).
+//
+// Everything expensive a contributor does for one Fig. 4 instance — sampling
+// ρ, computing the dual encryptions E_A(ρ)/E_B(ρ), and the commit-phase
+// exponentiations of the three VDE subproofs — depends only on the service
+// keys, never on the transfer being served. A ContributionBundle captures
+// that offline work; ProtocolServer keeps a bounded pool of bundles, refills
+// it from an idle-time timer, and drains one per instance. The online
+// remainder (Fiat-Shamir challenge binding + response arithmetic,
+// zkp::vde_prove_online) costs zero group exponentiations.
+//
+// Security invariants (enforced by lint_crypto.py's pool-reuse rule and the
+// trace checker's single-use invariant):
+//   * All bundle randomness comes from an mpz::Prng (the server's dedicated
+//     offline fork) — never ad-hoc entropy.
+//   * Bundles are move-only and consumed at most once: ρ and the VDE
+//     announcement randomness become public-equation material the moment a
+//     proof is finished, so finishing twice with different challenges would
+//     leak the witnesses.
+//   * The pool never enters ProtocolServer::snapshot(): precomputed ρ values
+//     are secrets, and a restored server regenerates its pool from scratch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/config.hpp"
+#include "zkp/vde.hpp"
+
+namespace dblind::core {
+
+// One precomputed contribution: the blinding factor, both encryptions, their
+// nonces (the VDE witnesses) and the offline half of the VDE proof.
+// Move-only: a bundle holds single-use secret randomness.
+struct ContributionBundle {
+  std::uint64_t id = 0;  // for single-use tracing; never reused per node
+  mpz::Bigint rho;
+  mpz::Bigint r1, r2;        // encryption nonces (VDE witnesses)
+  elgamal::Ciphertext ea;    // E_A(rho, r1)
+  elgamal::Ciphertext eb;    // E_B(rho, r2)
+  zkp::VdeOffline vde;       // announcements for the proof over (ea, eb)
+
+  ContributionBundle() = default;
+  ContributionBundle(ContributionBundle&&) = default;
+  ContributionBundle& operator=(ContributionBundle&&) = default;
+  ContributionBundle(const ContributionBundle&) = delete;
+  ContributionBundle& operator=(const ContributionBundle&) = delete;
+};
+
+// Computes one bundle. Draws exactly the same randomness, in the same order,
+// as the on-demand contributor path (rho, r1, r2, then the three VDE
+// announcement exponents), so pool-on and pool-off runs over the same prng
+// stream produce byte-identical wire messages.
+[[nodiscard]] ContributionBundle make_contribution_bundle(const SystemConfig& cfg,
+                                                          std::uint64_t id, mpz::Prng& prng);
+
+// Bounded FIFO of bundles. Single-threaded (owned by one ProtocolServer and
+// touched only from its handlers/timers); take() moves the bundle out, so a
+// consumed entry cannot be observed again.
+class ContributionPool {
+ public:
+  explicit ContributionPool(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  // Adds a bundle; ignored (dropped) when already at capacity.
+  void push(ContributionBundle b);
+  // FIFO move-out; nullopt when empty (caller falls back to on-demand).
+  [[nodiscard]] std::optional<ContributionBundle> take();
+  // Drops every entry (crash/restore: precomputed secrets never survive an
+  // incarnation).
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<ContributionBundle> entries_;
+};
+
+}  // namespace dblind::core

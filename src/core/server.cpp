@@ -67,6 +67,15 @@ ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, Protocol
       behavior_(behavior) {
   if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
   if (opts_.verify_workers > 0) verify_pool_ = std::make_unique<VerifyPool>(opts_.verify_workers);
+  if (opts_.contribution_pool > 0 && is_b())
+    pool_ = std::make_unique<ContributionPool>(opts_.contribution_pool);
+  // Pin the protocol bases for this key epoch: every exponentiation in
+  // encryption and VDE proving targets g (combed by pow_g), y_A, y_B or
+  // y_A·y_B (Pr3's base). One table build per modulus, shared const across
+  // all servers holding copies of these GroupParams.
+  cfg_.params.pin_base(cfg_.a.encryption_key.y());
+  cfg_.params.pin_base(cfg_.b.encryption_key.y());
+  cfg_.params.pin_base(cfg_.params.mul(cfg_.a.encryption_key.y(), cfg_.b.encryption_key.y()));
 }
 
 void ProtocolServer::store_secret(TransferId transfer, elgamal::Ciphertext ea_m) {
@@ -225,6 +234,25 @@ void ProtocolServer::on_start(net::Context& ctx) {
     ctx.set_timer(pair.second, kTimerStoreSecret | transfer);
   }
   if (is_b()) {
+    // Dedicated prng for contribution bundles (offline/online split). Forked
+    // at a fixed point of every incarnation, in pool-on and pool-off modes
+    // alike, so the bundle stream — and therefore every wire message built
+    // from it — is identical across modes for a given seed. Refill timers
+    // draw ONLY from this fork, never from ctx.rng().
+    offline_prng_.emplace(ctx.rng().fork("offline-contrib"));
+    if (pool_ != nullptr && opts_.pool_prefill) {
+      obs::ScopedCounterDelta off(cfg_.params.mont_mul_cell(),
+                                  metrics_.contrib_mont_muls_offline);
+      while (!pool_->full()) {
+        ContributionBundle b = make_contribution_bundle(cfg_, next_bundle_id_++, *offline_prng_);
+        metrics_.pool_refills.inc();
+        emit_trace(ctx, obs::EventKind::kPoolRefill, nullptr,
+                   {.peer = b.id, .count = pool_->size() + 1});
+        pool_->push(std::move(b));
+      }
+      metrics_.pool_depth.set(pool_->size());
+    }
+    arm_pool_refill(ctx);
     // Coordinator scheduling (§4.1): rank 1 is the designated coordinator;
     // ranks 2..f+1 are delayed backups. After a restart, completed transfers
     // (restored from the durable done messages) are skipped, and the epoch
@@ -283,6 +311,8 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
     }
   } else if (kind == kTimerVerifyDrain) {
     drain_verifies(ctx);
+  } else if (kind == kTimerPoolRefill) {
+    pool_refill_tick(ctx);
   }
   cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -363,6 +393,51 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
 
 // --- contributor role (B) --------------------------------------------------------
 
+// Hands out the next contribution bundle in FIFO order. Pool hit: drain the
+// precomputed bundle (zero group exponentiations on this path). Pool empty or
+// pooling disabled: fall back to computing a bundle inline from the same
+// dedicated offline prng — consumption order is identical either way, so the
+// k-th bundle a server ever uses has the same randomness regardless of pool
+// configuration (the byte-identity invariant the pool tests assert).
+ContributionBundle ProtocolServer::obtain_bundle(net::Context& ctx, const InstanceId& id) {
+  if (pool_ != nullptr) {
+    if (auto b = pool_->take()) {
+      metrics_.pool_drains.inc();
+      metrics_.pool_depth.set(pool_->size());
+      emit_trace(ctx, obs::EventKind::kPoolDrain, &id, {.peer = b->id, .count = pool_->size()});
+      arm_pool_refill(ctx);
+      return std::move(*b);
+    }
+    metrics_.pool_fallbacks.inc();
+    arm_pool_refill(ctx);
+  }
+  ContributionBundle b = make_contribution_bundle(cfg_, next_bundle_id_++, *offline_prng_);
+  if (pool_ != nullptr) {
+    // Pool configured but dry: record the fallback drain so the single-use
+    // checker still sees every consumed bundle id exactly once.
+    emit_trace(ctx, obs::EventKind::kPoolDrain, &id, {.peer = b.id, .subject = 1, .count = 0});
+  }
+  return b;
+}
+
+void ProtocolServer::arm_pool_refill(net::Context& ctx) {
+  if (pool_ == nullptr || pool_timer_armed_ || pool_->full()) return;
+  pool_timer_armed_ = true;
+  ctx.set_timer(opts_.pool_refill_delay, kTimerPoolRefill);
+}
+
+void ProtocolServer::pool_refill_tick(net::Context& ctx) {
+  pool_timer_armed_ = false;
+  if (pool_ == nullptr || pool_->full() || !offline_prng_.has_value()) return;
+  obs::ScopedCounterDelta off(cfg_.params.mont_mul_cell(), metrics_.contrib_mont_muls_offline);
+  ContributionBundle b = make_contribution_bundle(cfg_, next_bundle_id_++, *offline_prng_);
+  metrics_.pool_refills.inc();
+  emit_trace(ctx, obs::EventKind::kPoolRefill, nullptr, {.peer = b.id, .count = pool_->size() + 1});
+  pool_->push(std::move(b));
+  metrics_.pool_depth.set(pool_->size());
+  arm_pool_refill(ctx);
+}
+
 ProtocolServer::ContributorState& ProtocolServer::contributor_state(net::Context& ctx,
                                                                     const InstanceId& id) {
   auto it = contributor_.find(id);
@@ -370,10 +445,14 @@ ProtocolServer::ContributorState& ProtocolServer::contributor_state(net::Context
 
   ContributorState st;
   const group::GroupParams& gp = cfg_.params;
-  st.rho = gp.random_element(ctx.rng());
-  st.r1 = gp.random_exponent(ctx.rng());
-  st.r2 = gp.random_exponent(ctx.rng());
-  st.contribution.ea = cfg_.a.encryption_key.encrypt_with_nonce(st.rho, st.r1);
+  ContributionBundle b = obtain_bundle(ctx, id);
+  st.bundle = b.id;
+  st.rho = std::move(b.rho);
+  st.r1 = std::move(b.r1);
+  st.r2 = std::move(b.r2);
+  st.contribution.ea = std::move(b.ea);
+  st.eb_good = std::move(b.eb);
+  st.vde_offline = std::move(b.vde);
   if (behavior_ == Behavior::kInconsistentContribution) {
     // §4.2.2 attack: E_B encrypts a different plaintext (ρ' != ρ). No valid
     // VDE proof exists for the pair; handle_reveal attaches a proof computed
@@ -382,7 +461,7 @@ ProtocolServer::ContributorState& ProtocolServer::contributor_state(net::Context
     mpz::Bigint rho_bad = gp.mul(st.rho, gp.g());
     st.contribution.eb = cfg_.b.encryption_key.encrypt_with_nonce(rho_bad, st.r2);
   } else {
-    st.contribution.eb = cfg_.b.encryption_key.encrypt_with_nonce(st.rho, st.r2);
+    st.contribution.eb = st.eb_good;
   }
   contributor_[id] = std::move(st);
   return contributor_[id];
@@ -392,6 +471,9 @@ void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
   if (!is_b()) return;
   auto init = check_init(cfg_, env);
   if (!init) return;
+  // Mont-muls spent while serving the request are the "online" cost; with a
+  // warm pool the bundle here is precomputed and this stays near zero.
+  obs::ScopedCounterDelta online(cfg_.params.mont_mul_cell(), metrics_.contrib_mont_muls_online);
   ContributorState& st = contributor_state(ctx, init->id);
   if (st.committed) {
     // Duplicate init (retransmission or network duplication): answer with the
@@ -444,24 +526,20 @@ void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) 
   st.contributed = true;
   st.answered_reveal = env;
 
+  obs::ScopedCounterDelta online(cfg_.params.mont_mul_cell(), metrics_.contrib_mont_muls_online);
   ContributeMsg msg;
   msg.id = reveal->id;
   msg.server = secrets_.rank;
   msg.reveal = env;
   msg.contribution = st.contribution;
-  if (behavior_ == Behavior::kInconsistentContribution) {
-    // A VDE proof for an inconsistent pair cannot be honestly generated;
-    // attach a proof for a *consistent* shadow pair so only verification
-    // (not parsing) can reject it.
-    elgamal::Ciphertext eb_good = cfg_.b.encryption_key.encrypt_with_nonce(st.rho, st.r2);
-    msg.vde = zkp::vde_prove(cfg_.a.encryption_key, st.contribution.ea, st.r1,
-                             cfg_.b.encryption_key, eb_good, st.r2,
-                             vde_context(msg.id, msg.server), ctx.rng());
-  } else {
-    msg.vde = zkp::vde_prove(cfg_.a.encryption_key, st.contribution.ea, st.r1,
-                             cfg_.b.encryption_key, st.contribution.eb, st.r2,
-                             vde_context(msg.id, msg.server), ctx.rng());
-  }
+  // Online phase of the Fiat-Shamir split: the announcements (and, for the
+  // kInconsistentContribution attack, the consistent shadow pair eb_good the
+  // proof is honestly generated over) were fixed when the bundle was built;
+  // here we only bind the challenge to the transcript and compute responses —
+  // cheap modular arithmetic, zero group exponentiations.
+  msg.vde = zkp::vde_prove_online(cfg_.a.encryption_key, st.contribution.ea, st.r1,
+                                  cfg_.b.encryption_key, st.eb_good, st.r2, st.vde_offline,
+                                  vde_context(msg.id, msg.server));
   st.contribute_frame = signed_frame(ctx, encode_body(MsgType::kContribute, msg));
   ctx.send(cfg_.b.node_of(reveal->id.coordinator), st.contribute_frame);
   emit_trace(ctx, obs::EventKind::kContributeSent, &reveal->id,
@@ -1520,6 +1598,13 @@ void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
   client_decrypt_cache_.clear();
   responder_timer_ids_.clear();
   results_count_.store(0, std::memory_order_release);
+  // Pooled bundles hold secrets (ρ and proof nonces) that were never durable:
+  // drop them all. on_start re-forks the offline prng and refills. Bundle ids
+  // keep counting up across incarnations so no id is ever consumed twice.
+  if (pool_ != nullptr) pool_->clear();
+  metrics_.pool_depth.set(0);
+  pool_timer_armed_ = false;
+  offline_prng_.reset();
   if (snap.empty()) return;
 
   // Parse into locals and commit only on full success: a corrupt snapshot
@@ -1636,6 +1721,17 @@ void ProtocolServer::resolve_metrics(net::Context& ctx) {
     verify_pool_->set_metrics(reg.counter("dblind_verify_pool_jobs_total", by_node),
                               reg.gauge("dblind_verify_pool_depth", by_node));
   }
+  metrics_.pool_depth = reg.gauge("dblind_pool_depth", by_node);
+  metrics_.pool_refills =
+      reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "refill"}});
+  metrics_.pool_drains =
+      reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "drain"}});
+  metrics_.pool_fallbacks =
+      reg.counter("dblind_pool_events_total", {{"node", node}, {"event", "fallback"}});
+  metrics_.contrib_mont_muls_online =
+      reg.counter("dblind_contrib_mont_muls_total", {{"node", node}, {"path", "online"}});
+  metrics_.contrib_mont_muls_offline =
+      reg.counter("dblind_contrib_mont_muls_total", {{"node", node}, {"path", "offline"}});
 }
 
 }  // namespace dblind::core

@@ -36,6 +36,7 @@
 #include <future>
 
 #include "core/config.hpp"
+#include "core/contribution_pool.hpp"
 #include "core/messages.hpp"
 #include "core/validity.hpp"
 #include "core/verify_pool.hpp"
@@ -147,6 +148,17 @@ class ProtocolServer final : public net::Node {
     obs::Counter batch_fallbacks;        // batch-mode checks that came back false
     obs::Histogram verify_queue_depth;   // pool queue depth at each enqueue
     obs::Histogram verify_drain_batch;   // verdicts applied per drain timer
+    // Contribution-pool health (ISSUE 5): depth after each refill/drain,
+    // event counts, and offline-vs-online mont-mul attribution. "online" is
+    // everything spent inside the contributor's init/reveal handlers (the
+    // critical path a coordinator waits on); "offline" is bundle creation
+    // from prefill/refill timers.
+    obs::Gauge pool_depth;
+    obs::Counter pool_refills;
+    obs::Counter pool_drains;
+    obs::Counter pool_fallbacks;         // drain requests served on demand
+    obs::Counter contrib_mont_muls_online;
+    obs::Counter contrib_mont_muls_offline;
   };
 
   // --- net::Node --------------------------------------------------------------
@@ -205,6 +217,13 @@ class ProtocolServer final : public net::Node {
     Contribution contribution;
     mpz::Bigint r1, r2;  // encryption nonces (VDE witnesses)
     mpz::Bigint rho;
+    // The consistent E_B(ρ, r2) the VDE proof is computed over. Equal to
+    // contribution.eb for honest servers; kInconsistentContribution
+    // advertises a different eb but must still attach a proof for the
+    // consistent shadow pair.
+    elgamal::Ciphertext eb_good;
+    zkp::VdeOffline vde_offline;  // announcements, finished in handle_reveal
+    std::uint64_t bundle = 0;     // id of the consumed bundle (tracing)
     bool committed = false;
     bool contributed = false;  // responded to (at most) one reveal
     // Cached signed frames, re-sent verbatim on duplicate init/reveal.
@@ -215,7 +234,11 @@ class ProtocolServer final : public net::Node {
   void handle_init(net::Context& ctx, const SignedMessage& env);
   void handle_reveal(net::Context& ctx, const SignedMessage& env);
   ContributorState& contributor_state(net::Context& ctx, const InstanceId& id);
-  void make_contribution(net::Context& ctx, const InstanceId& id, ContributorState& st);
+  // Pool drain with transparent on-demand fallback; also the pool-off path.
+  [[nodiscard]] ContributionBundle obtain_bundle(net::Context& ctx, const InstanceId& id);
+  // One bundle per tick while below capacity (kTimerPoolRefill).
+  void pool_refill_tick(net::Context& ctx);
+  void arm_pool_refill(net::Context& ctx);
 
   // ---- coordinator role (B) --------------------------------------------------
   struct CoordinatorState {
@@ -329,7 +352,6 @@ class ProtocolServer final : public net::Node {
   void schedule_coordinator(net::Context& ctx, TransferId transfer);
 
   // ---- Byzantine helpers -----------------------------------------------------------
-  void attack_contribute(net::Context& ctx, const InstanceId& id, const SignedMessage& reveal_env);
   void attack_coordinator_step(net::Context& ctx, CoordinatorState& st);
 
   // ---- observability (no protocol effect; docs/OBSERVABILITY.md) -------------------
@@ -412,6 +434,18 @@ class ProtocolServer final : public net::Node {
   std::deque<PendingVerify> pending_verifies_;
   std::unique_ptr<VerifyPool> verify_pool_;
 
+  // Offline/online contribution split (B contributors). The dedicated prng is
+  // forked once per incarnation in on_start and is the ONLY source of
+  // contribution randomness, in both pool-on and pool-off modes — that is
+  // what keeps the two modes byte-identical on the wire for a given seed.
+  // The pool itself is volatile: restore() drops it (bundles hold secret ρ
+  // values that must never be serialized) and bundle ids keep counting up so
+  // no id is ever consumed twice per node.
+  std::optional<mpz::Prng> offline_prng_;
+  std::unique_ptr<ContributionPool> pool_;
+  std::uint64_t next_bundle_id_ = 1;
+  bool pool_timer_armed_ = false;
+
   // Timer token layout (high byte = kind).
   static constexpr std::uint64_t kTimerCoordinator = 1ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResponder = 2ull << 56;     // | dense instance key
@@ -419,6 +453,7 @@ class ProtocolServer final : public net::Node {
   static constexpr std::uint64_t kTimerStoreSecret = 4ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResend = 5ull << 56;        // | resend key
   static constexpr std::uint64_t kTimerVerifyDrain = 6ull << 56;   // (no payload)
+  static constexpr std::uint64_t kTimerPoolRefill = 7ull << 56;    // (no payload)
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

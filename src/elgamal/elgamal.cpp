@@ -18,7 +18,9 @@ Ciphertext PublicKey::encrypt_with_nonce(const Bigint& m, const Bigint& r) const
     throw std::invalid_argument("encrypt: plaintext is not a group element");
   if (r.is_zero() || r.is_negative() || r >= params_.q())
     throw std::invalid_argument("encrypt: nonce out of Z_q^*");
-  return {params_.pow_g(r), params_.mul(m, params_.pow(y_, r))};
+  // pow_fixed: comb table when y is a pinned protocol base (the service keys
+  // are pinned by ProtocolServer), plain pow otherwise — same values.
+  return {params_.pow_g(r), params_.mul(m, params_.pow_fixed(y_, r))};
 }
 
 bool PublicKey::well_formed(const Ciphertext& c) const {

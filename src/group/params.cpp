@@ -157,6 +157,29 @@ Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
   return table->pow(mpz::mod(e, q_));
 }
 
+void GroupParams::pin_base(const Bigint& b) const {
+  Bigint base = mpz::mod(b, p_);
+  if (base == g_) return;  // pow_g's comb table already covers g
+  std::lock_guard<std::mutex> lock(g_cache_->mu);
+  if (g_cache_->pinned.contains(base)) return;
+  g_cache_->pinned.emplace(
+      base, std::make_shared<const mpz::FixedBasePow>(*mont_, base, q_.bit_length(),
+                                                      FixedBaseCache::kPinnedWindowBits));
+}
+
+Bigint GroupParams::pow_fixed(const Bigint& b, const Bigint& e) const {
+  Bigint base = mpz::mod(b, p_);
+  if (base == g_) return pow_g(e);
+  std::shared_ptr<const mpz::FixedBasePow> table;
+  {
+    std::lock_guard<std::mutex> lock(g_cache_->mu);
+    auto it = g_cache_->pinned.find(base);
+    if (it != g_cache_->pinned.end()) table = it->second;
+  }
+  if (!table) return mont_->pow(base, mpz::mod(e, q_));  // not pinned: no insertion
+  return table->pow(mpz::mod(e, q_));
+}
+
 std::uint64_t GroupParams::mont_mul_count() const { return mont_->mul_count(); }
 
 const std::atomic<std::uint64_t>* GroupParams::mont_mul_cell() const {

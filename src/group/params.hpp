@@ -69,6 +69,19 @@ class GroupParams {
   // each see many verification exponentiations. The cache is capped; overflow
   // falls back to pow(). Semantically identical to pow().
   [[nodiscard]] Bigint pow_cached(const Bigint& b, const Bigint& e) const;
+  // Pins `b` as a protocol base: builds a wide (5-bit window) comb table for
+  // it once per key epoch, shared const thereafter across all copies of this
+  // GroupParams (and threads). Unlike pow_cached's capped on-demand map, the
+  // pinned set grows only through explicit pins — a hostile peer spraying
+  // fresh bases cannot touch it. Idempotent; pinning g itself is a no-op
+  // (pow_g already combs it). Called by ProtocolServer for y_A, y_B and
+  // y_A·y_B, and by PedersenParams for h.
+  void pin_base(const Bigint& b) const;
+  // b^e mod p through the pinned comb table when `b` was pinned (or is g);
+  // otherwise a plain pow() — never inserts into any cache, so it is safe on
+  // the prover hot path even for ad-hoc bases. Semantically identical to
+  // pow().
+  [[nodiscard]] Bigint pow_fixed(const Bigint& b, const Bigint& e) const;
   // a*b mod p.
   [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const;
   // a^ea * b^eb mod p (Shamir's trick; exponents reduced mod q).
@@ -140,6 +153,10 @@ class GroupParams {
     static constexpr std::size_t kMaxEntries = 64;
     std::mutex mu;
     std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> tables;
+    // pin_base() tables: wide-window combs for the handful of protocol bases
+    // (h, y_A, y_B, y_A·y_B). Uncapped because only explicit pins enter.
+    static constexpr std::size_t kPinnedWindowBits = 5;
+    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> pinned;
   };
   std::shared_ptr<FixedBaseCache> g_cache_;
 };

@@ -317,41 +317,39 @@ Bigint MontgomeryCtx::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
   return from_mont(acc);
 }
 
-}  // namespace dblind::mpz
-
-namespace dblind_fixed_base_detail {}  // keep clang-format calm
-
-namespace dblind::mpz {
-
 FixedBasePow::FixedBasePow(const MontgomeryCtx& ctx, const Bigint& base,
-                           std::size_t max_exp_bits)
-    : ctx_(ctx) {
+                           std::size_t max_exp_bits, std::size_t window_bits)
+    : ctx_(ctx), window_(window_bits) {
   if (base.is_negative() || base >= ctx.modulus())
     throw std::invalid_argument("FixedBasePow: base out of range");
+  if (window_ == 0 || window_ > 8)
+    throw std::invalid_argument("FixedBasePow: window_bits out of [1, 8]");
   if (max_exp_bits == 0) max_exp_bits = 1;
-  windows_ = (max_exp_bits + kWindow - 1) / kWindow;
+  windows_ = (max_exp_bits + window_ - 1) / window_;
+  const std::size_t entries = 1ull << window_;
   table_.resize(windows_);
 
-  MontgomeryCtx::Limbs cur = ctx_.to_mont(base);  // base^(16^i) as i advances
+  MontgomeryCtx::Limbs cur = ctx_.to_mont(base);  // base^(2^(window_*i)) as i advances
   for (std::size_t i = 0; i < windows_; ++i) {
+    table_[i].resize(entries);
     table_[i][0] = ctx_.one_mont_;
     table_[i][1] = cur;
-    for (std::size_t j = 2; j < (1u << kWindow); ++j)
+    for (std::size_t j = 2; j < entries; ++j)
       table_[i][j] = ctx_.mont_mul(table_[i][j - 1], cur);
-    // Advance cur to base^(16^(i+1)) = (16th power of cur).
-    if (i + 1 < windows_) cur = ctx_.mont_mul(table_[i][(1u << kWindow) - 1], cur);
+    // Advance cur to base^(2^(window_*(i+1))) = cur^(2^window_).
+    if (i + 1 < windows_) cur = ctx_.mont_mul(table_[i][entries - 1], cur);
   }
 }
 
 Bigint FixedBasePow::pow(const Bigint& exp) const {
   if (exp.is_negative()) throw std::invalid_argument("FixedBasePow::pow: negative exponent");
-  if (exp.bit_length() > windows_ * kWindow)
+  if (exp.bit_length() > windows_ * window_)
     throw std::invalid_argument("FixedBasePow::pow: exponent too large for table");
   MontgomeryCtx::Limbs acc = ctx_.one_mont_;
   for (std::size_t i = 0; i < windows_; ++i) {
     unsigned idx = 0;
-    for (std::size_t b = 0; b < kWindow; ++b) {
-      if (exp.bit(i * kWindow + b)) idx |= 1u << b;
+    for (std::size_t b = 0; b < window_; ++b) {
+      if (exp.bit(i * window_ + b)) idx |= 1u << b;
     }
     if (idx != 0) acc = ctx_.mont_mul(acc, table_[i][idx]);
   }

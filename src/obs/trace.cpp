@@ -27,6 +27,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kDoneSignBegin: return "done_sign_begin";
     case EventKind::kDoneRecorded: return "done_recorded";
     case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kPoolRefill: return "pool_refill";
+    case EventKind::kPoolDrain: return "pool_drain";
   }
   return "unknown";
 }
@@ -88,6 +90,15 @@ std::string to_jsonl(const TraceEvent& e) {
       field(out, "frames", e.count);
       field(out, "attempt", e.attempt);
       field(out, "cap", e.cap);
+      break;
+    case EventKind::kPoolRefill:
+      field(out, "bundle", e.peer);
+      field(out, "depth", e.count);
+      break;
+    case EventKind::kPoolDrain:
+      field(out, "bundle", e.peer);
+      field(out, "depth", e.count);
+      field(out, "fallback", e.subject);
       break;
     default:
       break;

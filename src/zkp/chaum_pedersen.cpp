@@ -17,18 +17,34 @@ Bigint cp_challenge(const GroupParams& params, const DlogStatement& stmt, const 
   return t.challenge(params.q());
 }
 
+DlogAnnouncement dlog_announce(const GroupParams& params, const DlogStatement& stmt,
+                               const Bigint& a, mpz::Prng& prng) {
+  Bigint a_red = mpz::mod(a, params.q());
+  if (params.pow_fixed(stmt.base1, a_red) != stmt.x ||
+      params.pow_fixed(stmt.base2, a_red) != stmt.z)
+    throw std::invalid_argument("dlog_prove: witness does not satisfy statement");
+  DlogAnnouncement ann;
+  ann.w = params.random_exponent(prng);
+  ann.t1 = params.pow_fixed(stmt.base1, ann.w);
+  ann.t2 = params.pow_fixed(stmt.base2, ann.w);
+  return ann;
+}
+
+DlogEqProof dlog_finish(const GroupParams& params, const DlogStatement& stmt,
+                        const DlogAnnouncement& ann, const Bigint& a,
+                        std::string_view context) {
+  DlogEqProof proof;
+  proof.t1 = ann.t1;
+  proof.t2 = ann.t2;
+  Bigint e = cp_challenge(params, stmt, proof.t1, proof.t2, context);
+  proof.s = mpz::addmod(ann.w, mpz::mulmod(e, mpz::mod(a, params.q()), params.q()),
+                        params.q());
+  return proof;
+}
+
 DlogEqProof dlog_prove(const GroupParams& params, const DlogStatement& stmt, const Bigint& a,
                        std::string_view context, mpz::Prng& prng) {
-  Bigint a_red = mpz::mod(a, params.q());
-  if (params.pow(stmt.base1, a_red) != stmt.x || params.pow(stmt.base2, a_red) != stmt.z)
-    throw std::invalid_argument("dlog_prove: witness does not satisfy statement");
-  Bigint w = params.random_exponent(prng);
-  DlogEqProof proof;
-  proof.t1 = params.pow(stmt.base1, w);
-  proof.t2 = params.pow(stmt.base2, w);
-  Bigint e = cp_challenge(params, stmt, proof.t1, proof.t2, context);
-  proof.s = mpz::addmod(w, mpz::mulmod(e, a_red, params.q()), params.q());
-  return proof;
+  return dlog_finish(params, stmt, dlog_announce(params, stmt, a, prng), a, context);
 }
 
 bool dlog_verify(const GroupParams& params, const DlogStatement& stmt, const DlogEqProof& proof,

@@ -5,10 +5,14 @@
 namespace dblind::zkp {
 
 PedersenParams::PedersenParams(group::GroupParams params, std::string_view domain)
-    : params_(std::move(params)), h_(params_.hash_to_group(domain)) {}
+    : params_(std::move(params)), h_(params_.hash_to_group(domain)) {
+  // h is exponentiated on every commit for the scheme's lifetime: pin it so
+  // commit() combs both bases.
+  params_.pin_base(h_);
+}
 
 mpz::Bigint PedersenParams::commit(const mpz::Bigint& v, const mpz::Bigint& r) const {
-  return params_.mul(params_.pow_g(v), params_.pow(h_, r));
+  return params_.mul(params_.pow_g(v), params_.pow_fixed(h_, r));
 }
 
 PedersenParams::Opening PedersenParams::commit_random(const mpz::Bigint& v,

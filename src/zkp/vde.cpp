@@ -44,22 +44,49 @@ DerivedStatements derive(const elgamal::PublicKey& ka, const elgamal::Ciphertext
 
 }  // namespace
 
-VdeProof vde_prove(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca, const Bigint& r1,
-                   const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb, const Bigint& r2,
-                   std::string_view context, mpz::Prng& prng) {
+VdeOffline vde_prove_offline(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                             const Bigint& r1, const elgamal::PublicKey& kb,
+                             const elgamal::Ciphertext& cb, const Bigint& r2,
+                             mpz::Prng& prng) {
   const group::GroupParams& params = ka.params();
   if (!(ka.params() == kb.params()))
     throw std::invalid_argument("vde_prove: keys use different group parameters");
 
+  VdeOffline off;
+  off.g12 = params.pow_fixed(ka.y(), r2);
+  off.g21 = params.pow_fixed(kb.y(), r1);
+  DerivedStatements d = derive(ka, ca, kb, cb, off.g12, off.g21);
+  Bigint r_diff = mpz::submod(r1, r2, params.q());
+  off.a1 = dlog_announce(params, d.pr1, r2, prng);
+  off.a2 = dlog_announce(params, d.pr2, r1, prng);
+  off.a3 = dlog_announce(params, d.pr3, r_diff, prng);
+  return off;
+}
+
+VdeProof vde_prove_online(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
+                          const Bigint& r1, const elgamal::PublicKey& kb,
+                          const elgamal::Ciphertext& cb, const Bigint& r2,
+                          const VdeOffline& offline, std::string_view context) {
+  const group::GroupParams& params = ka.params();
   VdeProof proof;
-  proof.g12 = params.pow(ka.y(), r2);
-  proof.g21 = params.pow(kb.y(), r1);
+  proof.g12 = offline.g12;
+  proof.g21 = offline.g21;
+  // Re-deriving the statements costs a few modular multiplications and
+  // inversions — no exponentiations. The challenges hash the same statement
+  // elements the one-shot prover hashes, so the verifier sees no difference.
   DerivedStatements d = derive(ka, ca, kb, cb, proof.g12, proof.g21);
   Bigint r_diff = mpz::submod(r1, r2, params.q());
-  proof.pr1 = dlog_prove(params, d.pr1, r2, sub_context(context, "pr1"), prng);
-  proof.pr2 = dlog_prove(params, d.pr2, r1, sub_context(context, "pr2"), prng);
-  proof.pr3 = dlog_prove(params, d.pr3, r_diff, sub_context(context, "pr3"), prng);
+  proof.pr1 = dlog_finish(params, d.pr1, offline.a1, r2, sub_context(context, "pr1"));
+  proof.pr2 = dlog_finish(params, d.pr2, offline.a2, r1, sub_context(context, "pr2"));
+  proof.pr3 = dlog_finish(params, d.pr3, offline.a3, r_diff, sub_context(context, "pr3"));
   return proof;
+}
+
+VdeProof vde_prove(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca, const Bigint& r1,
+                   const elgamal::PublicKey& kb, const elgamal::Ciphertext& cb, const Bigint& r2,
+                   std::string_view context, mpz::Prng& prng) {
+  return vde_prove_online(ka, ca, r1, kb, cb, r2,
+                          vde_prove_offline(ka, ca, r1, kb, cb, r2, prng), context);
 }
 
 bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,

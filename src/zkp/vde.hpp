@@ -28,9 +28,46 @@ struct VdeProof {
   friend bool operator==(const VdeProof&, const VdeProof&) = default;
 };
 
+// Offline half of VDE proving: everything that depends only on the service
+// keys and the prover's own randomness — G12/G21 and the three Chaum-
+// Pedersen announcements. All of it is fixed-base exponentiation (g, y_A,
+// y_B, y_A·y_B), so with pinned comb tables it is both cheap and entirely
+// off the critical path. Contains commitment randomness (a1..a3.w): secret
+// until the proof is finished, strictly single-use (see DlogAnnouncement).
+struct VdeOffline {
+  Bigint g12;  // y_A^{r2}
+  Bigint g21;  // y_B^{r1}
+  DlogAnnouncement a1;  // for Pr1, witness r2
+  DlogAnnouncement a2;  // for Pr2, witness r1
+  DlogAnnouncement a3;  // for Pr3, witness r1-r2
+};
+
+// Computes the offline half for ca = E_A(ρ, r1), cb = E_B(ρ, r2). Throws
+// std::invalid_argument when the witnesses do not match the ciphertexts.
+// Draws exactly the three announcement exponents from `prng`, in Pr1..Pr3
+// order — the same stream positions vde_prove consumes.
+[[nodiscard]] VdeOffline vde_prove_offline(const elgamal::PublicKey& ka,
+                                           const elgamal::Ciphertext& ca, const Bigint& r1,
+                                           const elgamal::PublicKey& kb,
+                                           const elgamal::Ciphertext& cb, const Bigint& r2,
+                                           mpz::Prng& prng);
+
+// Online half: binds the Fiat-Shamir challenges of all three subproofs to
+// `context` (exactly as vde_prove does) and computes the responses. No group
+// exponentiations, no randomness. The offline bundle must have been produced
+// by vde_prove_offline for the SAME (ka, ca, r1, kb, cb, r2) and must be
+// used at most once.
+[[nodiscard]] VdeProof vde_prove_online(const elgamal::PublicKey& ka,
+                                        const elgamal::Ciphertext& ca, const Bigint& r1,
+                                        const elgamal::PublicKey& kb,
+                                        const elgamal::Ciphertext& cb, const Bigint& r2,
+                                        const VdeOffline& offline, std::string_view context);
+
 // Creates VDE(ca, cb) for ca = E_A(ρ, r1), cb = E_B(ρ, r2). The caller must
 // supply the nonces used in the two encryptions; throws std::invalid_argument
 // when the witnesses do not match the ciphertexts (e.g. plaintexts differ).
+// Exactly vde_prove_online(vde_prove_offline(...)) — same prng draws, same
+// proof bytes.
 [[nodiscard]] VdeProof vde_prove(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
                                  const Bigint& r1, const elgamal::PublicKey& kb,
                                  const elgamal::Ciphertext& cb, const Bigint& r2,

@@ -52,6 +52,8 @@ struct Mix {
   bool byzantine_b1 = false;        // adaptive-cancel coordinator at B rank 1
   bool batch_verify = false;        // RLC batch verification (PR 3 fast path)
   unsigned verify_workers = 0;      // off-handler verification pool size
+  unsigned contribution_pool = 0;   // precomputed-bundle pool capacity (PR 5)
+  bool pool_prefill = false;        // fill the pool during on_start
   bool liveness_expected = true;    // mix stays within the f-bound
 };
 
@@ -88,6 +90,17 @@ constexpr Mix kMixes[] = {
      .byzantine_b1 = true,
      .batch_verify = true,
      .verify_workers = 2},
+    // The offline/online contribution pool under crash-recovery and loss:
+    // restores must drop the pooled secrets and regenerate (a bundle id must
+    // never be consumed twice, T5), fallback must cover pool exhaustion, and
+    // the Byzantine coordinator gains nothing from precomputation.
+    {.name = "pool-chaos",
+     .drop_percent = 10,
+     .duplication_percent = 15,
+     .crash_restart_b1 = true,
+     .byzantine_b1 = true,
+     .contribution_pool = 2,
+     .pool_prefill = true},
 };
 
 constexpr int kMixCount = static_cast<int>(std::size(kMixes));
@@ -101,7 +114,10 @@ constexpr int kMixCount = static_cast<int>(std::size(kMixes));
 //      servers at the same coordinator for the same instance;
 //   T3 epochs opened per (node, transfer) are strictly increasing;
 //   T4 retransmit attempts stay below their cap, increase per (node, timer
-//      key), and no cap exceeds the configured maximum.
+//      key), and no cap exceeds the configured maximum;
+//   T5 pool_drain bundle ids are single-use per node — even across a crash
+//      and restore, no precomputed contribution bundle (whose VDE
+//      announcement fixes the proof nonce) is ever consumed twice.
 void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* mix_name,
                             std::uint64_t seed) {
   const obs::RunMeta meta = trace.meta();
@@ -111,6 +127,7 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
   std::map<std::pair<std::uint64_t, Instance>, std::set<std::uint64_t>> commits;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_epoch;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_attempt;
+  std::map<std::uint64_t, std::set<std::uint64_t>> drained_bundles;
   const std::string at = std::string(mix_name) + " seed=" + std::to_string(seed);
   for (const obs::TraceEvent& e : trace.events()) {
     const Instance id{e.transfer, e.coordinator, e.epoch};
@@ -147,6 +164,10 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         }
         break;
       }
+      case obs::EventKind::kPoolDrain:
+        EXPECT_TRUE(drained_bundles[e.node].insert(e.peer).second)
+            << "T5 " << at << ": node " << e.node << " consumed bundle " << e.peer << " twice";
+        break;
       default:
         break;
     }
@@ -165,6 +186,8 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   o.protocol.retransmit = retransmit;
   o.protocol.batch_verify = mix.batch_verify;
   o.protocol.verify_workers = mix.verify_workers;
+  o.protocol.contribution_pool = mix.contribution_pool;
+  o.protocol.pool_prefill = mix.pool_prefill;
   if (mix.byzantine_b1) {
     o.b_behaviors.assign(4, Behavior::kHonest);
     o.b_behaviors[0] = Behavior::kAdaptiveCancelCoordinator;
@@ -243,7 +266,7 @@ TEST_P(ChaosSweep, SafetyAlwaysLivenessInBound) {
   run_chaos(kMixes[mix_index], static_cast<std::uint64_t>(seed));
 }
 
-// Tier-1 grid: 6 seeds × 5 mixes = 30 deterministic runs, each its own ctest
+// Tier-1 grid: 6 seeds × 6 mixes = 36 deterministic runs, each its own ctest
 // entry (parallelizable). tools/ci.sh runs the wider sweep.
 INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
                          ::testing::Combine(::testing::Range(0, kMixCount),

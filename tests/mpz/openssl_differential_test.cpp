@@ -154,6 +154,37 @@ TEST_P(DifferentialTest, GcdAgrees) {
   }
 }
 
+// Fixed-base comb tables (the PR 5 fast path for protocol bases) vs
+// BN_mod_exp, over every window width and the edge exponents the comb
+// indexing must get right: 0, 1, order-1, all-ones and single-bit patterns.
+TEST_P(DifferentialTest, FixedBaseCombAgrees) {
+  Prng prng(GetParam() ^ 0xc0bb1e5ull);
+  for (int iter = 0; iter < 3; ++iter) {
+    Bigint m = prng.random_bits(192 + prng.uniform_u64(128));
+    if (m.is_even()) m += Bigint(1);
+    if (m == Bigint(1)) continue;
+    MontgomeryCtx mctx(m);
+    Bigint base = prng.uniform_below(m);
+    const std::size_t max_bits = 200;
+
+    std::vector<Bigint> exps = {Bigint(0), Bigint(1), Bigint(2),
+                                (Bigint(1) << max_bits) - Bigint(1),
+                                Bigint(1) << (max_bits - 1)};
+    for (int i = 0; i < 4; ++i) exps.push_back(prng.random_bits(1 + prng.uniform_u64(max_bits)));
+
+    BnPtr bm = to_bn(m), bb = to_bn(base);
+    for (std::size_t window = 1; window <= 8; ++window) {
+      FixedBasePow table(mctx, base, max_bits, window);
+      for (const Bigint& exp : exps) {
+        BnPtr be = to_bn(exp), r(BN_new());
+        BN_mod_exp(r.get(), bb.get(), be.get(), bm.get(), ctx_);
+        EXPECT_EQ(from_bn(r.get()), table.pow(exp))
+            << "m=" << m.to_hex() << " w=" << window << " e=" << exp.to_hex();
+      }
+    }
+  }
+}
+
 TEST_P(DifferentialTest, PrimalityAgrees) {
   Prng prng(GetParam() + 777);
   for (int iter = 0; iter < 10; ++iter) {

@@ -25,6 +25,20 @@ The PR 4 observability report (obs-overhead plus the per-phase latency
 breakdown from the instrumented run's registry) is additionally written to
 BENCH_pr4.json next to BENCH_pr3.json.
 
+PR 5 gates (offline/online split), written to BENCH_pr5.json:
+
+  5. pool: warm-pool online mont-muls must be >= 3.0x lower than the cold
+     (no-pool) run for the same seed and transfer count — the offline phase
+     genuinely moved the dual encryption + VDE announcements off the
+     latency-critical path;
+  6. pool: identical_results == 1 — pool-on and pool-off runs produce
+     bit-identical result ciphertexts (the pool may change WHEN work runs,
+     never WHAT randomness it consumes);
+  7. fixed-base: comb-table exponentiation uses >= 2.0x fewer mont-muls
+     than the generic square-and-multiply path for a pinned base;
+  8. throughput: the pipelined run completes with integrity == 1
+     (transfers/sec is recorded for context, wall-clock, never gated).
+
 Wall-clock numbers from bench_primitives are recorded for context only.
 
 Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
@@ -121,6 +135,9 @@ def main():
     e2e = [r for r in rows if r.get("section") == "e2e"]
     obs = [r for r in rows if r.get("section") == "obs-overhead"]
     phases = [r for r in rows if r.get("section") == "phases"]
+    pool = [r for r in rows if r.get("section") == "pool"]
+    fixed_base = [r for r in rows if r.get("section") == "fixed-base"]
+    throughput = [r for r in rows if r.get("section") == "throughput"]
 
     failures = []
     best_ratio = 0.0
@@ -162,6 +179,39 @@ def main():
     if not phases:
         failures.append("no per-phase latency rows emitted")
 
+    pool_ratio = 0.0
+    if not pool:
+        failures.append("no pool row emitted")
+    for r in pool:
+        pool_ratio = r["cold_online_mont_muls"] / max(r["warm_online_mont_muls"], 1)
+        r["online_mul_ratio"] = round(pool_ratio, 3)
+        if pool_ratio < 3.0:
+            failures.append(
+                f"pool: warm online mont-muls only {pool_ratio:.2f}x lower than cold "
+                f"({r['cold_online_mont_muls']} -> {r['warm_online_mont_muls']}), "
+                f"< 3.0x acceptance bar")
+        if r["identical_results"] != 1:
+            failures.append(
+                "pool: warm-pool run results diverged from the cold run — the pool "
+                "must be byte-transparent")
+        if r["warm_drains"] == 0:
+            failures.append("pool: warm run never drained a precomputed bundle")
+    if not fixed_base:
+        failures.append("no fixed-base row emitted")
+    for r in fixed_base:
+        ratio = r["generic_mont_muls"] / max(r["comb_mont_muls"], 1)
+        r["mul_ratio"] = round(ratio, 3)
+        if ratio < 2.0:
+            failures.append(
+                f"fixed-base: comb table only {ratio:.2f}x fewer mont-muls than "
+                f"generic pow ({r['generic_mont_muls']} -> {r['comb_mont_muls']}), "
+                f"< 2.0x acceptance bar")
+    if not throughput:
+        failures.append("no throughput row emitted")
+    for r in throughput:
+        if r["integrity"] != 1:
+            failures.append("throughput: pipelined run lost integrity")
+
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -192,6 +242,22 @@ def main():
         json.dump(obs_report, fh, indent=2)
         fh.write("\n")
 
+    pool_path = os.path.join(os.path.dirname(out_path), "BENCH_pr5.json")
+    pool_fail_keys = ("pool", "fixed-base", "throughput")
+    pool_report = {
+        "gate": "offline-online-split",
+        "pass": not any(f.startswith(pool_fail_keys) or f.startswith("no pool")
+                        or f.startswith("no fixed-base") or f.startswith("no throughput")
+                        for f in failures),
+        "environment": environment,
+        "pool": pool,
+        "fixed_base": fixed_base,
+        "throughput": throughput,
+    }
+    with open(pool_path, "w", encoding="utf-8") as fh:
+        json.dump(pool_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
@@ -202,7 +268,17 @@ def main():
         print(f"obs-overhead: {r['plain_mont_muls']} plain vs "
               f"{r['instrumented_mont_muls']} instrumented mont-muls, "
               f"{r['trace_events']} trace events")
-    print(f"report: {out_path} + {obs_path}")
+    for r in pool:
+        print(f"pool: {r['cold_online_mont_muls']} cold -> "
+              f"{r['warm_online_mont_muls']} warm online mont-muls "
+              f"({r['online_mul_ratio']}x), identical_results={r['identical_results']}")
+    for r in fixed_base:
+        print(f"fixed-base: {r['generic_mont_muls']} generic -> "
+              f"{r['comb_mont_muls']} comb mont-muls ({r['mul_ratio']}x)")
+    for r in throughput:
+        print(f"throughput: {r['transfers']} transfers, "
+              f"{r['transfers_per_sec']:.1f}/sec wall-clock, integrity={r['integrity']}")
+    print(f"report: {out_path} + {obs_path} + {pool_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -60,6 +60,19 @@ about, run over the token/line surface of ``src/``:
       disk and dashboards. Phase names like "contribute"/"blind"/"commit"
       are public vocabulary and deliberately not matched.
 
+  pool-reuse
+      The precomputed contribution pool (src/core/contribution_pool.hpp)
+      holds single-use secret randomness: rho, encryption nonces, and the
+      VDE announcement exponents. Three sub-checks keep it safe: (1) the
+      ``ContributionBundle`` type must stay move-only (deleted copy
+      constructor) so a bundle cannot be silently duplicated and proved
+      over twice — two Fiat-Shamir challenges on one announcement leak the
+      witness; (2) no ``snapshot()`` body may mention the pool or bundles —
+      precomputed rho values are secrets and must never be serialized to
+      durable state; (3) every rho/r1/r2 assignment inside
+      ``make_contribution_bundle`` must draw from an ``mpz::Prng`` — pool
+      randomness is never derived from constants or recycled values.
+
 Waivers: append ``// crypto-lint: allow(<rule>) <reason>`` to the
 flagged line (or the line directly above it). A reason is mandatory.
 
@@ -164,6 +177,30 @@ TRACE_SECRET = re.compile(
 # function that feeds the observability layer.
 EMIT_CALL = re.compile(r"\b(?:emit|record)\w*\s*\(")
 
+# --- pool-reuse --------------------------------------------------------------
+# The move-only bundle type and its mandatory deleted copy constructor.
+BUNDLE_STRUCT = re.compile(r"\bstruct\s+ContributionBundle\b")
+BUNDLE_COPY_DELETED = re.compile(
+    r"ContributionBundle\s*\(\s*const\s+ContributionBundle\s*&\s*\)\s*=\s*delete"
+)
+
+# A column-0 definition of a snapshot() member (durable-state serializer).
+SNAPSHOT_FN_DEF = re.compile(r"::snapshot\s*\(")
+
+# Pool state showing up inside a snapshot body: pooled bundles hold secret
+# randomness and must never be serialized.
+POOL_IN_SNAPSHOT = re.compile(r"\b(pool_?\w*|bundle\w*)\b", re.IGNORECASE)
+
+# A column-0 definition of the bundle factory.
+MKBUNDLE_FN_DEF = re.compile(r"\bmake_contribution_bundle\s*\(")
+
+# A secret field of the bundle being bound inside the factory.
+BUNDLE_SECRET_ASSIGN = re.compile(r"\.\s*(rho|r1|r2)\s*=(.*)$")
+
+# Acceptable sources for bundle randomness: the prng argument (directly or
+# through the GroupParams sampling helpers, which take it as a parameter).
+BUNDLE_RANDOM_SOURCE = re.compile(r"\bprng\b")
+
 
 class Finding(NamedTuple):
     path: str
@@ -261,8 +298,30 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     lines = text.splitlines()
     in_resend_fn = False  # inside the body of a resend/retransmit function
     in_batch_fn = False  # inside the body of a *batch_verify* function
+    in_snapshot_fn = False  # inside the body of a ::snapshot() serializer
+    in_mkbundle_fn = False  # inside the body of make_contribution_bundle
     emit_depth = 0  # paren depth of an emit_*/record_* call spanning lines
     is_obs = rel_path.startswith("src/obs/")
+
+    # pool-reuse (1): a file declaring the bundle type must keep it move-only.
+    for idx, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        if BUNDLE_STRUCT.search(code) and not waived(lines, idx, "pool-reuse"):
+            if not any(BUNDLE_COPY_DELETED.search(strip_comments_and_strings(l))
+                       for l in lines):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        idx + 1,
+                        "pool-reuse",
+                        "ContributionBundle must delete its copy constructor "
+                        "(move-only): a copied bundle could be proved over "
+                        "twice, and two challenges on one VDE announcement "
+                        "leak the witness",
+                    )
+                )
+            break
+
     for idx, raw in enumerate(lines):
         line_no = idx + 1
         code = strip_comments_and_strings(raw)
@@ -358,6 +417,62 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                         "mpz::Prng (src/mpz/random.hpp) or a transcript "
                         "digest; constant or reused randomizers break batch "
                         "verification soundness",
+                    )
+                )
+
+        # --- pool-reuse (2, 3) ----------------------------------------------
+        # Region tracking as above: a column-0 ::snapshot( definition (or
+        # make_contribution_bundle definition) opens a region, a column-0 `}`
+        # closes it. Snapshot bodies must never touch pool/bundle state; the
+        # bundle factory must bind its secret fields from the prng argument.
+        if in_snapshot_fn and raw.startswith("}"):
+            in_snapshot_fn = False
+        elif (
+            not in_snapshot_fn
+            and SNAPSHOT_FN_DEF.search(code)
+            and raw
+            and not raw[0].isspace()
+            and not code.rstrip().endswith(";")
+        ):
+            in_snapshot_fn = True
+        elif in_snapshot_fn:
+            m = POOL_IN_SNAPSHOT.search(code)
+            if m and not waived(lines, idx, "pool-reuse"):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "pool-reuse",
+                        f"'{m.group(0)}' inside a snapshot() body: pooled "
+                        "contribution bundles hold single-use secret "
+                        "randomness and must never reach durable state",
+                    )
+                )
+        if in_mkbundle_fn and raw.startswith("}"):
+            in_mkbundle_fn = False
+        elif (
+            not in_mkbundle_fn
+            and MKBUNDLE_FN_DEF.search(code)
+            and raw
+            and not raw[0].isspace()
+            and not code.rstrip().endswith(";")
+        ):
+            in_mkbundle_fn = True
+        elif in_mkbundle_fn:
+            m = BUNDLE_SECRET_ASSIGN.search(code)
+            if (
+                m
+                and not BUNDLE_RANDOM_SOURCE.search(m.group(2))
+                and not waived(lines, idx, "pool-reuse")
+            ):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        line_no,
+                        "pool-reuse",
+                        f"bundle secret '{m.group(1)}' is not drawn from the "
+                        "mpz::Prng argument; pool randomness must be "
+                        "seed-replayable and never constant or recycled",
                     )
                 )
 
@@ -591,6 +706,78 @@ SELF_TEST_CASES = [
     # phase names are public vocabulary, not secrets:
     (None, "emit_trace(ctx, obs::EventKind::kBlindSignBegin, &st.id, "
            "{.count = quorum});"),
+    # pool-reuse must fire — bundle type that is not move-only:
+    (
+        "pool-reuse",
+        "struct ContributionBundle {\n"
+        "  mpz::Bigint rho;\n"
+        "  ContributionBundle(const ContributionBundle&) = default;\n"
+        "};",
+    ),
+    (
+        "pool-reuse",
+        "struct ContributionBundle {\n"
+        "  mpz::Bigint rho;\n"
+        "};",
+    ),
+    # ...pool state serialized by a snapshot body:
+    (
+        "pool-reuse",
+        "std::vector<std::uint8_t> ProtocolServer::snapshot() const {\n"
+        "  w.u32(static_cast<std::uint32_t>(pool_->size()));\n"
+        "}",
+    ),
+    (
+        "pool-reuse",
+        "std::vector<std::uint8_t> ProtocolServer::snapshot() const {\n"
+        "  for (const auto& bundle : entries_) put_bundle(w, bundle);\n"
+        "}",
+    ),
+    # ...bundle secrets not drawn from the prng argument:
+    (
+        "pool-reuse",
+        "ContributionBundle make_contribution_bundle(const SystemConfig& cfg,\n"
+        "                                            std::uint64_t id, mpz::Prng& prng) {\n"
+        "  b.rho = mpz::Bigint(7);\n"
+        "}",
+    ),
+    (
+        "pool-reuse",
+        "ContributionBundle make_contribution_bundle(const SystemConfig& cfg,\n"
+        "                                            std::uint64_t id, mpz::Prng& prng) {\n"
+        "  b.r1 = last_bundle.r1;\n"
+        "}",
+    ),
+    # ...and must NOT fire:
+    (
+        None,
+        "struct ContributionBundle {\n"
+        "  mpz::Bigint rho;\n"
+        "  ContributionBundle(ContributionBundle&&) = default;\n"
+        "  ContributionBundle(const ContributionBundle&) = delete;\n"
+        "};",
+    ),
+    (
+        None,
+        "std::vector<std::uint8_t> ProtocolServer::snapshot() const {\n"
+        "  w.u32(static_cast<std::uint32_t>(transfers_.size()));\n"
+        "}",
+    ),
+    (
+        None,
+        "ContributionBundle make_contribution_bundle(const SystemConfig& cfg,\n"
+        "                                            std::uint64_t id, mpz::Prng& prng) {\n"
+        "  b.rho = gp.random_element(prng);\n"
+        "  b.r1 = gp.random_exponent(prng);\n"
+        "  b.r2 = gp.random_exponent(prng);\n"
+        "}",
+    ),
+    (
+        None,
+        "void helper_outside_snapshot() {\n"
+        "  if (pool_ != nullptr) pool_->clear();  // restore path, not snapshot\n"
+        "}",
+    ),
 ]
 
 

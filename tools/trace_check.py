@@ -15,6 +15,10 @@ for every run, Byzantine or not:
       a restarted coordinator never reuses an epoch.
   I4  `retransmit` attempts are < cap, strictly increasing per (node, timer
       key), and cap never exceeds the run's configured retransmit cap.
+  I5  `pool_drain` bundle ids are single-use per node — no precomputed
+      blinding bundle (its VDE announcement fixes the proof nonce) is ever
+      consumed for two instances, which would let two Fiat-Shamir challenges
+      share one announcement and leak the witness.
 
 Malformed lines are rejected with their line number. With --latency the
 checker also prints a per-phase latency table (virtual microseconds under
@@ -41,7 +45,7 @@ KNOWN_KINDS = {
     "epoch_start", "commit_sent", "commit_accepted", "reveal_sent",
     "contribute_sent", "verify_pass", "verify_fail", "blind_sign_begin",
     "sign_done", "decrypt_begin", "decrypt_done", "done_sign_begin",
-    "done_recorded", "retransmit",
+    "done_recorded", "retransmit", "pool_refill", "pool_drain",
 }
 
 
@@ -88,6 +92,8 @@ class Checker:
         self.last_epoch = {}
         # I4: (node, key) -> last attempt.
         self.last_attempt = {}
+        # I5: node -> set of drained bundle ids.
+        self.drained_bundles = {}
         # Latency bookkeeping: (phase) -> list of durations.
         self.latency = {}
         self._marks = {}       # (what, node, instance) -> ts
@@ -177,6 +183,16 @@ class Checker:
                 self.err(lineno, f"I4: attempt {attempt} for timer {key} "
                                  f"not increasing (last {prev})")
             self.last_attempt[key] = attempt
+        elif kind == "pool_drain":
+            bundle = ev.get("bundle")
+            if bundle is None:
+                self.err(lineno, "I5: pool_drain without bundle id")
+                return
+            seen = self.drained_bundles.setdefault(node, set())
+            if bundle in seen:
+                self.err(lineno, f"I5: node {node} consumed bundle {bundle} "
+                                 f"twice (announcement reuse)")
+            seen.add(bundle)
 
     def finish(self):
         for transfer, t_done in self._done.items():
@@ -287,6 +303,24 @@ SELF_TESTS = [
         META,
         '{"ts":0,"node":4,"kind":"retransmit","transfer":1,"key":3,"frames":4,"attempt":1,"cap":99}',
     ]), False, "I4"),
+    ("pool-single-use-ok", "\n".join([
+        META,
+        '{"ts":0,"node":5,"kind":"pool_refill","bundle":1,"depth":1}',
+        '{"ts":1,"node":5,"kind":"pool_refill","bundle":2,"depth":2}',
+        '{"ts":2,"node":5,"kind":"pool_drain","transfer":1,"coord":1,"epoch":0,"bundle":1,"depth":1,"fallback":0}',
+        '{"ts":3,"node":5,"kind":"pool_drain","transfer":2,"coord":1,"epoch":0,"bundle":2,"depth":0,"fallback":0}',
+        '{"ts":4,"node":6,"kind":"pool_drain","transfer":1,"coord":1,"epoch":0,"bundle":1,"depth":0,"fallback":1}',
+    ]), True, None),
+    ("pool-bundle-reused", "\n".join([
+        META,
+        '{"ts":0,"node":5,"kind":"pool_refill","bundle":1,"depth":1}',
+        '{"ts":1,"node":5,"kind":"pool_drain","transfer":1,"coord":1,"epoch":0,"bundle":1,"depth":0,"fallback":0}',
+        '{"ts":2,"node":5,"kind":"pool_drain","transfer":2,"coord":1,"epoch":0,"bundle":1,"depth":0,"fallback":0}',
+    ]), False, "I5"),
+    ("pool-drain-missing-bundle", "\n".join([
+        META,
+        '{"ts":0,"node":5,"kind":"pool_drain","transfer":1,"coord":1,"epoch":0,"depth":0,"fallback":0}',
+    ]), False, "I5"),
     ("malformed-json", META + "\n{not json}\n", False, "line 2"),
     ("not-an-object", META + "\n[1,2,3]\n", False, "line 2"),
     ("unknown-kind", META + '\n{"ts":1,"node":0,"kind":"mystery"}\n', False,
