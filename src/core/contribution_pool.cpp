@@ -18,11 +18,15 @@ ContributionBundle make_contribution_bundle(const SystemConfig& cfg, std::uint64
 }
 
 void ContributionPool::push(ContributionBundle b) {
-  if (full()) return;
+  // Check-and-insert under one lock acquisition: a full() pre-check would
+  // race a concurrent push into the last slot and overshoot capacity.
+  MutexLock lock(mu_);
+  if (entries_.size() >= capacity_) return;
   entries_.push_back(std::move(b));
 }
 
 std::optional<ContributionBundle> ContributionPool::take() {
+  MutexLock lock(mu_);
   if (entries_.empty()) return std::nullopt;
   ContributionBundle b = std::move(entries_.front());
   entries_.pop_front();

@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "core/config.hpp"
+#include "core/sync.hpp"
 #include "zkp/vde.hpp"
 
 namespace dblind::core {
@@ -55,28 +56,42 @@ struct ContributionBundle {
 [[nodiscard]] ContributionBundle make_contribution_bundle(const SystemConfig& cfg,
                                                           std::uint64_t id, mpz::Prng& prng);
 
-// Bounded FIFO of bundles. Single-threaded (owned by one ProtocolServer and
-// touched only from its handlers/timers); take() moves the bundle out, so a
-// consumed entry cannot be observed again.
+// Bounded FIFO of bundles. Internally synchronized: today one
+// ProtocolServer's handlers/timers own it, but the concurrent
+// multi-transfer engine (ROADMAP) will refill from a background thread
+// while per-transfer state machines drain — take() moves the bundle out
+// under the pool mutex, so a consumed entry can never be observed twice
+// even under concurrent drains (the single-use property the VDE witness
+// secrecy argument rests on).
 class ContributionPool {
  public:
   explicit ContributionPool(std::size_t capacity) : capacity_(capacity) {}
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] bool full() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return entries_.size() >= capacity_;
+  }
 
   // Adds a bundle; ignored (dropped) when already at capacity.
-  void push(ContributionBundle b);
+  void push(ContributionBundle b) EXCLUDES(mu_);
   // FIFO move-out; nullopt when empty (caller falls back to on-demand).
-  [[nodiscard]] std::optional<ContributionBundle> take();
+  [[nodiscard]] std::optional<ContributionBundle> take() EXCLUDES(mu_);
   // Drops every entry (crash/restore: precomputed secrets never survive an
   // incarnation).
-  void clear() { entries_.clear(); }
+  void clear() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    entries_.clear();
+  }
 
  private:
-  std::size_t capacity_;
-  std::deque<ContributionBundle> entries_;
+  const std::size_t capacity_;  // immutable after construction
+  mutable Mutex mu_;
+  std::deque<ContributionBundle> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace dblind::core

@@ -1,0 +1,145 @@
+// Concurrency-safety capabilities: Clang thread-safety-annotated wrappers
+// around std::mutex / std::condition_variable, plus the annotation macro set
+// (GUARDED_BY, REQUIRES, EXCLUDES, ACQUIRE/RELEASE, ...).
+//
+// Why wrappers instead of raw std::mutex: Clang's -Wthread-safety analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) only checks lock
+// discipline through types whose acquire/release functions carry capability
+// attributes, and libstdc++'s std::mutex carries none. dblind::Mutex /
+// dblind::MutexLock / dblind::CondVar are zero-overhead shims that add the
+// attributes; on non-Clang compilers (the baked-in GCC toolchain) every
+// macro expands to nothing and the wrappers compile to the std types they
+// hold, so the default build is unchanged.
+//
+// Every shared-state class in the tree declares its mutexes as dblind::Mutex
+// and tags the state they protect with GUARDED_BY — see
+// docs/STATIC_ANALYSIS.md ("Concurrency capabilities") for the policy: what
+// must be guarded, when EXCLUDES is required on public entry points, and the
+// suppression etiquette (NO_THREAD_SAFETY_ANALYSIS needs a comment naming
+// the reason; there are currently zero suppressions in src/).
+//
+// The gate: tools/run_thread_safety.sh compiles the whole tree with
+// -Wthread-safety -Werror=thread-safety under Clang (ctest entry
+// static_analysis.thread_safety; SKIPPED where no clang++ is installed,
+// mirroring the clang-tidy gate).
+//
+// Lock-free counters (obs handles, MontgomeryCtx::mul_count_) deliberately
+// stay raw std::atomic with relaxed ordering: they are monotone statistics
+// whose readers tolerate staleness, and the analysis has nothing to check
+// for them. The policy note in docs/STATIC_ANALYSIS.md covers when an
+// atomic is acceptable in place of a guarded field.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros (canonical names from the Clang documentation). No-ops
+// everywhere except Clang, where they attach the thread-safety attributes.
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define DBLIND_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DBLIND_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC ignore the analysis
+#endif
+
+// A type that is a lockable capability ("mutex" names the capability kind in
+// diagnostics).
+#define CAPABILITY(x) DBLIND_THREAD_ANNOTATION(capability(x))
+// RAII types that acquire in the constructor and release in the destructor.
+#define SCOPED_CAPABILITY DBLIND_THREAD_ANNOTATION(scoped_lockable)
+// Data members: may only be read/written while holding the given capability.
+#define GUARDED_BY(x) DBLIND_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members: the *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) DBLIND_THREAD_ANNOTATION(pt_guarded_by(x))
+// Functions: caller must hold the capability / must NOT hold it.
+#define REQUIRES(...) DBLIND_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) DBLIND_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Functions that acquire/release the capability themselves.
+#define ACQUIRE(...) DBLIND_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) DBLIND_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) DBLIND_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Declares the acquisition order between two capabilities.
+#define ACQUIRED_BEFORE(...) DBLIND_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DBLIND_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+// Runtime assertion that the capability is held (for code reached both with
+// and without the lock, e.g. from a destructor).
+#define ASSERT_CAPABILITY(x) DBLIND_THREAD_ANNOTATION(assert_capability(x))
+// Function returning a reference to the capability guarding something.
+#define RETURN_CAPABILITY(x) DBLIND_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch. Policy (docs/STATIC_ANALYSIS.md): every use carries a
+// comment naming why the analysis cannot see the invariant; blanket
+// suppressions are rejected in review. Zero uses in src/ today.
+#define NO_THREAD_SAFETY_ANALYSIS DBLIND_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dblind {
+
+// Annotated exclusive mutex. BasicLockable, so std::condition_variable_any
+// (wrapped below as CondVar) can wait on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock: acquires at construction, releases at destruction. The
+// project-wide replacement for std::lock_guard / std::unique_lock (the std
+// types carry no attributes, so locks taken through them are invisible to
+// the analysis).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to dblind::Mutex. Waits are annotated
+// REQUIRES(mu): the analysis checks the caller holds the mutex, and treats
+// the wait as keeping it held (the internal release/reacquire inside
+// std::condition_variable_any is invisible, which matches the caller-visible
+// contract). Waiting predicates are written as explicit `while` loops at the
+// call site — a predicate lambda would be analyzed as a separate function
+// and spuriously warn on guarded reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dblind

@@ -12,7 +12,7 @@ VerifyPool::VerifyPool(std::size_t workers) {
 
 VerifyPool::~VerifyPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -21,7 +21,7 @@ VerifyPool::~VerifyPool() {
 
 void VerifyPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     jobs_.push_back(std::move(job));
     jobs_metric_.inc();
     depth_metric_.set(jobs_.size());
@@ -30,7 +30,7 @@ void VerifyPool::submit(std::function<void()> job) {
 }
 
 void VerifyPool::set_metrics(obs::Counter jobs, obs::Gauge depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   jobs_metric_ = jobs;
   depth_metric_ = depth;
 }
@@ -39,8 +39,8 @@ void VerifyPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && jobs_.empty()) cv_.wait(mu_);
       if (jobs_.empty()) return;  // stop_ set and queue drained
       job = std::move(jobs_.front());
       jobs_.pop_front();

@@ -9,13 +9,12 @@
 // inline. Workers never touch protocol state — they only compute.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace dblind::core {
@@ -32,23 +31,26 @@ class VerifyPool {
 
   // Enqueues a job; jobs start in FIFO order (completion order is up to the
   // scheduler — callers sequence on a per-job future or equivalent).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) EXCLUDES(mu_);
 
   // Observability: jobs counter (incremented at submit) and queue-depth gauge
   // (updated under mu_ at every transition). Default handles discard, so an
   // un-instrumented pool pays one atomic op per update and no branches.
-  void set_metrics(obs::Counter jobs, obs::Gauge depth);
+  void set_metrics(obs::Counter jobs, obs::Gauge depth) EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
-  obs::Counter jobs_metric_;  // handles are trivially copyable; discard by default
-  obs::Gauge depth_metric_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> jobs_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written by ctor only; joined by dtor
+  // Metric handles are trivially copyable and updates are relaxed-atomic, but
+  // the handles themselves are rebindable via set_metrics() while workers
+  // read them — so the handle *slots* are guarded state.
+  obs::Counter jobs_metric_ GUARDED_BY(mu_);
+  obs::Gauge depth_metric_ GUARDED_BY(mu_);
 };
 
 }  // namespace dblind::core

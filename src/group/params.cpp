@@ -144,7 +144,7 @@ Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
   Bigint base = mpz::mod(b, p_);
   std::shared_ptr<const mpz::FixedBasePow> table;
   {
-    std::lock_guard<std::mutex> lock(g_cache_->mu);
+    MutexLock lock(g_cache_->mu);
     auto it = g_cache_->tables.find(base);
     if (it != g_cache_->tables.end()) {
       table = it->second;
@@ -160,7 +160,7 @@ Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
 void GroupParams::pin_base(const Bigint& b) const {
   Bigint base = mpz::mod(b, p_);
   if (base == g_) return;  // pow_g's comb table already covers g
-  std::lock_guard<std::mutex> lock(g_cache_->mu);
+  MutexLock lock(g_cache_->mu);
   if (g_cache_->pinned.contains(base)) return;
   g_cache_->pinned.emplace(
       base, std::make_shared<const mpz::FixedBasePow>(*mont_, base, q_.bit_length(),
@@ -172,7 +172,7 @@ Bigint GroupParams::pow_fixed(const Bigint& b, const Bigint& e) const {
   if (base == g_) return pow_g(e);
   std::shared_ptr<const mpz::FixedBasePow> table;
   {
-    std::lock_guard<std::mutex> lock(g_cache_->mu);
+    MutexLock lock(g_cache_->mu);
     auto it = g_cache_->pinned.find(base);
     if (it != g_cache_->pinned.end()) table = it->second;
   }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "mpz/bigint.hpp"
 #include "mpz/montgomery.hpp"
 #include "mpz/random.hpp"
@@ -145,18 +146,21 @@ class GroupParams {
   // (e.g. under net::ThreadedBus) build it exactly once. Declared after
   // mont_ so the table (which references *mont_) is destroyed first.
   struct FixedBaseCache {
+    // g's comb table: written exactly once through call_once (an ordering
+    // primitive the thread-safety analysis does not model), const
+    // thereafter; readers go through the same call_once barrier.
     std::once_flag once;
     std::unique_ptr<const mpz::FixedBasePow> g_pow;
     // pow_cached() tables for other long-lived bases (public keys, encryption
     // commitments), built on demand under `mu` and capped at kMaxEntries so a
     // hostile peer spraying fresh bases cannot balloon memory.
     static constexpr std::size_t kMaxEntries = 64;
-    std::mutex mu;
-    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> tables;
+    Mutex mu;
+    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> tables GUARDED_BY(mu);
     // pin_base() tables: wide-window combs for the handful of protocol bases
     // (h, y_A, y_B, y_A·y_B). Uncapped because only explicit pins enter.
     static constexpr std::size_t kPinnedWindowBits = 5;
-    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> pinned;
+    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> pinned GUARDED_BY(mu);
   };
   std::shared_ptr<FixedBaseCache> g_cache_;
 };

@@ -79,6 +79,13 @@ class MontgomeryCtx {
   std::uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64
   Bigint rr_;                // R^2 mod n, R = 2^{64k}
   Limbs one_mont_;           // R mod n
+  // Instrumentation counter, deliberately NOT a dblind::Mutex-guarded field
+  // (see the guarded-vs-atomic policy in docs/STATIC_ANALYSIS.md): it is a
+  // monotone statistic with no invariant tying it to other state, every
+  // access is a single relaxed atomic op, and callers that need a
+  // consistent before/after pair (bench gates, ScopedCounterDelta) bracket
+  // a quiescent region themselves. A mutex here would serialize every
+  // mont-mul in the hot path for nothing.
   mutable std::atomic<std::uint64_t> mul_count_{0};
 };
 

@@ -18,7 +18,7 @@ class ThreadedBus::BusContext final : public Context {
   void set_timer(Time delay, std::uint64_t token) override {
     // Called from this slot's own thread (inside a handler), where mu is not
     // held — safe to lock.
-    std::lock_guard<std::mutex> lock(slot_.mu);
+    MutexLock lock(slot_.mu);
     slot_.timers.push_back(
         {std::chrono::steady_clock::now() + std::chrono::microseconds(delay), token});
     slot_.cv.notify_all();
@@ -46,7 +46,10 @@ ThreadedBus::ThreadedBus(std::uint64_t seed)
 ThreadedBus::~ThreadedBus() { stop(); }
 
 NodeId ThreadedBus::add_node(std::unique_ptr<Node> node) {
-  if (running_) throw std::logic_error("ThreadedBus: add_node after start");
+  {
+    MutexLock lock(lifecycle_mu_);
+    if (running_) throw std::logic_error("ThreadedBus: add_node after start");
+  }
   if (!node) throw std::invalid_argument("ThreadedBus: null node");
   auto slot = std::make_unique<Slot>();
   slot->id = static_cast<NodeId>(slots_.size());
@@ -58,6 +61,7 @@ NodeId ThreadedBus::add_node(std::unique_ptr<Node> node) {
 }
 
 void ThreadedBus::start() {
+  MutexLock lock(lifecycle_mu_);
   if (running_) return;
   if (stopped_) throw std::logic_error("ThreadedBus: start after stop");
   running_ = true;
@@ -67,12 +71,16 @@ void ThreadedBus::start() {
 }
 
 void ThreadedBus::set_fault_plan(FaultPlan plan) {
-  if (running_) throw std::logic_error("ThreadedBus: set_fault_plan after start");
+  {
+    MutexLock lock(lifecycle_mu_);
+    if (running_) throw std::logic_error("ThreadedBus: set_fault_plan after start");
+  }
+  MutexLock lock(fault_mu_);
   faults_ = FaultInjector(std::move(plan));
 }
 
 NetStats ThreadedBus::stats() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  MutexLock lock(fault_mu_);
   return stats_;
 }
 
@@ -92,7 +100,7 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
     trace_->record(ev);
   };
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(fault_mu_);
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes.size();
     trace_net(obs::EventKind::kMsgSend, from, to);
@@ -114,7 +122,7 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
   const std::size_t delivered_bytes = bytes.size();
   Slot& slot = *slots_[to];
   {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(slot.mu);
     if (slot.stopping) return;
     slot.inbox.push_back({from, std::move(bytes)});
     slot.cv.notify_all();
@@ -128,7 +136,7 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
     ev.count = delivered_bytes;
     trace_->record(ev);
   }
-  std::lock_guard<std::mutex> lock(fault_mu_);
+  MutexLock lock(fault_mu_);
   ++stats_.messages_delivered;
 }
 
@@ -136,24 +144,20 @@ void ThreadedBus::deliver_loop(Slot& slot) {
   BusContext ctx(*this, slot);
   slot.node->on_start(ctx);
   {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(slot.mu);
     slot.started = true;
   }
   for (;;) {
     std::vector<Slot::Incoming> batch;
     std::vector<std::uint64_t> due_tokens;
     {
-      std::unique_lock<std::mutex> lock(slot.mu);
-      auto next_deadline = [&]() -> std::chrono::steady_clock::time_point {
-        auto earliest = std::chrono::steady_clock::time_point::max();
-        for (const TimerEntry& t : slot.timers) earliest = std::min(earliest, t.due);
-        return earliest;
-      };
+      MutexLock lock(slot.mu);
       while (!slot.stopping && slot.inbox.empty()) {
-        auto deadline = next_deadline();
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        for (const TimerEntry& t : slot.timers) deadline = std::min(deadline, t.due);
         if (deadline == std::chrono::steady_clock::time_point::max()) {
-          slot.cv.wait(lock);
-        } else if (slot.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          slot.cv.wait(slot.mu);
+        } else if (slot.cv.wait_until(slot.mu, deadline) == std::cv_status::timeout) {
           break;
         }
       }
@@ -180,10 +184,15 @@ bool ThreadedBus::run_until(const std::function<bool()>& pred, std::chrono::mill
 }
 
 void ThreadedBus::stop() {
+  // lifecycle_mu_ serializes concurrent stop() calls (e.g. an explicit
+  // stop() racing the destructor's): the second caller sees running_ ==
+  // false and returns before touching the joined threads. Node threads
+  // never take lifecycle_mu_, so joining while holding it cannot deadlock.
+  MutexLock lock(lifecycle_mu_);
   if (!running_) return;
   stopped_ = true;
   for (auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    MutexLock slot_lock(slot->mu);
     slot->stopping = true;
     slot->cv.notify_all();
   }

@@ -10,13 +10,12 @@
 // thread, so Node implementations need no internal locking.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "net/fault.hpp"
 #include "net/sim.hpp"
 
@@ -31,13 +30,13 @@ class ThreadedBus {
   ThreadedBus& operator=(const ThreadedBus&) = delete;
 
   // Add nodes before start().
-  NodeId add_node(std::unique_ptr<Node> node);
+  NodeId add_node(std::unique_ptr<Node> node) EXCLUDES(lifecycle_mu_);
 
   // Starts every node's thread (delivering on_start first). A bus runs at
   // most once: start() after stop() throws std::logic_error (slots keep
   // their stopping flag, and re-delivering on_start would violate the
   // once-only contract nodes rely on).
-  void start();
+  void start() EXCLUDES(lifecycle_mu_);
   // Polls `pred` (from the calling thread) until it returns true or
   // `timeout` (real time) expires. Returns the final predicate value.
   // The predicate must be thread-safe with respect to node state it reads —
@@ -45,20 +44,22 @@ class ThreadedBus {
   // after stop(), or rely on idempotent re-checks.
   bool run_until(const std::function<bool()>& pred, std::chrono::milliseconds timeout);
   // Stops all node threads and joins them. After stop() node state can be
-  // inspected safely from the caller.
-  void stop();
+  // inspected safely from the caller. Idempotent and safe to race with
+  // itself (lifecycle_mu_ serializes concurrent stop() calls; the losers
+  // see running_ == false and return without double-joining).
+  void stop() EXCLUDES(lifecycle_mu_);
 
   // Fault injection (set before start()): applies `plan` to every message on
   // post_message — the same chaos layer the simulator runs, on real threads.
   // Partition times are microseconds since the bus epoch (construction).
-  void set_fault_plan(FaultPlan plan);
+  void set_fault_plan(FaultPlan plan) EXCLUDES(lifecycle_mu_, fault_mu_);
   // Observability (set before start()): network-level events reported with
   // wall-clock timestamps (microseconds since the bus epoch). Non-owning;
   // the recorder must be thread-safe (all obs recorders are) and outlive
   // the bus. nullptr records nothing.
   void set_trace(obs::TraceRecorder* recorder) { trace_ = recorder; }
   // Transport accounting (thread-safe; end_time stays 0 on this transport).
-  [[nodiscard]] NetStats stats() const;
+  [[nodiscard]] NetStats stats() const EXCLUDES(fault_mu_);
 
   [[nodiscard]] std::size_t node_count() const { return slots_.size(); }
   [[nodiscard]] Node& node(NodeId id) { return *slots_.at(id)->node; }
@@ -68,7 +69,8 @@ class ThreadedBus {
   class BusContext;
 
   void deliver_loop(Slot& slot);
-  void post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes);
+  void post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes)
+      EXCLUDES(fault_mu_);
 
   struct TimerEntry {
     std::chrono::steady_clock::time_point due;
@@ -77,35 +79,44 @@ class ThreadedBus {
 
   struct Slot {
     NodeId id = 0;
-    std::unique_ptr<Node> node;
+    std::unique_ptr<Node> node;  // handlers run on this slot's thread only
     std::unique_ptr<mpz::Prng> rng;
     std::thread thread;
 
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     struct Incoming {
       NodeId from;
       std::vector<std::uint8_t> bytes;
     };
-    std::vector<Incoming> inbox;
-    std::vector<TimerEntry> timers;
-    bool stopping = false;
-    bool started = false;
+    std::vector<Incoming> inbox GUARDED_BY(mu);
+    std::vector<TimerEntry> timers GUARDED_BY(mu);
+    bool stopping GUARDED_BY(mu) = false;
+    bool started GUARDED_BY(mu) = false;
   };
 
+  // slots_ itself (the vector) is append-only before start() and const while
+  // threads run; per-slot mutable state is guarded by each Slot::mu.
   std::vector<std::unique_ptr<Slot>> slots_;
   std::chrono::steady_clock::time_point epoch_;
   mpz::Prng seed_rng_;
-  bool running_ = false;
-  bool stopped_ = false;  // stop() is terminal; start() afterwards throws
+
+  // Lifecycle flags: written by start()/stop(), which user code may call
+  // from any thread (including racing a second stop() against the
+  // destructor's implicit one). Never taken by node threads, so joining
+  // while holding it cannot deadlock. Ordering: lifecycle_mu_ may be held
+  // while taking a Slot::mu (stop() marking slots), never the reverse.
+  mutable Mutex lifecycle_mu_;
+  bool running_ GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ GUARDED_BY(lifecycle_mu_) = false;  // stop() is terminal
 
   // Chaos layer: fault decisions and stats share one mutex (taken on every
   // post_message; never while holding a slot mutex).
-  mutable std::mutex fault_mu_;
-  FaultInjector faults_;
-  mpz::Prng fault_rng_;
-  NetStats stats_;
-  obs::TraceRecorder* trace_ = nullptr;
+  mutable Mutex fault_mu_;
+  FaultInjector faults_ GUARDED_BY(fault_mu_);
+  mpz::Prng fault_rng_ GUARDED_BY(fault_mu_);
+  NetStats stats_ GUARDED_BY(fault_mu_);
+  obs::TraceRecorder* trace_ = nullptr;  // set before start(); recorders are thread-safe
 };
 
 }  // namespace dblind::net

@@ -55,7 +55,7 @@ std::atomic<std::uint64_t>* MetricsRegistry::scalar_cell(
   LabelSet sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   SeriesKey key{name, label_text(sorted)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = scalars_.find(key);
   if (it == scalars_.end()) {
     ScalarSeries s;
@@ -86,7 +86,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
   LabelSet sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   SeriesKey key{name, label_text(sorted)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     HistogramSeries h;
@@ -103,7 +103,7 @@ void MetricsRegistry::attach_counter(const std::string& name,
   LabelSet sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   SeriesKey key{name, label_text(sorted)};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = scalars_.find(key);
   if (it != scalars_.end()) {
     it->second.owned.reset();
@@ -118,7 +118,7 @@ void MetricsRegistry::attach_counter(const std::string& name,
 
 std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::scalar_samples()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ScalarSample> out;
   out.reserve(scalars_.size());
   for (const auto& [key, s] : scalars_) {
@@ -130,7 +130,7 @@ std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::scalar_samples()
 
 std::vector<MetricsRegistry::HistogramSample>
 MetricsRegistry::histogram_samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [key, h] : histograms_) {
@@ -153,7 +153,7 @@ std::string MetricsRegistry::prometheus_text() const {
   // std::map iteration gives (name, labels) sorted order, so the dump is
   // deterministic for a deterministic run.
   std::ostringstream out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string last_name;
   for (const auto& [key, s] : scalars_) {
     if (key.first != last_name) {

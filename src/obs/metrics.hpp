@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace dblind::obs {
 
@@ -127,16 +128,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter counter(const std::string& name, const LabelSet& labels = {});
-  Gauge gauge(const std::string& name, const LabelSet& labels = {});
+  Counter counter(const std::string& name, const LabelSet& labels = {}) EXCLUDES(mu_);
+  Gauge gauge(const std::string& name, const LabelSet& labels = {}) EXCLUDES(mu_);
   Histogram histogram(const std::string& name, const LabelSet& labels,
-                      std::vector<std::uint64_t> bounds);
+                      std::vector<std::uint64_t> bounds) EXCLUDES(mu_);
 
   // Expose an externally owned cell (e.g. ProtocolServer's retransmit
   // counter or MontgomeryCtx's mul counter) as a read-only time series.
   // The cell must outlive the registry. Idempotent per (name, labels).
   void attach_counter(const std::string& name, const LabelSet& labels,
-                      const std::atomic<std::uint64_t>* cell);
+                      const std::atomic<std::uint64_t>* cell) EXCLUDES(mu_);
 
   struct ScalarSample {
     std::string name;
@@ -155,12 +156,12 @@ class MetricsRegistry {
 
   // Point-in-time snapshots, sorted by (name, labels). Used by the bench
   // harness to extract per-phase breakdowns without parsing text.
-  [[nodiscard]] std::vector<ScalarSample> scalar_samples() const;
-  [[nodiscard]] std::vector<HistogramSample> histogram_samples() const;
+  [[nodiscard]] std::vector<ScalarSample> scalar_samples() const EXCLUDES(mu_);
+  [[nodiscard]] std::vector<HistogramSample> histogram_samples() const EXCLUDES(mu_);
 
   // Prometheus text exposition format (sorted, deterministic for a
   // deterministic run under the Simulator).
-  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string prometheus_text() const EXCLUDES(mu_);
 
  private:
   struct ScalarSeries {
@@ -178,11 +179,14 @@ class MetricsRegistry {
 
   std::atomic<std::uint64_t>* scalar_cell(const std::string& name,
                                           const LabelSet& labels,
-                                          bool is_gauge);
+                                          bool is_gauge) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<SeriesKey, ScalarSeries> scalars_;
-  std::map<SeriesKey, HistogramSeries> histograms_;
+  // mu_ guards series *registration* (the maps). The cells themselves are
+  // atomics updated lock-free through handles — see docs/STATIC_ANALYSIS.md
+  // for the guarded-vs-atomic policy.
+  mutable Mutex mu_;
+  std::map<SeriesKey, ScalarSeries> scalars_ GUARDED_BY(mu_);
+  std::map<SeriesKey, HistogramSeries> histograms_ GUARDED_BY(mu_);
 };
 
 // Canonical `{k="v",...}` rendering of a label set (empty string for no

@@ -120,27 +120,27 @@ std::string to_jsonl(const RunMeta& m) {
 }
 
 void MemoryTraceRecorder::run_meta(const RunMeta& m) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   meta_ = m;
 }
 
 void MemoryTraceRecorder::record(const TraceEvent& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(e);
 }
 
 RunMeta MemoryTraceRecorder::meta() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return meta_;
 }
 
 std::vector<TraceEvent> MemoryTraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::uint64_t MemoryTraceRecorder::count_of(EventKind k) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t n = 0;
   for (const auto& e : events_) {
     if (e.kind == k) ++n;
@@ -149,12 +149,12 @@ std::uint64_t MemoryTraceRecorder::count_of(EventKind k) const {
 }
 
 void JsonlTraceRecorder::run_meta(const RunMeta& m) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out_ << to_jsonl(m) << "\n";
 }
 
 void JsonlTraceRecorder::record(const TraceEvent& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out_ << to_jsonl(e) << "\n";
 }
 

@@ -20,9 +20,10 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace dblind::obs {
 
@@ -111,17 +112,17 @@ class TraceRecorder {
 // In-memory recorder for tests and the C++ invariant checker.
 class MemoryTraceRecorder final : public TraceRecorder {
  public:
-  void run_meta(const RunMeta& m) override;
-  void record(const TraceEvent& e) override;
+  void run_meta(const RunMeta& m) override EXCLUDES(mu_);
+  void record(const TraceEvent& e) override EXCLUDES(mu_);
 
-  [[nodiscard]] RunMeta meta() const;
-  [[nodiscard]] std::vector<TraceEvent> events() const;
-  [[nodiscard]] std::uint64_t count_of(EventKind k) const;
+  [[nodiscard]] RunMeta meta() const EXCLUDES(mu_);
+  [[nodiscard]] std::vector<TraceEvent> events() const EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t count_of(EventKind k) const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  RunMeta meta_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  RunMeta meta_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 // Streams one JSON object per line to `out`. The stream must outlive the
@@ -129,11 +130,13 @@ class MemoryTraceRecorder final : public TraceRecorder {
 class JsonlTraceRecorder final : public TraceRecorder {
  public:
   explicit JsonlTraceRecorder(std::ostream& out) : out_(out) {}
-  void run_meta(const RunMeta& m) override;
-  void record(const TraceEvent& e) override;
+  void run_meta(const RunMeta& m) override EXCLUDES(mu_);
+  void record(const TraceEvent& e) override EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
+  // The referenced stream is written only under mu_ (pt_guarded_by applies
+  // to pointer members only, so the invariant is stated here instead).
   std::ostream& out_;
 };
 

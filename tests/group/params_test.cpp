@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "mpz/modmath.hpp"
 #include "mpz/prime.hpp"
@@ -174,6 +177,48 @@ TEST(GroupParams, FromValuesValidates) {
                std::invalid_argument);
   EXPECT_THROW((void)GroupParams::from_values(gp.p(), gp.q(), Bigint(1), prng),
                std::invalid_argument);
+}
+
+// The FixedBaseCache behind pow_cached/pin_base/pow_fixed is shared across
+// all copies of a GroupParams and across threads (its mutex is a
+// dblind::Mutex in the annotated-capability rollout, PR 6). Hammer table
+// construction, pinning, and lookups from many threads at once; every
+// result must still equal the plain pow() answer. Run under the tsan
+// preset this is the data-race proof for the cache.
+TEST(GroupParams, ConcurrentCachedPowAndPinning) {
+  GroupParams gp = toy();
+  mpz::Prng prng(2026);
+  constexpr int kBases = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::vector<Bigint> bases;
+  std::vector<Bigint> exps;
+  bases.reserve(kBases);
+  exps.reserve(kThreads * kIters);
+  for (int i = 0; i < kBases; ++i) bases.push_back(gp.random_element(prng));
+  for (int i = 0; i < kThreads * kIters; ++i) exps.push_back(gp.random_exponent(prng));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Copies share the cache: each thread works through its own copy, so
+      // first-use table builds race for real.
+      GroupParams local = gp;
+      for (int i = 0; i < kIters; ++i) {
+        const Bigint& b = bases[static_cast<std::size_t>((t + i) % kBases)];
+        const Bigint& e = exps[static_cast<std::size_t>(t * kIters + i)];
+        if (i % 7 == 0) local.pin_base(b);  // pinning races lookups
+        Bigint want = local.pow(b, e);
+        if (local.pow_cached(b, e) != want) mismatches.fetch_add(1);
+        if (local.pow_fixed(b, e) != want) mismatches.fetch_add(1);
+        if (local.pow_g(e) != local.pow(local.g(), e)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -166,5 +166,82 @@ TEST(ThreadedBusShutdown, SendToStoppingPeerIsDropped) {
   SUCCEED();
 }
 
+// Regression (PR 6): stop() used to be unserialized — two threads calling it
+// concurrently could both see running_ and double-join the workers. The
+// lifecycle mutex makes concurrent stop() calls safe: one joins, the rest
+// observe running_ == false and return.
+TEST(ThreadedBusShutdown, ConcurrentStopCallsAreSerialized) {
+  for (int round = 0; round < 10; ++round) {
+    auto a = std::make_unique<Flooder>();
+    auto b = std::make_unique<Flooder>();
+    Flooder* ap = a.get();
+    ThreadedBus bus(40 + static_cast<std::uint64_t>(round));
+    NodeId aid = bus.add_node(std::move(a));
+    NodeId bid = bus.add_node(std::move(b));
+    dynamic_cast<Flooder&>(bus.node(aid)).peer = bid;
+    dynamic_cast<Flooder&>(bus.node(bid)).peer = aid;
+    bus.start();
+    bus.run_until([&] { return ap->received.load(std::memory_order_relaxed) > 5; },
+                  std::chrono::milliseconds(5000));
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&bus] { bus.stop(); });
+    }
+    for (auto& th : stoppers) th.join();
+    bus.stop();  // and once more from this thread: still idempotent
+  }
+  SUCCEED();
+}
+
+// Regression (PR 6): set_fault_plan() wrote the fault-layer state without
+// taking the fault mutex. The contract keeps it pre-start() (enforced with
+// std::logic_error), but the write is now guarded so the fault layer's
+// lock discipline is uniform — and stats() scrapes, which genuinely race
+// the node threads' fault-RNG rolls and counter updates on every
+// post_message, must be clean under TSan while lossy traffic flows.
+TEST(ThreadedBusShutdown, StatsScrapeRacesFaultyTraffic) {
+  auto a = std::make_unique<Flooder>();
+  auto b = std::make_unique<Flooder>();
+  Flooder* ap = a.get();
+  ThreadedBus bus(55);
+  NodeId aid = bus.add_node(std::move(a));
+  NodeId bid = bus.add_node(std::move(b));
+  dynamic_cast<Flooder&>(bus.node(aid)).peer = bid;
+  dynamic_cast<Flooder&>(bus.node(bid)).peer = aid;
+  FaultPlan plan;
+  plan.drop_percent = 30;  // fault path active: every send rolls the RNG
+  bus.set_fault_plan(plan);
+  bus.start();
+  std::thread reader([&] {
+    for (int i = 0; i < 500; ++i) {
+      NetStats s = bus.stats();
+      // Monotone totals snapshotted under the fault mutex: a torn read
+      // could show drops exceeding sends.
+      EXPECT_LE(s.messages_dropped, s.messages_sent);
+    }
+  });
+  bus.run_until([&] { return ap->received.load(std::memory_order_relaxed) > 200; },
+                std::chrono::milliseconds(5000));
+  reader.join();
+  bus.stop();
+  // The plan was live: with 30% drop some messages must have been lost.
+  NetStats final_stats = bus.stats();
+  EXPECT_GT(final_stats.messages_sent, 0u);
+  EXPECT_GT(final_stats.messages_dropped, 0u);
+}
+
+// The pre-start-only contract itself: mutating the fault plan once node
+// threads exist is rejected, not raced.
+TEST(ThreadedBusShutdown, SetFaultPlanAfterStartRejected) {
+  ThreadedBus bus(56);
+  bus.add_node(std::make_unique<Flooder>());
+  bus.start();
+  FaultPlan plan;
+  plan.drop_percent = 10;
+  EXPECT_THROW(bus.set_fault_plan(plan), std::logic_error);
+  bus.stop();
+}
+
 }  // namespace
 }  // namespace dblind::net

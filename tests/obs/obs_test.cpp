@@ -285,5 +285,79 @@ TEST(Trace, EveryJsonlLineIsOneObject) {
   EXPECT_GT(n, 1u);
 }
 
+// Registration racing scrapes (PR 6): the registry mutex (a dblind::Mutex,
+// checked by the static_analysis.thread_safety gate) guards the name->cell
+// maps; updates through returned handles are lock-free atomics. Hammering
+// registration of colliding names against prometheus_text/scalar_samples
+// readers is the TSan proof for that split.
+TEST(Metrics, ConcurrentRegistrationAndScrape) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 2);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Colliding and distinct names: same-name registration must converge
+        // on one cell while new names grow the map under the lock.
+        Counter c = reg.counter("race_total", {{"lane", std::to_string(i % 4)}});
+        c.inc();
+        Gauge g = reg.gauge("race_gauge_" + std::to_string(t));
+        g.set(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        (void)reg.prometheus_text();
+        (void)reg.scalar_samples();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (const auto& s : reg.scalar_samples()) {
+    if (s.name.rfind("race_total", 0) == 0) total += s.value;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// MemoryTraceRecorder is shared by every node thread in a ThreadedBus run;
+// concurrent record() against meta()/events() snapshots must never tear
+// (its mutex is part of the annotated-capability rollout).
+TEST(Trace, ConcurrentRecordAndSnapshot) {
+  MemoryTraceRecorder rec;
+  RunMeta meta;
+  meta.run_seed = 42;
+  rec.run_meta(meta);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        TraceEvent e;
+        e.ts = static_cast<std::uint64_t>(i);
+        e.node = static_cast<std::uint32_t>(t);
+        e.kind = EventKind::kMsgSend;
+        rec.record(e);
+      }
+    });
+  }
+  std::thread reader([&] {
+    for (int i = 0; i < 200; ++i) {
+      auto snap = rec.events();
+      EXPECT_LE(snap.size(), static_cast<std::size_t>(kThreads) * kEvents);
+      (void)rec.meta();
+    }
+  });
+  for (auto& th : writers) th.join();
+  reader.join();
+  EXPECT_EQ(rec.events().size(), static_cast<std::size_t>(kThreads) * kEvents);
+}
+
 }  // namespace
 }  // namespace dblind::obs

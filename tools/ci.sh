@@ -8,6 +8,13 @@
 #   tsan             TSan build and the full ctest suite
 #   lint             clang-tidy gate (skips if clang-tidy is absent) and
 #                    the crypto-hygiene lint + its self-test
+#   taint            secret-flow taint lint (lint_taint.py): intra-procedural
+#                    dataflow from secret sources into trace/metric/log/
+#                    snapshot/retransmit sinks, plus its adversarial
+#                    self-test corpus
+#   thread_safety    Clang -Werror=thread-safety sweep over the
+#                    core/sync.hpp capability annotations (skips if clang++
+#                    is absent — GCC compiles the annotations to nothing)
 #   chaos            wide fault-injection sweep: the chaos_test binary run
 #                    directly with DBLIND_CHAOS_SEEDS (default 50) seeds per
 #                    fault mix — ctest's build-time discovery can't size the
@@ -29,7 +36,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint relwithdebinfo asan tsan chaos bench trace_check)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos bench trace_check)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -68,6 +75,20 @@ for job in "${JOBS[@]}"; do
           [[ $tidy -eq 0 ]]
       } || FAILED+=("$job")
       ;;
+    taint)
+      banner taint
+      {
+        python3 tools/lint_taint.py --root "$ROOT" &&
+          python3 tools/lint_taint.py --self-test
+      } || FAILED+=("$job")
+      ;;
+    thread_safety)
+      banner thread_safety
+      tools/run_thread_safety.sh
+      ts=$?
+      [[ $ts -eq 77 ]] && ts=0  # skipped: no clang++ on this host
+      [[ $ts -eq 0 ]] || FAILED+=("$job")
+      ;;
     chaos)
       banner chaos
       {
@@ -98,7 +119,7 @@ for job in "${JOBS[@]}"; do
       } || FAILED+=("$job")
       ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|chaos|bench|trace_check)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|bench|trace_check)" >&2
       FAILED+=("$job")
       ;;
   esac

@@ -1,0 +1,190 @@
+"""Shared plumbing for the project lints (lint_crypto.py, lint_taint.py).
+
+Both linters walk the same C++ surface (``src/`` of the repo), strip the
+same comment/string syntax, honor the same ``// <tool>: allow(<rule>)
+reason`` waiver shape, and keep themselves honest with the same embedded
+known-bad/known-good self-test corpus pattern. This module is that common
+core, so a fix to (say) string-literal stripping lands in every lint at
+once instead of drifting per tool.
+
+Zero dependencies beyond the standard library, like the linters themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Callable, Iterator, List, NamedTuple, Sequence, Tuple
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments (keeps offsets stable).
+
+    String literal *content* becomes dots (the quotes stay), so an
+    identifier-looking word inside a string — e.g. a test name mentioning
+    "secret share" — can never match an identifier pattern. This is the
+    canonical preprocessing for every identifier-level rule; see the
+    string-literal cases in both linters' self-test corpora.
+
+    Block comments are handled line-locally, which is adequate for this
+    codebase's style (no multi-line /* */ around code).
+    """
+    out: List[str] = []
+    i, n = 0, len(line)
+    state = None  # None | '"' | "'"
+    while i < n:
+        c = line[i]
+        if state is None:
+            if c == '"' or c == "'":
+                state = c
+                out.append(c)
+            elif c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # rest is comment
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                end = line.find("*/", i + 2)
+                if end == -1:
+                    break
+                i = end + 1  # skip block comment
+            else:
+                out.append(c)
+        else:
+            if c == "\\":
+                out.append("..")
+                i += 1
+            elif c == state:
+                state = None
+                out.append(c)
+            else:
+                out.append(".")
+        i += 1
+    return "".join(out)
+
+
+def strip_comments_only(line: str) -> str:
+    """Drop // and line-local /* */ comments but keep string literals."""
+    # A // inside a string literal would be rare in this tree; accept the
+    # line-local approximation for lint purposes.
+    out = re.sub(r"/\*.*?\*/", "", line)
+    return out.split("//", 1)[0]
+
+
+def split_call_args(code: str, open_paren: int) -> List[str]:
+    """Split the argument list of the call whose '(' is at ``open_paren``.
+
+    Returns top-level comma-separated argument texts; empty list if the
+    call spans past this line (best-effort, line-local)."""
+    depth = 0
+    args: List[str] = []
+    cur: List[str] = []
+    for ch in code[open_paren:]:
+        if ch in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(cur).strip())
+                return [a for a in args if a]
+        if depth >= 1:
+            if ch == "," and depth == 1:
+                args.append("".join(cur).strip())
+                cur = []
+            else:
+                cur.append(ch)
+    return []  # unbalanced on this line
+
+
+def make_waiver_re(tool: str) -> re.Pattern:
+    """Waiver comment for ``tool``: ``// <tool>: allow(<rule>) <reason>``.
+
+    The reason is mandatory — a waiver without one does not waive.
+    """
+    return re.compile(rf"//\s*{re.escape(tool)}:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+
+def waived(lines: Sequence[str], idx: int, rule: str, waiver_re: re.Pattern) -> bool:
+    """True when line ``idx`` (or the one above) carries a reasoned waiver."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = waiver_re.search(lines[probe])
+            if m and m.group(1) == rule and m.group(2):
+                return True
+    return False
+
+
+def iter_source_files(root: pathlib.Path, subdir: str = "src") -> Iterator[Tuple[str, str]]:
+    """Yield (repo-relative posix path, text) for every C++ file under subdir."""
+    base = root / subdir
+    if not base.is_dir():
+        print(f"lint: no {subdir}/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES:
+            continue
+        rel = path.relative_to(root).as_posix()
+        yield rel, path.read_text(encoding="utf-8")
+
+
+def lint_tree(root: pathlib.Path,
+              lint_text: Callable[[str, str], List[Finding]],
+              subdir: str = "src") -> List[Finding]:
+    findings: List[Finding] = []
+    for rel, text in iter_source_files(root, subdir):
+        findings.extend(lint_text(rel, text))
+    return findings
+
+
+# Self-test corpus entries: (rule-that-must-fire-or-None, snippet) or
+# (rule, snippet, path) for path-scoped rules.
+Case = Tuple  # 2- or 3-tuple; kept loose for corpus readability
+
+
+def run_self_test(cases: Sequence[Case],
+                  lint_text: Callable[[str, str], List[Finding]],
+                  label: str,
+                  default_path: str = "src/example/example.cpp") -> int:
+    """Run the embedded corpus; returns a process exit code (0 ok, 1 fail).
+
+    Keeps the gate honest — if a rule regresses, the selftest ctest entry
+    fails even though the tree itself is clean.
+    """
+    failures = 0
+    for case in cases:
+        expected_rule, snippet = case[0], case[1]
+        path = case[2] if len(case) == 3 else default_path
+        findings = lint_text(path, snippet + "\n")
+        rules = {f.rule for f in findings}
+        if expected_rule is None and findings:
+            print(f"self-test FAIL (spurious {sorted(rules)}): {snippet}")
+            failures += 1
+        elif expected_rule is not None and expected_rule not in rules:
+            print(f"self-test FAIL (missed {expected_rule}): {snippet}")
+            failures += 1
+    total = len(cases)
+    print(f"{label} self-test: {total - failures}/{total} cases ok")
+    return 1 if failures else 0
+
+
+def report(findings: Sequence[Finding], label: str) -> int:
+    """Print findings; returns the process exit code."""
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"{label}: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{label}: clean")
+    return 0
