@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -229,6 +230,15 @@ int main(int argc, char** argv) {
         case core::MsgType::kResultReply: return "result-reply";
         case core::MsgType::kClientDecryptRequest: return "client-decrypt-request";
         case core::MsgType::kClientDecryptReply: return "client-decrypt-reply";
+        case core::MsgType::kReconfigStart: return "reconfig-start";
+        case core::MsgType::kReshareDeal: return "reshare-deal";
+        case core::MsgType::kReshareSubshare: return "reshare-subshare";
+        case core::MsgType::kReconfigApply: return "reconfig-apply";
+        case core::MsgType::kReconfigEcho: return "reconfig-echo";
+        case core::MsgType::kWrongEpoch: return "wrong-epoch";
+        case core::MsgType::kReconfigPull: return "reconfig-pull";
+        case core::MsgType::kReconfigState: return "reconfig-state";
+        case core::MsgType::kSubsharePull: return "subshare-pull";
       }
       return "?";
     };
@@ -618,6 +628,97 @@ int main(int argc, char** argv) {
         "\"warm\": %d, \"wall_ms\": %.2f, \"virtual_ms\": %.2f, \"transfers_per_sec\": %.2f, "
         "\"integrity\": %d}\n",
         kN, pool_size, warm ? 1 : 0, wall_ms, virt_ms, tps, ok ? 1 : 0);
+  }
+
+  std::puts("");
+  std::puts("Epochal reconfiguration (PR 7) — steady-state vs rotation-window cost:");
+  std::puts("(two runs, same seed: a baseline with no rotation, and a run whose 4");
+  std::puts(" transfers are caught mid-flight by a same-roster re-share of service B —");
+  std::puts(" they abort at the install (I6) and re-run under epoch 1. The rotation");
+  std::puts(" window prices the re-share round plus the discarded in-flight work; the");
+  std::puts(" post-install window is the full protocol under the new configuration.");
+  std::puts(" Gate: post-rotation steady-state mont-muls/transfer within 5% of the");
+  std::puts(" baseline — the install's invalidation cascade (pinned comb tables,");
+  std::puts(" contribution pool, offline prng) must re-arm fully, not leak cost into");
+  std::puts(" the new epoch.)");
+  {
+    constexpr int kWave = 4;
+    constexpr net::Time kRotateAt = 30'000;  // lands well inside the first round-trips
+    auto make_sys = [&](bool rotate) {
+      core::SystemOptions o;
+      o.a = {4, 1};
+      o.b = {4, 1};
+      o.seed = 800;
+      auto sys = std::make_unique<core::System>(std::move(o));
+      std::vector<core::TransferId> ts;
+      for (int i = 0; i < kWave; ++i) {
+        ts.push_back(sys->add_transfer(sys->config().params.encode_message(Bigint(8100 + i))));
+      }
+      if (rotate) {
+        std::vector<net::NodeId> roster;
+        for (core::ServerRank r = 1; r <= 4; ++r) roster.push_back(sys->config().b.node_of(r));
+        sys->schedule_reconfig_b(sys->make_b_spec(1, 1, roster), kRotateAt);
+      }
+      return std::make_pair(std::move(sys), std::move(ts));
+    };
+    auto integrity = [](core::System& sys, const std::vector<core::TransferId>& ts) {
+      for (core::ServerRank r = 1; r <= 4; ++r) {
+        for (core::TransferId t : ts) {
+          auto res = sys.result(t, r);
+          if (!res || sys.oracle_decrypt_b(*res) != sys.plaintext_of(t)) return false;
+        }
+      }
+      return true;
+    };
+
+    auto [base_sys, base_ts] = make_sys(false);
+    const std::uint64_t b0 = base_sys->config().params.mont_mul_count();
+    bool ok = base_sys->run_to_completion();
+    const std::uint64_t pre_muls = base_sys->config().params.mont_mul_count() - b0;
+    const double t_base = base_sys->sim().stats().end_time / 1000.0;
+    ok = ok && integrity(*base_sys, base_ts);
+
+    auto [rot_sys, rot_ts] = make_sys(true);
+    core::System& rs = *rot_sys;
+    auto installed = [&rs] {
+      for (core::ServerRank r = 1; r <= 4; ++r) {
+        if (rs.b_server(r).config_epoch() != 1 || rs.b_server(r).share_pending()) return false;
+      }
+      return true;
+    };
+    const std::uint64_t r0 = rot_sys->config().params.mont_mul_count();
+    ok = ok && rot_sys->sim().run_until(installed, 50'000'000);
+    const std::uint64_t rotation_muls = rot_sys->config().params.mont_mul_count() - r0;
+    const double t_install = rot_sys->sim().stats().end_time / 1000.0;
+    ok = ok && rot_sys->run_to_completion();
+    const std::uint64_t post_muls = rot_sys->config().params.mont_mul_count() - r0 - rotation_muls;
+    const double t_rot = rot_sys->sim().stats().end_time / 1000.0;
+    ok = ok && integrity(*rot_sys, rot_ts);
+
+    auto per_transfer = [&](std::uint64_t muls) {
+      return bench::fmt(static_cast<double>(muls) / kWave, 1);
+    };
+    const double delta = pre_muls != 0
+                             ? (static_cast<double>(post_muls) - static_cast<double>(pre_muls)) /
+                                   static_cast<double>(pre_muls) * 100.0
+                             : 0.0;
+    bench::Table rt({"window", "mont_muls", "muls/transfer", "virtual_ms"});
+    rt.row({"baseline (no rotation)", bench::fmt_u(pre_muls), per_transfer(pre_muls),
+            bench::fmt(t_base)});
+    rt.row({"rotation (re-share + aborted work)", bench::fmt_u(rotation_muls), "-",
+            bench::fmt(t_install)});
+    rt.row({"post-install steady state", bench::fmt_u(post_muls),
+            per_transfer(post_muls) + " (" + bench::fmt(delta, 2) + "% vs baseline)",
+            bench::fmt(t_rot - t_install)});
+    rt.print();
+    if (!ok) std::puts("BUG: reconfiguration bench lost integrity");
+    std::printf(
+        "BENCHJSON {\"section\": \"reconfig\", \"wave_transfers\": %d, "
+        "\"pre_wave_mont_muls\": %llu, \"rotation_mont_muls\": %llu, "
+        "\"post_wave_mont_muls\": %llu, \"installed\": %d, \"integrity\": %d}\n",
+        kWave, static_cast<unsigned long long>(pre_muls),
+        static_cast<unsigned long long>(rotation_muls),
+        static_cast<unsigned long long>(post_muls), installed() ? 1 : 0, ok ? 1 : 0);
   }
 
   std::puts("");

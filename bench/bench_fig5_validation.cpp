@@ -35,7 +35,7 @@ struct Fixture {
     const core::SystemConfig& cfg = ts.cfg;
     init_env = core::make_envelope(cfg, ts.b_secrets[0],
                                    core::encode_body(core::MsgType::kInit, core::InitMsg{id}),
-                                   prng);
+                                   0, prng);
 
     struct Contrib {
       Bigint rho, r1, r2;
@@ -56,14 +56,14 @@ struct Fixture {
       commit.server = r;
       commit.commitment = contribs.back().c.commitment_digest();
       commits.push_back(core::make_envelope(
-          cfg, ts.b_secrets[r - 1], core::encode_body(core::MsgType::kCommit, commit), prng));
+          cfg, ts.b_secrets[r - 1], core::encode_body(core::MsgType::kCommit, commit), 0, prng));
     }
 
     core::RevealMsg reveal;
     reveal.id = id;
     reveal.commits = commits;
     reveal_env = core::make_envelope(cfg, ts.b_secrets[0],
-                                     core::encode_body(core::MsgType::kReveal, reveal), prng);
+                                     core::encode_body(core::MsgType::kReveal, reveal), 0, prng);
 
     core::BlindEvidence evidence;
     std::vector<elgamal::Ciphertext> eas, ebs;
@@ -77,7 +77,7 @@ struct Fixture {
                              cfg.b.encryption_key, m.contribution.eb, contribs[r - 1].r2,
                              core::vde_context(id, r), prng);
       auto env = core::make_envelope(cfg, ts.b_secrets[r - 1],
-                                     core::encode_body(core::MsgType::kContribute, m), prng);
+                                     core::encode_body(core::MsgType::kContribute, m), 0, prng);
       if (r == 1) contribute_env = env;
       evidence.contributes.push_back(env);
       eas.push_back(m.contribution.ea);

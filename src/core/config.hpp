@@ -33,9 +33,15 @@ struct ServicePublic {
   threshold::FeldmanCommitments sign_commitments;      // verification of partial signatures
   std::vector<zkp::SchnorrVerifyKey> server_sign_keys;  // per-server message keys, [rank-1]
   net::NodeId first_node = 0;                          // simulator id of rank 1
+  // Explicit rank→node map installed by epochal reconfiguration
+  // (core/reconfig). Empty (the seed layout) means the contiguous
+  // first_node + rank - 1 block; after a roster change ranks may map to
+  // arbitrary simulator ids (joined standbys, surviving veterans).
+  std::vector<net::NodeId> roster;
 
   [[nodiscard]] net::NodeId node_of(ServerRank rank) const {
     if (rank == 0 || rank > cfg.n) throw std::out_of_range("ServicePublic::node_of");
+    if (!roster.empty()) return roster[rank - 1];
     return first_node + rank - 1;
   }
   [[nodiscard]] const zkp::SchnorrVerifyKey& server_key(ServerRank rank) const {

@@ -76,11 +76,25 @@ threshold::DecryptionShare get_decryption_share(Reader& r) {
   return s;
 }
 
+void put_feldman(Writer& w, const threshold::FeldmanCommitments& c) {
+  w.u32(static_cast<std::uint32_t>(c.coefficients.size()));
+  for (const mpz::Bigint& x : c.coefficients) w.bigint(x);
+}
+
+threshold::FeldmanCommitments get_feldman(Reader& r) {
+  threshold::FeldmanCommitments c;
+  std::uint32_t n = r.count();
+  c.coefficients.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) c.coefficients.push_back(r.bigint());
+  return c;
+}
+
 // --- envelopes ------------------------------------------------------------------
 
 void SignedMessage::encode(Writer& w) const {
   w.u8(service);
   w.u32(signer);
+  w.u32(cfg_epoch);
   w.bytes(body);
   put_schnorr_sig(w, sig);
 }
@@ -89,6 +103,7 @@ SignedMessage SignedMessage::decode(Reader& r) {
   SignedMessage m;
   m.service = r.u8();
   m.signer = r.u32();
+  m.cfg_epoch = r.u32();
   m.body = r.bytes();
   m.sig = get_schnorr_sig(r);
   return m;
@@ -424,6 +439,162 @@ ClientDecryptReplyMsg ClientDecryptReplyMsg::decode(Reader& r) {
   ClientDecryptReplyMsg m;
   m.transfer = r.u64();
   m.share = get_decryption_share(r);
+  return m;
+}
+
+// --- reconfiguration messages ----------------------------------------------------
+
+void RosterEntry::encode(Writer& w) const {
+  w.u32(node);
+  w.bigint(sign_key);
+}
+
+RosterEntry RosterEntry::decode(Reader& r) {
+  RosterEntry e;
+  e.node = r.u32();
+  e.sign_key = r.bigint();
+  return e;
+}
+
+void ReconfigSpec::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+  w.u32(n);
+  w.u32(f);
+  w.u32(static_cast<std::uint32_t>(roster.size()));
+  for (const RosterEntry& e : roster) e.encode(w);
+}
+
+ReconfigSpec ReconfigSpec::decode(Reader& r) {
+  ReconfigSpec s;
+  s.service = r.u8();
+  s.epoch = r.u32();
+  s.n = r.u32();
+  s.f = r.u32();
+  std::uint32_t count = r.count();
+  s.roster.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) s.roster.push_back(RosterEntry::decode(r));
+  return s;
+}
+
+void ReconfigStartMsg::encode(Writer& w) const { spec.encode(w); }
+
+ReconfigStartMsg ReconfigStartMsg::decode(Reader& r) { return {ReconfigSpec::decode(r)}; }
+
+void ReshareDealMsg::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+  w.u32(dealer);
+  put_feldman(w, enc);
+  put_feldman(w, sign);
+}
+
+ReshareDealMsg ReshareDealMsg::decode(Reader& r) {
+  ReshareDealMsg m;
+  m.service = r.u8();
+  m.epoch = r.u32();
+  m.dealer = r.u32();
+  m.enc = get_feldman(r);
+  m.sign = get_feldman(r);
+  return m;
+}
+
+void ReshareSubshareMsg::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+  w.u32(dealer);
+  w.u32(target_rank);
+  w.bigint(enc_sub);
+  w.bigint(sign_sub);
+}
+
+ReshareSubshareMsg ReshareSubshareMsg::decode(Reader& r) {
+  ReshareSubshareMsg m;
+  m.service = r.u8();
+  m.epoch = r.u32();
+  m.dealer = r.u32();
+  m.target_rank = r.u32();
+  m.enc_sub = r.bigint();
+  m.sign_sub = r.bigint();
+  return m;
+}
+
+void ReconfigApplyMsg::encode(Writer& w) const {
+  spec.encode(w);
+  w.u32(static_cast<std::uint32_t>(deals.size()));
+  for (const SignedMessage& d : deals) d.encode(w);
+  w.u32(static_cast<std::uint32_t>(transfers.size()));
+  for (TransferId t : transfers) w.u64(t);
+}
+
+ReconfigApplyMsg ReconfigApplyMsg::decode(Reader& r) {
+  ReconfigApplyMsg m;
+  m.spec = ReconfigSpec::decode(r);
+  std::uint32_t nd = r.count();
+  m.deals.reserve(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) m.deals.push_back(SignedMessage::decode(r));
+  std::uint32_t nt = r.count(8);
+  m.transfers.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) m.transfers.push_back(r.u64());
+  return m;
+}
+
+void ReconfigEchoMsg::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+  w.digest(digest);
+}
+
+ReconfigEchoMsg ReconfigEchoMsg::decode(Reader& r) {
+  ReconfigEchoMsg m;
+  m.service = r.u8();
+  m.epoch = r.u32();
+  m.digest = r.digest();
+  return m;
+}
+
+void WrongEpochMsg::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+}
+
+WrongEpochMsg WrongEpochMsg::decode(Reader& r) {
+  WrongEpochMsg m;
+  m.service = r.u8();
+  m.epoch = r.u32();
+  return m;
+}
+
+void ReconfigPullMsg::encode(Writer& w) const { w.u32(epoch); }
+
+ReconfigPullMsg ReconfigPullMsg::decode(Reader& r) { return {r.u32()}; }
+
+void ReconfigStateMsg::encode(Writer& w) const {
+  apply.encode(w);
+  w.u32(static_cast<std::uint32_t>(echoes.size()));
+  for (const SignedMessage& e : echoes) e.encode(w);
+}
+
+ReconfigStateMsg ReconfigStateMsg::decode(Reader& r) {
+  ReconfigStateMsg m;
+  m.apply = SignedMessage::decode(r);
+  std::uint32_t n = r.count();
+  m.echoes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.echoes.push_back(SignedMessage::decode(r));
+  return m;
+}
+
+void SubsharePullMsg::encode(Writer& w) const {
+  w.u8(service);
+  w.u32(epoch);
+  w.u32(my_new_rank);
+}
+
+SubsharePullMsg SubsharePullMsg::decode(Reader& r) {
+  SubsharePullMsg m;
+  m.service = r.u8();
+  m.epoch = r.u32();
+  m.my_new_rank = r.u32();
   return m;
 }
 

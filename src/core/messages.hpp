@@ -19,6 +19,7 @@
 #include "core/types.hpp"
 #include "elgamal/elgamal.hpp"
 #include "hash/sha256.hpp"
+#include "threshold/feldman.hpp"
 #include "threshold/thresh_decrypt.hpp"
 #include "threshold/thresh_sign.hpp"
 #include "zkp/schnorr.hpp"
@@ -51,6 +52,17 @@ enum class MsgType : std::uint8_t {
   kResultReply = 17,       // B server -> client: the service-signed done
   kClientDecryptRequest = 18,  // client -> B servers: decryption shares please
   kClientDecryptReply = 19,    // B server -> client: share + proof
+  // Epochal reconfiguration (membership/threshold change; see
+  // core/reconfig.hpp and docs/PROTOCOL.md "Reconfiguration").
+  kReconfigStart = 20,    // coordinator -> old roster: re-share for this spec
+  kReshareDeal = 21,      // dealer -> coordinators: COMMITMENTS only (public)
+  kReshareSubshare = 22,  // dealer -> one new-roster server: its sub-shares
+  kReconfigApply = 23,    // coordinator -> everyone: spec + f+1 deal envelopes
+  kReconfigEcho = 24,     // old-roster server -> everyone: echo of apply digest
+  kWrongEpoch = 25,       // receiver -> stale sender: my epoch is newer
+  kReconfigPull = 26,     // lagging node -> peers: send installs after epoch e
+  kReconfigState = 27,    // reply: one epoch's apply + 2f+1 echo certificate
+  kSubsharePull = 28,     // new-roster server -> dealer: resend my sub-shares
 };
 
 enum class WireKind : std::uint8_t {
@@ -76,13 +88,19 @@ void put_vde_proof(Writer& w, const zkp::VdeProof& p);
 zkp::VdeProof get_vde_proof(Reader& r);
 void put_decryption_share(Writer& w, const threshold::DecryptionShare& s);
 threshold::DecryptionShare get_decryption_share(Reader& r);
+void put_feldman(Writer& w, const threshold::FeldmanCommitments& c);
+threshold::FeldmanCommitments get_feldman(Reader& r);
 
 // --- envelopes ---------------------------------------------------------------
 
-// ⟨m⟩_i: body signed by an individual server key.
+// ⟨m⟩_i: body signed by an individual server key. The signature covers the
+// 4-byte little-endian `cfg_epoch` followed by `body` (always — epoch 0
+// included), so an envelope cannot be re-stamped into another configuration
+// without breaking its signature.
 struct SignedMessage {
   std::uint8_t service = 0;  // ServiceRole of the signer
   ServerRank signer = 0;
+  ConfigEpoch cfg_epoch = 0;  // signer's config epoch at send time
   std::vector<std::uint8_t> body;  // type-tagged message bytes
   zkp::SchnorrSignature sig;
 
@@ -306,6 +324,133 @@ struct ClientDecryptReplyMsg {
 
   void encode(Writer& w) const;
   static ClientDecryptReplyMsg decode(Reader& r);
+};
+
+// --- reconfiguration messages ---------------------------------------------------
+
+// One new-roster slot: which transport node takes rank j, and its (pre-
+// distributed) message-signing verify key. Service threshold keys are NOT
+// here — they are re-shared, and the public keys never change.
+struct RosterEntry {
+  std::uint32_t node = 0;  // net::NodeId of the server holding this rank
+  mpz::Bigint sign_key;    // Schnorr verify-key group element
+
+  void encode(Writer& w) const;
+  static RosterEntry decode(Reader& r);
+  friend bool operator==(const RosterEntry&, const RosterEntry&) = default;
+};
+
+// The target configuration of one reconfiguration: which service changes,
+// the epoch the change installs, the new (n', f') and the new roster (entry
+// j-1 holds new rank j). The config epoch is GLOBAL: installing a spec for
+// either service moves every node to `epoch`.
+struct ReconfigSpec {
+  std::uint8_t service = 0;  // ServiceRole whose roster/threshold changes
+  ConfigEpoch epoch = 0;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::vector<RosterEntry> roster;
+
+  void encode(Writer& w) const;
+  static ReconfigSpec decode(Reader& r);
+  friend bool operator==(const ReconfigSpec&, const ReconfigSpec&) = default;
+};
+
+struct ReconfigStartMsg {
+  ReconfigSpec spec;
+
+  void encode(Writer& w) const;
+  static ReconfigStartMsg decode(Reader& r);
+};
+
+// A dealer's re-sharing COMMITMENTS for both service keys (encryption +
+// signing). Public by design; the secret sub-shares travel separately,
+// point-to-point, in ReshareSubshareMsg — never through the coordinator.
+struct ReshareDealMsg {
+  std::uint8_t service = 0;
+  ConfigEpoch epoch = 0;  // the epoch being installed
+  std::uint32_t dealer = 0;  // OLD rank of the dealing server
+  threshold::FeldmanCommitments enc;
+  threshold::FeldmanCommitments sign;
+
+  void encode(Writer& w) const;
+  static ReshareDealMsg decode(Reader& r);
+};
+
+// The sub-shares for ONE new-roster server from one dealer. Secret: any
+// f'+1 of a dealer's sub-shares reveal that dealer's old share.
+struct ReshareSubshareMsg {
+  std::uint8_t service = 0;
+  ConfigEpoch epoch = 0;
+  std::uint32_t dealer = 0;
+  std::uint32_t target_rank = 0;  // new rank this sub-share pair belongs to
+  mpz::Bigint enc_sub;   // taint:secret
+  mpz::Bigint sign_sub;  // taint:secret
+
+  void encode(Writer& w) const;
+  static ReshareSubshareMsg decode(Reader& r);
+};
+
+// The coordinator's chosen configuration: the spec, the f+1 commitment-valid
+// deal envelopes defining the apply quorum, and the transfers still
+// unfinished at proposal time (so joiners learn what to coordinate).
+struct ReconfigApplyMsg {
+  ReconfigSpec spec;
+  std::vector<SignedMessage> deals;  // kReshareDeal envelopes, dealer-signed
+  std::vector<TransferId> transfers;
+
+  void encode(Writer& w) const;
+  static ReconfigApplyMsg decode(Reader& r);
+};
+
+// Bracha-style echo of an apply's digest: a server installs epoch e only
+// after 2f+1 old-roster echoes of the same digest.
+struct ReconfigEchoMsg {
+  std::uint8_t service = 0;
+  ConfigEpoch epoch = 0;
+  hash::Digest digest{};  // over the encoded ReconfigApplyMsg body
+
+  void encode(Writer& w) const;
+  static ReconfigEchoMsg decode(Reader& r);
+};
+
+// Typed stale-epoch rejection (liveness-only: unauthenticated; a forged one
+// merely triggers a harmless pull probe at the receiver).
+struct WrongEpochMsg {
+  std::uint8_t service = 0;
+  ConfigEpoch epoch = 0;  // the rejecting server's CURRENT epoch
+
+  void encode(Writer& w) const;
+  static WrongEpochMsg decode(Reader& r);
+};
+
+struct ReconfigPullMsg {
+  ConfigEpoch epoch = 0;  // puller's installed epoch; send me everything newer
+
+  void encode(Writer& w) const;
+  static ReconfigPullMsg decode(Reader& r);
+};
+
+// One installed epoch's self-certifying record: the apply envelope plus the
+// 2f+1-echo certificate. A lagging node replays these in epoch order,
+// validating each step against the roster the previous step installed.
+struct ReconfigStateMsg {
+  SignedMessage apply;                // kReconfigApply envelope
+  std::vector<SignedMessage> echoes;  // 2f+1 kReconfigEcho envelopes
+
+  void encode(Writer& w) const;
+  static ReconfigStateMsg decode(Reader& r);
+};
+
+// A new-roster server that has the apply but is missing sub-shares asks the
+// dealers to resend its (and only its) sub-share pair.
+struct SubsharePullMsg {
+  std::uint8_t service = 0;
+  ConfigEpoch epoch = 0;
+  std::uint32_t my_new_rank = 0;
+
+  void encode(Writer& w) const;
+  static SubsharePullMsg decode(Reader& r);
 };
 
 // --- type-tagged body helpers --------------------------------------------------

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "mpz/modmath.hpp"
+#include "threshold/reshare.hpp"
 #include "zkp/batch.hpp"
 
 namespace dblind::core {
@@ -34,6 +35,15 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kResultReply: return "result_reply";
     case MsgType::kClientDecryptRequest: return "client_decrypt_request";
     case MsgType::kClientDecryptReply: return "client_decrypt_reply";
+    case MsgType::kReconfigStart: return "reconfig_start";
+    case MsgType::kReshareDeal: return "reshare_deal";
+    case MsgType::kReshareSubshare: return "reshare_subshare";
+    case MsgType::kReconfigApply: return "reconfig_apply";
+    case MsgType::kReconfigEcho: return "reconfig_echo";
+    case MsgType::kWrongEpoch: return "wrong_epoch";
+    case MsgType::kReconfigPull: return "reconfig_pull";
+    case MsgType::kReconfigState: return "reconfig_state";
+    case MsgType::kSubsharePull: return "subshare_pull";
   }
   return "other";
 }
@@ -52,6 +62,13 @@ std::vector<std::uint8_t> frame_signed(const SignedMessage& env) {
   return w.take();
 }
 
+std::vector<std::uint8_t> frame_client(std::vector<std::uint8_t> body) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kClient));
+  w.bytes(body);
+  return w.take();
+}
+
 std::vector<std::uint8_t> frame_service(const ServiceSignedMsg& msg) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(WireKind::kServiceSigned));
@@ -64,7 +81,9 @@ std::vector<std::uint8_t> frame_service(const ServiceSignedMsg& msg) {
 ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, ProtocolOptions opts,
                                Behavior behavior)
     : cfg_(std::move(cfg)), secrets_(std::move(secrets)), opts_(std::move(opts)),
-      behavior_(behavior) {
+      behavior_(behavior), initial_cfg_(cfg_), initial_secrets_(secrets_) {
+  // 0 remembered as "defaulted": installs re-derive f+1 from the NEW config.
+  initial_max_coordinators_ = opts_.max_coordinators;
   if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
   if (opts_.verify_workers > 0) verify_pool_ = std::make_unique<VerifyPool>(opts_.verify_workers);
   if (opts_.contribution_pool > 0 && is_b())
@@ -100,14 +119,14 @@ std::optional<elgamal::Ciphertext> ProtocolServer::result(TransferId transfer) c
 void ProtocolServer::send_signed(net::Context& ctx, net::NodeId to, MsgType type,
                                  const std::vector<std::uint8_t>& body) {
   (void)type;  // body already carries the tag; kept for call-site clarity
-  SignedMessage env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  SignedMessage env = make_envelope(cfg_, secrets_, body, cfg_epoch_, ctx.rng());
   ctx.send(to, frame_signed(env));
 }
 
 void ProtocolServer::broadcast_signed(net::Context& ctx, ServiceRole svc, MsgType type,
                                       const std::vector<std::uint8_t>& body) {
   (void)type;
-  SignedMessage env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  SignedMessage env = make_envelope(cfg_, secrets_, body, cfg_epoch_, ctx.rng());
   std::vector<std::uint8_t> framed = frame_signed(env);
   const ServicePublic& s = cfg_.service(svc);
   for (ServerRank r = 1; r <= s.cfg.n; ++r) ctx.send(s.node_of(r), framed);
@@ -120,7 +139,7 @@ void ProtocolServer::send_service_signed(net::Context& ctx, net::NodeId to,
 
 std::vector<std::uint8_t> ProtocolServer::signed_frame(net::Context& ctx,
                                                        const std::vector<std::uint8_t>& body) {
-  return frame_signed(make_envelope(cfg_, secrets_, body, ctx.rng()));
+  return frame_signed(make_envelope(cfg_, secrets_, body, cfg_epoch_, ctx.rng()));
 }
 
 // --- retransmission (chaos layer) ---------------------------------------------
@@ -229,9 +248,37 @@ std::uint32_t ProtocolServer::next_epoch_of(TransferId transfer) const {
 
 void ProtocolServer::on_start(net::Context& ctx) {
   resolve_metrics(ctx);
+  metrics_.config_epoch.set(cfg_epoch_);
   // Service A: schedule deferred secret arrivals.
   for (const auto& [transfer, pair] : pending_store_) {
     ctx.set_timer(pair.second, kTimerStoreSecret | transfer);
+  }
+  // Arm scheduled reconfiguration rounds. Kept across restore() — the timer
+  // handler skips any spec whose epoch is already installed, so a stale
+  // re-arm after a crash-restart is harmless.
+  for (std::size_t i = 0; i < scheduled_reconfigs_.size(); ++i) {
+    ctx.set_timer(scheduled_reconfigs_[i].first, kTimerReconfig | i);
+  }
+  if (restored_) {
+    restored_ = false;
+    // A restarted server may have slept through installs, leaving it with a
+    // stale share and roster that the epoch gate would only correct once
+    // epoch-stamped traffic happens to arrive. Proactively pull the install
+    // certificate chain from every epoch-0 peer instead (a no-op reply if
+    // nothing was installed); the pulls ride a short capped backoff so a
+    // lossy link cannot strand the laggard at a dead epoch.
+    ReconfigPullMsg msg;
+    msg.epoch = cfg_epoch_;
+    std::vector<std::uint8_t> frame = frame_client(encode_body(MsgType::kReconfigPull, msg));
+    Resend r;
+    for (const ServicePublic* svc : {&cfg_.a, &cfg_.b}) {
+      for (ServerRank rk = 1; rk <= svc->cfg.n; ++rk) {
+        net::NodeId node = svc->node_of(rk);
+        if (node != ctx.self()) r.msgs.emplace_back(node, frame);
+      }
+    }
+    for (const auto& [to, f] : r.msgs) ctx.send(to, f);
+    arm_resend(ctx, std::move(r), opts_.result_pull_delay, 5);
   }
   if (is_b()) {
     // Dedicated prng for contribution bundles (offline/online split). Forked
@@ -257,7 +304,8 @@ void ProtocolServer::on_start(net::Context& ctx) {
     // ranks 2..f+1 are delayed backups. After a restart, completed transfers
     // (restored from the durable done messages) are skipped, and the epoch
     // continues past anything this server may have announced pre-crash.
-    if (secrets_.rank <= opts_.max_coordinators) {
+    // Standby servers (rank 0) hold no roster slot and drive nothing.
+    if (active() && secrets_.rank <= opts_.max_coordinators) {
       for (TransferId t : transfers_) {
         if (results_.contains(t)) continue;
         net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
@@ -273,7 +321,7 @@ void ProtocolServer::on_start(net::Context& ctx) {
     for (TransferId t : transfers_) arm_result_pull(ctx, t);
     // Step flexibility: pre-compute the contribution (and its VDE proof) for
     // the designated coordinator's expected instance before any init arrives.
-    if (opts_.precompute_contributions) {
+    if (active() && opts_.precompute_contributions) {
       for (TransferId t : transfers_) {
         (void)contributor_state(ctx, InstanceId{t, 1, 0});
       }
@@ -287,7 +335,12 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
   std::uint64_t arg = token & ~(0xffull << 56);
   if (kind == kTimerCoordinator) {
     TransferId t = arg;
-    if (!results_.contains(t)) start_coordinator(ctx, t, next_epoch_of(t));
+    if (active() && !results_.contains(t)) start_coordinator(ctx, t, next_epoch_of(t));
+  } else if (kind == kTimerReconfig) {
+    if (arg < scheduled_reconfigs_.size()) {
+      const ReconfigSpec& spec = scheduled_reconfigs_[arg].second;
+      if (active() && cfg_epoch_ < spec.epoch) start_reconfig_round(ctx, spec);
+    }
   } else if (kind == kTimerResend) {
     handle_resend_timer(ctx, arg);
   } else if (kind == kTimerResponder) {
@@ -334,20 +387,39 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
       metrics_.rx_msgs[ti].inc();
       metrics_.rx_bytes[ti].inc(bytes.size());
       obs::ScopedCounterDelta mont(cfg_.params.mont_mul_cell(), metrics_.mont_muls[ti]);
-      switch (rx_type) {
-        case MsgType::kInit: handle_init(ctx, env); break;
-        case MsgType::kCommit: handle_commit(ctx, env); break;
-        case MsgType::kReveal: handle_reveal(ctx, env); break;
-        case MsgType::kContribute: handle_contribute(ctx, env); break;
-        case MsgType::kSignRequest: handle_sign_request(ctx, env); break;
-        case MsgType::kSignCommitReply: handle_sign_commit_reply(ctx, env); break;
-        case MsgType::kSignQuorum: handle_sign_quorum(ctx, env); break;
-        case MsgType::kSignRevealReply: handle_sign_reveal_reply(ctx, env); break;
-        case MsgType::kSignRevealSet: handle_sign_reveal_set(ctx, env); break;
-        case MsgType::kSignPartialReply: handle_sign_partial_reply(ctx, env); break;
-        case MsgType::kDecryptRequest: handle_decrypt_request(ctx, env); break;
-        case MsgType::kDecryptShareReply: handle_decrypt_share_reply(ctx, env); break;
-        default: break;  // not a server-signed kind — ignore
+      // Epoch gate (I6 sender side): every server-signed message is stamped
+      // with — and signature-bound to — its sender's config epoch. A stale
+      // message gets a typed kWrongEpoch so the sender can catch up and
+      // retransmit under the new configuration; a FUTURE stamp means WE are
+      // behind — probe the sender for the install chain. Either way the
+      // message itself is dropped: handlers only ever see same-epoch traffic.
+      if (env.cfg_epoch != cfg_epoch_) {
+        if (env.cfg_epoch < cfg_epoch_) {
+          metrics_.reconfig_stale_rejects.inc();
+          maybe_send_wrong_epoch(ctx, from, env);
+        } else {
+          send_reconfig_pull(ctx, from);
+        }
+      } else {
+        switch (rx_type) {
+          case MsgType::kInit: handle_init(ctx, env); break;
+          case MsgType::kCommit: handle_commit(ctx, env); break;
+          case MsgType::kReveal: handle_reveal(ctx, env); break;
+          case MsgType::kContribute: handle_contribute(ctx, env); break;
+          case MsgType::kSignRequest: handle_sign_request(ctx, env); break;
+          case MsgType::kSignCommitReply: handle_sign_commit_reply(ctx, env); break;
+          case MsgType::kSignQuorum: handle_sign_quorum(ctx, env); break;
+          case MsgType::kSignRevealReply: handle_sign_reveal_reply(ctx, env); break;
+          case MsgType::kSignRevealSet: handle_sign_reveal_set(ctx, env); break;
+          case MsgType::kSignPartialReply: handle_sign_partial_reply(ctx, env); break;
+          case MsgType::kDecryptRequest: handle_decrypt_request(ctx, env); break;
+          case MsgType::kDecryptShareReply: handle_decrypt_share_reply(ctx, env); break;
+          case MsgType::kReconfigStart: handle_reconfig_start(ctx, env); break;
+          case MsgType::kReshareDeal: handle_reshare_deal(ctx, env); break;
+          case MsgType::kReconfigApply: handle_reconfig_apply(ctx, env); break;
+          case MsgType::kReconfigEcho: handle_reconfig_echo(ctx, env); break;
+          default: break;  // not a server-signed kind — ignore
+        }
       }
     } else if (kind == WireKind::kServiceSigned) {
       ServiceSignedMsg msg = ServiceSignedMsg::decode(r);
@@ -379,6 +451,11 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
         case MsgType::kClientDecryptRequest:
           handle_client_decrypt_request(ctx, from, body);
           break;
+        case MsgType::kReshareSubshare: handle_reshare_subshare(ctx, body); break;
+        case MsgType::kWrongEpoch: handle_wrong_epoch(ctx, from, body); break;
+        case MsgType::kReconfigPull: handle_reconfig_pull(ctx, from, body); break;
+        case MsgType::kReconfigState: handle_reconfig_state(ctx, from, body); break;
+        case MsgType::kSubsharePull: handle_subshare_pull(ctx, from, body); break;
         default: break;
       }
     }
@@ -468,7 +545,7 @@ ProtocolServer::ContributorState& ProtocolServer::contributor_state(net::Context
 }
 
 void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
-  if (!is_b()) return;
+  if (!is_b() || !active()) return;
   auto init = check_init(cfg_, env);
   if (!init) return;
   // Mont-muls spent while serving the request are the "online" cost; with a
@@ -494,7 +571,7 @@ void ProtocolServer::handle_init(net::Context& ctx, const SignedMessage& env) {
 }
 
 void ProtocolServer::handle_reveal(net::Context& ctx, const SignedMessage& env) {
-  if (!is_b()) return;
+  if (!is_b() || !active()) return;
   auto reveal = check_reveal(cfg_, env);
   if (!reveal) return;
   auto it = contributor_.find(reveal->id);
@@ -614,7 +691,7 @@ void ProtocolServer::handle_commit(net::Context& ctx, const SignedMessage& env) 
     reveal.commits.push_back(commit_env);
   }
   std::vector<std::uint8_t> body = encode_body(MsgType::kReveal, reveal);
-  SignedMessage reveal_env = make_envelope(cfg_, secrets_, body, ctx.rng());
+  SignedMessage reveal_env = make_envelope(cfg_, secrets_, body, cfg_epoch_, ctx.rng());
   st.reveal_env = reveal_env;
   std::vector<std::uint8_t> framed = frame_signed(reveal_env);
   cancel_resend(st.init_resend);  // commit round complete
@@ -791,8 +868,8 @@ void ProtocolServer::attack_coordinator_step(net::Context& ctx, CoordinatorState
   my_commit.id = st.id;
   my_commit.server = secrets_.rank;
   my_commit.commitment = cancel.commitment_digest();
-  SignedMessage my_commit_env =
-      make_envelope(cfg_, secrets_, encode_body(MsgType::kCommit, my_commit), ctx.rng());
+  SignedMessage my_commit_env = make_envelope(cfg_, secrets_, encode_body(MsgType::kCommit, my_commit),
+                                              cfg_epoch_, ctx.rng());
 
   RevealMsg r2;
   r2.id = st.id;
@@ -803,7 +880,7 @@ void ProtocolServer::attack_coordinator_step(net::Context& ctx, CoordinatorState
     r2.commits.push_back(commit_env);
   }
   SignedMessage r2_env =
-      make_envelope(cfg_, secrets_, encode_body(MsgType::kReveal, r2), ctx.rng());
+      make_envelope(cfg_, secrets_, encode_body(MsgType::kReveal, r2), cfg_epoch_, ctx.rng());
 
   ContributeMsg mine;
   mine.id = st.id;
@@ -818,8 +895,8 @@ void ProtocolServer::attack_coordinator_step(net::Context& ctx, CoordinatorState
   elgamal::Ciphertext db = cfg_.b.encryption_key.encrypt_with_nonce(dummy_rho, dummy_r2);
   mine.vde = zkp::vde_prove(cfg_.a.encryption_key, da, dummy_r1, cfg_.b.encryption_key, db,
                             dummy_r2, vde_context(st.id, secrets_.rank), ctx.rng());
-  SignedMessage mine_env =
-      make_envelope(cfg_, secrets_, encode_body(MsgType::kContribute, mine), ctx.rng());
+  SignedMessage mine_env = make_envelope(cfg_, secrets_, encode_body(MsgType::kContribute, mine),
+                                         cfg_epoch_, ctx.rng());
   evidence.contributes.push_back(mine_env);
 
   // Spliced payload: honest(f) × cancel == E(ρ̂).
@@ -1104,6 +1181,10 @@ void ProtocolServer::sign_session_finished(net::Context& ctx, SignSession& ss,
 // --- threshold-signing member -----------------------------------------------------------
 
 void ProtocolServer::handle_sign_request(net::Context& ctx, const SignedMessage& env) {
+  // Signing needs this server's CURRENT key share: retired/standby servers
+  // have none, and a pending member's old share would produce partials the
+  // re-shared joint key rejects.
+  if (!active() || share_pending_) return;
   if (!envelope_signature_ok(cfg_, env)) return;
   if (env.service != static_cast<std::uint8_t>(secrets_.role)) return;
   SignRequestMsg msg;
@@ -1249,7 +1330,7 @@ void ProtocolServer::handle_sign_reveal_set(net::Context& ctx, const SignedMessa
 // --- service A responder ------------------------------------------------------------------
 
 void ProtocolServer::handle_blind(net::Context& ctx, const ServiceSignedMsg& msg) {
-  if (is_b()) return;
+  if (is_b() || !active()) return;
   auto blind = check_blind(cfg_, msg);
   if (!blind) return;
   if (seen_blind_.contains(blind->id)) return;
@@ -1312,7 +1393,7 @@ void ProtocolServer::start_responder(net::Context& ctx, const InstanceId& id) {
 }
 
 void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessage& env) {
-  if (is_b()) return;
+  if (is_b() || !active() || share_pending_) return;
   if (!envelope_signature_ok(cfg_, env)) return;
   if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceA)) return;
   DecryptRequestMsg msg;
@@ -1349,7 +1430,7 @@ void ProtocolServer::handle_decrypt_request(net::Context& ctx, const SignedMessa
 }
 
 void ProtocolServer::handle_decrypt_share_reply(net::Context& ctx, const SignedMessage& env) {
-  if (is_b()) return;
+  if (is_b() || !active()) return;
   if (!envelope_signature_ok(cfg_, env)) return;
   if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceA)) return;
   DecryptShareReplyMsg msg;
@@ -1443,7 +1524,7 @@ void ProtocolServer::record_done(net::Context* ctx, const DonePayload& done,
 // --- client-facing handlers -------------------------------------------------------
 
 void ProtocolServer::schedule_coordinator(net::Context& ctx, TransferId transfer) {
-  if (!is_b() || secrets_.rank > opts_.max_coordinators) return;
+  if (!is_b() || !active() || secrets_.rank > opts_.max_coordinators) return;
   net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
   if (delay == 0) {
     start_coordinator(ctx, transfer, 0);
@@ -1495,7 +1576,7 @@ void ProtocolServer::handle_result_request(net::Context& ctx, net::NodeId from,
 
 void ProtocolServer::handle_client_decrypt_request(net::Context& ctx, net::NodeId from,
                                                    std::span<const std::uint8_t> body) {
-  if (!is_b()) return;
+  if (!is_b() || !active() || share_pending_) return;
   ClientDecryptRequestMsg msg;
   try {
     msg = decode_as<ClientDecryptRequestMsg>(MsgType::kClientDecryptRequest, body);
@@ -1532,6 +1613,581 @@ void ProtocolServer::handle_client_decrypt_request(net::Context& ctx, net::NodeI
   std::vector<std::uint8_t> frame = w.take();
   client_decrypt_cache_[ckey] = {std::vector<std::uint8_t>(body.begin(), body.end()), frame};
   ctx.send(from, frame);
+}
+
+// --- epochal reconfiguration ---------------------------------------------------
+//
+// Round shape (docs/PROTOCOL.md "Reconfiguration"): a proposer broadcasts the
+// spec (kReconfigStart); old-roster members of the changing service each deal
+// ONE re-sharing (kReshareDeal commitments broadcast, kReshareSubshare secrets
+// point-to-point to their recipients); the proposer certifies the first f+1
+// commitment-valid deals into a kReconfigApply; old-roster members echo the
+// FIRST valid apply's digest exactly once (kReconfigEcho); any node holding a
+// valid apply plus 2f+1 distinct old-roster echoes of its digest installs the
+// new configuration. Echo-once gives install uniqueness: with at most f
+// Byzantine members, two different digests cannot both collect 2f+1 echoes.
+
+void ProtocolServer::schedule_reconfig(ReconfigSpec spec, net::Time at) {
+  scheduled_reconfigs_.emplace_back(at, std::move(spec));
+}
+
+void ProtocolServer::maybe_send_wrong_epoch(net::Context& ctx, net::NodeId from,
+                                            const SignedMessage& env) {
+  // Liveness-only typed rejection; answered every time (bounded by the
+  // sender's own capped retransmission, never by receiver-side state).
+  WrongEpochMsg msg;
+  msg.service = env.service;
+  msg.epoch = cfg_epoch_;
+  ctx.send(from, frame_client(encode_body(MsgType::kWrongEpoch, msg)));
+}
+
+void ProtocolServer::send_reconfig_pull(net::Context& ctx, net::NodeId to) {
+  ReconfigPullMsg msg;
+  msg.epoch = cfg_epoch_;
+  ctx.send(to, frame_client(encode_body(MsgType::kReconfigPull, msg)));
+}
+
+std::vector<net::NodeId> ProtocolServer::reconfig_targets(const ReconfigSpec& spec) const {
+  std::set<net::NodeId> out;
+  for (ServerRank r = 1; r <= cfg_.a.cfg.n; ++r) out.insert(cfg_.a.node_of(r));
+  for (ServerRank r = 1; r <= cfg_.b.cfg.n; ++r) out.insert(cfg_.b.node_of(r));
+  for (const RosterEntry& e : spec.roster) out.insert(e.node);  // joiners
+  return {out.begin(), out.end()};
+}
+
+void ProtocolServer::start_reconfig_round(net::Context& ctx, const ReconfigSpec& spec) {
+  if (!reconfig_spec_ok(cfg_, cfg_epoch_, spec)) return;
+  if (!reconfig_round_) {
+    reconfig_round_.emplace();
+    reconfig_round_->spec = spec;
+  }
+  ReconfigRound& rr = *reconfig_round_;
+  if (rr.coordinating) return;
+  rr.coordinating = true;
+
+  ReconfigStartMsg start;
+  start.spec = rr.spec;
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kReconfigStart, start));
+  Resend r;
+  for (net::NodeId to : reconfig_targets(rr.spec)) {
+    if (to != ctx.self()) ctx.send(to, framed);
+    r.msgs.emplace_back(to, framed);
+  }
+  rr.start_resend = arm_resend(ctx, std::move(r));
+  // The proposer is usually an old-roster member itself: deal immediately.
+  reshare_for(ctx, rr.spec);
+}
+
+void ProtocolServer::handle_reconfig_start(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  ReconfigStartMsg msg;
+  try {
+    msg = decode_as<ReconfigStartMsg>(MsgType::kReconfigStart, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  if (!reconfig_spec_ok(cfg_, cfg_epoch_, msg.spec)) return;
+  if (!reconfig_round_) {
+    reconfig_round_.emplace();
+    reconfig_round_->spec = msg.spec;
+  }
+  // Deal for the round we joined first (at most one deal per epoch — two
+  // polynomials for the same epoch would equivocate on our share).
+  reshare_for(ctx, reconfig_round_->spec);
+}
+
+void ProtocolServer::reshare_for(net::Context& ctx, const ReconfigSpec& spec) {
+  // Only old-roster members of the CHANGING service hold a share to re-share.
+  if (static_cast<std::uint8_t>(secrets_.role) != spec.service || !active()) return;
+  if (share_pending_) return;  // our own share is not even complete yet
+  auto fit = dealt_frames_.find(spec.epoch);
+  if (fit == dealt_frames_.end()) {
+    threshold::ReshareDeal enc =
+        threshold::reshare_deal(cfg_.params, secrets_.enc_share, spec.n, spec.f, ctx.rng());
+    threshold::ReshareDeal sign =
+        threshold::reshare_deal(cfg_.params, secrets_.sign_share, spec.n, spec.f, ctx.rng());
+    ReshareDealMsg deal;
+    deal.service = spec.service;
+    deal.epoch = spec.epoch;
+    deal.dealer = secrets_.rank;
+    deal.enc = enc.commitments;
+    deal.sign = sign.commitments;
+    DealtEpoch de;
+    de.frames.resize(spec.n + 1);
+    de.frames[0] = signed_frame(ctx, encode_body(MsgType::kReshareDeal, deal));
+    for (std::uint32_t j = 1; j <= spec.n; ++j) {
+      ReshareSubshareMsg sub;
+      sub.service = spec.service;
+      sub.epoch = spec.epoch;
+      sub.dealer = secrets_.rank;
+      sub.target_rank = j;
+      sub.enc_sub = enc.subshares[j - 1].value;
+      sub.sign_sub = sign.subshares[j - 1].value;
+      de.frames[j] = frame_client(encode_body(MsgType::kReshareSubshare, sub));
+      de.targets.push_back(spec.roster[j - 1].node);
+    }
+    fit = dealt_frames_.emplace(spec.epoch, std::move(de)).first;
+  }
+  if (reconfig_round_ && reconfig_round_->spec.epoch == spec.epoch && reconfig_round_->dealt)
+    return;
+  if (reconfig_round_) reconfig_round_->dealt = true;
+  const DealtEpoch& de = fit->second;
+  // Commitments to every old-roster member (any of them may be proposing);
+  // sub-share j point-to-point to the node holding new rank j, and only it.
+  Resend r;
+  const ServicePublic& svc = my_service();
+  for (ServerRank rank = 1; rank <= svc.cfg.n; ++rank) {
+    net::NodeId to = svc.node_of(rank);
+    if (to != ctx.self()) ctx.send(to, de.frames[0]);
+    r.msgs.emplace_back(to, de.frames[0]);
+  }
+  for (std::uint32_t j = 1; j <= spec.n; ++j) {
+    net::NodeId to = de.targets[j - 1];
+    if (to == ctx.self()) {
+      // Our own sub-share: absorb directly instead of round-tripping.
+      try {
+        Reader rd(de.frames[j]);
+        (void)rd.u8();  // WireKind
+        absorb_subshare(ctx, decode_as<ReshareSubshareMsg>(MsgType::kReshareSubshare, rd.bytes()));
+      } catch (const CodecError&) {
+      }
+      continue;
+    }
+    ctx.send(to, de.frames[j]);
+    r.msgs.emplace_back(to, de.frames[j]);
+  }
+  if (reconfig_round_) {
+    reconfig_round_->deal_resend = arm_resend(ctx, std::move(r));
+  } else {
+    std::uint64_t key = arm_resend(ctx, std::move(r));
+    (void)key;  // cancelled with everything else at install
+  }
+  // A proposing dealer processes its own deal like anyone else's.
+  if (reconfig_round_ && reconfig_round_->coordinating) {
+    try {
+      Reader rd(de.frames[0]);
+      (void)rd.u8();  // WireKind
+      SignedMessage env = SignedMessage::decode(rd);
+      handle_reshare_deal(ctx, env);
+    } catch (const CodecError&) {
+    }
+  }
+}
+
+void ProtocolServer::handle_reshare_deal(net::Context& ctx, const SignedMessage& env) {
+  if (!reconfig_round_ || !reconfig_round_->coordinating) return;
+  ReconfigRound& rr = *reconfig_round_;
+  if (rr.applied) return;
+  auto deal = check_reshare_deal(cfg_, cfg_epoch_, rr.spec, env);
+  if (!deal) return;
+  rr.deals.emplace(deal->dealer, env);
+  const ServicePublic& svc = cfg_.service(static_cast<ServiceRole>(rr.spec.service));
+  if (rr.deals.size() < svc.cfg.quorum()) return;
+  rr.applied = true;
+  cancel_resend(rr.start_resend);
+
+  ReconfigApplyMsg apply;
+  apply.spec = rr.spec;
+  for (const auto& [rank, deal_env] : rr.deals) {
+    if (apply.deals.size() == svc.cfg.quorum()) break;
+    apply.deals.push_back(deal_env);  // map order = strictly increasing rank
+  }
+  // Unfinished transfers ride along so joiners know what to coordinate.
+  if (is_b()) {
+    for (TransferId t : transfers_) {
+      if (!results_.contains(t)) apply.transfers.push_back(t);
+    }
+  }
+  std::vector<std::uint8_t> framed =
+      signed_frame(ctx, encode_body(MsgType::kReconfigApply, apply));
+  Resend r;
+  for (net::NodeId to : reconfig_targets(rr.spec)) {
+    if (to != ctx.self()) ctx.send(to, framed);
+    r.msgs.emplace_back(to, framed);
+  }
+  rr.apply_resend = arm_resend(ctx, std::move(r));
+  // Process our own apply (echo it, count our echo, maybe install).
+  try {
+    Reader rd(framed);
+    (void)rd.u8();
+    SignedMessage apply_env = SignedMessage::decode(rd);
+    handle_reconfig_apply(ctx, apply_env);
+  } catch (const CodecError&) {
+  }
+}
+
+void ProtocolServer::handle_reconfig_apply(net::Context& ctx, const SignedMessage& env) {
+  auto apply = check_reconfig_apply(cfg_, cfg_epoch_, env);
+  if (!apply) return;
+  const hash::Digest digest = reconfig_apply_digest(env);
+  applies_by_digest_.emplace(digest, env);
+
+  // Echo exactly one digest per epoch — the uniqueness rule everything else
+  // leans on. Only old-roster members of the changing service vote.
+  if (static_cast<std::uint8_t>(secrets_.role) == apply->spec.service && active() &&
+      !share_pending_) {
+    if (!reconfig_round_) {
+      reconfig_round_.emplace();
+      reconfig_round_->spec = apply->spec;
+    }
+    ReconfigRound& rr = *reconfig_round_;
+    if (!rr.echoed) {
+      rr.echoed = true;
+      ReconfigEchoMsg echo;
+      echo.service = apply->spec.service;
+      echo.epoch = apply->spec.epoch;
+      echo.digest = digest;
+      std::vector<std::uint8_t> framed =
+          signed_frame(ctx, encode_body(MsgType::kReconfigEcho, echo));
+      Resend r;
+      for (net::NodeId to : reconfig_targets(apply->spec)) {
+        if (to != ctx.self()) ctx.send(to, framed);
+        r.msgs.emplace_back(to, framed);
+      }
+      rr.echo_resend = arm_resend(ctx, std::move(r));
+      // Count our own echo.
+      try {
+        Reader rd(framed);
+        (void)rd.u8();
+        SignedMessage echo_env = SignedMessage::decode(rd);
+        echoes_by_digest_[digest].emplace(echo_env.signer, echo_env);
+      } catch (const CodecError&) {
+      }
+    }
+  }
+  try_install(ctx);
+}
+
+void ProtocolServer::handle_reconfig_echo(net::Context& ctx, const SignedMessage& env) {
+  if (!envelope_signature_ok(cfg_, env)) return;
+  ReconfigEchoMsg msg;
+  try {
+    msg = decode_as<ReconfigEchoMsg>(MsgType::kReconfigEcho, env.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  // Echo votes count per-service: the signer must belong to the service its
+  // echo claims to certify (check_install_record re-checks this).
+  if (env.service != msg.service) return;
+  if (msg.epoch != cfg_epoch_ + 1) return;
+  echoes_by_digest_[msg.digest].emplace(env.signer, env);
+  try_install(ctx);
+}
+
+void ProtocolServer::try_install(net::Context& ctx) {
+  for (const auto& [digest, apply_env] : applies_by_digest_) {
+    auto eit = echoes_by_digest_.find(digest);
+    if (eit == echoes_by_digest_.end()) continue;
+    std::vector<SignedMessage> echoes;
+    echoes.reserve(eit->second.size());
+    for (const auto& [rank, echo_env] : eit->second) echoes.push_back(echo_env);
+    auto apply = check_install_record(cfg_, cfg_epoch_, apply_env, echoes);
+    if (apply) {
+      install_config(ctx, apply_env, *apply, std::move(echoes));
+      return;
+    }
+  }
+}
+
+void ProtocolServer::install_config(net::Context& ctx, const SignedMessage& apply_env,
+                                    const ReconfigApplyMsg& apply,
+                                    std::vector<SignedMessage> echoes) {
+  const ReconfigSpec& spec = apply.spec;
+  if (spec.epoch != cfg_epoch_ + 1) return;
+
+  // 1. Collect the instances this install aborts (invariant I6: a transfer
+  //    either completes inside its birth epoch or restarts cleanly under the
+  //    new one — contributions never mix across configurations).
+  std::vector<InstanceId> aborted;
+  for (const auto& [id, st] : coordinator_) {
+    if (!results_.contains(id.transfer)) aborted.push_back(id);
+  }
+  for (const auto& [id, st] : responder_) {
+    if (!st.sent_done) aborted.push_back(id);
+  }
+
+  // 2. Drain in-flight verifications, then drop ALL volatile round state —
+  //    every piece of it is bound to the dying configuration.
+  for (PendingVerify& pv : pending_verifies_) {
+    if (pv.done.valid()) pv.done.wait();
+  }
+  pending_verifies_.clear();
+  contributor_.clear();
+  coordinator_.clear();
+  sign_sessions_.clear();
+  member_sessions_.clear();
+  responder_.clear();
+  seen_blind_.clear();
+  parked_blinds_.clear();
+  decrypt_reply_frames_.clear();
+  client_decrypt_cache_.clear();
+  responder_timer_ids_.clear();
+  resends_.clear();  // cached frames carry the old epoch stamp: all dead
+  result_pull_keys_.clear();
+  subshare_pull_resend_ = 0;
+
+  // 3. Everything that needs the OLD configuration, computed before the swap.
+  std::vector<ReshareDealMsg> deals;
+  std::vector<net::NodeId> dealer_nodes;
+  const ServicePublic& old_svc = cfg_.service(static_cast<ServiceRole>(spec.service));
+  for (const SignedMessage& deal_env : apply.deals) {
+    ReshareDealMsg d = decode_as<ReshareDealMsg>(MsgType::kReshareDeal, deal_env.body);
+    dealer_nodes.push_back(old_svc.node_of(d.dealer));
+    deals.push_back(std::move(d));
+  }
+  ServicePublic new_svc = reconfigured_service(cfg_, spec, deals);
+
+  // 4. Our own place under the new configuration.
+  const bool my_service_changing = static_cast<std::uint8_t>(secrets_.role) == spec.service;
+  ServerRank new_rank = secrets_.rank;
+  if (my_service_changing) {
+    new_rank = 0;
+    for (std::size_t i = 0; i < spec.roster.size(); ++i) {
+      if (spec.roster[i].node == ctx.self()) {
+        new_rank = static_cast<ServerRank>(i + 1);
+        break;
+      }
+    }
+  }
+
+  // 5. Swap the configuration and bump the epoch.
+  if (static_cast<ServiceRole>(spec.service) == ServiceRole::kServiceA) {
+    cfg_.a = std::move(new_svc);
+  } else {
+    cfg_.b = std::move(new_svc);
+  }
+  cfg_epoch_ = spec.epoch;
+  if (my_service_changing) {
+    secrets_.rank = new_rank;
+    if (new_rank == 0) {
+      // Retired: destroy the old shares — they are dead weight and a leak
+      // hazard (proactive-security discipline; see threshold/refresh.hpp).
+      secrets_.enc_share = threshold::Share{};
+      secrets_.sign_share = threshold::Share{};
+      share_pending_ = false;
+    } else {
+      share_pending_ = true;  // completed below if the sub-shares are in
+    }
+  }
+
+  // 6. The invalidation cascade restore() models (PR 5), now at an epoch
+  //    boundary: pinned fixed-base tables, pooled bundles, and the offline
+  //    prng all die with the configuration that created them.
+  cfg_.params.reset_base_caches();
+  cfg_.params.pin_base(cfg_.a.encryption_key.y());
+  cfg_.params.pin_base(cfg_.b.encryption_key.y());
+  cfg_.params.pin_base(cfg_.params.mul(cfg_.a.encryption_key.y(), cfg_.b.encryption_key.y()));
+  if (pool_ != nullptr) {
+    pool_->clear();
+    metrics_.pool_depth.set(0);
+  }
+  if (is_b()) {
+    offline_prng_.emplace(ctx.rng().fork("offline-contrib/e" + std::to_string(cfg_epoch_)));
+  }
+  if (initial_max_coordinators_ == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
+
+  // 7. Record the certificate; laggards pull it one epoch at a time.
+  install_log_.emplace(cfg_epoch_, InstallRecord{apply_env, std::move(echoes)});
+  reconfig_round_.reset();
+  applies_by_digest_.clear();
+  echoes_by_digest_.clear();
+  subshares_.erase(subshares_.begin(), subshares_.lower_bound({cfg_epoch_, 0}));
+
+  // 8. Observability: aborts carry the NEW epoch ("killed by install of e").
+  metrics_.config_epoch.set(cfg_epoch_);
+  metrics_.reconfig_installs.inc();
+  for (const InstanceId& id : aborted) {
+    metrics_.reconfig_aborts.inc();
+    emit_trace(ctx, obs::EventKind::kEpochAbort, &id);
+  }
+  emit_trace(ctx, obs::EventKind::kEpochInstall, nullptr,
+             {.peer = rank(), .count = spec.n});
+
+  // 9. Resume service. B: adopt the apply's transfer list and restart
+  //    coordinators/result pulls under the new ranks (a reconfig of EITHER
+  //    service cleared every armed resend above).
+  if (is_b() && active() && !share_pending_) {
+    for (TransferId t : apply.transfers) transfers_.insert(t);
+    for (TransferId t : transfers_) {
+      if (results_.contains(t)) continue;
+      if (secrets_.rank <= opts_.max_coordinators) {
+        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
+        if (delay == 0) {
+          start_coordinator(ctx, t, next_epoch_of(t));
+        } else {
+          ctx.set_timer(delay, kTimerCoordinator | t);
+        }
+      }
+    }
+    for (TransferId t : transfers_) arm_result_pull(ctx, t);
+  }
+
+  // 10. Complete our new share, or keep pulling the missing sub-shares.
+  if (share_pending_) {
+    maybe_complete_share(ctx);
+    if (share_pending_) {
+      SubsharePullMsg pull;
+      pull.service = spec.service;
+      pull.epoch = cfg_epoch_;
+      pull.my_new_rank = secrets_.rank;
+      std::vector<std::uint8_t> frame =
+          frame_client(encode_body(MsgType::kSubsharePull, pull));
+      Resend r;
+      for (net::NodeId to : dealer_nodes) {
+        if (to == ctx.self()) continue;
+        ctx.send(to, frame);
+        r.msgs.emplace_back(to, frame);
+      }
+      subshare_pull_resend_ = arm_resend(ctx, std::move(r), opts_.result_pull_delay);
+    }
+  }
+}
+
+void ProtocolServer::handle_reshare_subshare(net::Context& ctx,
+                                             std::span<const std::uint8_t> body) {
+  ReshareSubshareMsg msg;
+  try {
+    msg = decode_as<ReshareSubshareMsg>(MsgType::kReshareSubshare, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  absorb_subshare(ctx, msg);
+}
+
+void ProtocolServer::absorb_subshare(net::Context& ctx, const ReshareSubshareMsg& msg) {
+  // Keep sub-shares for the install in progress (epoch+1) or the one just
+  // installed (pending members still collecting). Latest receipt wins, so a
+  // garbage value cannot permanently shadow the dealer's real one — a bad
+  // entry fails verification in maybe_complete_share, is dropped, and the
+  // pull retries.
+  if (msg.epoch != cfg_epoch_ && msg.epoch != cfg_epoch_ + 1) return;
+  subshares_[{msg.epoch, msg.dealer}] = msg;
+  if (share_pending_) maybe_complete_share(ctx);
+}
+
+void ProtocolServer::maybe_complete_share(net::Context& ctx) {
+  if (!share_pending_) return;
+  auto lit = install_log_.find(cfg_epoch_);
+  if (lit == install_log_.end()) return;
+  ReconfigApplyMsg apply;
+  try {
+    apply = decode_as<ReconfigApplyMsg>(MsgType::kReconfigApply, lit->second.apply.body);
+  } catch (const CodecError&) {
+    return;
+  }
+  std::vector<std::uint32_t> dealers;
+  std::vector<mpz::Bigint> enc_subs, sign_subs;
+  for (const SignedMessage& deal_env : apply.deals) {
+    ReshareDealMsg deal;
+    try {
+      deal = decode_as<ReshareDealMsg>(MsgType::kReshareDeal, deal_env.body);
+    } catch (const CodecError&) {
+      return;
+    }
+    auto sit = subshares_.find({cfg_epoch_, deal.dealer});
+    if (sit == subshares_.end()) return;  // still missing — the pull keeps running
+    const ReshareSubshareMsg& sub = sit->second;
+    // Verify against the CERTIFIED deal commitments (the sub-share itself is
+    // an unsigned client frame; the feldman check is its authentication).
+    if (sub.target_rank != secrets_.rank ||
+        !threshold::reshare_verify_subshare(cfg_.params, deal.enc,
+                                            {secrets_.rank, sub.enc_sub}) ||
+        !threshold::reshare_verify_subshare(cfg_.params, deal.sign,
+                                            {secrets_.rank, sub.sign_sub})) {
+      subshares_.erase(sit);  // forged/corrupt — drop so the real one can land
+      return;
+    }
+    dealers.push_back(deal.dealer);
+    enc_subs.push_back(sub.enc_sub);
+    sign_subs.push_back(sub.sign_sub);
+  }
+  secrets_.enc_share = threshold::reshare_apply(cfg_.params, dealers, enc_subs, secrets_.rank);
+  secrets_.sign_share = threshold::reshare_apply(cfg_.params, dealers, sign_subs, secrets_.rank);
+  share_pending_ = false;
+  cancel_resend(subshare_pull_resend_);
+  // Now a full member: start coordinating the transfers the apply carried.
+  if (is_b() && active()) {
+    for (TransferId t : apply.transfers) transfers_.insert(t);
+    for (TransferId t : transfers_) {
+      if (results_.contains(t)) continue;
+      if (secrets_.rank <= opts_.max_coordinators) {
+        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
+        if (delay == 0) {
+          start_coordinator(ctx, t, next_epoch_of(t));
+        } else {
+          ctx.set_timer(delay, kTimerCoordinator | t);
+        }
+      }
+      arm_result_pull(ctx, t);
+    }
+  }
+}
+
+void ProtocolServer::handle_wrong_epoch(net::Context& ctx, net::NodeId from,
+                                        std::span<const std::uint8_t> body) {
+  WrongEpochMsg msg;
+  try {
+    msg = decode_as<WrongEpochMsg>(MsgType::kWrongEpoch, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  // The peer claims to be ahead: pull its install chain. (A forged claim
+  // costs one pull round-trip and nothing else.)
+  if (msg.epoch > cfg_epoch_) send_reconfig_pull(ctx, from);
+}
+
+void ProtocolServer::handle_reconfig_pull(net::Context& ctx, net::NodeId from,
+                                          std::span<const std::uint8_t> body) {
+  ReconfigPullMsg msg;
+  try {
+    msg = decode_as<ReconfigPullMsg>(MsgType::kReconfigPull, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  // One epoch per reply: the puller can only validate the step its installed
+  // roster signs; it re-pulls after each successful install.
+  auto it = install_log_.find(msg.epoch + 1);
+  if (it == install_log_.end()) return;
+  ReconfigStateMsg reply;
+  reply.apply = it->second.apply;
+  reply.echoes = it->second.echoes;
+  ctx.send(from, frame_client(encode_body(MsgType::kReconfigState, reply)));
+}
+
+void ProtocolServer::handle_reconfig_state(net::Context& ctx, net::NodeId from,
+                                           std::span<const std::uint8_t> body) {
+  ReconfigStateMsg msg;
+  try {
+    msg = decode_as<ReconfigStateMsg>(MsgType::kReconfigState, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto apply = check_install_record(cfg_, cfg_epoch_, msg.apply, msg.echoes);
+  if (!apply) return;
+  install_config(ctx, msg.apply, *apply, std::move(msg.echoes));
+  // Walk the chain: ask the same peer for the next epoch. Termination is
+  // guaranteed because the follow-up pull happens only after an install
+  // strictly advanced cfg_epoch_.
+  send_reconfig_pull(ctx, from);
+}
+
+void ProtocolServer::handle_subshare_pull(net::Context& ctx, net::NodeId from,
+                                          std::span<const std::uint8_t> body) {
+  SubsharePullMsg msg;
+  try {
+    msg = decode_as<SubsharePullMsg>(MsgType::kSubsharePull, body);
+  } catch (const CodecError&) {
+    return;
+  }
+  auto fit = dealt_frames_.find(msg.epoch);
+  if (fit == dealt_frames_.end()) return;
+  const DealtEpoch& de = fit->second;
+  if (msg.my_new_rank == 0 || msg.my_new_rank >= de.frames.size()) return;
+  // Secrecy: rank j's sub-share only ever goes to the node the certified
+  // roster assigns rank j — anyone else pulling it is an exfiltration probe.
+  if (de.targets[msg.my_new_rank - 1] != from) return;
+  resend_frame(ctx, from, de.frames[msg.my_new_rank]);
 }
 
 // --- crash recovery -----------------------------------------------------------
@@ -1605,6 +2261,29 @@ void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
   metrics_.pool_depth.set(0);
   pool_timer_armed_ = false;
   offline_prng_.reset();
+  // Installed configurations are volatile too: a recovered server restarts at
+  // the SEED configuration (epoch 0) with its construction-time share, and
+  // re-learns the install chain from peers via the epoch gate + pull path. A
+  // server that crashed in epoch e and recovers after e+1 installed therefore
+  // never acts on its stale share: its first stamped message draws a
+  // kWrongEpoch, it pulls the certificates, installs them in order, and
+  // rejoins (or retires) under the current roster.
+  cfg_ = initial_cfg_;
+  secrets_ = initial_secrets_;
+  cfg_epoch_ = 0;
+  opts_.max_coordinators =
+      initial_max_coordinators_ == 0 ? initial_cfg_.b.cfg.f + 1 : initial_max_coordinators_;
+  reconfig_round_.reset();
+  applies_by_digest_.clear();
+  echoes_by_digest_.clear();
+  subshares_.clear();
+  dealt_frames_.clear();
+  install_log_.clear();
+  share_pending_ = false;
+  subshare_pull_resend_ = 0;
+  restored_ = true;  // on_start pulls the install chain proactively
+  // scheduled_reconfigs_ is pre-simulation setup, not runtime state: kept, so
+  // on_start re-arms it (the timer handler skips already-installed epochs).
   if (snap.empty()) return;
 
   // Parse into locals and commit only on full success: a corrupt snapshot
@@ -1677,6 +2356,7 @@ void ProtocolServer::emit_trace(net::Context& ctx, obs::EventKind kind, const In
   ev.count = extra.count;
   ev.attempt = extra.attempt;
   ev.cap = extra.cap;
+  ev.cfg_epoch = cfg_epoch_;
   opts_.trace->record(ev);
 }
 
@@ -1732,6 +2412,13 @@ void ProtocolServer::resolve_metrics(net::Context& ctx) {
       reg.counter("dblind_contrib_mont_muls_total", {{"node", node}, {"path", "online"}});
   metrics_.contrib_mont_muls_offline =
       reg.counter("dblind_contrib_mont_muls_total", {{"node", node}, {"path", "offline"}});
+  metrics_.config_epoch = reg.gauge("dblind_config_epoch", by_node);
+  metrics_.reconfig_installs =
+      reg.counter("dblind_reconfig_events_total", {{"node", node}, {"event", "install"}});
+  metrics_.reconfig_aborts =
+      reg.counter("dblind_reconfig_events_total", {{"node", node}, {"event", "abort"}});
+  metrics_.reconfig_stale_rejects =
+      reg.counter("dblind_reconfig_events_total", {{"node", node}, {"event", "stale_reject"}});
 }
 
 }  // namespace dblind::core

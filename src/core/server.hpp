@@ -38,6 +38,7 @@
 #include "core/config.hpp"
 #include "core/contribution_pool.hpp"
 #include "core/messages.hpp"
+#include "core/reconfig.hpp"
 #include "core/validity.hpp"
 #include "core/verify_pool.hpp"
 #include "hash/sha256.hpp"
@@ -89,6 +90,12 @@ class ProtocolServer final : public net::Node {
   // Service B: announce a transfer to run. Must be called on every B server
   // before the simulation starts.
   void register_transfer(TransferId transfer);
+  // Epochal reconfiguration: at virtual time `at`, start a reconfiguration
+  // round proposing `spec` (this server acts as the round's coordinator).
+  // Call on old ranks 1..f+1 with staggered times — like Fig. 4 coordinators,
+  // f+1 staggered proposers guarantee progress without echo-vote splits in
+  // the common case. A server already at (or past) spec.epoch skips the round.
+  void schedule_reconfig(ReconfigSpec spec, net::Time at);
 
   // --- observers --------------------------------------------------------------
   // Service B: the validated re-encrypted ciphertext, once a valid `done`
@@ -115,6 +122,16 @@ class ProtocolServer final : public net::Node {
   [[nodiscard]] std::uint64_t retransmits_sent() const {
     return retransmits_sent_.load(std::memory_order_relaxed);
   }
+  // Currently installed config epoch (0 = the seed configuration).
+  [[nodiscard]] ConfigEpoch config_epoch() const { return cfg_epoch_; }
+  // Current rank under the installed configuration; 0 = retired/standby
+  // (serves stored results and reconfiguration traffic, nothing else).
+  [[nodiscard]] ServerRank rank() const { return secrets_.rank; }
+  // True while this server is a roster member still waiting for re-shared
+  // sub-shares after an install (it pulls them from the dealers).
+  [[nodiscard]] bool share_pending() const { return share_pending_; }
+  // This server's current view of the system configuration.
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
 
   // --- observability types ----------------------------------------------------
   // Optional fields of a trace event; which ones an event uses depends on
@@ -132,7 +149,7 @@ class ProtocolServer final : public net::Node {
   // stay branch-free (ISSUE 4 satellite d).
   struct Metrics {
     bool resolved = false;
-    static constexpr std::size_t kTypes = 20;  // MsgType values are 1..19
+    static constexpr std::size_t kTypes = 29;  // MsgType values are 1..28
     std::array<obs::Counter, kTypes> rx_msgs;       // received, by type
     std::array<obs::Counter, kTypes> rx_bytes;      // payload bytes, by type
     std::array<obs::Counter, kTypes> mont_muls;     // handler mont-muls, by type
@@ -159,6 +176,11 @@ class ProtocolServer final : public net::Node {
     obs::Counter pool_fallbacks;         // drain requests served on demand
     obs::Counter contrib_mont_muls_online;
     obs::Counter contrib_mont_muls_offline;
+    // Epochal reconfiguration (PR 7): installed epoch + lifecycle counts.
+    obs::Gauge config_epoch;
+    obs::Counter reconfig_installs;   // dblind_reconfig_events_total{event="install"}
+    obs::Counter reconfig_aborts;     // ...{event="abort"} (instances killed at installs)
+    obs::Counter reconfig_stale_rejects;  // ...{event="stale_reject"} (kWrongEpoch sent)
   };
 
   // --- net::Node --------------------------------------------------------------
@@ -177,6 +199,10 @@ class ProtocolServer final : public net::Node {
   // ---- shared plumbing -------------------------------------------------------
   [[nodiscard]] const ServicePublic& my_service() const { return cfg_.service(secrets_.role); }
   [[nodiscard]] bool is_b() const { return secrets_.role == ServiceRole::kServiceB; }
+  // Roster membership under the installed config. Retired/standby servers
+  // (rank 0) never take part in Fig. 4 — they cannot sign envelopes the new
+  // roster accepts — but keep serving results and reconfiguration traffic.
+  [[nodiscard]] bool active() const { return secrets_.rank != 0; }
   void send_signed(net::Context& ctx, net::NodeId to, MsgType type,
                    const std::vector<std::uint8_t>& body);
   void broadcast_signed(net::Context& ctx, ServiceRole svc, MsgType type,
@@ -351,6 +377,52 @@ class ProtocolServer final : public net::Node {
                                      std::span<const std::uint8_t> body);
   void schedule_coordinator(net::Context& ctx, TransferId transfer);
 
+  // ---- epochal reconfiguration (see core/reconfig.hpp, docs/PROTOCOL.md) ----------
+  // State of the (at most one) reconfiguration round this node is engaged in.
+  // Volatile, like all round state: a crash mid-round loses it; the install
+  // certificate chain (install_log_) is how recovered nodes catch up.
+  struct ReconfigRound {
+    ReconfigSpec spec;          // the spec this node dealt for
+    bool coordinating = false;  // we broadcast the start and collect deals
+    bool dealt = false;         // re-shared exactly once for spec.epoch
+    bool applied = false;       // (coordinator) apply already broadcast
+    bool echoed = false;        // echoed exactly one digest for spec.epoch
+    std::map<std::uint32_t, SignedMessage> deals;  // coordinator: by old dealer rank
+    std::uint64_t start_resend = 0;
+    std::uint64_t deal_resend = 0;
+    std::uint64_t apply_resend = 0;
+    std::uint64_t echo_resend = 0;
+  };
+  // All Fig. 4 epoch gating + reconfiguration handlers below run on the
+  // handler thread like everything else; none of this state needs locks.
+  void maybe_send_wrong_epoch(net::Context& ctx, net::NodeId from, const SignedMessage& env);
+  void send_reconfig_pull(net::Context& ctx, net::NodeId to);
+  void start_reconfig_round(net::Context& ctx, const ReconfigSpec& spec);
+  void reshare_for(net::Context& ctx, const ReconfigSpec& spec);
+  void handle_reconfig_start(net::Context& ctx, const SignedMessage& env);
+  void handle_reshare_deal(net::Context& ctx, const SignedMessage& env);
+  void handle_reconfig_apply(net::Context& ctx, const SignedMessage& env);
+  void handle_reconfig_echo(net::Context& ctx, const SignedMessage& env);
+  void handle_reshare_subshare(net::Context& ctx, std::span<const std::uint8_t> body);
+  void handle_wrong_epoch(net::Context& ctx, net::NodeId from,
+                          std::span<const std::uint8_t> body);
+  void handle_reconfig_pull(net::Context& ctx, net::NodeId from,
+                            std::span<const std::uint8_t> body);
+  void handle_reconfig_state(net::Context& ctx, net::NodeId from,
+                             std::span<const std::uint8_t> body);
+  void handle_subshare_pull(net::Context& ctx, net::NodeId from,
+                            std::span<const std::uint8_t> body);
+  void try_install(net::Context& ctx);
+  void install_config(net::Context& ctx, const SignedMessage& apply_env,
+                      const ReconfigApplyMsg& apply, std::vector<SignedMessage> echoes);
+  // Post-install: verify a received sub-share against the installed deal
+  // commitments; completes the pending share set when the quorum is full.
+  void absorb_subshare(net::Context& ctx, const ReshareSubshareMsg& msg);
+  void maybe_complete_share(net::Context& ctx);
+  // Everyone a reconfiguration broadcast must reach: both current rosters
+  // plus the target roster (joiners are not in any current roster yet).
+  [[nodiscard]] std::vector<net::NodeId> reconfig_targets(const ReconfigSpec& spec) const;
+
   // ---- Byzantine helpers -----------------------------------------------------------
   void attack_coordinator_step(net::Context& ctx, CoordinatorState& st);
 
@@ -373,6 +445,48 @@ class ProtocolServer final : public net::Node {
   ServerSecrets secrets_;
   ProtocolOptions opts_;
   Behavior behavior_;
+
+  // --- epochal reconfiguration state -----------------------------------------
+  ConfigEpoch cfg_epoch_ = 0;
+  // Construction-time copies: a crash loses every installed configuration
+  // (config state is volatile by design — the install chain is re-learned
+  // from peers), so restore() resets to these and recovers via pulls.
+  SystemConfig initial_cfg_;
+  ServerSecrets initial_secrets_;
+  std::size_t initial_max_coordinators_ = 0;
+  std::optional<ReconfigRound> reconfig_round_;
+  // Valid applies / echo votes for the NEXT epoch, by apply digest. A node
+  // echoes at most one digest; installing needs one digest with a valid
+  // apply and 2f+1 distinct old-roster echoes.
+  std::map<hash::Digest, SignedMessage> applies_by_digest_;
+  std::map<hash::Digest, std::map<ServerRank, SignedMessage>> echoes_by_digest_;
+  // Received re-sharing sub-shares, by (install epoch, old dealer rank).
+  // Verified against the certified deal commitments at install time (or on
+  // arrival, once installed); latest receipt wins so a garbage sub-share
+  // cannot permanently shadow the dealer's real one.
+  std::map<std::pair<ConfigEpoch, std::uint32_t>, ReshareSubshareMsg> subshares_;
+  // Dealer side: cached deal/sub-share frames per install epoch, served to
+  // kSubsharePull — but only to the node holding the pulled rank (sub-shares
+  // are secret; frames[j] goes to targets[j-1] and nobody else). Volatile —
+  // a crashed dealer cannot re-deal (a fresh polynomial would not match the
+  // certified commitments), which is the documented liveness residual of
+  // recovery-after-install.
+  struct DealtEpoch {
+    std::vector<net::NodeId> targets;               // new rank j -> targets[j-1]
+    std::vector<std::vector<std::uint8_t>> frames;  // [0] deal, [j] rank j's sub-share
+  };
+  std::map<ConfigEpoch, DealtEpoch> dealt_frames_;
+  // Certified installs, replayed to lagging peers one epoch at a time.
+  std::map<ConfigEpoch, InstallRecord> install_log_;
+  // Member of the new roster whose sub-share quorum is still incomplete.
+  bool share_pending_ = false;
+  std::uint64_t subshare_pull_resend_ = 0;
+  // Set by restore(): the next on_start pulls the install chain from every
+  // peer, since any install that happened while this server was down left it
+  // with a stale share and roster.
+  bool restored_ = false;
+  // Pre-simulation schedule: (virtual time, spec) pairs armed in on_start.
+  std::vector<std::pair<net::Time, ReconfigSpec>> scheduled_reconfigs_;
 
   // Per-transfer application state.
   std::map<TransferId, elgamal::Ciphertext> stored_;                   // A: E_A(m)
@@ -454,6 +568,7 @@ class ProtocolServer final : public net::Node {
   static constexpr std::uint64_t kTimerResend = 5ull << 56;        // | resend key
   static constexpr std::uint64_t kTimerVerifyDrain = 6ull << 56;   // (no payload)
   static constexpr std::uint64_t kTimerPoolRefill = 7ull << 56;    // (no payload)
+  static constexpr std::uint64_t kTimerReconfig = 8ull << 56;      // | schedule index
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

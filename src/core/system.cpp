@@ -94,6 +94,52 @@ System::System(SystemOptions opts)
                                                  behavior_of(opts_.b_behaviors, r));
     b_servers_.push_back(node.get());
     sim_->add_node(std::move(node));
+    b_family_.push_back(BFamilyEntry{
+        b_servers_.back(), cfg_->b.node_of(r),
+        behavior_of(opts_.b_behaviors, r) == ProtocolServer::Behavior::kHonest});
+  }
+  // Standby B servers: rank 0 (no shares), real message-signing keys, node
+  // ids after both rosters. They idle until a ReconfigSpec adopts them.
+  for (std::size_t i = 0; i < opts_.b_standby; ++i) {
+    zkp::SchnorrSigningKey standby_key = zkp::SchnorrSigningKey::generate(opts_.params,
+                                                                          setup_rng_);
+    sign_point_[b_standby_node(i)] = standby_key.verify_key().point();
+    auto node = std::make_unique<ProtocolServer>(
+        *cfg_, ServerSecrets{ServiceRole::kServiceB, 0, {}, {}, standby_key.secret()},
+        opts_.protocol, ProtocolServer::Behavior::kHonest);
+    b_standby_servers_.push_back(node.get());
+    sim_->add_node(std::move(node));
+    b_family_.push_back(BFamilyEntry{b_standby_servers_.back(), b_standby_node(i), true});
+  }
+  for (ServerRank r = 1; r <= opts_.a.n; ++r) {
+    sign_point_[cfg_->a.node_of(r)] = cfg_->a.server_sign_keys[r - 1].point();
+  }
+  for (ServerRank r = 1; r <= opts_.b.n; ++r) {
+    sign_point_[cfg_->b.node_of(r)] = cfg_->b.server_sign_keys[r - 1].point();
+  }
+}
+
+ReconfigSpec System::make_b_spec(ConfigEpoch epoch, std::uint32_t f,
+                                 const std::vector<net::NodeId>& roster) const {
+  ReconfigSpec spec;
+  spec.service = static_cast<std::uint8_t>(ServiceRole::kServiceB);
+  spec.epoch = epoch;
+  spec.n = static_cast<std::uint32_t>(roster.size());
+  spec.f = f;
+  spec.roster.reserve(roster.size());
+  for (net::NodeId node : roster) {
+    auto it = sign_point_.find(node);
+    if (it == sign_point_.end())
+      throw std::invalid_argument("make_b_spec: node has no registered sign key");
+    spec.roster.push_back(RosterEntry{static_cast<std::uint32_t>(node), it->second});
+  }
+  return spec;
+}
+
+void System::schedule_reconfig_b(const ReconfigSpec& spec, net::Time at, net::Time stagger) {
+  const std::uint32_t proposers = static_cast<std::uint32_t>(cfg_->b.cfg.f) + 1;
+  for (ServerRank r = 1; r <= proposers && r <= cfg_->b.cfg.n; ++r) {
+    b_servers_[r - 1]->schedule_reconfig(spec, at + (r - 1) * stagger);
   }
 }
 
@@ -113,7 +159,10 @@ TransferId System::add_transfer_at(const mpz::Bigint& m, net::Time when) {
       s->store_secret_at(t, ea_m, when);
     }
   }
-  for (ProtocolServer* s : b_servers_) s->register_transfer(t);
+  // Standby servers register too: if a reconfiguration adopts one, its
+  // install cascade arms result pulls for every known transfer, so joiners
+  // converge on results that completed before they held a share.
+  for (const BFamilyEntry& e : b_family_) e.server->register_transfer(t);
   transfers_.push_back(t);
   plaintexts_[t] = m;
   return t;
@@ -127,14 +176,21 @@ bool System::is_honest_b(ServerRank rank) const {
 }
 
 bool System::run_to_completion(std::uint64_t max_events) {
+  // Roster-aware completeness: only CURRENT roster members are obligated to
+  // hold results — retired or not-yet-adopted servers stop receiving done
+  // broadcasts when an epochal reconfiguration changes the roster. Without
+  // churn this degenerates to the classic "every honest B server" check.
   auto complete = [&] {
-    for (ServerRank r = 1; r <= cfg_->b.cfg.n; ++r) {
-      if (!is_honest_b(r)) continue;
+    bool any_active = false;
+    for (const BFamilyEntry& e : b_family_) {
+      if (!e.honest || sim_->crashed(e.node)) continue;
+      if (e.server->rank() == 0 || e.server->share_pending()) continue;
+      any_active = true;
       for (TransferId t : transfers_) {
-        if (!b_servers_[r - 1]->result(t)) return false;
+        if (!e.server->result(t)) return false;
       }
     }
-    return true;
+    return any_active;
   };
   return sim_->run_until(complete, max_events);
 }

@@ -33,6 +33,10 @@ struct SystemOptions {
   std::vector<ProtocolServer::Behavior> b_behaviors;
   // Use the joint-Feldman DKG instead of the trusted dealer for key setup.
   bool use_dkg = false;
+  // Extra B-role servers created outside the epoch-0 roster (rank 0, no key
+  // shares, a real message-signing keypair). They idle until an epochal
+  // reconfiguration (core/reconfig) adopts them into the roster.
+  std::size_t b_standby = 0;
 };
 
 class System {
@@ -73,6 +77,29 @@ class System {
   [[nodiscard]] std::map<MsgType, std::uint64_t> rx_histogram() const;
   [[nodiscard]] bool is_honest_b(ServerRank rank) const;
 
+  // --- epochal reconfiguration (core/reconfig) -------------------------------
+  // Builds a service-B ReconfigSpec installing at `epoch`: the roster is the
+  // given simulator nodes in rank order (each must be a B-family node —
+  // epoch-0 roster member or standby), n = roster.size(), threshold f.
+  [[nodiscard]] ReconfigSpec make_b_spec(ConfigEpoch epoch, std::uint32_t f,
+                                         const std::vector<net::NodeId>& roster) const;
+  // Arms the reconfiguration round on the epoch-0 B roster: ranks 1..f+1
+  // each propose the spec, rank r at `at + (r-1)*stagger`, so a crashed
+  // primary proposer is covered by a staggered backup — the same discipline
+  // as transfer coordinators. Call before run_to_completion.
+  void schedule_reconfig_b(const ReconfigSpec& spec, net::Time at,
+                           net::Time stagger = 300'000);
+  // Standby B servers, 0-indexed (rank 0 until a reconfiguration adopts them).
+  [[nodiscard]] ProtocolServer& b_standby_server(std::size_t i) {
+    return *b_standby_servers_.at(i);
+  }
+  [[nodiscard]] std::size_t b_standby_count() const { return b_standby_servers_.size(); }
+  // Simulator node ids: epoch-0 roster ranks and standby indices.
+  [[nodiscard]] net::NodeId b_node(ServerRank rank) const { return cfg_->b.node_of(rank); }
+  [[nodiscard]] net::NodeId b_standby_node(std::size_t i) const {
+    return static_cast<net::NodeId>(opts_.a.n + opts_.b.n + i);
+  }
+
  private:
   SystemOptions opts_;
   // optional<> because SystemConfig carries key material that only exists
@@ -83,6 +110,17 @@ class System {
   std::unique_ptr<net::Simulator> sim_;
   std::vector<ProtocolServer*> a_servers_;  // owned by sim_
   std::vector<ProtocolServer*> b_servers_;
+  std::vector<ProtocolServer*> b_standby_servers_;  // owned by sim_
+  // Every B-capable server (epoch-0 roster + standby) with its transport
+  // node and configured honesty — run_to_completion's roster-aware poll set.
+  struct BFamilyEntry {
+    ProtocolServer* server;
+    net::NodeId node;
+    bool honest;
+  };
+  std::vector<BFamilyEntry> b_family_;
+  // Message-signing verify-key points by node, for building ReconfigSpecs.
+  std::map<net::NodeId, mpz::Bigint> sign_point_;
   std::vector<TransferId> transfers_;
   std::map<TransferId, mpz::Bigint> plaintexts_;
   TransferId next_transfer_ = 1;

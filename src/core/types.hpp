@@ -20,6 +20,13 @@ enum class ServiceRole : std::uint8_t {
 // Application-level transfer: "re-encrypt stored secret #x from A to B".
 using TransferId = std::uint64_t;
 
+// Monotonically increasing CONFIGURATION epoch (roster/threshold/share-set
+// generation) shared by both services. Distinct from InstanceId::epoch, which
+// is a per-transfer coordinator retry counter. Every server-signed envelope
+// is stamped with (and its signature bound to) the sender's config epoch;
+// mixing contributions across config epochs is forbidden (invariant I6).
+using ConfigEpoch = std::uint32_t;
+
 // Instance of the distributed blinding protocol (§4: "id identifies the
 // instance of the protocol execution; id contains, among other things, the
 // identifier for the coordinator").

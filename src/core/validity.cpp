@@ -1,5 +1,6 @@
 #include "core/validity.hpp"
 
+#include <deque>
 #include <set>
 
 namespace dblind::core {
@@ -20,21 +21,35 @@ std::optional<T> try_decode(MsgType type, std::span<const std::uint8_t> body) {
 
 }  // namespace
 
+std::vector<std::uint8_t> epoch_signed_bytes(ConfigEpoch epoch,
+                                             std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body.size());
+  out.push_back(static_cast<std::uint8_t>(epoch & 0xff));
+  out.push_back(static_cast<std::uint8_t>((epoch >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((epoch >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((epoch >> 24) & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
 bool envelope_signature_ok(const SystemConfig& cfg, const SignedMessage& env) {
   if (env.service > 1) return false;
   const ServicePublic& svc = cfg.service(static_cast<ServiceRole>(env.service));
   if (env.signer == 0 || env.signer > svc.cfg.n) return false;
-  return svc.server_key(env.signer).verify(env.body, env.sig);
+  return svc.server_key(env.signer).verify(epoch_signed_bytes(env.cfg_epoch, env.body), env.sig);
 }
 
 SignedMessage make_envelope(const SystemConfig& cfg, const ServerSecrets& me,
-                            std::vector<std::uint8_t> body, mpz::Prng& prng) {
+                            std::vector<std::uint8_t> body, ConfigEpoch cfg_epoch,
+                            mpz::Prng& prng) {
   zkp::SchnorrSigningKey key =
       zkp::SchnorrSigningKey::from_private(cfg.params, me.server_sign_secret);
   SignedMessage env;
   env.service = static_cast<std::uint8_t>(me.role);
   env.signer = me.rank;
-  env.sig = key.sign(body, prng);
+  env.cfg_epoch = cfg_epoch;
+  env.sig = key.sign(epoch_signed_bytes(cfg_epoch, body), prng);
   env.body = std::move(body);
   return env;
 }
@@ -69,6 +84,9 @@ std::optional<RevealMsg> check_reveal(const SystemConfig& cfg, const SignedMessa
   if (msg->commits.size() != need) return std::nullopt;
   std::set<ServerRank> seen;
   for (const SignedMessage& commit_env : msg->commits) {
+    // I6: the commit set justifying a reveal must come from the reveal's own
+    // configuration epoch — no splicing evidence across reconfigurations.
+    if (commit_env.cfg_epoch != env.cfg_epoch) return std::nullopt;
     auto commit = check_commit(cfg, commit_env);
     if (!commit) return std::nullopt;
     if (commit->id != msg->id) return std::nullopt;
@@ -83,6 +101,9 @@ std::optional<ContributeMsg> check_contribute(const SystemConfig& cfg, const Sig
   if (!msg) return std::nullopt;
   if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
   if (env.signer != msg->server) return std::nullopt;
+
+  // I6: the embedded reveal must be from the contribute's own config epoch.
+  if (msg->reveal.cfg_epoch != env.cfg_epoch) return std::nullopt;
 
   // (iii) the encrypted contribution corresponds to the commitment in the
   // included reveal message (which must itself be valid, with matching id).
@@ -138,6 +159,8 @@ bool check_blind_sign_request(const SystemConfig& cfg, std::span<const std::uint
   std::vector<elgamal::Ciphertext> eas, ebs;
   const SignedMessage* reveal = nullptr;
   for (const SignedMessage& env : ev.contributes) {
+    // I6: the f+1 contributions must all be stamped with one config epoch.
+    if (env.cfg_epoch != ev.contributes.front().cfg_epoch) return false;
     auto c = check_contribute(cfg, env);
     if (!c) return false;
     if (c->id != blind->id) return false;
@@ -171,34 +194,48 @@ namespace {
 
 using SigBatch = std::vector<zkp::BatchEntry>;
 
+// Owns the epoch-prefixed byte strings referenced (as spans) by SigBatch
+// entries. A deque keeps element addresses stable across growth, which the
+// spans inside zkp::BatchEntry rely on.
+using SignedBytesArena = std::deque<std::vector<std::uint8_t>>;
+
+std::span<const std::uint8_t> arena_signed_bytes(SignedBytesArena& arena, const SignedMessage& env) {
+  arena.push_back(epoch_signed_bytes(env.cfg_epoch, env.body));
+  return arena.back();
+}
+
 // Structural part of check_commit: everything except the envelope signature,
 // which is appended to `sigs` for one combined Schnorr batch check.
 std::optional<CommitMsg> collect_commit(const SystemConfig& cfg, const SignedMessage& env,
-                                        SigBatch& sigs) {
+                                        ConfigEpoch expect_epoch, SigBatch& sigs,
+                                        SignedBytesArena& arena) {
   if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
   if (env.signer == 0 || env.signer > cfg.b.cfg.n) return std::nullopt;
+  if (env.cfg_epoch != expect_epoch) return std::nullopt;  // I6
   auto msg = try_decode<CommitMsg>(MsgType::kCommit, env.body);
   if (!msg) return std::nullopt;
   if (env.signer != msg->server) return std::nullopt;
-  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+  sigs.push_back({&cfg.b.server_key(env.signer), arena_signed_bytes(arena, env), &env.sig});
   return msg;
 }
 
 // Structural part of check_reveal; all 2f+2 signatures (the reveal envelope
 // plus its commits) go into `sigs`.
 std::optional<RevealMsg> collect_reveal(const SystemConfig& cfg, const SignedMessage& env,
-                                        SigBatch& sigs) {
+                                        ConfigEpoch expect_epoch, SigBatch& sigs,
+                                        SignedBytesArena& arena) {
   if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return std::nullopt;
   if (env.signer == 0 || env.signer > cfg.b.cfg.n) return std::nullopt;
+  if (env.cfg_epoch != expect_epoch) return std::nullopt;  // I6
   auto msg = try_decode<RevealMsg>(MsgType::kReveal, env.body);
   if (!msg) return std::nullopt;
   if (env.signer != msg->id.coordinator) return std::nullopt;
-  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+  sigs.push_back({&cfg.b.server_key(env.signer), arena_signed_bytes(arena, env), &env.sig});
   const std::size_t need = 2 * cfg.b.cfg.f + 1;
   if (msg->commits.size() != need) return std::nullopt;
   std::set<ServerRank> seen;
   for (const SignedMessage& commit_env : msg->commits) {
-    auto commit = collect_commit(cfg, commit_env, sigs);
+    auto commit = collect_commit(cfg, commit_env, expect_epoch, sigs, arena);
     if (!commit) return std::nullopt;
     if (commit->id != msg->id) return std::nullopt;
     if (!seen.insert(commit->server).second) return std::nullopt;
@@ -228,8 +265,9 @@ std::optional<ContributeMsg> check_contribute_batch(const SystemConfig& cfg,
   if (env.signer != msg->server) return std::nullopt;
 
   SigBatch sigs;
-  sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
-  auto reveal = collect_reveal(cfg, msg->reveal, sigs);
+  SignedBytesArena arena;
+  sigs.push_back({&cfg.b.server_key(env.signer), arena_signed_bytes(arena, env), &env.sig});
+  auto reveal = collect_reveal(cfg, msg->reveal, env.cfg_epoch, sigs, arena);
   if (!reveal || reveal->id != msg->id) return std::nullopt;
   if (!commitment_matches(*reveal, msg->server, *msg)) return std::nullopt;
   if (!zkp::schnorr_batch_verify(cfg.params, sigs)) return std::nullopt;
@@ -257,18 +295,21 @@ bool check_blind_sign_request_batch(const SystemConfig& cfg, std::span<const std
 
   if (ev.contributes.size() != cfg.b.cfg.quorum()) return false;
   SigBatch sigs;
+  SignedBytesArena arena;
   std::vector<ContributeMsg> msgs;
   msgs.reserve(ev.contributes.size());
   std::set<ServerRank> servers;
+  const ConfigEpoch epoch = ev.contributes.front().cfg_epoch;
   for (const SignedMessage& env : ev.contributes) {
     if (env.service != static_cast<std::uint8_t>(ServiceRole::kServiceB)) return false;
     if (env.signer == 0 || env.signer > cfg.b.cfg.n) return false;
+    if (env.cfg_epoch != epoch) return false;  // I6: one config epoch per quorum
     auto c = try_decode<ContributeMsg>(MsgType::kContribute, env.body);
     if (!c) return false;
     if (env.signer != c->server) return false;
     if (c->id != blind->id) return false;
     if (!servers.insert(c->server).second) return false;
-    sigs.push_back({&cfg.b.server_key(env.signer), env.body, &env.sig});
+    sigs.push_back({&cfg.b.server_key(env.signer), arena_signed_bytes(arena, env), &env.sig});
     msgs.push_back(std::move(*c));
   }
 
@@ -279,7 +320,7 @@ bool check_blind_sign_request_batch(const SystemConfig& cfg, std::span<const std
   for (const ContributeMsg& c : msgs) {
     if (!(c.reveal == first.reveal)) return false;
   }
-  auto reveal = collect_reveal(cfg, first.reveal, sigs);
+  auto reveal = collect_reveal(cfg, first.reveal, epoch, sigs, arena);
   if (!reveal || reveal->id != blind->id) return false;
   for (const ContributeMsg& c : msgs) {
     if (!commitment_matches(*reveal, c.server, c)) return false;

@@ -32,13 +32,21 @@
 
 namespace dblind::core {
 
-// Verifies the envelope signature against the named server's public key.
-// False on unknown service/rank.
+// The bytes a ⟨m⟩_i signature actually covers: 4-byte little-endian config
+// epoch, then the body. Binding the stamp into the signed bytes means an
+// envelope can never be re-stamped into another configuration.
+[[nodiscard]] std::vector<std::uint8_t> epoch_signed_bytes(ConfigEpoch epoch,
+                                                           std::span<const std::uint8_t> body);
+
+// Verifies the envelope signature against the named server's public key,
+// over the epoch-prefixed bytes. False on unknown service/rank.
 [[nodiscard]] bool envelope_signature_ok(const SystemConfig& cfg, const SignedMessage& env);
 
-// Signs `body` with this server's key, producing the ⟨m⟩_i envelope.
+// Signs `body` with this server's key, producing the ⟨m⟩_i envelope stamped
+// with (and signature-bound to) `cfg_epoch`.
 [[nodiscard]] SignedMessage make_envelope(const SystemConfig& cfg, const ServerSecrets& me,
-                                          std::vector<std::uint8_t> body, mpz::Prng& prng);
+                                          std::vector<std::uint8_t> body, ConfigEpoch cfg_epoch,
+                                          mpz::Prng& prng);
 
 // Fig. 5 row "init": returns the decoded message iff valid.
 [[nodiscard]] std::optional<InitMsg> check_init(const SystemConfig& cfg, const SignedMessage& env);

@@ -180,6 +180,22 @@ Bigint GroupParams::pow_fixed(const Bigint& b, const Bigint& e) const {
   return table->pow(mpz::mod(e, q_));
 }
 
+void GroupParams::reset_base_caches() const {
+  MutexLock lock(g_cache_->mu);
+  g_cache_->tables.clear();
+  g_cache_->pinned.clear();  // g's call_once comb is separate and stays
+}
+
+std::size_t GroupParams::cached_table_count() const {
+  MutexLock lock(g_cache_->mu);
+  return g_cache_->tables.size();
+}
+
+std::size_t GroupParams::pinned_table_count() const {
+  MutexLock lock(g_cache_->mu);
+  return g_cache_->pinned.size();
+}
+
 std::uint64_t GroupParams::mont_mul_count() const { return mont_->mul_count(); }
 
 const std::atomic<std::uint64_t>* GroupParams::mont_mul_cell() const {

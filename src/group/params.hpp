@@ -95,6 +95,18 @@ class GroupParams {
   // a^{-1} mod p.
   [[nodiscard]] Bigint inv(const Bigint& a) const;
 
+  // Epoch-boundary invalidation (core/reconfig): drops every on-demand
+  // pow_cached table AND every pinned comb except g's own. Bases tied to a
+  // retired configuration (old commitment points, per-epoch aggregates) must
+  // not survive an epoch install; callers re-pin the protocol bases that are
+  // still live afterwards. Shared across all copies of this GroupParams, so
+  // one server's install clears the process-wide cache — semantically a
+  // no-op (pow_cached/pow_fixed degrade to pow()), never a safety issue.
+  void reset_base_caches() const;
+  // Table counts (tests/observability): on-demand and pinned respectively.
+  [[nodiscard]] std::size_t cached_table_count() const;
+  [[nodiscard]] std::size_t pinned_table_count() const;
+
   // Uniformly random group element (random exponent applied to g).
   [[nodiscard]] Bigint random_element(mpz::Prng& prng) const;
   // Uniformly random exponent in [1, q).

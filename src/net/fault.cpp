@@ -13,6 +13,10 @@ bool FaultInjector::partitioned(NodeId from, NodeId to, Time now) const {
 FaultInjector::Fate FaultInjector::apply(NodeId from, NodeId to, Time now,
                                          std::vector<std::uint8_t>& bytes, mpz::Prng& prng) {
   if (partitioned(from, to, now)) return Fate::kDrop;
+  for (NodeId end : {from, to}) {
+    auto dep = plan_.departures.find(end);
+    if (dep != plan_.departures.end() && now >= dep->second) return Fate::kDrop;
+  }
   unsigned drop = plan_.drop_percent;
   auto it = plan_.link_drop_percent.find({from, to});
   if (it != plan_.link_drop_percent.end()) drop = it->second;

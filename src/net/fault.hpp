@@ -42,10 +42,15 @@ struct FaultPlan {
     std::set<NodeId> island;
   };
   std::vector<Partition> partitions;
+  // Permanent departures (membership churn): from `Time` on, every message
+  // to or from the node is dropped. Models a server that leaves the roster
+  // for good — unlike a crash it never restarts, so liveness must come from
+  // reconfiguring it out rather than waiting it out.
+  std::map<NodeId, Time> departures;
 
   [[nodiscard]] bool empty() const {
     return drop_percent == 0 && link_drop_percent.empty() && corrupt_percent == 0 &&
-           partitions.empty();
+           partitions.empty() && departures.empty();
   }
 };
 

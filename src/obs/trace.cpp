@@ -29,6 +29,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kPoolRefill: return "pool_refill";
     case EventKind::kPoolDrain: return "pool_drain";
+    case EventKind::kEpochInstall: return "epoch_install";
+    case EventKind::kEpochAbort: return "epoch_abort";
   }
   return "unknown";
 }
@@ -58,6 +60,12 @@ std::string to_jsonl(const TraceEvent& e) {
     field(out, "epoch", e.epoch);
   } else if (e.transfer != 0) {
     field(out, "transfer", e.transfer);
+  }
+  // Config epoch: emitted only when nonzero so seed-epoch traces stay
+  // byte-identical to pre-reconfiguration runs (pinned in obs_test).
+  if (e.cfg_epoch != 0 && e.kind != EventKind::kEpochInstall &&
+      e.kind != EventKind::kEpochAbort) {
+    field(out, "cfg_epoch", e.cfg_epoch);
   }
   switch (e.kind) {
     case EventKind::kMsgSend:
@@ -99,6 +107,14 @@ std::string to_jsonl(const TraceEvent& e) {
       field(out, "bundle", e.peer);
       field(out, "depth", e.count);
       field(out, "fallback", e.subject);
+      break;
+    case EventKind::kEpochInstall:
+      field(out, "cfg_epoch", e.cfg_epoch);
+      field(out, "rank", e.peer);
+      field(out, "n", e.count);
+      break;
+    case EventKind::kEpochAbort:
+      field(out, "cfg_epoch", e.cfg_epoch);
       break;
     default:
       break;

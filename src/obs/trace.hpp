@@ -55,6 +55,9 @@ enum class EventKind : std::uint8_t {
   // bundle id and pool depth — never ρ, nonces, or announcements.
   kPoolRefill,      // refill timer added a precomputed bundle (peer = bundle id)
   kPoolDrain,       // a bundle was consumed for an instance (subject = fallback)
+  // Epochal reconfiguration (PR 7). cfg_epoch carries the config epoch.
+  kEpochInstall,    // node installed a configuration (count = new n, peer = new rank)
+  kEpochAbort,      // a live instance was aborted at an epoch boundary
 };
 
 // Stable wire name for a kind ("msg_send", "epoch_start", ...).
@@ -78,6 +81,7 @@ struct TraceEvent {
   std::uint64_t count = 0;    // bytes, quorum sizes, frames re-sent, ...
   std::uint32_t attempt = 0;  // retransmit: sends so far for this timer key
   std::uint32_t cap = 0;      // retransmit: max attempts for this timer key
+  std::uint32_t cfg_epoch = 0;  // config epoch (reconfiguration events; 0 = seed epoch)
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };

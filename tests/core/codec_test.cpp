@@ -173,5 +173,121 @@ TEST(Codec, EmptyInputPeekThrows) {
   EXPECT_THROW((void)peek_type({}), CodecError);
 }
 
+TEST(Codec, ReconfigMessagesRoundTrip) {
+  ReconfigSpec spec;
+  spec.service = 1;
+  spec.epoch = 3;
+  spec.n = 5;
+  spec.f = 1;
+  for (std::uint32_t j = 1; j <= 5; ++j) {
+    spec.roster.push_back({10 + j, Bigint(std::uint64_t{j} * 111)});
+  }
+
+  {
+    ReconfigStartMsg start{spec};
+    auto body = encode_body(MsgType::kReconfigStart, start);
+    EXPECT_EQ(peek_type(body), MsgType::kReconfigStart);
+    auto back = decode_as<ReconfigStartMsg>(MsgType::kReconfigStart, body);
+    EXPECT_EQ(back.spec, spec);
+  }
+  {
+    ReshareDealMsg deal;
+    deal.service = 1;
+    deal.epoch = 3;
+    deal.dealer = 2;
+    deal.enc.coefficients = {Bigint(11), Bigint(22)};
+    deal.sign.coefficients = {Bigint(33), Bigint(44)};
+    auto body = encode_body(MsgType::kReshareDeal, deal);
+    auto back = decode_as<ReshareDealMsg>(MsgType::kReshareDeal, body);
+    EXPECT_EQ(back.dealer, 2u);
+    EXPECT_EQ(back.enc, deal.enc);
+    EXPECT_EQ(back.sign, deal.sign);
+  }
+  {
+    ReshareSubshareMsg sub;
+    sub.service = 1;
+    sub.epoch = 3;
+    sub.dealer = 2;
+    sub.target_rank = 4;
+    sub.enc_sub = Bigint::from_hex("deadbeef");
+    sub.sign_sub = Bigint::from_hex("-cafe");
+    auto body = encode_body(MsgType::kReshareSubshare, sub);
+    auto back = decode_as<ReshareSubshareMsg>(MsgType::kReshareSubshare, body);
+    EXPECT_EQ(back.target_rank, 4u);
+    EXPECT_EQ(back.enc_sub, sub.enc_sub);
+    EXPECT_EQ(back.sign_sub, sub.sign_sub);
+  }
+  {
+    ReconfigApplyMsg apply;
+    apply.spec = spec;
+    SignedMessage deal_env;
+    deal_env.service = 1;
+    deal_env.signer = 2;
+    deal_env.body = {1, 2, 3};
+    deal_env.sig = {Bigint(5), Bigint(6)};
+    apply.deals.push_back(deal_env);
+    apply.transfers = {7, 9};
+    auto body = encode_body(MsgType::kReconfigApply, apply);
+    auto back = decode_as<ReconfigApplyMsg>(MsgType::kReconfigApply, body);
+    EXPECT_EQ(back.spec, spec);
+    ASSERT_EQ(back.deals.size(), 1u);
+    EXPECT_EQ(back.deals[0], deal_env);
+    EXPECT_EQ(back.transfers, apply.transfers);
+  }
+  {
+    ReconfigEchoMsg echo;
+    echo.service = 1;
+    echo.epoch = 3;
+    echo.digest.fill(0x5A);
+    auto body = encode_body(MsgType::kReconfigEcho, echo);
+    auto back = decode_as<ReconfigEchoMsg>(MsgType::kReconfigEcho, body);
+    EXPECT_EQ(back.epoch, 3u);
+    EXPECT_EQ(back.digest, echo.digest);
+  }
+  {
+    WrongEpochMsg we;
+    we.service = 0;
+    we.epoch = 9;
+    auto body = encode_body(MsgType::kWrongEpoch, we);
+    auto back = decode_as<WrongEpochMsg>(MsgType::kWrongEpoch, body);
+    EXPECT_EQ(back.epoch, 9u);
+  }
+  {
+    ReconfigPullMsg pull;
+    pull.epoch = 2;
+    auto body = encode_body(MsgType::kReconfigPull, pull);
+    auto back = decode_as<ReconfigPullMsg>(MsgType::kReconfigPull, body);
+    EXPECT_EQ(back.epoch, 2u);
+  }
+  {
+    ReconfigStateMsg state;
+    state.apply.service = 1;
+    state.apply.signer = 0;
+    state.apply.body = {4, 5};
+    state.apply.sig = {Bigint(1), Bigint(2)};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      SignedMessage e;
+      e.service = 1;
+      e.signer = i;
+      e.body = {static_cast<std::uint8_t>(i)};
+      e.sig = {Bigint(std::uint64_t{i}), Bigint(std::uint64_t{i} + 1)};
+      state.echoes.push_back(e);
+    }
+    auto body = encode_body(MsgType::kReconfigState, state);
+    auto back = decode_as<ReconfigStateMsg>(MsgType::kReconfigState, body);
+    EXPECT_EQ(back.apply, state.apply);
+    EXPECT_EQ(back.echoes, state.echoes);
+  }
+  {
+    SubsharePullMsg pull;
+    pull.service = 1;
+    pull.epoch = 3;
+    pull.my_new_rank = 5;
+    auto body = encode_body(MsgType::kSubsharePull, pull);
+    auto back = decode_as<SubsharePullMsg>(MsgType::kSubsharePull, body);
+    EXPECT_EQ(back.my_new_rank, 5u);
+  }
+}
+
 }  // namespace
 }  // namespace dblind::core

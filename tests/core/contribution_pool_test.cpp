@@ -113,6 +113,32 @@ TEST(ContributionPool, ConcurrentPushTakeClearStaysConsistent) {
   EXPECT_EQ(pool.size(), 0u);
 }
 
+// Epoch-boundary invalidation (PR 7): the install cascade calls clear() so
+// bundles precomputed under the dying configuration are unreachable in the
+// new epoch — a pooled (ρ, nonce) pair from epoch e must never surface as a
+// contribution under epoch e+1. The pool itself stays usable: the new
+// epoch's refills start from an empty deque at full capacity.
+TEST(ContributionPool, ClearMakesOldEpochBundlesUnreachable) {
+  ContributionPool pool(4);
+  for (std::uint64_t i = 0; i < 4; ++i) pool.push(bundle_with_id(i));
+  ASSERT_TRUE(pool.full());
+
+  pool.clear();  // the epoch boundary
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.take().has_value()) << "a stale bundle survived the epoch boundary";
+
+  // The new epoch refills with fresh (higher-id) bundles; only those come
+  // back out, in FIFO order, and capacity still binds.
+  for (std::uint64_t i = 100; i < 106; ++i) pool.push(bundle_with_id(i));
+  EXPECT_EQ(pool.size(), 4u);
+  for (std::uint64_t i = 100; i < 104; ++i) {
+    auto b = pool.take();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->id, i);
+  }
+  EXPECT_FALSE(pool.take().has_value());
+}
+
 TEST(ContributionPool, TakeMovesBundleOut) {
   ContributionPool pool(4);
   pool.push(bundle_with_id(7));

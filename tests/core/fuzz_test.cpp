@@ -95,13 +95,13 @@ TEST(ValidityFuzz, MutatedValidMessagesNeverValidateOrCrash) {
     m.server = r;
     m.commitment = c.contribution.commitment_digest();
     commits.push_back(
-        make_envelope(ts.cfg, ts.b_secrets[r - 1], encode_body(MsgType::kCommit, m), prng));
+        make_envelope(ts.cfg, ts.b_secrets[r - 1], encode_body(MsgType::kCommit, m), 0, prng));
   }
   RevealMsg reveal;
   reveal.id = id;
   reveal.commits = commits;
   SignedMessage reveal_env = make_envelope(ts.cfg, ts.b_secrets[0],
-                                           encode_body(MsgType::kReveal, reveal), prng);
+                                           encode_body(MsgType::kReveal, reveal), 0, prng);
   ContributeMsg cm;
   cm.id = id;
   cm.server = 2;
@@ -111,7 +111,7 @@ TEST(ValidityFuzz, MutatedValidMessagesNeverValidateOrCrash) {
                           ts.cfg.b.encryption_key, cm.contribution.eb, contribs[1].r2,
                           vde_context(id, 2), prng);
   SignedMessage env = make_envelope(ts.cfg, ts.b_secrets[1],
-                                    encode_body(MsgType::kContribute, cm), prng);
+                                    encode_body(MsgType::kContribute, cm), 0, prng);
   ASSERT_TRUE(check_contribute(ts.cfg, env).has_value());
 
   // Serialize the envelope, mutate one byte at a stride, re-parse, validate.

@@ -25,7 +25,7 @@ inline TestService make_test_service(const group::GroupParams& params,
   TestService out{
       ServicePublic{cfg, enc.public_key(), enc.commitments(),
                     zkp::SchnorrVerifyKey(params, sig.public_key().y()), sig.commitments(),
-                    {}, 0},
+                    {}, 0, {}},
       {},
       {}};
   for (ServerRank r = 1; r <= cfg.n; ++r) {

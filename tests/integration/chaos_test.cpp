@@ -55,6 +55,17 @@ struct Mix {
   unsigned contribution_pool = 0;   // precomputed-bundle pool capacity (PR 5)
   bool pool_prefill = false;        // fill the pool during on_start
   bool liveness_expected = true;    // mix stays within the f-bound
+  // --- epochal churn (PR 7) -------------------------------------------------
+  // kJoin: (4,1)->(5,1) adopting a standby. kLeave: (5,1)->(4,1) retiring
+  // rank 5. kReshare: same roster, fresh shares (the proactive-refresh
+  // shape). churn_at is the virtual time the rotation round starts.
+  enum class Churn { kNone, kJoin, kLeave, kReshare };
+  Churn churn = Churn::kNone;
+  net::Time churn_at = 0;
+  // Crash one non-proposer roster member exactly as the round starts (it
+  // never deals; quorums come from the survivors) and restart it after the
+  // install — the laggard must rejoin via the certificate-chain pull.
+  bool churn_crash_member = false;
 };
 
 constexpr Mix kMixes[] = {
@@ -101,6 +112,35 @@ constexpr Mix kMixes[] = {
      .byzantine_b1 = true,
      .contribution_pool = 2,
      .pool_prefill = true},
+    // Membership churn under loss: a standby joins mid-run ((4,1)->(5,1)).
+    // Transfers never mix contributions across config epochs (I6/T6) and the
+    // joiner converges on results for work it never participated in.
+    {.name = "churn-join",
+     .drop_percent = 5,
+     .duplication_percent = 10,
+     .churn = Mix::Churn::kJoin,
+     .churn_at = 150'000},
+    // Roster shrink ((5,1)->(4,1)): the retired server stops serving, the
+    // survivors' re-shared shares keep decrypting the unchanged service key.
+    {.name = "churn-leave",
+     .drop_percent = 5,
+     .churn = Mix::Churn::kLeave,
+     .churn_at = 150'000},
+    // A roster member crashes exactly as the re-sharing round starts and
+    // restarts after the install: deal/echo quorums must come from the
+    // survivors and the laggard rejoins through the install-chain pull plus
+    // a fresh sub-share quorum.
+    {.name = "churn-crash-during-reshare",
+     .churn = Mix::Churn::kReshare,
+     .churn_at = 250'000,
+     .churn_crash_member = true},
+    // Rotation with transfers mid-flight under loss + duplication: instances
+    // alive at the boundary abort and re-run under the new configuration.
+    {.name = "churn-mid-transfer",
+     .drop_percent = 10,
+     .duplication_percent = 15,
+     .churn = Mix::Churn::kJoin,
+     .churn_at = 250'000},
 };
 
 constexpr int kMixCount = static_cast<int>(std::size(kMixes));
@@ -117,7 +157,13 @@ constexpr int kMixCount = static_cast<int>(std::size(kMixes));
 //      key), and no cap exceeds the configured maximum;
 //   T5 pool_drain bundle ids are single-use per node — even across a crash
 //      and restore, no precomputed contribution bundle (whose VDE
-//      announcement fixes the proof nonce) is ever consumed twice.
+//      announcement fixes the proof nonce) is ever consumed twice;
+//   T6 (invariant I6) a done's evidence never mixes config epochs: all
+//      verify_pass(contribute) events for one instance carry ONE cfg_epoch —
+//      an instance aborted by an install re-runs as a fresh instance;
+//   T7 config epochs installed per node are strictly increasing (a node
+//      restored to the seed epoch re-walks the chain but each install event
+//      it emits still moves forward from the previous one it emitted alive).
 void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* mix_name,
                             std::uint64_t seed) {
   const obs::RunMeta meta = trace.meta();
@@ -128,6 +174,8 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_epoch;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> last_attempt;
   std::map<std::uint64_t, std::set<std::uint64_t>> drained_bundles;
+  std::map<Instance, std::set<std::uint32_t>> contribute_cfg_epochs;
+  std::map<std::uint64_t, std::uint32_t> installed_epoch;
   const std::string at = std::string(mix_name) + " seed=" + std::to_string(seed);
   for (const obs::TraceEvent& e : trace.events()) {
     const Instance id{e.transfer, e.coordinator, e.epoch};
@@ -135,6 +183,7 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
       case obs::EventKind::kVerifyPass:
         if (e.has_instance && e.subject == static_cast<std::uint32_t>(MsgType::kContribute)) {
           contribute_ok[id].insert(e.peer);
+          contribute_cfg_epochs[id].insert(e.cfg_epoch);
         }
         break;
       case obs::EventKind::kCommitAccepted:
@@ -145,6 +194,23 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         break;
       case obs::EventKind::kDoneRecorded:
         EXPECT_GE(contribute_ok[id].size(), meta.b_f + 1) << "T1 " << at;
+        // T6/I6: all contribute evidence for this instance came from exactly
+        // one config epoch. (The recording node's own epoch may lag — done
+        // messages are service-signed and epoch-blind by design.)
+        EXPECT_LE(contribute_cfg_epochs[id].size(), 1u) << "T6 " << at;
+        break;
+      case obs::EventKind::kEpochInstall: {
+        auto [it, fresh] = installed_epoch.try_emplace(e.node, e.cfg_epoch);
+        if (!fresh) {
+          EXPECT_GT(e.cfg_epoch, it->second) << "T7 " << at;
+          it->second = e.cfg_epoch;
+        }
+        break;
+      }
+      case obs::EventKind::kRestart:
+        // A restored node restarts at the seed epoch and legitimately
+        // re-installs the chain — reset its monotonicity baseline.
+        installed_epoch.erase(e.node);
         break;
       case obs::EventKind::kEpochStart: {
         auto [it, fresh] = last_epoch.try_emplace({e.node, e.transfer}, e.epoch);
@@ -181,7 +247,8 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   SystemOptions o;
   o.seed = 9000 + seed;
   o.a = {4, 1};
-  o.b = {4, 1};
+  o.b = {mix.churn == Mix::Churn::kLeave ? 5u : 4u, 1};
+  o.b_standby = mix.churn == Mix::Churn::kJoin ? 1 : 0;
   o.protocol.trace = &trace;
   o.protocol.retransmit = retransmit;
   o.protocol.batch_verify = mix.batch_verify;
@@ -214,25 +281,55 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   }
   if (mix.crash_a4) sys.sim().crash_at(sys.config().a.node_of(4), 150'000);
 
+  const std::uint32_t b_n = sys.b_cfg().n;
+  if (mix.churn != Mix::Churn::kNone) {
+    std::vector<net::NodeId> roster;
+    for (ServerRank r = 1; r <= 4; ++r) roster.push_back(sys.b_node(r));
+    if (mix.churn == Mix::Churn::kJoin) roster.push_back(sys.b_standby_node(0));
+    sys.schedule_reconfig_b(sys.make_b_spec(1, 1, roster), mix.churn_at);
+  }
+  if (mix.churn_crash_member) {
+    // Crashes win over same-time events: rank 4 never sees the round start,
+    // so it never deals and the quorums come from ranks 1..3.
+    sys.sim().crash_at(sys.b_node(4), mix.churn_at);
+    sys.sim().restart_at(sys.b_node(4), mix.churn_at + 900'000);
+  }
+
   TransferId t1 = sys.add_transfer(sys.config().params.encode_message(Bigint(1000 + seed)));
   TransferId t2 = sys.add_transfer(sys.config().params.encode_message(Bigint(2000 + seed)));
+  std::vector<TransferId> transfers = {t1, t2};
+  if (mix.churn != Mix::Churn::kNone) {
+    // Post-rotation work: guarantees the run outlives the install (the early
+    // transfers may finish before churn_at) and exercises the new
+    // configuration end to end.
+    transfers.push_back(sys.add_transfer_at(
+        sys.config().params.encode_message(Bigint(3000 + seed)), mix.churn_at + 150'000));
+  }
 
   bool completed = sys.run_to_completion();
 
   // S1: every result held anywhere decrypts to the published plaintext.
   // (This is correctness AND agreement: all servers' results for a transfer
   // decrypt to the same value because both compare against the oracle.)
-  for (TransferId t : {t1, t2}) {
-    for (ServerRank r = 1; r <= 4; ++r) {
+  for (TransferId t : transfers) {
+    for (ServerRank r = 1; r <= b_n; ++r) {
       auto res = sys.result(t, r);
       if (!res) continue;
       EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t))
           << mix.name << " seed=" << seed << " t=" << t << " rank=" << r;
     }
+    for (std::size_t i = 0; i < sys.b_standby_count(); ++i) {
+      auto res = sys.b_standby_server(i).result(t);
+      if (!res) continue;
+      EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t))
+          << mix.name << " seed=" << seed << " t=" << t << " standby=" << i;
+    }
   }
   // S2: no service signature on an adversarial payload, ever.
   for (ServerRank r = 1; r <= 4; ++r) {
     EXPECT_EQ(sys.a_server(r).attack_successes(), 0) << mix.name << " seed=" << seed;
+  }
+  for (ServerRank r = 1; r <= b_n; ++r) {
     EXPECT_EQ(sys.b_server(r).attack_successes(), 0) << mix.name << " seed=" << seed;
   }
   // Faults were genuinely injected (guards against a silently-empty plan).
@@ -248,11 +345,32 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
 
   if (mix.liveness_expected && retransmit) {
     EXPECT_TRUE(completed) << mix.name << " seed=" << seed;
-    for (TransferId t : {t1, t2}) {
-      for (ServerRank r = 1; r <= 4; ++r) {
+    for (TransferId t : transfers) {
+      for (ServerRank r = 1; r <= b_n; ++r) {
         if (!sys.is_honest_b(r)) continue;
+        // Retired servers (rank 0 after a shrink) stop receiving dones; only
+        // current roster members owe results.
+        if (sys.b_server(r).rank() == 0) continue;
         EXPECT_TRUE(sys.result(t, r).has_value())
             << mix.name << " seed=" << seed << " t=" << t << " rank=" << r;
+      }
+    }
+    // Once the roster stabilizes, every live member sits at the new epoch —
+    // including an adopted standby and a member that crashed through the
+    // install and rejoined.
+    if (mix.churn != Mix::Churn::kNone) {
+      for (ServerRank r = 1; r <= b_n; ++r) {
+        if (!sys.is_honest_b(r)) continue;
+        EXPECT_EQ(sys.b_server(r).config_epoch(), 1u) << mix.name << " seed=" << seed
+                                                      << " rank=" << r;
+      }
+      if (mix.churn == Mix::Churn::kJoin) {
+        EXPECT_EQ(sys.b_standby_server(0).config_epoch(), 1u) << mix.name << " seed=" << seed;
+        EXPECT_FALSE(sys.b_standby_server(0).share_pending()) << mix.name << " seed=" << seed;
+        for (TransferId t : transfers) {
+          EXPECT_TRUE(sys.b_standby_server(0).result(t).has_value())
+              << mix.name << " seed=" << seed << " t=" << t;
+        }
       }
     }
   }
@@ -266,8 +384,9 @@ TEST_P(ChaosSweep, SafetyAlwaysLivenessInBound) {
   run_chaos(kMixes[mix_index], static_cast<std::uint64_t>(seed));
 }
 
-// Tier-1 grid: 6 seeds × 6 mixes = 36 deterministic runs, each its own ctest
-// entry (parallelizable). tools/ci.sh runs the wider sweep.
+// Tier-1 grid: 6 seeds × 10 mixes = 60 deterministic runs, each its own ctest
+// entry (parallelizable). tools/ci.sh runs the wider sweep (the churn mixes
+// also get a dedicated `ci.sh churn` job).
 INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
                          ::testing::Combine(::testing::Range(0, kMixCount),
                                             ::testing::Range(0, 6)),
@@ -281,17 +400,27 @@ INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
 // Wider sweep, sized at runtime: DBLIND_CHAOS_SEEDS=<n> runs n seeds per mix
 // in one process (gtest_discover_tests enumerates at build time, so the env
 // knob cannot add ctest entries — CI invokes the binary directly instead).
+// DBLIND_CHAOS_MIXES=<substr> restricts the sweep to mixes whose name
+// contains the substring; tools/ci.sh's `churn` job uses it to run the four
+// reconfiguration mixes at a deeper seed count than the all-mix sweep.
 TEST(ChaosSweep, EnvConfiguredSweep) {
   const char* env = std::getenv("DBLIND_CHAOS_SEEDS");
   int seeds = env ? std::atoi(env) : 0;
   if (seeds <= 0) GTEST_SKIP() << "set DBLIND_CHAOS_SEEDS=<n> for the wide sweep";
+  const char* filter = std::getenv("DBLIND_CHAOS_MIXES");
+  int matched = 0;
   for (int mix = 0; mix < kMixCount; ++mix) {
+    if (filter != nullptr && std::string(kMixes[mix].name).find(filter) == std::string::npos)
+      continue;
+    ++matched;
     for (int seed = 0; seed < seeds; ++seed) {
       run_chaos(kMixes[mix], static_cast<std::uint64_t>(100 + seed));
       if (::testing::Test::HasFailure())
         FAIL() << "violation at mix=" << kMixes[mix].name << " seed=" << (100 + seed);
     }
   }
+  EXPECT_GT(matched, 0) << "DBLIND_CHAOS_MIXES='" << (filter ? filter : "")
+                        << "' matched no fault mix";
 }
 
 // The regression the whole retransmission layer exists for: with the layer

@@ -264,5 +264,56 @@ TEST(PoolProtocol, DepthGaugeMatchesEventLedger) {
   }
 }
 
+// Pool equivalence must hold ACROSS an epochal rotation (PR 7): the install
+// cascade clears the pool and re-forks the offline prng at the same point in
+// every mode, so pool-on and pool-off runs of one seed stay byte-identical
+// even when a reconfiguration lands mid-run and a second transfer executes
+// entirely under the new configuration.
+TEST(PoolProtocol, ByteIdenticalAcrossEpochRotation) {
+  auto run = [](const PoolMode& pool) {
+    SystemOptions o;
+    o.seed = 53000;
+    o.a = {4, 1};
+    o.b = {4, 1};
+    o.protocol.contribution_pool = pool.capacity;
+    o.protocol.pool_prefill = pool.prefill;
+    System sys(std::move(o));
+    std::vector<TransferId> transfers;
+    transfers.push_back(sys.add_transfer(sys.config().params.encode_message(Bigint(901))));
+    transfers.push_back(
+        sys.add_transfer_at(sys.config().params.encode_message(Bigint(902)), 400'000));
+    std::vector<net::NodeId> roster = {sys.b_node(1), sys.b_node(2), sys.b_node(3),
+                                       sys.b_node(4)};
+    sys.schedule_reconfig_b(sys.make_b_spec(1, 1, roster), 60'000);
+
+    RunOutcome out;
+    out.completed = sys.run_to_completion();
+    EXPECT_EQ(sys.b_server(1).config_epoch(), 1u)
+        << "rotation never landed (pool=" << pool.capacity << ")";
+    for (TransferId t : transfers) {
+      std::vector<std::optional<elgamal::Ciphertext>> row;
+      for (ServerRank r = 1; r <= 4; ++r) {
+        auto res = sys.result(t, r);
+        if (res) {
+          EXPECT_EQ(sys.oracle_decrypt_b(*res), sys.plaintext_of(t))
+              << "pool=" << pool.capacity << " rank=" << r;
+        }
+        row.push_back(std::move(res));
+      }
+      out.results.push_back(std::move(row));
+    }
+    return out;
+  };
+
+  RunOutcome off = run({.capacity = 0});
+  RunOutcome cold = run({.capacity = 4, .prefill = false});
+  RunOutcome warm = run({.capacity = 4, .prefill = true});
+  EXPECT_TRUE(off.completed);
+  EXPECT_EQ(cold.completed, off.completed);
+  EXPECT_EQ(warm.completed, off.completed);
+  EXPECT_EQ(cold.results, off.results);
+  EXPECT_EQ(warm.results, off.results);
+}
+
 }  // namespace
 }  // namespace dblind::core

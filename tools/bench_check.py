@@ -39,6 +39,18 @@ PR 5 gates (offline/online split), written to BENCH_pr5.json:
   8. throughput: the pipelined run completes with integrity == 1
      (transfers/sec is recorded for context, wall-clock, never gated).
 
+PR 7 gates (epochal reconfiguration), written to BENCH_pr7.json:
+
+  9.  reconfig: the rotation run installs epoch 1 (installed == 1) and every
+      transfer — including those aborted at the epoch boundary and re-run —
+      decrypts to its original plaintext (integrity == 1);
+  10. reconfig: post-rotation steady-state mont-muls/transfer within 5% of
+      the no-rotation baseline for the same seed — the install's cache
+      invalidation cascade (pinned comb tables, contribution pool, offline
+      prng) must re-arm completely rather than leak per-transfer cost into
+      the new epoch. The rotation window itself (re-share round + discarded
+      in-flight work) is recorded for context, never gated.
+
 Wall-clock numbers from bench_primitives are recorded for context only.
 
 Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
@@ -138,6 +150,7 @@ def main():
     pool = [r for r in rows if r.get("section") == "pool"]
     fixed_base = [r for r in rows if r.get("section") == "fixed-base"]
     throughput = [r for r in rows if r.get("section") == "throughput"]
+    reconfig = [r for r in rows if r.get("section") == "reconfig"]
 
     failures = []
     best_ratio = 0.0
@@ -212,6 +225,23 @@ def main():
         if r["integrity"] != 1:
             failures.append("throughput: pipelined run lost integrity")
 
+    if not reconfig:
+        failures.append("no reconfig row emitted")
+    for r in reconfig:
+        if r["installed"] != 1:
+            failures.append("reconfig: rotation run never installed epoch 1")
+        if r["integrity"] != 1:
+            failures.append(
+                "reconfig: a transfer crossing the epoch boundary lost integrity")
+        pre, post = r["pre_wave_mont_muls"], r["post_wave_mont_muls"]
+        delta = abs(post - pre) / pre if pre else 0.0
+        r["steady_state_delta"] = round(delta, 4)
+        if delta > 0.05:
+            failures.append(
+                f"reconfig: post-rotation steady state costs {post} mont-muls vs "
+                f"{pre} baseline ({delta:.1%} drift, > 5% bar) — the install "
+                f"cascade is leaking per-transfer cost into the new epoch")
+
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -258,6 +288,18 @@ def main():
         json.dump(pool_report, fh, indent=2)
         fh.write("\n")
 
+    reconfig_path = os.path.join(os.path.dirname(out_path), "BENCH_pr7.json")
+    reconfig_report = {
+        "gate": "epochal-reconfiguration",
+        "pass": not any(f.startswith("reconfig") or f.startswith("no reconfig")
+                        for f in failures),
+        "environment": environment,
+        "reconfig": reconfig,
+    }
+    with open(reconfig_path, "w", encoding="utf-8") as fh:
+        json.dump(reconfig_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
@@ -278,7 +320,12 @@ def main():
     for r in throughput:
         print(f"throughput: {r['transfers']} transfers, "
               f"{r['transfers_per_sec']:.1f}/sec wall-clock, integrity={r['integrity']}")
-    print(f"report: {out_path} + {obs_path} + {pool_path}")
+    for r in reconfig:
+        print(f"reconfig: {r['pre_wave_mont_muls']} baseline -> "
+              f"{r['post_wave_mont_muls']} post-rotation mont-muls "
+              f"({r['steady_state_delta']:.2%} drift), rotation window "
+              f"{r['rotation_mont_muls']}, integrity={r['integrity']}")
+    print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -19,6 +19,11 @@
 #                    directly with DBLIND_CHAOS_SEEDS (default 50) seeds per
 #                    fault mix — ctest's build-time discovery can't size the
 #                    sweep at runtime, so this invokes the binary itself
+#   churn            reconfiguration sweep: the four churn-* fault mixes
+#                    (join/leave/crash-during-reshare/mid-transfer) at
+#                    DBLIND_CHAOS_SEEDS (default 50) seeds each, selected via
+#                    DBLIND_CHAOS_MIXES=churn — deeper than the all-mix chaos
+#                    job affords for the epoch-boundary paths
 #   bench            verification fast-path regression gate: bench_check.py
 #                    compares batched vs serial proof verification by
 #                    deterministic mont-mul counts and writes BENCH_pr3.json;
@@ -36,7 +41,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos bench trace_check)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos churn bench trace_check)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -99,6 +104,16 @@ for job in "${JOBS[@]}"; do
             --gtest_filter='ChaosSweep.EnvConfiguredSweep'
       } || FAILED+=("$job")
       ;;
+    churn)
+      banner churn
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" --target chaos_test &&
+          DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-50}" DBLIND_CHAOS_MIXES=churn \
+            "$ROOT/build-relwithdebinfo/tests/chaos_test" \
+            --gtest_filter='ChaosSweep.EnvConfiguredSweep'
+      } || FAILED+=("$job")
+      ;;
     bench)
       banner bench
       {
@@ -119,7 +134,7 @@ for job in "${JOBS[@]}"; do
       } || FAILED+=("$job")
       ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|bench|trace_check)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|churn|bench|trace_check)" >&2
       FAILED+=("$job")
       ;;
   esac

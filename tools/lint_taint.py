@@ -84,7 +84,10 @@ from lintlib import Finding
 # Identifiers tainted by naming convention (matched against whole words).
 SECRET_NAME = re.compile(
     r"^(?:rho\w*|r1|r2|shares?\w*|secrets?\w*|witness\w*|nonces?\w*|sk\w*|"
-    r"priv\w*|key_share\w*|blinding\w*|decrypt_share\w*|exponents?\w*)$",
+    r"priv\w*|key_share\w*|blinding\w*|decrypt_share\w*|exponents?\w*|"
+    # Re-sharing sub-shares (PR 7): a dealer's point evaluations of its own
+    # share; any one of them plus the dealer's commitments pins the share.
+    r"subshares?\w*|enc_sub\w*|sign_sub\w*)$",
     re.IGNORECASE,
 )
 
@@ -525,6 +528,33 @@ SELF_TEST_CASES = [
     ("taint-log", _fn(
         "  // taint-lint: allow(taint-trace) wrong rule\n"
         "  std::cout << share.to_hex();")),
+    # ---- re-sharing sub-shares (PR 7) -------------------------------------
+    # A sub-share is as sensitive as the share it interpolates to; the
+    # naming convention taints subshare*/enc_sub*/sign_sub* directly.
+    ("taint-log", _fn(
+        "  auto subshare = reshare_deal(params, secrets_.enc_share, prng);\n"
+        "  std::cout << subshare.to_hex();")),
+    ("taint-trace", _fn(
+        "  emit_trace(ctx, kind, nullptr, {.count = msg.enc_sub.words()});")),
+    ("taint-retransmit", _fn(
+        "  st.commit_frame = sign_sub.to_bytes_be();")),
+    # ReshareSubshareMsg's fields carry the registry mark in messages.hpp;
+    # mirror that shape here so the decl-registry path covers them too:
+    ("taint-log", "struct ReshareSubshareMsg {\n"
+     "  mpz::Bigint e_;  // taint:secret — sub-share of the encryption share\n"
+     "};\n"
+     "void dump(const ReshareSubshareMsg& m) {\n"
+     "  std::cout << m.e_.to_hex();\n"
+     "}"),
+    # The legitimate wire path: sub-shares travel only inside a signed,
+    # encoded envelope frame — that is laundering, same as commit frames:
+    (None, _fn(
+        "  sub.enc_sub = eval_poly(coeffs, target_rank);\n"
+        "  ctx.send(to, frame_client(encode_body(MsgType::kReshareSubshare, sub)));")),
+    # Feldman commitments *to* a sub-share polynomial are public by design:
+    (None, _fn(
+        "  auto cs = reshare_commitments(params, deal.commitments, rank);\n"
+        "  emit_trace(ctx, kind, nullptr, {.count = cs.size()});")),
     # ---- false-positive guards --------------------------------------------
     # string literals mentioning secrets (e.g. test names) are not values —
     # the shared stripping in lintlib blanks them before matching:

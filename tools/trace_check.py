@@ -19,6 +19,13 @@ for every run, Byzantine or not:
       blinding bundle (its VDE announcement fixes the proof nonce) is ever
       consumed for two instances, which would let two Fiat-Shamir challenges
       share one announcement and leak the witness.
+  I6  cross-epoch isolation (PR 7): every contribute `verify_pass` backing a
+      single instance carries the same config epoch — a transfer completes
+      entirely within its birth configuration or aborts and re-runs; evidence
+      from two epochs (hence two key-share polynomials) must never mix.
+  I7  `epoch_install` config epochs are strictly increasing per node; a
+      `restart` resets the baseline (a restored server legitimately replays
+      the install chain from its durable snapshot).
 
 Malformed lines are rejected with their line number. With --latency the
 checker also prints a per-phase latency table (virtual microseconds under
@@ -46,6 +53,7 @@ KNOWN_KINDS = {
     "contribute_sent", "verify_pass", "verify_fail", "blind_sign_begin",
     "sign_done", "decrypt_begin", "decrypt_done", "done_sign_begin",
     "done_recorded", "retransmit", "pool_refill", "pool_drain",
+    "epoch_install", "epoch_abort",
 }
 
 
@@ -94,6 +102,10 @@ class Checker:
         self.last_attempt = {}
         # I5: node -> set of drained bundle ids.
         self.drained_bundles = {}
+        # I6: instance -> set of config epochs on its contribute verify_passes.
+        self.contribute_cfg_epochs = {}
+        # I7: node -> highest installed config epoch since its last restart.
+        self.installed_epoch = {}
         # Latency bookkeeping: (phase) -> list of durations.
         self.latency = {}
         self._marks = {}       # (what, node, instance) -> ts
@@ -124,6 +136,9 @@ class Checker:
         if kind == "verify_pass" and ev.get("subject") == SUBJECT_CONTRIBUTE \
                 and inst[0] is not None:
             self.contribute_passes.setdefault(inst, set()).add(ev.get("peer"))
+            # cfg_epoch is suppressed in the JSONL when zero (seed epoch).
+            self.contribute_cfg_epochs.setdefault(inst, set()).add(
+                ev.get("cfg_epoch", 0))
         elif kind == "commit_accepted":
             self.commits.setdefault((node, inst), set()).add(ev.get("from"))
         elif kind == "epoch_start":
@@ -167,6 +182,11 @@ class Checker:
                                      f"{got} verified contributions (need {need})")
             if inst[0] is not None and inst[0] not in self._done:
                 self._done[inst[0]] = ev["ts"]
+            epochs = self.contribute_cfg_epochs.get(inst, set())
+            if len(epochs) > 1:
+                self.err(lineno, f"I6: instance {inst} completed with verified "
+                                 f"contributions from config epochs "
+                                 f"{sorted(epochs)} — cross-epoch evidence mix")
         elif kind == "retransmit":
             attempt, cap = ev.get("attempt"), ev.get("cap")
             if attempt is None or cap is None:
@@ -183,6 +203,26 @@ class Checker:
                 self.err(lineno, f"I4: attempt {attempt} for timer {key} "
                                  f"not increasing (last {prev})")
             self.last_attempt[key] = attempt
+        elif kind == "epoch_install":
+            cfg = ev.get("cfg_epoch")
+            if not isinstance(cfg, int) or cfg < 1:
+                self.err(lineno, "I7: epoch_install without a positive cfg_epoch")
+                return
+            prev = self.installed_epoch.get(node)
+            if prev is not None and cfg <= prev:
+                self.err(lineno, f"I7: node {node} installed cfg_epoch {cfg} "
+                                 f"after {prev} — config epochs only move forward")
+            self.installed_epoch[node] = cfg
+        elif kind == "epoch_abort":
+            # Aborts are stamped with the NEW epoch that killed the instance;
+            # an abort in the seed epoch is impossible.
+            cfg = ev.get("cfg_epoch")
+            if not isinstance(cfg, int) or cfg < 1:
+                self.err(lineno, "I7: epoch_abort without a positive cfg_epoch")
+        elif kind == "restart":
+            # A restored server replays the install chain from its snapshot;
+            # its monotonicity baseline starts over.
+            self.installed_epoch.pop(node, None)
         elif kind == "pool_drain":
             bundle = ev.get("bundle")
             if bundle is None:
@@ -255,10 +295,12 @@ def _commits(node, n):
         for i in range(n))
 
 
-def _passes(n):
+def _passes(n, cfg_epoch=0):
+    # cfg_epoch 0 is suppressed on the wire, exactly like the emitter does.
+    tail = f',"cfg_epoch":{cfg_epoch}' if cfg_epoch else ""
     return "\n".join(
         f'{{"ts":{10 + i},"node":4,"kind":"verify_pass","transfer":1,'
-        f'"coord":1,"epoch":0,"subject":4,"peer":{i + 1}}}'
+        f'"coord":1,"epoch":0,"subject":4,"peer":{i + 1}{tail}}}'
         for i in range(n))
 
 
@@ -321,6 +363,48 @@ SELF_TESTS = [
         META,
         '{"ts":0,"node":5,"kind":"pool_drain","transfer":1,"coord":1,"epoch":0,"depth":0,"fallback":0}',
     ]), False, "I5"),
+    ("churn-clean-rotation", "\n".join([
+        META,
+        '{"ts":100,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":5}',
+        '{"ts":101,"node":5,"kind":"epoch_install","cfg_epoch":1,"rank":2,"n":5}',
+        '{"ts":102,"node":4,"kind":"epoch_abort","transfer":1,"coord":1,"epoch":0,"cfg_epoch":1}',
+        _passes(2, cfg_epoch=1),
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0,"cfg_epoch":1}',
+        '{"ts":200,"node":4,"kind":"epoch_install","cfg_epoch":2,"rank":1,"n":5}',
+    ]), True, None),
+    ("cross-epoch-contribute-mix", "\n".join([
+        META,
+        _passes(1),                 # seed-epoch contribution ...
+        _passes(2, cfg_epoch=1),    # ... mixed with epoch-1 evidence
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0}',
+    ]), False, "I6"),
+    ("install-epoch-regression", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_install","cfg_epoch":2,"rank":1,"n":4}',
+        '{"ts":1,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
+    ]), False, "I7"),
+    ("install-epoch-repeat", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
+        '{"ts":1,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
+    ]), False, "I7"),
+    ("install-missing-cfg-epoch", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_install","rank":1,"n":4}',
+    ]), False, "I7"),
+    ("abort-in-seed-epoch", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_abort","transfer":1,"coord":1,"epoch":0}',
+    ]), False, "I7"),
+    ("restart-replays-install-chain", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
+        '{"ts":1,"node":4,"kind":"epoch_install","cfg_epoch":2,"rank":1,"n":4}',
+        '{"ts":2,"node":4,"kind":"crash"}',
+        '{"ts":3,"node":4,"kind":"restart"}',
+        '{"ts":4,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
+        '{"ts":5,"node":4,"kind":"epoch_install","cfg_epoch":2,"rank":1,"n":4}',
+    ]), True, None),
     ("malformed-json", META + "\n{not json}\n", False, "line 2"),
     ("not-an-object", META + "\n[1,2,3]\n", False, "line 2"),
     ("unknown-kind", META + '\n{"ts":1,"node":0,"kind":"mystery"}\n', False,
