@@ -118,6 +118,30 @@ struct ProtocolOptions {
   // intended for net::ThreadedBus deployments.
   std::size_t verify_workers = 0;
 
+  // --- concurrent multi-transfer engine (core/transfer_engine.hpp) ----------
+  // Cap on transfers this server may *self-coordinate* concurrently; excess
+  // registrations queue FIFO and are admitted as in-flight transfers record
+  // their done message. Gates only self-coordination (starting/backing-up a
+  // coordinator for a transfer) — contributor, responder and signing-member
+  // roles always react to whatever arrives, so a capped server still serves
+  // other coordinators' transfers. 0 (the default) = unlimited: every
+  // registered transfer is admitted immediately, byte-identical scheduling to
+  // the pre-engine flow. 1 = strictly sequential (the open-loop load bench's
+  // baseline mode).
+  std::size_t max_inflight_transfers = 0;
+  // Shard count for the engine's per-transfer state map (lock striping under
+  // net::ThreadedBus; irrelevant to results).
+  std::size_t engine_shards = 8;
+  // Draw per-instance contribution randomness from a keyed prng stream
+  // derived as SHA256(root ‖ transfer ‖ coordinator ‖ epoch) instead of the
+  // shared offline fork. Makes each transfer's wire bytes independent of
+  // which other transfers are interleaved with it (the concurrent-vs-
+  // sequential equivalence panel relies on this). Default off: the seed
+  // engine's draw order — and therefore its exact bytes — is preserved.
+  // The contribution pool is bypassed in this mode (bundles in the pool are
+  // not attributable to a specific instance ahead of time).
+  bool per_transfer_rng = false;
+
   // --- offline/online contribution pool (perf only; wire-identical) ---------
   // Bounded pool of precomputed blinding-contribution bundles on each B
   // server (core/contribution_pool.hpp): ρ, both encryptions and the VDE

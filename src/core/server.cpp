@@ -81,7 +81,8 @@ std::vector<std::uint8_t> frame_service(const ServiceSignedMsg& msg) {
 ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, ProtocolOptions opts,
                                Behavior behavior)
     : cfg_(std::move(cfg)), secrets_(std::move(secrets)), opts_(std::move(opts)),
-      behavior_(behavior), initial_cfg_(cfg_), initial_secrets_(secrets_) {
+      behavior_(behavior), initial_cfg_(cfg_), initial_secrets_(secrets_),
+      engine_({opts_.max_inflight_transfers, opts_.engine_shards}) {
   // 0 remembered as "defaulted": installs re-derive f+1 from the NEW config.
   initial_max_coordinators_ = opts_.max_coordinators;
   if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
@@ -107,6 +108,10 @@ void ProtocolServer::store_secret_at(TransferId transfer, elgamal::Ciphertext ea
 }
 
 void ProtocolServer::register_transfer(TransferId transfer) { transfers_.insert(transfer); }
+
+void ProtocolServer::register_transfer_arriving(TransferId transfer, net::Time when) {
+  scheduled_arrivals_.emplace_back(when, transfer);
+}
 
 std::optional<elgamal::Ciphertext> ProtocolServer::result(TransferId transfer) const {
   auto it = results_.find(transfer);
@@ -287,6 +292,15 @@ void ProtocolServer::on_start(net::Context& ctx) {
     // from it — is identical across modes for a given seed. Refill timers
     // draw ONLY from this fork, never from ctx.rng().
     offline_prng_.emplace(ctx.rng().fork("offline-contrib"));
+    if (opts_.per_transfer_rng) {
+      // Root key for per-instance contribution streams. One fork per
+      // incarnation, exactly like the offline prng, so a restarted server
+      // never replays the ρ of an instance it may already have committed to.
+      mpz::Prng root = ctx.rng().fork("transfer-rng-root");
+      hash::Digest key{};
+      root.fill(key);
+      instance_rng_root_ = key;
+    }
     if (pool_ != nullptr && opts_.pool_prefill) {
       obs::ScopedCounterDelta off(cfg_.params.mont_mul_cell(),
                                   metrics_.contrib_mont_muls_offline);
@@ -304,17 +318,13 @@ void ProtocolServer::on_start(net::Context& ctx) {
     // ranks 2..f+1 are delayed backups. After a restart, completed transfers
     // (restored from the durable done messages) are skipped, and the epoch
     // continues past anything this server may have announced pre-crash.
-    // Standby servers (rank 0) hold no roster slot and drive nothing.
-    if (active() && secrets_.rank <= opts_.max_coordinators) {
-      for (TransferId t : transfers_) {
-        if (results_.contains(t)) continue;
-        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
-        if (delay == 0) {
-          start_coordinator(ctx, t, next_epoch_of(t));
-        } else {
-          ctx.set_timer(delay, kTimerCoordinator | t);
-        }
-      }
+    // Standby servers (rank 0) hold no roster slot and drive nothing. Every
+    // start now passes through the admission engine; with the default
+    // unlimited cap the engine admits everything immediately.
+    for (TransferId t : transfers_) schedule_coordinator(ctx, t);
+    // Open-loop arrivals become registered transfers at their virtual time.
+    for (std::size_t i = 0; i < scheduled_arrivals_.size(); ++i) {
+      ctx.set_timer(scheduled_arrivals_[i].first, kTimerTransferArrival | i);
     }
     // Recovery: periodically pull missing results from peer B servers (no-op
     // for completed transfers; cancelled as soon as a result arrives).
@@ -335,7 +345,22 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
   std::uint64_t arg = token & ~(0xffull << 56);
   if (kind == kTimerCoordinator) {
     TransferId t = arg;
-    if (active() && !results_.contains(t)) start_coordinator(ctx, t, next_epoch_of(t));
+    // Engine gate: the timer was armed at admission, but an epoch install may
+    // have demoted the transfer back to the queue since — a demoted transfer
+    // restarts via a fresh admission (and a fresh timer), never a stale one.
+    if (active() && !results_.contains(t) &&
+        engine_.phase(t) == TransferPhase::kActive) {
+      start_coordinator(ctx, t, next_epoch_of(t));
+    }
+  } else if (kind == kTimerTransferArrival) {
+    if (arg < scheduled_arrivals_.size()) {
+      TransferId t = scheduled_arrivals_[arg].second;
+      // Same path as a client kTransferRequest landing now.
+      if (transfers_.insert(t).second) {
+        schedule_coordinator(ctx, t);
+        arm_result_pull(ctx, t);
+      }
+    }
   } else if (kind == kTimerReconfig) {
     if (arg < scheduled_reconfigs_.size()) {
       const ReconfigSpec& spec = scheduled_reconfigs_[arg].second;
@@ -477,6 +502,26 @@ void ProtocolServer::on_message(net::Context& ctx, net::NodeId from,
 // k-th bundle a server ever uses has the same randomness regardless of pool
 // configuration (the byte-identity invariant the pool tests assert).
 ContributionBundle ProtocolServer::obtain_bundle(net::Context& ctx, const InstanceId& id) {
+  if (opts_.per_transfer_rng && instance_rng_root_.has_value()) {
+    // Per-instance keyed stream: the bundle depends only on the incarnation
+    // root and this instance's public coordinates, never on how many other
+    // transfers were served first. This is what makes a transfer's wire bytes
+    // interleaving-independent (the concurrent-vs-sequential equivalence
+    // panel). The pool is bypassed — a pooled bundle cannot be attributed to
+    // an instance before the instance exists.
+    hash::Sha256 h;
+    h.update(std::span<const std::uint8_t>(instance_rng_root_->data(),
+                                           instance_rng_root_->size()));
+    std::array<std::uint8_t, 20> coords{};
+    for (int i = 0; i < 8; ++i) coords[i] = static_cast<std::uint8_t>(id.transfer >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+      coords[8 + i] = static_cast<std::uint8_t>(id.coordinator >> (8 * i));
+    for (int i = 0; i < 4; ++i) coords[12 + i] = static_cast<std::uint8_t>(id.epoch >> (8 * i));
+    for (int i = 0; i < 4; ++i) coords[16 + i] = static_cast<std::uint8_t>(cfg_epoch_ >> (8 * i));
+    h.update(std::span<const std::uint8_t>(coords.data(), coords.size()));
+    mpz::Prng instance_prng(h.finish());
+    return make_contribution_bundle(cfg_, next_bundle_id_++, instance_prng);
+  }
   if (pool_ != nullptr) {
     if (auto b = pool_->take()) {
       metrics_.pool_drains.inc();
@@ -714,11 +759,18 @@ void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& e
     // share the node's rng.
     pending_verifies_.push_back({env, std::nullopt, {}});
     PendingVerify& pv = pending_verifies_.back();
-    auto prng = std::make_shared<mpz::Prng>(ctx.rng().fork("verify-pool"));
-    auto task = std::make_shared<std::packaged_task<void()>>([this, &pv, prng] {
-      pv.result = opts_.batch_verify ? check_contribute_batch(cfg_, pv.env, *prng)
-                                     : check_contribute(cfg_, pv.env);
-    });
+    std::shared_ptr<std::packaged_task<void()>> task;
+    if (opts_.batch_verify) {
+      // Cross-transfer mode: the worker runs only the structural + signature
+      // phase (which needs no randomizers); every surviving VDE proof is
+      // folded into ONE combined RLC pass at the drain, across however many
+      // transfers are pending (drain_verifies_cross).
+      task = std::make_shared<std::packaged_task<void()>>(
+          [this, &pv] { pv.result = precheck_contribute_batch(cfg_, pv.env); });
+    } else {
+      task = std::make_shared<std::packaged_task<void()>>(
+          [this, &pv] { pv.result = check_contribute(cfg_, pv.env); });
+    }
     pv.done = task->get_future();
     verify_pool_->submit([task] { (*task)(); });
     metrics_.verify_queue_depth.observe(pending_verifies_.size());
@@ -739,7 +791,8 @@ void ProtocolServer::handle_contribute(net::Context& ctx, const SignedMessage& e
 // and worker-pool paths). `contribute` is null when verification rejected the
 // message; env.signer then identifies the culprit node.
 void ProtocolServer::record_contribute_verdict(net::Context& ctx, const SignedMessage& env,
-                                               const ContributeMsg* contribute) {
+                                               const ContributeMsg* contribute,
+                                               const ContributeMsg* rejected) {
   if (contribute != nullptr) {
     metrics_.verify_pass.inc();
     emit_trace(ctx, obs::EventKind::kVerifyPass, &contribute->id,
@@ -748,8 +801,12 @@ void ProtocolServer::record_contribute_verdict(net::Context& ctx, const SignedMe
   } else {
     metrics_.verify_fail.inc();
     if (opts_.batch_verify) metrics_.batch_fallbacks.inc();
+    // With a decoded-but-rejected message in hand (cross-transfer drain), the
+    // failure is attributed to the exact (transfer, rank) it came from; the
+    // legacy paths never decoded a rejected message and keep transfer = 0.
     emit_trace(ctx, obs::EventKind::kVerifyFail, nullptr,
-               {.peer = env.signer,
+               {.transfer = rejected != nullptr ? rejected->id.transfer : 0,
+                .peer = env.signer,
                 .subject = static_cast<std::uint32_t>(MsgType::kContribute)});
   }
 }
@@ -768,6 +825,10 @@ void ProtocolServer::apply_contribute(net::Context& ctx, const SignedMessage& en
 }
 
 void ProtocolServer::drain_verifies(net::Context& ctx) {
+  if (opts_.batch_verify) {
+    drain_verifies_cross(ctx);
+    return;
+  }
   std::uint64_t drained = 0;
   while (!pending_verifies_.empty()) {
     PendingVerify& pv = pending_verifies_.front();
@@ -778,6 +839,51 @@ void ProtocolServer::drain_verifies(net::Context& ctx) {
     pending_verifies_.pop_front();
   }
   if (drained != 0) metrics_.verify_drain_batch.observe(drained);
+}
+
+void ProtocolServer::drain_verifies_cross(net::Context& ctx) {
+  if (pending_verifies_.empty()) return;
+  // Wait for every queued precheck: the combined pass needs the whole drain's
+  // survivors, and the zero-delay drain timer fires once per enqueue burst.
+  for (PendingVerify& pv : pending_verifies_) {
+    if (pv.done.valid()) pv.done.wait();
+  }
+  // Fold the VDE equations of every prechecked message — regardless of which
+  // transfer or coordinator it belongs to — into one tagged cross batch:
+  // exactly one random-linear-combination verification per drain. Tags are
+  // queue positions, so a failing tag maps back to its message (and through
+  // it to the culprit's transfer and rank).
+  zkp::CpCrossBatch batch;
+  for (std::size_t i = 0; i < pending_verifies_.size(); ++i) {
+    const PendingVerify& pv = pending_verifies_[i];
+    if (!pv.result) continue;  // structural/signature reject: no equations
+    std::vector<zkp::CpBatchItem> eqs;
+    if (!zkp::vde_lower_to_cp(cfg_.params, contribute_vde_item(cfg_, *pv.result), eqs)) {
+      batch.poison(i);  // structurally invalid proof: fails without a pass
+      continue;
+    }
+    batch.add(i, std::span<const zkp::CpBatchItem>(eqs));
+  }
+  mpz::Prng prng = ctx.rng().fork("cross-drain");
+  zkp::CrossBatchResult verdict = batch.verify(cfg_.params, prng);
+  std::set<std::uint64_t> bad(verdict.bad_tags.begin(), verdict.bad_tags.end());
+  metrics_.cross_drain_msgs.observe(pending_verifies_.size());
+  metrics_.cross_drain_equations.observe(batch.equations());
+  emit_trace(ctx, obs::EventKind::kBatchDrain, nullptr,
+             {.peer = batch.equations(), .count = pending_verifies_.size()});
+  // Apply verdicts in strict message-arrival order — handler-visible state
+  // evolves exactly as if each message had been verified inline.
+  metrics_.verify_drain_batch.observe(pending_verifies_.size());
+  for (std::size_t i = 0; i < pending_verifies_.size(); ++i) {
+    PendingVerify& pv = pending_verifies_[i];
+    if (pv.result && !bad.contains(i)) {
+      record_contribute_verdict(ctx, pv.env, &*pv.result);
+      apply_contribute(ctx, pv.env, *pv.result);
+    } else {
+      record_contribute_verdict(ctx, pv.env, nullptr, pv.result ? &*pv.result : nullptr);
+    }
+  }
+  pending_verifies_.clear();
 }
 
 void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState& st) {
@@ -796,6 +902,13 @@ void ProtocolServer::coordinator_try_finish(net::Context& ctx, CoordinatorState&
     if (evidence.contributes.size() == quorum) break;
     evidence.contributes.push_back(env);
     ContributeMsg c = decode_as<ContributeMsg>(MsgType::kContribute, env.body);
+    // Transfer-isolation audit record (invariant I8/T8): every contribution
+    // cited by this instance's evidence names the transfer it was produced
+    // for. With the per-transfer state machines this matches st.id.transfer
+    // by construction; a cross-transfer contamination bug in the concurrent
+    // drain would surface here as a mismatch.
+    emit_trace(ctx, obs::EventKind::kContributeCited, &st.id,
+               {.peer = c.server, .count = c.id.transfer});
     eas.push_back(c.contribution.ea);
     ebs.push_back(c.contribution.eb);
   }
@@ -1517,7 +1630,17 @@ void ProtocolServer::record_done(net::Context* ctx, const DonePayload& done,
     results_count_.fetch_add(1, std::memory_order_release);
     cancel_resends_for_transfer(done.id.transfer);
     // Restore-path replays pass no context (no trace timestamp exists there).
-    if (ctx != nullptr) emit_trace(*ctx, obs::EventKind::kDoneRecorded, &done.id);
+    if (ctx != nullptr) {
+      emit_trace(*ctx, obs::EventKind::kDoneRecorded, &done.id);
+      // The completion frees an admission slot; queued transfers start now.
+      // complete() is a no-op for transfers this node never self-coordinated
+      // (results learned via pulls), and the restore path skips this entirely
+      // — the engine is volatile and the next on_start re-feeds it.
+      std::vector<TransferId> admitted = engine_.complete(done.id.transfer);
+      metrics_.engine_inflight.set(engine_.inflight());
+      metrics_.engine_queued.set(engine_.queued());
+      launch_admitted(*ctx, admitted);
+    }
   }
 }
 
@@ -1525,11 +1648,37 @@ void ProtocolServer::record_done(net::Context* ctx, const DonePayload& done,
 
 void ProtocolServer::schedule_coordinator(net::Context& ctx, TransferId transfer) {
   if (!is_b() || !active() || secrets_.rank > opts_.max_coordinators) return;
-  net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
-  if (delay == 0) {
-    start_coordinator(ctx, transfer, 0);
-  } else {
-    ctx.set_timer(delay, kTimerCoordinator | transfer);
+  if (results_.contains(transfer)) return;  // nothing to run — and no slot burned
+  // Admission gate (core/transfer_engine.hpp): self-coordination only. The
+  // contributor / responder / signing-member roles react to whatever arrives
+  // regardless of this node's admission queue, so a capped server still
+  // serves every other coordinator's transfers at full speed.
+  engine_.register_transfer(transfer);
+  TransferEngine::StartResult sr = engine_.request_start(transfer);
+  if (sr.decision == TransferEngine::Admission::kQueued) {
+    metrics_.engine_defers.inc();
+    metrics_.engine_queued.set(engine_.queued());
+    emit_trace(ctx, obs::EventKind::kEngineDefer, nullptr,
+               {.transfer = transfer, .count = engine_.queued()});
+  }
+  launch_admitted(ctx, sr.admitted);
+}
+
+void ProtocolServer::launch_admitted(net::Context& ctx, std::span<const TransferId> admitted) {
+  for (TransferId t : admitted) {
+    metrics_.engine_admits.inc();
+    metrics_.engine_inflight.set(engine_.inflight());
+    metrics_.engine_queued.set(engine_.queued());
+    emit_trace(ctx, obs::EventKind::kEngineAdmit, nullptr,
+               {.transfer = t, .count = engine_.inflight()});
+    // Rank-staggered start (§4.1), exactly as the pre-engine flow: rank 1
+    // coordinates immediately, backups arm the delayed timer.
+    net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
+    if (delay == 0) {
+      start_coordinator(ctx, t, next_epoch_of(t));
+    } else {
+      ctx.set_timer(delay, kTimerCoordinator | t);
+    }
   }
 }
 
@@ -1926,6 +2075,14 @@ void ProtocolServer::install_config(net::Context& ctx, const SignedMessage& appl
   resends_.clear();  // cached frames carry the old epoch stamp: all dead
   result_pull_keys_.clear();
   subshare_pull_resend_ = 0;
+  // Engine mirror of the abort: demote exactly the in-flight self-coordinated
+  // transfers back to the head of the admission queue (they keep their
+  // priority); queued and completed transfers are untouched. Step 9 re-admits
+  // under the new configuration. Any armed kTimerCoordinator for a demoted
+  // transfer is disarmed by the phase gate in on_timer.
+  (void)engine_.abort_inflight();
+  metrics_.engine_inflight.set(0);
+  metrics_.engine_queued.set(engine_.queued());
 
   // 3. Everything that needs the OLD configuration, computed before the swap.
   std::vector<ReshareDealMsg> deals;
@@ -2009,17 +2166,9 @@ void ProtocolServer::install_config(net::Context& ctx, const SignedMessage& appl
   //    service cleared every armed resend above).
   if (is_b() && active() && !share_pending_) {
     for (TransferId t : apply.transfers) transfers_.insert(t);
-    for (TransferId t : transfers_) {
-      if (results_.contains(t)) continue;
-      if (secrets_.rank <= opts_.max_coordinators) {
-        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
-        if (delay == 0) {
-          start_coordinator(ctx, t, next_epoch_of(t));
-        } else {
-          ctx.set_timer(delay, kTimerCoordinator | t);
-        }
-      }
-    }
+    // Through the admission engine: the transfers demoted above re-enter from
+    // the queue head first, so an install preserves admission priority.
+    for (TransferId t : transfers_) schedule_coordinator(ctx, t);
     for (TransferId t : transfers_) arm_result_pull(ctx, t);
   }
 
@@ -2106,19 +2255,12 @@ void ProtocolServer::maybe_complete_share(net::Context& ctx) {
   secrets_.sign_share = threshold::reshare_apply(cfg_.params, dealers, sign_subs, secrets_.rank);
   share_pending_ = false;
   cancel_resend(subshare_pull_resend_);
-  // Now a full member: start coordinating the transfers the apply carried.
+  // Now a full member: start coordinating the transfers the apply carried
+  // (admission-gated like every other entry point).
   if (is_b() && active()) {
     for (TransferId t : apply.transfers) transfers_.insert(t);
     for (TransferId t : transfers_) {
-      if (results_.contains(t)) continue;
-      if (secrets_.rank <= opts_.max_coordinators) {
-        net::Time delay = (secrets_.rank - 1) * opts_.coordinator_backup_delay;
-        if (delay == 0) {
-          start_coordinator(ctx, t, next_epoch_of(t));
-        } else {
-          ctx.set_timer(delay, kTimerCoordinator | t);
-        }
-      }
+      schedule_coordinator(ctx, t);
       arm_result_pull(ctx, t);
     }
   }
@@ -2261,6 +2403,15 @@ void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
   metrics_.pool_depth.set(0);
   pool_timer_armed_ = false;
   offline_prng_.reset();
+  // Admission scheduling is volatile; on_start re-feeds it from the restored
+  // transfer set. The per-instance rng root dies with the incarnation so a
+  // recovered server never replays an instance stream it may have used.
+  engine_.reset();
+  metrics_.engine_inflight.set(0);
+  metrics_.engine_queued.set(0);
+  instance_rng_root_.reset();
+  // scheduled_arrivals_ is pre-simulation setup like scheduled_reconfigs_:
+  // kept, so on_start re-arms it (the arrival handler dedupes via transfers_).
   // Installed configurations are volatile too: a recovered server restarts at
   // the SEED configuration (epoch 0) with its construction-time share, and
   // re-learns the install chain from peers via the epoch gate + pull path. A
@@ -2419,6 +2570,16 @@ void ProtocolServer::resolve_metrics(net::Context& ctx) {
       reg.counter("dblind_reconfig_events_total", {{"node", node}, {"event", "abort"}});
   metrics_.reconfig_stale_rejects =
       reg.counter("dblind_reconfig_events_total", {{"node", node}, {"event", "stale_reject"}});
+  metrics_.engine_inflight = reg.gauge("dblind_engine_inflight", by_node);
+  metrics_.engine_queued = reg.gauge("dblind_engine_queued", by_node);
+  metrics_.engine_admits =
+      reg.counter("dblind_engine_events_total", {{"node", node}, {"event", "admit"}});
+  metrics_.engine_defers =
+      reg.counter("dblind_engine_events_total", {{"node", node}, {"event", "defer"}});
+  metrics_.cross_drain_msgs =
+      reg.histogram("dblind_cross_drain_msgs", by_node, {1, 2, 4, 8, 16, 32});
+  metrics_.cross_drain_equations =
+      reg.histogram("dblind_cross_drain_equations", by_node, {3, 6, 12, 24, 48, 96});
 }
 
 }  // namespace dblind::core

@@ -39,6 +39,7 @@
 #include "core/contribution_pool.hpp"
 #include "core/messages.hpp"
 #include "core/reconfig.hpp"
+#include "core/transfer_engine.hpp"
 #include "core/validity.hpp"
 #include "core/verify_pool.hpp"
 #include "hash/sha256.hpp"
@@ -90,6 +91,11 @@ class ProtocolServer final : public net::Node {
   // Service B: announce a transfer to run. Must be called on every B server
   // before the simulation starts.
   void register_transfer(TransferId transfer);
+  // Service B: the transfer only becomes known at virtual time `when` (open-
+  // loop workload: Poisson arrivals hit the running system instead of being
+  // batch-registered at time 0). Arrival behaves exactly like a client
+  // kTransferRequest landing at `when`.
+  void register_transfer_arriving(TransferId transfer, net::Time when);
   // Epochal reconfiguration: at virtual time `at`, start a reconfiguration
   // round proposing `spec` (this server acts as the round's coordinator).
   // Call on old ranks 1..f+1 with staggered times — like Fig. 4 coordinators,
@@ -181,6 +187,14 @@ class ProtocolServer final : public net::Node {
     obs::Counter reconfig_installs;   // dblind_reconfig_events_total{event="install"}
     obs::Counter reconfig_aborts;     // ...{event="abort"} (instances killed at installs)
     obs::Counter reconfig_stale_rejects;  // ...{event="stale_reject"} (kWrongEpoch sent)
+    // Concurrent multi-transfer engine (PR 8): admission scheduler health and
+    // cross-transfer drain shape.
+    obs::Gauge engine_inflight;          // currently admitted self-coordinated transfers
+    obs::Gauge engine_queued;            // transfers waiting for an admission slot
+    obs::Counter engine_admits;
+    obs::Counter engine_defers;
+    obs::Histogram cross_drain_msgs;       // contribute messages per cross-transfer drain
+    obs::Histogram cross_drain_equations;  // CP equations folded into the combined pass
   };
 
   // --- net::Node --------------------------------------------------------------
@@ -294,7 +308,18 @@ class ProtocolServer final : public net::Node {
                         const ContributeMsg& contribute);
   // Applies completed worker-pool verifications in message-arrival order.
   void drain_verifies(net::Context& ctx);
+  // Cross-transfer variant (batch_verify + verify_workers): waits for every
+  // queued structural precheck, folds ALL surviving VDE proofs — across
+  // transfers and coordinators — into one combined RLC pass, then applies
+  // verdicts in strict arrival order with per-(transfer, rank) culprit
+  // attribution on failure.
+  void drain_verifies_cross(net::Context& ctx);
   void coordinator_try_finish(net::Context& ctx, CoordinatorState& st);
+
+  // ---- concurrent multi-transfer engine (core/transfer_engine.hpp) -----------
+  // Starts coordinators (rank-staggered, like on_start) for transfers the
+  // admission scheduler just moved to Active.
+  void launch_admitted(net::Context& ctx, std::span<const TransferId> admitted);
 
   // ---- threshold-signing coordinator (A and B) --------------------------------
   struct SignSession {
@@ -433,8 +458,13 @@ class ProtocolServer final : public net::Node {
   void emit_trace(net::Context& ctx, obs::EventKind kind, const InstanceId* id,
                   const TraceExtras& extra);
   // Counts + traces a contribute verification outcome (inline and pool paths).
+  // `rejected` (only ever non-null together with a null `contribute`) carries
+  // the decoded message of a structurally-valid-but-proof-failing contribute,
+  // so the cross-transfer drain can attribute the failure to the right
+  // (transfer, rank) even though the message is dropped.
   void record_contribute_verdict(net::Context& ctx, const SignedMessage& env,
-                                 const ContributeMsg* contribute);
+                                 const ContributeMsg* contribute,
+                                 const ContributeMsg* rejected = nullptr);
   // Resolves metric handles from opts_.metrics (idempotent; called from
   // on_start so a restarted server re-binds to the same time series). With
   // no registry the handles stay default-constructed: every update lands in
@@ -560,6 +590,21 @@ class ProtocolServer final : public net::Node {
   std::uint64_t next_bundle_id_ = 1;
   bool pool_timer_armed_ = false;
 
+  // Concurrent multi-transfer engine: per-transfer lifecycle records sharded
+  // by id plus the FIFO admission scheduler gating self-coordination (see
+  // core/transfer_engine.hpp). Scheduling state is volatile — restore() resets
+  // it and the next on_start re-feeds the durable transfer set.
+  TransferEngine engine_;
+  // Root key for per-instance contribution prngs (opts_.per_transfer_rng):
+  // drawn once per incarnation in on_start; each instance's stream is
+  // SHA256(root ‖ transfer ‖ coordinator ‖ epoch ‖ cfg_epoch), so a
+  // transfer's wire bytes are independent of interleaving with other
+  // transfers. Unset when the knob is off — no extra rng draws happen, and
+  // the seed engine's byte-exact draw order is preserved.
+  std::optional<hash::Digest> instance_rng_root_;
+  // Open-loop arrivals: (virtual time, transfer) pairs armed in on_start.
+  std::vector<std::pair<net::Time, TransferId>> scheduled_arrivals_;
+
   // Timer token layout (high byte = kind).
   static constexpr std::uint64_t kTimerCoordinator = 1ull << 56;   // | transfer
   static constexpr std::uint64_t kTimerResponder = 2ull << 56;     // | dense instance key
@@ -569,6 +614,7 @@ class ProtocolServer final : public net::Node {
   static constexpr std::uint64_t kTimerVerifyDrain = 6ull << 56;   // (no payload)
   static constexpr std::uint64_t kTimerPoolRefill = 7ull << 56;    // (no payload)
   static constexpr std::uint64_t kTimerReconfig = 8ull << 56;      // | schedule index
+  static constexpr std::uint64_t kTimerTransferArrival = 9ull << 56;  // | arrival index
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

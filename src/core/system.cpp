@@ -33,6 +33,7 @@ ServiceSetup make_service(const group::GroupParams& params, const threshold::Ser
           sig.commitments(),
           {},
           0,
+          {},
       },
       {},
       {},
@@ -163,6 +164,22 @@ TransferId System::add_transfer_at(const mpz::Bigint& m, net::Time when) {
   // install cascade arms result pulls for every known transfer, so joiners
   // converge on results that completed before they held a share.
   for (const BFamilyEntry& e : b_family_) e.server->register_transfer(t);
+  transfers_.push_back(t);
+  plaintexts_[t] = m;
+  return t;
+}
+
+TransferId System::add_transfer_arriving(const mpz::Bigint& m, net::Time when) {
+  if (when == 0) return add_transfer(m);
+  if (!cfg_->params.in_group(m))
+    throw std::invalid_argument("add_transfer: plaintext must be a group element");
+  TransferId t = next_transfer_++;
+  elgamal::Ciphertext ea_m = cfg_->a.encryption_key.encrypt(m, setup_rng_);
+  for (ProtocolServer* s : a_servers_) s->store_secret_at(t, ea_m, when);
+  // B servers learn of the transfer only when its arrival timer fires, so the
+  // admission engine sees a true open-loop arrival process rather than a
+  // pre-registered batch.
+  for (const BFamilyEntry& e : b_family_) e.server->register_transfer_arriving(t, when);
   transfers_.push_back(t);
   plaintexts_[t] = m;
   return t;

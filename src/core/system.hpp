@@ -50,6 +50,11 @@ class System {
   // Same, but the ciphertext only becomes available to A at virtual time
   // `when` (pre-computation experiment).
   TransferId add_transfer_at(const mpz::Bigint& m, net::Time when);
+  // Open-loop arrival (load harness): the transfer does not exist anywhere
+  // before virtual time `when` — A servers receive the ciphertext and B
+  // servers register (and begin coordinating) the transfer at `when`. With
+  // when == 0 this is add_transfer.
+  TransferId add_transfer_arriving(const mpz::Bigint& m, net::Time when);
 
   // --- run ---------------------------------------------------------------------
   // Runs until every *honest* B server has a result for every transfer (or

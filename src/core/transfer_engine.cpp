@@ -1,0 +1,162 @@
+#include "core/transfer_engine.hpp"
+
+#include <algorithm>
+
+namespace dblind::core {
+
+TransferEngine::TransferEngine(Options opts)
+    : max_inflight_(opts.max_inflight), shards_(std::max<std::size_t>(1, opts.shards)) {}
+
+void TransferEngine::set_phase(TransferId t, TransferPhase p) const {
+  Shard& s = shard_of(t);
+  MutexLock lock(s.mu);
+  for (auto& [id, rec] : s.records) {
+    if (id == t) {
+      rec.phase = p;
+      return;
+    }
+  }
+  s.records.emplace_back(t, Record{p});
+}
+
+TransferPhase TransferEngine::get_phase(TransferId t) const {
+  Shard& s = shard_of(t);
+  MutexLock lock(s.mu);
+  for (const auto& [id, rec] : s.records) {
+    if (id == t) return rec.phase;
+  }
+  return TransferPhase::kRegistered;
+}
+
+void TransferEngine::register_transfer(TransferId t) {
+  Shard& s = shard_of(t);
+  MutexLock lock(s.mu);
+  for (const auto& [id, rec] : s.records) {
+    if (id == t) return;
+  }
+  s.records.emplace_back(t, Record{TransferPhase::kRegistered});
+}
+
+void TransferEngine::fill_locked(std::vector<TransferId>& admitted) {
+  while (!queue_.empty() && (max_inflight_ == 0 || inflight_ < max_inflight_)) {
+    TransferId next = queue_.front();
+    queue_.pop_front();
+    ++inflight_;
+    ++admitted_total_;
+    set_phase(next, TransferPhase::kActive);
+    admitted.push_back(next);
+  }
+}
+
+TransferEngine::StartResult TransferEngine::request_start(TransferId t) {
+  StartResult out;
+  MutexLock lock(sched_mu_);
+  switch (get_phase(t)) {
+    case TransferPhase::kDone:
+      out.decision = Admission::kDone;
+      return out;
+    case TransferPhase::kActive:
+      out.decision = Admission::kAlreadyActive;
+      return out;
+    case TransferPhase::kQueued:
+      // Already waiting; a duplicate request must not double-enqueue.
+      out.decision = Admission::kQueued;
+      fill_locked(out.admitted);
+      break;
+    case TransferPhase::kRegistered:
+      if (max_inflight_ == 0 || inflight_ < max_inflight_) {
+        ++inflight_;
+        ++admitted_total_;
+        set_phase(t, TransferPhase::kActive);
+        out.decision = Admission::kAdmitted;
+        out.admitted.push_back(t);
+      } else {
+        set_phase(t, TransferPhase::kQueued);
+        queue_.push_back(t);
+        out.decision = Admission::kQueued;
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<TransferId> TransferEngine::complete(TransferId t) {
+  std::vector<TransferId> admitted;
+  MutexLock lock(sched_mu_);
+  switch (get_phase(t)) {
+    case TransferPhase::kDone:
+      return admitted;
+    case TransferPhase::kActive:
+      if (inflight_ > 0) --inflight_;
+      break;
+    case TransferPhase::kQueued:
+      // A result arrived (peer pull, another coordinator) before this node
+      // ever admitted the transfer: drop it from the wait queue.
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), t), queue_.end());
+      break;
+    case TransferPhase::kRegistered:
+      break;
+  }
+  set_phase(t, TransferPhase::kDone);
+  fill_locked(admitted);
+  return admitted;
+}
+
+std::vector<TransferId> TransferEngine::abort_inflight() {
+  std::vector<TransferId> aborted;
+  MutexLock lock(sched_mu_);
+  // Collect the active set in ascending id order (deterministic — shard
+  // iteration order must not leak into scheduling decisions).
+  for (const Shard& s : shards_) {
+    MutexLock shard_lock(s.mu);
+    for (const auto& [id, rec] : s.records) {
+      if (rec.phase == TransferPhase::kActive) aborted.push_back(id);
+    }
+  }
+  std::sort(aborted.begin(), aborted.end());
+  // Demote to the FRONT of the queue: aborted transfers were admitted before
+  // anything currently queued, and keep that priority under the new epoch.
+  for (auto it = aborted.rbegin(); it != aborted.rend(); ++it) {
+    set_phase(*it, TransferPhase::kQueued);
+    queue_.push_front(*it);
+  }
+  inflight_ = 0;
+  return aborted;
+}
+
+std::vector<TransferId> TransferEngine::fill_slots() {
+  std::vector<TransferId> admitted;
+  MutexLock lock(sched_mu_);
+  fill_locked(admitted);
+  return admitted;
+}
+
+void TransferEngine::reset() {
+  MutexLock lock(sched_mu_);
+  queue_.clear();
+  inflight_ = 0;
+  admitted_total_ = 0;
+  for (Shard& s : shards_) {
+    MutexLock shard_lock(s.mu);
+    s.records.clear();
+  }
+}
+
+TransferPhase TransferEngine::phase(TransferId t) const { return get_phase(t); }
+
+std::size_t TransferEngine::inflight() const {
+  MutexLock lock(sched_mu_);
+  return inflight_;
+}
+
+std::size_t TransferEngine::queued() const {
+  MutexLock lock(sched_mu_);
+  return queue_.size();
+}
+
+std::uint64_t TransferEngine::admitted_total() const {
+  MutexLock lock(sched_mu_);
+  return admitted_total_;
+}
+
+}  // namespace dblind::core

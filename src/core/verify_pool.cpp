@@ -19,10 +19,12 @@ VerifyPool::~VerifyPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void VerifyPool::submit(std::function<void()> job) {
+void VerifyPool::submit(std::function<void()> job, std::uint64_t tag) {
   {
     MutexLock lock(mu_);
-    jobs_.push_back(std::move(job));
+    jobs_.push_back({std::move(job), tag});
+    ++unfinished_;
+    ++tag_inflight_[tag];
     jobs_metric_.inc();
     depth_metric_.set(jobs_.size());
   }
@@ -35,9 +37,27 @@ void VerifyPool::set_metrics(obs::Counter jobs, obs::Gauge depth) {
   depth_metric_ = depth;
 }
 
+std::size_t VerifyPool::pending() const {
+  MutexLock lock(mu_);
+  return unfinished_;
+}
+
+std::size_t VerifyPool::inflight(std::uint64_t tag) const {
+  MutexLock lock(mu_);
+  auto it = tag_inflight_.find(tag);
+  return it == tag_inflight_.end() ? 0 : it->second;
+}
+
+void VerifyPool::finish_one(std::uint64_t tag) {
+  MutexLock lock(mu_);
+  --unfinished_;
+  auto it = tag_inflight_.find(tag);
+  if (it != tag_inflight_.end() && --it->second == 0) tag_inflight_.erase(it);
+}
+
 void VerifyPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       MutexLock lock(mu_);
       while (!stop_ && jobs_.empty()) cv_.wait(mu_);
@@ -46,7 +66,8 @@ void VerifyPool::worker_loop() {
       jobs_.pop_front();
       depth_metric_.set(jobs_.size());
     }
-    job();
+    job.fn();
+    finish_one(job.tag);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -30,21 +31,41 @@ class VerifyPool {
   VerifyPool& operator=(const VerifyPool&) = delete;
 
   // Enqueues a job; jobs start in FIFO order (completion order is up to the
-  // scheduler — callers sequence on a per-job future or equivalent).
-  void submit(std::function<void()> job) EXCLUDES(mu_);
+  // scheduler — callers sequence on a per-job future or equivalent). `tag`
+  // attributes the job to a source (the concurrent engine passes the transfer
+  // id) for the per-tag inflight accounting behind inflight(tag); tag 0 is
+  // the untagged default.
+  void submit(std::function<void()> job, std::uint64_t tag = 0) EXCLUDES(mu_);
 
   // Observability: jobs counter (incremented at submit) and queue-depth gauge
   // (updated under mu_ at every transition). Default handles discard, so an
   // un-instrumented pool pays one atomic op per update and no branches.
   void set_metrics(obs::Counter jobs, obs::Gauge depth) EXCLUDES(mu_);
 
- private:
-  void worker_loop() EXCLUDES(mu_);
+  // Jobs submitted but not yet *finished* (queued + running). Tagged variant
+  // counts only jobs submitted under `tag`. Both are snapshots — racy by
+  // nature under concurrent submit/complete, intended for tests and metrics.
+  [[nodiscard]] std::size_t pending() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t inflight(std::uint64_t tag) const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
 
-  Mutex mu_;
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::uint64_t tag;
+  };
+
+  void worker_loop() EXCLUDES(mu_);
+  void finish_one(std::uint64_t tag) EXCLUDES(mu_);
+
+  mutable Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> jobs_ GUARDED_BY(mu_);
+  std::deque<Job> jobs_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
+  std::size_t unfinished_ GUARDED_BY(mu_) = 0;
+  // tag -> submitted-but-unfinished count; entries erased at zero so the map
+  // stays bounded by the number of concurrently active sources.
+  std::map<std::uint64_t, std::size_t> tag_inflight_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;  // written by ctor only; joined by dtor
   // Metric handles are trivially copyable and updates are relaxed-atomic, but
   // the handles themselves are rebindable via set_metrics() while workers

@@ -31,6 +31,10 @@ const char* kind_name(EventKind k) {
     case EventKind::kPoolDrain: return "pool_drain";
     case EventKind::kEpochInstall: return "epoch_install";
     case EventKind::kEpochAbort: return "epoch_abort";
+    case EventKind::kEngineAdmit: return "engine_admit";
+    case EventKind::kEngineDefer: return "engine_defer";
+    case EventKind::kBatchDrain: return "batch_drain";
+    case EventKind::kContributeCited: return "contribute_cited";
   }
   return "unknown";
 }
@@ -115,6 +119,18 @@ std::string to_jsonl(const TraceEvent& e) {
       break;
     case EventKind::kEpochAbort:
       field(out, "cfg_epoch", e.cfg_epoch);
+      break;
+    case EventKind::kEngineAdmit:
+    case EventKind::kEngineDefer:
+      field(out, "count", e.count);
+      break;
+    case EventKind::kBatchDrain:
+      field(out, "msgs", e.count);
+      field(out, "equations", e.peer);
+      break;
+    case EventKind::kContributeCited:
+      field(out, "from", e.peer);
+      field(out, "cited_transfer", e.count);
       break;
     default:
       break;

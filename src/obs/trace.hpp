@@ -58,6 +58,14 @@ enum class EventKind : std::uint8_t {
   // Epochal reconfiguration (PR 7). cfg_epoch carries the config epoch.
   kEpochInstall,    // node installed a configuration (count = new n, peer = new rank)
   kEpochAbort,      // a live instance was aborted at an epoch boundary
+  // Concurrent multi-transfer engine (PR 8).
+  kEngineAdmit,     // engine admitted a transfer for self-coordination (count = inflight)
+  kEngineDefer,     // admission cap reached; transfer queued (count = queue depth)
+  kBatchDrain,      // one cross-transfer verify drain (count = messages,
+                    // peer = CP equations folded into the combined pass)
+  kContributeCited, // done-path evidence cites a contribution
+                    // (instance = citing transfer, peer = contributor rank,
+                    // count = the cited contribution's transfer id — I8/T8)
 };
 
 // Stable wire name for a kind ("msg_send", "epoch_start", ...).

@@ -30,6 +30,16 @@ bool verify_decryption_share(const group::GroupParams& params,
   return zkp::dlog_verify(params, stmt, ds.proof, context);
 }
 
+bool share_lower_to_cp(const group::GroupParams& params, const FeldmanCommitments& commitments,
+                       const elgamal::Ciphertext& c, const DecryptionShare& ds,
+                       std::string_view context, std::vector<zkp::CpBatchItem>& out) {
+  if (ds.index == 0) return false;
+  Bigint h_i = feldman_eval(params, commitments, ds.index);
+  out.push_back({zkp::DlogStatement{params.g(), std::move(h_i), c.a, ds.d}, ds.proof,
+                 std::string(context)});
+  return true;
+}
+
 bool batch_verify_decryption_shares(const group::GroupParams& params,
                                     const FeldmanCommitments& commitments,
                                     const elgamal::Ciphertext& c,
@@ -38,10 +48,7 @@ bool batch_verify_decryption_shares(const group::GroupParams& params,
   std::vector<zkp::CpBatchItem> items;
   items.reserve(shares.size());
   for (const DecryptionShare& ds : shares) {
-    if (ds.index == 0) return false;
-    Bigint h_i = feldman_eval(params, commitments, ds.index);
-    items.push_back({zkp::DlogStatement{params.g(), std::move(h_i), c.a, ds.d}, ds.proof,
-                     std::string(context)});
+    if (!share_lower_to_cp(params, commitments, c, ds, context, items)) return false;
   }
   return zkp::cp_batch_verify(params, items, prng);
 }

@@ -106,23 +106,30 @@ bool vde_verify(const elgamal::PublicKey& ka, const elgamal::Ciphertext& ca,
          dlog_verify(params, d.pr3, proof.pr3, sub_context(context, "pr3"));
 }
 
+bool vde_lower_to_cp(const group::GroupParams& params, const VdeBatchItem& item,
+                     std::vector<CpBatchItem>& out) {
+  // Mirror vde_verify's structural gate per item before anything is folded
+  // into a combined equation.
+  if (!(item.ka->params() == params) || !(item.kb->params() == params)) return false;
+  for (const Bigint* v :
+       {&item.ca->a, &item.ca->b, &item.cb->a, &item.cb->b, &item.proof->g12, &item.proof->g21}) {
+    if (!params.in_group(*v)) return false;
+  }
+  DerivedStatements d =
+      derive(*item.ka, *item.ca, *item.kb, *item.cb, item.proof->g12, item.proof->g21);
+  out.push_back({std::move(d.pr1), item.proof->pr1, sub_context(item.context, "pr1")});
+  out.push_back({std::move(d.pr2), item.proof->pr2, sub_context(item.context, "pr2")});
+  out.push_back({std::move(d.pr3), item.proof->pr3, sub_context(item.context, "pr3")});
+  return true;
+}
+
 bool vde_batch_verify(std::span<const VdeBatchItem> items, mpz::Prng& prng) {
   if (items.empty()) return true;
   const group::GroupParams& params = items.front().ka->params();
   std::vector<CpBatchItem> cp;
   cp.reserve(3 * items.size());
   for (const VdeBatchItem& it : items) {
-    // Mirror vde_verify's structural gate per item before anything is folded
-    // into the combined equation.
-    if (!(it.ka->params() == params) || !(it.kb->params() == params)) return false;
-    for (const Bigint* v :
-         {&it.ca->a, &it.ca->b, &it.cb->a, &it.cb->b, &it.proof->g12, &it.proof->g21}) {
-      if (!params.in_group(*v)) return false;
-    }
-    DerivedStatements d = derive(*it.ka, *it.ca, *it.kb, *it.cb, it.proof->g12, it.proof->g21);
-    cp.push_back({std::move(d.pr1), it.proof->pr1, sub_context(it.context, "pr1")});
-    cp.push_back({std::move(d.pr2), it.proof->pr2, sub_context(it.context, "pr2")});
-    cp.push_back({std::move(d.pr3), it.proof->pr3, sub_context(it.context, "pr3")});
+    if (!vde_lower_to_cp(params, it, cp)) return false;
   }
   return cp_batch_verify(params, cp, prng);
 }

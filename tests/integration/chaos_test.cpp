@@ -66,6 +66,12 @@ struct Mix {
   // never deals; quorums come from the survivors) and restart it after the
   // install — the laggard must rejoin via the certificate-chain pull.
   bool churn_crash_member = false;
+  // --- concurrent multi-transfer engine (PR 8) -----------------------------
+  // Extra open-loop transfers arriving 3ms apart (on top of the two baseline
+  // transfers), so many instances are in flight when faults strike.
+  unsigned concurrent_transfers = 0;
+  std::size_t max_inflight = 0;   // admission cap (0 = unlimited)
+  bool per_transfer_rng = false;  // per-instance keyed contribution streams
 };
 
 constexpr Mix kMixes[] = {
@@ -141,6 +147,31 @@ constexpr Mix kMixes[] = {
      .duplication_percent = 15,
      .churn = Mix::Churn::kJoin,
      .churn_at = 250'000},
+    // The concurrent engine under fire: >= 8 transfers in flight (asserted
+    // from engine_admit events) while messages drop/duplicate and the
+    // designated coordinator crash-restarts mid-storm. Cross-transfer batch
+    // drains must attribute failures to the right (transfer, rank) and no
+    // done record may cite another transfer's contribution (T8).
+    {.name = "concurrent-load",
+     .drop_percent = 10,
+     .duplication_percent = 15,
+     .crash_restart_b1 = true,
+     .batch_verify = true,
+     .verify_workers = 2,
+     .concurrent_transfers = 10,
+     .per_transfer_rng = true},
+    // Concurrency composed with epochal churn (PR 7 x PR 8): a capped engine
+    // holds a queue across the install boundary — actives abort, re-admit at
+    // queue head under the new epoch, and everything still completes with
+    // single-epoch evidence (T6) and transfer isolation (T8).
+    {.name = "concurrent-churn",
+     .drop_percent = 5,
+     .duplication_percent = 10,
+     .churn = Mix::Churn::kJoin,
+     .churn_at = 250'000,
+     .concurrent_transfers = 8,
+     .max_inflight = 4,
+     .per_transfer_rng = true},
 };
 
 constexpr int kMixCount = static_cast<int>(std::size(kMixes));
@@ -163,7 +194,10 @@ constexpr int kMixCount = static_cast<int>(std::size(kMixes));
 //      an instance aborted by an install re-runs as a fresh instance;
 //   T7 config epochs installed per node are strictly increasing (a node
 //      restored to the seed epoch re-walks the chain but each install event
-//      it emits still moves forward from the previous one it emitted alive).
+//      it emits still moves forward from the previous one it emitted alive);
+//   T8 (invariant I8) transfer isolation: every contribute_cited event backing
+//      a done-recorded instance cites that instance's OWN transfer id — with
+//      many transfers in flight, evidence never leaks across transfers.
 void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* mix_name,
                             std::uint64_t seed) {
   const obs::RunMeta meta = trace.meta();
@@ -176,6 +210,7 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
   std::map<std::uint64_t, std::set<std::uint64_t>> drained_bundles;
   std::map<Instance, std::set<std::uint32_t>> contribute_cfg_epochs;
   std::map<std::uint64_t, std::uint32_t> installed_epoch;
+  std::map<Instance, std::set<std::uint64_t>> foreign_cites;
   const std::string at = std::string(mix_name) + " seed=" + std::to_string(seed);
   for (const obs::TraceEvent& e : trace.events()) {
     const Instance id{e.transfer, e.coordinator, e.epoch};
@@ -198,6 +233,13 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         // one config epoch. (The recording node's own epoch may lag — done
         // messages are service-signed and epoch-blind by design.)
         EXPECT_LE(contribute_cfg_epochs[id].size(), 1u) << "T6 " << at;
+        // T8/I8: no evidence cite crossed transfer ids for this instance.
+        EXPECT_TRUE(foreign_cites[id].empty())
+            << "T8 " << at << ": instance cited transfers "
+            << (foreign_cites[id].empty() ? 0 : *foreign_cites[id].begin());
+        break;
+      case obs::EventKind::kContributeCited:
+        if (e.count != e.transfer) foreign_cites[id].insert(e.count);
         break;
       case obs::EventKind::kEpochInstall: {
         auto [it, fresh] = installed_epoch.try_emplace(e.node, e.cfg_epoch);
@@ -255,6 +297,8 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   o.protocol.verify_workers = mix.verify_workers;
   o.protocol.contribution_pool = mix.contribution_pool;
   o.protocol.pool_prefill = mix.pool_prefill;
+  o.protocol.max_inflight_transfers = mix.max_inflight;
+  o.protocol.per_transfer_rng = mix.per_transfer_rng;
   if (mix.byzantine_b1) {
     o.b_behaviors.assign(4, Behavior::kHonest);
     o.b_behaviors[0] = Behavior::kAdaptiveCancelCoordinator;
@@ -305,8 +349,26 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
     transfers.push_back(sys.add_transfer_at(
         sys.config().params.encode_message(Bigint(3000 + seed)), mix.churn_at + 150'000));
   }
+  for (unsigned i = 0; i < mix.concurrent_transfers; ++i) {
+    // Open-loop arrivals 3ms apart (one network hop is up to 20ms): the whole
+    // batch is in flight long before any instance can finish.
+    transfers.push_back(sys.add_transfer_arriving(
+        sys.config().params.encode_message(Bigint(4000 + 100 * seed + i)), 1'000 + 3'000 * i));
+  }
 
   bool completed = sys.run_to_completion();
+
+  // The storm actually happened: some node's engine reached >= 8 concurrent
+  // self-coordinated transfers (or the cap, when one is set).
+  if (mix.concurrent_transfers >= 8) {
+    std::uint64_t max_inflight_seen = 0;
+    for (const obs::TraceEvent& e : trace.events()) {
+      if (e.kind == obs::EventKind::kEngineAdmit && e.count > max_inflight_seen)
+        max_inflight_seen = e.count;
+    }
+    const std::uint64_t want = mix.max_inflight == 0 ? 8 : mix.max_inflight;
+    EXPECT_GE(max_inflight_seen, want) << mix.name << " seed=" << seed;
+  }
 
   // S1: every result held anywhere decrypts to the published plaintext.
   // (This is correctness AND agreement: all servers' results for a transfer
@@ -345,6 +407,31 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
 
   if (mix.liveness_expected && retransmit) {
     EXPECT_TRUE(completed) << mix.name << " seed=" << seed;
+    // run_to_completion stops the instant the CURRENT roster covers every
+    // result; after churn, members still interpolating their re-shared key
+    // (and the adopted standby) may have sub-share/result pulls riding their
+    // capped backoff (800 ms initial delay) at that moment. Let the queued
+    // retries fire before asserting: if a pull genuinely capped out, the
+    // queue drains with the share still pending and the assertions below
+    // fail exactly as before.
+    if (mix.churn != Mix::Churn::kNone) {
+      sys.sim().run_until([&] {
+        for (ServerRank r = 1; r <= b_n; ++r) {
+          if (!sys.is_honest_b(r) || sys.b_server(r).rank() == 0) continue;
+          if (sys.b_server(r).share_pending()) return false;
+          for (TransferId t : transfers) {
+            if (!sys.b_server(r).result(t)) return false;
+          }
+        }
+        if (mix.churn == Mix::Churn::kJoin) {
+          if (sys.b_standby_server(0).share_pending()) return false;
+          for (TransferId t : transfers) {
+            if (!sys.b_standby_server(0).result(t)) return false;
+          }
+        }
+        return true;
+      });
+    }
     for (TransferId t : transfers) {
       for (ServerRank r = 1; r <= b_n; ++r) {
         if (!sys.is_honest_b(r)) continue;
@@ -384,7 +471,7 @@ TEST_P(ChaosSweep, SafetyAlwaysLivenessInBound) {
   run_chaos(kMixes[mix_index], static_cast<std::uint64_t>(seed));
 }
 
-// Tier-1 grid: 6 seeds × 10 mixes = 60 deterministic runs, each its own ctest
+// Tier-1 grid: 6 seeds × 12 mixes = 72 deterministic runs, each its own ctest
 // entry (parallelizable). tools/ci.sh runs the wider sweep (the churn mixes
 // also get a dedicated `ci.sh churn` job).
 INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
@@ -403,20 +490,24 @@ INSTANTIATE_TEST_SUITE_P(Grid, ChaosSweep,
 // DBLIND_CHAOS_MIXES=<substr> restricts the sweep to mixes whose name
 // contains the substring; tools/ci.sh's `churn` job uses it to run the four
 // reconfiguration mixes at a deeper seed count than the all-mix sweep.
+// DBLIND_CHAOS_SEED_BASE=<s> shifts the first seed (default 100) so a
+// failure deep into a wide sweep can be re-run in isolation.
 TEST(ChaosSweep, EnvConfiguredSweep) {
   const char* env = std::getenv("DBLIND_CHAOS_SEEDS");
   int seeds = env ? std::atoi(env) : 0;
   if (seeds <= 0) GTEST_SKIP() << "set DBLIND_CHAOS_SEEDS=<n> for the wide sweep";
   const char* filter = std::getenv("DBLIND_CHAOS_MIXES");
+  const char* base_env = std::getenv("DBLIND_CHAOS_SEED_BASE");
+  const int base = base_env ? std::atoi(base_env) : 100;
   int matched = 0;
   for (int mix = 0; mix < kMixCount; ++mix) {
     if (filter != nullptr && std::string(kMixes[mix].name).find(filter) == std::string::npos)
       continue;
     ++matched;
     for (int seed = 0; seed < seeds; ++seed) {
-      run_chaos(kMixes[mix], static_cast<std::uint64_t>(100 + seed));
+      run_chaos(kMixes[mix], static_cast<std::uint64_t>(base + seed));
       if (::testing::Test::HasFailure())
-        FAIL() << "violation at mix=" << kMixes[mix].name << " seed=" << (100 + seed);
+        FAIL() << "violation at mix=" << kMixes[mix].name << " seed=" << (base + seed);
     }
   }
   EXPECT_GT(matched, 0) << "DBLIND_CHAOS_MIXES='" << (filter ? filter : "")

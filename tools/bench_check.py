@@ -51,6 +51,21 @@ PR 7 gates (epochal reconfiguration), written to BENCH_pr7.json:
       the new epoch. The rotation window itself (re-share round + discarded
       in-flight work) is recorded for context, never gated.
 
+PR 8 gates (concurrent multi-transfer engine), written to BENCH_pr8.json
+from bench_load's open-loop workload:
+
+  11. load_saturation: saturated virtual-time throughput of the concurrent
+      engine (unlimited admission + cross-transfer batch drain + verify
+      workers) must be >= 5.0x the sequential baseline
+      (max_inflight_transfers == 1, serial verification) at f=1/sec512,
+      with integrity == 1 on both arms. Virtual time is deterministic per
+      seed, so the gate cannot flake on a loaded box; wall-clock and
+      mont-mul counts are recorded as provenance;
+  12. load_latency: every offered-load point completes all transfers with
+      p50 <= p95 <= p99 (the percentile extraction is ordered and total);
+  13. load_equivalence: identical_results == 1 — the concurrent and
+      sequential schedules produce byte-identical per-transfer ciphertexts.
+
 Wall-clock numbers from bench_primitives are recorded for context only.
 
 Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
@@ -113,6 +128,23 @@ def run_fig4(build_dir):
     return rows
 
 
+def run_load(build_dir):
+    """Open-loop load harness (PR 8); emits the load_* BENCHJSON sections."""
+    exe = os.path.join(build_dir, "bench", "bench_load")
+    if not os.path.exists(exe):
+        print(f"bench_check: missing {exe} (build the bench targets first)")
+        sys.exit(2)
+    out = subprocess.run([exe], capture_output=True, text=True, timeout=1800)
+    rows = []
+    for line in out.stdout.splitlines():
+        if line.startswith(MARKER):
+            rows.append(json.loads(line[len(MARKER):]))
+    if not rows:
+        print("bench_check: bench_load produced no BENCHJSON rows")
+        sys.exit(2)
+    return rows
+
+
 def run_primitives(build_dir):
     """Multi-exp microbenchmarks; context only, never gated (wall-clock)."""
     exe = os.path.join(build_dir, "bench", "bench_primitives")
@@ -143,6 +175,7 @@ def main():
     args = ap.parse_args()
 
     rows = run_fig4(args.build_dir)
+    rows += run_load(args.build_dir)
     blind = [r for r in rows if r.get("section") == "blind-verify"]
     e2e = [r for r in rows if r.get("section") == "e2e"]
     obs = [r for r in rows if r.get("section") == "obs-overhead"]
@@ -151,6 +184,9 @@ def main():
     fixed_base = [r for r in rows if r.get("section") == "fixed-base"]
     throughput = [r for r in rows if r.get("section") == "throughput"]
     reconfig = [r for r in rows if r.get("section") == "reconfig"]
+    load_latency = [r for r in rows if r.get("section") == "load_latency"]
+    load_saturation = [r for r in rows if r.get("section") == "load_saturation"]
+    load_equivalence = [r for r in rows if r.get("section") == "load_equivalence"]
 
     failures = []
     best_ratio = 0.0
@@ -242,6 +278,39 @@ def main():
                 f"{pre} baseline ({delta:.1%} drift, > 5% bar) — the install "
                 f"cascade is leaking per-transfer cost into the new epoch")
 
+    if not load_latency:
+        failures.append("no load_latency rows emitted")
+    for r in load_latency:
+        if r["completed"] != r["transfers"]:
+            failures.append(
+                f"load_latency gap={r['mean_interarrival_us']}us: only "
+                f"{r['completed']}/{r['transfers']} transfers completed")
+        if not r["p50_us"] <= r["p95_us"] <= r["p99_us"]:
+            failures.append(
+                f"load_latency gap={r['mean_interarrival_us']}us: percentiles "
+                f"unordered (p50={r['p50_us']}, p95={r['p95_us']}, p99={r['p99_us']})")
+        if r["integrity"] != 1:
+            failures.append(
+                f"load_latency gap={r['mean_interarrival_us']}us: integrity lost")
+    if not load_saturation:
+        failures.append("no load_saturation row emitted")
+    for r in load_saturation:
+        if r["integrity"] != 1:
+            failures.append("load_saturation: an arm lost integrity or did not complete")
+        if r["speedup"] < 5.0:
+            failures.append(
+                f"load_saturation f={r['f']}/{r['params']}: concurrent engine only "
+                f"{r['speedup']:.2f}x the sequential baseline "
+                f"({r['baseline_tps']:.1f} -> {r['saturated_tps']:.1f} transfers/sec "
+                f"virtual), < 5.0x acceptance bar")
+    if not load_equivalence:
+        failures.append("no load_equivalence row emitted")
+    for r in load_equivalence:
+        if r["identical_results"] != 1:
+            failures.append(
+                "load_equivalence: concurrent and sequential schedules diverged — "
+                "the engine must change WHEN work runs, never WHAT it computes")
+
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -300,6 +369,20 @@ def main():
         json.dump(reconfig_report, fh, indent=2)
         fh.write("\n")
 
+    load_path = os.path.join(os.path.dirname(out_path), "BENCH_pr8.json")
+    load_report = {
+        "gate": "concurrent-multi-transfer-engine",
+        "pass": not any(f.startswith("load_") or f.startswith("no load_")
+                        for f in failures),
+        "environment": environment,
+        "load_latency": load_latency,
+        "load_saturation": load_saturation,
+        "load_equivalence": load_equivalence,
+    }
+    with open(load_path, "w", encoding="utf-8") as fh:
+        json.dump(load_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
@@ -325,7 +408,18 @@ def main():
               f"{r['post_wave_mont_muls']} post-rotation mont-muls "
               f"({r['steady_state_delta']:.2%} drift), rotation window "
               f"{r['rotation_mont_muls']}, integrity={r['integrity']}")
-    print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path}")
+    for r in load_latency:
+        print(f"load_latency gap={r['mean_interarrival_us']}us: "
+              f"p50={r['p50_us']:.0f} p95={r['p95_us']:.0f} p99={r['p99_us']:.0f} "
+              f"({r['completed']}/{r['transfers']} completed)")
+    for r in load_saturation:
+        print(f"load_saturation f={r['f']}/{r['params']}: "
+              f"{r['baseline_tps']:.1f} -> {r['saturated_tps']:.1f} transfers/sec "
+              f"virtual ({r['speedup']:.2f}x), integrity={r['integrity']}")
+    for r in load_equivalence:
+        print(f"load_equivalence: identical_results={r['identical_results']} "
+              f"({r['transfers']} transfers)")
+    print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path} + {load_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -24,6 +24,13 @@
 #                    DBLIND_CHAOS_SEEDS (default 50) seeds each, selected via
 #                    DBLIND_CHAOS_MIXES=churn — deeper than the all-mix chaos
 #                    job affords for the epoch-boundary paths
+#   load             open-loop load harness smoke: bench_load --smoke (toy
+#                    parameters, Poisson arrivals, concurrent vs sequential
+#                    equivalence + saturation check). Set
+#                    DBLIND_SOAK_TRANSFERS=<n> to additionally run a TSan
+#                    soak of the same harness with <n> transfers, exercising
+#                    the verify-pool workers and cross-transfer batch drain
+#                    under the race detector
 #   bench            verification fast-path regression gate: bench_check.py
 #                    compares batched vs serial proof verification by
 #                    deterministic mont-mul counts and writes BENCH_pr3.json;
@@ -41,7 +48,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos churn bench trace_check)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos churn load bench trace_check)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -114,12 +121,33 @@ for job in "${JOBS[@]}"; do
             --gtest_filter='ChaosSweep.EnvConfiguredSweep'
       } || FAILED+=("$job")
       ;;
+    load)
+      banner load
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" --target bench_load &&
+          "$ROOT/build-relwithdebinfo/bench/bench_load" --smoke
+        smoke=$?
+        soak=0
+        if [[ $smoke -eq 0 && -n "${DBLIND_SOAK_TRANSFERS:-}" ]]; then
+          # TSan soak: the load harness is the densest consumer of the
+          # verify-pool workers + cross-transfer drain, so a wide run under
+          # the race detector is the concurrency stress test.
+          cmake --preset tsan > /dev/null &&
+            cmake --build --preset tsan -j "$NPROC" --target bench_load &&
+            DBLIND_SOAK_TRANSFERS="$DBLIND_SOAK_TRANSFERS" \
+              "$ROOT/build-tsan/bench/bench_load" --smoke
+          soak=$?
+        fi
+        [[ $smoke -eq 0 && $soak -eq 0 ]]
+      } || FAILED+=("$job")
+      ;;
     bench)
       banner bench
       {
         cmake --preset relwithdebinfo > /dev/null &&
           cmake --build --preset relwithdebinfo -j "$NPROC" \
-            --target bench_fig4_full bench_primitives &&
+            --target bench_fig4_full bench_primitives bench_load &&
           python3 tools/bench_check.py --build-dir "$ROOT/build-relwithdebinfo"
       } || FAILED+=("$job")
       ;;
@@ -134,7 +162,7 @@ for job in "${JOBS[@]}"; do
       } || FAILED+=("$job")
       ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|churn|bench|trace_check)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|churn|load|bench|trace_check)" >&2
       FAILED+=("$job")
       ;;
   esac

@@ -26,6 +26,11 @@ for every run, Byzantine or not:
   I7  `epoch_install` config epochs are strictly increasing per node; a
       `restart` resets the baseline (a restored server legitimately replays
       the install chain from its durable snapshot).
+  I8  transfer isolation (PR 8): every `contribute_cited` event backing an
+      instance cites a contribution of that instance's OWN transfer id, and
+      no instance that violated this ever reaches `done_recorded` — with many
+      transfers in flight, evidence from one transfer must never leak into
+      another's done record.
 
 Malformed lines are rejected with their line number. With --latency the
 checker also prints a per-phase latency table (virtual microseconds under
@@ -54,6 +59,7 @@ KNOWN_KINDS = {
     "sign_done", "decrypt_begin", "decrypt_done", "done_sign_begin",
     "done_recorded", "retransmit", "pool_refill", "pool_drain",
     "epoch_install", "epoch_abort",
+    "engine_admit", "engine_defer", "batch_drain", "contribute_cited",
 }
 
 
@@ -106,6 +112,8 @@ class Checker:
         self.contribute_cfg_epochs = {}
         # I7: node -> highest installed config epoch since its last restart.
         self.installed_epoch = {}
+        # I8: instance -> set of foreign transfer ids its evidence cited.
+        self.foreign_cites = {}
         # Latency bookkeeping: (phase) -> list of durations.
         self.latency = {}
         self._marks = {}       # (what, node, instance) -> ts
@@ -187,6 +195,11 @@ class Checker:
                 self.err(lineno, f"I6: instance {inst} completed with verified "
                                  f"contributions from config epochs "
                                  f"{sorted(epochs)} — cross-epoch evidence mix")
+            foreign = self.foreign_cites.get(inst)
+            if foreign:
+                self.err(lineno, f"I8: instance {inst} done-recorded but its "
+                                 f"evidence cited transfers {sorted(foreign)} "
+                                 f"— cross-transfer contribution leak")
         elif kind == "retransmit":
             attempt, cap = ev.get("attempt"), ev.get("cap")
             if attempt is None or cap is None:
@@ -223,6 +236,13 @@ class Checker:
             # A restored server replays the install chain from its snapshot;
             # its monotonicity baseline starts over.
             self.installed_epoch.pop(node, None)
+        elif kind == "contribute_cited":
+            cited = ev.get("cited_transfer")
+            if cited is None:
+                self.err(lineno, "I8: contribute_cited without cited_transfer")
+                return
+            if inst[0] is not None and cited != inst[0]:
+                self.foreign_cites.setdefault(inst, set()).add(cited)
         elif kind == "pool_drain":
             bundle = ev.get("bundle")
             if bundle is None:
@@ -404,6 +424,34 @@ SELF_TESTS = [
         '{"ts":3,"node":4,"kind":"restart"}',
         '{"ts":4,"node":4,"kind":"epoch_install","cfg_epoch":1,"rank":1,"n":4}',
         '{"ts":5,"node":4,"kind":"epoch_install","cfg_epoch":2,"rank":1,"n":4}',
+    ]), True, None),
+    ("concurrent-clean-isolation", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"engine_admit","transfer":1,"count":1}',
+        '{"ts":1,"node":4,"kind":"engine_admit","transfer":2,"count":2}',
+        '{"ts":2,"node":4,"kind":"engine_defer","transfer":3,"count":1}',
+        '{"ts":3,"node":4,"kind":"batch_drain","msgs":4,"equations":12}',
+        _passes(2),
+        '{"ts":20,"node":4,"kind":"contribute_cited","transfer":1,"coord":1,"epoch":0,"from":2,"cited_transfer":1}',
+        '{"ts":21,"node":4,"kind":"contribute_cited","transfer":1,"coord":1,"epoch":0,"from":3,"cited_transfer":1}',
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0}',
+    ]), True, None),
+    ("cross-transfer-cite-leak", "\n".join([
+        META,
+        _passes(2),
+        '{"ts":20,"node":4,"kind":"contribute_cited","transfer":1,"coord":1,"epoch":0,"from":2,"cited_transfer":1}',
+        '{"ts":21,"node":4,"kind":"contribute_cited","transfer":1,"coord":1,"epoch":0,"from":3,"cited_transfer":2}',
+        '{"ts":70,"node":5,"kind":"done_recorded","transfer":1,"coord":1,"epoch":0}',
+    ]), False, "I8"),
+    ("cite-missing-transfer", "\n".join([
+        META,
+        '{"ts":20,"node":4,"kind":"contribute_cited","transfer":1,"coord":1,"epoch":0,"from":2}',
+    ]), False, "I8"),
+    ("foreign-cite-never-done-is-ok", "\n".join([
+        # The leak is only a violation when the tainted instance completes;
+        # an aborted instance that cited foreign evidence never done-records.
+        META,
+        '{"ts":20,"node":4,"kind":"contribute_cited","transfer":3,"coord":1,"epoch":0,"from":2,"cited_transfer":9}',
     ]), True, None),
     ("malformed-json", META + "\n{not json}\n", False, "line 2"),
     ("not-an-object", META + "\n[1,2,3]\n", False, "line 2"),
