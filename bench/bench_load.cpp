@@ -39,11 +39,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "table.hpp"
 
@@ -64,6 +66,10 @@ struct LoadConfig {
   bool batch_verify = true;
   unsigned verify_workers = 2;
   dblind::net::Time mean_interarrival_us = 2'000;
+  // When set, dump this run's JSONL span trace to `trace_out` and a
+  // prometheus metrics snapshot (for trace_critpath.py's mont-mul join) to
+  // `trace_out + ".prom"`.
+  std::string trace_out;
 };
 
 // Poisson arrival schedule in virtual microseconds: exponential gaps from a
@@ -97,6 +103,7 @@ struct LoadResult {
 
 LoadResult run_load(const LoadConfig& lc) {
   dblind::obs::MemoryTraceRecorder trace;
+  dblind::obs::MetricsRegistry metrics;
   SystemOptions o;
   o.params = dblind::group::GroupParams::named(lc.params);
   o.a = {4, 1};
@@ -109,6 +116,7 @@ LoadResult run_load(const LoadConfig& lc) {
   o.protocol.batch_verify = lc.batch_verify;
   o.protocol.verify_workers = lc.verify_workers;
   o.protocol.trace = &trace;
+  if (!lc.trace_out.empty()) o.protocol.metrics = &metrics;
   System sys(std::move(o));
 
   const std::vector<dblind::net::Time> arrivals =
@@ -157,6 +165,17 @@ LoadResult run_load(const LoadConfig& lc) {
   r.makespan_virtual_ms =
       (static_cast<double>(sys.sim().stats().end_time) - static_cast<double>(arrivals.front())) /
       1'000.0;
+  if (!lc.trace_out.empty()) {
+    // Offline critical-path input (tools/trace_critpath.py): the span trace
+    // plus a prometheus snapshot whose ScopedCounterDelta-fed mont-mul
+    // counters carry the crypto attribution virtual time cannot.
+    std::ofstream ts(lc.trace_out);
+    ts << dblind::obs::to_jsonl(trace.meta()) << '\n';
+    for (const dblind::obs::TraceEvent& e : trace.events())
+      ts << dblind::obs::to_jsonl(e) << '\n';
+    std::ofstream ms(lc.trace_out + ".prom");
+    ms << metrics.prometheus_text();
+  }
   return r;
 }
 
@@ -182,9 +201,12 @@ int main(int argc, char** argv) {
       base.clients = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       base.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      base.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_load [--smoke] [--transfers N] [--clients N] [--seed S]\n");
+                   "usage: bench_load [--smoke] [--transfers N] [--clients N] [--seed S] "
+                   "[--trace-out trace.jsonl]\n");
       return 2;
     }
   }
@@ -212,6 +234,9 @@ int main(int argc, char** argv) {
     LoadConfig lc = base;
     lc.mean_interarrival_us = gap;
     lc.max_inflight = 4;
+    // --trace-out captures the saturated capped point: the only sweep row
+    // with queueing delay, so every budget category is represented.
+    if (gap != 2'000) lc.trace_out.clear();
     LoadResult res = run_load(lc);
     const double p50 = percentile(res.latency_us, 0.50);
     const double p95 = percentile(res.latency_us, 0.95);
@@ -236,11 +261,13 @@ int main(int argc, char** argv) {
   // virtual-time throughput (N / makespan) — deterministic per seed.
   std::puts("Saturation throughput — concurrent engine vs sequential baseline:");
   LoadConfig conc = base;
+  conc.trace_out.clear();
   conc.mean_interarrival_us = 2'000;
   conc.max_inflight = 0;  // unlimited + batch drain + workers
   LoadResult saturated = run_load(conc);
 
   LoadConfig seq = base;
+  seq.trace_out.clear();
   seq.mean_interarrival_us = 2'000;
   seq.max_inflight = 1;  // strictly sequential
   seq.batch_verify = false;

@@ -170,6 +170,14 @@ struct ProtocolOptions {
   // registration — handles then point at the process-wide discard cell, so
   // hot-path updates stay branch-free either way.
   obs::MetricsRegistry* metrics = nullptr;
+  // Stall watchdog (obs/watchdog.hpp): per-transfer idle deadline in
+  // transport time on B servers. A transfer with no trace activity for this
+  // long gets a kStall event (with a one-shot public state dump); progress
+  // after a stall gets kStallResolved. 0 (the default) disables the
+  // watchdog — no timers are armed and the seed event schedule is
+  // byte-identical. The watchdog reports through the trace, so it is also
+  // inert while `trace` is null.
+  net::Time watchdog_deadline = 0;
 };
 
 }  // namespace dblind::core

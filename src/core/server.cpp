@@ -82,7 +82,8 @@ ProtocolServer::ProtocolServer(SystemConfig cfg, ServerSecrets secrets, Protocol
                                Behavior behavior)
     : cfg_(std::move(cfg)), secrets_(std::move(secrets)), opts_(std::move(opts)),
       behavior_(behavior), initial_cfg_(cfg_), initial_secrets_(secrets_),
-      engine_({opts_.max_inflight_transfers, opts_.engine_shards}) {
+      engine_({opts_.max_inflight_transfers, opts_.engine_shards}),
+      watchdog_(opts_.watchdog_deadline) {
   // 0 remembered as "defaulted": installs re-derive f+1 from the NEW config.
   initial_max_coordinators_ = opts_.max_coordinators;
   if (opts_.max_coordinators == 0) opts_.max_coordinators = cfg_.b.cfg.f + 1;
@@ -329,6 +330,15 @@ void ProtocolServer::on_start(net::Context& ctx) {
     // Recovery: periodically pull missing results from peer B servers (no-op
     // for completed transfers; cancelled as soon as a result arrives).
     for (TransferId t : transfers_) arm_result_pull(ctx, t);
+    // Stall watchdog: track every registered-but-unfinished transfer from the
+    // moment this incarnation starts (later arrivals and epoch re-admissions
+    // self-arm through the emit_trace hook).
+    if (watchdog_.enabled()) {
+      for (TransferId t : transfers_) {
+        if (!results_.contains(t)) watchdog_.arm(t, ctx.now());
+      }
+      arm_watchdog_timer(ctx);
+    }
     // Step flexibility: pre-compute the contribution (and its VDE proof) for
     // the designated coordinator's expected instance before any init arrives.
     if (active() && opts_.precompute_contributions) {
@@ -391,6 +401,8 @@ void ProtocolServer::on_timer(net::Context& ctx, std::uint64_t token) {
     drain_verifies(ctx);
   } else if (kind == kTimerPoolRefill) {
     pool_refill_tick(ctx);
+  } else if (kind == kTimerWatchdog) {
+    watchdog_tick(ctx);
   }
   cpu_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -2171,6 +2183,10 @@ void ProtocolServer::install_config(net::Context& ctx, const SignedMessage& appl
     for (TransferId t : transfers_) schedule_coordinator(ctx, t);
     for (TransferId t : transfers_) arm_result_pull(ctx, t);
   }
+  // A server retired by this install (rank 0) no longer owes progress on any
+  // transfer — done messages stop reaching it, so its watchdog entries would
+  // otherwise stall forever. Stop tracking instead of crying wolf.
+  if (is_b() && !active()) watchdog_.reset();
 
   // 10. Complete our new share, or keep pulling the missing sub-shares.
   if (share_pending_) {
@@ -2410,6 +2426,12 @@ void ProtocolServer::restore(std::span<const std::uint8_t> snap) {
   metrics_.engine_inflight.set(0);
   metrics_.engine_queued.set(0);
   instance_rng_root_.reset();
+  // Watchdog entries (and a possibly-pending sweep timer) die with the
+  // incarnation; on_start re-arms from the restored transfer set. A stall
+  // observed pre-crash therefore resolves via the transfer's eventual
+  // kDoneRecorded, not a kStallResolved (the chaos checker accepts both).
+  watchdog_.reset();
+  watchdog_timer_armed_ = false;
   // scheduled_arrivals_ is pre-simulation setup like scheduled_reconfigs_:
   // kept, so on_start re-arms it (the arrival handler dedupes via transfers_).
   // Installed configurations are volatile too: a recovered server restarts at
@@ -2508,7 +2530,80 @@ void ProtocolServer::emit_trace(net::Context& ctx, obs::EventKind kind, const In
   ev.attempt = extra.attempt;
   ev.cap = extra.cap;
   ev.cfg_epoch = cfg_epoch_;
+  // Causal chaining: every protocol event is a span whose parent is the
+  // ambient span (the message delivery, timer restore, or preceding protocol
+  // event that caused it). The event then becomes the ambient span itself, so
+  // later events in the same handler — and any sends or timers it arms —
+  // descend from it. With tracing off mint_span() returns 0 and the
+  // recorder was never reached, so this path stays dormant.
+  ev.span = ctx.mint_span();
+  ev.parent = ctx.current_span();
+  ctx.set_current_span(ev.span);
   opts_.trace->record(ev);
+  watchdog_note(ctx, ev);
+}
+
+void ProtocolServer::watchdog_note(net::Context& ctx, const obs::TraceEvent& ev) {
+  // B roster members only: A servers and retired/standby servers (rank 0)
+  // never owe a done record, so tracking them would manufacture stalls.
+  if (!watchdog_.enabled() || !is_b() || !active() || ev.transfer == 0) return;
+  std::optional<obs::Watchdog::Resolution> res;
+  if (ev.kind == obs::EventKind::kDoneRecorded) {
+    res = watchdog_.complete(ev.transfer, ev.ts);
+  } else if (!results_.contains(ev.transfer)) {
+    // Refresh (or implicitly arm — late arrivals, epoch re-admissions) the
+    // transfer's deadline. Completed transfers are excluded: stray traffic
+    // for them (duplicated frames, peers' retransmits) must not resurrect a
+    // tracking entry that nothing will ever complete again.
+    res = watchdog_.progress(ev.transfer, ev.ts, ev.span);
+  }
+  // A freshly (implicitly) armed entry may need the sweep timer running.
+  arm_watchdog_timer(ctx);
+  if (!res.has_value()) return;
+  // Emitted directly (not via emit_trace) so the hook cannot re-enter.
+  obs::TraceEvent out;
+  out.ts = ev.ts;
+  out.node = ev.node;
+  out.kind = obs::EventKind::kStallResolved;
+  out.transfer = res->transfer;
+  out.count = res->stalled_us;
+  out.cfg_epoch = cfg_epoch_;
+  out.span = ctx.mint_span();
+  out.parent = ev.span;  // the resolution descends from the resolving event
+  opts_.trace->record(out);
+}
+
+void ProtocolServer::arm_watchdog_timer(net::Context& ctx) {
+  if (watchdog_timer_armed_ || opts_.trace == nullptr) return;
+  if (!watchdog_.needs_sweep()) return;
+  watchdog_timer_armed_ = true;
+  // Half the deadline bounds detection latency at 1.5× the idle bound.
+  ctx.set_timer(watchdog_.deadline() / 2, kTimerWatchdog);
+}
+
+void ProtocolServer::watchdog_tick(net::Context& ctx) {
+  watchdog_timer_armed_ = false;
+  if (opts_.trace != nullptr) {
+    for (const obs::Watchdog::Stall& s : watchdog_.expired(ctx.now())) {
+      obs::TraceEvent ev;
+      ev.ts = ctx.now();
+      ev.node = ctx.self();
+      ev.kind = obs::EventKind::kStall;
+      ev.transfer = s.transfer;
+      // One-shot public state dump: engine queue depth, pending verify jobs,
+      // outstanding retransmission entries. Counts only — never payloads.
+      ev.count = engine_.queued();
+      ev.peer = static_cast<std::uint32_t>(pending_verifies_.size());
+      ev.attempt = static_cast<std::uint32_t>(resends_.size());
+      ev.cfg_epoch = cfg_epoch_;
+      ev.span = ctx.mint_span();
+      // The transfer's latest span: walking its parent chain reconstructs the
+      // span stack the transfer stalled under.
+      ev.parent = s.last_span;
+      opts_.trace->record(ev);
+    }
+  }
+  arm_watchdog_timer(ctx);
 }
 
 void ProtocolServer::resolve_metrics(net::Context& ctx) {

@@ -46,6 +46,7 @@
 #include "net/sim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "threshold/thresh_sign.hpp"
 
 namespace dblind::core {
@@ -470,6 +471,20 @@ class ProtocolServer final : public net::Node {
   // no registry the handles stay default-constructed: every update lands in
   // the process-wide discard cell, branch-free.
   void resolve_metrics(net::Context& ctx);
+  // Stall-watchdog plumbing (B servers; inert unless both opts_.trace and
+  // opts_.watchdog_deadline are set). `watchdog_note` is called from
+  // emit_trace for every transfer-scoped event: kDoneRecorded completes the
+  // entry, anything else refreshes its deadline; a refresh that un-stalls a
+  // transfer emits kStallResolved parented on the resolving event's span.
+  void watchdog_note(net::Context& ctx, const obs::TraceEvent& ev);
+  // Arms the low-frequency sweep timer iff some tracked transfer could still
+  // newly stall (Watchdog::needs_sweep) and no timer is already pending —
+  // fully-stalled or fully-done nodes let the event queue drain.
+  void arm_watchdog_timer(net::Context& ctx);
+  // Sweep: flips idle transfers to stalled and emits one kStall each, with
+  // parent = the transfer's latest span (its parent chain is the stalled
+  // span stack) and a one-shot public state dump in the count fields.
+  void watchdog_tick(net::Context& ctx);
 
   SystemConfig cfg_;
   ServerSecrets secrets_;
@@ -595,6 +610,11 @@ class ProtocolServer final : public net::Node {
   // core/transfer_engine.hpp). Scheduling state is volatile — restore() resets
   // it and the next on_start re-feeds the durable transfer set.
   TransferEngine engine_;
+  // Stall watchdog (observability only; obs/watchdog.hpp). Volatile like all
+  // scheduling state: restore() resets it and the next on_start re-arms the
+  // durable transfer set. Touched only from this node's handler thread.
+  obs::Watchdog watchdog_;
+  bool watchdog_timer_armed_ = false;
   // Root key for per-instance contribution prngs (opts_.per_transfer_rng):
   // drawn once per incarnation in on_start; each instance's stream is
   // SHA256(root ‖ transfer ‖ coordinator ‖ epoch ‖ cfg_epoch), so a
@@ -615,6 +635,7 @@ class ProtocolServer final : public net::Node {
   static constexpr std::uint64_t kTimerPoolRefill = 7ull << 56;    // (no payload)
   static constexpr std::uint64_t kTimerReconfig = 8ull << 56;      // | schedule index
   static constexpr std::uint64_t kTimerTransferArrival = 9ull << 56;  // | arrival index
+  static constexpr std::uint64_t kTimerWatchdog = 10ull << 56;        // (no payload)
   std::map<std::uint64_t, InstanceId> responder_timer_ids_;
   std::uint64_t next_responder_timer_ = 0;
 };

@@ -33,6 +33,14 @@ Time SimContext::now() const { return sim_.now(); }
 
 mpz::Prng& SimContext::rng() { return *sim_.nodes_.at(self_).rng; }
 
+std::uint64_t SimContext::current_span() const { return sim_.current_span_; }
+
+void SimContext::set_current_span(std::uint64_t span) { sim_.current_span_ = span; }
+
+std::uint64_t SimContext::mint_span() {
+  return sim_.trace_ != nullptr ? ++sim_.next_span_ : 0;
+}
+
 Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayPolicy> delays)
     : delays_(std::move(delays)), net_rng_(seed), fault_rng_(seed ^ 0xFA17C0DEull) {
   if (!delays_) throw std::invalid_argument("Simulator: null delay policy");
@@ -67,49 +75,67 @@ void Simulator::send_from(NodeId from, NodeId to, std::vector<std::uint8_t> byte
   if (crashed_.contains(from)) return;  // a crashed sender emits nothing
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes.size();
+  std::uint64_t send_span = 0;
   if (trace_ != nullptr) {
-    trace_->record(net_event(now_, from, obs::EventKind::kMsgSend, to, bytes.size()));
+    send_span = ++next_span_;
+    auto ev = net_event(now_, from, obs::EventKind::kMsgSend, to, bytes.size());
+    ev.span = send_span;
+    ev.parent = current_span_;
+    trace_->record(ev);
   }
   Time d = delays_->delay(from, to, bytes.size(), net_rng_);
   if (duplication_percent_ != 0 && net_rng_.uniform_u64(100) < duplication_percent_) {
     Time d2 = delays_->delay(from, to, bytes.size(), net_rng_);
     ++stats_.messages_duplicated;
     if (trace_ != nullptr) {
-      trace_->record(net_event(now_, from, obs::EventKind::kMsgDup, to, bytes.size()));
+      auto ev = net_event(now_, from, obs::EventKind::kMsgDup, to, bytes.size());
+      ev.span = ++next_span_;
+      ev.parent = send_span;
+      trace_->record(ev);
     }
-    deliver_copy(from, to, bytes, d2);
+    deliver_copy(from, to, bytes, d2, send_span);
   }
-  deliver_copy(from, to, std::move(bytes), d);
+  deliver_copy(from, to, std::move(bytes), d, send_span);
 }
 
 // Each copy (original or duplicate) meets the fault plan independently — a
 // duplicated message can lose one copy and corrupt the other.
 void Simulator::deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> bytes,
-                             Time delay) {
+                             Time delay, std::uint64_t send_span) {
   if (faults_.active()) {
     switch (faults_.apply(from, to, now_, bytes, fault_rng_)) {
       case FaultInjector::Fate::kDrop:
         ++stats_.messages_dropped;
         if (trace_ != nullptr) {
-          trace_->record(net_event(now_, from, obs::EventKind::kMsgDrop, to, bytes.size()));
+          auto ev = net_event(now_, from, obs::EventKind::kMsgDrop, to, bytes.size());
+          ev.span = ++next_span_;
+          ev.parent = send_span;
+          trace_->record(ev);
         }
         return;
       case FaultInjector::Fate::kCorrupt:
         ++stats_.messages_corrupted;
         if (trace_ != nullptr) {
-          trace_->record(net_event(now_, from, obs::EventKind::kMsgCorrupt, to, bytes.size()));
+          auto ev = net_event(now_, from, obs::EventKind::kMsgCorrupt, to, bytes.size());
+          ev.span = ++next_span_;
+          ev.parent = send_span;
+          trace_->record(ev);
         }
         break;
       case FaultInjector::Fate::kDeliver:
         break;
     }
   }
-  enqueue({now_ + delay, seq_++, Event::Kind::kMessage, to, from, std::move(bytes), 0});
+  enqueue({now_ + delay, seq_++, Event::Kind::kMessage, to, from, std::move(bytes), 0,
+           /*prio=*/1, /*incarnation=*/0, send_span});
 }
 
 void Simulator::timer_from(NodeId node, Time delay, std::uint64_t token) {
+  // The timer captures the arming handler's current span; at fire time it
+  // is restored as the handler's ambient span (no new span is minted, so an
+  // unfired timer never leaves an orphan parent in the trace).
   enqueue({now_ + delay, seq_++, Event::Kind::kTimer, node, 0, {}, token, /*prio=*/1,
-           nodes_.at(node).incarnation});
+           nodes_.at(node).incarnation, current_span_});
 }
 
 NetStats Simulator::run(std::uint64_t max_events) {
@@ -133,7 +159,9 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
         slot.durable = slot.node->snapshot();
         ++slot.incarnation;  // timers set before the crash never fire
         if (trace_ != nullptr) {
-          trace_->record(net_event(now_, e.target, obs::EventKind::kCrash, 0, 0));
+          auto ev = net_event(now_, e.target, obs::EventKind::kCrash, 0, 0);
+          ev.span = ++next_span_;
+          trace_->record(ev);
         }
       }
       continue;
@@ -141,12 +169,18 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
     if (e.kind == Event::Kind::kRestart) {
       if (crashed_.erase(e.target) != 0) {
         Slot& slot = nodes_.at(e.target);
+        std::uint64_t restart_span = 0;
         if (trace_ != nullptr) {
-          trace_->record(net_event(now_, e.target, obs::EventKind::kRestart, 0, 0));
+          restart_span = ++next_span_;
+          auto ev = net_event(now_, e.target, obs::EventKind::kRestart, 0, 0);
+          ev.span = restart_span;
+          trace_->record(ev);
         }
         slot.node->restore(slot.durable);
         SimContext ctx(*this, e.target);
+        current_span_ = restart_span;  // recovery work descends from kRestart
         slot.node->on_start(ctx);
+        current_span_ = 0;
         if (pred()) return true;
       }
       continue;
@@ -158,23 +192,35 @@ bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_e
     switch (e.kind) {
       case Event::Kind::kStart:
         slot.started = true;
+        current_span_ = 0;  // a root: nothing caused the initial start
         slot.node->on_start(ctx);
         break;
-      case Event::Kind::kMessage:
+      case Event::Kind::kMessage: {
         ++stats_.messages_delivered;
+        std::uint64_t recv_span = 0;
         if (trace_ != nullptr) {
-          trace_->record(
-              net_event(now_, e.target, obs::EventKind::kMsgRecv, e.from, e.bytes.size()));
+          recv_span = ++next_span_;
+          auto ev =
+              net_event(now_, e.target, obs::EventKind::kMsgRecv, e.from, e.bytes.size());
+          ev.span = recv_span;
+          ev.parent = e.span;  // the matching kMsgSend
+          trace_->record(ev);
         }
+        current_span_ = recv_span;
         slot.node->on_message(ctx, e.from, e.bytes);
         break;
+      }
       case Event::Kind::kTimer:
-        if (e.incarnation == slot.incarnation) slot.node->on_timer(ctx, e.token);
+        if (e.incarnation == slot.incarnation) {
+          current_span_ = e.span;  // restore the arming handler's span
+          slot.node->on_timer(ctx, e.token);
+        }
         break;
       case Event::Kind::kCrash:
       case Event::Kind::kRestart:
         break;  // handled above
     }
+    current_span_ = 0;
     if (pred()) return true;
   }
   return pred();

@@ -47,6 +47,19 @@ class Context {
   [[nodiscard]] virtual NodeId self() const = 0;
   // Per-node deterministic randomness (forked from the transport seed).
   [[nodiscard]] virtual mpz::Prng& rng() = 0;
+
+  // Causal span context (PR 9). The transport mints run-unique span ids and
+  // tracks the *current* span — the span of the trace event that caused the
+  // code currently executing (the kMsgRecv span inside on_message, the
+  // arming handler's span inside on_timer, the last event emitted by this
+  // handler otherwise). Sends capture the current span as the message's
+  // causal parent; protocol-level emitters chain through set_current_span.
+  // The defaults are inert (id 0 = "absent"), so transports without tracing
+  // and test doubles keep the v1 zero-overhead behavior unchanged.
+  [[nodiscard]] virtual std::uint64_t current_span() const { return 0; }
+  virtual void set_current_span(std::uint64_t span) { (void)span; }
+  // Returns a fresh run-unique nonzero span id (0 when tracing is off).
+  [[nodiscard]] virtual std::uint64_t mint_span() { return 0; }
 };
 
 // Context implementation bound to the discrete-event Simulator.
@@ -59,6 +72,9 @@ class SimContext final : public Context {
   [[nodiscard]] Time now() const override;
   [[nodiscard]] NodeId self() const override { return self_; }
   [[nodiscard]] mpz::Prng& rng() override;
+  [[nodiscard]] std::uint64_t current_span() const override;
+  void set_current_span(std::uint64_t span) override;
+  [[nodiscard]] std::uint64_t mint_span() override;
 
  private:
   Simulator& sim_;
@@ -204,6 +220,12 @@ class Simulator {
     // Timer events fire only if the target's incarnation still matches (a
     // crash invalidates all timers set before it).
     std::uint64_t incarnation = 0;
+    // Causal span carried by the event: for kMessage the span minted at
+    // send time (becomes the kMsgRecv event's parent); for kTimer the
+    // current span captured when the timer was armed (restored as the
+    // handler's current span at fire time — timers do not mint, so an
+    // unfired timer never creates an orphan parent).
+    std::uint64_t span = 0;
 
     bool operator>(const Event& other) const {
       if (at != other.at) return at > other.at;
@@ -222,7 +244,8 @@ class Simulator {
 
   void enqueue(Event e);
   void send_from(NodeId from, NodeId to, std::vector<std::uint8_t> bytes);
-  void deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> bytes, Time delay);
+  void deliver_copy(NodeId from, NodeId to, std::vector<std::uint8_t> bytes, Time delay,
+                    std::uint64_t send_span);
   void timer_from(NodeId node, Time delay, std::uint64_t token);
 
   std::vector<Slot> nodes_;
@@ -237,6 +260,10 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   unsigned duplication_percent_ = 0;
+  // Span bookkeeping (PR 9). Single-threaded dispatch, so one ambient
+  // current-span suffices; 0 whenever tracing is off or no handler runs.
+  std::uint64_t next_span_ = 0;
+  std::uint64_t current_span_ = 0;
 };
 
 }  // namespace dblind::net

@@ -12,7 +12,7 @@ class ThreadedBus::BusContext final : public Context {
   BusContext(ThreadedBus& bus, Slot& slot) : bus_(bus), slot_(slot) {}
 
   void send(NodeId to, std::vector<std::uint8_t> bytes) override {
-    bus_.post_message(to, slot_.id, std::move(bytes));
+    bus_.post_message(to, slot_.id, std::move(bytes), slot_.current_span);
   }
 
   void set_timer(Time delay, std::uint64_t token) override {
@@ -20,7 +20,8 @@ class ThreadedBus::BusContext final : public Context {
     // held — safe to lock.
     MutexLock lock(slot_.mu);
     slot_.timers.push_back(
-        {std::chrono::steady_clock::now() + std::chrono::microseconds(delay), token});
+        {std::chrono::steady_clock::now() + std::chrono::microseconds(delay), token,
+         slot_.current_span});
     slot_.cv.notify_all();
   }
 
@@ -33,6 +34,12 @@ class ThreadedBus::BusContext final : public Context {
   [[nodiscard]] NodeId self() const override { return slot_.id; }
 
   [[nodiscard]] mpz::Prng& rng() override { return *slot_.rng; }
+
+  [[nodiscard]] std::uint64_t current_span() const override { return slot_.current_span; }
+
+  void set_current_span(std::uint64_t span) override { slot_.current_span = span; }
+
+  [[nodiscard]] std::uint64_t mint_span() override { return bus_.mint_span(); }
 
  private:
   ThreadedBus& bus_;
@@ -84,12 +91,14 @@ NetStats ThreadedBus::stats() const {
   return stats_;
 }
 
-void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes) {
+void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes,
+                               std::uint64_t parent_span) {
   if (to >= slots_.size()) return;  // unknown destination: drop (async model)
   auto now = static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
                                    std::chrono::steady_clock::now() - epoch_)
                                    .count());
-  auto trace_net = [&](obs::EventKind kind, NodeId node, NodeId peer) {
+  auto trace_net = [&](obs::EventKind kind, NodeId node, NodeId peer, std::uint64_t span,
+                       std::uint64_t parent) {
     if (trace_ == nullptr) return;
     obs::TraceEvent ev;
     ev.ts = now;
@@ -97,22 +106,25 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
     ev.kind = kind;
     ev.peer = peer;
     ev.count = bytes.size();
+    ev.span = span;
+    ev.parent = parent;
     trace_->record(ev);
   };
+  const std::uint64_t send_span = mint_span();
   {
     MutexLock lock(fault_mu_);
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes.size();
-    trace_net(obs::EventKind::kMsgSend, from, to);
+    trace_net(obs::EventKind::kMsgSend, from, to, send_span, parent_span);
     if (faults_.active()) {
       switch (faults_.apply(from, to, now, bytes, fault_rng_)) {
         case FaultInjector::Fate::kDrop:
           ++stats_.messages_dropped;
-          trace_net(obs::EventKind::kMsgDrop, from, to);
+          trace_net(obs::EventKind::kMsgDrop, from, to, mint_span(), send_span);
           return;
         case FaultInjector::Fate::kCorrupt:
           ++stats_.messages_corrupted;
-          trace_net(obs::EventKind::kMsgCorrupt, from, to);
+          trace_net(obs::EventKind::kMsgCorrupt, from, to, mint_span(), send_span);
           break;
         case FaultInjector::Fate::kDeliver:
           break;
@@ -120,11 +132,14 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
     }
   }
   const std::size_t delivered_bytes = bytes.size();
+  // The kMsgRecv span is minted here (post time) and carried in the inbox
+  // entry so the receiving slot's handler inherits it as its ambient span.
+  const std::uint64_t recv_span = mint_span();
   Slot& slot = *slots_[to];
   {
     MutexLock lock(slot.mu);
     if (slot.stopping) return;
-    slot.inbox.push_back({from, std::move(bytes)});
+    slot.inbox.push_back({from, std::move(bytes), recv_span});
     slot.cv.notify_all();
   }
   if (trace_ != nullptr) {
@@ -134,6 +149,8 @@ void ThreadedBus::post_message(NodeId to, NodeId from, std::vector<std::uint8_t>
     ev.kind = obs::EventKind::kMsgRecv;
     ev.peer = from;
     ev.count = delivered_bytes;
+    ev.span = recv_span;
+    ev.parent = send_span;
     trace_->record(ev);
   }
   MutexLock lock(fault_mu_);
@@ -149,7 +166,7 @@ void ThreadedBus::deliver_loop(Slot& slot) {
   }
   for (;;) {
     std::vector<Slot::Incoming> batch;
-    std::vector<std::uint64_t> due_tokens;
+    std::vector<TimerEntry> due_timers;
     {
       MutexLock lock(slot.mu);
       while (!slot.stopping && slot.inbox.empty()) {
@@ -166,11 +183,19 @@ void ThreadedBus::deliver_loop(Slot& slot) {
       auto now = std::chrono::steady_clock::now();
       auto split = std::partition(slot.timers.begin(), slot.timers.end(),
                                   [&](const TimerEntry& t) { return t.due > now; });
-      for (auto it = split; it != slot.timers.end(); ++it) due_tokens.push_back(it->token);
+      for (auto it = split; it != slot.timers.end(); ++it) due_timers.push_back(*it);
       slot.timers.erase(split, slot.timers.end());
     }
-    for (std::uint64_t token : due_tokens) slot.node->on_timer(ctx, token);
-    for (Slot::Incoming& msg : batch) slot.node->on_message(ctx, msg.from, msg.bytes);
+    for (const TimerEntry& t : due_timers) {
+      slot.current_span = t.span;  // restore the arming handler's span
+      slot.node->on_timer(ctx, t.token);
+      slot.current_span = 0;
+    }
+    for (Slot::Incoming& msg : batch) {
+      slot.current_span = msg.span;  // the kMsgRecv span minted at post time
+      slot.node->on_message(ctx, msg.from, msg.bytes);
+      slot.current_span = 0;
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 // thread, so Node implementations need no internal locking.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -69,12 +70,21 @@ class ThreadedBus {
   class BusContext;
 
   void deliver_loop(Slot& slot);
-  void post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes)
-      EXCLUDES(fault_mu_);
+  void post_message(NodeId to, NodeId from, std::vector<std::uint8_t> bytes,
+                    std::uint64_t parent_span) EXCLUDES(fault_mu_);
+  // Fresh run-unique nonzero span id; 0 when tracing is off (trace_ is set
+  // before start() and const afterwards, so this read is race-free).
+  [[nodiscard]] std::uint64_t mint_span() {
+    return trace_ == nullptr ? 0
+                             : next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   struct TimerEntry {
     std::chrono::steady_clock::time_point due;
     std::uint64_t token;
+    // Current span captured at arm time; restored as the firing handler's
+    // ambient span (timers never mint — see net::Context).
+    std::uint64_t span = 0;
   };
 
   struct Slot {
@@ -83,11 +93,17 @@ class ThreadedBus {
     std::unique_ptr<mpz::Prng> rng;
     std::thread thread;
 
+    // Ambient causal span of the handler currently executing on this slot's
+    // thread. Written and read only from that thread (deliver_loop and the
+    // BusContext it passes to handlers), so it needs no lock.
+    std::uint64_t current_span = 0;
+
     Mutex mu;
     CondVar cv;
     struct Incoming {
       NodeId from;
       std::vector<std::uint8_t> bytes;
+      std::uint64_t span = 0;  // the kMsgRecv span, minted at post time
     };
     std::vector<Incoming> inbox GUARDED_BY(mu);
     std::vector<TimerEntry> timers GUARDED_BY(mu);
@@ -117,6 +133,8 @@ class ThreadedBus {
   mpz::Prng fault_rng_ GUARDED_BY(fault_mu_);
   NetStats stats_ GUARDED_BY(fault_mu_);
   obs::TraceRecorder* trace_ = nullptr;  // set before start(); recorders are thread-safe
+  // Span ids are minted bus-wide so they are run-unique across slots.
+  std::atomic<std::uint64_t> next_span_{0};
 };
 
 }  // namespace dblind::net

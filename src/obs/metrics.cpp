@@ -50,6 +50,31 @@ std::string label_text(const LabelSet& labels) {
   return out;
 }
 
+void MetricsRegistry::set_max_series_per_family(std::size_t cap) {
+  MutexLock lock(mu_);
+  max_series_per_family_ = cap;
+}
+
+bool MetricsRegistry::admit_series(const std::string& name) {
+  std::size_t& n = family_sizes_[name];
+  if (max_series_per_family_ == 0 || n < max_series_per_family_) {
+    ++n;
+    return true;
+  }
+  dropped_labels_.fetch_add(1, std::memory_order_relaxed);
+  if (!drop_series_registered_) {
+    // Self-register the drop counter (as an attached read-only series, so
+    // writable handles for its name degrade to the discard cell) the first
+    // time a label set is refused — every later scrape shows the loss.
+    drop_series_registered_ = true;
+    ScalarSeries s;
+    s.cell = &dropped_labels_;
+    scalars_.emplace(SeriesKey{kDroppedLabelsMetric, ""}, std::move(s));
+    ++family_sizes_[kDroppedLabelsMetric];
+  }
+  return false;
+}
+
 std::atomic<std::uint64_t>* MetricsRegistry::scalar_cell(
     const std::string& name, const LabelSet& labels, bool is_gauge) {
   LabelSet sorted = labels;
@@ -58,6 +83,7 @@ std::atomic<std::uint64_t>* MetricsRegistry::scalar_cell(
   MutexLock lock(mu_);
   auto it = scalars_.find(key);
   if (it == scalars_.end()) {
+    if (!admit_series(name)) return &detail::discard_cell();
     ScalarSeries s;
     s.labels = std::move(sorted);
     s.owned = std::make_unique<std::atomic<std::uint64_t>>(0);
@@ -89,6 +115,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
   MutexLock lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
+    if (!admit_series(name)) return Histogram(&detail::discard_histogram());
     HistogramSeries h;
     h.labels = std::move(sorted);
     h.cell = std::make_unique<detail::HistogramCell>(std::move(bounds));
@@ -110,6 +137,7 @@ void MetricsRegistry::attach_counter(const std::string& name,
     it->second.cell = cell;
     return;
   }
+  if (!admit_series(name)) return;  // past the cap: counted, not exposed
   ScalarSeries s;
   s.labels = std::move(sorted);
   s.cell = cell;

@@ -128,6 +128,23 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // --- label-cardinality guard ----------------------------------------------
+  // Upper bound on DISTINCT label sets per metric family (family = metric
+  // name). A buggy or adversarial label source (say, a transfer id leaking
+  // into a label) would otherwise grow the registry — and every scrape —
+  // without bound. Registration past the cap hands back a discard handle and
+  // increments `dblind_metrics_dropped_labels_total`, which self-registers on
+  // first drop so the loss is visible in every exposition. The default is
+  // far above the per-node×per-type fan-out the protocol registers.
+  static constexpr std::size_t kDefaultMaxSeriesPerFamily = 1024;
+  inline static const std::string kDroppedLabelsMetric =
+      "dblind_metrics_dropped_labels_total";
+  // 0 = unlimited. Takes effect for future registrations only.
+  void set_max_series_per_family(std::size_t cap) EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t dropped_labels() const {
+    return dropped_labels_.load(std::memory_order_relaxed);
+  }
+
   Counter counter(const std::string& name, const LabelSet& labels = {}) EXCLUDES(mu_);
   Gauge gauge(const std::string& name, const LabelSet& labels = {}) EXCLUDES(mu_);
   Histogram histogram(const std::string& name, const LabelSet& labels,
@@ -180,6 +197,9 @@ class MetricsRegistry {
   std::atomic<std::uint64_t>* scalar_cell(const std::string& name,
                                           const LabelSet& labels,
                                           bool is_gauge) EXCLUDES(mu_);
+  // Charges one new series to `name`'s family; false (and a drop count) past
+  // the cap. The drop counter itself registers outside the cap.
+  bool admit_series(const std::string& name) REQUIRES(mu_);
 
   // mu_ guards series *registration* (the maps). The cells themselves are
   // atomics updated lock-free through handles — see docs/STATIC_ANALYSIS.md
@@ -187,6 +207,13 @@ class MetricsRegistry {
   mutable Mutex mu_;
   std::map<SeriesKey, ScalarSeries> scalars_ GUARDED_BY(mu_);
   std::map<SeriesKey, HistogramSeries> histograms_ GUARDED_BY(mu_);
+  // Cardinality guard state. dropped_labels_ is atomic (exposed as an
+  // attached series, read lock-free by scrapes); the bookkeeping maps live
+  // under mu_ with the registration path they protect.
+  std::size_t max_series_per_family_ GUARDED_BY(mu_) = kDefaultMaxSeriesPerFamily;
+  std::map<std::string, std::size_t> family_sizes_ GUARDED_BY(mu_);
+  bool drop_series_registered_ GUARDED_BY(mu_) = false;
+  std::atomic<std::uint64_t> dropped_labels_{0};
 };
 
 // Canonical `{k="v",...}` rendering of a label set (empty string for no

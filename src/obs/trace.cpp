@@ -35,6 +35,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kEngineDefer: return "engine_defer";
     case EventKind::kBatchDrain: return "batch_drain";
     case EventKind::kContributeCited: return "contribute_cited";
+    case EventKind::kStall: return "stall";
+    case EventKind::kStallResolved: return "stall_resolved";
   }
   return "unknown";
 }
@@ -58,6 +60,10 @@ std::string to_jsonl(const TraceEvent& e) {
   out += ",\"kind\":\"";
   out += kind_name(e.kind);
   out += "\"";
+  // Span linkage: serialized only when present so span-less events (tracing
+  // off, unit-test fixtures) render byte-identically to the v1 schema.
+  if (e.span != 0) field(out, "span", e.span);
+  if (e.parent != 0) field(out, "parent", e.parent);
   if (e.has_instance) {
     field(out, "transfer", e.transfer);
     field(out, "coord", e.coordinator);
@@ -132,6 +138,14 @@ std::string to_jsonl(const TraceEvent& e) {
       field(out, "from", e.peer);
       field(out, "cited_transfer", e.count);
       break;
+    case EventKind::kStall:
+      field(out, "queue", e.count);
+      field(out, "verifies", e.peer);
+      field(out, "resends", e.attempt);
+      break;
+    case EventKind::kStallResolved:
+      field(out, "stalled_us", e.count);
+      break;
     default:
       break;
   }
@@ -141,6 +155,7 @@ std::string to_jsonl(const TraceEvent& e) {
 
 std::string to_jsonl(const RunMeta& m) {
   std::string out = "{\"kind\":\"meta\"";
+  field(out, "v", m.version);
   field(out, "run_seed", m.run_seed);
   field(out, "a_n", m.a_n);
   field(out, "a_f", m.a_f);

@@ -66,6 +66,13 @@ enum class EventKind : std::uint8_t {
   kContributeCited, // done-path evidence cites a contribution
                     // (instance = citing transfer, peer = contributor rank,
                     // count = the cited contribution's transfer id — I8/T8)
+  // Stall watchdog (PR 9). Both carry a one-shot public state dump.
+  kStall,           // per-transfer deadline expired (count = engine queue
+                    // depth, peer = pending verifies, attempt = outstanding
+                    // resend timers; parent = the transfer's last span, so
+                    // walking parents recovers the stalled span stack)
+  kStallResolved,   // a previously-stalled transfer made progress
+                    // (count = stalled duration in µs)
 };
 
 // Stable wire name for a kind ("msg_send", "epoch_start", ...).
@@ -78,6 +85,16 @@ struct TraceEvent {
   std::uint64_t ts = 0;    // microseconds (virtual under the Simulator)
   std::uint64_t node = 0;  // emitting node id
   EventKind kind = EventKind::kMsgSend;
+
+  // Causal span linkage (PR 9). Every recorded event is itself a span:
+  // `span` is a run-unique id minted by the transport at record time and
+  // `parent` is the span of the event that caused it (the sending side's
+  // span for kMsgRecv, the ambient handler span for everything else).
+  // 0 means "absent" — tracing off, or a root event — and absent fields
+  // are not serialized, so pre-span traces and unit-test events render
+  // byte-identically to the v1 schema.
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
 
   bool has_instance = false;   // transfer/coordinator/epoch are meaningful
   std::uint64_t transfer = 0;  // also set alone (no instance) for retransmits
@@ -94,6 +111,12 @@ struct TraceEvent {
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
+// Trace schema version, serialized in the meta header as "v". Bumped to 2
+// when events gained span/parent causal linkage; the offline tools
+// (trace_check.py / trace_critpath.py) reject traces whose meta declares an
+// older (or missing) version.
+inline constexpr std::uint32_t kTraceSchemaVersion = 2;
+
 // Run header, emitted once before any event so offline checkers know the
 // fault-tolerance thresholds without out-of-band configuration.
 struct RunMeta {
@@ -103,6 +126,9 @@ struct RunMeta {
   std::uint32_t b_n = 0;
   std::uint32_t b_f = 0;
   std::uint32_t retransmit_cap = 0;
+  // Declared last so existing positional aggregate initializers keep their
+  // meaning; defaults to the current schema version.
+  std::uint32_t version = kTraceSchemaVersion;
 
   friend bool operator==(const RunMeta&, const RunMeta&) = default;
 };

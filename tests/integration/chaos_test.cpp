@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -197,9 +198,18 @@ constexpr int kMixCount = static_cast<int>(std::size(kMixes));
 //      it emits still moves forward from the previous one it emitted alive);
 //   T8 (invariant I8) transfer isolation: every contribute_cited event backing
 //      a done-recorded instance cites that instance's OWN transfer id — with
-//      many transfers in flight, evidence never leaks across transfers.
+//      many transfers in flight, evidence never leaks across transfers;
+//   T9 (PR 9) spans form a causal forest: span ids are unique and every
+//      nonzero parent names a span recorded EARLIER in the stream (spans are
+//      minted at record time, so causes precede effects — across nodes,
+//      through message hops, timers and crash/restart cycles);
+//   T10 (PR 9, gated on `expect_stalls_resolved`) every stall the watchdog
+//      reports is eventually resolved on the same (node, transfer): by a
+//      kStallResolved, by the transfer's kDoneRecorded, or — because the
+//      watchdog is volatile — mooted by the node crash-restarting or
+//      retiring (rank 0 after an install).
 void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* mix_name,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, bool expect_stalls_resolved) {
   const obs::RunMeta meta = trace.meta();
   ASSERT_GT(meta.b_f, 0u) << "run_meta not recorded";
   using Instance = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
@@ -211,10 +221,30 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
   std::map<Instance, std::set<std::uint32_t>> contribute_cfg_epochs;
   std::map<std::uint64_t, std::uint32_t> installed_epoch;
   std::map<Instance, std::set<std::uint64_t>> foreign_cites;
+  std::set<std::uint64_t> spans_seen;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> open_stalls;  // (node, transfer)
   const std::string at = std::string(mix_name) + " seed=" + std::to_string(seed);
   for (const obs::TraceEvent& e : trace.events()) {
     const Instance id{e.transfer, e.coordinator, e.epoch};
+    // T9: unique span ids; parents only ever reference already-seen spans.
+    // (kStall's parent is the stalled transfer's LATEST span, which by
+    // construction was recorded before the sweep noticed the silence.)
+    if (e.parent != 0) {
+      EXPECT_TRUE(spans_seen.contains(e.parent))
+          << "T9 " << at << ": orphan parent " << e.parent << " on kind "
+          << obs::kind_name(e.kind) << " at node " << e.node;
+    }
+    if (e.span != 0) {
+      EXPECT_TRUE(spans_seen.insert(e.span).second)
+          << "T9 " << at << ": duplicate span " << e.span;
+    }
     switch (e.kind) {
+      case obs::EventKind::kStall:
+        open_stalls.insert({e.node, e.transfer});
+        break;
+      case obs::EventKind::kStallResolved:
+        open_stalls.erase({e.node, e.transfer});
+        break;
       case obs::EventKind::kVerifyPass:
         if (e.has_instance && e.subject == static_cast<std::uint32_t>(MsgType::kContribute)) {
           contribute_ok[id].insert(e.peer);
@@ -228,6 +258,7 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         EXPECT_GE((commits[{e.node, id}].size()), 2 * meta.b_f + 1) << "T2 " << at;
         break;
       case obs::EventKind::kDoneRecorded:
+        open_stalls.erase({e.node, e.transfer});  // T10: done resolves a stall
         EXPECT_GE(contribute_ok[id].size(), meta.b_f + 1) << "T1 " << at;
         // T6/I6: all contribute evidence for this instance came from exactly
         // one config epoch. (The recording node's own epoch may lag — done
@@ -242,6 +273,12 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         if (e.count != e.transfer) foreign_cites[id].insert(e.count);
         break;
       case obs::EventKind::kEpochInstall: {
+        // T10: an install that RETIRES the node (new rank 0, carried in the
+        // event's rank field) releases it from every deadline — done
+        // messages stop reaching it by design.
+        if (e.peer == 0) {
+          std::erase_if(open_stalls, [&](const auto& s) { return s.first == e.node; });
+        }
         auto [it, fresh] = installed_epoch.try_emplace(e.node, e.cfg_epoch);
         if (!fresh) {
           EXPECT_GT(e.cfg_epoch, it->second) << "T7 " << at;
@@ -253,6 +290,9 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         // A restored node restarts at the seed epoch and legitimately
         // re-installs the chain — reset its monotonicity baseline.
         installed_epoch.erase(e.node);
+        // T10: the watchdog is volatile; a stall episode interrupted by a
+        // crash ends with the crash (completion shows up as kDoneRecorded).
+        std::erase_if(open_stalls, [&](const auto& s) { return s.first == e.node; });
         break;
       case obs::EventKind::kEpochStart: {
         auto [it, fresh] = last_epoch.try_emplace({e.node, e.transfer}, e.epoch);
@@ -280,6 +320,13 @@ void check_trace_invariants(const obs::MemoryTraceRecorder& trace, const char* m
         break;
     }
   }
+  // T10: on liveness-bound runs the trace ends with zero unresolved stalls.
+  if (expect_stalls_resolved) {
+    for (const auto& [node, transfer] : open_stalls) {
+      ADD_FAILURE() << "T10 " << at << ": node " << node << " transfer " << transfer
+                    << " stalled and never resolved";
+    }
+  }
 }
 
 // One full protocol run under `mix` with `seed`; asserts S1–S3 always and
@@ -293,6 +340,10 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
   o.b_standby = mix.churn == Mix::Churn::kJoin ? 1 : 0;
   o.protocol.trace = &trace;
   o.protocol.retransmit = retransmit;
+  // Stall watchdog (PR 9): shorter than the partition_b_backup window
+  // (100ms–500ms), so an isolated backup reliably trips a stall that then
+  // resolves after the heal — and long enough that healthy runs stay quiet.
+  o.protocol.watchdog_deadline = 300'000;
   o.protocol.batch_verify = mix.batch_verify;
   o.protocol.verify_workers = mix.verify_workers;
   o.protocol.contribution_pool = mix.contribution_pool;
@@ -400,10 +451,33 @@ bool run_chaos(const Mix& mix, std::uint64_t seed, bool retransmit = true) {
     EXPECT_GT(trace.count_of(obs::EventKind::kMsgDrop), 0u) << mix.name << " seed=" << seed;
   }
 
-  // T1–T4: the run's trace satisfies the Fig. 4 causality invariants under
-  // every fault mix (the C++ mirror of tools/trace_check.py).
+  // T1–T10: the run's trace satisfies the Fig. 4 causality invariants under
+  // every fault mix (the C++ mirror of tools/trace_check.py). Stall
+  // resolution (T10) is only owed when the protocol owes liveness: the
+  // fire-once deadlock regression intentionally stalls forever.
   EXPECT_GT(trace.events().size(), 0u) << mix.name << " seed=" << seed;
-  check_trace_invariants(trace, mix.name, seed);
+  check_trace_invariants(trace, mix.name, seed, mix.liveness_expected && retransmit);
+
+  // The watchdog actually barked: isolating a B backup past the deadline
+  // must produce at least one stall, and the heal must resolve it.
+  if (mix.partition_b_backup && mix.liveness_expected && retransmit) {
+    EXPECT_GT(trace.count_of(obs::EventKind::kStall), 0u) << mix.name << " seed=" << seed;
+    EXPECT_GT(trace.count_of(obs::EventKind::kStallResolved), 0u)
+        << mix.name << " seed=" << seed;
+  }
+
+  // CI artifact hook (tools/ci.sh): export the full JSONL trace of this run
+  // when DBLIND_CHAOS_TRACE_DIR is set, for offline span/critical-path
+  // analysis of a failing (mix, seed).
+  if (const char* dir = std::getenv("DBLIND_CHAOS_TRACE_DIR"); dir != nullptr) {
+    std::string path = std::string(dir) + "/" + mix.name + "_seed" +
+                       std::to_string(seed) + (retransmit ? "" : "_noretx") + ".jsonl";
+    std::ofstream out(path);
+    if (out) {
+      out << obs::to_jsonl(trace.meta()) << "\n";
+      for (const obs::TraceEvent& e : trace.events()) out << obs::to_jsonl(e) << "\n";
+    }
+  }
 
   if (mix.liveness_expected && retransmit) {
     EXPECT_TRUE(completed) << mix.name << " seed=" << seed;

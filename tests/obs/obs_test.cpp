@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace dblind::obs {
 namespace {
@@ -204,10 +206,64 @@ TEST(Trace, JsonlFieldOrderPerKind) {
                          "\"transfer\":1,\"key\":3,\"frames\":4,"
                          "\"attempt\":1,\"cap\":12}");
 
+  // Schema v2 (PR 9): the meta header leads with the version so offline
+  // tools can reject mismatched traces before reading a single event.
   RunMeta m{42, 4, 1, 4, 1, 12};
-  EXPECT_EQ(to_jsonl(m), "{\"kind\":\"meta\",\"run_seed\":42,\"a_n\":4,"
+  EXPECT_EQ(to_jsonl(m), "{\"kind\":\"meta\",\"v\":2,\"run_seed\":42,\"a_n\":4,"
                          "\"a_f\":1,\"b_n\":4,\"b_f\":1,"
                          "\"retransmit_cap\":12}");
+  EXPECT_EQ(m.version, kTraceSchemaVersion);
+}
+
+// Schema v2 span fields: serialized right after "kind", and ONLY when
+// nonzero — unit-style events built without a transport keep their exact v1
+// rendering (the pinned strings above), while transport-minted events carry
+// the causal link.
+TEST(Trace, SpanAndParentSerializeOnlyWhenNonzero) {
+  TraceEvent e;
+  e.ts = 120;
+  e.node = 5;
+  e.kind = EventKind::kMsgSend;
+  e.peer = 2;
+  e.count = 96;
+  e.span = 17;
+  e.parent = 9;
+  EXPECT_EQ(to_jsonl(e), "{\"ts\":120,\"node\":5,\"kind\":\"msg_send\","
+                         "\"span\":17,\"parent\":9,\"peer\":2,\"bytes\":96}");
+  e.parent = 0;  // root span: parent omitted
+  EXPECT_EQ(to_jsonl(e), "{\"ts\":120,\"node\":5,\"kind\":\"msg_send\","
+                         "\"span\":17,\"peer\":2,\"bytes\":96}");
+}
+
+// Watchdog events: kStall carries the one-shot state dump (engine queue
+// depth, pending verifies, outstanding resends) plus the stalled transfer's
+// latest span as `parent`; kStallResolved carries the stalled duration.
+TEST(Trace, StallEventSerialization) {
+  TraceEvent s;
+  s.ts = 400000;
+  s.node = 6;
+  s.kind = EventKind::kStall;
+  s.transfer = 3;
+  s.count = 2;    // engine queue depth
+  s.peer = 1;     // pending verifies
+  s.attempt = 4;  // outstanding resend entries
+  s.span = 91;
+  s.parent = 88;  // the transfer's latest span
+  EXPECT_EQ(to_jsonl(s), "{\"ts\":400000,\"node\":6,\"kind\":\"stall\","
+                         "\"span\":91,\"parent\":88,\"transfer\":3,"
+                         "\"queue\":2,\"verifies\":1,\"resends\":4}");
+
+  TraceEvent r;
+  r.ts = 650000;
+  r.node = 6;
+  r.kind = EventKind::kStallResolved;
+  r.transfer = 3;
+  r.count = 250000;  // time spent stalled
+  r.span = 120;
+  r.parent = 119;
+  EXPECT_EQ(to_jsonl(r), "{\"ts\":650000,\"node\":6,\"kind\":\"stall_resolved\","
+                         "\"span\":120,\"parent\":119,\"transfer\":3,"
+                         "\"stalled_us\":250000}");
 }
 
 TEST(Trace, MemoryRecorderCountsAndMeta) {
@@ -357,6 +413,225 @@ TEST(Trace, ConcurrentRecordAndSnapshot) {
   for (auto& th : writers) th.join();
   reader.join();
   EXPECT_EQ(rec.events().size(), static_cast<std::size_t>(kThreads) * kEvents);
+}
+
+// --- stall watchdog (obs/watchdog.hpp) --------------------------------------
+
+TEST(Watchdog, DisabledWatchdogIsInert) {
+  Watchdog w(0);
+  EXPECT_FALSE(w.enabled());
+  w.arm(1, 0);
+  EXPECT_FALSE(w.progress(1, 10, 5).has_value());
+  EXPECT_TRUE(w.expired(1'000'000).empty());
+  EXPECT_FALSE(w.needs_sweep());
+}
+
+TEST(Watchdog, StallFlipsOncePerEpisodeAndResolvesOnProgress) {
+  Watchdog w(100);
+  w.arm(7, 0);
+  EXPECT_TRUE(w.needs_sweep());
+  EXPECT_TRUE(w.expired(99).empty());  // not idle long enough
+
+  auto stalls = w.expired(100);
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].transfer, 7u);
+  EXPECT_EQ(stalls[0].last_span, 0u);  // no activity recorded yet
+  EXPECT_EQ(w.stalled_count(), 1u);
+  // Second sweep: the same episode is never re-reported.
+  EXPECT_TRUE(w.expired(500).empty());
+  EXPECT_FALSE(w.needs_sweep());  // everything stalled: sweeps are pointless
+
+  // Progress resolves the stall and reports how long it lasted.
+  auto res = w.progress(7, 260, /*span=*/42);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->transfer, 7u);
+  EXPECT_EQ(res->stalled_us, 160u);
+  EXPECT_EQ(w.stalled_count(), 0u);
+
+  // A fresh episode can then start, carrying the latest span.
+  auto again = w.expired(360);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].last_span, 42u);
+}
+
+TEST(Watchdog, ProgressImplicitlyArmsAndKeepsLastNonzeroSpan) {
+  Watchdog w(100);
+  EXPECT_FALSE(w.progress(3, 10, 5).has_value());  // implicit arm, no stall
+  EXPECT_FALSE(w.progress(3, 20, 0).has_value());  // span 0 keeps span 5
+  auto stalls = w.expired(120);
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].last_span, 5u);
+}
+
+TEST(Watchdog, CompleteStopsTrackingAndResolvesAPendingStall) {
+  Watchdog w(100);
+  w.arm(1, 0);
+  w.arm(2, 0);
+  // Completing a never-stalled transfer reports nothing.
+  EXPECT_FALSE(w.complete(1, 50).has_value());
+  ASSERT_EQ(w.expired(100).size(), 1u);  // only transfer 2 remains
+  // Completing a stalled transfer resolves it (the crash-recovery path:
+  // a kDoneRecorded is the resolution when no kStallResolved was possible).
+  auto res = w.complete(2, 130);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->stalled_us, 30u);
+  EXPECT_FALSE(w.needs_sweep());
+  EXPECT_TRUE(w.expired(10'000).empty());
+}
+
+// --- label-cardinality guard ------------------------------------------------
+
+TEST(Metrics, CardinalityGuardDropsPastTheCapAndCountsDrops) {
+  MetricsRegistry reg;
+  reg.set_max_series_per_family(2);
+  Counter a = reg.counter("fam_total", {{"k", "a"}});
+  Counter b = reg.counter("fam_total", {{"k", "b"}});
+  // Third label set: refused — the handle discards, the drop is counted and
+  // the drop counter self-registers as a visible series.
+  Counter c = reg.counter("fam_total", {{"k", "c"}});
+  a.inc();
+  b.inc();
+  c.inc(100);
+  EXPECT_EQ(reg.dropped_labels(), 1u);
+  std::uint64_t fam_sum = 0;
+  bool saw_drop_series = false;
+  for (const auto& s : reg.scalar_samples()) {
+    if (s.name == "fam_total") fam_sum += s.value;
+    if (s.name == MetricsRegistry::kDroppedLabelsMetric) {
+      saw_drop_series = true;
+      EXPECT_EQ(s.value, 1u);
+    }
+  }
+  EXPECT_EQ(fam_sum, 2u);  // the refused series never lands in the family
+  EXPECT_TRUE(saw_drop_series);
+
+  // Re-registering a KNOWN label set is not a new series: never refused.
+  Counter a2 = reg.counter("fam_total", {{"k", "a"}});
+  a2.inc();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(reg.dropped_labels(), 1u);
+
+  // Other families have their own budget; histograms share the guard.
+  (void)reg.counter("other_total", {{"k", "x"}});
+  EXPECT_EQ(reg.dropped_labels(), 1u);
+  (void)reg.histogram("h_us", {{"k", "1"}}, {10});
+  (void)reg.histogram("h_us", {{"k", "2"}}, {10});
+  Histogram dropped = reg.histogram("h_us", {{"k", "3"}}, {10});
+  dropped.observe(5);  // discard histogram: no crash, not exposed
+  EXPECT_EQ(reg.dropped_labels(), 2u);
+  EXPECT_EQ(reg.histogram_samples().size(), 2u);
+}
+
+TEST(Metrics, CardinalityGuardDefaultAdmitsProtocolScaleFanout) {
+  MetricsRegistry reg;
+  // The per-node × per-message-type fan-out the servers register is well
+  // under the default cap; nothing may be dropped at protocol scale.
+  for (int node = 0; node < 16; ++node) {
+    for (int type = 0; type < 32; ++type) {
+      reg.counter("rx_total", {{"node", std::to_string(node)},
+                               {"type", std::to_string(type)}});
+    }
+  }
+  EXPECT_EQ(reg.dropped_labels(), 0u);
+}
+
+// --- exact exposition under concurrent observation (PR 9 satellite) ---------
+// Prometheus histogram exposition must be internally consistent even while
+// writers hammer the cell: cumulative buckets monotone, +Inf bucket == the
+// _count line of the SAME scrape, and _sum at least the value implied by
+// completed observations. Run under the tsan preset this is the data-race
+// proof for scrape-vs-observe; the structural checks below catch torn
+// exposition logic on any preset.
+TEST(Metrics, HistogramExpositionConsistentMidUpdate) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("mid_us", {}, {10, 100, 1000});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t v = static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.observe(v % 2000);
+        v += 7;
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    auto samples = reg.histogram_samples();
+    ASSERT_EQ(samples.size(), 1u);
+    const auto& s = samples[0];
+    // Cumulative form must be monotone; the raw per-bucket counts are
+    // non-negative so this reduces to checking the running sum fits count's
+    // eventual value. Mid-update, bucket increments may be ahead of or
+    // behind the count cell by in-flight observations — bound, don't pin.
+    std::uint64_t cumulative = 0;
+    for (std::uint64_t b : s.buckets) cumulative += b;
+    // Every completed observation put exactly one increment in exactly one
+    // bucket; in-flight ones may have bumped a bucket but not count yet
+    // (or vice versa: count is bumped last, so count <= sum(buckets) + 4).
+    EXPECT_LE(s.count, cumulative + writers.size());
+    EXPECT_LE(cumulative, s.count + writers.size());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+  // Quiescent: the invariants become exact, including in the text dump.
+  auto samples = reg.histogram_samples();
+  std::uint64_t cumulative = 0;
+  for (std::uint64_t b : samples[0].buckets) cumulative += b;
+  EXPECT_EQ(cumulative, samples[0].count);
+  std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("mid_us_bucket{le=\"+Inf\"} " +
+                      std::to_string(samples[0].count)),
+            std::string::npos);
+  EXPECT_NE(text.find("mid_us_count " + std::to_string(samples[0].count)),
+            std::string::npos);
+}
+
+// --- span DAG on a live run (PR 9 tentpole) ---------------------------------
+// Every traced protocol run must yield a causal forest: each nonzero parent
+// id names a span that was emitted earlier in the stream (spans are minted
+// at record time, so causes always precede effects).
+TEST(Trace, SpansFormACausalForest) {
+  std::ostringstream out;
+  JsonlTraceRecorder rec(out);
+  core::SystemOptions o;
+  o.a = {4, 1};
+  o.b = {4, 1};
+  o.seed = 1234;
+  o.protocol.trace = &rec;
+  core::System sys(std::move(o));
+  sys.add_transfer(sys.config().params.encode_message(mpz::Bigint(5)));
+  sys.add_transfer(sys.config().params.encode_message(mpz::Bigint(6)));
+  EXPECT_TRUE(sys.run_to_completion());
+
+  auto parse_u64 = [](const std::string& line, const std::string& key) {
+    std::uint64_t v = 0;
+    std::size_t pos = line.find("\"" + key + "\":");
+    if (pos == std::string::npos) return v;
+    pos += key.size() + 3;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(line[pos++] - '0');
+    }
+    return v;
+  };
+  std::istringstream lines(out.str());
+  std::string line;
+  std::set<std::uint64_t> seen;
+  std::size_t linked = 0;
+  while (std::getline(lines, line)) {
+    std::uint64_t parent = parse_u64(line, "parent");
+    if (parent != 0) {
+      ++linked;
+      EXPECT_TRUE(seen.contains(parent)) << "orphan parent in: " << line;
+    }
+    std::uint64_t span = parse_u64(line, "span");
+    if (span != 0) {
+      EXPECT_TRUE(seen.insert(span).second) << "duplicate span in: " << line;
+    }
+  }
+  EXPECT_GT(seen.size(), 0u);
+  EXPECT_GT(linked, 0u);  // the DAG is actually linked, not all roots
 }
 
 }  // namespace

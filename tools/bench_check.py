@@ -66,6 +66,16 @@ from bench_load's open-loop workload:
   13. load_equivalence: identical_results == 1 — the concurrent and
       sequential schedules produce byte-identical per-transfer ciphertexts.
 
+PR 9 gates (causal span tracing), written to BENCH_pr9.json together with
+a re-statement of the PR 4 obs-overhead result (the span upgrade must keep
+tracing-off runs byte-identical to plain runs):
+
+  14. critpath: bench_load --trace-out's span trace, fed through
+      tools/trace_critpath.py --budget 0.95, must attribute >= 95% of every
+      completed transfer's virtual-time latency to named budget categories
+      (network / queueing / verify / retransmit-backoff / crypto), with the
+      mont-mul crypto join present in the report.
+
 Wall-clock numbers from bench_primitives are recorded for context only.
 
 Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
@@ -128,13 +138,15 @@ def run_fig4(build_dir):
     return rows
 
 
-def run_load(build_dir):
-    """Open-loop load harness (PR 8); emits the load_* BENCHJSON sections."""
+def run_load(build_dir, trace_path):
+    """Open-loop load harness (PR 8); emits the load_* BENCHJSON sections
+    and dumps the capped run's span trace for the PR 9 critpath gate."""
     exe = os.path.join(build_dir, "bench", "bench_load")
     if not os.path.exists(exe):
         print(f"bench_check: missing {exe} (build the bench targets first)")
         sys.exit(2)
-    out = subprocess.run([exe], capture_output=True, text=True, timeout=1800)
+    out = subprocess.run([exe, "--trace-out", trace_path],
+                         capture_output=True, text=True, timeout=1800)
     rows = []
     for line in out.stdout.splitlines():
         if line.startswith(MARKER):
@@ -143,6 +155,38 @@ def run_load(build_dir):
         print("bench_check: bench_load produced no BENCHJSON rows")
         sys.exit(2)
     return rows
+
+
+def run_critpath(trace_path, failures):
+    """PR 9 budget gate: trace_critpath.py over the traced load run.
+
+    Returns the tool's --json summary (or None), appending to `failures`
+    when the trace is missing or the 0.95 attribution gate rejects it.
+    """
+    if not os.path.exists(trace_path):
+        failures.append("critpath: bench_load wrote no span trace")
+        return None
+    tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "trace_critpath.py")
+    out = subprocess.run(
+        [sys.executable, tool, trace_path, "--metrics", trace_path + ".prom",
+         "--budget", "0.95", "--json"],
+        capture_output=True, text=True, timeout=300)
+    try:
+        summary = json.loads(out.stdout.strip().splitlines()[-1])
+    except (json.JSONDecodeError, IndexError):
+        failures.append(f"critpath: no JSON summary from trace_critpath.py "
+                        f"({out.stderr.strip() or 'no stderr'})")
+        return None
+    if out.returncode != 0:
+        failures.append(
+            f"critpath: budget gate failed — worst transfer attributes "
+            f"{summary.get('attributed_min', 0):.1%} of its latency "
+            f"(>= 95% required): {out.stderr.strip()}")
+    if not summary.get("mont_muls"):
+        failures.append("critpath: mont-mul crypto join is empty — the "
+                        "metrics snapshot was missing or unparsable")
+    return summary
 
 
 def run_primitives(build_dir):
@@ -175,7 +219,8 @@ def main():
     args = ap.parse_args()
 
     rows = run_fig4(args.build_dir)
-    rows += run_load(args.build_dir)
+    trace_path = os.path.join(args.build_dir, "load_trace.jsonl")
+    rows += run_load(args.build_dir, trace_path)
     blind = [r for r in rows if r.get("section") == "blind-verify"]
     e2e = [r for r in rows if r.get("section") == "e2e"]
     obs = [r for r in rows if r.get("section") == "obs-overhead"]
@@ -311,6 +356,8 @@ def main():
                 "load_equivalence: concurrent and sequential schedules diverged — "
                 "the engine must change WHEN work runs, never WHAT it computes")
 
+    critpath = run_critpath(trace_path, failures)
+
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -383,6 +430,21 @@ def main():
         json.dump(load_report, fh, indent=2)
         fh.write("\n")
 
+    # PR 9: the span-trace critpath gate, plus the PR 4 obs-overhead result
+    # re-stated — the span upgrade must keep the zero-overhead property.
+    critpath_path = os.path.join(os.path.dirname(out_path), "BENCH_pr9.json")
+    critpath_report = {
+        "gate": "causal-span-tracing",
+        "pass": not any(f.startswith("critpath") or "obs-overhead" in f
+                        for f in failures),
+        "environment": environment,
+        "obs_overhead": obs,
+        "critpath": critpath,
+    }
+    with open(critpath_path, "w", encoding="utf-8") as fh:
+        json.dump(critpath_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
@@ -419,7 +481,13 @@ def main():
     for r in load_equivalence:
         print(f"load_equivalence: identical_results={r['identical_results']} "
               f"({r['transfers']} transfers)")
-    print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path} + {load_path}")
+    if critpath:
+        print(f"critpath: {critpath['transfers']} transfers, "
+              f"{critpath['attributed_overall']:.1%} latency attributed "
+              f"(worst {critpath['attributed_min']:.1%}), budget "
+              f"{critpath['budget_us']}")
+    print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path} + "
+          f"{load_path} + {critpath_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -18,12 +18,18 @@
 #   chaos            wide fault-injection sweep: the chaos_test binary run
 #                    directly with DBLIND_CHAOS_SEEDS (default 50) seeds per
 #                    fault mix — ctest's build-time discovery can't size the
-#                    sweep at runtime, so this invokes the binary itself
+#                    sweep at runtime, so this invokes the binary itself.
+#                    On a violation the failing (mix, seed) is re-run alone
+#                    with span tracing enabled; the JSONL trace plus
+#                    trace_check.py / trace_critpath.py reports are kept in
+#                    build-relwithdebinfo/chaos-artifacts/<mix>-seed<n>/
+#                    (path printed at the end of the job)
 #   churn            reconfiguration sweep: the four churn-* fault mixes
 #                    (join/leave/crash-during-reshare/mid-transfer) at
 #                    DBLIND_CHAOS_SEEDS (default 50) seeds each, selected via
 #                    DBLIND_CHAOS_MIXES=churn — deeper than the all-mix chaos
-#                    job affords for the epoch-boundary paths
+#                    job affords for the epoch-boundary paths; same failure
+#                    forensics as the chaos job
 #   load             open-loop load harness smoke: bench_load --smoke (toy
 #                    parameters, Poisson arrivals, concurrent vs sequential
 #                    equivalence + saturation check). Set
@@ -61,6 +67,48 @@ run_preset_job() {
   cmake --preset "$preset" "$@" &&
     cmake --build --preset "$preset" -j "$NPROC" &&
     ctest --preset "$preset" -j "$NPROC"
+}
+
+# Wide chaos/churn sweep with failure forensics. Runs the env-configured
+# sweep; on a violation, parses the "violation at mix=<name> seed=<n>"
+# marker out of the gtest output and re-runs exactly that (mix, seed) with
+# DBLIND_CHAOS_TRACE_DIR set, so every node's JSONL span trace — plus the
+# offline trace_check.py invariant replay and trace_critpath.py latency
+# report — survives the run as an artifact directory for debugging.
+run_chaos_sweep() {
+  local mixes="${1:-}" # DBLIND_CHAOS_MIXES filter; empty = all mixes
+  local bin="$ROOT/build-relwithdebinfo/tests/chaos_test"
+  local log rc
+  log="$(mktemp)"
+  DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-50}" DBLIND_CHAOS_MIXES="$mixes" \
+    "$bin" --gtest_filter='ChaosSweep.EnvConfiguredSweep' > "$log" 2>&1
+  rc=$?
+  cat "$log"
+  if [[ $rc -ne 0 ]]; then
+    local where mix seed
+    where="$(grep -o 'violation at mix=[A-Za-z0-9_-]* seed=[0-9]*' "$log" | head -n 1)"
+    if [[ -n $where ]]; then
+      mix="${where#violation at mix=}"
+      mix="${mix%% *}"
+      seed="${where##*seed=}"
+      local art="$ROOT/build-relwithdebinfo/chaos-artifacts/${mix}-seed${seed}"
+      mkdir -p "$art"
+      echo "ci.sh: replaying mix=$mix seed=$seed with tracing enabled"
+      DBLIND_CHAOS_TRACE_DIR="$art" DBLIND_CHAOS_MIXES="$mix" \
+        DBLIND_CHAOS_SEEDS=1 DBLIND_CHAOS_SEED_BASE="$seed" \
+        "$bin" --gtest_filter='ChaosSweep.EnvConfiguredSweep' \
+        > "$art/replay.log" 2>&1
+      local tr
+      for tr in "$art"/*.jsonl; do
+        [[ -e $tr ]] || continue
+        python3 tools/trace_check.py "$tr" > "${tr%.jsonl}.invariants.txt" 2>&1
+        python3 tools/trace_critpath.py "$tr" > "${tr%.jsonl}.critpath.txt" 2>&1
+      done
+      echo "ci.sh: chaos failure artifacts preserved at $art"
+    fi
+  fi
+  rm -f "$log"
+  return $rc
 }
 
 for job in "${JOBS[@]}"; do
@@ -106,9 +154,7 @@ for job in "${JOBS[@]}"; do
       {
         cmake --preset relwithdebinfo > /dev/null &&
           cmake --build --preset relwithdebinfo -j "$NPROC" --target chaos_test &&
-          DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-50}" \
-            "$ROOT/build-relwithdebinfo/tests/chaos_test" \
-            --gtest_filter='ChaosSweep.EnvConfiguredSweep'
+          run_chaos_sweep ""
       } || FAILED+=("$job")
       ;;
     churn)
@@ -116,9 +162,7 @@ for job in "${JOBS[@]}"; do
       {
         cmake --preset relwithdebinfo > /dev/null &&
           cmake --build --preset relwithdebinfo -j "$NPROC" --target chaos_test &&
-          DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-50}" DBLIND_CHAOS_MIXES=churn \
-            "$ROOT/build-relwithdebinfo/tests/chaos_test" \
-            --gtest_filter='ChaosSweep.EnvConfiguredSweep'
+          run_chaos_sweep churn
       } || FAILED+=("$job")
       ;;
     load)

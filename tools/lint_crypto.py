@@ -187,8 +187,22 @@ TRACE_SECRET = re.compile(
 )
 
 # A call (or definition — both are checked, definitions are harmless) of a
-# function that feeds the observability layer.
-EMIT_CALL = re.compile(r"\b(?:emit|record)\w*\s*\(")
+# function that feeds the observability layer. Beyond emit_*/record_*, this
+# covers the PR 9 span plumbing: mint_span()/set_current_span() arguments
+# become causal span ids in the JSONL stream, and the watchdog's
+# arm/progress/complete arguments resurface verbatim inside kStall state
+# dumps — all of them must carry only public coordinates.
+EMIT_CALL = re.compile(
+    r"\b(?:emit|record)\w*\s*\("
+    r"|\b(?:mint_span|set_current_span)\s*\("
+    r"|\bwatchdog\w*\.\s*(?:arm|progress|complete|expired)\s*\("
+)
+
+# A TraceEvent built by hand (the watchdog emits kStall/kStallResolved
+# directly so the emit_trace hook cannot re-enter itself). Every field
+# assigned between this declaration and the record() handoff lands on the
+# wire, so the whole build region is scanned like an emit argument list.
+TRACE_EVENT_DECL = re.compile(r"\bobs::TraceEvent\s+(\w+)\s*;")
 
 # --- pool-reuse --------------------------------------------------------------
 # The move-only bundle type and its mandatory deleted copy constructor.
@@ -223,6 +237,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     in_snapshot_fn = False  # inside the body of a ::snapshot() serializer
     in_mkbundle_fn = False  # inside the body of make_contribution_bundle
     emit_depth = 0  # paren depth of an emit_*/record_* call spanning lines
+    trace_build_var = None  # name of a hand-built TraceEvent being populated
     is_obs = rel_path.startswith("src/obs/")
 
     # pool-reuse (1): a file declaring the bundle type must keep it move-only.
@@ -279,6 +294,17 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                 depth = seg.count("(") - seg.count(")")
                 if depth > 0:
                     emit_depth = depth
+            decl = TRACE_EVENT_DECL.search(code)
+            if decl is not None:
+                trace_build_var = decl.group(1)
+            elif trace_build_var is not None:
+                if re.search(rf"\b{trace_build_var}\s*\.\s*\w+\s*=", code):
+                    m = TRACE_SECRET.search(code)
+                    if m and not waived(lines, idx, "trace-hygiene"):
+                        trace_flag(m.group(0).strip())
+                if re.search(rf"record\w*\s*\(\s*{trace_build_var}\s*\)", code) \
+                        or raw.startswith("}"):
+                    trace_build_var = None
 
         # --- retransmit-rerandomize ----------------------------------------
         # Line-local region tracking: a column-0 definition whose name says
@@ -603,6 +629,22 @@ SELF_TEST_CASES = [
         "            .count = nonce_commitment.words()});",
     ),
     ("trace-hygiene", "recorder->record(make_event(prng.state()));"),
+    # ...secrets through the PR 9 span plumbing and watchdog call sites:
+    ("trace-hygiene", "ctx.set_current_span(secrets_.rank ^ mask);"),
+    ("trace-hygiene", "watchdog_.progress(ev.transfer, ev.ts, share_index);"),
+    (
+        "trace-hygiene",  # multi-line watchdog call, secret on a continuation
+        "watchdog_.arm(transfer,\n"
+        "              rho.bit_length());",
+    ),
+    # ...and through a hand-built TraceEvent dump (bypasses emit_trace):
+    (
+        "trace-hygiene",
+        "obs::TraceEvent out;\n"
+        "out.kind = obs::EventKind::kStall;\n"
+        "out.count = secrets_.enc_share.words();\n"
+        "opts_.trace->record(out);",
+    ),
     # ...secrets in src/obs/ code itself, regardless of function name:
     ("trace-hygiene", "ev.count = rho.bit_length();", "src/obs/trace.cpp"),
     ("trace-hygiene", "std::uint64_t x = ctx.rng().next();", "src/obs/metrics.cpp"),
@@ -624,6 +666,18 @@ SELF_TEST_CASES = [
     # phase names are public vocabulary, not secrets:
     (None, "emit_trace(ctx, obs::EventKind::kBlindSignBegin, &st.id, "
            "{.count = quorum});"),
+    # span ids and watchdog state dumps carry only public coordinates:
+    (None, "ev.span = ctx.mint_span();\nctx.set_current_span(ev.span);"),
+    (None, "watchdog_.progress(ev.transfer, ev.ts, ev.span);"),
+    (
+        None,
+        "obs::TraceEvent out;\n"
+        "out.kind = obs::EventKind::kStall;\n"
+        "out.count = engine_.queued();\n"
+        "out.peer = pending.size();\n"
+        "opts_.trace->record(out);\n"
+        "rho_reuse_after_region(rho);  // after record(): region closed",
+    ),
     # pool-reuse must fire — bundle type that is not move-only:
     (
         "pool-reuse",

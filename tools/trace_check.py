@@ -31,64 +31,37 @@ for every run, Byzantine or not:
       no instance that violated this ever reaches `done_recorded` — with many
       transfers in flight, evidence from one transfer must never leak into
       another's done record.
+  I9  causal span forest (PR 9): span ids are unique across the run and
+      every nonzero `parent` names a span that appeared EARLIER in the
+      stream — spans are minted at record time, so a cause always precedes
+      its effects (across message hops, timers, and crash/restart cycles).
 
-Malformed lines are rejected with their line number. With --latency the
-checker also prints a per-phase latency table (virtual microseconds under
-the simulator).
+Stream handling (shared with trace_critpath.py via tracelib.py): traces are
+read line-by-line, never slurped; the meta line's schema version must match
+tracelib.TRACE_VERSION (old or future traces are rejected with the line
+number); --max-events bounds the number of events the checker will
+accumulate state for, aborting with a clear error instead of exhausting
+memory on a runaway trace. Malformed lines are rejected with their line
+number. With --latency the checker also prints a per-phase latency table
+(virtual microseconds under the simulator).
 
 Usage:
   trace_check.py trace.jsonl [--require kind,kind,...] [--latency] [--quiet]
+                             [--max-events N]
   trace_check.py --generate-with path/to/dblind   # end-to-end self-exercise
   trace_check.py --self-test                      # embedded corpus
 """
 
 import argparse
-import json
 import os
 import subprocess
 import sys
 import tempfile
 
+from tracelib import (TRACE_VERSION, TraceError, TraceLimitError, instance_of,
+                      iter_trace, parse_line)
+
 SUBJECT_CONTRIBUTE = 4  # MsgType::kContribute
-
-KNOWN_KINDS = {
-    "msg_send", "msg_recv", "msg_drop", "msg_dup", "msg_corrupt",
-    "crash", "restart",
-    "epoch_start", "commit_sent", "commit_accepted", "reveal_sent",
-    "contribute_sent", "verify_pass", "verify_fail", "blind_sign_begin",
-    "sign_done", "decrypt_begin", "decrypt_done", "done_sign_begin",
-    "done_recorded", "retransmit", "pool_refill", "pool_drain",
-    "epoch_install", "epoch_abort",
-    "engine_admit", "engine_defer", "batch_drain", "contribute_cited",
-}
-
-
-class TraceError(Exception):
-    pass
-
-
-def parse_line(lineno, line):
-    try:
-        obj = json.loads(line)
-    except json.JSONDecodeError as e:
-        raise TraceError(f"line {lineno}: not valid JSON: {e.msg}")
-    if not isinstance(obj, dict):
-        raise TraceError(f"line {lineno}: expected a JSON object")
-    kind = obj.get("kind")
-    if not isinstance(kind, str):
-        raise TraceError(f"line {lineno}: missing string field 'kind'")
-    if kind == "meta":
-        return obj
-    if kind not in KNOWN_KINDS:
-        raise TraceError(f"line {lineno}: unknown event kind '{kind}'")
-    for req in ("ts", "node"):
-        if not isinstance(obj.get(req), int):
-            raise TraceError(f"line {lineno}: missing integer field '{req}'")
-    return obj
-
-
-def instance_of(ev):
-    return (ev.get("transfer"), ev.get("coord"), ev.get("epoch"))
 
 
 class Checker:
@@ -114,6 +87,9 @@ class Checker:
         self.installed_epoch = {}
         # I8: instance -> set of foreign transfer ids its evidence cited.
         self.foreign_cites = {}
+        # I9: every span id seen so far (spans are minted in record order,
+        # so a parent must already be here when its child arrives).
+        self.spans_seen = set()
         # Latency bookkeeping: (phase) -> list of durations.
         self.latency = {}
         self._marks = {}       # (what, node, instance) -> ts
@@ -140,6 +116,15 @@ class Checker:
             return
         self.counts[kind] = self.counts.get(kind, 0) + 1
         node, inst = ev["node"], instance_of(ev)
+
+        span, parent = ev.get("span"), ev.get("parent")
+        if parent is not None and parent not in self.spans_seen:
+            self.err(lineno, f"I9: {kind} has parent span {parent} that no "
+                             f"earlier event minted — orphan causal edge")
+        if span is not None:
+            if span in self.spans_seen:
+                self.err(lineno, f"I9: span id {span} minted twice")
+            self.spans_seen.add(span)
 
         if kind == "verify_pass" and ev.get("subject") == SUBJECT_CONTRIBUTE \
                 and inst[0] is not None:
@@ -261,17 +246,20 @@ class Checker:
                 self.latency.setdefault("end_to_end", []).append(t_done - t0)
 
 
-def check_file(path, require=(), latency=False, quiet=False, out=sys.stdout):
+def check_file(path, require=(), latency=False, quiet=False, max_events=None,
+               out=sys.stdout):
     checker = Checker()
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                checker.feed(lineno, parse_line(lineno, line))
-            except TraceError as e:
-                checker.errors.append(str(e))
+        try:
+            for lineno, line in iter_trace(fh, max_events=max_events):
+                try:
+                    checker.feed(lineno, parse_line(lineno, line))
+                except TraceError as e:
+                    checker.errors.append(str(e))
+        except TraceLimitError as e:
+            # Unlike a malformed line this is not recoverable per-line: the
+            # whole point of the guard is to stop accumulating state.
+            checker.errors.append(str(e))
     checker.finish()
     if checker.meta is None:
         checker.errors.append("trace has no meta line (is this a dblind trace?)")
@@ -304,8 +292,10 @@ def check_file(path, require=(), latency=False, quiet=False, out=sys.stdout):
 
 # --- self-test corpus --------------------------------------------------------
 
-META = ('{"kind":"meta","run_seed":1,"a_n":4,"a_f":1,"b_n":4,"b_f":1,'
+META = ('{"kind":"meta","v":2,"run_seed":1,"a_n":4,"a_f":1,"b_n":4,"b_f":1,'
         '"retransmit_cap":12}')
+META_V1 = ('{"kind":"meta","run_seed":1,"a_n":4,"a_f":1,"b_n":4,"b_f":1,'
+           '"retransmit_cap":12}')
 
 
 def _commits(node, n):
@@ -453,18 +443,53 @@ SELF_TESTS = [
         META,
         '{"ts":20,"node":4,"kind":"contribute_cited","transfer":3,"coord":1,"epoch":0,"from":2,"cited_transfer":9}',
     ]), True, None),
+    ("span-forest-ok", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_start","span":1,"transfer":1,"coord":1,"epoch":0}',
+        '{"ts":1,"node":4,"kind":"msg_send","span":2,"parent":1,"peer":5,"type":2,"bytes":64}',
+        '{"ts":9,"node":5,"kind":"msg_recv","span":3,"parent":2,"peer":4,"type":2,"bytes":64}',
+        '{"ts":9,"node":5,"kind":"commit_accepted","span":4,"parent":3,"transfer":1,"coord":1,"epoch":0,"from":4,"count":1}',
+    ]), True, None),
+    ("span-orphan-parent", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_start","span":1,"transfer":1,"coord":1,"epoch":0}',
+        '{"ts":1,"node":4,"kind":"msg_send","span":2,"parent":7,"peer":5,"type":2,"bytes":64}',
+    ]), False, "I9"),
+    ("span-minted-twice", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_start","span":1,"transfer":1,"coord":1,"epoch":0}',
+        '{"ts":1,"node":5,"kind":"epoch_start","span":1,"transfer":2,"coord":1,"epoch":0}',
+    ]), False, "I9"),
+    ("stall-events-known", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"epoch_start","span":1,"transfer":1,"coord":1,"epoch":0}',
+        '{"ts":400000,"node":5,"kind":"stall","span":2,"parent":1,"transfer":1,"queue":0,"verifies":1,"resends":2}',
+        '{"ts":500000,"node":5,"kind":"stall_resolved","span":3,"parent":1,"transfer":1,"stalled_us":100000}',
+    ]), True, None),
+    ("v1-trace-rejected", META_V1 + "\n", False, "unsupported trace schema"),
+    ("future-version-rejected",
+     META.replace('"v":2', '"v":3') + "\n", False, "unsupported trace schema"),
     ("malformed-json", META + "\n{not json}\n", False, "line 2"),
     ("not-an-object", META + "\n[1,2,3]\n", False, "line 2"),
     ("unknown-kind", META + '\n{"ts":1,"node":0,"kind":"mystery"}\n', False,
      "line 2"),
     ("missing-ts", META + '\n{"node":0,"kind":"crash"}\n', False, "line 2"),
     ("no-meta", '{"ts":1,"node":0,"kind":"crash"}\n', False, "no meta"),
+    ("max-events-tripped", META + "\n" + "\n".join(
+        f'{{"ts":{i},"node":0,"kind":"crash"}}' for i in range(8)),
+     False, "exceeds --max-events=4", {"max_events": 4}),
+    ("max-events-headroom", "\n".join([
+        META,
+        '{"ts":0,"node":4,"kind":"crash"}',
+    ]), True, None, {"max_events": 4}),
 ]
 
 
 def run_self_test():
     failures = 0
-    for name, text, should_pass, needle in SELF_TESTS:
+    for case in SELF_TESTS:
+        name, text, should_pass, needle = case[:4]
+        kwargs = case[4] if len(case) > 4 else {}
         with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as fh:
             fh.write(text + "\n")
             path = fh.name
@@ -472,7 +497,7 @@ def run_self_test():
         import contextlib
         err = io.StringIO()
         with contextlib.redirect_stderr(err):
-            ok = check_file(path, quiet=True)
+            ok = check_file(path, quiet=True, **kwargs)
         os.unlink(path)
         problems = []
         if ok != should_pass:
@@ -514,6 +539,9 @@ def main():
     ap.add_argument("--latency", action="store_true",
                     help="print the per-phase latency table")
     ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("--max-events", type=int, default=None, metavar="N",
+                    help="abort (with an error) past N events instead of "
+                         "accumulating unbounded state")
     ap.add_argument("--self-test", action="store_true",
                     help="run the embedded corpus")
     ap.add_argument("--generate-with", metavar="DBLIND",
@@ -528,7 +556,8 @@ def main():
         ap.error("need a trace file, --self-test, or --generate-with")
     require = tuple(k for k in args.require.split(",") if k)
     sys.exit(0 if check_file(args.trace, require=require, latency=args.latency,
-                             quiet=args.quiet) else 1)
+                             quiet=args.quiet, max_events=args.max_events)
+             else 1)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,421 @@
+#!/usr/bin/env python3
+"""Per-transfer critical-path and latency-budget attribution for dblind
+span traces (PR 9).
+
+Every v2 trace event is a span: `span` is a run-unique id minted at record
+time and `parent` is the span of the event that caused it — the sending
+side's span for msg_recv, the ambient handler span for everything else,
+captured at arming time for timer-driven events. That makes each transfer's
+history a DAG rooted at its arrival, and the chain of parents above its
+first `done_recorded` IS the critical path: the one causal chain whose
+waits delayed completion (anything off the chain overlapped with it).
+
+The tool walks that chain backward and attributes every inter-span gap to a
+latency-budget category:
+
+  network             msg_send -> msg_recv edges (transport delay)
+  queueing            admission wait: the head of the chain once it crosses
+                      this transfer's engine_admit (a deferred transfer's
+                      completion causally waits on whoever held the slot)
+  retransmit_backoff  edges into a retransmit event (the backoff timer wait
+                      between arming and the re-send that made progress)
+  verify              edges into batch_drain / verify_pass / verify_fail
+                      (batch-window and verify-worker waits)
+  crypto              zero-gap same-handler edges. Handlers execute in zero
+                      VIRTUAL time under the simulator, so crypto cost is
+                      deliberately 0 us here; its real cost is mont-muls,
+                      joined from the ScopedCounterDelta-fed
+                      dblind_handler_mont_muls_total / dblind_contrib_*
+                      cells when --metrics points at a prometheus snapshot
+                      (bench_load --trace-out writes one next to the trace)
+  other               any gap the model cannot name (pool refill timers,
+                      result-pull polling). The acceptance bar is that this
+                      stays under 5% of every transfer's latency.
+
+A transfer's total latency is first-own-event -> first done_recorded, the
+same span bench_load's load_latency section measures from the arrival
+schedule. `--budget F` turns the report into a gate: exit 1 unless every
+completed transfer attributes >= F of its latency to named (non-`other`)
+categories — wired into tools/bench_check.py, which records the result in
+BENCH_pr9.json.
+
+Usage:
+  trace_critpath.py trace.jsonl [--metrics snapshot.prom] [--budget 0.95]
+                    [--json] [--max-events N] [--quiet]
+  trace_critpath.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from tracelib import (TraceError, TraceLimitError, iter_trace, parse_line)
+
+CATEGORIES = ("network", "queueing", "verify", "retransmit_backoff",
+              "crypto", "other")
+VERIFY_KINDS = {"batch_drain", "verify_pass", "verify_fail"}
+
+
+class Span:
+    __slots__ = ("ts", "kind", "node", "transfer", "parent")
+
+    def __init__(self, ts, kind, node, transfer, parent):
+        self.ts, self.kind, self.node = ts, kind, node
+        self.transfer, self.parent = transfer, parent
+
+
+class Trace:
+    """Span index + per-transfer anchors, built in one streaming pass."""
+
+    def __init__(self):
+        self.meta = None
+        self.spans = {}        # span id -> Span
+        self.first_done = {}   # transfer -> Span of earliest done_recorded
+        self.start_ts = {}     # transfer -> earliest own-event ts
+        self.deferred = set()  # transfers that hit the admission cap
+        self.errors = []
+
+    def feed(self, lineno, ev):
+        if ev["kind"] == "meta":
+            self.meta = ev
+            return
+        kind, ts = ev["kind"], ev["ts"]
+        span = ev.get("span", 0)
+        transfer = ev.get("transfer")
+        if span:
+            if span in self.spans:
+                self.errors.append(f"line {lineno}: span id {span} minted twice")
+            else:
+                self.spans[span] = Span(ts, kind, ev["node"], transfer,
+                                        ev.get("parent", 0))
+        if transfer:
+            cur = self.start_ts.get(transfer)
+            if cur is None or ts < cur:
+                self.start_ts[transfer] = ts
+            if kind == "engine_defer":
+                self.deferred.add(transfer)
+            elif kind == "done_recorded" and span:
+                prev = self.first_done.get(transfer)
+                if prev is None or ts < prev.ts:
+                    self.first_done[transfer] = self.spans[span]
+
+
+def classify(parent, child):
+    """Budget category of the wait between a cause and its effect."""
+    if child.ts == parent.ts:
+        return "crypto"
+    if parent.kind == "msg_send" and child.kind == "msg_recv":
+        return "network"
+    if child.kind == "retransmit":
+        return "retransmit_backoff"
+    if child.kind in VERIFY_KINDS:
+        return "verify"
+    if child.kind == "engine_admit":
+        return "queueing"
+    return "other"
+
+
+def walk_transfer(trace, transfer):
+    """Backward chain walk from the transfer's first done_recorded.
+
+    Returns a budget dict: category -> virtual us, plus bookkeeping keys
+    `total`, `attributed`, `hops` (chain length) and `crypto_edges`.
+    """
+    done = trace.first_done[transfer]
+    start = trace.start_ts[transfer]
+    budget = {c: 0 for c in CATEGORIES}
+    budget.update(total=done.ts - start, hops=0, crypto_edges=0)
+    cur = done
+    visited = set()
+    while True:
+        # Crossing our own admission means everything earlier is the wait
+        # for a slot — the predecessor's pipeline, charged as queueing.
+        if cur.kind == "engine_admit" and cur.transfer == transfer:
+            budget["queueing"] += max(0, cur.ts - start)
+            break
+        parent = trace.spans.get(cur.parent) if cur.parent else None
+        if parent is None or cur.parent in visited:
+            # Chain root (the arrival handler) — or a broken/cyclic trace,
+            # which trace_check.py's I9 reports separately.
+            budget["other"] += max(0, cur.ts - start)
+            break
+        visited.add(cur.parent)
+        gap = cur.ts - max(parent.ts, start)
+        cat = classify(parent, cur)
+        if cat == "crypto":
+            budget["crypto_edges"] += 1
+        elif gap > 0:
+            budget[cat] += gap
+        budget["hops"] += 1
+        if parent.ts <= start:
+            break
+        cur = parent
+    named = sum(budget[c] for c in CATEGORIES if c != "other")
+    budget["attributed"] = (named / budget["total"]) if budget["total"] else 1.0
+    return budget
+
+
+def analyze_file(path, max_events=None):
+    trace = Trace()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in iter_trace(fh, max_events=max_events):
+            trace.feed(lineno, parse_line(lineno, line))
+    if trace.meta is None:
+        raise TraceError("trace has no meta line (is this a dblind trace?)")
+    budgets = {t: walk_transfer(trace, t) for t in sorted(trace.first_done)}
+    return trace, budgets
+
+
+def parse_prometheus(path):
+    """name{labels} -> value for counter/gauge sample lines."""
+    out = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                key, value = line.rsplit(None, 1)
+                out[key] = float(value)
+            except ValueError:
+                continue
+    return out
+
+
+def mont_mul_table(samples):
+    """Crypto attribution: mont-muls by handler type + contrib path,
+    summed across nodes from the ScopedCounterDelta-fed counters."""
+    by_key = {}
+    for key, value in samples.items():
+        for family, label in (("dblind_handler_mont_muls_total", "type"),
+                              ("dblind_contrib_mont_muls_total", "path")):
+            if key.startswith(family + "{"):
+                for part in key[len(family) + 1:-1].split(","):
+                    if part.startswith(label + '="'):
+                        name = part[len(label) + 2:-1]
+                        tag = name if label == "type" else f"contrib/{name}"
+                        by_key[tag] = by_key.get(tag, 0) + value
+    return dict(sorted(by_key.items(), key=lambda kv: -kv[1]))
+
+
+def summarize(budgets):
+    total = sum(b["total"] for b in budgets.values())
+    agg = {c: sum(b[c] for b in budgets.values()) for c in CATEGORIES}
+    min_attr = min((b["attributed"] for b in budgets.values()), default=1.0)
+    return {
+        "transfers": len(budgets),
+        "total_us": total,
+        "budget_us": agg,
+        "attributed_overall": (
+            sum(agg[c] for c in CATEGORIES if c != "other") / total
+            if total else 1.0),
+        "attributed_min": min_attr,
+    }
+
+
+def report(path, budgets, mont_muls, out=sys.stdout):
+    print(f"{path}: critical-path budget for {len(budgets)} completed "
+          f"transfers (virtual us)", file=out)
+    head = ["transfer", "total"] + [c for c in CATEGORIES] + ["attr%", "hops"]
+    print("  " + " ".join(f"{h:>10}" for h in head), file=out)
+    for t, b in budgets.items():
+        row = [str(t), str(b["total"])] + [str(b[c]) for c in CATEGORIES]
+        row += [f"{100 * b['attributed']:.1f}", str(b["hops"])]
+        print("  " + " ".join(f"{v:>10}" for v in row), file=out)
+    s = summarize(budgets)
+    print(f"  overall: {s['attributed_overall']:.1%} attributed "
+          f"(worst transfer {s['attributed_min']:.1%}); crypto runs in zero "
+          f"virtual time — see the mont-mul join below", file=out)
+    if mont_muls:
+        print("crypto attribution (mont-muls, all nodes):", file=out)
+        for tag, value in mont_muls.items():
+            print(f"  {tag:24} {int(value):>12}", file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", help="JSONL v2 span trace")
+    ap.add_argument("--metrics", metavar="PROM",
+                    help="prometheus snapshot to join mont-mul attribution")
+    ap.add_argument("--budget", type=float, default=None, metavar="F",
+                    help="gate: fail unless every transfer attributes >= F "
+                         "of its latency to named categories")
+    ap.add_argument("--json", action="store_true",
+                    help="print a machine-readable summary instead of tables")
+    ap.add_argument("--max-events", type=int, default=None, metavar="N")
+    ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded corpus")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(0 if run_self_test() else 1)
+    if not args.trace:
+        ap.error("need a trace file or --self-test")
+    try:
+        trace, budgets = analyze_file(args.trace, max_events=args.max_events)
+    except (TraceError, TraceLimitError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        sys.exit(1)
+    for e in trace.errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    if not budgets:
+        print("ERROR: no completed transfer (no done_recorded span) in trace",
+              file=sys.stderr)
+        sys.exit(1)
+
+    mont_muls = mont_mul_table(parse_prometheus(args.metrics)) \
+        if args.metrics else {}
+    if args.json:
+        s = summarize(budgets)
+        s["mont_muls"] = mont_muls
+        s["budget_gate"] = args.budget
+        print(json.dumps(s, sort_keys=True))
+    elif not args.quiet:
+        report(args.trace, budgets, mont_muls)
+
+    ok = not trace.errors
+    if args.budget is not None:
+        for t, b in budgets.items():
+            if b["attributed"] < args.budget:
+                print(f"ERROR: transfer {t} attributes only "
+                      f"{b['attributed']:.1%} of its {b['total']} us latency "
+                      f"(budget gate {args.budget:.0%}); 'other' holds "
+                      f"{b['other']} us", file=sys.stderr)
+                ok = False
+    sys.exit(0 if ok else 1)
+
+
+# --- self-test corpus --------------------------------------------------------
+
+META = ('{"kind":"meta","v":2,"run_seed":1,"a_n":4,"a_f":1,"b_n":4,"b_f":1,'
+        '"retransmit_cap":12}')
+
+
+def _ev(ts, node, kind, span, parent=0, transfer=None, extra=""):
+    t = f',"transfer":{transfer},"coord":1,"epoch":0' if transfer else ""
+    p = f',"parent":{parent}' if parent else ""
+    return (f'{{"ts":{ts},"node":{node},"kind":"{kind}","span":{span}{p}'
+            f'{t}{extra}}}')
+
+
+# A two-hop pipeline: arrival handler -> send -> recv -> handler -> send ->
+# recv -> done. All latency is transport delay.
+PURE_NETWORK = "\n".join([
+    META,
+    _ev(1000, 4, "epoch_start", 1, transfer=1),
+    _ev(1000, 4, "msg_send", 2, parent=1),
+    _ev(3000, 5, "msg_recv", 3, parent=2),
+    _ev(3000, 5, "commit_accepted", 4, parent=3, transfer=1),
+    _ev(3000, 5, "msg_send", 5, parent=4),
+    _ev(5000, 6, "msg_recv", 6, parent=5),
+    _ev(5000, 6, "done_recorded", 7, parent=6, transfer=1),
+])
+
+# Deferred admission: transfer 2 queues at ts 0 behind transfer 1 and is
+# admitted at 7000 inside transfer 1's completion handler; the foreign
+# chain below the admit must be charged as queueing, not walked.
+QUEUED = "\n".join([
+    META,
+    _ev(0, 4, "engine_defer", 1, transfer=2, extra=',"count":1'),
+    _ev(7000, 4, "done_recorded", 2, transfer=1),
+    _ev(7000, 4, "engine_admit", 3, parent=2, transfer=2, extra=',"count":1'),
+    _ev(7000, 4, "epoch_start", 4, parent=3, transfer=2),
+    _ev(7000, 4, "msg_send", 5, parent=4),
+    _ev(9000, 5, "msg_recv", 6, parent=5),
+    _ev(9000, 5, "done_recorded", 7, parent=6, transfer=2),
+])
+
+# A dropped frame: the backoff timer (armed in the span-4 handler at 1000)
+# fires at 5000 and the retransmission completes the transfer.
+RETRANSMIT = "\n".join([
+    META,
+    _ev(1000, 4, "epoch_start", 1, transfer=1),
+    _ev(1000, 4, "msg_send", 2, parent=1),
+    _ev(3000, 5, "msg_recv", 3, parent=2),
+    _ev(3000, 5, "commit_sent", 4, parent=3, transfer=1),
+    _ev(5000, 5, "retransmit", 8, parent=4, transfer=1,
+        extra=',"key":3,"frames":1,"attempt":1,"cap":12'),
+    _ev(5000, 5, "msg_send", 9, parent=8),
+    _ev(7000, 6, "msg_recv", 10, parent=9),
+    _ev(7000, 6, "done_recorded", 11, parent=10, transfer=1),
+])
+
+# Batch verification: the drain timer (armed by the recv handler at 3000)
+# fires 800 us later; the wait is verify budget.
+BATCHED_VERIFY = "\n".join([
+    META,
+    _ev(1000, 4, "epoch_start", 1, transfer=1),
+    _ev(1000, 4, "msg_send", 2, parent=1),
+    _ev(3000, 5, "msg_recv", 3, parent=2),
+    _ev(3800, 5, "batch_drain", 4, parent=3, extra=',"msgs":2,"equations":6'),
+    _ev(3800, 5, "verify_pass", 5, parent=4, transfer=1,
+        extra=',"subject":4,"peer":2'),
+    _ev(3800, 5, "msg_send", 6, parent=5),
+    _ev(5800, 6, "msg_recv", 7, parent=6),
+    _ev(5800, 6, "done_recorded", 8, parent=7, transfer=1),
+])
+
+# A wait the model cannot name (a poll timer edge): 3000 of 5000 us land in
+# `other`, so a 0.95 budget gate must reject this trace.
+UNATTRIBUTED = "\n".join([
+    META,
+    _ev(1000, 4, "epoch_start", 1, transfer=1),
+    _ev(1000, 4, "msg_send", 2, parent=1),
+    _ev(3000, 5, "msg_recv", 3, parent=2),
+    _ev(6000, 5, "pool_drain", 4, parent=3, transfer=1,
+        extra=',"bundle":1,"depth":0,"fallback":0'),
+    _ev(6000, 5, "done_recorded", 5, parent=4, transfer=1),
+])
+
+SELF_TESTS = [
+    # (name, trace text, transfer, expected budget subset, gate_0_95_passes)
+    ("pure-network", PURE_NETWORK, 1,
+     {"total": 4000, "network": 4000, "other": 0}, True),
+    ("queued-admission", QUEUED, 2,
+     {"total": 9000, "queueing": 7000, "network": 2000, "other": 0}, True),
+    ("retransmit-backoff", RETRANSMIT, 1,
+     {"total": 6000, "network": 4000, "retransmit_backoff": 2000, "other": 0},
+     True),
+    ("batched-verify", BATCHED_VERIFY, 1,
+     {"total": 4800, "network": 4000, "verify": 800, "other": 0}, True),
+    ("unattributed-wait", UNATTRIBUTED, 1,
+     {"total": 5000, "network": 2000, "other": 3000}, False),
+]
+
+
+def run_self_test():
+    failures = 0
+    for name, text, transfer, expect, gate_ok in SELF_TESTS:
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as fh:
+            fh.write(text + "\n")
+            path = fh.name
+        problems = []
+        try:
+            trace, budgets = analyze_file(path)
+            problems += trace.errors
+            if transfer not in budgets:
+                problems.append(f"transfer {transfer} not completed")
+            else:
+                b = budgets[transfer]
+                for key, want in expect.items():
+                    if b[key] != want:
+                        problems.append(f"{key}: want {want}, got {b[key]}")
+                passed = all(x["attributed"] >= 0.95 for x in budgets.values())
+                if passed != gate_ok:
+                    problems.append(f"0.95 gate: want {gate_ok}, got {passed}")
+        except TraceError as e:
+            problems.append(str(e))
+        finally:
+            os.unlink(path)
+        status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+        print(f"self-test {name:24} {status}")
+        failures += bool(problems)
+    return failures == 0
+
+
+if __name__ == "__main__":
+    main()
