@@ -58,7 +58,7 @@ elgamal::Ciphertext jakobsson_combine(const group::GroupParams& params,
     indices.push_back(p.index);
   }
   // a' = Π g^{r'_i},  y' = Π y_B^{r'_i},  a^{k_A} = Π d_i^{λ_i}.
-  Bigint a_prime(1), y_prime(1), a_ka(1);
+  Bigint a_prime = params.identity(), y_prime = params.identity(), a_ka = params.identity();
   for (const JakobssonPartial& p : partials) {
     a_prime = params.mul(a_prime, p.enc_g);
     y_prime = params.mul(y_prime, p.enc_y);

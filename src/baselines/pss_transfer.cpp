@@ -60,7 +60,7 @@ threshold::FeldmanCommitments pss_new_commitments(const group::GroupParams& para
   for (const ReshareDeal& d : deals) dealers.push_back(d.dealer);
   std::size_t width = deals[0].commitments.coefficients.size();
   threshold::FeldmanCommitments out;
-  out.coefficients.assign(width, Bigint(1));
+  out.coefficients.assign(width, params.identity());
   for (const ReshareDeal& d : deals) {
     if (d.commitments.coefficients.size() != width)
       throw std::invalid_argument("pss_new_commitments: inconsistent degrees");

@@ -2639,6 +2639,15 @@ void ProtocolServer::resolve_metrics(net::Context& ctx) {
   // them exactly as before.
   reg.attach_counter("dblind_retransmits_sent_total", by_node, &retransmits_sent_);
   reg.attach_counter("dblind_mont_muls_total", {}, cfg_.params.mont_mul_cell());
+  // Backend-labelled view of the same op counter plus its word-mul weight:
+  // lets offline tooling (trace_critpath) attribute crypto cost to the
+  // active group backend instead of assuming mod-p Montgomery muls.
+  reg.attach_counter("dblind_group_ops_total",
+                     {{"backend", std::string(cfg_.params.backend_name())}},
+                     cfg_.params.group_op_cell());
+  reg.gauge("dblind_group_op_weight",
+            {{"backend", std::string(cfg_.params.backend_name())}})
+      .set(cfg_.params.op_cost_weight());
   reg.attach_counter("dblind_batch_verify_combined_total", {},
                      &zkp::batch_verify_counts().combined);
   reg.attach_counter("dblind_batch_verify_rejected_total", {},

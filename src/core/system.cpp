@@ -149,7 +149,11 @@ TransferId System::add_transfer(const mpz::Bigint& m) {
 }
 
 TransferId System::add_transfer_at(const mpz::Bigint& m, net::Time when) {
-  if (!cfg_->params.in_group(m))
+  // Identity is rejected explicitly: ElGamal over it degenerates (the blind
+  // m·rho collapses to rho). On mod-p the 0 encoding is simply not in the
+  // group; on ristretto255 the all-zero string IS the identity's canonical
+  // encoding, so in_group alone would admit it.
+  if (!cfg_->params.in_group(m) || cfg_->params.is_identity(m))
     throw std::invalid_argument("add_transfer: plaintext must be a group element");
   TransferId t = next_transfer_++;
   elgamal::Ciphertext ea_m = cfg_->a.encryption_key.encrypt(m, setup_rng_);
@@ -171,7 +175,7 @@ TransferId System::add_transfer_at(const mpz::Bigint& m, net::Time when) {
 
 TransferId System::add_transfer_arriving(const mpz::Bigint& m, net::Time when) {
   if (when == 0) return add_transfer(m);
-  if (!cfg_->params.in_group(m))
+  if (!cfg_->params.in_group(m) || cfg_->params.is_identity(m))
     throw std::invalid_argument("add_transfer: plaintext must be a group element");
   TransferId t = next_transfer_++;
   elgamal::Ciphertext ea_m = cfg_->a.encryption_key.encrypt(m, setup_rng_);

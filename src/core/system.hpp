@@ -18,7 +18,10 @@
 namespace dblind::core {
 
 struct SystemOptions {
-  group::GroupParams params = group::GroupParams::named(group::ParamId::kToy64);
+  // Default group: the toy mod-p set, unless DBLIND_BACKEND=ec retargets the
+  // whole default-parameter surface (tests, chaos sweeps, load harness) onto
+  // the ristretto255 backend — this is the CI backend-matrix hook.
+  group::GroupParams params = group::GroupParams::named_or_env(group::ParamId::kToy64);
   threshold::ServiceConfig a{4, 1};
   threshold::ServiceConfig b{4, 1};
   std::uint64_t seed = 1;

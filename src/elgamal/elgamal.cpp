@@ -39,7 +39,7 @@ std::optional<Ciphertext> PublicKey::multiply(const Ciphertext& c1, const Cipher
   Ciphertext out{params_.mul(c1.a, c2.a), params_.mul(c1.b, c2.b)};
   // Side condition of ElGamal Multiplication: r1 + r2 must stay in Z_q^*,
   // checked without knowing r1, r2 by testing a != 1 (§3).
-  if (out.a == Bigint(1)) return std::nullopt;
+  if (params_.is_identity(out.a)) return std::nullopt;
   return out;
 }
 
@@ -53,7 +53,7 @@ std::optional<Ciphertext> PublicKey::product(std::span<const Ciphertext> cs) con
     acc.a = params_.mul(acc.a, cs[i].a);
     acc.b = params_.mul(acc.b, cs[i].b);
   }
-  if (acc.a == Bigint(1)) return std::nullopt;
+  if (params_.is_identity(acc.a)) return std::nullopt;
   return acc;
 }
 

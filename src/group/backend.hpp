@@ -1,0 +1,109 @@
+// Backend-neutral group interface.
+//
+// Every protocol layer (ElGamal, Chaum-Pedersen/VDE, Schnorr, Feldman/
+// Pedersen VSS, threshold decrypt, re-sharing) is generic algebra over a
+// cyclic group of prime order q: elements, mul, pow, multi-pow, canonical
+// encode/decode. `GroupParams` (group/params.hpp) stays the facade every
+// call site uses; it delegates to one of these backends:
+//
+//   backend::ModP  — the original safe-prime Z_p* QR subgroup (p = 2q+1,
+//                    Montgomery arithmetic, 512–2048-bit elements). The
+//                    differential oracle.
+//   backend::Ec    — ristretto255: a prime-order group over Curve25519 with
+//                    32-byte canonical encodings (group/ristretto.hpp).
+//
+// Elements are boxed as `Bigint` holding the backend's canonical encoding —
+// a mod-p residue, or the ristretto 32-byte string interpreted as a
+// little-endian integer. Group order scalars are plain Bigints mod q in both
+// backends, so exponent arithmetic (Shamir shares, challenges, blinding
+// factors) is backend-independent. Canonical encodings mean boxed elements
+// can be compared, map-keyed, serialized, and hashed into transcripts without
+// knowing the backend.
+//
+// Op-count instrumentation mirrors MontgomeryCtx::mul_count(): op_count()
+// counts Montgomery multiplications (ModP) or field multiplications (Ec);
+// op_cost_weight() converts either into approximate 64x64-bit word
+// multiplications so cross-backend bench gates compare a common unit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mpz/bigint.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::group::backend {
+
+using mpz::Bigint;
+
+enum class Kind : std::uint8_t {
+  kModP = 0,
+  kEc255 = 1,
+};
+
+class Group {
+ public:
+  virtual ~Group() = default;
+
+  [[nodiscard]] virtual Kind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Field modulus (ModP: p; Ec: 2^255 - 19). Only used for transcript
+  // domain separation and display — element validity goes through in_group.
+  [[nodiscard]] virtual const Bigint& p() const = 0;
+  // Prime group order q.
+  [[nodiscard]] virtual const Bigint& q() const = 0;
+  // Canonical encoding of the generator.
+  [[nodiscard]] virtual const Bigint& g() const = 0;
+  [[nodiscard]] virtual std::size_t bits() const = 0;
+
+  // Canonical encoding of the neutral element (ModP: 1; Ec: 0, the all-zero
+  // ristretto encoding). Call sites must use this instead of Bigint(1).
+  [[nodiscard]] virtual Bigint identity() const = 0;
+  [[nodiscard]] virtual bool in_group(const Bigint& x) const = 0;
+  // Cheap well-formedness check for wire values (ModP: x in [1, p-1]; Ec:
+  // same as in_group — every canonical encoding is a group element).
+  [[nodiscard]] virtual bool in_zp_star(const Bigint& x) const = 0;
+
+  [[nodiscard]] virtual Bigint pow_g(const Bigint& e) const = 0;
+  [[nodiscard]] virtual Bigint pow(const Bigint& b, const Bigint& e) const = 0;
+  [[nodiscard]] virtual Bigint pow_cached(const Bigint& b, const Bigint& e) const = 0;
+  virtual void pin_base(const Bigint& b) const = 0;
+  [[nodiscard]] virtual Bigint pow_fixed(const Bigint& b, const Bigint& e) const = 0;
+  [[nodiscard]] virtual Bigint mul(const Bigint& a, const Bigint& b) const = 0;
+  [[nodiscard]] virtual Bigint pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
+                                    const Bigint& eb) const = 0;
+  [[nodiscard]] virtual Bigint multi_pow(std::span<const Bigint> bases,
+                                         std::span<const Bigint> exps) const = 0;
+  // Group inverse (ModP: a^-1 mod p; Ec: point negation).
+  [[nodiscard]] virtual Bigint inv(const Bigint& a) const = 0;
+
+  virtual void reset_base_caches() const = 0;
+  [[nodiscard]] virtual std::size_t cached_table_count() const = 0;
+  [[nodiscard]] virtual std::size_t pinned_table_count() const = 0;
+
+  [[nodiscard]] virtual Bigint hash_to_group(std::string_view label) const = 0;
+
+  // Injective value -> element embedding; inverse of decode_message. The
+  // valid input range is [1, max_message_value()].
+  [[nodiscard]] virtual Bigint encode_message(const Bigint& v) const = 0;
+  [[nodiscard]] virtual Bigint decode_message(const Bigint& elem) const = 0;
+  [[nodiscard]] virtual const Bigint& max_message_value() const = 0;
+
+  // Fixed-width canonical wire encoding (ModP: big-endian residue; Ec: the
+  // 32-byte RFC 9496 encoding).
+  [[nodiscard]] virtual std::vector<std::uint8_t> element_bytes(const Bigint& x) const = 0;
+  [[nodiscard]] virtual std::size_t element_size() const = 0;
+
+  // Deterministic op counter shared by all copies of the owning GroupParams.
+  [[nodiscard]] virtual std::uint64_t op_count() const = 0;
+  [[nodiscard]] virtual const std::atomic<std::uint64_t>* op_cell() const = 0;
+  // Approximate 64x64 word-multiplications per counted op (bench gates use
+  // op_count() * op_cost_weight() as the cross-backend cost unit).
+  [[nodiscard]] virtual std::uint64_t op_cost_weight() const = 0;
+};
+
+}  // namespace dblind::group::backend

@@ -1,0 +1,234 @@
+#include "group/backend_ec.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "hash/sha256.hpp"
+#include "mpz/modmath.hpp"
+
+namespace dblind::group::backend {
+
+namespace {
+
+// Message embedding layout inside the 32-byte encoding s (little-endian):
+//   s[0]      tweak low bits, shifted left 1 so bit 0 stays clear (decode
+//             requires the field element to be "non-negative": even)
+//   s[1..29]  payload: the message value, little-endian (<= 2^232 - 1)
+//   s[30]     tweak high bits
+//   s[31]     0 (keeps s < 2^248 < p: always a canonical field element)
+// Encoding tries tweaks until the string decodes to a valid ristretto point
+// (success probability ~ 1/4 per try; 2^15 tweaks make failure impossible in
+// practice). Deterministic: the first valid tweak wins.
+constexpr std::size_t kPayloadBytes = 29;
+constexpr unsigned kMaxTweak = 1u << 15;
+
+std::optional<ec::Point> try_unbox(const Bigint& x) {
+  if (x.is_negative() || x.bit_length() > 255) return std::nullopt;
+  std::vector<std::uint8_t> be = x.to_bytes_be(32);
+  ec::EncodedPoint enc;
+  std::copy(be.rbegin(), be.rend(), enc.begin());
+  return ec::decode(enc);
+}
+
+}  // namespace
+
+Ec::Ec()
+    : p_(Bigint::from_hex(
+          "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")),
+      q_(Bigint::from_hex(
+          "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed")),
+      max_message_(Bigint::from_hex(
+          "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")) {
+  g_ = box(ec::encode(ec::base_point()));
+}
+
+Bigint Ec::box(const ec::EncodedPoint& enc) {
+  std::array<std::uint8_t, 32> be;
+  std::copy(enc.rbegin(), enc.rend(), be.begin());
+  return Bigint::from_bytes_be(be);
+}
+
+ec::Point Ec::unbox(const Bigint& x) const {
+  std::optional<ec::Point> pt = try_unbox(x);
+  if (!pt) throw std::invalid_argument("ec255: not a canonical group element encoding");
+  return *pt;
+}
+
+ec::ScalarBytes Ec::to_scalar(const Bigint& e) const {
+  std::vector<std::uint8_t> be = mpz::mod(e, q_).to_bytes_be(32);
+  ec::ScalarBytes s;
+  std::copy(be.rbegin(), be.rend(), s.begin());
+  return s;
+}
+
+bool Ec::in_group(const Bigint& x) const {
+  OpScope scope(*this);
+  return try_unbox(x).has_value();
+}
+
+Bigint Ec::pow_g(const Bigint& e) const {
+  OpScope scope(*this);
+  std::call_once(cache_.once, [&] {
+    cache_.g_comb = std::make_unique<const ec::CombTable>(ec::base_point(),
+                                                          TableCache::kWindowBits);
+  });
+  return box(ec::encode(cache_.g_comb->mul(to_scalar(e))));
+}
+
+Bigint Ec::pow(const Bigint& b, const Bigint& e) const {
+  OpScope scope(*this);
+  return box(ec::encode(ec::scalar_mul(unbox(b), to_scalar(e))));
+}
+
+Bigint Ec::pow_cached(const Bigint& b, const Bigint& e) const {
+  OpScope scope(*this);
+  ec::Point base = unbox(b);
+  std::shared_ptr<const ec::CombTable> table;
+  {
+    MutexLock lock(cache_.mu);
+    auto it = cache_.tables.find(b);
+    if (it != cache_.tables.end()) {
+      table = it->second;
+    } else if (cache_.tables.size() < TableCache::kMaxEntries) {
+      table = std::make_shared<const ec::CombTable>(base, TableCache::kWindowBits);
+      cache_.tables.emplace(b, table);
+    }
+  }
+  if (!table) return box(ec::encode(ec::scalar_mul(base, to_scalar(e))));  // cache full
+  return box(ec::encode(table->mul(to_scalar(e))));
+}
+
+void Ec::pin_base(const Bigint& b) const {
+  if (b == g_) return;  // pow_g's comb table already covers g
+  OpScope scope(*this);
+  ec::Point base = unbox(b);
+  MutexLock lock(cache_.mu);
+  if (cache_.pinned.contains(b)) return;
+  cache_.pinned.emplace(
+      b, std::make_shared<const ec::CombTable>(base, TableCache::kPinnedWindowBits));
+}
+
+Bigint Ec::pow_fixed(const Bigint& b, const Bigint& e) const {
+  if (b == g_) return pow_g(e);
+  OpScope scope(*this);
+  std::shared_ptr<const ec::CombTable> table;
+  {
+    MutexLock lock(cache_.mu);
+    auto it = cache_.pinned.find(b);
+    if (it != cache_.pinned.end()) table = it->second;
+  }
+  if (!table)  // not pinned: no insertion
+    return box(ec::encode(ec::scalar_mul(unbox(b), to_scalar(e))));
+  return box(ec::encode(table->mul(to_scalar(e))));
+}
+
+Bigint Ec::mul(const Bigint& a, const Bigint& b) const {
+  OpScope scope(*this);
+  return box(ec::encode(ec::add(unbox(a), unbox(b))));
+}
+
+Bigint Ec::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
+                const Bigint& eb) const {
+  OpScope scope(*this);
+  const std::array<ec::Point, 2> bases = {unbox(a), unbox(b)};
+  const std::array<ec::ScalarBytes, 2> scalars = {to_scalar(ea), to_scalar(eb)};
+  return box(ec::encode(ec::multi_scalar_mul(bases, scalars)));
+}
+
+Bigint Ec::multi_pow(std::span<const Bigint> bases, std::span<const Bigint> exps) const {
+  OpScope scope(*this);
+  std::vector<ec::Point> pts;
+  std::vector<ec::ScalarBytes> scalars;
+  pts.reserve(bases.size());
+  scalars.reserve(exps.size());
+  for (const Bigint& b : bases) pts.push_back(unbox(b));
+  for (const Bigint& e : exps) scalars.push_back(to_scalar(e));
+  return box(ec::encode(ec::multi_scalar_mul(pts, scalars)));
+}
+
+Bigint Ec::inv(const Bigint& a) const {
+  OpScope scope(*this);
+  return box(ec::encode(ec::neg(unbox(a))));
+}
+
+void Ec::reset_base_caches() const {
+  MutexLock lock(cache_.mu);
+  cache_.tables.clear();
+  cache_.pinned.clear();  // g's call_once comb is separate and stays
+}
+
+std::size_t Ec::cached_table_count() const {
+  MutexLock lock(cache_.mu);
+  return cache_.tables.size();
+}
+
+std::size_t Ec::pinned_table_count() const {
+  MutexLock lock(cache_.mu);
+  return cache_.pinned.size();
+}
+
+Bigint Ec::hash_to_group(std::string_view label) const {
+  OpScope scope(*this);
+  // 64 uniform bytes through the RFC 9496 one-way map: nobody learns a
+  // discrete log of the result w.r.t. g (or anything else).
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::array<std::uint8_t, 64> uniform;
+    for (std::uint32_t half = 0; half < 2; ++half) {
+      hash::Sha256 h;
+      h.update("dblind/hash-to-group/ec255/v1");
+      h.update(label);
+      const std::uint32_t counter = attempt * 2 + half;
+      std::uint8_t ctr_bytes[4] = {static_cast<std::uint8_t>(counter),
+                                   static_cast<std::uint8_t>(counter >> 8),
+                                   static_cast<std::uint8_t>(counter >> 16),
+                                   static_cast<std::uint8_t>(counter >> 24)};
+      h.update(std::span<const std::uint8_t>(ctr_bytes, 4));
+      hash::Digest d = h.finish();
+      std::copy(d.begin(), d.end(), uniform.begin() + 32 * half);
+    }
+    ec::Point pt = ec::map_to_point(uniform);
+    if (!ec::is_identity(pt)) return box(ec::encode(pt));
+    // Identity output (probability ~2^-250); re-derive with fresh counters.
+  }
+}
+
+Bigint Ec::encode_message(const Bigint& v) const {
+  if (v.is_negative() || v.is_zero() || v > max_message_)
+    throw std::invalid_argument("encode_message: value must be in [1, 2^232)");
+  OpScope scope(*this);
+  std::vector<std::uint8_t> payload_be = v.to_bytes_be(kPayloadBytes);
+  ec::EncodedPoint s{};
+  std::copy(payload_be.rbegin(), payload_be.rend(), s.begin() + 1);
+  for (unsigned tweak = 0; tweak < kMaxTweak; ++tweak) {
+    s[0] = static_cast<std::uint8_t>((tweak & 0x7f) << 1);
+    s[30] = static_cast<std::uint8_t>(tweak >> 7);
+    if (ec::decode(s)) return box(s);
+  }
+  throw std::runtime_error("encode_message: no decodable tweak (impossible)");
+}
+
+Bigint Ec::decode_message(const Bigint& elem) const {
+  OpScope scope(*this);
+  if (!try_unbox(elem))
+    throw std::invalid_argument("decode_message: not a group element");
+  std::vector<std::uint8_t> be = elem.to_bytes_be(32);
+  ec::EncodedPoint s;
+  std::copy(be.rbegin(), be.rend(), s.begin());
+  std::array<std::uint8_t, kPayloadBytes> payload_be;
+  std::copy(std::make_reverse_iterator(s.begin() + 1 + kPayloadBytes),
+            std::make_reverse_iterator(s.begin() + 1), payload_be.begin());
+  Bigint v = Bigint::from_bytes_be(payload_be);
+  if (v.is_zero())
+    throw std::invalid_argument("decode_message: element does not embed a message");
+  return v;
+}
+
+std::vector<std::uint8_t> Ec::element_bytes(const Bigint& x) const {
+  // The RFC 9496 wire encoding: 32 little-endian bytes.
+  std::vector<std::uint8_t> be = x.to_bytes_be(32);
+  std::reverse(be.begin(), be.end());
+  return be;
+}
+
+}  // namespace dblind::group::backend

@@ -1,0 +1,113 @@
+// ristretto255 backend: prime-order EC group with 32-byte canonical
+// encodings behind the backend::Group interface.
+//
+// Boxing convention: an element's Bigint value is its RFC 9496 32-byte
+// encoding interpreted as a little-endian integer (so element_bytes() emits
+// exactly the RFC encoding, and the identity boxes as Bigint 0 — the
+// all-zero string). Scalars are ordinary Bigints mod the group order
+// ell = 2^252 + 27742317777372353535851937790883648493.
+//
+// Op accounting: every group operation snapshots the thread-local field-mul
+// counter (mpz::fe_mul_count()) around its body and flushes the delta into
+// one shared atomic, mirroring MontgomeryCtx::mul_count() — deterministic,
+// and attributable per protocol phase via obs::ScopedCounterDelta.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/sync.hpp"
+#include "group/backend.hpp"
+#include "group/ristretto.hpp"
+
+namespace dblind::group::backend {
+
+class Ec final : public Group {
+ public:
+  Ec();
+
+  [[nodiscard]] Kind kind() const override { return Kind::kEc255; }
+  [[nodiscard]] std::string_view name() const override { return "ec255"; }
+  [[nodiscard]] const Bigint& p() const override { return p_; }
+  [[nodiscard]] const Bigint& q() const override { return q_; }
+  [[nodiscard]] const Bigint& g() const override { return g_; }
+  [[nodiscard]] std::size_t bits() const override { return 255; }
+
+  [[nodiscard]] Bigint identity() const override { return Bigint(0); }
+  [[nodiscard]] bool in_group(const Bigint& x) const override;
+  // Every canonical encoding is a group element; same predicate as in_group.
+  [[nodiscard]] bool in_zp_star(const Bigint& x) const override { return in_group(x); }
+
+  [[nodiscard]] Bigint pow_g(const Bigint& e) const override;
+  [[nodiscard]] Bigint pow(const Bigint& b, const Bigint& e) const override;
+  [[nodiscard]] Bigint pow_cached(const Bigint& b, const Bigint& e) const override;
+  void pin_base(const Bigint& b) const override;
+  [[nodiscard]] Bigint pow_fixed(const Bigint& b, const Bigint& e) const override;
+  [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const override;
+  [[nodiscard]] Bigint pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
+                            const Bigint& eb) const override;
+  [[nodiscard]] Bigint multi_pow(std::span<const Bigint> bases,
+                                 std::span<const Bigint> exps) const override;
+  [[nodiscard]] Bigint inv(const Bigint& a) const override;
+
+  void reset_base_caches() const override;
+  [[nodiscard]] std::size_t cached_table_count() const override;
+  [[nodiscard]] std::size_t pinned_table_count() const override;
+
+  [[nodiscard]] Bigint hash_to_group(std::string_view label) const override;
+  [[nodiscard]] Bigint encode_message(const Bigint& v) const override;
+  [[nodiscard]] Bigint decode_message(const Bigint& elem) const override;
+  [[nodiscard]] const Bigint& max_message_value() const override { return max_message_; }
+
+  [[nodiscard]] std::vector<std::uint8_t> element_bytes(const Bigint& x) const override;
+  [[nodiscard]] std::size_t element_size() const override { return 32; }
+
+  [[nodiscard]] std::uint64_t op_count() const override {
+    return op_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>* op_cell() const override {
+    return &op_count_;
+  }
+  // One GF(2^255-19) multiplication on 5 radix-2^51 limbs is 25 word
+  // multiplications (we count squarings at the same weight).
+  [[nodiscard]] std::uint64_t op_cost_weight() const override { return 25; }
+
+ private:
+  // RAII: flush the thread-local fe-mul delta into op_count_ on scope exit.
+  struct OpScope {
+    explicit OpScope(const Ec& owner)
+        : owner_(owner), start_(mpz::fe_mul_count()) {}
+    ~OpScope() {
+      owner_.op_count_.fetch_add(mpz::fe_mul_count() - start_,
+                                 std::memory_order_relaxed);
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+    const Ec& owner_;
+    std::uint64_t start_;
+  };
+
+  // Boxed Bigint -> point; throws std::invalid_argument on anything that is
+  // not a canonical encoding.
+  [[nodiscard]] ec::Point unbox(const Bigint& x) const;
+  [[nodiscard]] static Bigint box(const ec::EncodedPoint& enc);
+  [[nodiscard]] ec::ScalarBytes to_scalar(const Bigint& e) const;
+
+  Bigint p_, q_, g_, max_message_;
+  mutable std::atomic<std::uint64_t> op_count_{0};
+
+  struct TableCache {
+    std::once_flag once;
+    std::unique_ptr<const ec::CombTable> g_comb;
+    static constexpr std::size_t kMaxEntries = 64;
+    static constexpr unsigned kWindowBits = 4;
+    static constexpr unsigned kPinnedWindowBits = 5;
+    mutable Mutex mu;
+    mutable std::map<Bigint, std::shared_ptr<const ec::CombTable>> tables GUARDED_BY(mu);
+    mutable std::map<Bigint, std::shared_ptr<const ec::CombTable>> pinned GUARDED_BY(mu);
+  };
+  mutable TableCache cache_;
+};
+
+}  // namespace dblind::group::backend

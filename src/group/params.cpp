@@ -1,10 +1,12 @@
 #include "group/params.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
-#include "hash/sha256.hpp"
-
+#include "group/backend_ec.hpp"
+#include "group/backend_modp.hpp"
 #include "mpz/modmath.hpp"
 #include "mpz/prime.hpp"
 
@@ -72,27 +74,43 @@ NamedParams lookup(ParamId id) {
     case ParamId::kSec512: return {kP512, kQ512};
     case ParamId::kSec1024: return {kP1024, kQ1024};
     case ParamId::kSec2048: return {kP2048, kQ2048};
+    case ParamId::kEc255: break;  // handled by the caller
   }
   throw std::invalid_argument("GroupParams::named: unknown ParamId");
 }
 
 }  // namespace
 
-GroupParams::GroupParams(Bigint p, Bigint q, Bigint g)
-    : p_(std::move(p)),
-      q_(std::move(q)),
-      g_(std::move(g)),
-      mont_(std::make_shared<mpz::MontgomeryCtx>(p_)),
-      g_cache_(std::make_shared<FixedBaseCache>()) {}
+namespace {
+
+std::shared_ptr<const backend::Group> make_modp(Bigint p, Bigint q, Bigint g) {
+  return std::make_shared<const backend::ModP>(std::move(p), std::move(q), std::move(g));
+}
+
+}  // namespace
 
 GroupParams GroupParams::named(ParamId id) {
+  if (id == ParamId::kEc255)
+    return GroupParams(std::make_shared<const backend::Ec>());
   NamedParams np = lookup(id);
-  return GroupParams(Bigint::from_hex(np.p_hex), Bigint::from_hex(np.q_hex), Bigint(4));
+  return GroupParams(make_modp(Bigint::from_hex(np.p_hex), Bigint::from_hex(np.q_hex), Bigint(4)));
+}
+
+GroupParams GroupParams::named_or_env(ParamId id) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at setup, never written
+  const char* backend = std::getenv("DBLIND_BACKEND");
+  if (backend != nullptr) {
+    std::string_view v(backend);
+    if (v == "ec" || v == "ec255") return named(ParamId::kEc255);
+    if (!v.empty() && v != "modp")
+      throw std::invalid_argument("DBLIND_BACKEND: expected 'ec', 'ec255' or 'modp'");
+  }
+  return named(id);
 }
 
 GroupParams GroupParams::generate(std::size_t bits, mpz::Prng& prng) {
   mpz::SafePrime sp = mpz::generate_safe_prime(bits, prng);
-  return GroupParams(std::move(sp.p), std::move(sp.q), Bigint(4));
+  return GroupParams(make_modp(std::move(sp.p), std::move(sp.q), Bigint(4)));
 }
 
 GroupParams GroupParams::from_values_trusted(Bigint p, Bigint q, Bigint g) {
@@ -102,7 +120,7 @@ GroupParams GroupParams::from_values_trusted(Bigint p, Bigint q, Bigint g) {
     throw std::invalid_argument("GroupParams: generator out of range");
   if (mpz::powmod(g, q, p) != Bigint(1))
     throw std::invalid_argument("GroupParams: g does not have order dividing q");
-  return GroupParams(std::move(p), std::move(q), std::move(g));
+  return GroupParams(make_modp(std::move(p), std::move(q), std::move(g)));
 }
 
 GroupParams GroupParams::from_values(Bigint p, Bigint q, Bigint g, mpz::Prng& prng) {
@@ -114,161 +132,7 @@ GroupParams GroupParams::from_values(Bigint p, Bigint q, Bigint g, mpz::Prng& pr
     throw std::invalid_argument("GroupParams: generator out of range");
   if (mpz::powmod(g, q, p) != Bigint(1))
     throw std::invalid_argument("GroupParams: g does not have order dividing q");
-  return GroupParams(std::move(p), std::move(q), std::move(g));
-}
-
-bool GroupParams::in_group(const Bigint& x) const {
-  if (!in_zp_star(x)) return false;
-  return mpz::jacobi(x, p_) == 1;  // QR subgroup == order-q subgroup for safe primes
-}
-
-bool GroupParams::in_zp_star(const Bigint& x) const {
-  return !x.is_negative() && !x.is_zero() && x < p_;
-}
-
-bool GroupParams::is_exponent(const Bigint& x) const { return !x.is_negative() && x < q_; }
-
-Bigint GroupParams::pow_g(const Bigint& e) const {
-  std::call_once(g_cache_->once, [&] {
-    g_cache_->g_pow =
-        std::make_unique<const mpz::FixedBasePow>(*mont_, g_, q_.bit_length());
-  });
-  return g_cache_->g_pow->pow(mpz::mod(e, q_));
-}
-
-Bigint GroupParams::pow(const Bigint& b, const Bigint& e) const {
-  return mont_->pow(mpz::mod(b, p_), mpz::mod(e, q_));
-}
-
-Bigint GroupParams::pow_cached(const Bigint& b, const Bigint& e) const {
-  Bigint base = mpz::mod(b, p_);
-  std::shared_ptr<const mpz::FixedBasePow> table;
-  {
-    MutexLock lock(g_cache_->mu);
-    auto it = g_cache_->tables.find(base);
-    if (it != g_cache_->tables.end()) {
-      table = it->second;
-    } else if (g_cache_->tables.size() < FixedBaseCache::kMaxEntries) {
-      table = std::make_shared<const mpz::FixedBasePow>(*mont_, base, q_.bit_length());
-      g_cache_->tables.emplace(base, table);
-    }
-  }
-  if (!table) return mont_->pow(base, mpz::mod(e, q_));  // cache full
-  return table->pow(mpz::mod(e, q_));
-}
-
-void GroupParams::pin_base(const Bigint& b) const {
-  Bigint base = mpz::mod(b, p_);
-  if (base == g_) return;  // pow_g's comb table already covers g
-  MutexLock lock(g_cache_->mu);
-  if (g_cache_->pinned.contains(base)) return;
-  g_cache_->pinned.emplace(
-      base, std::make_shared<const mpz::FixedBasePow>(*mont_, base, q_.bit_length(),
-                                                      FixedBaseCache::kPinnedWindowBits));
-}
-
-Bigint GroupParams::pow_fixed(const Bigint& b, const Bigint& e) const {
-  Bigint base = mpz::mod(b, p_);
-  if (base == g_) return pow_g(e);
-  std::shared_ptr<const mpz::FixedBasePow> table;
-  {
-    MutexLock lock(g_cache_->mu);
-    auto it = g_cache_->pinned.find(base);
-    if (it != g_cache_->pinned.end()) table = it->second;
-  }
-  if (!table) return mont_->pow(base, mpz::mod(e, q_));  // not pinned: no insertion
-  return table->pow(mpz::mod(e, q_));
-}
-
-void GroupParams::reset_base_caches() const {
-  MutexLock lock(g_cache_->mu);
-  g_cache_->tables.clear();
-  g_cache_->pinned.clear();  // g's call_once comb is separate and stays
-}
-
-std::size_t GroupParams::cached_table_count() const {
-  MutexLock lock(g_cache_->mu);
-  return g_cache_->tables.size();
-}
-
-std::size_t GroupParams::pinned_table_count() const {
-  MutexLock lock(g_cache_->mu);
-  return g_cache_->pinned.size();
-}
-
-std::uint64_t GroupParams::mont_mul_count() const { return mont_->mul_count(); }
-
-const std::atomic<std::uint64_t>* GroupParams::mont_mul_cell() const {
-  return &mont_->mul_count_cell();
-}
-
-Bigint GroupParams::pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
-                         const Bigint& eb) const {
-  return mont_->pow2(mpz::mod(a, p_), mpz::mod(ea, q_), mpz::mod(b, p_), mpz::mod(eb, q_));
-}
-
-Bigint GroupParams::multi_pow(std::span<const Bigint> bases,
-                              std::span<const Bigint> exps) const {
-  std::vector<Bigint> reduced(bases.begin(), bases.end());
-  for (Bigint& b : reduced) {
-    if (b.is_negative() || b >= p_) b = mpz::mod(b, p_);
-  }
-  return mont_->multi_pow(reduced, exps);
-}
-
-Bigint GroupParams::mul(const Bigint& a, const Bigint& b) const {
-  return mont_->mul(mpz::mod(a, p_), mpz::mod(b, p_));
-}
-
-Bigint GroupParams::inv(const Bigint& a) const { return mpz::invmod(a, p_); }
-
-Bigint GroupParams::random_element(mpz::Prng& prng) const {
-  return pow_g(random_exponent(prng));
-}
-
-Bigint GroupParams::random_exponent(mpz::Prng& prng) const {
-  return prng.uniform_nonzero_below(q_);
-}
-
-Bigint GroupParams::hash_to_group(std::string_view label) const {
-  // Expand the label to >= |p| + 64 bits of digest material so the reduction
-  // mod p is statistically uniform, then square to land in the QR subgroup.
-  const std::size_t need = element_size() + 8;
-  std::vector<std::uint8_t> material;
-  std::uint32_t counter = 0;
-  for (;;) {
-    material.clear();
-    while (material.size() < need) {
-      hash::Sha256 h;
-      h.update("dblind/hash-to-group/v1");
-      h.update(label);
-      std::uint8_t ctr_bytes[4] = {static_cast<std::uint8_t>(counter),
-                                   static_cast<std::uint8_t>(counter >> 8),
-                                   static_cast<std::uint8_t>(counter >> 16),
-                                   static_cast<std::uint8_t>(counter >> 24)};
-      h.update(std::span<const std::uint8_t>(ctr_bytes, 4));
-      hash::Digest d = h.finish();
-      material.insert(material.end(), d.begin(), d.end());
-      ++counter;
-    }
-    Bigint v = mpz::mod(Bigint::from_bytes_be(material), p_);
-    Bigint e = mont_->mul(v, v);  // v^2: a quadratic residue
-    if (in_group(e) && e != Bigint(1)) return e;
-    // v was 0, 1 or p-1 (astronomically unlikely); extend and retry.
-  }
-}
-
-Bigint GroupParams::encode_message(const Bigint& v) const {
-  if (v.is_negative() || v.is_zero() || v > q_)
-    throw std::invalid_argument("encode_message: value must be in [1, q]");
-  if (mpz::jacobi(v, p_) == 1) return v;
-  return p_ - v;
-}
-
-Bigint GroupParams::decode_message(const Bigint& elem) const {
-  if (!in_group(elem)) throw std::invalid_argument("decode_message: not a group element");
-  if (elem <= q_) return elem;
-  return p_ - elem;
+  return GroupParams(make_modp(std::move(p), std::move(q), std::move(g)));
 }
 
 Bigint GroupParams::encode_bytes(std::span<const std::uint8_t> bytes) const {
@@ -278,7 +142,8 @@ Bigint GroupParams::encode_bytes(std::span<const std::uint8_t> bytes) const {
   framed[0] = 0x01;
   std::copy(bytes.begin(), bytes.end(), framed.begin() + 1);
   Bigint v = Bigint::from_bytes_be(framed);
-  if (v > q_) throw std::invalid_argument("encode_bytes: payload too large for group");
+  if (v > max_message_value())
+    throw std::invalid_argument("encode_bytes: payload too large for group");
   return encode_message(v);
 }
 
@@ -288,10 +153,6 @@ std::vector<std::uint8_t> GroupParams::decode_bytes(const Bigint& elem) const {
   if (framed.empty() || framed[0] != 0x01)
     throw std::invalid_argument("decode_bytes: missing sentinel");
   return {framed.begin() + 1, framed.end()};
-}
-
-std::vector<std::uint8_t> GroupParams::element_bytes(const Bigint& x) const {
-  return x.to_bytes_be(element_size());
 }
 
 }  // namespace dblind::group

@@ -1,29 +1,38 @@
-// Safe-prime group parameters for ElGamal.
+// Group parameters for ElGamal — the facade over the group backends.
 //
 // The paper (§3) fixes large primes p, q with p = 2q + 1 and works in the
-// cyclic subgroup G_p ⊆ Z_p* of order q, with generator g. All services
-// share one parameter set; only the key pairs differ.
+// cyclic subgroup G_p ⊆ Z_p* of order q with generator g. Everything the
+// protocol does with that group is generic prime-order algebra, so the same
+// facade now fronts two backends (group/backend.hpp):
+//
+//   mod-p  (backend::ModP) — the paper's safe-prime QR subgroup; the
+//          differential oracle. Named ids kToy64 .. kSec2048.
+//   ec255  (backend::Ec)   — ristretto255, a prime-order group over
+//          Curve25519 with 32-byte canonical encodings. Named id kEc255.
+//
+// Group elements are Bigints holding the backend's canonical encoding, so
+// call sites (ciphertexts, proofs, commitments, transcripts, codecs) are
+// backend-agnostic. Use identity()/is_identity() instead of Bigint(1) — the
+// EC identity encodes as 0.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "core/sync.hpp"
+#include "group/backend.hpp"
 #include "mpz/bigint.hpp"
-#include "mpz/montgomery.hpp"
 #include "mpz/random.hpp"
 
 namespace dblind::group {
 
 using mpz::Bigint;
 
-// Named, pre-generated parameter sets (safe primes found once offline with
-// 40-round Miller-Rabin; see tests/group/params_test.cpp for re-verification).
+// Named, pre-generated parameter sets. The mod-p sets embed safe primes found
+// once offline with 40-round Miller-Rabin (see tests/group/params_test.cpp
+// for re-verification); kEc255 is the fixed ristretto255 group.
 enum class ParamId : std::uint8_t {
   kToy64 = 0,  // tests only — breakable, never for real secrets
   kTest128,
@@ -31,45 +40,72 @@ enum class ParamId : std::uint8_t {
   kSec512,
   kSec1024,  // "realistic" for the paper's 2005 setting
   kSec2048,
+  kEc255,  // ristretto255 (~128-bit security, 32-byte elements)
 };
+
+using backend::Kind;
 
 class GroupParams {
  public:
   // Fixed named parameters; cheap (values are embedded constants).
   static GroupParams named(ParamId id);
+  // `id` unless the DBLIND_BACKEND environment variable overrides the
+  // backend ("ec"/"ec255" -> kEc255, "modp" or unset -> `id`). This is how
+  // the CI backend matrix retargets default-parameter tests and harnesses
+  // without touching each call site.
+  static GroupParams named_or_env(ParamId id);
   // Fresh safe-prime group of `bits` bits; expensive for large sizes.
+  // (mod-p only: the EC group is fixed, not generated.)
   static GroupParams generate(std::size_t bits, mpz::Prng& prng);
-  // Explicit values; validates p = 2q+1, primality (with `prng`), and that
-  // g generates the order-q subgroup. Throws std::invalid_argument.
+  // Explicit mod-p values; validates p = 2q+1, primality (with `prng`), and
+  // that g generates the order-q subgroup. Throws std::invalid_argument.
   static GroupParams from_values(Bigint p, Bigint q, Bigint g, mpz::Prng& prng);
-  // Explicit values with structural checks only (p = 2q+1, g^q == 1) — for
-  // material loaded from trusted local storage where primality was already
-  // established. Throws std::invalid_argument on structural violations.
+  // Explicit mod-p values with structural checks only (p = 2q+1, g^q == 1) —
+  // for material loaded from trusted local storage where primality was
+  // already established. Throws std::invalid_argument on structural
+  // violations.
   static GroupParams from_values_trusted(Bigint p, Bigint q, Bigint g);
 
-  [[nodiscard]] const Bigint& p() const { return p_; }
-  [[nodiscard]] const Bigint& q() const { return q_; }
-  [[nodiscard]] const Bigint& g() const { return g_; }
-  [[nodiscard]] std::size_t bits() const { return p_.bit_length(); }
+  // Which backend this group runs on.
+  [[nodiscard]] Kind backend_kind() const { return impl_->kind(); }
+  [[nodiscard]] std::string_view backend_name() const { return impl_->name(); }
 
-  // True iff x is in the order-q subgroup G_p (i.e. x is a nonzero quadratic
-  // residue mod p).
-  [[nodiscard]] bool in_group(const Bigint& x) const;
-  // True iff x in [1, p-1].
-  [[nodiscard]] bool in_zp_star(const Bigint& x) const;
+  // Field modulus (mod-p: p; ec255: 2^255 - 19, display/transcript use only).
+  [[nodiscard]] const Bigint& p() const { return impl_->p(); }
+  // Prime group order.
+  [[nodiscard]] const Bigint& q() const { return impl_->q(); }
+  // Canonical encoding of the generator.
+  [[nodiscard]] const Bigint& g() const { return impl_->g(); }
+  [[nodiscard]] std::size_t bits() const { return impl_->bits(); }
+
+  // Canonical encoding of the neutral element (mod-p: 1; ec255: 0).
+  [[nodiscard]] Bigint identity() const { return impl_->identity(); }
+  [[nodiscard]] bool is_identity(const Bigint& x) const { return x == impl_->identity(); }
+
+  // True iff x is a canonical group-element encoding (mod-p: nonzero QR).
+  [[nodiscard]] bool in_group(const Bigint& x) const { return impl_->in_group(x); }
+  // Cheap wire well-formedness check (mod-p: x in [1, p-1]; ec255: same as
+  // in_group — every canonical encoding is an element).
+  [[nodiscard]] bool in_zp_star(const Bigint& x) const { return impl_->in_zp_star(x); }
   // True iff x in [0, q).
-  [[nodiscard]] bool is_exponent(const Bigint& x) const;
+  [[nodiscard]] bool is_exponent(const Bigint& x) const {
+    return !x.is_negative() && x < impl_->q();
+  }
 
-  // g^e mod p (e reduced mod q first).
-  [[nodiscard]] Bigint pow_g(const Bigint& e) const;
-  // b^e mod p.
-  [[nodiscard]] Bigint pow(const Bigint& b, const Bigint& e) const;
-  // b^e mod p through a per-base FixedBasePow table, built on first use and
-  // shared across all copies of this GroupParams (and threads). Meant for
-  // long-lived bases — service public keys, encryption commitments — that
-  // each see many verification exponentiations. The cache is capped; overflow
-  // falls back to pow(). Semantically identical to pow().
-  [[nodiscard]] Bigint pow_cached(const Bigint& b, const Bigint& e) const;
+  // g^e (e reduced mod q first).
+  [[nodiscard]] Bigint pow_g(const Bigint& e) const { return impl_->pow_g(e); }
+  // b^e.
+  [[nodiscard]] Bigint pow(const Bigint& b, const Bigint& e) const {
+    return impl_->pow(b, e);
+  }
+  // b^e through a per-base fixed-base table, built on first use and shared
+  // across all copies of this GroupParams (and threads). Meant for long-lived
+  // bases — service public keys, encryption commitments — that each see many
+  // verification exponentiations. The cache is capped; overflow falls back to
+  // pow(). Semantically identical to pow().
+  [[nodiscard]] Bigint pow_cached(const Bigint& b, const Bigint& e) const {
+    return impl_->pow_cached(b, e);
+  }
   // Pins `b` as a protocol base: builds a wide (5-bit window) comb table for
   // it once per key epoch, shared const thereafter across all copies of this
   // GroupParams (and threads). Unlike pow_cached's capped on-demand map, the
@@ -77,23 +113,31 @@ class GroupParams {
   // fresh bases cannot touch it. Idempotent; pinning g itself is a no-op
   // (pow_g already combs it). Called by ProtocolServer for y_A, y_B and
   // y_A·y_B, and by PedersenParams for h.
-  void pin_base(const Bigint& b) const;
-  // b^e mod p through the pinned comb table when `b` was pinned (or is g);
+  void pin_base(const Bigint& b) const { impl_->pin_base(b); }
+  // b^e through the pinned comb table when `b` was pinned (or is g);
   // otherwise a plain pow() — never inserts into any cache, so it is safe on
   // the prover hot path even for ad-hoc bases. Semantically identical to
   // pow().
-  [[nodiscard]] Bigint pow_fixed(const Bigint& b, const Bigint& e) const;
-  // a*b mod p.
-  [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const;
-  // a^ea * b^eb mod p (Shamir's trick; exponents reduced mod q).
+  [[nodiscard]] Bigint pow_fixed(const Bigint& b, const Bigint& e) const {
+    return impl_->pow_fixed(b, e);
+  }
+  // Group operation a·b.
+  [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const {
+    return impl_->mul(a, b);
+  }
+  // a^ea · b^eb (Shamir's trick; exponents reduced mod q).
   [[nodiscard]] Bigint pow2(const Bigint& a, const Bigint& ea, const Bigint& b,
-                            const Bigint& eb) const;
-  // Π bases[i]^{exps[i]} mod p (interleaved multi-exponentiation). Bases are
-  // reduced mod p; exponents must already be in [0, q).
+                            const Bigint& eb) const {
+    return impl_->pow2(a, ea, b, eb);
+  }
+  // Π bases[i]^{exps[i]} (interleaved multi-exponentiation / Pippenger).
+  // Exponents must already be in [0, q).
   [[nodiscard]] Bigint multi_pow(std::span<const Bigint> bases,
-                                 std::span<const Bigint> exps) const;
-  // a^{-1} mod p.
-  [[nodiscard]] Bigint inv(const Bigint& a) const;
+                                 std::span<const Bigint> exps) const {
+    return impl_->multi_pow(bases, exps);
+  }
+  // Group inverse a^{-1}.
+  [[nodiscard]] Bigint inv(const Bigint& a) const { return impl_->inv(a); }
 
   // Epoch-boundary invalidation (core/reconfig): drops every on-demand
   // pow_cached table AND every pinned comb except g's own. Bases tied to a
@@ -102,79 +146,94 @@ class GroupParams {
   // still live afterwards. Shared across all copies of this GroupParams, so
   // one server's install clears the process-wide cache — semantically a
   // no-op (pow_cached/pow_fixed degrade to pow()), never a safety issue.
-  void reset_base_caches() const;
+  void reset_base_caches() const { impl_->reset_base_caches(); }
   // Table counts (tests/observability): on-demand and pinned respectively.
-  [[nodiscard]] std::size_t cached_table_count() const;
-  [[nodiscard]] std::size_t pinned_table_count() const;
+  [[nodiscard]] std::size_t cached_table_count() const {
+    return impl_->cached_table_count();
+  }
+  [[nodiscard]] std::size_t pinned_table_count() const {
+    return impl_->pinned_table_count();
+  }
 
   // Uniformly random group element (random exponent applied to g).
-  [[nodiscard]] Bigint random_element(mpz::Prng& prng) const;
+  [[nodiscard]] Bigint random_element(mpz::Prng& prng) const {
+    return impl_->pow_g(random_exponent(prng));
+  }
   // Uniformly random exponent in [1, q).
-  [[nodiscard]] Bigint random_exponent(mpz::Prng& prng) const;
+  [[nodiscard]] Bigint random_exponent(mpz::Prng& prng) const {
+    return prng.uniform_nonzero_below(impl_->q());
+  }
 
   // Deterministically derives a group element from a label such that nobody
-  // knows its discrete log w.r.t. g (hash, reduce mod p, square into the QR
-  // subgroup). Used e.g. as the second base `h` of Pedersen commitments.
-  [[nodiscard]] Bigint hash_to_group(std::string_view label) const;
+  // knows its discrete log w.r.t. g (mod-p: hash, reduce, square into the QR
+  // subgroup; ec255: the RFC 9496 one-way map). Used e.g. as the second base
+  // `h` of Pedersen commitments.
+  [[nodiscard]] Bigint hash_to_group(std::string_view label) const {
+    return impl_->hash_to_group(label);
+  }
 
   // -- Message encoding (§3 requires m ∈ G_p) -------------------------------
   //
-  // For p = 2q+1 every value v in [1, q] maps injectively into the QR
-  // subgroup as: v if v is a QR mod p, else p - v. Decoding inverts the map.
-  // Throws std::invalid_argument when v is outside [1, q].
-  [[nodiscard]] Bigint encode_message(const Bigint& v) const;
-  [[nodiscard]] Bigint decode_message(const Bigint& elem) const;
-  // Convenience: encode/decode short byte strings (must fit below q).
+  // Injective value -> element embedding, inverted by decode_message. Valid
+  // inputs are [1, max_message_value()] (mod-p: q, via the QR-or-negate map;
+  // ec255: 2^232 - 1, embedded in the canonical encoding's payload bytes).
+  // Throws std::invalid_argument outside that range.
+  [[nodiscard]] Bigint encode_message(const Bigint& v) const {
+    return impl_->encode_message(v);
+  }
+  [[nodiscard]] Bigint decode_message(const Bigint& elem) const {
+    return impl_->decode_message(elem);
+  }
+  [[nodiscard]] const Bigint& max_message_value() const {
+    return impl_->max_message_value();
+  }
+  // Convenience: encode/decode short byte strings (must fit below
+  // max_message_value once framed).
   [[nodiscard]] Bigint encode_bytes(std::span<const std::uint8_t> bytes) const;
   [[nodiscard]] std::vector<std::uint8_t> decode_bytes(const Bigint& elem) const;
 
-  // Canonical serialized form of an element (fixed-width big-endian), used in
-  // hashes and message encodings.
-  [[nodiscard]] std::vector<std::uint8_t> element_bytes(const Bigint& x) const;
-  [[nodiscard]] std::size_t element_size() const { return (bits() + 7) / 8; }
+  // Canonical serialized form of an element (mod-p: fixed-width big-endian
+  // residue; ec255: the 32-byte RFC 9496 encoding), used in hashes and
+  // message encodings.
+  [[nodiscard]] std::vector<std::uint8_t> element_bytes(const Bigint& x) const {
+    return impl_->element_bytes(x);
+  }
+  [[nodiscard]] std::size_t element_size() const { return impl_->element_size(); }
 
-  // Montgomery multiplications performed through this modulus' shared context
-  // (all GroupParams copies with the same p count into one total). The bench
-  // regression gate diffs this across batched/serial verification runs.
-  [[nodiscard]] std::uint64_t mont_mul_count() const;
-  // The underlying counter cell (valid while any copy of this GroupParams
-  // is alive) — lets obs::ScopedCounterDelta attribute mont-muls to a
-  // protocol phase without repeated shared-context lookups.
-  [[nodiscard]] const std::atomic<std::uint64_t>* mont_mul_cell() const;
+  // Deterministic group-op counter shared by all copies of this GroupParams:
+  // Montgomery multiplications (mod-p) or field multiplications (ec255). The
+  // bench regression gates diff this across runs.
+  [[nodiscard]] std::uint64_t group_op_count() const { return impl_->op_count(); }
+  // The underlying counter cell (valid while any copy of this GroupParams is
+  // alive) — lets obs::ScopedCounterDelta attribute group ops to a protocol
+  // phase without repeated lookups.
+  [[nodiscard]] const std::atomic<std::uint64_t>* group_op_cell() const {
+    return impl_->op_cell();
+  }
+  // Approximate 64x64-bit word multiplications per counted op — the common
+  // unit for cross-backend cost comparisons (bench_check PR 10 gate).
+  [[nodiscard]] std::uint64_t op_cost_weight() const { return impl_->op_cost_weight(); }
+
+  // Historical aliases (every pre-backend call site counted mont-muls; on
+  // the EC backend these count field muls instead).
+  [[nodiscard]] std::uint64_t mont_mul_count() const { return impl_->op_count(); }
+  [[nodiscard]] const std::atomic<std::uint64_t>* mont_mul_cell() const {
+    return impl_->op_cell();
+  }
 
   friend bool operator==(const GroupParams& a, const GroupParams& b) {
-    return a.p_ == b.p_ && a.g_ == b.g_;
+    return a.impl_->kind() == b.impl_->kind() && a.impl_->p() == b.impl_->p() &&
+           a.impl_->g() == b.impl_->g();
   }
 
  private:
-  GroupParams(Bigint p, Bigint q, Bigint g);
+  explicit GroupParams(std::shared_ptr<const backend::Group> impl)
+      : impl_(std::move(impl)) {}
 
-  Bigint p_, q_, g_;
   // Shared so that copies of GroupParams (passed around freely by services,
-  // servers, and messages) reuse one Montgomery context per modulus.
-  std::shared_ptr<const mpz::MontgomeryCtx> mont_;
-  // Lazily-built fixed-base table for g (pow_g is the hottest operation in
-  // the protocol). Guarded by call_once so copies shared across threads
-  // (e.g. under net::ThreadedBus) build it exactly once. Declared after
-  // mont_ so the table (which references *mont_) is destroyed first.
-  struct FixedBaseCache {
-    // g's comb table: written exactly once through call_once (an ordering
-    // primitive the thread-safety analysis does not model), const
-    // thereafter; readers go through the same call_once barrier.
-    std::once_flag once;
-    std::unique_ptr<const mpz::FixedBasePow> g_pow;
-    // pow_cached() tables for other long-lived bases (public keys, encryption
-    // commitments), built on demand under `mu` and capped at kMaxEntries so a
-    // hostile peer spraying fresh bases cannot balloon memory.
-    static constexpr std::size_t kMaxEntries = 64;
-    Mutex mu;
-    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> tables GUARDED_BY(mu);
-    // pin_base() tables: wide-window combs for the handful of protocol bases
-    // (h, y_A, y_B, y_A·y_B). Uncapped because only explicit pins enter.
-    static constexpr std::size_t kPinnedWindowBits = 5;
-    std::map<Bigint, std::shared_ptr<const mpz::FixedBasePow>> pinned GUARDED_BY(mu);
-  };
-  std::shared_ptr<FixedBaseCache> g_cache_;
+  // servers, and messages) reuse one backend instance — one Montgomery
+  // context / comb-table cache / op counter per group.
+  std::shared_ptr<const backend::Group> impl_;
 };
 
 }  // namespace dblind::group

@@ -1,0 +1,299 @@
+#include "group/ristretto.hpp"
+
+#include "mpz/fe25519.hpp"
+
+namespace dblind::group::ec {
+
+namespace {
+
+using mpz::fe_abs;
+using mpz::fe_add;
+using mpz::fe_cmov;
+using mpz::fe_eq;
+using mpz::fe_from_bytes;
+using mpz::fe_invert;
+using mpz::fe_is_negative;
+using mpz::fe_is_zero;
+using mpz::fe_mul;
+using mpz::fe_neg;
+using mpz::fe_sq;
+using mpz::fe_sqrt_ratio_m1;
+using mpz::fe_sub;
+using mpz::fe_to_bytes;
+
+// Curve and Ristretto constants (limbs generated from the exact values in
+// RFC 7748 / RFC 9496 and cross-checked by tests/group/ristretto_test.cpp
+// against the published generator-multiple vectors).
+constexpr Fe25519 kD{{0x34dca135978a3, 0x1a8283b156ebd, 0x5e7a26001c029,
+                      0x739c663a03cbb, 0x52036cee2b6ff}};
+constexpr Fe25519 k2D{{0x69b9426b2f159, 0x35050762add7a, 0x3cf44c0038052,
+                       0x6738cc7407977, 0x2406d9dc56dff}};
+constexpr Fe25519 kSqrtM1{{0x61b274a0ea0b0, 0xd5a5fc8f189d, 0x7ef5e9cbd0c60,
+                           0x78595a6804c9e, 0x2b8324804fc1d}};
+constexpr Fe25519 kInvSqrtAMinusD{{0xfdaa805d40ea, 0x2eb482e57d339, 0x7610274bc58,
+                                   0x6510b613dc8ff, 0x786c8905cfaff}};
+constexpr Fe25519 kSqrtAdMinusOne{{0x95fb684d1d2, 0x67c90f568502d, 0x28b8094189c7,
+                                   0x3a9f861819b67, 0x4896ce40d47cb}};
+constexpr Fe25519 kOneMinusDSq{{0x409c1945fc176, 0x719abc6a1fc4f, 0x1c37f90b20684,
+                                0x6bccca55eedf, 0x29072a8b2b3e}};
+constexpr Fe25519 kDMinusOneSq{{0x55aaa44ed4d20, 0x59603c3332635, 0x26d3baf4a7928,
+                                0x120a66e6997a9, 0x5968b37af66c2}};
+// Generator: the Ed25519 base point (x even, y = 4/5).
+constexpr Fe25519 kBaseX{{0x62d608f25d51a, 0x412a4b4f6592a, 0x75b7171a4b31d,
+                          0x1ff60527118fe, 0x216936d3cd6e5}};
+constexpr Fe25519 kBaseY{{0x6666666666658, 0x4cccccccccccc, 0x1999999999999,
+                          0x3333333333333, 0x6666666666666}};
+constexpr Fe25519 kBaseT{{0x68ab3a5b7dda3, 0xeea2a5eadbb, 0x2af8df483c27e,
+                          0x332b375274732, 0x67875f0fd78b7}};
+
+// Nibble/bit-window digit of a little-endian scalar: bits [w*i, w*i + w).
+unsigned digit_of(const ScalarBytes& s, unsigned w, unsigned i) {
+  const unsigned bit = w * i;
+  const unsigned byte = bit / 8;
+  if (byte >= 32) return 0;
+  unsigned v = s[byte] >> (bit % 8);
+  if (bit % 8 + w > 8 && byte + 1 < 32) v |= unsigned{s[byte + 1]} << (8 - bit % 8);
+  return v & ((1U << w) - 1U);
+}
+
+}  // namespace
+
+const ScalarBytes& group_order_le() {
+  static const ScalarBytes ell = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                                  0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                                  0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                  0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+  return ell;
+}
+
+Point identity() {
+  return Point{Fe25519::zero(), Fe25519::one(), Fe25519::one(), Fe25519::zero()};
+}
+
+const Point& base_point() {
+  static const Point base{kBaseX, kBaseY, Fe25519::one(), kBaseT};
+  return base;
+}
+
+// Unified extended-coordinate addition (add-2008-hwcd-3, a = -1). Complete
+// for ed25519 (a square, d non-square), so identity and doubling inputs need
+// no special cases.
+Point add(const Point& a, const Point& b) {
+  Fe25519 A = fe_mul(fe_sub(a.Y, a.X), fe_sub(b.Y, b.X));
+  Fe25519 B = fe_mul(fe_add(a.Y, a.X), fe_add(b.Y, b.X));
+  Fe25519 C = fe_mul(fe_mul(a.T, k2D), b.T);
+  Fe25519 D = fe_mul(fe_add(a.Z, a.Z), b.Z);
+  Fe25519 E = fe_sub(B, A);
+  Fe25519 F = fe_sub(D, C);
+  Fe25519 G = fe_add(D, C);
+  Fe25519 H = fe_add(B, A);
+  return Point{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+// dbl-2008-hwcd (a = -1): 4M + 4S, cheaper than add(a, a).
+Point dbl(const Point& a) {
+  Fe25519 A = fe_sq(a.X);
+  Fe25519 B = fe_sq(a.Y);
+  Fe25519 C = fe_add(fe_sq(a.Z), fe_sq(a.Z));
+  Fe25519 D = fe_neg(A);
+  Fe25519 E = fe_sub(fe_sub(fe_sq(fe_add(a.X, a.Y)), A), B);
+  Fe25519 G = fe_add(D, B);
+  Fe25519 F = fe_sub(G, C);
+  Fe25519 H = fe_sub(D, B);
+  return Point{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+Point neg(const Point& a) { return Point{fe_neg(a.X), a.Y, a.Z, fe_neg(a.T)}; }
+
+bool eq(const Point& a, const Point& b) {
+  // RFC 9496 §4.3.3: equal iff X1*Y2 == Y1*X2 or Y1*Y2 == X1*X2 (the second
+  // disjunct catches the torsion-rotated representatives).
+  return fe_eq(fe_mul(a.X, b.Y), fe_mul(a.Y, b.X)) ||
+         fe_eq(fe_mul(a.Y, b.Y), fe_mul(a.X, b.X));
+}
+
+bool is_identity(const Point& a) { return eq(a, identity()); }
+
+EncodedPoint encode(const Point& a) {
+  // RFC 9496 §4.3.2.
+  Fe25519 u1 = fe_mul(fe_add(a.Z, a.Y), fe_sub(a.Z, a.Y));
+  Fe25519 u2 = fe_mul(a.X, a.Y);
+  Fe25519 inv_sqrt =
+      fe_sqrt_ratio_m1(Fe25519::one(), fe_mul(u1, fe_sq(u2))).root;
+  Fe25519 den1 = fe_mul(inv_sqrt, u1);
+  Fe25519 den2 = fe_mul(inv_sqrt, u2);
+  Fe25519 z_inv = fe_mul(fe_mul(den1, den2), a.T);
+
+  Fe25519 ix0 = fe_mul(a.X, kSqrtM1);
+  Fe25519 iy0 = fe_mul(a.Y, kSqrtM1);
+  Fe25519 enchanted = fe_mul(den1, kInvSqrtAMinusD);
+  const bool rotate = fe_is_negative(fe_mul(a.T, z_inv));
+
+  Fe25519 x = a.X, y = a.Y, den_inv = den2;
+  fe_cmov(x, iy0, rotate);
+  fe_cmov(y, ix0, rotate);
+  fe_cmov(den_inv, enchanted, rotate);
+
+  Fe25519 y_neg = fe_neg(y);
+  fe_cmov(y, y_neg, fe_is_negative(fe_mul(x, z_inv)));
+
+  Fe25519 s = fe_abs(fe_mul(den_inv, fe_sub(a.Z, y)));
+  EncodedPoint out;
+  fe_to_bytes(std::span<std::uint8_t, 32>(out), s);
+  return out;
+}
+
+std::optional<Point> decode(std::span<const std::uint8_t, 32> in) {
+  // RFC 9496 §4.3.1. Canonicality first: the bytes must round-trip (rejects
+  // values >= p and a set high bit) and s must be non-negative.
+  Fe25519 s = fe_from_bytes(in);
+  EncodedPoint canon;
+  fe_to_bytes(std::span<std::uint8_t, 32>(canon), s);
+  for (std::size_t i = 0; i < 32; ++i)
+    if (canon[i] != in[i]) return std::nullopt;
+  if (fe_is_negative(s)) return std::nullopt;
+
+  Fe25519 ss = fe_sq(s);
+  Fe25519 u1 = fe_sub(Fe25519::one(), ss);
+  Fe25519 u2 = fe_add(Fe25519::one(), ss);
+  Fe25519 u2_sqr = fe_sq(u2);
+  Fe25519 v = fe_sub(fe_neg(fe_mul(kD, fe_sq(u1))), u2_sqr);
+  auto [was_square, inv_sqrt] =
+      fe_sqrt_ratio_m1(Fe25519::one(), fe_mul(v, u2_sqr));
+  if (!was_square) return std::nullopt;
+
+  Fe25519 den_x = fe_mul(inv_sqrt, u2);
+  Fe25519 den_y = fe_mul(fe_mul(inv_sqrt, den_x), v);
+  Fe25519 x = fe_abs(fe_mul(fe_add(s, s), den_x));
+  Fe25519 y = fe_mul(u1, den_y);
+  Fe25519 t = fe_mul(x, y);
+  if (fe_is_negative(t) || fe_is_zero(y)) return std::nullopt;
+  return Point{x, y, Fe25519::one(), t};
+}
+
+Point scalar_mul(const Point& base, const ScalarBytes& scalar) {
+  // 4-bit fixed window, top-down.
+  std::array<Point, 16> table;
+  table[0] = identity();
+  table[1] = base;
+  for (std::size_t j = 2; j < 16; ++j) table[j] = add(table[j - 1], base);
+  Point acc = identity();
+  for (int i = 63; i >= 0; --i) {
+    if (i != 63)
+      acc = dbl(dbl(dbl(dbl(acc))));
+    const unsigned d = digit_of(scalar, 4, static_cast<unsigned>(i));
+    if (d != 0) acc = add(acc, table[d]);
+  }
+  return acc;
+}
+
+namespace {
+
+// RFC 9496 §4.3.4 MAP: field element -> point (one half of the one-way map).
+Point elligator_map(const Fe25519& t) {
+  Fe25519 r = fe_mul(kSqrtM1, fe_sq(t));
+  Fe25519 u = fe_mul(fe_add(r, Fe25519::one()), kOneMinusDSq);
+  Fe25519 minus_one = fe_neg(Fe25519::one());
+  Fe25519 v = fe_mul(fe_sub(minus_one, fe_mul(r, kD)), fe_add(r, kD));
+  auto [was_square, s] = fe_sqrt_ratio_m1(u, v);
+  Fe25519 s_prime = fe_neg(fe_abs(fe_mul(s, t)));
+  fe_cmov(s_prime, s, was_square);
+  s = s_prime;
+  Fe25519 c = r;
+  fe_cmov(c, minus_one, was_square);
+  Fe25519 n = fe_sub(fe_mul(fe_mul(c, fe_sub(r, Fe25519::one())), kDMinusOneSq), v);
+  Fe25519 w0 = fe_mul(fe_add(s, s), v);
+  Fe25519 w1 = fe_mul(n, kSqrtAdMinusOne);
+  Fe25519 w2 = fe_sub(Fe25519::one(), fe_sq(s));
+  Fe25519 w3 = fe_add(Fe25519::one(), fe_sq(s));
+  return Point{fe_mul(w0, w3), fe_mul(w2, w1), fe_mul(w1, w3), fe_mul(w0, w2)};
+}
+
+}  // namespace
+
+Point map_to_point(std::span<const std::uint8_t, 64> uniform) {
+  // fe_from_bytes masks the top bit of each half, per the RFC.
+  Fe25519 t1 = fe_from_bytes(uniform.subspan<0, 32>());
+  Fe25519 t2 = fe_from_bytes(uniform.subspan<32, 32>());
+  return add(elligator_map(t1), elligator_map(t2));
+}
+
+CombTable::CombTable(const Point& base, unsigned window_bits) : window_(window_bits) {
+  const unsigned positions = (255 + window_ - 1) / window_ + 1;
+  const std::size_t row_len = std::size_t{1} << window_;
+  table_.resize(positions);
+  Point pos_base = base;
+  for (unsigned i = 0; i < positions; ++i) {
+    auto& row = table_[i];
+    row.resize(row_len);
+    row[0] = identity();
+    for (std::size_t j = 1; j < row_len; ++j) row[j] = add(row[j - 1], pos_base);
+    for (unsigned b = 0; b < window_; ++b) pos_base = dbl(pos_base);
+  }
+}
+
+Point CombTable::mul(const ScalarBytes& scalar) const {
+  Point acc = identity();
+  for (unsigned i = 0; i < table_.size(); ++i) {
+    const unsigned d = digit_of(scalar, window_, i);
+    if (d != 0) acc = add(acc, table_[i][d]);
+  }
+  return acc;
+}
+
+namespace {
+
+Point straus_mul(std::span<const Point> bases, std::span<const ScalarBytes> scalars) {
+  // Interleaved 4-bit windows (Shamir's trick generalized).
+  const std::size_t n = bases.size();
+  std::vector<std::array<Point, 16>> tables(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    tables[k][0] = identity();
+    tables[k][1] = bases[k];
+    for (std::size_t j = 2; j < 16; ++j) tables[k][j] = add(tables[k][j - 1], bases[k]);
+  }
+  Point acc = identity();
+  for (int i = 63; i >= 0; --i) {
+    if (i != 63) acc = dbl(dbl(dbl(dbl(acc))));
+    for (std::size_t k = 0; k < n; ++k) {
+      const unsigned d = digit_of(scalars[k], 4, static_cast<unsigned>(i));
+      if (d != 0) acc = add(acc, tables[k][d]);
+    }
+  }
+  return acc;
+}
+
+Point pippenger_mul(std::span<const Point> bases, std::span<const ScalarBytes> scalars) {
+  constexpr unsigned c = 6;  // bucket window
+  constexpr unsigned kWindows = (256 + c - 1) / c;
+  const std::size_t n_buckets = (std::size_t{1} << c) - 1;
+  Point acc = identity();
+  std::vector<Point> buckets(n_buckets);
+  for (int w = static_cast<int>(kWindows) - 1; w >= 0; --w) {
+    if (w != static_cast<int>(kWindows) - 1)
+      for (unsigned b = 0; b < c; ++b) acc = dbl(acc);
+    for (auto& b : buckets) b = identity();
+    for (std::size_t k = 0; k < bases.size(); ++k) {
+      const unsigned d = digit_of(scalars[k], c, static_cast<unsigned>(w));
+      if (d != 0) buckets[d - 1] = add(buckets[d - 1], bases[k]);
+    }
+    Point running = identity();
+    Point sum = identity();
+    for (std::size_t j = n_buckets; j-- > 0;) {
+      running = add(running, buckets[j]);
+      sum = add(sum, running);
+    }
+    acc = add(acc, sum);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Point multi_scalar_mul(std::span<const Point> bases, std::span<const ScalarBytes> scalars) {
+  if (bases.empty()) return identity();
+  if (bases.size() <= kStrausMaxBases) return straus_mul(bases, scalars);
+  return pippenger_mul(bases, scalars);
+}
+
+}  // namespace dblind::group::ec

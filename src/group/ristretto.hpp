@@ -1,0 +1,85 @@
+// ristretto255: a prime-order group over Curve25519 (RFC 9496).
+//
+// Points live on the twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 over
+// GF(2^255-19) in extended homogeneous coordinates (X:Y:Z:T) with x = X/Z,
+// y = Y/Z, x*y = T/Z. The Ristretto encoding quotients out the {±1, ±i}
+// torsion so the abstraction exposed here is a clean prime-order group of
+// order ell = 2^252 + 27742317777372353535851937790883648493 with canonical
+// 32-byte encodings: every group element has exactly one valid encoding, and
+// decode rejects everything else (non-canonical field element, negative s,
+// off-curve / wrong-coset values). That canonicality is what lets the group
+// backend box encodings in Bigint and hash them into transcripts directly.
+//
+// Scalar multiplication uses 4-bit fixed windows; fixed bases get comb tables
+// mirroring mpz::FixedBasePow; multi-scalar-mul interleaves Straus windows
+// for small batches and switches to Pippenger buckets for wide ones —
+// the same shape as the mod-p machinery in mpz/montgomery.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpz/fe25519.hpp"
+
+namespace dblind::group::ec {
+
+using mpz::Fe25519;
+
+// 32-byte little-endian scalar, already reduced below the group order.
+using ScalarBytes = std::array<std::uint8_t, 32>;
+// Canonical 32-byte ristretto255 element encoding.
+using EncodedPoint = std::array<std::uint8_t, 32>;
+
+struct Point {
+  Fe25519 X, Y, Z, T;
+};
+
+// Group order ell as little-endian bytes (= 2^252 + 27742...493).
+const ScalarBytes& group_order_le();
+
+[[nodiscard]] Point identity();
+[[nodiscard]] const Point& base_point();
+
+[[nodiscard]] Point add(const Point& a, const Point& b);
+[[nodiscard]] Point dbl(const Point& a);
+[[nodiscard]] Point neg(const Point& a);
+// Ristretto equality (coset-aware; NOT coordinate equality).
+[[nodiscard]] bool eq(const Point& a, const Point& b);
+[[nodiscard]] bool is_identity(const Point& a);
+
+// Canonical encoding; decode(encode(P)) == P and encode(decode(s)) == s.
+[[nodiscard]] EncodedPoint encode(const Point& a);
+// Rejects non-canonical / invalid encodings with nullopt.
+[[nodiscard]] std::optional<Point> decode(std::span<const std::uint8_t, 32> in);
+
+// scalar * P, 4-bit windowed double-and-add (top-down).
+[[nodiscard]] Point scalar_mul(const Point& base, const ScalarBytes& scalar);
+
+// One-way map: 64 uniform bytes -> group element (RFC 9496 §4.3.4, two
+// Elligator 2 maps added together). Nobody learns a discrete log from it.
+[[nodiscard]] Point map_to_point(std::span<const std::uint8_t, 64> uniform);
+
+// Fixed-base comb: table[i][j] = (j << (w*i)) * base, so a 253-bit scalar
+// costs ceil(253/w) point additions and zero doublings (mirrors
+// mpz::FixedBasePow for the mod-p backend).
+class CombTable {
+ public:
+  CombTable(const Point& base, unsigned window_bits);
+  [[nodiscard]] Point mul(const ScalarBytes& scalar) const;
+
+ private:
+  unsigned window_;
+  std::vector<std::vector<Point>> table_;  // [digit position][digit value]
+};
+
+// sum scalars[i] * bases[i]. Straus interleaving for <= kStrausMaxBases
+// bases, Pippenger buckets beyond (same crossover policy as
+// MontgomeryCtx::multi_pow).
+inline constexpr std::size_t kStrausMaxBases = 8;
+[[nodiscard]] Point multi_scalar_mul(std::span<const Point> bases,
+                                     std::span<const ScalarBytes> scalars);
+
+}  // namespace dblind::group::ec

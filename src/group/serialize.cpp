@@ -8,12 +8,19 @@ namespace dblind::group {
 
 namespace {
 
-constexpr std::uint8_t kGroupParamsTag = 0x11;
+constexpr std::uint8_t kGroupParamsTag = 0x11;    // mod-p: p, q, g payload
+constexpr std::uint8_t kGroupParamsEcTag = 0x12;  // ec255: fixed group, no payload
 
 }  // namespace
 
 std::vector<std::uint8_t> group_params_to_bytes(const GroupParams& params) {
   common::Writer w;
+  if (params.backend_kind() == backend::Kind::kEc255) {
+    // The EC group is a fixed named curve; the tag alone identifies it, so
+    // there are no values a peer could substitute.
+    w.u8(kGroupParamsEcTag);
+    return w.take();
+  }
   w.u8(kGroupParamsTag);
   w.bigint(params.p());
   w.bigint(params.q());
@@ -24,14 +31,21 @@ std::vector<std::uint8_t> group_params_to_bytes(const GroupParams& params) {
 namespace {
 
 struct RawParams {
+  bool is_ec = false;
   Bigint p, q, g;
 };
 
 RawParams decode_raw(std::span<const std::uint8_t> bytes) {
   common::Reader r(bytes);
-  if (r.u8() != kGroupParamsTag)
-    throw common::CodecError("group_params: bad tag");
+  const std::uint8_t tag = r.u8();
   RawParams raw;
+  if (tag == kGroupParamsEcTag) {
+    raw.is_ec = true;
+    r.expect_done();
+    return raw;
+  }
+  if (tag != kGroupParamsTag)
+    throw common::CodecError("group_params: bad tag");
   raw.p = r.bigint();
   raw.q = r.bigint();
   raw.g = r.bigint();
@@ -43,11 +57,13 @@ RawParams decode_raw(std::span<const std::uint8_t> bytes) {
 
 GroupParams group_params_from_bytes(std::span<const std::uint8_t> bytes, mpz::Prng& prng) {
   RawParams raw = decode_raw(bytes);
+  if (raw.is_ec) return GroupParams::named(ParamId::kEc255);
   return GroupParams::from_values(std::move(raw.p), std::move(raw.q), std::move(raw.g), prng);
 }
 
 GroupParams group_params_from_bytes_trusted(std::span<const std::uint8_t> bytes) {
   RawParams raw = decode_raw(bytes);
+  if (raw.is_ec) return GroupParams::named(ParamId::kEc255);
   return GroupParams::from_values_trusted(std::move(raw.p), std::move(raw.q), std::move(raw.g));
 }
 

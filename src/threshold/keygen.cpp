@@ -109,7 +109,7 @@ DkgResult run_joint_feldman_dkg(const group::GroupParams& params, const ServiceC
     shares.push_back({i, acc});
   }
   FeldmanCommitments joint;
-  joint.coefficients.assign(cfg.f + 1, Bigint(1));
+  joint.coefficients.assign(cfg.f + 1, params.identity());
   for (std::uint32_t d : qualified) {
     for (std::size_t j = 0; j <= cfg.f; ++j) {
       joint.coefficients[j] =

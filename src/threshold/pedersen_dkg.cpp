@@ -92,7 +92,7 @@ PedersenDkgResult run_pedersen_dkg(const group::GroupParams& params, const Servi
     shares.push_back({i, std::move(acc)});
   }
   FeldmanCommitments joint;
-  joint.coefficients.assign(cfg.f + 1, Bigint(1));
+  joint.coefficients.assign(cfg.f + 1, params.identity());
   for (std::uint32_t d : qual) {
     const FeldmanCommitments& a = openings.at(d);
     for (std::size_t j = 0; j <= cfg.f; ++j)

@@ -24,7 +24,7 @@ bool refresh_verify(const group::GroupParams& params, const RefreshDeal& deal,
   if (recipient == 0 || recipient > deal.subshares.size()) return false;
   if (deal.commitments.coefficients.empty()) return false;
   // Must be a sharing of ZERO: constant-term commitment is the identity.
-  if (deal.commitments.coefficients[0] != Bigint(1)) return false;
+  if (!params.is_identity(deal.commitments.coefficients[0])) return false;
   return feldman_verify(params, deal.commitments, deal.subshares[recipient - 1]);
 }
 

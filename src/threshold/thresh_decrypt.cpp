@@ -77,7 +77,7 @@ Bigint combine_decryption(const group::GroupParams& params, const elgamal::Ciphe
     indices.push_back(s.index);
   }
   // a^k = Π d_i^{λ_i}; m = b / a^k.
-  Bigint ak(1);
+  Bigint ak = params.identity();
   for (const DecryptionShare& s : shares) {
     Bigint lambda = lagrange_at_zero(indices, s.index, params.q());
     ak = params.mul(ak, params.pow(s.d, lambda));

@@ -68,7 +68,7 @@ Bigint combine_nonce(const group::GroupParams& params, std::span<const NonceReve
       throw std::invalid_argument("combine_nonce: duplicate index");
     indices.push_back(r.index);
   }
-  Bigint r_joint(1);
+  Bigint r_joint = params.identity();
   for (const NonceReveal& r : reveals) {
     Bigint lambda = lagrange_at_zero(indices, r.index, params.q());
     r_joint = params.mul(r_joint, params.pow(r.t, lambda));

@@ -81,7 +81,7 @@ bool cp_batch_verify_impl(const GroupParams& params, std::span<const CpBatchItem
     acc.add(stmt.z, mpz::submod(Bigint(0), mpz::mulmod(c2, e, q), q));
     acc.add(proof.t2, mpz::submod(Bigint(0), c2, q));
   }
-  return acc.evaluate() == Bigint(1);
+  return params.is_identity(acc.evaluate());
 }
 
 }  // namespace

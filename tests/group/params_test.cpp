@@ -46,6 +46,7 @@ INSTANTIATE_TEST_SUITE_P(AllSizes, NamedParamsTest,
                              case ParamId::kSec512: return "Sec512";
                              case ParamId::kSec1024: return "Sec1024";
                              case ParamId::kSec2048: return "Sec2048";
+                             case ParamId::kEc255: return "Ec255";
                            }
                            return "Unknown";
                          });

@@ -1,0 +1,312 @@
+// ristretto255 unit tests: RFC 9496 known-answer vectors, group laws, the
+// canonical-encoding contract (decode rejects everything that is not an
+// encoding), the ported comb / multi-scalar-mul machinery, and a property
+// fuzz of the underlying GF(2^255-19) arithmetic against the Bigint oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "group/ristretto.hpp"
+#include "hash/sha256.hpp"
+#include "mpz/bigint.hpp"
+#include "mpz/fe25519.hpp"
+#include "mpz/modmath.hpp"
+#include "mpz/random.hpp"
+
+namespace dblind::group::ec {
+namespace {
+
+using mpz::Bigint;
+using mpz::Fe25519;
+
+// RFC 9496 §A.1: encodings of 0*B .. 15*B (B = generator), little-endian hex.
+constexpr const char* kGeneratorMultiples[16] = {
+    "0000000000000000000000000000000000000000000000000000000000000000",
+    "e2f2ae0a6abc4e71a884a961c500515f58e30b6aa582dd8db6a65945e08d2d76",
+    "6a493210f7499cd17fecb510ae0cea23a110e8d5b901f8acadd3095c73a3b919",
+    "94741f5d5d52755ece4f23f044ee27d5d1ea1e2bd196b462166b16152a9d0259",
+    "da80862773358b466ffadfe0b3293ab3d9fd53c5ea6c955358f568322daf6a57",
+    "e882b131016b52c1d3337080187cf768423efccbb517bb495ab812c4160ff44e",
+    "f64746d3c92b13050ed8d80236a7f0007c3b3f962f5ba793d19a601ebb1df403",
+    "44f53520926ec81fbd5a387845beb7df85a96a24ece18738bdcfa6a7822a176d",
+    "903293d8f2287ebe10e2374dc1a53e0bc887e592699f02d077d5263cdd55601c",
+    "02622ace8f7303a31cafc63f8fc48fdc16e1c8c8d234b2f0d6685282a9076031",
+    "20706fd788b2720a1ed2a5dad4952b01f413bcf0e7564de8cdc816689e2db95f",
+    "bce83f8ba5dd2fa572864c24ba1810f9522bc6004afe95877ac73241cafdab42",
+    "e4549ee16b9aa03099ca208c67adafcafa4c3f3e4e5303de6026e3ca8ff84460",
+    "aa52e000df2e16f55fb1032fc33bc42742dad6bd5a8fc0be0167436c5948501f",
+    "46376b80f409b29dc2b5f6f0c52591990896e5716f41477cd30085ab7f10301e",
+    "e0c418f7c8d9c4cdd7395b93ea124f3ad99021bb681dfc3302a9d99a2e53e64e",
+};
+
+std::string to_hex(const EncodedPoint& e) {
+  return hash::to_hex(std::vector<std::uint8_t>(e.begin(), e.end()));
+}
+
+EncodedPoint from_hex(const char* hex) {
+  std::vector<std::uint8_t> v = hash::from_hex(hex);
+  EncodedPoint out{};
+  std::copy(v.begin(), v.end(), out.begin());
+  return out;
+}
+
+ScalarBytes scalar_from_u64(std::uint64_t k) {
+  ScalarBytes s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<std::uint8_t>(k >> (8 * i));
+  return s;
+}
+
+ScalarBytes random_scalar(mpz::Prng& prng) {
+  // Uniform below the group order via the Bigint sampler.
+  Bigint ell = Bigint::from_bytes_be([] {
+    ScalarBytes le = group_order_le();
+    std::reverse(le.begin(), le.end());
+    return std::vector<std::uint8_t>(le.begin(), le.end());
+  }());
+  Bigint v = prng.uniform_below(ell);
+  std::vector<std::uint8_t> be = v.to_bytes_be(32);
+  ScalarBytes s{};
+  for (int i = 0; i < 32; ++i) s[i] = be[31 - i];
+  return s;
+}
+
+TEST(RistrettoKat, GeneratorMultiplesByAddition) {
+  Point p = identity();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(to_hex(encode(p)), kGeneratorMultiples[i]) << "i=" << i;
+    p = add(p, base_point());
+  }
+}
+
+TEST(RistrettoKat, GeneratorMultiplesByScalarMul) {
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    Point p = scalar_mul(base_point(), scalar_from_u64(k));
+    EXPECT_EQ(to_hex(encode(p)), kGeneratorMultiples[k]) << "k=" << k;
+  }
+}
+
+TEST(RistrettoKat, DecodeRoundTripsEveryVector) {
+  for (const char* hex : kGeneratorMultiples) {
+    EncodedPoint e = from_hex(hex);
+    auto p = decode(e);
+    ASSERT_TRUE(p.has_value()) << hex;
+    EXPECT_EQ(encode(*p), e) << hex;
+  }
+}
+
+TEST(RistrettoGroup, OrderAnnihilatesGenerator) {
+  EXPECT_TRUE(is_identity(scalar_mul(base_point(), group_order_le())));
+  // ell - 1 is the inverse of 1: (ell-1)*B + B == 0.
+  ScalarBytes ell_minus_1 = group_order_le();
+  ell_minus_1[0] -= 1;
+  Point p = scalar_mul(base_point(), ell_minus_1);
+  EXPECT_TRUE(is_identity(add(p, base_point())));
+  EXPECT_TRUE(eq(p, neg(base_point())));
+}
+
+TEST(RistrettoGroup, AddCommutesAndAssociates) {
+  mpz::Prng prng(7);
+  Point a = scalar_mul(base_point(), random_scalar(prng));
+  Point b = scalar_mul(base_point(), random_scalar(prng));
+  Point c = scalar_mul(base_point(), random_scalar(prng));
+  EXPECT_TRUE(eq(add(a, b), add(b, a)));
+  EXPECT_TRUE(eq(add(add(a, b), c), add(a, add(b, c))));
+  EXPECT_TRUE(eq(add(a, identity()), a));
+  EXPECT_TRUE(is_identity(add(a, neg(a))));
+  EXPECT_TRUE(eq(dbl(a), add(a, a)));
+}
+
+TEST(RistrettoGroup, EqIsCosetAwareNotCoordinateEquality) {
+  // The same group element reached via different routes has different
+  // extended coordinates but must compare equal (and encode identically).
+  Point via_dbl = dbl(base_point());
+  Point via_add = add(base_point(), base_point());
+  Point via_mul = scalar_mul(base_point(), scalar_from_u64(2));
+  EXPECT_TRUE(eq(via_dbl, via_add));
+  EXPECT_TRUE(eq(via_dbl, via_mul));
+  EXPECT_EQ(encode(via_dbl), encode(via_add));
+}
+
+TEST(RistrettoDecode, RejectsNonCanonicalEncodings) {
+  // All 0xff: the field value is >= p (non-canonical) and the high bit set.
+  EncodedPoint all_ff;
+  all_ff.fill(0xff);
+  EXPECT_FALSE(decode(all_ff).has_value());
+
+  // Negative s (low bit set): -encode(B) flipped into the negative half.
+  EncodedPoint neg_s = from_hex(kGeneratorMultiples[1]);
+  neg_s[0] |= 0x01;
+  EXPECT_FALSE(decode(neg_s).has_value());
+
+  // High bit of byte 31 set on an otherwise-valid encoding.
+  EncodedPoint high_bit = from_hex(kGeneratorMultiples[1]);
+  high_bit[31] |= 0x80;
+  EXPECT_FALSE(decode(high_bit).has_value());
+
+  // p - 1 is canonical as a field element but not on the right coset.
+  // (2^255 - 20, little-endian: ec ff .. ff 7f)
+  EncodedPoint p_minus_1;
+  p_minus_1.fill(0xff);
+  p_minus_1[0] = 0xec;
+  p_minus_1[31] = 0x7f;
+  EXPECT_FALSE(decode(p_minus_1).has_value());
+
+  // p itself encodes the same field element as 0 but non-canonically.
+  EncodedPoint p_enc;
+  p_enc.fill(0xff);
+  p_enc[0] = 0xed;
+  p_enc[31] = 0x7f;
+  EXPECT_FALSE(decode(p_enc).has_value());
+}
+
+TEST(RistrettoDecode, RandomStringsMostlyRejectAndNeverCrash) {
+  mpz::Prng prng(99);
+  int accepted = 0;
+  for (int i = 0; i < 256; ++i) {
+    EncodedPoint e;
+    prng.fill(e);
+    auto p = decode(e);
+    if (p.has_value()) {
+      ++accepted;
+      EXPECT_EQ(encode(*p), e);  // accepted strings must be canonical
+    }
+  }
+  // About half of sub-p values have a square x^2 candidate; with the two
+  // sign/high bits this lands near 1/4 acceptance. Just bound it loosely.
+  EXPECT_LT(accepted, 128);
+}
+
+TEST(RistrettoMap, MapToPointIsDeterministicAndValid) {
+  std::array<std::uint8_t, 64> uniform{};
+  for (int i = 0; i < 64; ++i) uniform[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  Point p = map_to_point(uniform);
+  Point q = map_to_point(uniform);
+  EXPECT_TRUE(eq(p, q));
+  EncodedPoint e = encode(p);
+  auto back = decode(e);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(eq(*back, p));
+  uniform[0] ^= 1;
+  EXPECT_FALSE(eq(map_to_point(uniform), p));
+}
+
+TEST(RistrettoComb, MatchesScalarMulForBothWindowWidths) {
+  mpz::Prng prng(11);
+  CombTable w4(base_point(), 4);
+  CombTable w5(base_point(), 5);
+  for (int i = 0; i < 8; ++i) {
+    ScalarBytes s = random_scalar(prng);
+    Point ref = scalar_mul(base_point(), s);
+    EXPECT_TRUE(eq(w4.mul(s), ref)) << "w=4 i=" << i;
+    EXPECT_TRUE(eq(w5.mul(s), ref)) << "w=5 i=" << i;
+  }
+  EXPECT_TRUE(is_identity(w4.mul(ScalarBytes{})));
+  EXPECT_TRUE(is_identity(w4.mul(group_order_le())));
+}
+
+TEST(RistrettoMultiExp, MatchesNaiveAcrossStrausPippengerCrossover) {
+  mpz::Prng prng(13);
+  // n = 2 and 8 take the Straus path, 9 and 24 the Pippenger path.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                        std::size_t{9}, std::size_t{24}}) {
+    std::vector<Point> bases;
+    std::vector<ScalarBytes> scalars;
+    Point naive = identity();
+    for (std::size_t i = 0; i < n; ++i) {
+      ScalarBytes b = random_scalar(prng);
+      ScalarBytes s = random_scalar(prng);
+      bases.push_back(scalar_mul(base_point(), b));
+      scalars.push_back(s);
+      naive = add(naive, scalar_mul(bases.back(), s));
+    }
+    EXPECT_TRUE(eq(multi_scalar_mul(bases, scalars), naive)) << "n=" << n;
+  }
+  EXPECT_TRUE(is_identity(multi_scalar_mul({}, {})));
+}
+
+// ---- GF(2^255-19) property fuzz against the Bigint oracle ------------------
+
+Bigint field_p() {
+  return Bigint(1).shl(255) - Bigint(19);
+}
+
+Bigint fe_to_bigint(const Fe25519& a) {
+  std::array<std::uint8_t, 32> le{};
+  mpz::fe_to_bytes(le, a);
+  std::vector<std::uint8_t> be(le.rbegin(), le.rend());
+  return Bigint::from_bytes_be(be);
+}
+
+Fe25519 fe_from_bigint(const Bigint& v) {
+  std::vector<std::uint8_t> be = v.to_bytes_be(32);
+  std::array<std::uint8_t, 32> le{};
+  for (int i = 0; i < 32; ++i) le[i] = be[31 - i];
+  return mpz::fe_from_bytes(le);
+}
+
+TEST(Fe25519Fuzz, ArithmeticMatchesBigintOracle) {
+  mpz::Prng prng(1729);
+  const Bigint p = field_p();
+  for (int iter = 0; iter < 200; ++iter) {
+    Bigint av = prng.uniform_below(p);
+    Bigint bv = prng.uniform_below(p);
+    Fe25519 a = fe_from_bigint(av);
+    Fe25519 b = fe_from_bigint(bv);
+    EXPECT_EQ(fe_to_bigint(mpz::fe_add(a, b)), mpz::addmod(av, bv, p));
+    EXPECT_EQ(fe_to_bigint(mpz::fe_sub(a, b)), mpz::submod(av, bv, p));
+    EXPECT_EQ(fe_to_bigint(mpz::fe_mul(a, b)), mpz::mulmod(av, bv, p));
+    EXPECT_EQ(fe_to_bigint(mpz::fe_sq(a)), mpz::mulmod(av, av, p));
+    EXPECT_EQ(fe_to_bigint(mpz::fe_neg(a)), mpz::submod(Bigint(0), av, p));
+    EXPECT_EQ(fe_to_bigint(mpz::fe_mul_small(a, 121666)),
+              mpz::mulmod(av, Bigint(121666), p));
+    if (!av.is_zero()) {
+      EXPECT_EQ(mpz::mulmod(fe_to_bigint(mpz::fe_invert(a)), av, p), Bigint(1));
+    }
+  }
+}
+
+TEST(Fe25519Fuzz, EncodingRoundTripsAndOrders) {
+  mpz::Prng prng(271828);
+  const Bigint p = field_p();
+  for (int iter = 0; iter < 100; ++iter) {
+    Bigint v = prng.uniform_below(p);
+    Fe25519 a = fe_from_bigint(v);
+    EXPECT_EQ(fe_to_bigint(a), v);
+    EXPECT_EQ(mpz::fe_is_zero(a), v.is_zero());
+    // RFC negativity == low bit of the canonical encoding.
+    EXPECT_EQ(mpz::fe_is_negative(a), v.is_odd());
+  }
+  // Values >= p entered via from_bytes reduce to v - p.
+  Fe25519 wrapped = fe_from_bigint(p - Bigint(1));
+  Fe25519 one = Fe25519::one();
+  EXPECT_TRUE(mpz::fe_eq(mpz::fe_add(wrapped, mpz::fe_add(one, one)), one));
+}
+
+TEST(Fe25519Fuzz, SqrtRatioAgreesWithOracle) {
+  mpz::Prng prng(31415);
+  const Bigint p = field_p();
+  for (int iter = 0; iter < 50; ++iter) {
+    Bigint uv = prng.uniform_below(p);
+    Bigint vv = prng.uniform_below(p);
+    if (vv.is_zero()) continue;
+    auto [was_square, root] = mpz::fe_sqrt_ratio_m1(fe_from_bigint(uv), fe_from_bigint(vv));
+    Bigint r = fe_to_bigint(root);
+    Bigint r2v = mpz::mulmod(mpz::mulmod(r, r, p), vv, p);
+    if (was_square) {
+      EXPECT_EQ(r2v, uv);  // r^2 * v == u
+    } else {
+      // r^2 * v == i * u with i = sqrt(-1), so (r^2 * v)^2 == -u^2.
+      Bigint lhs = mpz::mulmod(r2v, r2v, p);
+      Bigint rhs = mpz::submod(Bigint(0), mpz::mulmod(uv, uv, p), p);
+      EXPECT_EQ(lhs, rhs) << "r^2*v should square to -u^2";
+    }
+    EXPECT_FALSE(fe_is_negative(root));
+  }
+}
+
+}  // namespace
+}  // namespace dblind::group::ec

@@ -76,6 +76,24 @@ tracing-off runs byte-identical to plain runs):
       (network / queueing / verify / retransmit-backoff / crypto), with the
       mont-mul crypto join present in the report.
 
+PR 10 gates (elliptic-curve group backend), written to BENCH_pr10.json
+together with another re-statement of the PR 4 obs-overhead result (the
+backend carve must keep the default mod-p build byte-identical to PR 9):
+
+  15. backend-compare: the same honest Fig. 4 run (n=4, f=1, same seed) on
+      ristretto255 must cost >= 5.0x fewer normalized word-multiplications
+      than mod-p at matched ~128-bit security (kSec2048). Group-op counts
+      are deterministic per seed; each backend's ops are weighted by its
+      op_cost_weight (mod-p: 2k^2 64-bit word muls per Montgomery mul at
+      k limbs; ec255: 25 word muls per fe25519 mul), so the gate compares
+      machine-independent arithmetic cost, never wall-clock. Both runs must
+      decrypt the original plaintext at every server (integrity == 1) and
+      EC element encodings must be <= 32 bytes;
+  16. backend-equivalence: the cross-backend panel (3 seeds x {honest,
+      Byzantine inconsistent-contribution} on mod-p and ec255) must report
+      identical_results == 1 — the observable protocol outcome is backend
+      independent even though element values differ by construction.
+
 Wall-clock numbers from bench_primitives are recorded for context only.
 
 Usage: bench_check.py --build-dir <dir> [--output BENCH_pr3.json]
@@ -232,6 +250,8 @@ def main():
     load_latency = [r for r in rows if r.get("section") == "load_latency"]
     load_saturation = [r for r in rows if r.get("section") == "load_saturation"]
     load_equivalence = [r for r in rows if r.get("section") == "load_equivalence"]
+    backend_compare = [r for r in rows if r.get("section") == "backend-compare"]
+    backend_equiv = [r for r in rows if r.get("section") == "backend-equivalence"]
 
     failures = []
     best_ratio = 0.0
@@ -356,6 +376,32 @@ def main():
                 "load_equivalence: concurrent and sequential schedules diverged — "
                 "the engine must change WHEN work runs, never WHAT it computes")
 
+    if not backend_compare:
+        failures.append("no backend-compare row emitted")
+    for r in backend_compare:
+        if r["cost_ratio"] < 5.0:
+            failures.append(
+                f"backend-compare: ec255 only {r['cost_ratio']:.2f}x cheaper than "
+                f"mod-p {r['modp_params']} in normalized word-muls "
+                f"({r['modp_word_muls']} -> {r['ec_word_muls']}), "
+                f"< 5.0x acceptance bar")
+        if r["ec_element_bytes"] > 32:
+            failures.append(
+                f"backend-compare: EC element encoding is {r['ec_element_bytes']} "
+                f"bytes, > 32-byte canonical-encoding bar")
+        if r["integrity"] != 1:
+            failures.append(
+                "backend-compare: a backend arm failed to decrypt the original "
+                "plaintext at every server")
+    if not backend_equiv:
+        failures.append("no backend-equivalence row emitted")
+    for r in backend_equiv:
+        if r["identical_results"] != 1:
+            failures.append(
+                f"backend-equivalence: protocol outcomes diverged across backends "
+                f"({r['cells']} cells) — the group abstraction is leaking into "
+                f"observable behavior")
+
     critpath = run_critpath(trace_path, failures)
 
     prims = None if args.skip_primitives else run_primitives(args.build_dir)
@@ -445,6 +491,23 @@ def main():
         json.dump(critpath_report, fh, indent=2)
         fh.write("\n")
 
+    # PR 10: the EC-backend cost gate, plus the PR 4 obs-overhead result
+    # re-stated — the backend carve must keep the default mod-p build
+    # byte-identical to PR 9.
+    backend_path = os.path.join(os.path.dirname(out_path), "BENCH_pr10.json")
+    backend_report = {
+        "gate": "ec-group-backend",
+        "pass": not any(f.startswith("backend-") or f.startswith("no backend-")
+                        or "obs-overhead" in f for f in failures),
+        "environment": environment,
+        "backend_compare": backend_compare,
+        "backend_equivalence": backend_equiv,
+        "obs_overhead": obs,
+    }
+    with open(backend_path, "w", encoding="utf-8") as fh:
+        json.dump(backend_report, fh, indent=2)
+        fh.write("\n")
+
     for r in blind:
         print(f"blind-verify f={r['f']}: {r['serial_mont_muls']} -> "
               f"{r['batch_mont_muls']} mont-muls ({r['mul_ratio']}x)")
@@ -481,13 +544,21 @@ def main():
     for r in load_equivalence:
         print(f"load_equivalence: identical_results={r['identical_results']} "
               f"({r['transfers']} transfers)")
+    for r in backend_compare:
+        print(f"backend-compare: {r['modp_word_muls']} mod-p ({r['modp_params']}) -> "
+              f"{r['ec_word_muls']} ec255 word-muls ({r['cost_ratio']:.1f}x), "
+              f"elements {r['modp_element_bytes']} -> {r['ec_element_bytes']} bytes, "
+              f"integrity={r['integrity']}")
+    for r in backend_equiv:
+        print(f"backend-equivalence: identical_results={r['identical_results']} "
+              f"({r['cells']} cells)")
     if critpath:
         print(f"critpath: {critpath['transfers']} transfers, "
               f"{critpath['attributed_overall']:.1%} latency attributed "
               f"(worst {critpath['attributed_min']:.1%}), budget "
               f"{critpath['budget_us']}")
     print(f"report: {out_path} + {obs_path} + {pool_path} + {reconfig_path} + "
-          f"{load_path} + {critpath_path}")
+          f"{load_path} + {critpath_path} + {backend_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

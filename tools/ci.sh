@@ -37,6 +37,19 @@
 #                    soak of the same harness with <n> transfers, exercising
 #                    the verify-pool workers and cross-transfer batch drain
 #                    under the race detector
+#   backend_matrix   EC-backend matrix (PR 10): the full ctest suite re-run
+#                    with DBLIND_BACKEND=ec (every SystemOptions default
+#                    routes through GroupParams::named_or_env, so the whole
+#                    protocol stack executes on ristretto255), minus the
+#                    `bench` label — the bench gate pins mod-p baselines and
+#                    rewrites BENCH_pr*.json, so it only runs on the default
+#                    backend. Then a chaos smoke: every fault mix at
+#                    DBLIND_CHAOS_SEEDS (default 6 here, not 50) seeds on the
+#                    EC backend, with the same failure forensics as the
+#                    chaos job. The dedicated EC suites (ristretto KATs,
+#                    field fuzz, cross-backend equivalence) carry the ctest
+#                    label backend.ec and already run in tier-1 on any
+#                    backend.
 #   bench            verification fast-path regression gate: bench_check.py
 #                    compares batched vs serial proof verification by
 #                    deterministic mont-mul counts and writes BENCH_pr3.json;
@@ -54,7 +67,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 JOBS=("$@")
-[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos churn load bench trace_check)
+[[ ${#JOBS[@]} -eq 0 ]] && JOBS=(lint taint thread_safety relwithdebinfo asan tsan chaos churn load backend_matrix bench trace_check)
 NPROC="$(nproc 2> /dev/null || echo 4)"
 FAILED=()
 
@@ -186,6 +199,19 @@ for job in "${JOBS[@]}"; do
         [[ $smoke -eq 0 && $soak -eq 0 ]]
       } || FAILED+=("$job")
       ;;
+    backend_matrix)
+      banner backend_matrix
+      {
+        cmake --preset relwithdebinfo > /dev/null &&
+          cmake --build --preset relwithdebinfo -j "$NPROC" &&
+          (
+            export DBLIND_BACKEND=ec
+            ctest --test-dir "$ROOT/build-relwithdebinfo" -LE bench \
+              -j "$NPROC" --output-on-failure &&
+              DBLIND_CHAOS_SEEDS="${DBLIND_CHAOS_SEEDS:-6}" run_chaos_sweep ""
+          )
+      } || FAILED+=("$job")
+      ;;
     bench)
       banner bench
       {
@@ -206,7 +232,7 @@ for job in "${JOBS[@]}"; do
       } || FAILED+=("$job")
       ;;
     *)
-      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|churn|load|bench|trace_check)" >&2
+      echo "ci.sh: unknown job '$job' (relwithdebinfo|asan|tsan|lint|taint|thread_safety|chaos|churn|load|backend_matrix|bench|trace_check)" >&2
       FAILED+=("$job")
       ;;
   esac

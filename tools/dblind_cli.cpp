@@ -39,10 +39,11 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  dblind params   [--bits 64|128|256|512|1024|2048 | --fresh N] [--seed S]\n"
+      "                  [--backend modp|ec]   (or env DBLIND_BACKEND=ec)\n"
       "  dblind keygen   --params <hex> [--n N --f F] [--seed S]\n"
       "  dblind encrypt  --key <pubkey-hex> --message <text> [--seed S]\n"
       "  dblind decrypt  --params <hex> --key <privkey-hex> --ciphertext <hex>\n"
-      "  dblind transfer [--bits N] [--message <text>] [--seed S]\n"
+      "  dblind transfer [--bits N] [--backend modp|ec] [--message <text>] [--seed S]\n"
       "                  [--byzantine honest|silent|badvde|bogus|adaptive]\n"
       "                  [--crash-coordinator] [--loss PCT] [--stats]\n"
       "                  [--trace out.jsonl] [--metrics]\n",
@@ -102,13 +103,27 @@ group::ParamId id_for_bits(unsigned bits) {
   }
 }
 
+// Group selection shared by params/transfer: --backend beats DBLIND_BACKEND
+// beats the mod-p set picked by --bits (ec ignores --bits — the curve is
+// fixed).
+group::GroupParams params_for(const Args& args) {
+  group::ParamId id = id_for_bits(std::stoul(args.get_or("bits", "256")));
+  if (auto backend = args.get("backend")) {
+    if (*backend == "ec" || *backend == "ec255")
+      return group::GroupParams::named(group::ParamId::kEc255);
+    if (*backend == "modp") return group::GroupParams::named(id);
+    throw std::invalid_argument("unknown --backend (want modp|ec)");
+  }
+  return group::GroupParams::named_or_env(id);
+}
+
 int cmd_params(const Args& args) {
   mpz::Prng prng(std::stoull(args.get_or("seed", "1")));
   group::GroupParams gp = [&] {
     if (auto fresh = args.get("fresh")) {
       return group::GroupParams::generate(std::stoul(*fresh), prng);
     }
-    return group::GroupParams::named(id_for_bits(std::stoul(args.get_or("bits", "256"))));
+    return params_for(args);
   }();
   std::printf("bits: %zu\nparams: %s\n", gp.bits(), group::group_params_to_hex(gp).c_str());
   return 0;
@@ -164,7 +179,7 @@ int cmd_decrypt(const Args& args) {
 int cmd_transfer(const Args& args) {
   using Behavior = core::ProtocolServer::Behavior;
   core::SystemOptions opts;
-  opts.params = group::GroupParams::named(id_for_bits(std::stoul(args.get_or("bits", "256"))));
+  opts.params = params_for(args);
   opts.seed = std::stoull(args.get_or("seed", "1"));
 
   std::string behavior_name = args.get_or("byzantine", "honest");

@@ -31,6 +31,18 @@ about, run over the token/line surface of ``src/``:
       public-exponent checks (e.g. subgroup-membership tests in
       group/params.cpp).
 
+  secret-scalar-mul
+      The EC analogue of secret-exponent-powmod: elliptic-curve scalar
+      multiplication whose scalar is a secret (key share, rho, nonce,
+      witness, clamped key) must go through the ``GroupParams`` facade
+      (``pow``/``pow_fixed``/``multi_pow``), never call the raw
+      ``ec::scalar_mul``/``multi_scalar_mul``/``comb_mul`` primitives
+      directly: the facade dispatches to the backend's uniform-window
+      ladder and keeps the group-op accounting honest, while ad-hoc
+      callers of the primitives are one refactor away from a
+      double-and-add whose branch profile follows the secret scalar.
+      The backend implementation itself (src/group/) is exempt.
+
   retransmit-rerandomize
       Retransmission paths (functions whose name contains ``resend`` or
       ``retransmit``) must re-send the originally-signed bytes verbatim,
@@ -140,6 +152,21 @@ RAW_ENTROPY_ALLOWED = {"src/mpz/random.cpp", "src/mpz/random.hpp"}
 POWMOD_ALLOWED = {"src/mpz/modmath.cpp", "src/mpz/modmath.hpp"}
 
 POWMOD_CALL = re.compile(r"\bpowmod\s*\(")
+
+# Files allowed to call the raw EC scalar-mul primitives: the group backend
+# itself (ristretto ladder/comb implementation and its GroupParams facade).
+SCALAR_MUL_ALLOWED_PREFIX = "src/group/"
+
+SCALAR_MUL_CALL = re.compile(r"\b(?:multi_)?scalar_mul\s*\(|\bcomb_mul\s*\(")
+
+# Secret scalars for the EC rule: everything SECRET_IDENT knows, plus the
+# EC-specific vocabulary (bare `scalar`, clamped keys).
+SECRET_SCALAR = re.compile(
+    r"\b(rho|share|shares|secret|secrets|sk|priv|private_key|witness|nonce|"
+    r"blind|blinding|contribution|partial|decrypt_share|key_share|r1|r2|"
+    r"scalar|clamped)\w*",
+    re.IGNORECASE,
+)
 
 # A *definition* line (column 0, not a `;`-terminated declaration) of a
 # function whose name marks it as a retransmission path.
@@ -481,6 +508,23 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                                 "MontgomeryCtx::pow for secret exponents",
                             )
                         )
+
+        # --- secret-scalar-mul ---------------------------------------------
+        if not rel_path.startswith(SCALAR_MUL_ALLOWED_PREFIX):
+            for call in SCALAR_MUL_CALL.finditer(code):
+                args = split_call_args(code, call.end() - 1)
+                if len(args) >= 2 and SECRET_SCALAR.search(args[1]):
+                    if not waived(lines, idx, "secret-scalar-mul"):
+                        findings.append(
+                            Finding(
+                                rel_path,
+                                line_no,
+                                "secret-scalar-mul",
+                                f"raw EC scalar-mul with secret scalar "
+                                f"'{args[1]}': use the GroupParams facade "
+                                "(pow/pow_fixed/multi_pow) outside src/group/",
+                            )
+                        )
     return findings
 
 
@@ -529,6 +573,22 @@ SELF_TEST_CASES = [
         None,
         "auto y = powmod(g, sk_share, p);  "
         "// crypto-lint: allow(secret-exponent-powmod) even modulus in test vector",
+    ),
+    # secret-scalar-mul must fire:
+    ("secret-scalar-mul", "auto P = ec::scalar_mul(base, sk_share_bytes);"),
+    ("secret-scalar-mul", "Point y = scalar_mul(g, rho_scalar);"),
+    ("secret-scalar-mul", "auto acc = multi_scalar_mul(bases, witness_scalars);"),
+    ("secret-scalar-mul", "return comb_mul(table, clamped_key);"),
+    # ...and must NOT fire:
+    (None, "auto y = params.pow(g, sk_share);  // facade path, correct"),
+    (None, "auto y = params.pow_fixed(pin, rho);  // comb via facade"),
+    (None, "auto P = scalar_mul(g, public_cofactor);  // public scalar"),
+    # the backend implementation itself is exempt:
+    (None, "auto P = scalar_mul(base, scalar);", "src/group/ristretto.cpp"),
+    (
+        None,
+        "auto P = ec::scalar_mul(base, sk_scalar);  "
+        "// crypto-lint: allow(secret-scalar-mul) KAT vector in test helper",
     ),
     # retransmit-rerandomize must fire (multi-line snippets: definition +
     # body + closing brace, as lint_text sees them in a real file):

@@ -13,9 +13,11 @@ Sources (what seeds taint):
   * naming convention — identifiers whose name marks them as secret-bearing
     anywhere in the protocol stack: ``rho*``, ``r1``/``r2``, ``share*``,
     ``secret*``, ``witness*``, ``nonce*``, ``sk*``/``priv*``, ``key_share*``,
-    ``blinding*``, ``exponent*``-named locals and members. These are tainted
-    at every use; renaming a secret does not launder it (the assignment
-    propagates the taint to the new name).
+    ``blinding*``, ``exponent*``-named locals and members — and, for the EC
+    backend, ``scalar*``/``clamped*`` (a scalar is the curve-side spelling
+    of a secret exponent). These are tainted at every use; renaming a
+    secret does not launder it (the assignment propagates the taint to the
+    new name).
   * ``mpz::Prng`` draws — ``prng.*``, ``ctx.rng()``, ``random_element()``,
     ``random_exponent()``, ``uniform_*()``, ``.fork()``. Raw randomness is
     secret until laundered.
@@ -87,7 +89,10 @@ SECRET_NAME = re.compile(
     r"priv\w*|key_share\w*|blinding\w*|decrypt_share\w*|exponents?\w*|"
     # Re-sharing sub-shares (PR 7): a dealer's point evaluations of its own
     # share; any one of them plus the dealer's commitments pins the share.
-    r"subshares?\w*|enc_sub\w*|sign_sub\w*)$",
+    r"subshares?\w*|enc_sub\w*|sign_sub\w*|"
+    # EC backend (PR 10): scalars are the curve-side spelling of secret
+    # exponents (key shares, rho, clamped keys); sk_* is covered by sk\w*.
+    r"scalars?\w*|clamped\w*)$",
     re.IGNORECASE,
 )
 
@@ -546,6 +551,21 @@ SELF_TEST_CASES = [
      "void dump(const ReshareSubshareMsg& m) {\n"
      "  std::cout << m.e_.to_hex();\n"
      "}"),
+    # ---- EC backend scalars (PR 10) ----------------------------------------
+    # A scalar is the curve-side spelling of a secret exponent; the naming
+    # convention taints scalar*/clamped* directly (sk_* via sk*).
+    ("taint-log", _fn(
+        "  auto scalar = params.to_scalar(secrets_.enc_share);\n"
+        "  std::cout << scalar.to_hex();")),
+    ("taint-trace", _fn(
+        "  emit_trace(ctx, kind, nullptr, {.count = clamped_key.words()});")),
+    ("taint-log", _fn(
+        "  mpz::Bigint sk_scalar = prng.uniform_below(params.q());\n"
+        "  printf(\"%s\", sk_scalar.to_hex().c_str());")),
+    # a laundered scalar (through pow) is public — a public key:
+    (None, _fn(
+        "  auto y = params.pow_g(sk_scalar);\n"
+        "  std::cout << y.to_hex();")),
     # The legitimate wire path: sub-shares travel only inside a signed,
     # encoded envelope frame — that is laundering, same as commit frames:
     (None, _fn(

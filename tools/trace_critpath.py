@@ -23,11 +23,17 @@ latency-budget category:
                       (batch-window and verify-worker waits)
   crypto              zero-gap same-handler edges. Handlers execute in zero
                       VIRTUAL time under the simulator, so crypto cost is
-                      deliberately 0 us here; its real cost is mont-muls,
+                      deliberately 0 us here; its real cost is group ops,
                       joined from the ScopedCounterDelta-fed
                       dblind_handler_mont_muls_total / dblind_contrib_*
                       cells when --metrics points at a prometheus snapshot
-                      (bench_load --trace-out writes one next to the trace)
+                      (bench_load --trace-out writes one next to the trace).
+                      Since PR 10 the snapshot also carries a per-backend
+                      dblind_group_ops_total{backend=...} series plus its
+                      dblind_group_op_weight word-mul weight, so EC runs
+                      attribute to ristretto255 field muls instead of being
+                      mislabelled as mod-p Montgomery muls — the report's
+                      `backends` table normalizes both to word-muls
   other               any gap the model cannot name (pool refill timers,
                       result-pull polling). The acceptance bar is that this
                       stays under 5% of every transfer's latency.
@@ -200,6 +206,39 @@ def mont_mul_table(samples):
     return dict(sorted(by_key.items(), key=lambda kv: -kv[1]))
 
 
+def _label_value(key, family, label):
+    """Extract label="value" from a `family{...}` sample key, or None."""
+    if not key.startswith(family + "{"):
+        return None
+    for part in key[len(family) + 1:-1].split(","):
+        if part.startswith(label + '="'):
+            return part[len(label) + 2:-1]
+    return None
+
+
+def backend_table(samples):
+    """Crypto attribution by group backend (PR 10): group ops summed across
+    nodes per backend label, normalized to 64x64-bit word multiplications
+    via the backend's advertised dblind_group_op_weight gauge (mod-p: 2k^2
+    per Montgomery mul; ec255: 25 per field mul)."""
+    ops, weights = {}, {}
+    for key, value in samples.items():
+        name = _label_value(key, "dblind_group_ops_total", "backend")
+        if name is not None:
+            ops[name] = ops.get(name, 0) + value
+        name = _label_value(key, "dblind_group_op_weight", "backend")
+        if name is not None:
+            weights[name] = value
+    return {
+        name: {
+            "group_ops": int(total),
+            "weight": int(weights.get(name, 0)),
+            "word_muls": int(total * weights.get(name, 0)),
+        }
+        for name, total in sorted(ops.items())
+    }
+
+
 def summarize(budgets):
     total = sum(b["total"] for b in budgets.values())
     agg = {c: sum(b[c] for b in budgets.values()) for c in CATEGORIES}
@@ -215,7 +254,7 @@ def summarize(budgets):
     }
 
 
-def report(path, budgets, mont_muls, out=sys.stdout):
+def report(path, budgets, mont_muls, backends=None, out=sys.stdout):
     print(f"{path}: critical-path budget for {len(budgets)} completed "
           f"transfers (virtual us)", file=out)
     head = ["transfer", "total"] + [c for c in CATEGORIES] + ["attr%", "hops"]
@@ -229,9 +268,14 @@ def report(path, budgets, mont_muls, out=sys.stdout):
           f"(worst transfer {s['attributed_min']:.1%}); crypto runs in zero "
           f"virtual time — see the mont-mul join below", file=out)
     if mont_muls:
-        print("crypto attribution (mont-muls, all nodes):", file=out)
+        print("crypto attribution (group ops, all nodes):", file=out)
         for tag, value in mont_muls.items():
             print(f"  {tag:24} {int(value):>12}", file=out)
+    if backends:
+        print("group backend (ops x word-mul weight):", file=out)
+        for name, row in backends.items():
+            print(f"  {name:12} {row['group_ops']:>12} ops x {row['weight']:>5}"
+                  f" = {row['word_muls']:>15} word-muls", file=out)
 
 
 def main():
@@ -266,15 +310,17 @@ def main():
               file=sys.stderr)
         sys.exit(1)
 
-    mont_muls = mont_mul_table(parse_prometheus(args.metrics)) \
-        if args.metrics else {}
+    samples = parse_prometheus(args.metrics) if args.metrics else {}
+    mont_muls = mont_mul_table(samples)
+    backends = backend_table(samples)
     if args.json:
         s = summarize(budgets)
         s["mont_muls"] = mont_muls
+        s["backends"] = backends
         s["budget_gate"] = args.budget
         print(json.dumps(s, sort_keys=True))
     elif not args.quiet:
-        report(args.trace, budgets, mont_muls)
+        report(args.trace, budgets, mont_muls, backends)
 
     ok = not trace.errors
     if args.budget is not None:
@@ -386,8 +432,47 @@ SELF_TESTS = [
 ]
 
 
+# Prometheus snapshot exercising the crypto joins: two nodes on the ec255
+# backend (ops must sum, the weight gauge must not), one handler family cell
+# and a mod-p arm for the cross-backend shape.
+PROM_SNAPSHOT = "\n".join([
+    "# HELP dblind_group_ops_total group ops",
+    'dblind_group_ops_total{backend="ec255",node="4"} 1500',
+    'dblind_group_ops_total{backend="ec255",node="5"} 500',
+    'dblind_group_op_weight{backend="ec255"} 25',
+    'dblind_group_ops_total{backend="modp2048",node="6"} 100',
+    'dblind_group_op_weight{backend="modp2048"} 2048',
+    'dblind_handler_mont_muls_total{node="4",type="contribute"} 1200',
+])
+
+
+def _prom_join_self_test():
+    problems = []
+    with tempfile.NamedTemporaryFile("w", suffix=".prom", delete=False) as fh:
+        fh.write(PROM_SNAPSHOT + "\n")
+        path = fh.name
+    try:
+        samples = parse_prometheus(path)
+        backends = backend_table(samples)
+        want = {
+            "ec255": {"group_ops": 2000, "weight": 25, "word_muls": 50000},
+            "modp2048": {"group_ops": 100, "weight": 2048, "word_muls": 204800},
+        }
+        if backends != want:
+            problems.append(f"backend join: want {want}, got {backends}")
+        muls = mont_mul_table(samples)
+        if muls.get("contribute") != 1200:
+            problems.append(f"mont-mul join: want contribute=1200, got {muls}")
+    finally:
+        os.unlink(path)
+    status = "ok" if not problems else "FAIL (" + "; ".join(problems) + ")"
+    print(f"self-test {'backend-prom-join':24} {status}")
+    return not problems
+
+
 def run_self_test():
     failures = 0
+    failures += not _prom_join_self_test()
     for name, text, transfer, expect, gate_ok in SELF_TESTS:
         with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
                                          delete=False) as fh:
